@@ -1,0 +1,75 @@
+// Command bootstrap runs the offline pipeline (paper §4, Figure 1a) over
+// the MDX knowledge base and dumps the resulting artifacts: the ontology,
+// the conversation space (intents, training examples, entities,
+// templates), and the Dialogue Logic Table.
+//
+// Flags select the artifact:
+//
+//	-ontology     ontology JSON
+//	-owl          ontology in OWL-functional-like text
+//	-space        conversation space JSON (default)
+//	-logictable   Dialogue Logic Table as text
+//	-stats        summary counts
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ontoconv"
+	"ontoconv/internal/core"
+	"ontoconv/internal/dialogue"
+)
+
+func main() {
+	var (
+		ontoJSON   = flag.Bool("ontology", false, "print the domain ontology as JSON")
+		owl        = flag.Bool("owl", false, "print the ontology in OWL-functional-like text")
+		spaceJSON  = flag.Bool("space", false, "print the conversation space as JSON")
+		logicTable = flag.Bool("logictable", false, "print the Dialogue Logic Table")
+		stats      = flag.Bool("stats", false, "print summary counts")
+	)
+	flag.Parse()
+	if !*ontoJSON && !*owl && !*spaceJSON && !*logicTable && !*stats {
+		*spaceJSON = true
+	}
+
+	_, onto, space, err := ontoconv.MedicalBootstrap()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bootstrap:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *ontoJSON:
+		if err := onto.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *owl:
+		fmt.Print(onto.Functional())
+	case *logicTable:
+		fmt.Print(dialogue.BuildLogicTable(space).String())
+	case *stats:
+		s := onto.Stats()
+		fmt.Printf("ontology: %d concepts, %d data properties, %d object properties, %d isA, %d unions\n",
+			s.Concepts, s.DataProperties, s.ObjectProperties, s.IsA, s.Unions)
+		counts := space.CountByKind()
+		fmt.Printf("intents: %d total (%d lookup, %d direct-rel, %d indirect-rel, %d general, %d conversation-mgmt)\n",
+			len(space.Intents),
+			counts[core.LookupPattern], counts[core.DirectRelationPattern],
+			counts[core.IndirectRelationPattern], counts[core.GeneralEntityPattern],
+			counts[core.ConversationPattern])
+		fmt.Printf("entities: %d; training examples: %d\n", len(space.Entities), len(space.AllExamples()))
+		fmt.Printf("key concepts: %v\n", space.KeyConcepts)
+	default:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(space); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command evaluate regenerates every table and figure of the paper's
+// evaluation section (§7) plus the ablations indexed in DESIGN.md.
+//
+//	evaluate                  # run everything
+//	evaluate -exp table5      # one experiment: e1 table5 fig11 fig12
+//	                          # a1 a2 a3 a4 a5
+//	evaluate -n 50000         # usage-study size (default 20000)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ontoconv/internal/eval"
+)
+
+func main() {
+	var (
+		exp = flag.String("exp", "all", "experiment id: all, e1, table5, fig11, fig12, a1, a2, a3, a4, a5, a6")
+		n   = flag.Int("n", 20000, "simulated interactions for the usage study")
+	)
+	flag.Parse()
+
+	env, err := eval.NewEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup:", err)
+		os.Exit(1)
+	}
+	env.SimConfig.Interactions = *n
+	w := os.Stdout
+
+	want := func(id string) bool { return *exp == "all" || strings.EqualFold(*exp, id) }
+
+	if want("e1") {
+		eval.WriteE1(w, eval.E1(env))
+		fmt.Fprintln(w)
+	}
+	if want("table5") {
+		eval.WriteTable5(w, eval.Table5(env))
+		fmt.Fprintln(w)
+	}
+	if want("fig11") || want("e3") {
+		eval.WriteFig11(w, eval.Fig11(env))
+		fmt.Fprintln(w)
+	}
+	if want("fig12") {
+		eval.WriteFig12(w, eval.Fig12(env))
+		fmt.Fprintln(w)
+	}
+	if want("a1") {
+		eval.WriteAblationClassifier(w, eval.AblationClassifier(env))
+		fmt.Fprintln(w)
+	}
+	if want("a2") {
+		rows, err := eval.AblationTrainingSize(env, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "a2:", err)
+			os.Exit(1)
+		}
+		eval.WriteAblationTrainingSize(w, rows)
+		fmt.Fprintln(w)
+	}
+	if want("a3") {
+		rows, err := eval.AblationSynonyms(env, 4000)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "a3:", err)
+			os.Exit(1)
+		}
+		eval.WriteAblationSynonyms(w, rows)
+		fmt.Fprintln(w)
+	}
+	if want("a4") {
+		eval.WriteBaselineComparison(w, eval.CompareBaseline(env, 6000))
+		fmt.Fprintln(w)
+	}
+	if want("a5") {
+		eval.WriteAblationCentrality(w, eval.AblationCentrality(env))
+		fmt.Fprintln(w)
+	}
+	if want("a6") {
+		r, err := eval.AblationLogLearning(env, 4000)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "a6:", err)
+			os.Exit(1)
+		}
+		eval.WriteLogLearning(w, r)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,54 @@
+// Command kbquery executes SQL against the generated medical knowledge
+// base. With no arguments it reads statements from stdin, one per line.
+//
+//	kbquery "SELECT name FROM drug WHERE name LIKE 'A%' LIMIT 5"
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"ontoconv"
+)
+
+func main() {
+	base, err := ontoconv.MedicalKB()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kb:", err)
+		os.Exit(1)
+	}
+	run := func(sql string) {
+		res, err := ontoconv.ExecSQL(base, sql)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for _, row := range res.Strings() {
+			fmt.Println(strings.Join(row, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+	}
+	if len(os.Args) > 1 {
+		run(strings.Join(os.Args[1:], " "))
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Fprintln(os.Stderr, "enter SQL, one statement per line (tables: drug, indication, treats, dosage, …)")
+	for {
+		fmt.Fprint(os.Stderr, "sql> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "\\q" || line == "quit" {
+			return
+		}
+		run(line)
+	}
+}

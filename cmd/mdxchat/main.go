@@ -1,0 +1,65 @@
+// Command mdxchat is an interactive REPL for Conversational MDX: it
+// generates the synthetic medical knowledge base, bootstraps the
+// conversation space from its ontology, trains the agent, and chats on
+// stdin/stdout (paper §6.3).
+//
+// Special inputs: ":up" / ":down" press the feedback buttons on the last
+// answer, ":context" dumps the conversation context, ":quit" exits.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"ontoconv"
+)
+
+func main() {
+	fmt.Fprintln(os.Stderr, "bootstrapping conversation space from the MDX ontology …")
+	base, _, space, err := ontoconv.MedicalBootstrap()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bootstrap:", err)
+		os.Exit(1)
+	}
+	ag, err := ontoconv.NewAgent(space, base, ontoconv.AgentOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agent:", err)
+		os.Exit(1)
+	}
+	session := ontoconv.NewSession()
+	fmt.Println("A:", ag.Greeting())
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("U: ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch line {
+		case "":
+			continue
+		case ":quit", ":q":
+			return
+		case ":up":
+			session.Feedback(true)
+			fmt.Println("(thumbs up recorded)")
+			continue
+		case ":down":
+			session.Feedback(false)
+			fmt.Println("(thumbs down recorded)")
+			continue
+		case ":context":
+			for e, v := range session.Ctx.Bindings() {
+				fmt.Printf("  %s = %s\n", e, v)
+			}
+			fmt.Printf("  intent = %s\n", session.Ctx.Intent)
+			continue
+		}
+		fmt.Println("A:", ag.Respond(session, line))
+		if session.Closed() {
+			return
+		}
+	}
+}

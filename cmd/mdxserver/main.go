@@ -1,0 +1,37 @@
+// Command mdxserver hosts Conversational MDX over HTTP (the deployment
+// shape of §7: conversation interface as a hosted service).
+//
+//	mdxserver -addr :8080
+//
+//	curl -s localhost:8080/chat -d '{"session":"s1","message":"show me drugs that treat psoriasis"}'
+//	curl -s localhost:8080/chat -d '{"session":"s1","message":"pediatric"}'
+//	curl -s localhost:8080/feedback -d '{"session":"s1","thumbs":"up"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"ontoconv"
+	"ontoconv/internal/agent"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	fmt.Println("bootstrapping conversation space …")
+	base, _, space, err := ontoconv.MedicalBootstrap()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ag, err := agent.New(space, base, agent.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := agent.NewServer(ag)
+	fmt.Printf("listening on %s (POST /chat, POST /feedback, GET /context, GET /healthz)\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,42 @@
+// Context follow-ups: demonstrates persistent context (§5.2) — the
+// conversation "remembers" intents and entities across turns, so a single
+// query can be built up over multiple utterances and then modified
+// incrementally, like in a human conversation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ontoconv"
+)
+
+func main() {
+	base, _, space, err := ontoconv.MedicalBootstrap()
+	if err != nil {
+		log.Fatal(err)
+	}
+	agent, err := ontoconv.NewAgent(space, base, ontoconv.AgentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	session := ontoconv.NewSession()
+	steps := []struct{ user, note string }{
+		{"give me the dosage", "partial query: no drug, no condition — the agent elicits"},
+		{"Amoxicillin", "slot answer: fills the Drug slot"},
+		{"bronchitis", "slot answer: fills the Condition slot"},
+		{"adult", "slot answer: fills the AgeGroup slot — query complete"},
+		{"I mean pediatric", "incremental modification: AgeGroup swapped, request re-run"},
+		{"how about for Azithromycin?", "incremental modification: Drug swapped, everything else remembered"},
+		{"adverse effects of Azithromycin", "topic change: new intent, context carries the drug"},
+		{"what did you say?", "conversation management: repeat repair"},
+		{"never mind", "conversation management: abort clears the task"},
+	}
+	for _, st := range steps {
+		fmt.Printf("\n# %s\n", st.note)
+		fmt.Println("U:", st.user)
+		fmt.Println("A:", agent.Respond(session, st.user))
+		fmt.Printf("  context: intent=%q bindings=%v\n", session.Ctx.Intent, session.Ctx.Bindings())
+	}
+}

@@ -1,0 +1,62 @@
+// Medical assistant: the paper's Conversational MDX use case (§6) end to
+// end. It bootstraps the conversation space from the medical ontology and
+// replays the published multi-turn conversation of §6.3 — slot filling,
+// incremental modification, definition repair, topic transitions and the
+// conversation close — plus the keyword-entry flow of "MDX User 480".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ontoconv"
+)
+
+func main() {
+	base, onto, space, err := ontoconv.MedicalBootstrap()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := onto.Stats()
+	fmt.Printf("MDX ontology: %d concepts, %d data properties, %d relationships\n",
+		s.Concepts, s.DataProperties, s.ObjectProperties)
+	fmt.Printf("conversation space: %d intents, %d entities, %d training examples\n\n",
+		len(space.Intents), len(space.Entities), len(space.AllExamples()))
+
+	agent, err := ontoconv.NewAgent(space, base, ontoconv.AgentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- the §6.3 sample conversation ---")
+	session := ontoconv.NewSession()
+	fmt.Println("A:", agent.Greeting())
+	for _, u := range []string{
+		"show me drugs that treat psoriasis",
+		"adult",
+		"I mean pediatric?",
+		"what do you mean by effective?",
+		"thanks",
+		"dosage for Tazarotene",
+		"how about for Fluocinonide?",
+		"thanks",
+		"no",
+	} {
+		fmt.Println("U:", u)
+		fmt.Println("A:", agent.Respond(session, u))
+	}
+
+	fmt.Println()
+	fmt.Println("--- the \"MDX User 480\" keyword-style session ---")
+	session = ontoconv.NewSession()
+	for _, u := range []string{
+		"cogentin",
+		"What are the side effects of cogentin",
+	} {
+		fmt.Println("U:", u)
+		fmt.Println("A:", agent.Respond(session, u))
+	}
+	// Users can press the feedback buttons on any answer (§7.2).
+	session.Feedback(true)
+	fmt.Println("(user pressed thumbs up)")
+}

@@ -1,0 +1,95 @@
+// Quickstart: build a tiny knowledge base, let ontoconv discover its
+// ontology, bootstrap a conversation space, and ask one question.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ontoconv"
+)
+
+func main() {
+	// 1. A two-table knowledge base: companies and the products they ship.
+	base := ontoconv.NewKB()
+	companies, err := base.CreateTable(ontoconv.Schema{
+		Name: "company",
+		Columns: []ontoconv.Column{
+			{Name: "company_id", Type: ontoconv.TextCol, NotNull: true},
+			{Name: "name", Type: ontoconv.TextCol, NotNull: true},
+			{Name: "sector", Type: ontoconv.TextCol},
+		},
+		PrimaryKey: "company_id",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	products, err := base.CreateTable(ontoconv.Schema{
+		Name: "product",
+		Columns: []ontoconv.Column{
+			{Name: "product_id", Type: ontoconv.TextCol, NotNull: true},
+			{Name: "name", Type: ontoconv.TextCol, NotNull: true},
+			{Name: "company_id", Type: ontoconv.TextCol, NotNull: true},
+			{Name: "category", Type: ontoconv.TextCol},
+		},
+		PrimaryKey: "product_id",
+		ForeignKeys: []ontoconv.ForeignKey{
+			{Column: "company_id", RefTable: "company", RefColumn: "company_id"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range [][]string{
+		{"C1", "AcmeCo", "Hardware"},
+		{"C2", "Globex", "Software"},
+		{"C3", "Initech", "Software"},
+	} {
+		companies.MustInsert(ontoconv.Row{r[0], r[1], r[2]})
+	}
+	for _, r := range [][]string{
+		{"P1", "Rocket Skates", "C1", "Gadgets"},
+		{"P2", "Portable Hole", "C1", "Gadgets"},
+		{"P3", "Hypnotizer", "C2", "Appliances"},
+		{"P4", "TPS Reporter", "C3", "Appliances"},
+	} {
+		products.MustInsert(ontoconv.Row{r[0], r[1], r[2], r[3]})
+	}
+
+	// 2. Discover the ontology from schema + data statistics.
+	onto, err := ontoconv.GenerateOntology(base, ontoconv.DefaultOntogenConfig("shop"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered ontology: %d concepts, %d relationships\n",
+		onto.Stats().Concepts, onto.Stats().ObjectProperties)
+
+	// 3. Bootstrap the conversation space (intents, examples, entities,
+	// SQL templates) and train an agent on it.
+	cfg := ontoconv.DefaultBootstrapConfig()
+	cfg.KeyConcepts.MinKeep = 1
+	cfg.KeyConcepts.MaxKeep = 2
+	space, err := ontoconv.Bootstrap(onto, base, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrapped %d intents with %d training examples\n",
+		len(space.Intents), len(space.AllExamples()))
+
+	agent, err := ontoconv.NewAgent(space, base, ontoconv.AgentOptions{
+		Greeting: "Hello, ask me about companies and products.",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Chat.
+	session := ontoconv.NewSession()
+	for _, q := range []string{
+		"show me the products for AcmeCo",
+		"what about Globex?",
+	} {
+		fmt.Println("U:", q)
+		fmt.Println("A:", agent.Respond(session, q))
+	}
+}

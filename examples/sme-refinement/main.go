@@ -1,0 +1,102 @@
+// SME refinement: the human-in-the-loop half of the pipeline (paper
+// §4.2.2, §4.3.2). The bootstrap proposes a conversation space; subject-
+// matter experts then (1) prune query patterns unlikely in a real
+// workload, (2) rename intents to the deployment vocabulary, (3) add
+// expected patterns the ontology structure missed, (4) contribute synonym
+// dictionaries, and (5) label prior user queries as extra training data.
+// This example shows the space before and after each refinement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ontoconv"
+)
+
+func main() {
+	base, err := ontoconv.MedicalKB()
+	if err != nil {
+		log.Fatal(err)
+	}
+	onto, err := ontoconv.GenerateOntology(base, ontoconv.DefaultOntogenConfig("mdx-raw"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- pass 1: no SME feedback at all -------------------------------
+	raw, err := ontoconv.Bootstrap(onto, base, ontoconv.DefaultBootstrapConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrap without SMEs: %d intents, %d training examples\n",
+		len(raw.Intents), len(raw.AllExamples()))
+	fmt.Println("sample generated intent names (pre-refinement):")
+	shown := 0
+	for _, in := range raw.Intents {
+		if in.Kind == "lookup" && shown < 5 {
+			fmt.Printf("  %q\n", in.Name)
+			shown++
+		}
+	}
+
+	// --- pass 2: with SME feedback -------------------------------------
+	cfg := ontoconv.DefaultBootstrapConfig()
+	cfg.Entities.ConceptSynonyms = map[string][]string{
+		// Table 2: the domain vocabulary only experts know users say.
+		"AdverseEffect": {"side effect", "side effects", "adverse reaction"},
+		"Precaution":    {"caution", "safe to give"},
+	}
+	cfg.Feedback = ontoconv.SMEFeedback{
+		// prune patterns "unlikely to be part of a real world workload"
+		Prune: []string{"Brands of Drug", "Storages of Drug"},
+		// rename to the vocabulary clinicians use
+		Rename: map[string]string{
+			"Adverse Effects of Drug": "Side Effects",
+		},
+		// a pattern the ontology structure cannot see
+		ExpectedPatterns: []ontoconv.SMEPattern{
+			{Intent: "Precautions of Drug", Text: "Is <@Drug> safe to give?"},
+		},
+		// labelled prior user queries (post-rename names)
+		PriorQueries: map[string][]string{
+			"Side Effects": {
+				"What are the side effects of cogentin",
+				"does aspirin have side effects",
+			},
+		},
+	}
+	refined, err := ontoconv.Bootstrap(onto, base, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbootstrap with SMEs: %d intents, %d training examples\n",
+		len(refined.Intents), len(refined.AllExamples()))
+	if refined.Intent("Brands of Drug") == nil {
+		fmt.Println("  pruned:   \"Brands of Drug\" (judged unlikely in real workloads)")
+	}
+	if refined.Intent("Side Effects") != nil {
+		fmt.Println("  renamed:  \"Adverse Effects of Drug\" -> \"Side Effects\"")
+	}
+	in := refined.Intent("Precautions of Drug")
+	for _, p := range in.Patterns {
+		if p.FromSME {
+			fmt.Printf("  added:    SME pattern %q\n", p.Text)
+		}
+	}
+
+	// The refined space understands the expert vocabulary.
+	agent, err := ontoconv.NewAgent(refined, base, ontoconv.AgentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := ontoconv.NewSession()
+	fmt.Println()
+	for _, q := range []string{
+		"is Warfarin safe to give?",
+		"side effects of aspirin",
+	} {
+		fmt.Println("U:", q)
+		fmt.Println("A:", agent.Respond(session, q))
+	}
+}

@@ -1,0 +1,182 @@
+// Package agent implements the online half of the system (paper §2,
+// Figure 1b): each user utterance is classified against the bootstrapped
+// intents, entities are recognized and persisted in the conversation
+// context, the dialogue tree elicits missing required entities ("slot
+// filling"), and completed requests instantiate the intent's structured
+// query template, execute it against the knowledge base, and render a
+// natural-language answer.
+package agent
+
+import (
+	"fmt"
+	"sort"
+
+	"ontoconv/internal/core"
+	"ontoconv/internal/dialogue"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/nlu"
+)
+
+// Options configures an agent.
+type Options struct {
+	// Classifier is the intent classifier; nil selects logistic
+	// regression (the experiments' default).
+	Classifier nlu.Classifier
+	// MinConfidence is the intent-confidence threshold below which the
+	// utterance is treated as an incremental modification of the current
+	// request rather than a new one (§6.3).
+	MinConfidence float64
+	// Definitions overrides the glossary for definition-request repair.
+	Definitions map[string]string
+	// MaxListed caps the values listed in an answer before "…".
+	MaxListed int
+	// Greeting overrides the conversation-opening line.
+	Greeting string
+}
+
+// Agent is a conversation agent over one bootstrapped space and KB.
+type Agent struct {
+	space    *core.Space
+	base     *kb.KB
+	clf      nlu.Classifier
+	rec      *nlu.Recognizer
+	tree     *dialogue.Tree
+	table    *dialogue.LogicTable
+	defs     map[string]string
+	minConf  float64
+	maxList  int
+	greeting string
+	// cmIntents marks conversation-management intent names.
+	cmIntents map[string]bool
+	// generalIntents maps a concept name -> its *_GENERAL intent name.
+	generalIntents map[string]string
+	// proposals maps a general concept -> ordered lookup intents to
+	// propose (the §6.3 "Would you like to see the precautions of …?"
+	// flow).
+	proposals map[string][]string
+	// entityKinds maps entity type -> kind, to know which mentions enter
+	// the context.
+	entityKinds map[string]string
+}
+
+// New trains the classifier on the space's examples, builds the entity
+// recognizer from its entity definitions, compiles the dialogue tree, and
+// returns a ready agent.
+func New(space *core.Space, base *kb.KB, opts Options) (*Agent, error) {
+	clf := opts.Classifier
+	if clf == nil {
+		clf = nlu.NewLogisticRegression()
+	}
+	var examples []nlu.Example
+	for _, te := range space.AllExamples() {
+		examples = append(examples, nlu.Example{Text: te.Text, Intent: te.Intent})
+	}
+	if err := clf.Train(examples); err != nil {
+		return nil, fmt.Errorf("agent: train: %w", err)
+	}
+
+	rec := nlu.NewRecognizer()
+	entityKinds := map[string]string{}
+	for _, def := range space.Entities {
+		entityKinds[def.Name] = def.Kind
+		for _, v := range def.Values {
+			rec.Add(def.Name, v.Value, v.Synonyms...)
+		}
+	}
+
+	table := dialogue.BuildLogicTable(space)
+	tree := dialogue.BuildTree(space, table)
+
+	minConf := opts.MinConfidence
+	if minConf <= 0 {
+		minConf = 0.25
+	}
+	maxList := opts.MaxListed
+	if maxList <= 0 {
+		maxList = 10
+	}
+	defs := opts.Definitions
+	if defs == nil {
+		defs = core.Definitions
+	}
+	greeting := opts.Greeting
+	if greeting == "" {
+		greeting = "Hello. This is Micromedex. If this is your first time, just ask for help. How can I help you today?"
+	}
+
+	a := &Agent{
+		space: space, base: base, clf: clf, rec: rec, tree: tree, table: table,
+		defs: defs, minConf: minConf, maxList: maxList, greeting: greeting,
+		cmIntents:      map[string]bool{},
+		generalIntents: map[string]string{},
+		proposals:      map[string][]string{},
+		entityKinds:    entityKinds,
+	}
+	for _, in := range space.Intents {
+		switch in.Kind {
+		case core.ConversationPattern:
+			a.cmIntents[in.Name] = true
+		case core.GeneralEntityPattern:
+			a.generalIntents[in.AnswerConcept] = in.Name
+			a.proposals[in.AnswerConcept] = a.proposalIntents(in.AnswerConcept)
+		}
+	}
+	return a, nil
+}
+
+// proposalIntents orders the lookup intents proposable when the user types
+// only an entity name: precaution-style lookups first (matching the §6.3
+// transcript), then the rest alphabetically.
+func (a *Agent) proposalIntents(concept string) []string {
+	deps := a.space.Completion.DependentsOfKey[concept]
+	depSet := map[string]bool{}
+	for _, d := range deps {
+		depSet[d] = true
+	}
+	var names []string
+	for _, in := range a.space.Intents {
+		if in.Kind != core.LookupPattern || !depSet[in.AnswerConcept] {
+			continue
+		}
+		needsConcept := false
+		extraRequired := 0
+		for _, r := range in.Required {
+			if r.Entity == concept {
+				needsConcept = true
+			} else {
+				extraRequired++
+			}
+		}
+		if needsConcept && extraRequired == 0 {
+			names = append(names, in.Name)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		pi, pj := a.space.Intent(names[i]), a.space.Intent(names[j])
+		iPrec := pi.AnswerConcept == "Precaution"
+		jPrec := pj.AnswerConcept == "Precaution"
+		if iPrec != jPrec {
+			return iPrec
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Greeting returns the conversation-opening line (§6.3 line 01).
+func (a *Agent) Greeting() string { return a.greeting }
+
+// Space exposes the agent's conversation space.
+func (a *Agent) Space() *core.Space { return a.space }
+
+// Classifier exposes the trained classifier (for evaluation).
+func (a *Agent) Classifier() nlu.Classifier { return a.clf }
+
+// Recognizer exposes the entity recognizer (for evaluation and tests).
+func (a *Agent) Recognizer() *nlu.Recognizer { return a.rec }
+
+// Tree exposes the compiled dialogue tree.
+func (a *Agent) Tree() *dialogue.Tree { return a.tree }
+
+// LogicTable exposes the generated Dialogue Logic Table.
+func (a *Agent) LogicTable() *dialogue.LogicTable { return a.table }

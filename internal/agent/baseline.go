@@ -1,0 +1,96 @@
+package agent
+
+import (
+	"sort"
+	"strings"
+
+	"ontoconv/internal/core"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/nlu"
+	"ontoconv/internal/sqlx"
+)
+
+// KeywordAgent is the search-engine-style baseline (§6.3 observes users
+// treating the agent like one; §8 contrasts keyword-based NLIs): it has no
+// intent classifier, no dialogue tree, no slot filling and no persistent
+// context. An utterance is answered only when it simultaneously names a
+// key-concept instance and a dependent concept; everything else returns a
+// refinement prompt. It is the comparison point for ablation A4.
+type KeywordAgent struct {
+	space *core.Space
+	base  *kb.KB
+	rec   *nlu.Recognizer
+	// lookupByConcept maps a dependent concept name -> the lookup intent
+	// answering it.
+	lookupByConcept map[string]*core.Intent
+}
+
+// NewKeywordAgent builds the baseline over the same bootstrapped space.
+func NewKeywordAgent(space *core.Space, base *kb.KB) *KeywordAgent {
+	rec := nlu.NewRecognizer()
+	for _, def := range space.Entities {
+		for _, v := range def.Values {
+			rec.Add(def.Name, v.Value, v.Synonyms...)
+		}
+	}
+	k := &KeywordAgent{space: space, base: base, rec: rec, lookupByConcept: map[string]*core.Intent{}}
+	for i := range space.Intents {
+		in := &space.Intents[i]
+		if in.Kind == core.LookupPattern && len(in.Required) == 1 {
+			k.lookupByConcept[in.AnswerConcept] = in
+		}
+	}
+	return k
+}
+
+// Respond answers a single utterance statelessly. The second return value
+// names the intent used ("" when unanswered).
+func (k *KeywordAgent) Respond(utterance string) (string, string) {
+	mentions := k.rec.Recognize(utterance)
+	var conceptMention, instanceMention *nlu.Mention
+	for i := range mentions {
+		m := &mentions[i]
+		if m.Partial {
+			continue
+		}
+		switch m.Type {
+		case "Concepts":
+			if conceptMention == nil {
+				conceptMention = m
+			}
+		default:
+			if instanceMention == nil {
+				instanceMention = m
+			}
+		}
+	}
+	if conceptMention == nil || instanceMention == nil {
+		return "Please refine your search.", ""
+	}
+	in := k.lookupByConcept[conceptMention.Value]
+	if in == nil || in.Template == nil {
+		return "Please refine your search.", ""
+	}
+	req := in.Required[0]
+	if req.Entity != instanceMention.Type {
+		return "Please refine your search.", ""
+	}
+	stmt, err := in.Template.Instantiate(map[string]string{req.Param: instanceMention.Value})
+	if err != nil {
+		return "Please refine your search.", ""
+	}
+	res, err := sqlx.Execute(k.base, stmt)
+	if err != nil || len(res.Rows) == 0 {
+		return "No results found.", in.Name
+	}
+	var vals []string
+	for i, r := range res.Strings() {
+		if i == 10 {
+			vals = append(vals, "…")
+			break
+		}
+		vals = append(vals, strings.Join(nonEmpty(r), " — "))
+	}
+	sort.Strings(vals)
+	return strings.Join(vals, "; "), in.Name
+}

@@ -1,0 +1,155 @@
+package agent
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ontoconv/internal/core"
+	"ontoconv/internal/dialogue"
+	"ontoconv/internal/sqlx"
+)
+
+// formatAnswer renders a query result as the agent's natural-language
+// reply (the NLG half of §1's requirements): the intent's response
+// template with entity values substituted, followed by the result list —
+// grouped by the relation's qualifying property when present ("Effective:
+// Acitretin, Adalimumab …", §6.3 line 05).
+func (a *Agent) formatAnswer(in *core.Intent, ctx *dialogue.Context, res *sqlx.Result) string {
+	header := a.renderHeader(in, ctx)
+	if len(res.Rows) == 0 {
+		return strings.TrimSuffix(header, ":") + ": I couldn't find any results. Please modify your search."
+	}
+	rows := res.Strings()
+	var body string
+	switch {
+	case len(res.Columns) >= 2 && in.Kind == core.DirectRelationPattern:
+		body = groupedList(rows, a.maxList)
+	case anyLong(rows):
+		var parts []string
+		for i, r := range rows {
+			if i == a.maxList {
+				parts = append(parts, "…")
+				break
+			}
+			parts = append(parts, strings.Join(nonEmpty(r), " — "))
+		}
+		body = "\n" + strings.Join(parts, "\n")
+	default:
+		var vals []string
+		for i, r := range rows {
+			if i == a.maxList {
+				vals = append(vals, "…")
+				break
+			}
+			vals = append(vals, strings.Join(nonEmpty(r), " — "))
+		}
+		body = " " + strings.Join(vals, ", ")
+	}
+	return header + body
+}
+
+// renderHeader substitutes {{Entity}} placeholders in the response
+// template with context values and appends bound value entities not named
+// by the template ("… for pediatric").
+func (a *Agent) renderHeader(in *core.Intent, ctx *dialogue.Context) string {
+	header := in.Response
+	if header == "" {
+		header = "Here is what I found:"
+	}
+	substituted := map[string]bool{}
+	for _, spec := range append(append([]core.EntitySpec{}, in.Required...), in.Optional...) {
+		ph := "{{" + spec.Param + "}}"
+		if v, ok := ctx.Value(spec.Entity); ok && strings.Contains(header, ph) {
+			header = strings.ReplaceAll(header, ph, v)
+			substituted[spec.Entity] = true
+		}
+	}
+	// Drop unresolved placeholders.
+	for {
+		i := strings.Index(header, "{{")
+		if i < 0 {
+			break
+		}
+		j := strings.Index(header[i:], "}}")
+		if j < 0 {
+			break
+		}
+		header = header[:i] + header[i+j+2:]
+	}
+	header = strings.Join(strings.Fields(header), " ") // tidy double spaces
+	// Mention remaining bound value entities: "… for pediatric".
+	var extras []string
+	for _, spec := range in.Required {
+		if substituted[spec.Entity] {
+			continue
+		}
+		if a.entityKinds[spec.Entity] == "value" {
+			if v, ok := ctx.Value(spec.Entity); ok {
+				extras = append(extras, v)
+			}
+		}
+	}
+	if len(extras) > 0 {
+		header = strings.TrimSuffix(header, ":") + " for " + strings.Join(extras, ", ") + ":"
+	}
+	return header
+}
+
+// groupedList renders two-column rows grouped by the second column:
+// "Effective: A, B. Possibly Effective: C." Groups are ordered Effective
+// first, then alphabetically.
+func groupedList(rows [][]string, maxList int) string {
+	groups := map[string][]string{}
+	var order []string
+	for _, r := range rows {
+		if len(r) < 2 {
+			continue
+		}
+		key := r[1]
+		if len(groups[key]) == 0 {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], r[0])
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if (order[i] == "Effective") != (order[j] == "Effective") {
+			return order[i] == "Effective"
+		}
+		return order[i] < order[j]
+	})
+	var parts []string
+	for _, key := range order {
+		vals := groups[key]
+		if len(vals) > maxList {
+			vals = append(vals[:maxList:maxList], "…")
+		}
+		label := key
+		if label == "" {
+			label = "Listed"
+		}
+		parts = append(parts, fmt.Sprintf("%s: %s", label, strings.Join(vals, ", ")))
+	}
+	return "\n" + strings.Join(parts, "\n")
+}
+
+func anyLong(rows [][]string) bool {
+	for _, r := range rows {
+		for _, v := range r {
+			if len(v) > 60 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func nonEmpty(row []string) []string {
+	var out []string
+	for _, v := range row {
+		if v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package agent
+
+import (
+	"strings"
+	"testing"
+
+	"ontoconv/internal/core"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/sqlx"
+)
+
+// formatFixture builds a minimal agent wired to a two-table KB, for
+// white-box tests of formatting and disambiguation that don't need the
+// full medical environment.
+func formatFixture(t *testing.T) (*Agent, *kb.KB) {
+	t.Helper()
+	base := kb.New()
+	drug, err := base.CreateTable(kb.Schema{
+		Name: "drug",
+		Columns: []kb.Column{
+			{Name: "drug_id", Type: kb.TextCol, NotNull: true},
+			{Name: "name", Type: kb.TextCol, NotNull: true},
+		},
+		PrimaryKey: "drug_id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := base.CreateTable(kb.Schema{
+		Name: "precaution",
+		Columns: []kb.Column{
+			{Name: "p_id", Type: kb.TextCol, NotNull: true},
+			{Name: "drug_id", Type: kb.TextCol, NotNull: true},
+			{Name: "description", Type: kb.TextCol},
+		},
+		PrimaryKey: "p_id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drug.MustInsert(kb.Row{"D1", "Calcium Carbonate"})
+	drug.MustInsert(kb.Row{"D2", "Calcium Citrate"})
+	drug.MustInsert(kb.Row{"D3", "Aspirin"})
+	prec.MustInsert(kb.Row{"P1", "D1", "Take with food."})
+	prec.MustInsert(kb.Row{"P2", "D2", "Avoid with iron."})
+	prec.MustInsert(kb.Row{"P3", "D3", "Watch for GI bleeding."})
+
+	tpl := sqlx.MustTemplate("SELECT p.description FROM precaution p INNER JOIN drug d ON p.drug_id = d.drug_id WHERE d.name = <@Drug>")
+	space := &core.Space{
+		Intents: []core.Intent{
+			{
+				Name: "Precautions of Drug", Kind: core.LookupPattern,
+				Examples: []string{
+					"show me the precautions for Aspirin",
+					"precautions for Calcium Carbonate",
+					"give me precautions for Calcium Citrate",
+					"what are the precautions of Aspirin",
+					"list the precautions for Calcium Carbonate",
+					"precautions of Calcium Citrate please",
+				},
+				Template:      tpl,
+				Required:      []core.EntitySpec{{Entity: "Drug", Param: "Drug", Elicitation: "For which drug?"}},
+				Response:      "Here are the precautions for {{Drug}}:",
+				AnswerConcept: "Precaution",
+			},
+		},
+		Entities: []core.EntityDef{
+			{Name: "Drug", Kind: "instance", Values: []core.EntityValue{
+				{Value: "Calcium Carbonate"}, {Value: "Calcium Citrate"}, {Value: "Aspirin"},
+			}},
+		},
+	}
+	space.Intents = append(space.Intents, core.ConversationManagementIntents()...)
+	a, err := New(space, base, Options{Greeting: "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, base
+}
+
+func TestPartialEntityDisambiguation(t *testing.T) {
+	a, _ := formatFixture(t)
+	s := NewSession()
+	// "calcium" is a word of two canonical values -> the agent must ask
+	r := a.Respond(s, "precautions for calcium")
+	if !strings.Contains(r, "Calcium Carbonate") || !strings.Contains(r, "Calcium Citrate") ||
+		!strings.Contains(r, "Which one do you mean") {
+		t.Fatalf("disambiguation = %q", r)
+	}
+	// the user picks one; the pending request completes
+	r = a.Respond(s, "calcium carbonate")
+	if !strings.Contains(r, "Take with food.") {
+		t.Fatalf("choice resolution = %q", r)
+	}
+}
+
+func TestChoiceResolutionBySubstring(t *testing.T) {
+	a, _ := formatFixture(t)
+	s := NewSession()
+	a.Respond(s, "precautions for calcium")
+	// answering with the distinguishing word only
+	r := a.Respond(s, "citrate")
+	if !strings.Contains(r, "Avoid with iron.") {
+		t.Fatalf("substring choice = %q", r)
+	}
+}
+
+func TestChoiceAbandonedFallsThrough(t *testing.T) {
+	a, _ := formatFixture(t)
+	s := NewSession()
+	a.Respond(s, "precautions for calcium")
+	// the user ignores the question and asks something complete instead
+	r := a.Respond(s, "precautions for Aspirin")
+	if !strings.Contains(r, "GI bleeding") {
+		t.Fatalf("moved-on handling = %q", r)
+	}
+	if s.Ctx.Choice != nil {
+		t.Fatal("stale choice not cleared")
+	}
+}
+
+func TestGroupedList(t *testing.T) {
+	rows := [][]string{
+		{"Acitretin", "Effective"},
+		{"Adalimumab", "Effective"},
+		{"HerbX", "Possibly Effective"},
+	}
+	got := groupedList(rows, 10)
+	if !strings.Contains(got, "Effective: Acitretin, Adalimumab") {
+		t.Fatalf("groupedList = %q", got)
+	}
+	// "Effective" group must come first
+	if strings.Index(got, "Effective:") > strings.Index(got, "Possibly Effective:") {
+		t.Fatalf("group order = %q", got)
+	}
+}
+
+func TestGroupedListCaps(t *testing.T) {
+	var rows [][]string
+	for i := 0; i < 15; i++ {
+		rows = append(rows, []string{"Drug" + string(rune('A'+i)), "Effective"})
+	}
+	got := groupedList(rows, 5)
+	if !strings.Contains(got, "…") {
+		t.Fatalf("cap not applied: %q", got)
+	}
+}
+
+func TestGroupedListEmptyKey(t *testing.T) {
+	got := groupedList([][]string{{"X", ""}}, 10)
+	if !strings.Contains(got, "Listed: X") {
+		t.Fatalf("empty group label = %q", got)
+	}
+}
+
+func TestJoinOr(t *testing.T) {
+	if joinOr(nil) != "" || joinOr([]string{"a"}) != "a" {
+		t.Fatal("joinOr base cases")
+	}
+	if got := joinOr([]string{"a", "b", "c"}); got != "a, b or c" {
+		t.Fatalf("joinOr = %q", got)
+	}
+}
+
+func TestIntentPhrase(t *testing.T) {
+	cases := map[string]string{
+		"Precautions of Drug":       "precautions",
+		"Dose Adjustments for Drug": "dose adjustments",
+		"DRUG_GENERAL":              "drug_general",
+	}
+	for in, want := range cases {
+		if got := intentPhrase(in); got != want {
+			t.Errorf("intentPhrase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAnswerShapedHeuristics(t *testing.T) {
+	a, _ := formatFixture(t)
+	// concept-kind mentions are never answer-shaped — build a recognizer
+	// hit via the Concepts def would require one; here we check the
+	// short-utterance and coverage rules instead.
+	if !a.answerShaped(nil, "yes it is") {
+		t.Fatal("short utterances are answer-shaped")
+	}
+	if a.answerShaped(nil, "this is a very long sentence that mentions nothing at all here") {
+		t.Fatal("long mention-free utterances are not answer-shaped")
+	}
+}
+
+func TestNoResultsAnswer(t *testing.T) {
+	a, base := formatFixture(t)
+	// remove matching rows: ask for a drug with no precautions
+	tbl := base.Table("precaution")
+	tbl.Rows = tbl.Rows[:0]
+	s := NewSession()
+	r := a.Respond(s, "precautions for Aspirin")
+	if !strings.Contains(r, "couldn't find any results") {
+		t.Fatalf("no-results = %q", r)
+	}
+}

@@ -1,0 +1,497 @@
+package agent
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ontoconv/internal/core"
+	"ontoconv/internal/dialogue"
+	"ontoconv/internal/nlu"
+	"ontoconv/internal/sqlx"
+)
+
+// Respond processes one user utterance and returns the agent's reply,
+// recording the exchange on the session.
+func (a *Agent) Respond(s *Session, utterance string) string {
+	s.Ctx.NextTurn()
+	turn := Turn{User: utterance}
+	reply := a.respond(s, utterance, &turn)
+	turn.Agent = reply
+	s.Ctx.LastResponse = reply
+	s.Turns = append(s.Turns, turn)
+	return reply
+}
+
+func (a *Agent) respond(s *Session, utterance string, turn *Turn) string {
+	ctx := s.Ctx
+	mentions := a.rec.Recognize(utterance)
+
+	// 1. A pending partial-entity disambiguation consumes the answer
+	// (§6.1: base "Calcium" -> choose the salt).
+	if ctx.Choice != nil {
+		entity := ctx.Choice.Entity
+		if value, ok := a.resolveChoice(ctx.Choice, utterance, mentions); ok {
+			ctx.Bind(entity, value)
+			ctx.Choice = nil
+			if ctx.Intent != "" {
+				return a.fulfill(s, turn)
+			}
+			// No pending request: fall back to the entity's general
+			// proposal flow when one exists ("calcium" alone, then a
+			// salt choice).
+			if _, ok := a.generalIntents[entity]; ok {
+				return a.propose(ctx, entity)
+			}
+			return a.tree.Fallback.Response
+		}
+		ctx.Choice = nil // user moved on; fall through
+	}
+
+	// 2. If the agent just elicited a slot and this answer-shaped
+	// utterance provides it, bind and continue regardless of what the
+	// classifier thinks ("adult" answers "Adult or pediatric?", §6.3
+	// line 04). Utterances that carry their own intent signal (a concept
+	// mention like "dosage", or mostly non-entity words) fall through to
+	// classification instead.
+	if ctx.Intent != "" {
+		if missing := a.firstMissing(ctx); missing != "" {
+			if m, ok := mentionOfType(mentions, missing); ok && a.answerShaped(mentions, utterance) {
+				if m.Partial {
+					return a.askChoice(ctx, m)
+				}
+				a.bindMentions(ctx, mentions)
+				return a.fulfill(s, turn)
+			}
+		}
+	}
+
+	// 3. Incremental modification of the current request (§6.3 lines 06
+	// and 14: "I mean pediatric", "how about for Fluocinonide?"). The
+	// paper: the conversation "treats it as an operation on the previous
+	// request if it contains intents and entities related to that
+	// request" — we require every mentioned entity to be a parameter of
+	// the active intent, plus either a discourse marker or the utterance
+	// being mostly entity mentions.
+	if a.isIncrementalModification(ctx, mentions, utterance) {
+		a.bindMentions(ctx, mentions)
+		return a.fulfill(s, turn)
+	}
+
+	pred := a.clf.Predict(utterance)
+
+	// 3. Conversation management (§5.2 step 3).
+	if a.cmIntents[pred.Intent] && pred.Confidence >= a.minConf {
+		turn.Intent = pred.Intent
+		return a.handleCM(s, pred.Intent, utterance, turn)
+	}
+
+	// 4. Ambiguous partial entity ("calcium") — elicit a choice,
+	// remembering the request intent the utterance carried so the
+	// resolution can complete it.
+	for _, m := range mentions {
+		if m.Partial && len(m.Candidates) > 1 && a.entityKinds[m.Type] == "instance" {
+			if pred.Confidence >= a.minConf && !a.cmIntents[pred.Intent] {
+				if in := a.space.Intent(pred.Intent); in != nil && in.Template != nil {
+					ctx.Intent = pred.Intent
+					a.bindMentions(ctx, mentions)
+				}
+			}
+			return a.askChoice(ctx, m)
+		}
+	}
+
+	// 5. Entity-only input (DRUG_GENERAL, §6.1/§6.3 "MDX User 480").
+	if concept, ok := a.generalConceptFor(pred.Intent); ok && pred.Confidence >= a.minConf {
+		turn.Intent = pred.Intent
+		if m, found := mentionOfType(mentions, concept); found && !m.Partial {
+			ctx.Bind(concept, m.Value)
+		}
+		if _, bound := ctx.Value(concept); bound {
+			return a.propose(ctx, concept)
+		}
+		return a.tree.Fallback.Response
+	}
+
+	// 6. A new (or repeated) task request.
+	if pred.Confidence >= a.minConf && a.space.Intent(pred.Intent) != nil {
+		ctx.Intent = pred.Intent
+		ctx.Proposal = nil
+		a.bindMentions(ctx, mentions)
+		return a.fulfill(s, turn)
+	}
+
+	// 7. Low-confidence utterance that still mentions entities related
+	// to the active request — treat it as an operation on that request.
+	if ctx.Intent != "" && a.bindMentions(ctx, mentions) > 0 {
+		return a.fulfill(s, turn)
+	}
+
+	// 8. No intent, but the utterance names an entity with a general
+	// flow — start it even though the classifier was unsure.
+	for concept := range a.generalIntents {
+		if m, ok := mentionOfType(mentions, concept); ok && !m.Partial {
+			ctx.Bind(concept, m.Value)
+			turn.Intent = a.generalIntents[concept]
+			return a.propose(ctx, concept)
+		}
+	}
+
+	return a.tree.Fallback.Response
+}
+
+// fulfill runs slot filling for the active intent: either the next
+// elicitation or the final answer.
+func (a *Agent) fulfill(s *Session, turn *Turn) string {
+	ctx := s.Ctx
+	in := a.space.Intent(ctx.Intent)
+	if in == nil || in.Template == nil {
+		return a.tree.Fallback.Response
+	}
+	// Assume declared defaults (Table 3: "The dialogue tree must either
+	// assume a value of a required entity or elicit a value").
+	for _, req := range in.Required {
+		if req.Default != "" && !ctx.Bound(req.Entity) {
+			ctx.Bind(req.Entity, req.Default)
+		}
+	}
+	node := a.tree.Match(ctx.Intent, ctx.Bound)
+	switch node.Action {
+	case dialogue.ActElicit:
+		turn.Intent = ctx.Intent
+		return node.Response
+	case dialogue.ActAnswer:
+		turn.Intent = ctx.Intent
+		return a.answer(in, ctx, turn)
+	default:
+		return a.tree.Fallback.Response
+	}
+}
+
+// answer instantiates the intent's template, executes it, and renders the
+// response.
+func (a *Agent) answer(in *core.Intent, ctx *dialogue.Context, turn *Turn) string {
+	args := map[string]string{}
+	for _, req := range in.Required {
+		v, ok := ctx.Value(req.Entity)
+		if !ok {
+			return a.tree.Fallback.Response
+		}
+		args[req.Param] = v
+	}
+	stmt, err := in.Template.Instantiate(args)
+	if err != nil {
+		return a.tree.Fallback.Response
+	}
+	res, err := sqlx.Execute(a.base, stmt)
+	if err != nil {
+		return a.tree.Fallback.Response
+	}
+	turn.Answered = true
+	return a.formatAnswer(in, ctx, res)
+}
+
+// handleCM executes a conversation-management action.
+func (a *Agent) handleCM(s *Session, intent, utterance string, turn *Turn) string {
+	ctx := s.Ctx
+	node := a.tree.Match(intent, ctx.Bound)
+	switch node.Action {
+	case dialogue.ActGoodbye:
+		ctx.Closed = true
+		return node.Response
+	case dialogue.ActRepeat:
+		if ctx.LastResponse == "" {
+			return "I haven't said anything yet. How can I help?"
+		}
+		return "I said: " + ctx.LastResponse
+	case dialogue.ActDefine:
+		// B2.5.0 Definition Request Repair: REPAIR MARKER + DEFINITION.
+		if def, ok := a.lookupDefinition(utterance); ok {
+			return "Oh. " + def
+		}
+		return "I mean it in its usual clinical sense. Could you tell me which term is unclear?"
+	case dialogue.ActAbort:
+		ctx.ClearTask()
+		return "OK. Please modify your search."
+	case dialogue.ActAffirm:
+		if ctx.Proposal != nil {
+			p := ctx.Proposal
+			ctx.Proposal = nil
+			ctx.Intent = p.Intent
+			for e, v := range p.Assume {
+				ctx.Bind(e, v)
+			}
+			return a.fulfill(s, turn)
+		}
+		return node.Response
+	case dialogue.ActDeny:
+		if ctx.Proposal != nil {
+			p := ctx.Proposal
+			if len(p.Alternatives) > 0 {
+				next := p.Alternatives[0]
+				ctx.Proposal = &dialogue.Proposal{
+					Intent:       next,
+					Alternatives: p.Alternatives[1:],
+					Assume:       p.Assume,
+				}
+				return a.proposalQuestion(next, p.Assume)
+			}
+			ctx.Proposal = nil
+			return "OK. Please modify your search."
+		}
+		// Plain "no" after "Anything else?" closes the conversation
+		// (§6.3 lines 18-19).
+		ctx.Closed = true
+		return "Thank you for using Micromedex. Goodbye."
+	case dialogue.ActCheckAnything:
+		return node.Response
+	default:
+		return node.Response
+	}
+}
+
+// propose starts (or restarts) the proposal flow for an entity-only input.
+func (a *Agent) propose(ctx *dialogue.Context, concept string) string {
+	value, _ := ctx.Value(concept)
+	options := a.proposals[concept]
+	if len(options) == 0 {
+		return a.tree.Fallback.Response
+	}
+	assume := map[string]string{concept: value}
+	ctx.Proposal = &dialogue.Proposal{
+		Intent:       options[0],
+		Alternatives: limit(options[1:], 1), // at most two proposals total (§6.3)
+		Assume:       assume,
+	}
+	return a.proposalQuestion(options[0], assume)
+}
+
+// proposalQuestion renders "Would you like to see the precautions of
+// benztropine mesylate?".
+func (a *Agent) proposalQuestion(intent string, assume map[string]string) string {
+	phrase := intentPhrase(intent)
+	var value string
+	for _, v := range assume {
+		value = v
+	}
+	return fmt.Sprintf("Would you like to see the %s of %s?", phrase, strings.ToLower(value))
+}
+
+// intentPhrase extracts the answer phrase from a lookup intent name:
+// "Precautions of Drug" -> "precautions".
+func intentPhrase(name string) string {
+	for _, sep := range []string{" of ", " for "} {
+		if i := strings.Index(name, sep); i > 0 {
+			return strings.ToLower(name[:i])
+		}
+	}
+	return strings.ToLower(name)
+}
+
+// askChoice records a pending disambiguation and asks the user to choose.
+func (a *Agent) askChoice(ctx *dialogue.Context, m nlu.Mention) string {
+	cands := limit(m.Candidates, 5)
+	ctx.Choice = &dialogue.Choice{Entity: m.Type, Candidates: cands}
+	return fmt.Sprintf("Which one do you mean: %s?", joinOr(cands))
+}
+
+// resolveChoice matches the user's reply against the pending candidates.
+func (a *Agent) resolveChoice(c *dialogue.Choice, utterance string, mentions []nlu.Mention) (string, bool) {
+	for _, m := range mentions {
+		if m.Type != c.Entity || m.Partial {
+			continue
+		}
+		for _, cand := range c.Candidates {
+			if m.Value == cand {
+				return cand, true
+			}
+		}
+	}
+	low := strings.ToLower(strings.TrimSpace(utterance))
+	for _, cand := range c.Candidates {
+		if strings.Contains(strings.ToLower(cand), low) && low != "" {
+			return cand, true
+		}
+	}
+	return "", false
+}
+
+// lookupDefinition finds the longest glossary key mentioned in the
+// utterance.
+func (a *Agent) lookupDefinition(utterance string) (string, bool) {
+	low := strings.ToLower(utterance)
+	keys := make([]string, 0, len(a.defs))
+	for k := range a.defs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) > len(keys[j])
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys {
+		if strings.Contains(low, k) {
+			return a.defs[k], true
+		}
+	}
+	return "", false
+}
+
+// answerShaped reports whether the utterance looks like a bare slot
+// answer: no concept mention (those signal a fresh request), and either
+// very short, mostly covered by entity mentions, or led by a discourse
+// marker.
+func (a *Agent) answerShaped(mentions []nlu.Mention, utterance string) bool {
+	covered := 0
+	for _, m := range mentions {
+		if a.entityKinds[m.Type] == "concept" {
+			return false
+		}
+		covered += m.End - m.Start
+	}
+	total := len(nlu.Tokenize(utterance))
+	if total <= 4 {
+		return true
+	}
+	if total > 0 && float64(covered)/float64(total) >= 0.5 {
+		return true
+	}
+	low := strings.ToLower(utterance)
+	for _, marker := range []string{"i mean", "how about", "what about"} {
+		if strings.Contains(low, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// isIncrementalModification decides whether the utterance operates on the
+// active request rather than starting a new one.
+func (a *Agent) isIncrementalModification(ctx *dialogue.Context, mentions []nlu.Mention, utterance string) bool {
+	if ctx.Intent == "" {
+		return false
+	}
+	in := a.space.Intent(ctx.Intent)
+	if in == nil || in.Template == nil {
+		return false
+	}
+	params := map[string]bool{}
+	for _, spec := range in.Required {
+		params[spec.Entity] = true
+	}
+	for _, spec := range in.Optional {
+		params[spec.Entity] = true
+	}
+	// The same surface word can mention several entity types ("pediatric"
+	// is both an AgeGroup and a Population value); a span counts as
+	// fitting if ANY of its readings is a parameter of the request, and
+	// the whole utterance is rejected only if some span fits nothing.
+	type span struct{ start, end int }
+	fits := map[span]bool{}
+	seen := map[span]bool{}
+	for _, m := range mentions {
+		if m.Partial {
+			continue
+		}
+		kind := a.entityKinds[m.Type]
+		if kind != "instance" && kind != "value" {
+			continue
+		}
+		sp := span{m.Start, m.End}
+		seen[sp] = true
+		if params[m.Type] {
+			fits[sp] = true
+		}
+	}
+	if len(seen) == 0 {
+		return false
+	}
+	covered := 0
+	for sp := range seen {
+		if !fits[sp] {
+			return false // names an entity outside this request
+		}
+		covered += sp.end - sp.start
+	}
+	low := strings.ToLower(utterance)
+	for _, marker := range []string{"i mean", "how about", "what about", "and for", "instead", "make that", "actually"} {
+		if strings.Contains(low, marker) {
+			return true
+		}
+	}
+	total := len(nlu.Tokenize(utterance))
+	return total > 0 && float64(covered)/float64(total) >= 0.5
+}
+
+// bindMentions stores instance and value mentions into the context and
+// returns how many were bound.
+func (a *Agent) bindMentions(ctx *dialogue.Context, mentions []nlu.Mention) int {
+	n := 0
+	for _, m := range mentions {
+		if m.Partial {
+			continue
+		}
+		kind := a.entityKinds[m.Type]
+		if kind != "instance" && kind != "value" {
+			continue
+		}
+		ctx.Bind(m.Type, m.Value)
+		n++
+	}
+	return n
+}
+
+// firstMissing returns the first required entity of the active intent not
+// bound in context (considering defaults), or "".
+func (a *Agent) firstMissing(ctx *dialogue.Context) string {
+	in := a.space.Intent(ctx.Intent)
+	if in == nil {
+		return ""
+	}
+	for _, req := range in.Required {
+		if req.Default != "" {
+			continue
+		}
+		if !ctx.Bound(req.Entity) {
+			return req.Entity
+		}
+	}
+	return ""
+}
+
+// generalConceptFor maps a *_GENERAL intent name back to its concept.
+func (a *Agent) generalConceptFor(intent string) (string, bool) {
+	for concept, name := range a.generalIntents {
+		if name == intent {
+			return concept, true
+		}
+	}
+	return "", false
+}
+
+func mentionOfType(mentions []nlu.Mention, entityType string) (nlu.Mention, bool) {
+	for _, m := range mentions {
+		if m.Type == entityType {
+			return m, true
+		}
+	}
+	return nlu.Mention{}, false
+}
+
+func joinOr(items []string) string {
+	switch len(items) {
+	case 0:
+		return ""
+	case 1:
+		return items[0]
+	}
+	return strings.Join(items[:len(items)-1], ", ") + " or " + items[len(items)-1]
+}
+
+func limit(items []string, n int) []string {
+	if len(items) <= n {
+		return items
+	}
+	return items[:n]
+}

@@ -1,0 +1,164 @@
+package agent
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Server exposes the agent over HTTP the way the deployed system is
+// hosted (§7: "All the components of Conversational MDX are hosted on IBM
+// Cloud"). It manages one persistent conversation context per session ID
+// and mirrors the UI's thumbs-up/down feedback buttons.
+//
+//	POST /chat      {"session":"s1","message":"precautions for aspirin"}
+//	             -> {"session":"s1","reply":"…","intent":"…","closed":false}
+//	POST /feedback  {"session":"s1","thumbs":"down"}
+//	GET  /context?session=s1
+//	GET  /healthz
+type Server struct {
+	agent *Agent
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// NewServer wraps an agent for HTTP serving.
+func NewServer(a *Agent) *Server {
+	return &Server{agent: a, sessions: make(map[string]*Session)}
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/chat", s.handleChat)
+	mux.HandleFunc("/feedback", s.handleFeedback)
+	mux.HandleFunc("/context", s.handleContext)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// ChatRequest is the /chat request body.
+type ChatRequest struct {
+	Session string `json:"session"`
+	Message string `json:"message"`
+}
+
+// ChatResponse is the /chat response body.
+type ChatResponse struct {
+	Session string `json:"session"`
+	Reply   string `json:"reply"`
+	Intent  string `json:"intent,omitempty"`
+	Closed  bool   `json:"closed"`
+}
+
+// FeedbackRequest is the /feedback request body.
+type FeedbackRequest struct {
+	Session string `json:"session"`
+	Thumbs  string `json:"thumbs"` // "up" or "down"
+}
+
+// session returns (creating if needed) the named session.
+func (s *Server) session(id string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		sess = NewSession()
+		s.sessions[id] = sess
+	}
+	return sess
+}
+
+func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ChatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Session == "" || strings.TrimSpace(req.Message) == "" {
+		http.Error(w, "session and message are required", http.StatusBadRequest)
+		return
+	}
+	sess := s.session(req.Session)
+	// Serialize turns within a session; different sessions proceed
+	// concurrently (the agent itself is read-only at serving time).
+	s.mu.Lock()
+	reply := s.agent.Respond(sess, req.Message)
+	last := sess.LastTurn()
+	closed := sess.Closed()
+	if closed {
+		delete(s.sessions, req.Session)
+	}
+	s.mu.Unlock()
+
+	resp := ChatResponse{Session: req.Session, Reply: reply, Closed: closed}
+	if last != nil {
+		resp.Intent = last.Intent
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req FeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Thumbs != "up" && req.Thumbs != "down" {
+		http.Error(w, `thumbs must be "up" or "down"`, http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	sess, ok := s.sessions[req.Session]
+	if ok {
+		sess.Feedback(req.Thumbs == "up")
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown session", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "recorded"})
+}
+
+func (s *Server) handleContext(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("session")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	var payload map[string]interface{}
+	if ok {
+		payload = map[string]interface{}{
+			"session":  id,
+			"intent":   sess.Ctx.Intent,
+			"bindings": sess.Ctx.Bindings(),
+			"turns":    len(sess.Turns),
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown session", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, payload)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

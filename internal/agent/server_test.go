@@ -1,0 +1,167 @@
+package agent_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ontoconv/internal/agent"
+)
+
+func serverFixture(t *testing.T) *httptest.Server {
+	t.Helper()
+	a := fixture(t)
+	ts := httptest.NewServer(agent.NewServer(a).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func chat(t *testing.T, ts *httptest.Server, session, message string) agent.ChatResponse {
+	t.Helper()
+	resp := postJSON(t, ts.URL+"/chat", agent.ChatRequest{Session: session, Message: message})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chat status %d", resp.StatusCode)
+	}
+	var out agent.ChatResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestServerMultiTurnSession(t *testing.T) {
+	ts := serverFixture(t)
+	r := chat(t, ts, "s1", "show me drugs that treat psoriasis")
+	if r.Reply != "Adult or pediatric?" {
+		t.Fatalf("elicitation = %q", r.Reply)
+	}
+	r = chat(t, ts, "s1", "pediatric")
+	if !strings.Contains(r.Reply, "Fluocinonide") {
+		t.Fatalf("answer = %q", r.Reply)
+	}
+	if r.Intent != "Drugs That Treat Condition" {
+		t.Fatalf("intent = %q", r.Intent)
+	}
+}
+
+func TestServerSessionsAreIsolated(t *testing.T) {
+	ts := serverFixture(t)
+	chat(t, ts, "a", "show me drugs that treat psoriasis")
+	// session b must not inherit a's pending request
+	r := chat(t, ts, "b", "precautions for Aspirin")
+	if !strings.Contains(r.Reply, "Aspirin") {
+		t.Fatalf("cross-session leak? %q", r.Reply)
+	}
+	// a's elicitation still pending
+	r = chat(t, ts, "a", "adult")
+	if !strings.Contains(r.Reply, "Acitretin") {
+		t.Fatalf("session a lost context: %q", r.Reply)
+	}
+}
+
+func TestServerFeedback(t *testing.T) {
+	ts := serverFixture(t)
+	chat(t, ts, "fb", "precautions for Aspirin")
+	resp := postJSON(t, ts.URL+"/feedback", agent.FeedbackRequest{Session: "fb", Thumbs: "down"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback status %d", resp.StatusCode)
+	}
+	// invalid thumbs value
+	resp = postJSON(t, ts.URL+"/feedback", agent.FeedbackRequest{Session: "fb", Thumbs: "sideways"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad thumbs status %d", resp.StatusCode)
+	}
+	// unknown session
+	resp = postJSON(t, ts.URL+"/feedback", agent.FeedbackRequest{Session: "ghost", Thumbs: "up"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost session status %d", resp.StatusCode)
+	}
+}
+
+func TestServerContextEndpoint(t *testing.T) {
+	ts := serverFixture(t)
+	chat(t, ts, "cx", "show me drugs that treat psoriasis")
+	resp, err := http.Get(ts.URL + "/context?session=cx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload["intent"] != "Drugs That Treat Condition" {
+		t.Fatalf("context = %v", payload)
+	}
+	resp2, _ := http.Get(ts.URL + "/context?session=none")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown context status %d", resp2.StatusCode)
+	}
+}
+
+func TestServerClosedSessionEvicted(t *testing.T) {
+	ts := serverFixture(t)
+	chat(t, ts, "bye", "precautions for Aspirin")
+	r := chat(t, ts, "bye", "goodbye")
+	if !r.Closed {
+		t.Fatalf("close not reported: %+v", r)
+	}
+	// the session is gone; context returns 404
+	resp, _ := http.Get(ts.URL + "/context?session=bye")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("closed session still present: %d", resp.StatusCode)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	ts := serverFixture(t)
+	// GET /chat is rejected
+	resp, _ := http.Get(ts.URL + "/chat")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /chat status %d", resp.StatusCode)
+	}
+	// missing fields
+	resp = postJSON(t, ts.URL+"/chat", agent.ChatRequest{Session: "", Message: ""})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty chat status %d", resp.StatusCode)
+	}
+	// malformed body
+	resp2, err := http.Post(ts.URL+"/chat", "application/json", strings.NewReader("{bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed chat status %d", resp2.StatusCode)
+	}
+	// health
+	resp3, _ := http.Get(ts.URL + "/healthz")
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp3.StatusCode)
+	}
+}

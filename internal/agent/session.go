@@ -1,0 +1,52 @@
+package agent
+
+import (
+	"ontoconv/internal/dialogue"
+)
+
+// Turn records one exchange plus optional user feedback (the thumbs
+// up/down buttons of §7.2).
+type Turn struct {
+	User  string
+	Agent string
+	// Intent the agent routed to ("" for fallback).
+	Intent string
+	// Answered marks turns where a KB query was executed.
+	Answered bool
+	// Feedback: 0 none, +1 thumbs up, -1 thumbs down.
+	Feedback int
+}
+
+// Session is one user conversation: persistent context plus transcript.
+type Session struct {
+	Ctx   *dialogue.Context
+	Turns []Turn
+}
+
+// NewSession returns a fresh session.
+func NewSession() *Session {
+	return &Session{Ctx: dialogue.NewContext()}
+}
+
+// Feedback records thumbs up/down on the most recent turn.
+func (s *Session) Feedback(up bool) {
+	if len(s.Turns) == 0 {
+		return
+	}
+	if up {
+		s.Turns[len(s.Turns)-1].Feedback = 1
+	} else {
+		s.Turns[len(s.Turns)-1].Feedback = -1
+	}
+}
+
+// LastTurn returns the most recent turn, or nil.
+func (s *Session) LastTurn() *Turn {
+	if len(s.Turns) == 0 {
+		return nil
+	}
+	return &s.Turns[len(s.Turns)-1]
+}
+
+// Closed reports whether the conversation has been closed.
+func (s *Session) Closed() bool { return s.Ctx.Closed }

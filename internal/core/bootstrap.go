@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ontoconv/internal/kb"
+	"ontoconv/internal/nlq"
+	"ontoconv/internal/ontogen"
+	"ontoconv/internal/ontology"
+)
+
+// Config collects every knob of the offline bootstrapping process
+// (Figure 1a). Zero values select the defaults used by the experiments.
+type Config struct {
+	KeyConcepts       KeyConceptConfig
+	Phrases           Phrases
+	ExamplesPerIntent int
+	Seed              int64
+	Entities          EntityConfig
+	Feedback          Feedback
+	// IncludeConversationManagement appends the 14 generic intents.
+	IncludeConversationManagement bool
+}
+
+// DefaultConfig returns the configuration used throughout the
+// reproduction.
+func DefaultConfig() Config {
+	return Config{
+		KeyConcepts:       DefaultKeyConceptConfig(),
+		Phrases:           DefaultPhrases(),
+		ExamplesPerIntent: 36,
+		Seed:              7,
+		Entities: EntityConfig{
+			ValueEntityMaxValues: 10,
+		},
+		IncludeConversationManagement: true,
+	}
+}
+
+// Bootstrap runs the complete offline process of §4 over an ontology and
+// its knowledge base: concept analysis, pattern extraction, SME structural
+// feedback, training-example generation, template generation, entity
+// extraction, general-entity and conversation-management intents, SME
+// renames and prior-query augmentation, and query-completion metadata.
+func Bootstrap(o *ontology.Ontology, base *kb.KB, cfg Config) (*Space, error) {
+	if cfg.ExamplesPerIntent <= 0 {
+		cfg.ExamplesPerIntent = 36
+	}
+	if cfg.KeyConcepts.MaxKeep == 0 {
+		cfg.KeyConcepts = DefaultKeyConceptConfig()
+	}
+	if len(cfg.Phrases.Lookup) == 0 {
+		cfg.Phrases = DefaultPhrases()
+	}
+
+	// 1. key and dependent concepts (§4.2.1)
+	an := AnalyzeConcepts(o, base, cfg.KeyConcepts)
+	if len(an.KeyConcepts) == 0 {
+		return nil, fmt.Errorf("core: no key concepts identified")
+	}
+
+	// 2. query patterns -> intents (§4.2.1)
+	intents := ExtractPatterns(o, an)
+	if len(intents) == 0 {
+		return nil, fmt.Errorf("core: no query patterns extracted")
+	}
+
+	// 3. SME structural feedback (§4.2.2)
+	intents, err := applyStructural(intents, cfg.Feedback)
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. training examples (§4.3.1)
+	surfaces := ConceptSurfaces(o, cfg.Entities.ConceptSynonyms)
+	GenerateExamples(intents, base, o, cfg.Phrases, surfaces, cfg.ExamplesPerIntent, cfg.Seed)
+
+	// 5. structured query templates via the NLQ service (§4.4)
+	svc := nlq.New(o)
+	valueEntityName := func(concept, property string) string {
+		return ontogen.ConceptName(property)
+	}
+	for i := range intents {
+		if err := buildTemplate(svc, o, &intents[i], valueEntityName); err != nil {
+			return nil, err
+		}
+	}
+
+	space := &Space{
+		KeyConcepts:       an.KeyConcepts,
+		DependentConcepts: an.AllDependents,
+	}
+	for _, in := range intents {
+		space.Intents = append(space.Intents, in.intent)
+	}
+
+	// 6. entity extraction (§4.5)
+	entCfg := cfg.Entities
+	if entCfg.InstanceEntityConcepts == nil {
+		entCfg.InstanceEntityConcepts = an.KeyConcepts
+	}
+	space.Entities = ExtractEntities(o, base, an, entCfg)
+
+	// 7. general entity intents (§6.1 DRUG_GENERAL)
+	for _, concept := range cfg.Feedback.GeneralEntityConcepts {
+		if o.Concept(concept) == nil {
+			return nil, fmt.Errorf("core: general-entity intent for unknown concept %q", concept)
+		}
+		examples := GenerateGeneralEntityExamples(concept, base, o, cfg.ExamplesPerIntent, cfg.Seed+int64(len(concept)))
+		space.Intents = append(space.Intents, Intent{
+			Name:          fmt.Sprintf("%s_GENERAL", upper(concept)),
+			Kind:          GeneralEntityPattern,
+			Examples:      examples,
+			AnswerConcept: concept,
+			Response:      fmt.Sprintf("Would you like to see more about this %s?", lowerFirst(o.Concept(concept).Label)),
+		})
+	}
+
+	// 8. conversation management intents (§5.2 step 3)
+	if cfg.IncludeConversationManagement {
+		space.Intents = append(space.Intents, ConversationManagementIntents()...)
+	}
+
+	// 9. SME renames and prior-query augmentation
+	if err := applyRename(space, cfg.Feedback.Rename); err != nil {
+		return nil, err
+	}
+	if err := AugmentFromPriorQueries(space, cfg.Feedback.PriorQueries); err != nil {
+		return nil, err
+	}
+
+	// 10. query-completion metadata (§4.2.1, end)
+	space.Completion = buildCompletionMeta(an)
+	return space, nil
+}
+
+// buildCompletionMeta creates the two association lists of §4.2.1 that the
+// dialogue uses to complete partial queries.
+func buildCompletionMeta(an ConceptAnalysis) CompletionMeta {
+	meta := CompletionMeta{
+		DependentsOfKey: make(map[string][]string, len(an.KeyConcepts)),
+		KeysOfDependent: make(map[string][]string),
+	}
+	for _, key := range an.KeyConcepts {
+		deps := append([]string(nil), an.Dependents[key]...)
+		meta.DependentsOfKey[key] = deps
+		for _, d := range deps {
+			meta.KeysOfDependent[d] = append(meta.KeysOfDependent[d], key)
+		}
+	}
+	for d := range meta.KeysOfDependent {
+		sort.Strings(meta.KeysOfDependent[d])
+	}
+	return meta
+}
+
+func upper(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func bootstrapped(t *testing.T) *Space {
+	t.Helper()
+	k, o := miniFixture(t)
+	cfg := DefaultConfig()
+	cfg.Entities.ConceptSynonyms = map[string][]string{
+		"Precaution": {"caution", "safe to give"},
+	}
+	cfg.Feedback = Feedback{
+		GeneralEntityConcepts: []string{"Drug"},
+		ValueFilters: map[string][]ValueFilter{
+			"Drug Dosage for Indication": {{
+				Concept: "Dosage", Property: "age_group",
+				Elicitation: "Adult or pediatric?", Required: true,
+			}},
+		},
+	}
+	space, err := Bootstrap(o, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space
+}
+
+func TestBootstrapIntentInventory(t *testing.T) {
+	space := bootstrapped(t)
+	counts := space.CountByKind()
+	if counts[LookupPattern] == 0 || counts[DirectRelationPattern] != 2 ||
+		counts[IndirectRelationPattern] == 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if counts[ConversationPattern] != 14 {
+		t.Fatalf("conversation management = %d, want 14 (§6.1)", counts[ConversationPattern])
+	}
+	if counts[GeneralEntityPattern] != 1 {
+		t.Fatalf("general intents = %d", counts[GeneralEntityPattern])
+	}
+	if space.Intent("DRUG_GENERAL") == nil {
+		t.Fatal("DRUG_GENERAL missing")
+	}
+}
+
+func TestBootstrapTrainingExamples(t *testing.T) {
+	space := bootstrapped(t)
+	in := space.Intent("Precautions of Drug")
+	if in == nil {
+		t.Fatal("intent missing")
+	}
+	if len(in.Examples) == 0 {
+		t.Fatal("no training examples")
+	}
+	seen := map[string]bool{}
+	hasSynonymVariant := false
+	for _, ex := range in.Examples {
+		if seen[ex] {
+			t.Fatalf("duplicate example %q", ex)
+		}
+		seen[ex] = true
+		if strings.Contains(ex, "<@") || strings.Contains(ex, "<#") {
+			t.Fatalf("unexpanded placeholder in %q", ex)
+		}
+		low := strings.ToLower(ex)
+		if strings.Contains(low, "caution") && !strings.Contains(low, "precaution") {
+			hasSynonymVariant = true
+		}
+		// every example names a drug instance
+		hasDrug := false
+		for _, d := range []string{"Aspirin", "Ibuprofen", "Tazarotene", "Benazepril"} {
+			if strings.Contains(ex, d) {
+				hasDrug = true
+			}
+		}
+		if !hasDrug {
+			t.Fatalf("example %q lacks an instance value", ex)
+		}
+	}
+	if !hasSynonymVariant {
+		t.Error("no Table-2 synonym variant among examples; classifier robustness depends on them")
+	}
+}
+
+func TestBootstrapTemplates(t *testing.T) {
+	space := bootstrapped(t)
+	for _, in := range space.Intents {
+		switch in.Kind {
+		case ConversationPattern, GeneralEntityPattern:
+			if in.Template != nil {
+				t.Errorf("%s should have no template", in.Name)
+			}
+			continue
+		}
+		if in.Template == nil {
+			t.Errorf("%s has no template", in.Name)
+			continue
+		}
+		// every required entity param appears in the template
+		params := map[string]bool{}
+		for _, p := range in.Template.Params {
+			params[p] = true
+		}
+		for _, r := range in.Required {
+			if !params[r.Param] {
+				t.Errorf("%s: required param %q missing from template %s", in.Name, r.Param, in.Template.SQL)
+			}
+		}
+	}
+}
+
+func TestBootstrapValueFilterBecomesRequiredEntity(t *testing.T) {
+	space := bootstrapped(t)
+	in := space.Intent("Drug Dosage for Indication")
+	if in == nil {
+		t.Fatal("indirect intent missing")
+	}
+	found := false
+	for _, r := range in.Required {
+		if r.Entity == "AgeGroup" && r.Elicitation == "Adult or pediatric?" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("AgeGroup requirement missing: %+v", in.Required)
+	}
+}
+
+func TestBootstrapEntities(t *testing.T) {
+	space := bootstrapped(t)
+	concepts := space.Entity("Concepts")
+	if concepts == nil || len(concepts.Values) == 0 {
+		t.Fatal("Concepts entity missing")
+	}
+	// union grouping entity (Table 1 "Risk" row)
+	risk := space.Entity("Risk")
+	if risk == nil || len(risk.Values) != 2 {
+		t.Fatalf("Risk grouping entity = %+v", risk)
+	}
+	// instance entity for the key concept
+	drug := space.Entity("Drug")
+	if drug == nil || drug.Kind != "instance" || len(drug.Values) != 4 {
+		t.Fatalf("Drug entity = %+v", drug)
+	}
+	// value entity from the categorical age_group property
+	ag := space.Entity("AgeGroup")
+	if ag == nil || ag.Kind != "value" || len(ag.Values) != 2 {
+		t.Fatalf("AgeGroup entity = %+v", ag)
+	}
+}
+
+func TestBootstrapCompletionMeta(t *testing.T) {
+	space := bootstrapped(t)
+	deps := space.Completion.DependentsOfKey["Drug"]
+	if len(deps) == 0 {
+		t.Fatal("no dependents recorded for Drug")
+	}
+	keys := space.Completion.KeysOfDependent["Precaution"]
+	if len(keys) != 1 || keys[0] != "Drug" {
+		t.Fatalf("KeysOfDependent[Precaution] = %v", keys)
+	}
+}
+
+func TestBootstrapGeneralEntityExamplesAreBareNames(t *testing.T) {
+	space := bootstrapped(t)
+	in := space.Intent("DRUG_GENERAL")
+	for _, ex := range in.Examples {
+		if strings.Contains(ex, " the ") || strings.Contains(ex, "?") {
+			t.Fatalf("general example %q is not a bare entity", ex)
+		}
+	}
+	if len(in.Examples) != 4 { // only 4 drugs exist
+		t.Fatalf("examples = %v", in.Examples)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	k, o := miniFixture(t)
+	cfg := DefaultConfig()
+	cfg.Feedback.GeneralEntityConcepts = []string{"Ghost"}
+	if _, err := Bootstrap(o, k, cfg); err == nil {
+		t.Fatal("unknown general-entity concept must error")
+	}
+	cfg = DefaultConfig()
+	cfg.Feedback.Prune = []string{"No Such Intent"}
+	if _, err := Bootstrap(o, k, cfg); err == nil {
+		t.Fatal("pruning unknown intent must error")
+	}
+	cfg = DefaultConfig()
+	cfg.Feedback.Rename = map[string]string{"Ghost": "New"}
+	if _, err := Bootstrap(o, k, cfg); err == nil {
+		t.Fatal("renaming unknown intent must error")
+	}
+	cfg = DefaultConfig()
+	cfg.Feedback.PriorQueries = map[string][]string{"Ghost": {"x"}}
+	if _, err := Bootstrap(o, k, cfg); err == nil {
+		t.Fatal("augmenting unknown intent must error")
+	}
+	cfg = DefaultConfig()
+	cfg.Feedback.ValueFilters = map[string][]ValueFilter{"Ghost": {{Concept: "Dosage", Property: "age_group"}}}
+	if _, err := Bootstrap(o, k, cfg); err == nil {
+		t.Fatal("value filter on unknown intent must error")
+	}
+}
+
+func TestSMEPruneAndRename(t *testing.T) {
+	k, o := miniFixture(t)
+	cfg := DefaultConfig()
+	cfg.Feedback = Feedback{
+		Prune:  []string{"Risks of Drug"},
+		Rename: map[string]string{"Precautions of Drug": "Safety Lookup"},
+	}
+	space, err := Bootstrap(o, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Intent("Risks of Drug") != nil {
+		t.Fatal("pruned intent still present")
+	}
+	if space.Intent("Safety Lookup") == nil || space.Intent("Precautions of Drug") != nil {
+		t.Fatal("rename not applied")
+	}
+}
+
+func TestSMERenameCollision(t *testing.T) {
+	k, o := miniFixture(t)
+	cfg := DefaultConfig()
+	cfg.Feedback.Rename = map[string]string{"Precautions of Drug": "Risks of Drug"}
+	if _, err := Bootstrap(o, k, cfg); err == nil {
+		t.Fatal("rename collision must error")
+	}
+}
+
+func TestSMEPriorQueriesAugment(t *testing.T) {
+	k, o := miniFixture(t)
+	cfg := DefaultConfig()
+	cfg.Feedback.PriorQueries = map[string][]string{
+		"Precautions of Drug": {"is it safe to give aspirin", "is it safe to give aspirin"},
+	}
+	space, err := Bootstrap(o, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := space.Intent("Precautions of Drug")
+	n := 0
+	for _, ex := range in.Examples {
+		if ex == "is it safe to give aspirin" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("augmented example appears %d times, want deduped 1", n)
+	}
+}
+
+func TestSMEExpectedPattern(t *testing.T) {
+	k, o := miniFixture(t)
+	cfg := DefaultConfig()
+	cfg.Feedback.ExpectedPatterns = []SMEPattern{
+		{Intent: "Precautions of Drug", Text: "Is <@Drug> safe to give?"},
+	}
+	space, err := Bootstrap(o, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := space.Intent("Precautions of Drug")
+	found := false
+	for _, p := range in.Patterns {
+		if p.FromSME {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("SME pattern not recorded")
+	}
+	// and it produced examples
+	hasSafe := false
+	for _, ex := range in.Examples {
+		if strings.Contains(ex, "safe to give") {
+			hasSafe = true
+		}
+	}
+	if !hasSafe {
+		t.Fatal("SME pattern generated no examples")
+	}
+}
+
+func TestConceptSurfaces(t *testing.T) {
+	_, o := miniFixture(t)
+	surfaces := ConceptSurfaces(o, map[string][]string{"Precaution": {"caution"}})
+	got := surfaces["Precaution"]
+	want := map[string]bool{"Precaution": true, "Precautions": true, "caution": true}
+	if len(got) != len(want) {
+		t.Fatalf("surfaces = %v", got)
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("unexpected surface %q", s)
+		}
+	}
+}
+
+func TestSpaceHelpers(t *testing.T) {
+	space := bootstrapped(t)
+	names := space.IntentNames()
+	if len(names) != len(space.Intents) {
+		t.Fatal("IntentNames length")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatal("IntentNames not sorted")
+		}
+	}
+	if space.Intent("Ghost") != nil || space.Entity("Ghost") != nil {
+		t.Fatal("missing lookups must be nil")
+	}
+	if len(space.AllExamples()) == 0 {
+		t.Fatal("AllExamples empty")
+	}
+}

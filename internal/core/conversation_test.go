@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConversationManagementIntentCount(t *testing.T) {
+	cms := ConversationManagementIntents()
+	// the paper's deployment adds exactly 14 (§6.1)
+	if len(cms) != 14 {
+		t.Fatalf("CM intents = %d, want 14", len(cms))
+	}
+	seen := map[string]bool{}
+	for _, in := range cms {
+		if in.Kind != ConversationPattern {
+			t.Errorf("%s kind = %s", in.Name, in.Kind)
+		}
+		if seen[in.Name] {
+			t.Errorf("duplicate CM intent %s", in.Name)
+		}
+		seen[in.Name] = true
+		if len(in.Examples) < 8 {
+			t.Errorf("%s has only %d examples; the classifier needs more", in.Name, len(in.Examples))
+		}
+		if in.Response == "" {
+			t.Errorf("%s has no response", in.Name)
+		}
+		if in.Template != nil {
+			t.Errorf("%s must not carry a query template", in.Name)
+		}
+	}
+}
+
+func TestCMExamplesDistinctAcrossIntents(t *testing.T) {
+	owner := map[string]string{}
+	for _, in := range ConversationManagementIntents() {
+		for _, ex := range in.Examples {
+			if prev, dup := owner[ex]; dup {
+				t.Errorf("example %q appears in both %s and %s", ex, prev, in.Name)
+			}
+			owner[ex] = in.Name
+		}
+	}
+}
+
+func TestDefinitionsGlossary(t *testing.T) {
+	// the transcript's definition (§6.3 line 09) must be present verbatim
+	def, ok := Definitions["effective"]
+	if !ok || !strings.HasPrefix(def, "Effective is the capacity for beneficial change") {
+		t.Fatalf("effective = %q", def)
+	}
+	for term, text := range Definitions {
+		if term != strings.ToLower(term) {
+			t.Errorf("glossary key %q must be lowercase", term)
+		}
+		if len(text) < 20 {
+			t.Errorf("definition of %q too short: %q", term, text)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ontoconv/internal/graph"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/ontogen"
+	"ontoconv/internal/ontology"
+)
+
+// miniKB builds a compact medical-shaped KB directly (drug, indication,
+// treats junction, precaution, risk + union children) so core tests do
+// not depend on the medkb package (which itself depends on core).
+func miniKB(t *testing.T) (*kb.KB, *ontology.Ontology) {
+	t.Helper()
+	k := kb.New()
+	mk := func(s kb.Schema) *kb.Table {
+		tab, err := k.CreateTable(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	drug := mk(kb.Schema{
+		Name: "drug",
+		Columns: []kb.Column{
+			{Name: "drug_id", Type: kb.TextCol, NotNull: true},
+			{Name: "name", Type: kb.TextCol, NotNull: true},
+			{Name: "route", Type: kb.TextCol},
+		},
+		PrimaryKey: "drug_id",
+	})
+	ind := mk(kb.Schema{
+		Name: "indication",
+		Columns: []kb.Column{
+			{Name: "indication_id", Type: kb.TextCol, NotNull: true},
+			{Name: "name", Type: kb.TextCol, NotNull: true},
+		},
+		PrimaryKey: "indication_id",
+	})
+	treats := mk(kb.Schema{
+		Name: "treats",
+		Columns: []kb.Column{
+			{Name: "t_id", Type: kb.TextCol, NotNull: true},
+			{Name: "drug_id", Type: kb.TextCol, NotNull: true},
+			{Name: "indication_id", Type: kb.TextCol, NotNull: true},
+		},
+		PrimaryKey: "t_id",
+		ForeignKeys: []kb.ForeignKey{
+			{Column: "drug_id", RefTable: "drug", RefColumn: "drug_id"},
+			{Column: "indication_id", RefTable: "indication", RefColumn: "indication_id"},
+		},
+	})
+	symptom := mk(kb.Schema{
+		Name: "symptom",
+		Columns: []kb.Column{
+			{Name: "symptom_id", Type: kb.TextCol, NotNull: true},
+			{Name: "indication_id", Type: kb.TextCol, NotNull: true},
+			{Name: "name", Type: kb.TextCol},
+		},
+		PrimaryKey:  "symptom_id",
+		ForeignKeys: []kb.ForeignKey{{Column: "indication_id", RefTable: "indication", RefColumn: "indication_id"}},
+	})
+	dosage := mk(kb.Schema{
+		Name: "dosage",
+		Columns: []kb.Column{
+			{Name: "dosage_id", Type: kb.TextCol, NotNull: true},
+			{Name: "drug_id", Type: kb.TextCol, NotNull: true},
+			{Name: "indication_id", Type: kb.TextCol, NotNull: true},
+			{Name: "description", Type: kb.TextCol},
+			{Name: "age_group", Type: kb.TextCol},
+		},
+		PrimaryKey: "dosage_id",
+		ForeignKeys: []kb.ForeignKey{
+			{Column: "drug_id", RefTable: "drug", RefColumn: "drug_id"},
+			{Column: "indication_id", RefTable: "indication", RefColumn: "indication_id"},
+		},
+	})
+	prec := mk(kb.Schema{
+		Name: "precaution",
+		Columns: []kb.Column{
+			{Name: "precaution_id", Type: kb.TextCol, NotNull: true},
+			{Name: "drug_id", Type: kb.TextCol, NotNull: true},
+			{Name: "category", Type: kb.TextCol},
+			{Name: "description", Type: kb.TextCol},
+		},
+		PrimaryKey:  "precaution_id",
+		ForeignKeys: []kb.ForeignKey{{Column: "drug_id", RefTable: "drug", RefColumn: "drug_id"}},
+	})
+	risk := mk(kb.Schema{
+		Name: "risk",
+		Columns: []kb.Column{
+			{Name: "risk_id", Type: kb.TextCol, NotNull: true},
+			{Name: "drug_id", Type: kb.TextCol, NotNull: true},
+			{Name: "description", Type: kb.TextCol},
+		},
+		PrimaryKey:  "risk_id",
+		ForeignKeys: []kb.ForeignKey{{Column: "drug_id", RefTable: "drug", RefColumn: "drug_id"}},
+	})
+	contra := mk(kb.Schema{
+		Name: "contra_indication",
+		Columns: []kb.Column{
+			{Name: "risk_id", Type: kb.TextCol, NotNull: true},
+			{Name: "reason", Type: kb.TextCol},
+		},
+		PrimaryKey:  "risk_id",
+		ForeignKeys: []kb.ForeignKey{{Column: "risk_id", RefTable: "risk", RefColumn: "risk_id"}},
+	})
+	bbw := mk(kb.Schema{
+		Name: "black_box_warning",
+		Columns: []kb.Column{
+			{Name: "risk_id", Type: kb.TextCol, NotNull: true},
+			{Name: "warning_text", Type: kb.TextCol},
+		},
+		PrimaryKey:  "risk_id",
+		ForeignKeys: []kb.ForeignKey{{Column: "risk_id", RefTable: "risk", RefColumn: "risk_id"}},
+	})
+
+	drugs := []string{"Aspirin", "Ibuprofen", "Tazarotene", "Benazepril"}
+	for i, n := range drugs {
+		drug.MustInsert(kb.Row{dID(i), n, []string{"ORAL", "TOPICAL"}[i%2]})
+	}
+	inds := []string{"Fever", "Psoriasis", "Hypertension"}
+	for i, n := range inds {
+		ind.MustInsert(kb.Row{iID(i), n})
+		symptom.MustInsert(kb.Row{"S" + iID(i), iID(i), []string{"Chills", "Itching"}[i%2]})
+	}
+	pairs := [][2]int{{0, 0}, {1, 0}, {2, 1}, {3, 2}}
+	for i, p := range pairs {
+		treats.MustInsert(kb.Row{tID(i), dID(p[0]), iID(p[1])})
+		for _, ag := range []string{"adult", "pediatric"} {
+			dosage.MustInsert(kb.Row{"DS" + tID(i) + ag, dID(p[0]), iID(p[1]), "10 mg daily (" + ag + ")", ag})
+		}
+	}
+	for i := range drugs {
+		prec.MustInsert(kb.Row{pID(i), dID(i), []string{"Hepatic", "Renal"}[i%2], "Use with caution."})
+		risk.MustInsert(kb.Row{rID(i), dID(i), "A risk."})
+		if i%2 == 0 {
+			contra.MustInsert(kb.Row{rID(i), "Pregnancy"})
+		} else {
+			bbw.MustInsert(kb.Row{rID(i), "Serious events"})
+		}
+	}
+
+	o, err := ontogen.Generate(k, ontogen.DefaultConfig("mini"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SME: collapse the junction like the MDX ontology does. The test
+	// rebuilds it by hand since collapseJunction lives in medkb.
+	rebuilt := ontology.New("mini")
+	for _, c := range o.Concepts {
+		if c.Name == "Treats" {
+			continue
+		}
+		rebuilt.MustAddConcept(c)
+	}
+	for _, p := range o.ObjectProperties {
+		if p.From == "Treats" || p.To == "Treats" {
+			continue
+		}
+		rebuilt.MustAddObjectProperty(p)
+	}
+	rebuilt.IsARelations = o.IsARelations
+	rebuilt.Unions = o.Unions
+	rebuilt.MustAddObjectProperty(ontology.ObjectProperty{
+		Name: "treats", From: "Drug", To: "Indication", Inverse: "is treated by",
+		FromColumn: "drug_id", ToColumn: "indication_id",
+		Via: &ontology.JunctionTable{Table: "treats", FromColumn: "drug_id", ToColumn: "indication_id"},
+	})
+	if err := rebuilt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return k, rebuilt
+}
+
+func dID(i int) string { return "D" + string(rune('0'+i)) }
+func iID(i int) string { return "I" + string(rune('0'+i)) }
+func tID(i int) string { return "T" + string(rune('0'+i)) }
+func pID(i int) string { return "P" + string(rune('0'+i)) }
+func rID(i int) string { return "R" + string(rune('0'+i)) }
+
+var (
+	miniOnce sync.Once
+	miniK    *kb.KB
+	miniO    *ontology.Ontology
+)
+
+func miniFixture(t *testing.T) (*kb.KB, *ontology.Ontology) {
+	t.Helper()
+	miniOnce.Do(func() {
+		miniK, miniO = miniKB(t)
+	})
+	if miniK == nil {
+		t.Skip("fixture failed earlier")
+	}
+	return miniK, miniO
+}
+
+// ---------------------------------------------------------------------------
+// key concepts
+// ---------------------------------------------------------------------------
+
+func TestAnalyzeConceptsKeysAndDependents(t *testing.T) {
+	k, o := miniFixture(t)
+	an := AnalyzeConcepts(o, k, DefaultKeyConceptConfig())
+	hasKey := map[string]bool{}
+	for _, kc := range an.KeyConcepts {
+		hasKey[kc] = true
+	}
+	if !hasKey["Drug"] || !hasKey["Indication"] {
+		t.Fatalf("key concepts = %v, want Drug and Indication", an.KeyConcepts)
+	}
+	// Union parent Risk must never be key.
+	if hasKey["Risk"] {
+		t.Fatalf("union parent Risk must be dependent, keys = %v", an.KeyConcepts)
+	}
+	deps := an.Dependents["Drug"]
+	wantDeps := map[string]bool{"Precaution": true, "Risk": true}
+	for d := range wantDeps {
+		found := false
+		for _, x := range deps {
+			if x == d {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Drug dependents %v missing %s", deps, d)
+		}
+	}
+}
+
+func TestAnalyzeConceptsCentralityExposed(t *testing.T) {
+	k, o := miniFixture(t)
+	an := AnalyzeConcepts(o, k, DefaultKeyConceptConfig())
+	if an.Centrality["Drug"] <= an.Centrality["Precaution"] {
+		t.Fatalf("Drug centrality %v should dominate Precaution %v",
+			an.Centrality["Drug"], an.Centrality["Precaution"])
+	}
+}
+
+func TestAnalyzeConceptsMetricConfigurable(t *testing.T) {
+	k, o := miniFixture(t)
+	for _, m := range []graph.Metric{graph.MetricPageRank, graph.MetricBetweenness, graph.MetricCloseness} {
+		cfg := DefaultKeyConceptConfig()
+		cfg.Metric = m
+		an := AnalyzeConcepts(o, k, cfg)
+		if len(an.KeyConcepts) == 0 {
+			t.Errorf("metric %s found no key concepts", m)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// patterns
+// ---------------------------------------------------------------------------
+
+func analyzed(t *testing.T) (*kb.KB, *ontology.Ontology, ConceptAnalysis) {
+	k, o := miniFixture(t)
+	return k, o, AnalyzeConcepts(o, k, DefaultKeyConceptConfig())
+}
+
+func TestExtractPatternsLookup(t *testing.T) {
+	_, o, an := analyzed(t)
+	intents := ExtractPatterns(o, an)
+	var prec *extractedIntent
+	for i := range intents {
+		if intents[i].intent.Name == "Precautions of Drug" {
+			prec = &intents[i]
+		}
+	}
+	if prec == nil {
+		t.Fatal("Precautions of Drug intent missing")
+	}
+	if prec.intent.Kind != LookupPattern || prec.answer != "Precaution" {
+		t.Fatalf("intent = %+v", prec.intent)
+	}
+	p := prec.intent.Patterns[0]
+	if !strings.Contains(p.Text, "<#Precaution>") || !strings.Contains(p.Text, "<@Drug>") {
+		t.Fatalf("pattern = %q", p.Text)
+	}
+}
+
+func TestExtractPatternsUnionAugmentation(t *testing.T) {
+	_, o, an := analyzed(t)
+	intents := ExtractPatterns(o, an)
+	for _, in := range intents {
+		if in.intent.Name != "Risks of Drug" {
+			continue
+		}
+		// base pattern + one per union child = 3 (paper Figure 4)
+		if len(in.intent.Patterns) != 3 {
+			t.Fatalf("union patterns = %d, want 3: %+v", len(in.intent.Patterns), in.intent.Patterns)
+		}
+		seen := map[string]bool{}
+		for _, p := range in.intent.Patterns {
+			seen[p.DependentConcept] = true
+		}
+		if !seen["ContraIndication"] || !seen["BlackBoxWarning"] {
+			t.Fatalf("children not covered: %+v", in.intent.Patterns)
+		}
+		return
+	}
+	t.Fatal("Risks of Drug intent missing")
+}
+
+func TestExtractPatternsDirectRelation(t *testing.T) {
+	_, o, an := analyzed(t)
+	intents := ExtractPatterns(o, an)
+	var fwd, inv *extractedIntent
+	for i := range intents {
+		switch intents[i].intent.Name {
+		case "Drugs That Treats Indication":
+			fwd = &intents[i]
+		case "Indications Is Treated By Drug":
+			inv = &intents[i]
+		}
+	}
+	if fwd == nil || inv == nil {
+		names := []string{}
+		for _, in := range intents {
+			names = append(names, in.intent.Name)
+		}
+		t.Fatalf("relationship intents missing; have %v", names)
+	}
+	if fwd.answer != "Drug" || fwd.filters[0].concept != "Indication" {
+		t.Fatalf("forward grounding = %+v", fwd)
+	}
+	if inv.answer != "Indication" || inv.filters[0].concept != "Drug" {
+		t.Fatalf("inverse grounding = %+v", inv)
+	}
+	if !inv.intent.Patterns[0].Inverse {
+		t.Fatal("inverse pattern not marked")
+	}
+}
+
+func TestExtractPatternsDeterministic(t *testing.T) {
+	_, o, an := analyzed(t)
+	a := ExtractPatterns(o, an)
+	b := ExtractPatterns(o, an)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].intent.Name != b[i].intent.Name {
+			t.Fatalf("order differs at %d: %q vs %q", i, a[i].intent.Name, b[i].intent.Name)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// text helpers
+// ---------------------------------------------------------------------------
+
+func TestPluralize(t *testing.T) {
+	cases := map[string]string{
+		"Precaution":       "Precautions",
+		"Dose Adjustment":  "Dose Adjustments",
+		"Efficacy":         "Efficacies",
+		"Uses":             "Uses",
+		"Pharmacokinetics": "Pharmacokinetics",
+		"Status":           "Status",
+		"Class":            "Classes",
+		"Risk":             "Risks",
+		"Brand":            "Brands",
+		"":                 "",
+	}
+	for in, want := range cases {
+		if got := Pluralize(in); got != want {
+			t.Errorf("Pluralize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPluralVerb(t *testing.T) {
+	cases := map[string]string{
+		"treats": "treat", "causes": "cause", "has": "have",
+		"carries": "carry", "is": "are", "interacts": "interact",
+		"passes": "pass",
+	}
+	for in, want := range cases {
+		if got := pluralVerb(in); got != want {
+			t.Errorf("pluralVerb(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSlotAndTitle(t *testing.T) {
+	if Slot("Drug") != "<@Drug>" {
+		t.Fatal("Slot format")
+	}
+	if titleCase("is treated by") != "Is Treated By" {
+		t.Fatalf("titleCase = %q", titleCase("is treated by"))
+	}
+	if lowerFirst("Drug Name") != "drug Name" {
+		t.Fatal("lowerFirst")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sort"
+
+	"ontoconv/internal/kb"
+	"ontoconv/internal/ontogen"
+	"ontoconv/internal/ontology"
+)
+
+// EntityConfig tunes entity extraction (§4.5).
+type EntityConfig struct {
+	// ConceptSynonyms maps concept name -> surface synonyms (Table 2).
+	ConceptSynonyms map[string][]string
+	// InstanceSynonyms maps concept -> instance value -> synonyms
+	// (brand names, base+salt descriptions, §6.1).
+	InstanceSynonyms map[string]map[string][]string
+	// ValueSynonyms maps value-entity name -> value -> synonyms
+	// ("pediatric" -> children, kids, …).
+	ValueSynonyms map[string]map[string][]string
+	// ValueEntityMaxValues caps the distinct count for a categorical
+	// property to become a value entity (e.g. age_group with 2).
+	ValueEntityMaxValues int
+	// InstanceEntityConcepts forces instance extraction for these
+	// concepts even when their display property is not categorical.
+	InstanceEntityConcepts []string
+}
+
+// ExtractEntities populates the conversation-space entities (§4.5):
+//  1. every ontology concept as a value of the "Concepts" entity, plus a
+//     grouping entity for each union/inheritance parent (Table 1);
+//  2. instance entities for key concepts and categorical dependent
+//     concepts, values pulled from the KB;
+//  3. value entities for small categorical data properties;
+//  4. synonyms merged in from the SME dictionaries.
+func ExtractEntities(o *ontology.Ontology, base *kb.KB, an ConceptAnalysis, cfg EntityConfig) []EntityDef {
+	var defs []EntityDef
+
+	// 1a. all concepts under one "Concepts" entity. Surface forms cover
+	// the label, its plural (Table 1 lists "Precautions"), and the SME
+	// synonym dictionary.
+	conceptDef := EntityDef{Name: "Concepts", Kind: "concept"}
+	for _, c := range o.Concepts {
+		v := EntityValue{Value: c.Name}
+		label := c.Label
+		if label == "" {
+			label = c.Name
+		}
+		if label != c.Name {
+			v.Synonyms = append(v.Synonyms, label)
+		}
+		if pl := Pluralize(label); pl != label && pl != c.Name {
+			v.Synonyms = append(v.Synonyms, pl)
+		}
+		v.Synonyms = append(v.Synonyms, cfg.ConceptSynonyms[c.Name]...)
+		conceptDef.Values = append(conceptDef.Values, v)
+	}
+	defs = append(defs, conceptDef)
+
+	// 1b. grouping entities for union and inheritance parents
+	for _, u := range o.Unions {
+		def := EntityDef{Name: u.Parent, Kind: "concept", Concept: u.Parent}
+		for _, ch := range u.Children {
+			def.Values = append(def.Values, EntityValue{Value: ch, Synonyms: cfg.ConceptSynonyms[ch]})
+		}
+		defs = append(defs, def)
+	}
+	isUnionParent := map[string]bool{}
+	for _, u := range o.Unions {
+		isUnionParent[u.Parent] = true
+	}
+	parents := map[string][]string{}
+	for _, r := range o.IsARelations {
+		parents[r.Parent] = append(parents[r.Parent], r.Child)
+	}
+	parentNames := make([]string, 0, len(parents))
+	for p := range parents {
+		parentNames = append(parentNames, p)
+	}
+	sort.Strings(parentNames)
+	for _, p := range parentNames {
+		if isUnionParent[p] {
+			continue // already covered by the union grouping
+		}
+		def := EntityDef{Name: p, Kind: "concept", Concept: p}
+		children := parents[p]
+		sort.Strings(children)
+		for _, ch := range children {
+			def.Values = append(def.Values, EntityValue{Value: ch, Synonyms: cfg.ConceptSynonyms[ch]})
+		}
+		defs = append(defs, def)
+	}
+
+	// 2. instance entities
+	forced := map[string]bool{}
+	for _, c := range cfg.InstanceEntityConcepts {
+		forced[c] = true
+	}
+	candidates := append([]string(nil), an.KeyConcepts...)
+	candidates = append(candidates, an.AllDependents...)
+	seenInstanceDef := map[string]bool{}
+	for _, name := range candidates {
+		if seenInstanceDef[name] {
+			continue
+		}
+		seenInstanceDef[name] = true
+		c := o.Concept(name)
+		if c == nil || c.Table == "" || c.DisplayProperty == "" {
+			continue
+		}
+		isKeyC := false
+		for _, k := range an.KeyConcepts {
+			if k == name {
+				isKeyC = true
+			}
+		}
+		dp := o.Property(name, c.DisplayProperty)
+		if !isKeyC && !forced[name] && (dp == nil || !dp.Categorical) {
+			continue
+		}
+		t := base.Table(c.Table)
+		if t == nil {
+			continue
+		}
+		def := EntityDef{Name: name, Kind: "instance", Concept: name}
+		for _, v := range t.DistinctStrings(c.DisplayProperty) {
+			def.Values = append(def.Values, EntityValue{Value: v, Synonyms: cfg.InstanceSynonyms[name][v]})
+		}
+		if len(def.Values) > 0 {
+			defs = append(defs, def)
+		}
+	}
+
+	// 3. value entities from small categorical properties
+	maxVals := cfg.ValueEntityMaxValues
+	if maxVals <= 0 {
+		maxVals = 10
+	}
+	valueDefs := map[string]*EntityDef{}
+	var valueOrder []string
+	conceptsOfInterest := append(append([]string(nil), an.KeyConcepts...), an.AllDependents...)
+	seenConcept := map[string]bool{}
+	for _, name := range conceptsOfInterest {
+		if seenConcept[name] {
+			continue
+		}
+		seenConcept[name] = true
+		c := o.Concept(name)
+		if c == nil || c.Table == "" {
+			continue
+		}
+		t := base.Table(c.Table)
+		if t == nil {
+			continue
+		}
+		for _, p := range c.DataProperties {
+			if !p.Categorical || p.Name == c.DisplayProperty {
+				continue
+			}
+			vals := t.DistinctStrings(p.Name)
+			if len(vals) < 2 || len(vals) > maxVals {
+				continue
+			}
+			defName := ontogen.ConceptName(p.Name)
+			def, ok := valueDefs[defName]
+			if !ok {
+				def = &EntityDef{Name: defName, Kind: "value", Concept: name, Property: p.Name}
+				valueDefs[defName] = def
+				valueOrder = append(valueOrder, defName)
+			}
+			existing := map[string]bool{}
+			for _, v := range def.Values {
+				existing[v.Value] = true
+			}
+			for _, v := range vals {
+				if !existing[v] {
+					def.Values = append(def.Values, EntityValue{Value: v, Synonyms: cfg.ValueSynonyms[defName][v]})
+				}
+			}
+		}
+	}
+	sort.Strings(valueOrder)
+	for _, n := range valueOrder {
+		def := valueDefs[n]
+		sort.Slice(def.Values, func(i, j int) bool { return def.Values[i].Value < def.Values[j].Value })
+		defs = append(defs, *def)
+	}
+	return defs
+}

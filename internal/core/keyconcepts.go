@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sort"
+
+	"ontoconv/internal/graph"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/ontology"
+)
+
+// KeyConceptConfig tunes key/dependent-concept discovery (§4.2.1).
+type KeyConceptConfig struct {
+	// Metric selects the centrality measure run over the ontology graph.
+	Metric graph.Metric
+	// MinKeep/MaxKeep bound the statistical-segregation cut.
+	MinKeep, MaxKeep int
+	// DependentMaxDistinct qualifies a neighbor as a dependent concept
+	// when its table has at most this many rows per key instance — i.e.
+	// it reads like a complex attribute rather than an entity in its own
+	// right — or when it has at least one categorical data property.
+	DependentMaxRowsPerKey float64
+	// UseSpecialEdges includes isA and unionOf edges in the centrality
+	// graph. Off by default: subtype and union-member concepts are
+	// alternative representations of their parent, and counting those
+	// edges inflates the parent's centrality (the paper's Figure 2 marks
+	// union/inheritance parents as *dependent* concepts with special
+	// semantics, not key concepts).
+	UseSpecialEdges bool
+	// AllowSpecialParents lets union and isA parents become key
+	// concepts. Off by default, for the same Figure 2 reason.
+	AllowSpecialParents bool
+}
+
+// DefaultKeyConceptConfig mirrors the paper's setup: degree centrality
+// with a small key set.
+func DefaultKeyConceptConfig() KeyConceptConfig {
+	return KeyConceptConfig{
+		Metric:                 graph.MetricDegree,
+		MinKeep:                2,
+		MaxKeep:                6,
+		DependentMaxRowsPerKey: 16,
+	}
+}
+
+// ConceptAnalysis is the outcome of key/dependent discovery.
+type ConceptAnalysis struct {
+	KeyConcepts []string
+	// Dependents maps each key concept to its dependent concepts, sorted.
+	Dependents map[string][]string
+	// AllDependents is the union of dependents, sorted.
+	AllDependents []string
+	// Centrality holds the raw scores for diagnostics/ablation.
+	Centrality graph.Centrality
+}
+
+// AnalyzeConcepts runs centrality analysis plus statistical segregation to
+// identify key concepts, then walks each key concept's immediate
+// neighborhood, qualifying dependent concepts via KB data statistics.
+func AnalyzeConcepts(o *ontology.Ontology, base *kb.KB, cfg KeyConceptConfig) ConceptAnalysis {
+	g := o.RelationGraph()
+	if cfg.UseSpecialEdges {
+		g = o.Graph()
+	}
+	cent := graph.Compute(g, cfg.Metric)
+	if !cfg.AllowSpecialParents {
+		// Union and inheritance parents are dependent concepts with
+		// special semantics (Figure 2), never key concepts.
+		for _, u := range o.Unions {
+			delete(cent, u.Parent)
+		}
+		for _, r := range o.IsARelations {
+			delete(cent, r.Parent)
+		}
+	}
+	keys := graph.Segregate(cent, cfg.MinKeep, cfg.MaxKeep)
+	sort.Strings(keys)
+	isKey := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		isKey[k] = true
+	}
+
+	an := ConceptAnalysis{KeyConcepts: keys, Dependents: make(map[string][]string), Centrality: cent}
+	allDeps := map[string]bool{}
+	for _, key := range keys {
+		var deps []string
+		for _, nb := range o.Neighborhood(key) {
+			if isKey[nb] {
+				continue
+			}
+			if qualifiesAsDependent(o, base, key, nb, cfg) {
+				deps = append(deps, nb)
+				allDeps[nb] = true
+			}
+		}
+		sort.Strings(deps)
+		an.Dependents[key] = deps
+	}
+	for d := range allDeps {
+		an.AllDependents = append(an.AllDependents, d)
+	}
+	sort.Strings(an.AllDependents)
+	return an
+}
+
+// qualifiesAsDependent applies the data-statistics test of §4.2.1: the
+// neighbor "can help describe the properties or attributes of the key
+// concept" — it has a categorical data property, or its instances are few
+// relative to the key concept's (a complex attribute, not a standalone
+// entity).
+func qualifiesAsDependent(o *ontology.Ontology, base *kb.KB, key, neighbor string, cfg KeyConceptConfig) bool {
+	c := o.Concept(neighbor)
+	if c == nil {
+		return false
+	}
+	for _, dp := range c.DataProperties {
+		if dp.Categorical {
+			return true
+		}
+	}
+	if base == nil || c.Table == "" {
+		return false
+	}
+	nt := base.Table(c.Table)
+	kc := o.Concept(key)
+	if nt == nil || kc == nil || kc.Table == "" {
+		return false
+	}
+	kt := base.Table(kc.Table)
+	if kt == nil || kt.Len() == 0 {
+		return false
+	}
+	ratio := float64(nt.Len()) / float64(kt.Len())
+	return ratio <= cfg.DependentMaxRowsPerKey
+}

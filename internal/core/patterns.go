@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ontoconv/internal/ontology"
+)
+
+// relStep is one hop of a relationship path over object properties,
+// traversed forward (From->To) or reversed.
+type relStep struct {
+	prop     ontology.ObjectProperty
+	reversed bool
+}
+
+func (s relStep) other(node string) string {
+	if s.prop.From == node {
+		return s.prop.To
+	}
+	return s.prop.From
+}
+
+// verbLabel renders the relation in the traversal direction: forward uses
+// the property name ("treats"); reversed uses the declared inverse
+// ("is treated by") or a generic fallback.
+func (s relStep) verbLabel() string {
+	if !s.reversed {
+		return s.prop.Name
+	}
+	if s.prop.Inverse != "" {
+		return s.prop.Inverse
+	}
+	return "is " + s.prop.Name + " of"
+}
+
+// extractedIntent is an intent under construction: patterns plus the
+// ontology grounding needed later for templates and entities.
+type extractedIntent struct {
+	intent Intent
+	// answer concept and relationship path(s) for template generation
+	answer  string
+	filters []patternFilter
+	// valueFilters are SME-added constraints on data properties of
+	// concepts reachable from the answer ("Adult or pediatric?" on the
+	// treatment request, Table 4).
+	valueFilters []ValueFilter
+}
+
+// ValueFilter constrains a categorical data property of a concept and
+// surfaces as a (usually required) value entity of the intent.
+type ValueFilter struct {
+	Concept     string
+	Property    string
+	Elicitation string
+	Default     string
+	Required    bool
+}
+
+// patternFilter records how a filter concept connects to the answer.
+type patternFilter struct {
+	concept string
+	// path is the relation-name sequence from the answer concept; empty
+	// means shortest path.
+	path []string
+	// required marks the filter as a required entity.
+	required bool
+}
+
+// ExtractPatterns derives the query patterns and intents of §4.2.1 from
+// the concept analysis: lookup patterns (with union and inheritance
+// augmentation), direct relationship patterns (forward and inverse), and
+// indirect (multi-hop) relationship patterns.
+func ExtractPatterns(o *ontology.Ontology, an ConceptAnalysis) []extractedIntent {
+	var out []extractedIntent
+	out = append(out, lookupIntents(o, an)...)
+	out = append(out, directRelationIntents(o, an)...)
+	out = append(out, indirectRelationIntents(o, an)...)
+	return out
+}
+
+// lookupIntents builds one intent per (key concept, dependent concept)
+// pair (§4.2.1 "Lookup pattern"). Union and inheritance parents get their
+// children's patterns folded into the same intent (Cases 1 and 2).
+func lookupIntents(o *ontology.Ontology, an ConceptAnalysis) []extractedIntent {
+	var out []extractedIntent
+	keys := append([]string(nil), an.KeyConcepts...)
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, dep := range an.Dependents[key] {
+			depC := o.Concept(dep)
+			if depC == nil {
+				continue
+			}
+			depLabel := Pluralize(depC.Label)
+			pattern := QueryPattern{
+				Text:             fmt.Sprintf("Show me the <#%s> for %s?", dep, Slot(key)),
+				KeyConcept:       key,
+				DependentConcept: dep,
+			}
+			in := extractedIntent{
+				intent: Intent{
+					Name:          fmt.Sprintf("%s of %s", depLabel, o.Concept(key).Label),
+					Kind:          LookupPattern,
+					Patterns:      []QueryPattern{pattern},
+					AnswerConcept: dep,
+					Response:      fmt.Sprintf("Here are the %s for {{%s}}:", lowerLabel(depLabel), key),
+				},
+				answer:  dep,
+				filters: []patternFilter{{concept: key, required: true}},
+			}
+			// Case 1: union — one extra pattern per constituent concept,
+			// all under this single intent.
+			if children := o.UnionOf(dep); children != nil {
+				for _, ch := range children {
+					in.intent.Patterns = append(in.intent.Patterns, QueryPattern{
+						Text:             fmt.Sprintf("Show me the <#%s> associated with %s?", ch, Slot(key)),
+						KeyConcept:       key,
+						DependentConcept: ch,
+					})
+				}
+			} else if children := o.Children(dep); len(children) > 0 {
+				// Case 2: inheritance — one extra pattern per child.
+				for _, ch := range children {
+					in.intent.Patterns = append(in.intent.Patterns, QueryPattern{
+						Text:             fmt.Sprintf("Show me the <#%s> for %s?", ch, Slot(key)),
+						KeyConcept:       key,
+						DependentConcept: ch,
+					})
+				}
+			}
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// directRelationIntents builds intents for pairs of key concepts joined by
+// a one-hop relationship (§4.2.1 "Relationship pattern", Case 1): a
+// forward-direction intent and an inverse-direction intent per relation.
+func directRelationIntents(o *ontology.Ontology, an ConceptAnalysis) []extractedIntent {
+	isKey := map[string]bool{}
+	for _, k := range an.KeyConcepts {
+		isKey[k] = true
+	}
+	var out []extractedIntent
+	for _, p := range o.ObjectProperties {
+		if !isKey[p.From] || !isKey[p.To] || p.From == p.To {
+			continue
+		}
+		fromC, toC := o.Concept(p.From), o.Concept(p.To)
+		// Forward: "What Drug treats <@Indication>?" — answer From,
+		// filter To.
+		fwd := extractedIntent{
+			intent: Intent{
+				Name: fmt.Sprintf("%s That %s %s", Pluralize(fromC.Label), titleCase(p.Name), toC.Label),
+				Kind: DirectRelationPattern,
+				Patterns: []QueryPattern{{
+					Text:         fmt.Sprintf("What <#%s> %s %s?", p.From, p.Name, Slot(p.To)),
+					KeyConcept:   p.To,
+					OtherConcept: p.From,
+					Relation:     p.Name,
+				}},
+				AnswerConcept: p.From,
+				Response:      fmt.Sprintf("Here are the %s that %s {{%s}}:", lowerLabel(Pluralize(fromC.Label)), pluralVerb(p.Name), p.To),
+			},
+			answer:  p.From,
+			filters: []patternFilter{{concept: p.To, path: []string{p.Name}, required: true}},
+		}
+		out = append(out, fwd)
+		// Inverse: "What Indications are treated by <@Drug>?" — answer
+		// To, filter From.
+		inverse := p.Inverse
+		if inverse == "" {
+			inverse = "are related via " + p.Name + " to"
+		}
+		inv := extractedIntent{
+			intent: Intent{
+				Name: fmt.Sprintf("%s %s %s", Pluralize(toC.Label), titleCase(inverse), fromC.Label),
+				Kind: DirectRelationPattern,
+				Patterns: []QueryPattern{{
+					Text:         fmt.Sprintf("What <#%s> %s %s?", p.To, inverse, Slot(p.From)),
+					KeyConcept:   p.From,
+					OtherConcept: p.To,
+					Relation:     p.Name,
+					Inverse:      true,
+				}},
+				AnswerConcept: p.To,
+				Response:      fmt.Sprintf("Here are the %s %s {{%s}}:", lowerLabel(Pluralize(toC.Label)), inverse, p.From),
+			},
+			answer:  p.To,
+			filters: []patternFilter{{concept: p.From, path: []string{p.Name}, required: true}},
+		}
+		out = append(out, inv)
+	}
+	return out
+}
+
+// indirectRelationIntents builds intents for pairs of key concepts joined
+// through exactly one intermediate non-key concept (§4.2.1 Case 2,
+// Figure 6: Drug—Dosage—Indication).
+func indirectRelationIntents(o *ontology.Ontology, an ConceptAnalysis) []extractedIntent {
+	isKey := map[string]bool{}
+	for _, k := range an.KeyConcepts {
+		isKey[k] = true
+	}
+	// adjacency over object properties, both directions
+	adj := map[string][]relStep{}
+	for _, p := range o.ObjectProperties {
+		adj[p.From] = append(adj[p.From], relStep{prop: p})
+		adj[p.To] = append(adj[p.To], relStep{prop: p, reversed: true})
+	}
+	seen := map[string]bool{}
+	var out []extractedIntent
+	keys := append([]string(nil), an.KeyConcepts...)
+	sort.Strings(keys)
+	for _, k1 := range keys {
+		for _, s1 := range adj[k1] {
+			mid := s1.other(k1)
+			if isKey[mid] {
+				continue
+			}
+			for _, s2 := range adj[mid] {
+				k2 := s2.other(mid)
+				if !isKey[k2] || k2 == k1 {
+					continue
+				}
+				// A hop into mid via s1 then out via s2; dedupe the
+				// unordered (k1, mid, k2) triple with its relations.
+				r1, r2 := relPair(s1, s2, k1 < k2)
+				sig := fmt.Sprintf("%s|%s|%s|%s|%s", min2(k1, k2), mid, max2(k1, k2), r1, r2)
+				if seen[sig] {
+					continue
+				}
+				seen[sig] = true
+				midC, k1C, k2C := o.Concept(mid), o.Concept(k1), o.Concept(k2)
+				midLabel := midC.Label
+				in := extractedIntent{
+					intent: Intent{
+						Name: fmt.Sprintf("%s %s for %s", k1C.Label, midLabel, k2C.Label),
+						Kind: IndirectRelationPattern,
+						Patterns: []QueryPattern{
+							{
+								Text:         fmt.Sprintf("Give me the <#%s> and its <#%s> for %s", k1, mid, Slot(k2)),
+								KeyConcept:   k2,
+								OtherConcept: k1,
+								Intermediate: mid,
+								Relation:     s2.prop.Name,
+							},
+							{
+								Text:         fmt.Sprintf("Give me the <#%s> for %s for %s", mid, Slot(k1), Slot(k2)),
+								KeyConcept:   k1,
+								OtherConcept: k2,
+								Intermediate: mid,
+								Relation:     s2.prop.Name,
+							},
+						},
+						AnswerConcept: mid,
+						Response:      fmt.Sprintf("Here is the {{%s}} %s for {{%s}}:", k1, lowerLabel(midLabel), k2),
+					},
+					answer: mid,
+					filters: []patternFilter{
+						{concept: k1, path: []string{s1.prop.Name}, required: true},
+						{concept: k2, path: []string{s2.prop.Name}, required: true},
+					},
+				}
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+func min2(a, b string) string {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b string) string {
+	if a < b {
+		return b
+	}
+	return a
+}
+
+func relPair(s1, s2 relStep, inOrder bool) (string, string) {
+	if inOrder {
+		return s1.prop.Name, s2.prop.Name
+	}
+	return s2.prop.Name, s1.prop.Name
+}

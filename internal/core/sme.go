@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Feedback carries the SME refinements applied to the extracted
+// conversation space (§4.2.2, §4.3.2, §6.1). Every field is optional.
+type Feedback struct {
+	// Rename maps generated intent names to the deployment names
+	// ("Indication Dosage for Drug" -> "Drug Dosage for Condition").
+	Rename map[string]string
+	// Prune removes intents "unlikely to be part of a real world
+	// workload" (§4.2.2), by generated name.
+	Prune []string
+	// ValueFilters adds categorical constraints (with elicitations) to
+	// existing intents, keyed by generated intent name (pre-rename).
+	ValueFilters map[string][]ValueFilter
+	// GeneralEntityConcepts creates a <CONCEPT>_GENERAL intent per named
+	// concept, capturing entity-only utterances (§6.1 DRUG_GENERAL).
+	GeneralEntityConcepts []string
+	// ExpectedPatterns adds SME-identified query patterns: mapped onto an
+	// existing intent when Intent names one, otherwise a warning — new
+	// standalone intents require templates and are added via code.
+	ExpectedPatterns []SMEPattern
+	// PriorQueries augments intent training sets with labelled real user
+	// queries (§4.3.2), keyed by final (post-rename) intent name.
+	PriorQueries map[string][]string
+}
+
+// SMEPattern is one annotation mapping a pattern onto an intent.
+type SMEPattern struct {
+	Intent string
+	Text   string
+}
+
+// applyStructural applies the pre-template parts of the feedback: pruning,
+// value filters and extra patterns. Returns an error for unknown intents
+// so SME files stay in sync with the generated space.
+func applyStructural(intents []extractedIntent, fb Feedback) ([]extractedIntent, error) {
+	byName := map[string]*extractedIntent{}
+	for i := range intents {
+		byName[intents[i].intent.Name] = &intents[i]
+	}
+	for name, vfs := range fb.ValueFilters {
+		in, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("core: sme value filter for unknown intent %q", name)
+		}
+		in.valueFilters = append(in.valueFilters, vfs...)
+	}
+	for _, p := range fb.ExpectedPatterns {
+		in, ok := byName[p.Intent]
+		if !ok {
+			return nil, fmt.Errorf("core: sme pattern for unknown intent %q", p.Intent)
+		}
+		in.intent.Patterns = append(in.intent.Patterns, QueryPattern{Text: p.Text, FromSME: true})
+	}
+	if len(fb.Prune) > 0 {
+		pruned := map[string]bool{}
+		for _, n := range fb.Prune {
+			if _, ok := byName[n]; !ok {
+				return nil, fmt.Errorf("core: sme prune of unknown intent %q", n)
+			}
+			pruned[n] = true
+		}
+		var kept []extractedIntent
+		for _, in := range intents {
+			if !pruned[in.intent.Name] {
+				kept = append(kept, in)
+			}
+		}
+		intents = kept
+	}
+	return intents, nil
+}
+
+// applyRename renames intents per the feedback; collisions are errors.
+func applyRename(space *Space, rename map[string]string) error {
+	if len(rename) == 0 {
+		return nil
+	}
+	names := map[string]bool{}
+	for _, in := range space.Intents {
+		names[in.Name] = true
+	}
+	keys := make([]string, 0, len(rename))
+	for k := range rename {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, old := range keys {
+		nw := rename[old]
+		in := space.Intent(old)
+		if in == nil {
+			return fmt.Errorf("core: sme rename of unknown intent %q", old)
+		}
+		if names[nw] {
+			return fmt.Errorf("core: sme rename collision on %q", nw)
+		}
+		delete(names, old)
+		names[nw] = true
+		in.Name = nw
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the conversation space as indented JSON — the
+// artifact bundle the paper uploads to Watson Assistant ("Uploading the
+// artifacts, including training and test data for intent training,
+// triggers the natural language classifier to train the model", §7).
+func (s *Space) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON loads a conversation space previously written with WriteJSON
+// and validates its internal references.
+func ReadJSON(r io.Reader) (*Space, error) {
+	var s Space
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decode space: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the space's internal consistency: unique intent names,
+// required entities bound to template parameters, and entity references
+// resolving to declared entity definitions.
+func (s *Space) Validate() error {
+	names := map[string]bool{}
+	entityDefs := map[string]bool{}
+	for _, e := range s.Entities {
+		entityDefs[e.Name] = true
+	}
+	for _, in := range s.Intents {
+		if in.Name == "" {
+			return fmt.Errorf("core: intent with empty name")
+		}
+		if names[in.Name] {
+			return fmt.Errorf("core: duplicate intent %q", in.Name)
+		}
+		names[in.Name] = true
+		if in.Template != nil {
+			params := map[string]bool{}
+			for _, p := range in.Template.Params {
+				params[p] = true
+			}
+			for _, req := range in.Required {
+				if !params[req.Param] {
+					return fmt.Errorf("core: intent %q: required param %q not in template", in.Name, req.Param)
+				}
+				if !entityDefs[req.Entity] {
+					return fmt.Errorf("core: intent %q: required entity %q has no definition", in.Name, req.Entity)
+				}
+			}
+		}
+	}
+	return nil
+}

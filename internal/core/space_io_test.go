@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpaceJSONRoundTrip(t *testing.T) {
+	space := bootstrapped(t)
+	var buf bytes.Buffer
+	if err := space.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Intents) != len(space.Intents) {
+		t.Fatalf("intents %d vs %d", len(back.Intents), len(space.Intents))
+	}
+	if len(back.Entities) != len(space.Entities) {
+		t.Fatalf("entities %d vs %d", len(back.Entities), len(space.Entities))
+	}
+	// templates survive with their parameters
+	orig := space.Intent("Precautions of Drug")
+	got := back.Intent("Precautions of Drug")
+	if got == nil || got.Template == nil || got.Template.SQL != orig.Template.SQL {
+		t.Fatalf("template lost: %+v", got)
+	}
+	// a round-tripped template still instantiates
+	if _, err := got.Template.Instantiate(map[string]string{"Drug": "Aspirin"}); err != nil {
+		t.Fatal(err)
+	}
+	// completion metadata survives
+	if len(back.Completion.DependentsOfKey) == 0 {
+		t.Fatal("completion metadata lost")
+	}
+}
+
+func TestReadJSONRejectsBroken(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{bad")); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+	// duplicate intent names
+	dup := `{"intents":[{"name":"A","kind":"lookup","examples":["x"]},{"name":"A","kind":"lookup","examples":["y"]}],"entities":[],"completion":{"dependentsOfKey":{},"keysOfDependent":{}}}`
+	if _, err := ReadJSON(strings.NewReader(dup)); err == nil {
+		t.Fatal("duplicate intents must be rejected")
+	}
+}
+
+func TestValidateRequiredParamMismatch(t *testing.T) {
+	space := bootstrapped(t)
+	broken := *space
+	broken.Intents = append([]Intent(nil), space.Intents...)
+	for i := range broken.Intents {
+		if broken.Intents[i].Template != nil && len(broken.Intents[i].Required) > 0 {
+			cp := broken.Intents[i]
+			cp.Required = append([]EntitySpec(nil), cp.Required...)
+			cp.Required[0].Param = "Ghost"
+			broken.Intents[i] = cp
+			break
+		}
+	}
+	if err := broken.Validate(); err == nil {
+		t.Fatal("param mismatch must fail validation")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ontoconv/internal/nlq"
+	"ontoconv/internal/ontology"
+)
+
+// buildTemplate generates the structured query template for one extracted
+// intent via the NLQ service (§4.4) and wires up the intent's required
+// entity specs with elicitation prompts (Table 3).
+func buildTemplate(svc *nlq.Service, o *ontology.Ontology, in *extractedIntent, valueEntityName func(concept, property string) string) error {
+	req := nlq.Request{Answer: in.answer, Distinct: true}
+	// Relationship answers carry the relation's qualifying properties
+	// (efficacy of treats) so the agent can group the result list.
+	if in.intent.Kind == DirectRelationPattern {
+		req.IncludeRelationProps = true
+	}
+	for _, f := range in.filters {
+		param := f.concept
+		req.Filters = append(req.Filters, nlq.Filter{
+			Concept:  f.concept,
+			Param:    param,
+			PathHint: f.path,
+		})
+		spec := EntitySpec{
+			Entity:      f.concept,
+			Param:       param,
+			Elicitation: elicitationFor(o, f.concept),
+		}
+		if f.required {
+			in.intent.Required = append(in.intent.Required, spec)
+		} else {
+			in.intent.Optional = append(in.intent.Optional, spec)
+		}
+	}
+	for _, vf := range in.valueFilters {
+		entity := valueEntityName(vf.Concept, vf.Property)
+		req.Filters = append(req.Filters, nlq.Filter{
+			Concept:  vf.Concept,
+			Property: vf.Property,
+			Param:    entity,
+		})
+		spec := EntitySpec{
+			Entity:      entity,
+			Param:       entity,
+			Elicitation: vf.Elicitation,
+			Default:     vf.Default,
+		}
+		if vf.Required {
+			in.intent.Required = append(in.intent.Required, spec)
+		} else {
+			in.intent.Optional = append(in.intent.Optional, spec)
+		}
+	}
+	tpl, err := svc.BuildTemplate(req)
+	if err != nil {
+		return fmt.Errorf("core: template for intent %q: %w", in.intent.Name, err)
+	}
+	in.intent.Template = tpl
+	return nil
+}
+
+// elicitationFor renders the agent prompt for a missing required concept
+// entity: "For which drug?".
+func elicitationFor(o *ontology.Ontology, concept string) string {
+	c := o.Concept(concept)
+	label := concept
+	if c != nil && c.Label != "" {
+		label = c.Label
+	}
+	return fmt.Sprintf("For which %s?", strings.ToLower(label))
+}

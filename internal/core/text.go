@@ -1,0 +1,91 @@
+package core
+
+import "strings"
+
+// Pluralize applies simple English pluralization to the last word of a
+// label ("Precaution" -> "Precautions", "Dose Adjustment" ->
+// "Dose Adjustments", "Efficacy" -> "Efficacies").
+func Pluralize(label string) string {
+	words := strings.Fields(label)
+	if len(words) == 0 {
+		return label
+	}
+	last := words[len(words)-1]
+	words[len(words)-1] = pluralWord(last)
+	return strings.Join(words, " ")
+}
+
+func pluralWord(w string) string {
+	lw := strings.ToLower(w)
+	switch {
+	case strings.HasSuffix(lw, "ss"):
+		return w + "es"
+	case strings.HasSuffix(lw, "s"):
+		// already plural-looking ("Uses", "Pharmacokinetics") or a mass
+		// noun ("Status"); leave unchanged
+		return w
+	case strings.HasSuffix(lw, "x") || strings.HasSuffix(lw, "ch") ||
+		strings.HasSuffix(lw, "sh") || strings.HasSuffix(lw, "z"):
+		return w + "es"
+	case strings.HasSuffix(lw, "y") && len(w) > 1 && !isVowel(lw[len(lw)-2]):
+		return w[:len(w)-1] + "ies"
+	default:
+		return w + "s"
+	}
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// Slot renders a pattern placeholder for a concept: "<@Drug>".
+func Slot(concept string) string { return "<@" + concept + ">" }
+
+// lowerFirst lowercases the first rune of s.
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+// lowerLabel lowercases a concept label for use mid-sentence.
+func lowerLabel(s string) string { return strings.ToLower(s) }
+
+// pluralVerb de-conjugates a third-person-singular relation name for a
+// plural subject: "treats" -> "treat", "causes" -> "cause".
+func pluralVerb(v string) string {
+	switch v {
+	case "is":
+		return "are"
+	case "has":
+		return "have"
+	case "does":
+		return "do"
+	}
+	switch {
+	case strings.HasSuffix(v, "sses") || strings.HasSuffix(v, "xes") ||
+		strings.HasSuffix(v, "ches") || strings.HasSuffix(v, "shes") ||
+		strings.HasSuffix(v, "zes"):
+		return v[:len(v)-2]
+	case strings.HasSuffix(v, "ies"):
+		return v[:len(v)-3] + "y"
+	case len(v) > 2 && strings.HasSuffix(v, "s") && !strings.HasSuffix(v, "ss"):
+		return v[:len(v)-1]
+	default:
+		return v
+	}
+}
+
+// titleCase uppercases the first letter of every word.
+func titleCase(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		words[i] = strings.ToUpper(w[:1]) + w[1:]
+	}
+	return strings.Join(words, " ")
+}

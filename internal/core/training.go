@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ontoconv/internal/kb"
+	"ontoconv/internal/ontology"
+)
+
+// Phrases holds the initial-phrase paraphrase lists per pattern kind
+// (§4.3.1: "The initial phrases are provided to the training example
+// generation process as a list, one for each type of query pattern").
+type Phrases struct {
+	Lookup   []string
+	Relation []string
+	Indirect []string
+}
+
+// DefaultPhrases returns the paraphrase lists used by the experiments,
+// seeded with the paper's examples ("Show me", "Tell me about", "Give me").
+func DefaultPhrases() Phrases {
+	return Phrases{
+		Lookup: []string{
+			"Show me", "Tell me about", "Give me", "What are", "List",
+			"Find", "I want to see", "Display", "Can you show me", "I need",
+			"Look up", "Get me",
+		},
+		Relation: []string{
+			"What", "Which", "Show me", "Tell me", "List", "Find", "Give me",
+		},
+		Indirect: []string{
+			"Give me", "Show me", "What is", "Tell me", "Find", "I need",
+		},
+	}
+}
+
+// instanceSource provides KB instance values for a concept's display
+// property, used to fill pattern slots.
+type instanceSource struct {
+	base *kb.KB
+	onto *ontology.Ontology
+	// cache concept -> distinct display values
+	cache map[string][]string
+}
+
+func newInstanceSource(base *kb.KB, o *ontology.Ontology) *instanceSource {
+	return &instanceSource{base: base, onto: o, cache: map[string][]string{}}
+}
+
+// values returns the distinct display values of the concept's instances.
+func (s *instanceSource) values(concept string) []string {
+	if v, ok := s.cache[concept]; ok {
+		return v
+	}
+	var out []string
+	if c := s.onto.Concept(concept); c != nil && c.Table != "" && c.DisplayProperty != "" {
+		if t := s.base.Table(c.Table); t != nil {
+			out = t.DistinctStrings(c.DisplayProperty)
+		}
+	}
+	s.cache[concept] = out
+	return out
+}
+
+// GenerateExamples fills each intent's Examples list (§4.3.1): for every
+// pattern, instance slots (<@Concept>) are replaced with KB instance
+// values, concept-surface slots (<#Concept>) with the concept's label,
+// plural, or a Table 2 synonym, and the pattern's lead-in with paraphrases
+// from the kind's phrase list. perIntent bounds the examples generated per
+// intent; generation is deterministic given seed.
+func GenerateExamples(intents []extractedIntent, base *kb.KB, o *ontology.Ontology, ph Phrases, surfaces map[string][]string, perIntent int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	src := newInstanceSource(base, o)
+	gen := &exampleGen{src: src, surfaces: surfaces, rng: rng}
+	for i := range intents {
+		in := &intents[i]
+		var texts []string
+		seen := map[string]bool{}
+		add := func(t string) {
+			t = strings.TrimSpace(t)
+			if t != "" && !seen[t] {
+				seen[t] = true
+				texts = append(texts, t)
+			}
+		}
+		budgetPerPattern := perIntent / len(in.intent.Patterns)
+		if budgetPerPattern < 1 {
+			budgetPerPattern = 1
+		}
+		for _, p := range in.intent.Patterns {
+			phraseList := phrasesFor(ph, in.intent.Kind)
+			for k := 0; k < budgetPerPattern; k++ {
+				text, ok := gen.instantiate(p.Text)
+				if !ok {
+					break
+				}
+				add(rephrase(text, phraseList, rng))
+			}
+		}
+		in.intent.Examples = append(in.intent.Examples, texts...)
+	}
+}
+
+// ConceptSurfaces builds the surface-form lists used to vary the concept
+// wording of training examples: the concept's label, its plural, and the
+// SME synonym dictionary entries.
+func ConceptSurfaces(o *ontology.Ontology, synonyms map[string][]string) map[string][]string {
+	out := make(map[string][]string, len(o.Concepts))
+	for _, c := range o.Concepts {
+		label := c.Label
+		if label == "" {
+			label = c.Name
+		}
+		list := []string{label}
+		if pl := Pluralize(label); pl != label {
+			list = append(list, pl)
+		}
+		list = append(list, synonyms[c.Name]...)
+		out[c.Name] = list
+	}
+	return out
+}
+
+// exampleGen fills pattern placeholders.
+type exampleGen struct {
+	src      *instanceSource
+	surfaces map[string][]string
+	rng      *rand.Rand
+}
+
+// instantiate replaces every <@Concept> slot with a random instance value
+// and every <#Concept> slot with a random concept surface form.
+func (g *exampleGen) instantiate(pattern string) (string, bool) {
+	out := pattern
+	for {
+		ai := strings.Index(out, "<@")
+		ci := strings.Index(out, "<#")
+		start, instance := ai, true
+		if start < 0 || (ci >= 0 && ci < start) {
+			start, instance = ci, false
+		}
+		if start < 0 {
+			return out, true
+		}
+		end := strings.Index(out[start:], ">")
+		if end < 0 {
+			return out, false
+		}
+		concept := out[start+2 : start+end]
+		var v string
+		if instance {
+			vals := g.src.values(concept)
+			if len(vals) == 0 {
+				return "", false
+			}
+			v = vals[g.rng.Intn(len(vals))]
+		} else {
+			ss := g.surfaces[concept]
+			if len(ss) == 0 {
+				v = concept
+			} else {
+				v = ss[g.rng.Intn(len(ss))]
+			}
+		}
+		out = out[:start] + v + out[start+end+1:]
+	}
+}
+
+func phrasesFor(ph Phrases, kind PatternKind) []string {
+	switch kind {
+	case DirectRelationPattern:
+		return ph.Relation
+	case IndirectRelationPattern:
+		return ph.Indirect
+	default:
+		return ph.Lookup
+	}
+}
+
+// rephrase swaps the pattern's lead-in phrase for a random paraphrase and
+// applies small surface variations (question mark, "the" dropping).
+func rephrase(text string, phrases []string, rng *rand.Rand) string {
+	out := text
+	// Replace a known lead-in with a random one.
+	leads := []string{"Show me the", "Show me", "Give me the", "Give me", "What"}
+	for _, lead := range leads {
+		if strings.HasPrefix(out, lead+" ") {
+			repl := phrases[rng.Intn(len(phrases))]
+			rest := strings.TrimPrefix(out, lead+" ")
+			// keep a "the" for lead-ins that read better with it
+			if strings.HasSuffix(lead, "the") && !strings.HasPrefix(rest, "the ") {
+				switch repl {
+				case "What are", "List", "Find", "Look up", "Get me":
+					out = repl + " the " + rest
+				default:
+					out = repl + " the " + rest
+				}
+			} else {
+				out = repl + " " + rest
+			}
+			break
+		}
+	}
+	// Randomly vary the trailing question mark.
+	out = strings.TrimSuffix(out, "?")
+	if rng.Intn(2) == 0 {
+		out += "?"
+	}
+	// Occasionally drop a leading "the" after the phrase for keyword-ish
+	// variants.
+	if rng.Intn(4) == 0 {
+		out = strings.Replace(out, " the ", " ", 1)
+	}
+	return out
+}
+
+// GenerateGeneralEntityExamples creates the examples for an entity-only
+// intent such as DRUG_GENERAL (§6.1): bare instance names.
+func GenerateGeneralEntityExamples(concept string, base *kb.KB, o *ontology.Ontology, n int, seed int64) []string {
+	src := newInstanceSource(base, o)
+	vals := src.values(concept)
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	var out []string
+	for len(out) < n && len(seen) < len(vals) {
+		v := vals[rng.Intn(len(vals))]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// AugmentFromPriorQueries appends SME-labelled prior user queries to an
+// intent's training set (§4.3.2, Figure 8). Unknown intents are an error.
+func AugmentFromPriorQueries(space *Space, byIntent map[string][]string) error {
+	for name, examples := range byIntent {
+		in := space.Intent(name)
+		if in == nil {
+			return fmt.Errorf("core: augment: unknown intent %q", name)
+		}
+		seen := map[string]bool{}
+		for _, ex := range in.Examples {
+			seen[ex] = true
+		}
+		for _, ex := range examples {
+			if !seen[ex] {
+				seen[ex] = true
+				in.Examples = append(in.Examples, ex)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Package core implements the paper's primary contribution: bootstrapping
+// a conversation space — intents, training examples, entities with
+// synonyms, query-completion metadata, and structured query templates —
+// from a domain ontology and the instance data of the underlying knowledge
+// base (paper §4), refined by SME feedback (§4.2.2, §4.3.2).
+package core
+
+import (
+	"sort"
+
+	"ontoconv/internal/sqlx"
+)
+
+// PatternKind enumerates the query-pattern families of §4.2.1.
+type PatternKind string
+
+// The pattern kinds extracted from the ontology, plus the two intent
+// classes added around them (conversation management, §5.2 step 3, and
+// entity-only "general" intents, §6.1).
+const (
+	LookupPattern           PatternKind = "lookup"
+	DirectRelationPattern   PatternKind = "relationship-direct"
+	IndirectRelationPattern PatternKind = "relationship-indirect"
+	GeneralEntityPattern    PatternKind = "general-entity"
+	ConversationPattern     PatternKind = "conversation-management"
+)
+
+// QueryPattern is one extracted pattern: utterance text with <@Concept>
+// slots plus the ontology elements it is grounded in.
+type QueryPattern struct {
+	// Text is the pattern with placeholders, e.g.
+	// "Show me the Precautions for <@Drug>?".
+	Text string `json:"text"`
+	// KeyConcept is the key concept whose instance fills the slot.
+	KeyConcept string `json:"keyConcept,omitempty"`
+	// DependentConcept is the lookup target (lookup patterns).
+	DependentConcept string `json:"dependentConcept,omitempty"`
+	// Relation names the object property (relationship patterns).
+	Relation string `json:"relation,omitempty"`
+	// Inverse marks the inverse-direction variant of a relationship.
+	Inverse bool `json:"inverse,omitempty"`
+	// OtherConcept is the second key concept (relationship patterns).
+	OtherConcept string `json:"otherConcept,omitempty"`
+	// Intermediate is the in-between concept (indirect patterns).
+	Intermediate string `json:"intermediate,omitempty"`
+	// FromSME marks patterns contributed by SME annotations rather than
+	// extracted from the ontology structure.
+	FromSME bool `json:"fromSME,omitempty"`
+}
+
+// EntitySpec names an entity the dialogue needs for an intent and how to
+// elicit it (paper Table 3 columns "Required Entities" / "Agent
+// Elicitation").
+type EntitySpec struct {
+	// Entity is the entity type ("Drug", "Indication", "AgeGroup").
+	Entity string `json:"entity"`
+	// Param is the query-template parameter this entity binds.
+	Param string `json:"param"`
+	// Elicitation is the agent prompt used when the entity is missing.
+	Elicitation string `json:"elicitation,omitempty"`
+	// Default, when non-empty, is assumed instead of eliciting.
+	Default string `json:"default,omitempty"`
+}
+
+// Intent is one conversation-space intent with its grounded patterns,
+// generated training examples and structured query template (§4.2-§4.4).
+type Intent struct {
+	Name     string         `json:"name"`
+	Kind     PatternKind    `json:"kind"`
+	Patterns []QueryPattern `json:"patterns"`
+	// Examples are the labelled training utterances, bootstrap-generated
+	// plus SME-augmented.
+	Examples []string `json:"examples"`
+	// Template is the parameterized structured query (nil for
+	// conversation-management intents).
+	Template *sqlx.Template `json:"template,omitempty"`
+	// Required and Optional entities drive slot filling (Table 3).
+	Required []EntitySpec `json:"required,omitempty"`
+	Optional []EntitySpec `json:"optional,omitempty"`
+	// Response is the agent response template; {{entity:X}} interpolates
+	// a bound entity, {{results}} the KB answer.
+	Response string `json:"response,omitempty"`
+	// AnswerConcept is the concept whose instances the answer lists.
+	AnswerConcept string `json:"answerConcept,omitempty"`
+}
+
+// EntityValue is one dictionary value with its synonyms (Table 1/2).
+type EntityValue struct {
+	Value    string   `json:"value"`
+	Synonyms []string `json:"synonyms,omitempty"`
+}
+
+// EntityDef defines one entity type for the conversation space.
+type EntityDef struct {
+	// Name is the entity type ("Drug", "Concepts", "AgeGroup", …).
+	Name string `json:"name"`
+	// Kind is "concept" (ontology concept names as values), "instance"
+	// (KB instance data), or "value" (categorical property values).
+	Kind string `json:"kind"`
+	// Concept records the backing ontology concept, when applicable.
+	Concept string `json:"concept,omitempty"`
+	// Property records the backing data property for value entities.
+	Property string        `json:"property,omitempty"`
+	Values   []EntityValue `json:"values"`
+}
+
+// CompletionMeta is the query-completion metadata of §4.2.1: for each key
+// concept the dependent concepts describing it, and for each dependent
+// concept the key concepts it belongs to. The dialogue tree uses it to
+// prompt completion of partial queries ("Show me Precautions" -> "For
+// which drug?").
+type CompletionMeta struct {
+	DependentsOfKey map[string][]string `json:"dependentsOfKey"`
+	KeysOfDependent map[string][]string `json:"keysOfDependent"`
+}
+
+// Space is the bootstrapped conversation space (§4): the finite set of all
+// supported interactions, expressed as intents, entities and metadata.
+// The dialogue structure is built over it by the dialogue package.
+type Space struct {
+	Intents     []Intent       `json:"intents"`
+	Entities    []EntityDef    `json:"entities"`
+	Completion  CompletionMeta `json:"completion"`
+	KeyConcepts []string       `json:"keyConcepts"`
+	// DependentConcepts maps each dependent concept to its qualification
+	// note (categorical property or small domain) for diagnostics.
+	DependentConcepts []string `json:"dependentConcepts"`
+}
+
+// Intent returns the named intent, or nil.
+func (s *Space) Intent(name string) *Intent {
+	for i := range s.Intents {
+		if s.Intents[i].Name == name {
+			return &s.Intents[i]
+		}
+	}
+	return nil
+}
+
+// IntentNames returns all intent names, sorted.
+func (s *Space) IntentNames() []string {
+	out := make([]string, len(s.Intents))
+	for i := range s.Intents {
+		out[i] = s.Intents[i].Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entity returns the named entity definition, or nil.
+func (s *Space) Entity(name string) *EntityDef {
+	for i := range s.Entities {
+		if s.Entities[i].Name == name {
+			return &s.Entities[i]
+		}
+	}
+	return nil
+}
+
+// TrainingExamples flattens the space into labelled examples for the
+// intent classifier.
+type TrainingExample struct {
+	Text   string `json:"text"`
+	Intent string `json:"intent"`
+}
+
+// AllExamples returns every (utterance, intent) pair in the space.
+func (s *Space) AllExamples() []TrainingExample {
+	var out []TrainingExample
+	for _, in := range s.Intents {
+		for _, ex := range in.Examples {
+			out = append(out, TrainingExample{Text: ex, Intent: in.Name})
+		}
+	}
+	return out
+}
+
+// CountByKind tallies intents per pattern kind (the paper reports
+// "22 intents ... including 14 lookup and 8 relationship patterns" plus
+// 14 conversation-management intents, §6.1).
+func (s *Space) CountByKind() map[PatternKind]int {
+	out := make(map[PatternKind]int)
+	for _, in := range s.Intents {
+		out[in.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package dialogue
+
+import (
+	"sort"
+)
+
+// Binding is one entity value held in the conversation context.
+type Binding struct {
+	Entity string // entity type ("Drug", "AgeGroup")
+	Value  string // canonical value
+	Turn   int    // turn the value was last set
+}
+
+// Proposal is a pending agent proposal awaiting yes/no (the DRUG_GENERAL
+// flow of §6.3: "Would you like to see the precautions of benztropine
+// mesylate?").
+type Proposal struct {
+	// Intent to trigger if the user accepts.
+	Intent string
+	// Remaining alternative intents to propose on rejection.
+	Alternatives []string
+	// Entity bindings the proposal assumes.
+	Assume map[string]string
+}
+
+// Choice is a pending partial-entity disambiguation (§6.1: base "Calcium"
+// -> pick a salt).
+type Choice struct {
+	Entity     string
+	Candidates []string
+}
+
+// Context is the persistent conversation context (§4.1, §5.2): intents and
+// entities from prior turns are remembered across the interaction, so
+// users can build a query over multiple utterances and modify it
+// incrementally.
+type Context struct {
+	Turn   int
+	Intent string // active task intent ("" when none)
+	ents   map[string]Binding
+	// LastResponse supports the repeat repair; LastAnswer the definition
+	// repair scope.
+	LastResponse string
+	Proposal     *Proposal
+	Choice       *Choice
+	Closed       bool
+}
+
+// NewContext returns an empty context.
+func NewContext() *Context {
+	return &Context{ents: make(map[string]Binding)}
+}
+
+// Bind sets an entity value at the current turn.
+func (c *Context) Bind(entity, value string) {
+	c.ents[entity] = Binding{Entity: entity, Value: value, Turn: c.Turn}
+}
+
+// Bound reports whether the entity has a value.
+func (c *Context) Bound(entity string) bool {
+	_, ok := c.ents[entity]
+	return ok
+}
+
+// Value returns the entity's value and whether it is bound.
+func (c *Context) Value(entity string) (string, bool) {
+	b, ok := c.ents[entity]
+	return b.Value, ok
+}
+
+// Unbind removes an entity binding.
+func (c *Context) Unbind(entity string) { delete(c.ents, entity) }
+
+// Entities returns the bound entity types, sorted.
+func (c *Context) Entities() []string {
+	out := make([]string, 0, len(c.ents))
+	for e := range c.ents {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bindings returns a copy of all bindings keyed by entity type.
+func (c *Context) Bindings() map[string]string {
+	out := make(map[string]string, len(c.ents))
+	for e, b := range c.ents {
+		out[e] = b.Value
+	}
+	return out
+}
+
+// ClearTask drops the active intent, its entity bindings, and any pending
+// proposal/choice (the "never mind" abort, §5.2 step 3). The context
+// object itself survives: a new request starts fresh.
+func (c *Context) ClearTask() {
+	c.Intent = ""
+	c.ents = make(map[string]Binding)
+	c.Proposal = nil
+	c.Choice = nil
+}
+
+// NextTurn advances the turn counter.
+func (c *Context) NextTurn() { c.Turn++ }

@@ -1,0 +1,222 @@
+package dialogue
+
+import (
+	"strings"
+	"testing"
+
+	"ontoconv/internal/core"
+	"ontoconv/internal/sqlx"
+)
+
+// testSpace builds a small synthetic conversation space without running
+// the bootstrap pipeline.
+func testSpace() *core.Space {
+	tpl := sqlx.MustTemplate("SELECT p.description FROM precaution p INNER JOIN drug d ON p.drug_id = d.drug_id WHERE d.name = <@Drug>")
+	dosageTpl := sqlx.MustTemplate("SELECT ds.description FROM dosage ds INNER JOIN drug d ON ds.drug_id = d.drug_id WHERE d.name = <@Drug> AND ds.age_group = <@AgeGroup>")
+	return &core.Space{
+		Intents: []core.Intent{
+			{
+				Name: "Precautions of Drug", Kind: core.LookupPattern,
+				Examples: []string{"show me the precautions for Aspirin"},
+				Template: tpl,
+				Required: []core.EntitySpec{
+					{Entity: "Drug", Param: "Drug", Elicitation: "For which drug?"},
+				},
+				Response:      "Here are the precautions for {{Drug}}:",
+				AnswerConcept: "Precaution",
+			},
+			{
+				Name: "Drug Dosage", Kind: core.IndirectRelationPattern,
+				Examples: []string{"dosage for Aspirin"},
+				Template: dosageTpl,
+				Required: []core.EntitySpec{
+					{Entity: "Drug", Param: "Drug", Elicitation: "For which drug?"},
+					{Entity: "AgeGroup", Param: "AgeGroup", Elicitation: "Adult or pediatric?"},
+				},
+				Response:      "Here is the dosage for {{Drug}}:",
+				AnswerConcept: "Dosage",
+			},
+			{
+				Name: "DRUG_GENERAL", Kind: core.GeneralEntityPattern,
+				Examples:      []string{"Aspirin"},
+				AnswerConcept: "Drug",
+				Response:      "Would you like to see more?",
+			},
+		},
+		Entities: []core.EntityDef{
+			{Name: "Drug", Kind: "instance", Values: []core.EntityValue{{Value: "Aspirin"}}},
+			{Name: "AgeGroup", Kind: "value", Values: []core.EntityValue{{Value: "adult"}, {Value: "pediatric"}}},
+		},
+	}
+}
+
+func withCM() *core.Space {
+	s := testSpace()
+	s.Intents = append(s.Intents, core.ConversationManagementIntents()...)
+	return s
+}
+
+func TestBuildLogicTable(t *testing.T) {
+	space := testSpace()
+	table := BuildLogicTable(space)
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	row := table.Row("Precautions of Drug")
+	if row == nil {
+		t.Fatal("row missing")
+	}
+	if row.Example != "show me the precautions for Aspirin" {
+		t.Fatalf("example = %q", row.Example)
+	}
+	if row.Elicitation["Drug"] != "For which drug?" {
+		t.Fatalf("elicitation = %v", row.Elicitation)
+	}
+	if table.Row("Ghost") != nil {
+		t.Fatal("missing row must be nil")
+	}
+}
+
+func TestLogicTableDefaultElicitation(t *testing.T) {
+	space := testSpace()
+	space.Intents[0].Required[0].Elicitation = ""
+	table := BuildLogicTable(space)
+	if got := table.Row("Precautions of Drug").Elicitation["Drug"]; got != "Which drug?" {
+		t.Fatalf("default elicitation = %q", got)
+	}
+}
+
+func TestLogicTableString(t *testing.T) {
+	s := BuildLogicTable(testSpace()).String()
+	for _, want := range []string{"Intent", "Precautions of Drug", "Drug, AgeGroup"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table rendering missing %q", want)
+		}
+	}
+}
+
+func TestBuildTreeSlotFilling(t *testing.T) {
+	space := testSpace()
+	tree := BuildTree(space, BuildLogicTable(space))
+
+	bound := map[string]bool{}
+	isBound := func(e string) bool { return bound[e] }
+
+	// nothing bound: first elicitation is the drug
+	n := tree.Match("Drug Dosage", isBound)
+	if n.Action != ActElicit || n.EntityToElicit != "Drug" {
+		t.Fatalf("node = %+v", n)
+	}
+	// drug bound: next is the age group (declaration order)
+	bound["Drug"] = true
+	n = tree.Match("Drug Dosage", isBound)
+	if n.Action != ActElicit || n.EntityToElicit != "AgeGroup" {
+		t.Fatalf("node = %+v", n)
+	}
+	if n.Response != "Adult or pediatric?" {
+		t.Fatalf("elicitation = %q", n.Response)
+	}
+	// all bound: answer
+	bound["AgeGroup"] = true
+	n = tree.Match("Drug Dosage", isBound)
+	if n.Action != ActAnswer {
+		t.Fatalf("node = %+v", n)
+	}
+}
+
+func TestBuildTreeFallback(t *testing.T) {
+	space := testSpace()
+	tree := BuildTree(space, BuildLogicTable(space))
+	n := tree.Match("Unknown Intent", func(string) bool { return false })
+	if n != tree.Fallback {
+		t.Fatalf("node = %+v", n)
+	}
+}
+
+func TestBuildTreeConversationManagementActions(t *testing.T) {
+	space := withCM()
+	tree := BuildTree(space, BuildLogicTable(space))
+	cases := map[string]Action{
+		"CM Goodbye":                  ActGoodbye,
+		"CM Repeat Request":           ActRepeat,
+		"CM Definition Request":       ActDefine,
+		"CM Abort":                    ActAbort,
+		"CM Yes":                      ActAffirm,
+		"CM No":                       ActDeny,
+		"CM Appreciation":             ActCheckAnything,
+		"CM Greeting":                 ActStatic,
+		"CM Help":                     ActStatic,
+		"CM Positive Acknowledgement": ActCheckAnything,
+	}
+	none := func(string) bool { return false }
+	for intent, want := range cases {
+		n := tree.Match(intent, none)
+		if n.Action != want {
+			t.Errorf("%s action = %s, want %s", intent, n.Action, want)
+		}
+	}
+	// general entity intent -> propose
+	if n := tree.Match("DRUG_GENERAL", none); n.Action != ActPropose {
+		t.Fatalf("DRUG_GENERAL = %+v", n)
+	}
+}
+
+func TestTreeNodeCount(t *testing.T) {
+	space := withCM()
+	tree := BuildTree(space, BuildLogicTable(space))
+	// 2 task intents (1+1 elicitation each + answer) + general + 14 CM
+	// + fallback
+	want := 1 + (1 + 1 + 1) + (1 + 2 + 1) + 1 + 14
+	if got := tree.NodeCount(); got != want {
+		t.Fatalf("NodeCount = %d, want %d", got, want)
+	}
+}
+
+func TestContextBindings(t *testing.T) {
+	c := NewContext()
+	if c.Bound("Drug") {
+		t.Fatal("empty context should bind nothing")
+	}
+	c.NextTurn()
+	c.Bind("Drug", "Aspirin")
+	if v, ok := c.Value("Drug"); !ok || v != "Aspirin" {
+		t.Fatalf("Value = %q %v", v, ok)
+	}
+	c.Bind("Drug", "Ibuprofen") // overwrite
+	if v, _ := c.Value("Drug"); v != "Ibuprofen" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	c.Bind("AgeGroup", "adult")
+	if got := c.Entities(); len(got) != 2 || got[0] != "AgeGroup" {
+		t.Fatalf("Entities = %v", got)
+	}
+	b := c.Bindings()
+	if b["Drug"] != "Ibuprofen" || b["AgeGroup"] != "adult" {
+		t.Fatalf("Bindings = %v", b)
+	}
+	c.Unbind("AgeGroup")
+	if c.Bound("AgeGroup") {
+		t.Fatal("Unbind failed")
+	}
+}
+
+func TestContextClearTask(t *testing.T) {
+	c := NewContext()
+	c.Intent = "X"
+	c.Bind("Drug", "Aspirin")
+	c.Proposal = &Proposal{Intent: "Y"}
+	c.Choice = &Choice{Entity: "Drug"}
+	c.ClearTask()
+	if c.Intent != "" || c.Bound("Drug") || c.Proposal != nil || c.Choice != nil {
+		t.Fatalf("ClearTask incomplete: %+v", c)
+	}
+}
+
+func TestContextTurnTracking(t *testing.T) {
+	c := NewContext()
+	c.NextTurn()
+	c.NextTurn()
+	if c.Turn != 2 {
+		t.Fatalf("Turn = %d", c.Turn)
+	}
+}

@@ -1,0 +1,92 @@
+// Package dialogue implements the dialogue structure of the conversation
+// space (paper §5): the Dialogue Logic Table generated from the
+// bootstrapped artifacts, the dialogue tree built from it (slot filling
+// over required entities, conditioned responses), the conversation-
+// management augmentation, and the persistent conversation context that
+// lets users build and incrementally modify a query across turns.
+package dialogue
+
+import (
+	"fmt"
+	"strings"
+
+	"ontoconv/internal/core"
+)
+
+// LogicRow is one row of the Dialogue Logic Table (paper Table 3):
+// everything a designer — or the automated tree builder — needs to specify
+// the conversation flow for one intent.
+type LogicRow struct {
+	Intent      string            `json:"intent"`
+	Example     string            `json:"example"`
+	Required    []core.EntitySpec `json:"required,omitempty"`
+	Elicitation map[string]string `json:"elicitation,omitempty"`
+	Optional    []core.EntitySpec `json:"optional,omitempty"`
+	Response    string            `json:"response"`
+}
+
+// LogicTable is the full Dialogue Logic Table.
+type LogicTable struct {
+	Rows []LogicRow `json:"rows"`
+}
+
+// BuildLogicTable derives the table from a bootstrapped space (step 1 of
+// §5.2): one row per intent, with elicitation templates populated from the
+// intent's required entities.
+func BuildLogicTable(space *core.Space) *LogicTable {
+	t := &LogicTable{}
+	for _, in := range space.Intents {
+		row := LogicRow{
+			Intent:      in.Name,
+			Required:    in.Required,
+			Optional:    in.Optional,
+			Response:    in.Response,
+			Elicitation: map[string]string{},
+		}
+		if len(in.Examples) > 0 {
+			row.Example = in.Examples[0]
+		}
+		for _, r := range in.Required {
+			el := r.Elicitation
+			if el == "" {
+				el = fmt.Sprintf("Which %s?", strings.ToLower(r.Entity))
+			}
+			row.Elicitation[r.Entity] = el
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Row returns the row for the named intent, or nil.
+func (t *LogicTable) Row(intent string) *LogicRow {
+	for i := range t.Rows {
+		if t.Rows[i].Intent == intent {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the table as aligned text for SME review.
+func (t *LogicTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s | %-44s | %-28s | %s\n", "Intent", "Example", "Required", "Response")
+	b.WriteString(strings.Repeat("-", 140) + "\n")
+	for _, r := range t.Rows {
+		var req []string
+		for _, e := range r.Required {
+			req = append(req, e.Entity)
+		}
+		ex := r.Example
+		if len(ex) > 42 {
+			ex = ex[:42] + ".."
+		}
+		resp := r.Response
+		if len(resp) > 48 {
+			resp = resp[:48] + ".."
+		}
+		fmt.Fprintf(&b, "%-36s | %-44s | %-28s | %s\n", r.Intent, ex, strings.Join(req, ", "), resp)
+	}
+	return b.String()
+}

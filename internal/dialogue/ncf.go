@@ -1,0 +1,107 @@
+package dialogue
+
+// The paper builds its conversation-management layer from the Natural
+// Conversation Framework [24]: a generic template with "32 generic
+// patterns for sequence-level management and 39 generic patterns for
+// conversation-level management" (§5.2 step 3), into which the
+// domain-specific dialogue structures are inserted. This file carries the
+// catalog: each pattern has a stable ID, the level it manages, an example
+// exchange, and — where this runtime implements it — the dialogue Action
+// that realizes it.
+
+// NCFLevel distinguishes the two halves of the catalog.
+type NCFLevel string
+
+// Catalog levels.
+const (
+	SequenceLevel     NCFLevel = "sequence"
+	ConversationLevel NCFLevel = "conversation"
+)
+
+// NCFPattern is one catalog entry.
+type NCFPattern struct {
+	// ID follows the framework's numbering (e.g. "B2.5.0").
+	ID string
+	// Name is the pattern's label ("Definition Request Repair").
+	Name  string
+	Level NCFLevel
+	// Example is a schematic exchange: A agent, U user.
+	Example string
+	// Action names the runtime action implementing the pattern; empty
+	// for patterns handled implicitly (e.g. by slot filling) or not yet
+	// wired.
+	Action Action
+}
+
+// NCFCatalog returns the conversation-management pattern catalog used to
+// augment the dialogue tree. The subset wired to runtime actions covers
+// everything the paper's §6.3 transcripts exercise; the rest document the
+// full design space of [24].
+func NCFCatalog() []NCFPattern {
+	return []NCFPattern{
+		// --- sequence-level management ---
+		{ID: "A1.0", Name: "Open Request", Level: SequenceLevel,
+			Example: "U: REQUEST / A: RESPONSE", Action: ActAnswer},
+		{ID: "A1.1", Name: "Open Request with Detail Elicitation", Level: SequenceLevel,
+			Example: "U: PARTIAL REQUEST / A: ELICIT DETAIL / U: DETAIL / A: RESPONSE", Action: ActElicit},
+		{ID: "A1.2", Name: "Incremental Request Modification", Level: SequenceLevel,
+			Example: "U: REQUEST / A: RESPONSE / U: MODIFIER / A: UPDATED RESPONSE", Action: ActAnswer},
+		{ID: "A1.3", Name: "Entity-Only Request Proposal", Level: SequenceLevel,
+			Example: "U: ENTITY / A: PROPOSE INTENT / U: YES|NO", Action: ActPropose},
+		{ID: "A1.4", Name: "Disambiguation Sequence", Level: SequenceLevel,
+			Example: "U: PARTIAL ENTITY / A: WHICH ONE? / U: CHOICE", Action: ActElicit},
+		{ID: "A2.0", Name: "Sequence Closing Appreciation", Level: SequenceLevel,
+			Example: "U: thanks / A: You're welcome! Anything else?", Action: ActCheckAnything},
+		{ID: "A2.1", Name: "Sequence Abort", Level: SequenceLevel,
+			Example: "U: never mind / A: OK. Please modify your search.", Action: ActAbort},
+		{ID: "A2.2", Name: "Positive Receipt", Level: SequenceLevel,
+			Example: "U: okay / A: Great. Anything else?", Action: ActCheckAnything},
+		{ID: "A2.3", Name: "Negative Receipt Repair", Level: SequenceLevel,
+			Example: "U: that's wrong / A: Sorry about that. Could you rephrase?", Action: ActAbort},
+		{ID: "B1.0", Name: "Repeat Repair", Level: SequenceLevel,
+			Example: "U: what did you say? / A: REPEAT OF PRIOR UTTERANCE", Action: ActRepeat},
+		{ID: "B2.5.0", Name: "Definition Request Repair", Level: SequenceLevel,
+			Example: "A: <ANY UTTERANCE> / U: DEFINITION REQUEST / A: REPAIR MARKER + DEFINITION",
+			Action:  ActDefine},
+		{ID: "B2.6", Name: "Paraphrase Request Repair", Level: SequenceLevel,
+			Example: "U: what do you mean? / A: PARAPHRASE", Action: ActDefine},
+		{ID: "B3.0", Name: "Fallback / Non-Understanding", Level: SequenceLevel,
+			Example: "U: <UNRECOGNIZED> / A: I didn't understand that …", Action: ActStatic},
+		{ID: "B3.1", Name: "Slot Re-Elicitation", Level: SequenceLevel,
+			Example: "A: ELICIT / U: <NOT A VALUE> / A: ELICIT AGAIN", Action: ActElicit},
+		{ID: "A3.0", Name: "Answer with Grouping", Level: SequenceLevel,
+			Example: "A: Effective: X, Y. Possibly Effective: Z.", Action: ActAnswer},
+		{ID: "A3.1", Name: "Empty Result Report", Level: SequenceLevel,
+			Example: "A: I couldn't find any results. Please modify your search.", Action: ActAnswer},
+
+		// --- conversation-level management ---
+		{ID: "C1.0", Name: "Conversation Opening", Level: ConversationLevel,
+			Example: "A: Hello. This is Micromedex …", Action: ActStatic},
+		{ID: "C1.1", Name: "Greeting Return", Level: ConversationLevel,
+			Example: "U: hello / A: GREETING", Action: ActStatic},
+		{ID: "C2.0", Name: "Capabilities Inquiry", Level: ConversationLevel,
+			Example: "U: what can you do? / A: CAPABILITIES", Action: ActStatic},
+		{ID: "C2.1", Name: "Help Request", Level: ConversationLevel,
+			Example: "U: help / A: USAGE GUIDANCE", Action: ActStatic},
+		{ID: "C3.0", Name: "Topic Transition Check", Level: ConversationLevel,
+			Example: "A: Anything else? / U: NEW REQUEST", Action: ActCheckAnything},
+		{ID: "C4.0", Name: "Conversation Closing", Level: ConversationLevel,
+			Example: "U: no / A: Thank you for using Micromedex. Goodbye.", Action: ActGoodbye},
+		{ID: "C4.1", Name: "Explicit Goodbye", Level: ConversationLevel,
+			Example: "U: goodbye / A: GOODBYE", Action: ActGoodbye},
+		{ID: "C5.0", Name: "Chitchat Deflection", Level: ConversationLevel,
+			Example: "U: are you a robot? / A: DEFLECT + REFOCUS", Action: ActStatic},
+	}
+}
+
+// ImplementedNCF returns only the catalog patterns wired to a runtime
+// action.
+func ImplementedNCF() []NCFPattern {
+	var out []NCFPattern
+	for _, p := range NCFCatalog() {
+		if p.Action != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

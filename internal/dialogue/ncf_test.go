@@ -1,0 +1,53 @@
+package dialogue
+
+import "testing"
+
+func TestNCFCatalogWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range NCFCatalog() {
+		if p.ID == "" || p.Name == "" || p.Example == "" {
+			t.Errorf("incomplete pattern %+v", p)
+		}
+		if seen[p.ID] {
+			t.Errorf("duplicate pattern ID %s", p.ID)
+		}
+		seen[p.ID] = true
+		if p.Level != SequenceLevel && p.Level != ConversationLevel {
+			t.Errorf("pattern %s has bad level %q", p.ID, p.Level)
+		}
+	}
+}
+
+func TestNCFDefinitionRequestRepair(t *testing.T) {
+	// the pattern the paper spells out (§5.2, B2.5.0) must be present
+	// and wired
+	for _, p := range NCFCatalog() {
+		if p.ID == "B2.5.0" {
+			if p.Name != "Definition Request Repair" || p.Action != ActDefine {
+				t.Fatalf("B2.5.0 = %+v", p)
+			}
+			return
+		}
+	}
+	t.Fatal("B2.5.0 missing from the catalog")
+}
+
+func TestImplementedNCFAllWired(t *testing.T) {
+	impl := ImplementedNCF()
+	if len(impl) == 0 {
+		t.Fatal("no implemented patterns")
+	}
+	for _, p := range impl {
+		if p.Action == "" {
+			t.Errorf("unwired pattern leaked: %+v", p)
+		}
+	}
+	// both levels must be represented
+	levels := map[NCFLevel]bool{}
+	for _, p := range impl {
+		levels[p.Level] = true
+	}
+	if !levels[SequenceLevel] || !levels[ConversationLevel] {
+		t.Fatal("both management levels must have implemented patterns")
+	}
+}

@@ -1,0 +1,172 @@
+package dialogue
+
+import (
+	"fmt"
+
+	"ontoconv/internal/core"
+)
+
+// Action tells the agent runtime what a matched node does.
+type Action string
+
+// Node actions.
+const (
+	// ActElicit prompts the user for a missing required entity.
+	ActElicit Action = "elicit"
+	// ActAnswer instantiates the intent's query template and answers.
+	ActAnswer Action = "answer"
+	// ActStatic replies with the node's fixed response text.
+	ActStatic Action = "static"
+	// ActRepeat re-issues the agent's previous response.
+	ActRepeat Action = "repeat"
+	// ActDefine answers a definition request from the glossary.
+	ActDefine Action = "define"
+	// ActAbort clears the pending request.
+	ActAbort Action = "abort"
+	// ActGoodbye closes the conversation.
+	ActGoodbye Action = "goodbye"
+	// ActPropose starts the entity-only proposal flow (DRUG_GENERAL).
+	ActPropose Action = "propose"
+	// ActAffirm handles "yes" in context (accepting a proposal).
+	ActAffirm Action = "affirm"
+	// ActDeny handles "no" in context (rejecting a proposal).
+	ActDeny Action = "deny"
+	// ActCheckAnything acknowledges and checks for a further topic.
+	ActCheckAnything Action = "check-anything-else"
+)
+
+// Node is one dialogue-tree node (§5.1): a set of conditions, a response,
+// and children evaluated in order. A node matches when its Intent equals
+// the active intent (empty matches any) and its entity conditions hold
+// against the conversation context.
+type Node struct {
+	ID string
+	// Intent condition; empty matches any intent.
+	Intent string
+	// RequireEntity must be bound in context for the node to match.
+	RequireEntity string
+	// AbsentEntity must NOT be bound for the node to match (slot
+	// elicitation nodes).
+	AbsentEntity string
+	// Action and response payload.
+	Action   Action
+	Response string
+	// EntityToElicit names the entity an ActElicit node asks for.
+	EntityToElicit string
+	Children       []*Node
+}
+
+// Tree is the dialogue tree: an ordered list of top-level nodes plus a
+// default fallback (§5.1 "DEFAULT").
+type Tree struct {
+	Roots    []*Node
+	Fallback *Node
+}
+
+// BuildTree compiles the logic table into a dialogue tree (step 2 of
+// §5.2) and augments it with conversation-management nodes (step 3).
+// Intents with query templates get one elicitation child per required
+// entity (in declaration order — "slot filling") and a final answer node.
+func BuildTree(space *core.Space, table *LogicTable) *Tree {
+	t := &Tree{}
+	for _, in := range space.Intents {
+		row := table.Row(in.Name)
+		if row == nil {
+			continue
+		}
+		node := &Node{ID: "intent:" + in.Name, Intent: in.Name}
+		switch in.Kind {
+		case core.ConversationPattern:
+			node.Action = cmAction(in.Name)
+			node.Response = in.Response
+		case core.GeneralEntityPattern:
+			node.Action = ActPropose
+			node.Response = in.Response
+		default:
+			for _, req := range in.Required {
+				node.Children = append(node.Children, &Node{
+					ID:             fmt.Sprintf("elicit:%s:%s", in.Name, req.Entity),
+					AbsentEntity:   req.Entity,
+					Action:         ActElicit,
+					EntityToElicit: req.Entity,
+					Response:       row.Elicitation[req.Entity],
+				})
+			}
+			node.Children = append(node.Children, &Node{
+				ID:       "answer:" + in.Name,
+				Action:   ActAnswer,
+				Response: in.Response,
+			})
+		}
+		t.Roots = append(t.Roots, node)
+	}
+	t.Fallback = &Node{
+		ID:       "default",
+		Action:   ActStatic,
+		Response: "I didn't understand that. You can ask about drugs, conditions they treat, dosing, interactions, and more — or say \"help\".",
+	}
+	return t
+}
+
+// cmAction maps the 14 generic intents onto runtime actions.
+func cmAction(intent string) Action {
+	switch intent {
+	case "CM Goodbye":
+		return ActGoodbye
+	case "CM Repeat Request":
+		return ActRepeat
+	case "CM Definition Request", "CM Paraphrase Request":
+		return ActDefine
+	case "CM Abort", "CM Negative Acknowledgement":
+		return ActAbort
+	case "CM Yes":
+		return ActAffirm
+	case "CM No":
+		return ActDeny
+	case "CM Appreciation", "CM Positive Acknowledgement":
+		return ActCheckAnything
+	default:
+		return ActStatic
+	}
+}
+
+// Match walks the tree for the active intent and context and returns the
+// matched node: the intent's root if it is a leaf action, the first
+// matching child otherwise, or the fallback.
+func (t *Tree) Match(intent string, bound func(entity string) bool) *Node {
+	for _, root := range t.Roots {
+		if root.Intent != intent {
+			continue
+		}
+		if len(root.Children) == 0 {
+			return root
+		}
+		for _, ch := range root.Children {
+			if ch.RequireEntity != "" && !bound(ch.RequireEntity) {
+				continue
+			}
+			if ch.AbsentEntity != "" && bound(ch.AbsentEntity) {
+				continue
+			}
+			return ch
+		}
+		return t.Fallback
+	}
+	return t.Fallback
+}
+
+// NodeCount returns the total number of nodes (diagnostics).
+func (t *Tree) NodeCount() int {
+	n := 1 // fallback
+	var walk func(*Node)
+	walk = func(nd *Node) {
+		n++
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return n
+}

@@ -1,0 +1,271 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/core"
+	"ontoconv/internal/graph"
+	"ontoconv/internal/medkb"
+	"ontoconv/internal/nlu"
+	"ontoconv/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// A1: classifier choice
+// ---------------------------------------------------------------------------
+
+// ClassifierAblation compares intent classifiers on the Table 5 split.
+type ClassifierAblation struct {
+	Name     string
+	Accuracy float64
+	MacroF1  float64
+}
+
+// AblationClassifier evaluates naive Bayes vs logistic regression.
+func AblationClassifier(e *Env) []ClassifierAblation {
+	var examples []nlu.Example
+	for _, te := range e.Space.AllExamples() {
+		examples = append(examples, nlu.Example{Text: te.Text, Intent: te.Intent})
+	}
+	train, test := nlu.TrainTestSplit(examples, 5)
+	var out []ClassifierAblation
+	for _, c := range []struct {
+		name string
+		clf  nlu.Classifier
+	}{
+		{"naive-bayes", nlu.NewNaiveBayes(1.0)},
+		{"logistic-regression", nlu.NewLogisticRegression()},
+	} {
+		if err := c.clf.Train(train); err != nil {
+			continue
+		}
+		ev := nlu.Evaluate(c.clf, test)
+		out = append(out, ClassifierAblation{Name: c.name, Accuracy: ev.Accuracy, MacroF1: ev.MacroF1})
+	}
+	return out
+}
+
+// WriteAblationClassifier renders A1.
+func WriteAblationClassifier(w io.Writer, rows []ClassifierAblation) {
+	fmt.Fprintln(w, "== A1: classifier ablation (held-out split) ==")
+	fmt.Fprintf(w, "%-24s %10s %10s\n", "classifier", "accuracy", "macro-F1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %10.3f %10.3f\n", r.Name, r.Accuracy, r.MacroF1)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A2: training-set size sweep
+// ---------------------------------------------------------------------------
+
+// SizeAblation is one point of the examples-per-intent sweep.
+type SizeAblation struct {
+	ExamplesPerIntent int
+	TotalExamples     int
+	Accuracy          float64
+	MacroF1           float64
+}
+
+// AblationTrainingSize re-runs the bootstrap at several example budgets
+// and scores each classifier on a fixed evaluation set generated at the
+// largest budget (held out by split).
+func AblationTrainingSize(e *Env, sizes []int) ([]SizeAblation, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2, 5, 10, 25, 50, 100}
+	}
+	// Fixed test set: hold out from the default-budget space.
+	var all []nlu.Example
+	for _, te := range e.Space.AllExamples() {
+		all = append(all, nlu.Example{Text: te.Text, Intent: te.Intent})
+	}
+	_, test := nlu.TrainTestSplit(all, 5)
+
+	var out []SizeAblation
+	for _, n := range sizes {
+		cfg := medkb.BootstrapConfig(e.Base)
+		cfg.ExamplesPerIntent = n
+		space, err := core.Bootstrap(e.Onto, e.Base, cfg)
+		if err != nil {
+			return nil, err
+		}
+		var train []nlu.Example
+		for _, te := range space.AllExamples() {
+			train = append(train, nlu.Example{Text: te.Text, Intent: te.Intent})
+		}
+		clf := nlu.NewLogisticRegression()
+		if err := clf.Train(train); err != nil {
+			return nil, err
+		}
+		ev := nlu.Evaluate(clf, test)
+		out = append(out, SizeAblation{
+			ExamplesPerIntent: n,
+			TotalExamples:     len(train),
+			Accuracy:          ev.Accuracy,
+			MacroF1:           ev.MacroF1,
+		})
+	}
+	return out, nil
+}
+
+// WriteAblationTrainingSize renders A2.
+func WriteAblationTrainingSize(w io.Writer, rows []SizeAblation) {
+	fmt.Fprintln(w, "== A2: training-example budget sweep ==")
+	fmt.Fprintf(w, "%14s %14s %10s %10s\n", "examples/intent", "total", "accuracy", "macro-F1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%14d %14d %10.3f %10.3f\n", r.ExamplesPerIntent, r.TotalExamples, r.Accuracy, r.MacroF1)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A3: synonym dictionaries on/off
+// ---------------------------------------------------------------------------
+
+// SynonymAblation compares end-to-end success with and without the SME
+// synonym dictionaries (the paper's "side effects" lesson, §6.3).
+type SynonymAblation struct {
+	Variant        string
+	OverallSuccess float64
+	Accuracy       float64
+}
+
+// AblationSynonyms runs a reduced simulation against agents built with
+// and without synonyms.
+func AblationSynonyms(e *Env, interactions int) ([]SynonymAblation, error) {
+	if interactions <= 0 {
+		interactions = 4000
+	}
+	simCfg := e.SimConfig
+	simCfg.Interactions = interactions
+
+	run := func(variant string, space *core.Space) (SynonymAblation, error) {
+		ag, err := agent.New(space, e.Base, agent.Options{})
+		if err != nil {
+			return SynonymAblation{}, err
+		}
+		log := sim.Run(ag, simCfg)
+		correct := 0
+		for _, r := range log.Interactions {
+			if r.Correct {
+				correct++
+			}
+		}
+		return SynonymAblation{
+			Variant:        variant,
+			OverallSuccess: log.OverallSuccessRate(),
+			Accuracy:       float64(correct) / float64(len(log.Interactions)),
+		}, nil
+	}
+
+	noSyn := medkb.BootstrapConfig(e.Base)
+	noSyn.Entities.ConceptSynonyms = nil
+	noSyn.Entities.InstanceSynonyms = nil
+	noSyn.Entities.ValueSynonyms = nil
+	spaceNo, err := core.Bootstrap(e.Onto, e.Base, noSyn)
+	if err != nil {
+		return nil, err
+	}
+	a, err := run("without synonyms", spaceNo)
+	if err != nil {
+		return nil, err
+	}
+	b, err := run("with synonyms", e.Space)
+	if err != nil {
+		return nil, err
+	}
+	return []SynonymAblation{a, b}, nil
+}
+
+// WriteAblationSynonyms renders A3.
+func WriteAblationSynonyms(w io.Writer, rows []SynonymAblation) {
+	fmt.Fprintln(w, "== A3: synonym dictionaries on/off (end-to-end) ==")
+	fmt.Fprintf(w, "%-22s %14s %14s\n", "variant", "success rate", "accuracy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %13.1f%% %13.1f%%\n", r.Variant, r.OverallSuccess*100, r.Accuracy*100)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A4: keyword-search baseline
+// ---------------------------------------------------------------------------
+
+// BaselineComparison holds agent-vs-baseline end-to-end results on the
+// identical seeded workload.
+type BaselineComparison struct {
+	AgentSuccess     float64
+	AgentAccuracy    float64
+	BaselineSuccess  float64
+	BaselineAccuracy float64
+	Interactions     int
+}
+
+// CompareBaseline runs the conversation agent and the keyword baseline on
+// the same workload.
+func CompareBaseline(e *Env, interactions int) BaselineComparison {
+	cfg := e.SimConfig
+	if interactions > 0 {
+		cfg.Interactions = interactions
+	}
+	alog := sim.Run(e.Agent, cfg)
+	kw := agent.NewKeywordAgent(e.Space, e.Base)
+	blog := sim.RunBaseline(kw, e.Space, cfg)
+	acc := func(l *sim.Log) float64 {
+		c := 0
+		for _, r := range l.Interactions {
+			if r.Correct {
+				c++
+			}
+		}
+		return float64(c) / float64(len(l.Interactions))
+	}
+	return BaselineComparison{
+		AgentSuccess:     alog.OverallSuccessRate(),
+		AgentAccuracy:    acc(alog),
+		BaselineSuccess:  blog.OverallSuccessRate(),
+		BaselineAccuracy: acc(blog),
+		Interactions:     cfg.Interactions,
+	}
+}
+
+// WriteBaselineComparison renders A4.
+func WriteBaselineComparison(w io.Writer, r BaselineComparison) {
+	fmt.Fprintln(w, "== A4: conversation agent vs keyword-search baseline ==")
+	fmt.Fprintf(w, "workload: %d interactions\n", r.Interactions)
+	fmt.Fprintf(w, "%-24s %14s %14s\n", "system", "success rate", "accuracy")
+	fmt.Fprintf(w, "%-24s %13.1f%% %13.1f%%\n", "conversation agent", r.AgentSuccess*100, r.AgentAccuracy*100)
+	fmt.Fprintf(w, "%-24s %13.1f%% %13.1f%%\n", "keyword baseline", r.BaselineSuccess*100, r.BaselineAccuracy*100)
+}
+
+// ---------------------------------------------------------------------------
+// A5: centrality metric for key-concept discovery
+// ---------------------------------------------------------------------------
+
+// CentralityAblation reports the key concepts each metric selects.
+type CentralityAblation struct {
+	Metric      graph.Metric
+	KeyConcepts []string
+}
+
+// AblationCentrality runs key-concept discovery under each centrality
+// metric.
+func AblationCentrality(e *Env) []CentralityAblation {
+	var out []CentralityAblation
+	for _, m := range []graph.Metric{
+		graph.MetricDegree, graph.MetricPageRank, graph.MetricBetweenness, graph.MetricCloseness,
+	} {
+		cfg := core.DefaultKeyConceptConfig()
+		cfg.Metric = m
+		an := core.AnalyzeConcepts(e.Onto, e.Base, cfg)
+		out = append(out, CentralityAblation{Metric: m, KeyConcepts: an.KeyConcepts})
+	}
+	return out
+}
+
+// WriteAblationCentrality renders A5.
+func WriteAblationCentrality(w io.Writer, rows []CentralityAblation) {
+	fmt.Fprintln(w, "== A5: centrality metric for key-concept discovery ==")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s -> %v\n", r.Metric, r.KeyConcepts)
+	}
+}

@@ -1,0 +1,228 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"ontoconv/internal/core"
+)
+
+var (
+	once   sync.Once
+	env    *Env
+	envErr error
+)
+
+func fixture(t *testing.T) *Env {
+	t.Helper()
+	once.Do(func() {
+		env, envErr = NewEnv()
+		if envErr == nil {
+			// keep tests fast; experiments default to 20000
+			env.SimConfig.Interactions = 2500
+		}
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return env
+}
+
+func TestE1Inventory(t *testing.T) {
+	e := fixture(t)
+	r := E1(e)
+	if r.OntologyStats.Concepts < 30 {
+		t.Fatalf("concepts = %d", r.OntologyStats.Concepts)
+	}
+	if r.IntentsByKind[core.ConversationPattern] != 14 {
+		t.Fatalf("CM intents = %d, want the paper's 14", r.IntentsByKind[core.ConversationPattern])
+	}
+	if r.KBIntents < 20 {
+		t.Fatalf("KB intents = %d", r.KBIntents)
+	}
+	if r.Entities < 40 || r.TrainingExamples < 500 {
+		t.Fatalf("entities=%d examples=%d", r.Entities, r.TrainingExamples)
+	}
+	var buf bytes.Buffer
+	WriteE1(&buf, r)
+	for _, want := range []string{"paper", "measured", "59", "key concepts"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("E1 rendering missing %q", want)
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	e := fixture(t)
+	r := Table5(e)
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d, want top-10", len(r.Rows))
+	}
+	// usage shares descending
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Usage > r.Rows[i-1].Usage+1e-9 {
+			t.Fatalf("usage not descending: %+v", r.Rows)
+		}
+	}
+	// paper avg F1 = 0.85; ours should be at least in that region
+	if r.AvgF1 < 0.75 || r.AvgF1 > 1.0 {
+		t.Fatalf("avg F1 = %.3f", r.AvgF1)
+	}
+	// the headline intents must appear
+	names := map[string]bool{}
+	for _, row := range r.Rows {
+		names[row.Intent] = true
+	}
+	for _, want := range []string{"Drug Dosage for Condition", "Drugs That Treat Condition"} {
+		if !names[want] {
+			t.Errorf("Table 5 missing %q: %+v", want, r.Rows)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable5(&buf, r)
+	if !strings.Contains(buf.String(), "average F1") {
+		t.Error("Table 5 rendering incomplete")
+	}
+}
+
+func TestFig11(t *testing.T) {
+	e := fixture(t)
+	r := Fig11(e)
+	if r.Overall < 0.9 {
+		t.Fatalf("overall = %.3f", r.Overall)
+	}
+	if len(r.PerIntent) != 10 {
+		t.Fatalf("per intent = %d", len(r.PerIntent))
+	}
+	var buf bytes.Buffer
+	WriteFig11(&buf, r)
+	if !strings.Contains(buf.String(), "96.3%") {
+		t.Error("paper overall missing from rendering")
+	}
+}
+
+func TestFig12(t *testing.T) {
+	e := fixture(t)
+	r := Fig12(e)
+	if r.Sample.Size == 0 {
+		t.Fatal("empty SME sample")
+	}
+	if r.Sample.SMESuccessRate > r.Sample.UserSuccessRate+1e-9 {
+		t.Fatalf("SME %.3f must not exceed user %.3f",
+			r.Sample.SMESuccessRate, r.Sample.UserSuccessRate)
+	}
+	var buf bytes.Buffer
+	WriteFig12(&buf, r)
+	for _, want := range []string{"90.8%", "97.9%"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendering missing paper value %q", want)
+		}
+	}
+}
+
+func TestAblationClassifier(t *testing.T) {
+	e := fixture(t)
+	rows := AblationClassifier(e)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.MacroF1 <= 0.3 {
+			t.Errorf("%s macroF1 = %.3f, implausible", r.Name, r.MacroF1)
+		}
+	}
+	var buf bytes.Buffer
+	WriteAblationClassifier(&buf, rows)
+	if !strings.Contains(buf.String(), "naive-bayes") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestAblationTrainingSize(t *testing.T) {
+	e := fixture(t)
+	rows, err := AblationTrainingSize(e, []int{2, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].TotalExamples >= rows[1].TotalExamples {
+		t.Fatalf("budgets not increasing: %+v", rows)
+	}
+	// more examples must help (the paper's core premise: generated
+	// training data quality/quantity drives accuracy)
+	if rows[1].MacroF1 <= rows[0].MacroF1 {
+		t.Fatalf("more training data should help: %+v", rows)
+	}
+	var buf bytes.Buffer
+	WriteAblationTrainingSize(&buf, rows)
+	if !strings.Contains(buf.String(), "examples/intent") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestAblationSynonyms(t *testing.T) {
+	e := fixture(t)
+	rows, err := AblationSynonyms(e, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	with, without := rows[1], rows[0]
+	if with.Variant != "with synonyms" || without.Variant != "without synonyms" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if with.Accuracy <= without.Accuracy {
+		t.Fatalf("synonyms should help: with=%.3f without=%.3f", with.Accuracy, without.Accuracy)
+	}
+	var buf bytes.Buffer
+	WriteAblationSynonyms(&buf, rows)
+	if !strings.Contains(buf.String(), "synonym") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestCompareBaseline(t *testing.T) {
+	e := fixture(t)
+	r := CompareBaseline(e, 800)
+	if r.AgentAccuracy <= r.BaselineAccuracy {
+		t.Fatalf("agent %.3f must beat baseline %.3f", r.AgentAccuracy, r.BaselineAccuracy)
+	}
+	if r.AgentSuccess <= r.BaselineSuccess {
+		t.Fatalf("agent success %.3f must beat baseline %.3f", r.AgentSuccess, r.BaselineSuccess)
+	}
+	var buf bytes.Buffer
+	WriteBaselineComparison(&buf, r)
+	if !strings.Contains(buf.String(), "keyword baseline") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestAblationCentrality(t *testing.T) {
+	e := fixture(t)
+	rows := AblationCentrality(e)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		found := false
+		for _, k := range r.KeyConcepts {
+			if k == "Drug" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("metric %s missed the Drug hub: %v", r.Metric, r.KeyConcepts)
+		}
+	}
+	var buf bytes.Buffer
+	WriteAblationCentrality(&buf, rows)
+	if !strings.Contains(buf.String(), "degree") {
+		t.Error("rendering incomplete")
+	}
+}

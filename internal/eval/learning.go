@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/core"
+	"ontoconv/internal/sim"
+)
+
+// LogLearningResult is the A6 extension experiment: close the loop the
+// paper leaves as future work (§9) by mining failed interactions from one
+// usage period, augmenting the training set with them, retraining, and
+// measuring the next period.
+type LogLearningResult struct {
+	MinedExamples   int
+	BeforeAccuracy  float64
+	AfterAccuracy   float64
+	BeforeSuccess   float64
+	AfterSuccess    float64
+	PeriodOne       int
+	PeriodTwo       int
+	IntentsImproved []string
+}
+
+// AblationLogLearning runs two simulated usage periods: period one against
+// the original agent (its failures are mined), period two against both the
+// original and the retrained agent, on identical seeds.
+func AblationLogLearning(e *Env, interactions int) (LogLearningResult, error) {
+	if interactions <= 0 {
+		interactions = 4000
+	}
+	r := LogLearningResult{PeriodOne: interactions, PeriodTwo: interactions}
+
+	// Period one: observe failures.
+	p1 := e.SimConfig
+	p1.Interactions = interactions
+	log1 := sim.Run(e.Agent, p1)
+	mined := sim.MineFailures(log1, 50)
+	for _, xs := range mined {
+		r.MinedExamples += len(xs)
+	}
+	r.IntentsImproved = sim.FailureIntents(mined)
+	if len(r.IntentsImproved) > 5 {
+		r.IntentsImproved = r.IntentsImproved[:5]
+	}
+
+	// Retrain on the augmented space.
+	augmented := cloneSpace(e.Space)
+	if err := core.AugmentFromPriorQueries(augmented, mined); err != nil {
+		return r, err
+	}
+	retrained, err := agent.New(augmented, e.Base, agent.Options{})
+	if err != nil {
+		return r, err
+	}
+
+	// Period two: a different seed, same workload model, both agents.
+	p2 := p1
+	p2.Seed = p1.Seed + 1
+	acc := func(l *sim.Log) float64 {
+		c := 0
+		for _, x := range l.Interactions {
+			if x.Correct {
+				c++
+			}
+		}
+		return float64(c) / float64(len(l.Interactions))
+	}
+	before := sim.Run(e.Agent, p2)
+	after := sim.Run(retrained, p2)
+	r.BeforeAccuracy = acc(before)
+	r.AfterAccuracy = acc(after)
+	r.BeforeSuccess = before.OverallSuccessRate()
+	r.AfterSuccess = after.OverallSuccessRate()
+	return r, nil
+}
+
+// cloneSpace deep-copies the mutable parts of a conversation space so the
+// augmentation does not touch the shared environment.
+func cloneSpace(s *core.Space) *core.Space {
+	out := *s
+	out.Intents = make([]core.Intent, len(s.Intents))
+	for i, in := range s.Intents {
+		cp := in
+		cp.Examples = append([]string(nil), in.Examples...)
+		out.Intents[i] = cp
+	}
+	return &out
+}
+
+// WriteLogLearning renders A6.
+func WriteLogLearning(w io.Writer, r LogLearningResult) {
+	fmt.Fprintln(w, "== A6: learning from usage logs (paper §9 future work) ==")
+	fmt.Fprintf(w, "mined %d failed utterances from a %d-interaction period\n", r.MinedExamples, r.PeriodOne)
+	fmt.Fprintf(w, "%-22s %14s %14s\n", "agent", "accuracy", "success rate")
+	fmt.Fprintf(w, "%-22s %13.1f%% %13.1f%%\n", "before retraining", r.BeforeAccuracy*100, r.BeforeSuccess*100)
+	fmt.Fprintf(w, "%-22s %13.1f%% %13.1f%%\n", "after retraining", r.AfterAccuracy*100, r.AfterSuccess*100)
+	fmt.Fprintf(w, "most-improved intents: %v\n", r.IntentsImproved)
+}

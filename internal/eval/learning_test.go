@@ -1,0 +1,39 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationLogLearning(t *testing.T) {
+	e := fixture(t)
+	r, err := AblationLogLearning(e, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinedExamples == 0 {
+		t.Skip("no failures mined at this size")
+	}
+	// learning from failures must not make the system worse on the next
+	// period (it nearly always improves it)
+	if r.AfterAccuracy < r.BeforeAccuracy-0.01 {
+		t.Fatalf("retraining hurt: before=%.3f after=%.3f", r.BeforeAccuracy, r.AfterAccuracy)
+	}
+	var buf bytes.Buffer
+	WriteLogLearning(&buf, r)
+	if !strings.Contains(buf.String(), "after retraining") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestCloneSpaceIsolation(t *testing.T) {
+	e := fixture(t)
+	cp := cloneSpace(e.Space)
+	cp.Intents[0].Examples = append(cp.Intents[0].Examples, "MUTATION")
+	for _, ex := range e.Space.Intents[0].Examples {
+		if ex == "MUTATION" {
+			t.Fatal("cloneSpace leaked a mutation into the original")
+		}
+	}
+}

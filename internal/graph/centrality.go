@@ -1,0 +1,209 @@
+package graph
+
+import "sort"
+
+// Centrality maps node IDs to a centrality score. Higher is more central.
+type Centrality map[string]float64
+
+// Ranked returns the node IDs sorted by descending score; ties broken by ID
+// for determinism.
+type ScoredNode struct {
+	ID    string
+	Score float64
+}
+
+// Ranked returns nodes ordered by descending centrality, ties broken by ID.
+func (c Centrality) Ranked() []ScoredNode {
+	out := make([]ScoredNode, 0, len(c))
+	for id, s := range c {
+		out = append(out, ScoredNode{ID: id, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// DegreeCentrality returns the normalized total degree of every node:
+// degree / (2 * |E|), so scores sum to 1 over the graph.
+func DegreeCentrality(g *Graph) Centrality {
+	c := make(Centrality, g.NumNodes())
+	total := float64(2 * g.NumEdges())
+	if total == 0 {
+		total = 1
+	}
+	for _, n := range g.Nodes() {
+		c[n] = float64(g.Degree(n)) / total
+	}
+	return c
+}
+
+// PageRank computes PageRank with the given damping factor over the directed
+// graph, iterating until the L1 delta drops below tol or maxIter rounds.
+// Dangling nodes distribute their mass uniformly.
+func PageRank(g *Graph, damping float64, maxIter int, tol float64) Centrality {
+	nodes := g.Nodes()
+	n := len(nodes)
+	if n == 0 {
+		return Centrality{}
+	}
+	rank := make(Centrality, n)
+	for _, id := range nodes {
+		rank[id] = 1.0 / float64(n)
+	}
+	outDeg := make(map[string]int, n)
+	for _, id := range nodes {
+		outDeg[id] = len(g.Out(id))
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		next := make(Centrality, n)
+		dangling := 0.0
+		for _, id := range nodes {
+			if outDeg[id] == 0 {
+				dangling += rank[id]
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for _, id := range nodes {
+			next[id] = base
+		}
+		for _, id := range nodes {
+			if outDeg[id] == 0 {
+				continue
+			}
+			share := damping * rank[id] / float64(outDeg[id])
+			for _, e := range g.Out(id) {
+				next[e.To] += share
+			}
+		}
+		delta := 0.0
+		for _, id := range nodes {
+			d := next[id] - rank[id]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		rank = next
+		if delta < tol {
+			break
+		}
+	}
+	return rank
+}
+
+// Betweenness computes (unnormalized) betweenness centrality on the
+// *undirected* view of g using Brandes' algorithm. Parallel edges between
+// the same pair are collapsed.
+func Betweenness(g *Graph) Centrality {
+	u := g.Undirected()
+	nodes := u.Nodes()
+	adj := make(map[string][]string, len(nodes))
+	for _, id := range nodes {
+		seen := make(map[string]bool)
+		for _, e := range u.Out(id) {
+			if e.To != id && !seen[e.To] {
+				seen[e.To] = true
+				adj[id] = append(adj[id], e.To)
+			}
+		}
+		sort.Strings(adj[id])
+	}
+	cb := make(Centrality, len(nodes))
+	for _, id := range nodes {
+		cb[id] = 0
+	}
+	for _, s := range nodes {
+		// Brandes single-source shortest-path accumulation.
+		var stack []string
+		pred := make(map[string][]string)
+		sigma := map[string]float64{s: 1}
+		dist := map[string]int{s: 0}
+		queue := []string{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range adj[v] {
+				if _, ok := dist[w]; !ok {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					pred[w] = append(pred[w], v)
+				}
+			}
+		}
+		delta := make(map[string]float64)
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range pred[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	// Each undirected path counted twice (once per endpoint as source).
+	for id := range cb {
+		cb[id] /= 2
+	}
+	return cb
+}
+
+// Closeness computes harmonic closeness centrality on the undirected view:
+// sum over reachable nodes of 1/d(u,v), which is well-defined on
+// disconnected graphs.
+func Closeness(g *Graph) Centrality {
+	u := g.Undirected()
+	nodes := u.Nodes()
+	c := make(Centrality, len(nodes))
+	for _, s := range nodes {
+		dist := map[string]int{s: 0}
+		queue := []string{s}
+		sum := 0.0
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range u.Out(v) {
+				if _, ok := dist[e.To]; !ok {
+					dist[e.To] = dist[v] + 1
+					sum += 1.0 / float64(dist[e.To])
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		c[s] = sum
+	}
+	return c
+}
+
+// Metric names a centrality measure selectable by the bootstrapper.
+type Metric string
+
+// Supported centrality metrics.
+const (
+	MetricDegree      Metric = "degree"
+	MetricPageRank    Metric = "pagerank"
+	MetricBetweenness Metric = "betweenness"
+	MetricCloseness   Metric = "closeness"
+)
+
+// Compute evaluates the named metric with reasonable defaults.
+func Compute(g *Graph, m Metric) Centrality {
+	switch m {
+	case MetricPageRank:
+		return PageRank(g, 0.85, 100, 1e-9)
+	case MetricBetweenness:
+		return Betweenness(g)
+	case MetricCloseness:
+		return Closeness(g)
+	default:
+		return DegreeCentrality(g)
+	}
+}

@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// star returns a hub with n spokes (hub -> spoke_i).
+func star(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddEdge("hub", nodeName(i+1), "spoke")
+	}
+	return g
+}
+
+func TestDegreeCentralityStar(t *testing.T) {
+	g := star(5)
+	c := DegreeCentrality(g)
+	if c["hub"] <= c[nodeName(1)] {
+		t.Fatalf("hub centrality %v must exceed spoke %v", c["hub"], c[nodeName(1)])
+	}
+	sum := 0.0
+	for _, v := range c {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("degree centralities sum to %v, want 1", sum)
+	}
+}
+
+func TestDegreeCentralityEmpty(t *testing.T) {
+	g := New()
+	g.AddNode("lonely")
+	c := DegreeCentrality(g)
+	if c["lonely"] != 0 {
+		t.Fatalf("isolated node centrality = %v, want 0", c["lonely"])
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := star(6)
+	pr := PageRank(g, 0.85, 100, 1e-10)
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank sums to %v, want 1", sum)
+	}
+}
+
+func TestPageRankSpokesGainFromHub(t *testing.T) {
+	// In hub -> spokes, the spokes receive the hub's rank; with damping
+	// the spokes end above the hub.
+	g := star(4)
+	pr := PageRank(g, 0.85, 100, 1e-10)
+	if pr[nodeName(1)] <= pr["hub"] {
+		t.Fatalf("spoke %v should out-rank the dangling-free hub %v", pr[nodeName(1)], pr["hub"])
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	g := New()
+	n := 5
+	for i := 0; i < n; i++ {
+		g.AddEdge(nodeName(i), nodeName((i+1)%n), "next")
+	}
+	pr := PageRank(g, 0.85, 200, 1e-12)
+	for i := 0; i < n; i++ {
+		if math.Abs(pr[nodeName(i)]-1.0/float64(n)) > 1e-6 {
+			t.Fatalf("cycle node rank %v, want uniform %v", pr[nodeName(i)], 1.0/float64(n))
+		}
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	if pr := PageRank(New(), 0.85, 10, 1e-9); len(pr) != 0 {
+		t.Fatalf("empty graph rank = %v", pr)
+	}
+}
+
+func TestBetweennessPathGraph(t *testing.T) {
+	// a - b - c: b lies on the single shortest path a..c.
+	g := New()
+	g.AddEdge("a", "b", "1")
+	g.AddEdge("b", "c", "2")
+	bc := Betweenness(g)
+	if bc["b"] != 1 {
+		t.Fatalf("betweenness(b) = %v, want 1", bc["b"])
+	}
+	if bc["a"] != 0 || bc["c"] != 0 {
+		t.Fatalf("endpoints should be 0: %v", bc)
+	}
+}
+
+func TestBetweennessStarHub(t *testing.T) {
+	n := 5
+	g := star(n)
+	bc := Betweenness(g)
+	// hub mediates all C(n,2) spoke pairs
+	want := float64(n*(n-1)) / 2
+	if math.Abs(bc["hub"]-want) > 1e-9 {
+		t.Fatalf("betweenness(hub) = %v, want %v", bc["hub"], want)
+	}
+}
+
+func TestClosenessPath(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", "1")
+	g.AddEdge("b", "c", "2")
+	cc := Closeness(g)
+	// harmonic: b sees two nodes at distance 1 => 2.0; a sees 1 + 1/2.
+	if math.Abs(cc["b"]-2.0) > 1e-9 {
+		t.Fatalf("closeness(b) = %v, want 2", cc["b"])
+	}
+	if math.Abs(cc["a"]-1.5) > 1e-9 {
+		t.Fatalf("closeness(a) = %v, want 1.5", cc["a"])
+	}
+}
+
+func TestClosenessDisconnected(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", "1")
+	g.AddNode("island")
+	cc := Closeness(g)
+	if cc["island"] != 0 {
+		t.Fatalf("island closeness = %v, want 0", cc["island"])
+	}
+}
+
+func TestComputeDispatch(t *testing.T) {
+	g := star(3)
+	for _, m := range []Metric{MetricDegree, MetricPageRank, MetricBetweenness, MetricCloseness} {
+		c := Compute(g, m)
+		if len(c) != g.NumNodes() {
+			t.Fatalf("metric %s returned %d scores, want %d", m, len(c), g.NumNodes())
+		}
+	}
+	// unknown metric falls back to degree
+	if c := Compute(g, Metric("nope")); c["hub"] <= 0 {
+		t.Fatal("unknown metric should fall back to degree")
+	}
+}
+
+func TestRankedDeterministicTies(t *testing.T) {
+	c := Centrality{"b": 1, "a": 1, "c": 0.5}
+	r := c.Ranked()
+	if r[0].ID != "a" || r[1].ID != "b" || r[2].ID != "c" {
+		t.Fatalf("Ranked = %v, want ties broken by ID", r)
+	}
+}
+
+// Property (quick): every centrality is non-negative on random star sizes.
+func TestCentralityNonNegative(t *testing.T) {
+	f := func(raw uint8) bool {
+		g := star(int(raw%10) + 2)
+		for _, m := range []Metric{MetricDegree, MetricPageRank, MetricBetweenness, MetricCloseness} {
+			for _, v := range Compute(g, m) {
+				if v < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

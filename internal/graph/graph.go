@@ -1,0 +1,262 @@
+// Package graph provides a small directed multigraph and the centrality
+// analyses the conversation-space bootstrapper uses to identify key concepts
+// in a domain ontology (paper §4.2.1).
+//
+// Nodes are identified by string IDs. Edges are directed and labelled;
+// multiple edges may connect the same pair of nodes under different labels.
+// All algorithms treat the graph as sparse.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed, labelled edge.
+type Edge struct {
+	From  string
+	To    string
+	Label string
+}
+
+// Graph is a directed multigraph over string node IDs.
+// The zero value is not usable; call New.
+type Graph struct {
+	nodes map[string]bool
+	out   map[string][]Edge
+	in    map[string][]Edge
+	order []string // insertion order, for deterministic iteration
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[string]bool),
+		out:   make(map[string][]Edge),
+		in:    make(map[string][]Edge),
+	}
+}
+
+// AddNode inserts a node. Adding an existing node is a no-op.
+func (g *Graph) AddNode(id string) {
+	if g.nodes[id] {
+		return
+	}
+	g.nodes[id] = true
+	g.order = append(g.order, id)
+}
+
+// HasNode reports whether id is a node of g.
+func (g *Graph) HasNode(id string) bool { return g.nodes[id] }
+
+// AddEdge inserts a directed labelled edge, creating endpoints as needed.
+func (g *Graph) AddEdge(from, to, label string) {
+	g.AddNode(from)
+	g.AddNode(to)
+	e := Edge{From: from, To: to, Label: label}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+}
+
+// Nodes returns all node IDs in insertion order.
+func (g *Graph) Nodes() []string {
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.out {
+		n += len(es)
+	}
+	return n
+}
+
+// Out returns the outgoing edges of id.
+func (g *Graph) Out(id string) []Edge { return g.out[id] }
+
+// In returns the incoming edges of id.
+func (g *Graph) In(id string) []Edge { return g.in[id] }
+
+// Degree returns the total (in+out) degree of id.
+func (g *Graph) Degree(id string) int { return len(g.out[id]) + len(g.in[id]) }
+
+// Neighbors returns the distinct nodes adjacent to id in either direction,
+// sorted for determinism.
+func (g *Graph) Neighbors(id string) []string {
+	seen := make(map[string]bool)
+	for _, e := range g.out[id] {
+		seen[e.To] = true
+	}
+	for _, e := range g.in[id] {
+		seen[e.From] = true
+	}
+	delete(seen, id)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgesBetween returns all edges from a to b (directed).
+func (g *Graph) EdgesBetween(a, b string) []Edge {
+	var out []Edge
+	for _, e := range g.out[a] {
+		if e.To == b {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Undirected returns an undirected view: for every directed edge a copy in
+// the reverse direction is added (labels preserved). The receiver is not
+// modified.
+func (g *Graph) Undirected() *Graph {
+	u := New()
+	for _, n := range g.order {
+		u.AddNode(n)
+	}
+	for _, es := range g.out {
+		for _, e := range es {
+			u.AddEdge(e.From, e.To, e.Label)
+			u.AddEdge(e.To, e.From, e.Label)
+		}
+	}
+	return u
+}
+
+// Path is a sequence of edges; Nodes() reconstructs the visited node IDs.
+type Path []Edge
+
+// Nodes returns the node sequence of p (len(p)+1 nodes), or nil for an
+// empty path.
+func (p Path) Nodes() []string {
+	if len(p) == 0 {
+		return nil
+	}
+	out := []string{p[0].From}
+	for _, e := range p {
+		out = append(out, e.To)
+	}
+	return out
+}
+
+// String renders the path as "A -l1-> B -l2-> C".
+func (p Path) String() string {
+	if len(p) == 0 {
+		return ""
+	}
+	s := p[0].From
+	for _, e := range p {
+		s += fmt.Sprintf(" -%s-> %s", e.Label, e.To)
+	}
+	return s
+}
+
+// ShortestPath returns one shortest directed path from src to dst (BFS over
+// edge count) and true, or nil and false if unreachable. src==dst yields an
+// empty path and true.
+func (g *Graph) ShortestPath(src, dst string) (Path, bool) {
+	if !g.nodes[src] || !g.nodes[dst] {
+		return nil, false
+	}
+	if src == dst {
+		return Path{}, true
+	}
+	prev := make(map[string]Edge)
+	visited := map[string]bool{src: true}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.out[cur] {
+			if visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			prev[e.To] = e
+			if e.To == dst {
+				return reconstruct(prev, src, dst), true
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	return nil, false
+}
+
+func reconstruct(prev map[string]Edge, src, dst string) Path {
+	var rev Path
+	for cur := dst; cur != src; {
+		e := prev[cur]
+		rev = append(rev, e)
+		cur = e.From
+	}
+	// reverse
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathsUpTo returns all simple directed paths from src to dst with at most
+// maxHops edges, in deterministic order. It is intended for the small
+// ontology graphs used by the bootstrapper (tens of nodes), not for large
+// graphs.
+func (g *Graph) PathsUpTo(src, dst string, maxHops int) []Path {
+	var out []Path
+	if !g.nodes[src] || !g.nodes[dst] || maxHops <= 0 {
+		return out
+	}
+	onPath := map[string]bool{src: true}
+	var cur Path
+	var dfs func(node string)
+	dfs = func(node string) {
+		if len(cur) >= maxHops {
+			return
+		}
+		for _, e := range g.out[node] {
+			if onPath[e.To] {
+				continue
+			}
+			cur = append(cur, e)
+			if e.To == dst {
+				cp := make(Path, len(cur))
+				copy(cp, cur)
+				out = append(out, cp)
+			} else {
+				onPath[e.To] = true
+				dfs(e.To)
+				delete(onPath, e.To)
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	dfs(src)
+	return out
+}
+
+// Reachable returns the set of nodes reachable from src (excluding src
+// unless it lies on a cycle back to itself), following directed edges.
+func (g *Graph) Reachable(src string) map[string]bool {
+	seen := make(map[string]bool)
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.out[cur] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func buildDiamond() *Graph {
+	// A -> B -> D, A -> C -> D
+	g := New()
+	g.AddEdge("A", "B", "ab")
+	g.AddEdge("B", "D", "bd")
+	g.AddEdge("A", "C", "ac")
+	g.AddEdge("C", "D", "cd")
+	return g
+}
+
+func TestAddNodeIdempotent(t *testing.T) {
+	g := New()
+	g.AddNode("x")
+	g.AddNode("x")
+	if g.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", g.NumNodes())
+	}
+	if !g.HasNode("x") || g.HasNode("y") {
+		t.Fatal("HasNode gave wrong answers")
+	}
+}
+
+func TestEdgesAndDegree(t *testing.T) {
+	g := buildDiamond()
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if d := g.Degree("A"); d != 2 {
+		t.Fatalf("Degree(A) = %d, want 2", d)
+	}
+	if d := g.Degree("D"); d != 2 {
+		t.Fatalf("Degree(D) = %d, want 2", d)
+	}
+	if got := g.Neighbors("A"); !reflect.DeepEqual(got, []string{"B", "C"}) {
+		t.Fatalf("Neighbors(A) = %v", got)
+	}
+	if es := g.EdgesBetween("A", "B"); len(es) != 1 || es[0].Label != "ab" {
+		t.Fatalf("EdgesBetween(A,B) = %v", es)
+	}
+	if es := g.EdgesBetween("B", "A"); len(es) != 0 {
+		t.Fatalf("EdgesBetween(B,A) = %v, want none (directed)", es)
+	}
+}
+
+func TestMultiEdges(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", "r1")
+	g.AddEdge("a", "b", "r2")
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 (multigraph)", g.NumEdges())
+	}
+	if nb := g.Neighbors("a"); len(nb) != 1 {
+		t.Fatalf("Neighbors dedupes: got %v", nb)
+	}
+}
+
+func TestNodesInsertionOrder(t *testing.T) {
+	g := New()
+	for _, n := range []string{"z", "m", "a"} {
+		g.AddNode(n)
+	}
+	if got := g.Nodes(); !reflect.DeepEqual(got, []string{"z", "m", "a"}) {
+		t.Fatalf("Nodes = %v, want insertion order", got)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := buildDiamond()
+	p, ok := g.ShortestPath("A", "D")
+	if !ok || len(p) != 2 {
+		t.Fatalf("ShortestPath(A,D) = %v, %v; want 2 edges", p, ok)
+	}
+	if nodes := p.Nodes(); nodes[0] != "A" || nodes[2] != "D" {
+		t.Fatalf("path nodes = %v", nodes)
+	}
+	if _, ok := g.ShortestPath("D", "A"); ok {
+		t.Fatal("ShortestPath(D,A) should be unreachable in a DAG")
+	}
+	if p, ok := g.ShortestPath("A", "A"); !ok || len(p) != 0 {
+		t.Fatalf("ShortestPath(A,A) = %v, %v; want empty, true", p, ok)
+	}
+	if _, ok := g.ShortestPath("A", "missing"); ok {
+		t.Fatal("path to missing node should fail")
+	}
+}
+
+func TestPathString(t *testing.T) {
+	g := buildDiamond()
+	p, _ := g.ShortestPath("A", "B")
+	if got := p.String(); got != "A -ab-> B" {
+		t.Fatalf("Path.String() = %q", got)
+	}
+	var empty Path
+	if empty.String() != "" || empty.Nodes() != nil {
+		t.Fatal("empty path should render empty")
+	}
+}
+
+func TestPathsUpTo(t *testing.T) {
+	g := buildDiamond()
+	paths := g.PathsUpTo("A", "D", 3)
+	if len(paths) != 2 {
+		t.Fatalf("PathsUpTo found %d paths, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if len(p) != 2 {
+			t.Fatalf("path %v has %d hops, want 2", p, len(p))
+		}
+	}
+	if got := g.PathsUpTo("A", "D", 1); len(got) != 0 {
+		t.Fatalf("maxHops=1 should find no path, got %v", got)
+	}
+}
+
+func TestPathsUpToAvoidsCycles(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", "1")
+	g.AddEdge("b", "a", "2")
+	g.AddEdge("b", "c", "3")
+	paths := g.PathsUpTo("a", "c", 10)
+	if len(paths) != 1 {
+		t.Fatalf("want exactly 1 simple path, got %d", len(paths))
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := buildDiamond()
+	r := g.Reachable("A")
+	for _, n := range []string{"B", "C", "D"} {
+		if !r[n] {
+			t.Fatalf("%s should be reachable from A", n)
+		}
+	}
+	if len(g.Reachable("D")) != 0 {
+		t.Fatal("nothing reachable from sink D")
+	}
+}
+
+func TestUndirected(t *testing.T) {
+	g := buildDiamond()
+	u := g.Undirected()
+	if _, ok := u.ShortestPath("D", "A"); !ok {
+		t.Fatal("undirected view must connect D back to A")
+	}
+	// original untouched
+	if _, ok := g.ShortestPath("D", "A"); ok {
+		t.Fatal("Undirected must not mutate the receiver")
+	}
+}
+
+// Property: a shortest path is never longer than any enumerated simple
+// path.
+func TestShortestPathIsMinimal(t *testing.T) {
+	g := buildDiamond()
+	g.AddEdge("A", "D", "ad") // now direct hop exists
+	short, ok := g.ShortestPath("A", "D")
+	if !ok || len(short) != 1 {
+		t.Fatalf("direct edge should win: %v", short)
+	}
+	for _, p := range g.PathsUpTo("A", "D", 5) {
+		if len(p) < len(short) {
+			t.Fatalf("enumerated path %v shorter than shortest %v", p, short)
+		}
+	}
+}
+
+// Property (quick): on a random chain graph, the shortest path from the
+// first to the last node has exactly n-1 edges.
+func TestShortestPathChainProperty(t *testing.T) {
+	f := func(rawLen uint8) bool {
+		n := int(rawLen%20) + 2
+		g := New()
+		for i := 0; i+1 < n; i++ {
+			g.AddEdge(nodeName(i), nodeName(i+1), "next")
+		}
+		p, ok := g.ShortestPath(nodeName(0), nodeName(n-1))
+		return ok && len(p) == n-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nodeName(i int) string { return string(rune('a'+i%26)) + string(rune('A'+i/26)) }

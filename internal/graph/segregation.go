@@ -1,0 +1,58 @@
+package graph
+
+// Segregate applies the "statistical segregation" step of key-concept
+// discovery (paper §4.2.1, [25]): given centrality scores, it finds the
+// largest relative gap in the sorted score sequence and returns the IDs
+// above the gap — the nodes that "stand on their own".
+//
+// minKeep and maxKeep bound the cut: at least minKeep and at most maxKeep
+// nodes are returned (clamped to the graph size). A gap is only considered
+// between positions [minKeep, maxKeep].
+func Segregate(c Centrality, minKeep, maxKeep int) []string {
+	ranked := c.Ranked()
+	n := len(ranked)
+	if n == 0 {
+		return nil
+	}
+	if minKeep < 1 {
+		minKeep = 1
+	}
+	if maxKeep > n {
+		maxKeep = n
+	}
+	if minKeep > maxKeep {
+		minKeep = maxKeep
+	}
+	// Find the cut position k in [minKeep, maxKeep] maximizing the score
+	// drop ranked[k-1].Score - ranked[k].Score (absolute gap). If all gaps
+	// are zero the maximum allowed is kept.
+	bestK, bestGap := maxKeep, -1.0
+	for k := minKeep; k <= maxKeep && k < n; k++ {
+		gap := ranked[k-1].Score - ranked[k].Score
+		if gap > bestGap {
+			bestGap = gap
+			bestK = k
+		}
+	}
+	if bestK > n {
+		bestK = n
+	}
+	out := make([]string, 0, bestK)
+	for i := 0; i < bestK; i++ {
+		out = append(out, ranked[i].ID)
+	}
+	return out
+}
+
+// TopK returns the k highest-scoring node IDs (ties broken by ID).
+func TopK(c Centrality, k int) []string {
+	ranked := c.Ranked()
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, ranked[i].ID)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSegregateLargestGap(t *testing.T) {
+	c := Centrality{"big": 10, "alsobig": 9.5, "small": 1, "tiny": 0.5}
+	got := Segregate(c, 1, 4)
+	if !reflect.DeepEqual(got, []string{"big", "alsobig"}) {
+		t.Fatalf("Segregate = %v, want the two above the gap", got)
+	}
+}
+
+func TestSegregateMinKeep(t *testing.T) {
+	// Largest gap is after the first element, but minKeep forces two.
+	c := Centrality{"huge": 100, "mid": 5, "low": 4}
+	got := Segregate(c, 2, 3)
+	if len(got) < 2 {
+		t.Fatalf("minKeep violated: %v", got)
+	}
+	if got[0] != "huge" {
+		t.Fatalf("highest must come first: %v", got)
+	}
+}
+
+func TestSegregateMaxKeepClamp(t *testing.T) {
+	c := Centrality{"a": 3, "b": 2, "c": 1}
+	got := Segregate(c, 1, 99)
+	if len(got) > 3 {
+		t.Fatalf("cannot keep more than exist: %v", got)
+	}
+}
+
+func TestSegregateEmpty(t *testing.T) {
+	if got := Segregate(Centrality{}, 1, 5); got != nil {
+		t.Fatalf("empty centrality should yield nil, got %v", got)
+	}
+}
+
+func TestSegregateAllEqual(t *testing.T) {
+	c := Centrality{"a": 1, "b": 1, "c": 1, "d": 1}
+	got := Segregate(c, 2, 3)
+	if len(got) < 2 || len(got) > 3 {
+		t.Fatalf("ties should keep within [min,max]: %v", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	c := Centrality{"a": 1, "b": 3, "c": 2}
+	if got := TopK(c, 2); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Fatalf("TopK = %v", got)
+	}
+	if got := TopK(c, 10); len(got) != 3 {
+		t.Fatalf("TopK over-count = %v", got)
+	}
+	if got := TopK(c, 0); len(got) != 0 {
+		t.Fatalf("TopK(0) = %v", got)
+	}
+}

@@ -1,0 +1,334 @@
+// Package kb implements the relational knowledge-base substrate: typed
+// tables with primary/foreign keys, in-memory row storage, secondary
+// indexes, and the column statistics the ontology generator and the
+// bootstrapper consume (paper §2: "the knowledge base (stored in Db2 on
+// Cloud)" — replaced here by an embedded store).
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ColumnType enumerates column types.
+type ColumnType string
+
+// Supported column types.
+const (
+	TextCol  ColumnType = "text"
+	IntCol   ColumnType = "int"
+	FloatCol ColumnType = "float"
+	BoolCol  ColumnType = "bool"
+)
+
+// Value is a cell value: string, int64, float64, bool, or nil.
+type Value interface{}
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type ColumnType
+	// NotNull marks the column as required.
+	NotNull bool
+}
+
+// ForeignKey declares that Column references RefTable.RefColumn.
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// Schema describes one table.
+type Schema struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  string
+	ForeignKeys []ForeignKey
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the named column definition, or nil.
+func (s *Schema) Column(name string) *Column {
+	if i := s.ColumnIndex(name); i >= 0 {
+		return &s.Columns[i]
+	}
+	return nil
+}
+
+// Row is one tuple, positionally aligned with the schema's columns.
+type Row []Value
+
+// Table is a table plus its rows and indexes.
+type Table struct {
+	Schema Schema
+	Rows   []Row
+
+	pkIndex map[Value]int              // PK value -> row position
+	indexes map[string]map[Value][]int // column name (lower) -> value -> positions
+}
+
+// KB is a set of tables. It is safe for concurrent readers once loading is
+// complete; loads must not race with reads.
+type KB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	order  []string
+}
+
+// New returns an empty knowledge base.
+func New() *KB {
+	return &KB{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a table with the given schema.
+func (k *KB) CreateTable(s Schema) (*Table, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	key := strings.ToLower(s.Name)
+	if _, ok := k.tables[key]; ok {
+		return nil, fmt.Errorf("kb: table %q already exists", s.Name)
+	}
+	if s.PrimaryKey != "" && s.ColumnIndex(s.PrimaryKey) < 0 {
+		return nil, fmt.Errorf("kb: table %q: primary key %q is not a column", s.Name, s.PrimaryKey)
+	}
+	for _, fk := range s.ForeignKeys {
+		if s.ColumnIndex(fk.Column) < 0 {
+			return nil, fmt.Errorf("kb: table %q: foreign key column %q is not a column", s.Name, fk.Column)
+		}
+	}
+	t := &Table{
+		Schema:  s,
+		pkIndex: make(map[Value]int),
+		indexes: make(map[string]map[Value][]int),
+	}
+	k.tables[key] = t
+	k.order = append(k.order, s.Name)
+	return t, nil
+}
+
+// Table returns the named table (case-insensitive), or nil.
+func (k *KB) Table(name string) *Table {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.tables[strings.ToLower(name)]
+}
+
+// TableNames returns table names in creation order.
+func (k *KB) TableNames() []string {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]string, len(k.order))
+	copy(out, k.order)
+	return out
+}
+
+// Insert appends a row after type- and constraint-checking it.
+func (t *Table) Insert(row Row) error {
+	if len(row) != len(t.Schema.Columns) {
+		return fmt.Errorf("kb: %s: row has %d values, want %d", t.Schema.Name, len(row), len(t.Schema.Columns))
+	}
+	for i, c := range t.Schema.Columns {
+		v := row[i]
+		if v == nil {
+			if c.NotNull {
+				return fmt.Errorf("kb: %s: column %q is NOT NULL", t.Schema.Name, c.Name)
+			}
+			continue
+		}
+		if err := checkType(v, c.Type); err != nil {
+			return fmt.Errorf("kb: %s.%s: %w", t.Schema.Name, c.Name, err)
+		}
+	}
+	if pk := t.Schema.PrimaryKey; pk != "" {
+		i := t.Schema.ColumnIndex(pk)
+		v := row[i]
+		if v == nil {
+			return fmt.Errorf("kb: %s: primary key %q is nil", t.Schema.Name, pk)
+		}
+		if _, dup := t.pkIndex[v]; dup {
+			return fmt.Errorf("kb: %s: duplicate primary key %v", t.Schema.Name, v)
+		}
+		t.pkIndex[v] = len(t.Rows)
+	}
+	pos := len(t.Rows)
+	t.Rows = append(t.Rows, row)
+	for col, idx := range t.indexes {
+		ci := t.Schema.ColumnIndex(col)
+		idx[row[ci]] = append(idx[row[ci]], pos)
+	}
+	return nil
+}
+
+// MustInsert is Insert that panics on error; for generated data sets.
+func (t *Table) MustInsert(row Row) {
+	if err := t.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// ByPK returns the row with the given primary-key value.
+func (t *Table) ByPK(v Value) (Row, bool) {
+	i, ok := t.pkIndex[v]
+	if !ok {
+		return nil, false
+	}
+	return t.Rows[i], true
+}
+
+// BuildIndex creates (or rebuilds) a secondary hash index on the column.
+func (t *Table) BuildIndex(column string) error {
+	ci := t.Schema.ColumnIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("kb: %s: no column %q", t.Schema.Name, column)
+	}
+	idx := make(map[Value][]int)
+	for pos, row := range t.Rows {
+		idx[row[ci]] = append(idx[row[ci]], pos)
+	}
+	t.indexes[strings.ToLower(column)] = idx
+	return nil
+}
+
+// Lookup returns the positions of rows whose column equals v, using a
+// secondary index when available and a scan otherwise.
+func (t *Table) Lookup(column string, v Value) []int {
+	if idx, ok := t.indexes[strings.ToLower(column)]; ok {
+		return idx[v]
+	}
+	ci := t.Schema.ColumnIndex(column)
+	if ci < 0 {
+		return nil
+	}
+	var out []int
+	for pos, row := range t.Rows {
+		if row[ci] == v {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Values returns all values of the column, nulls skipped.
+func (t *Table) Values(column string) []Value {
+	ci := t.Schema.ColumnIndex(column)
+	if ci < 0 {
+		return nil
+	}
+	out := make([]Value, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		if row[ci] != nil {
+			out = append(out, row[ci])
+		}
+	}
+	return out
+}
+
+// DistinctStrings returns the sorted distinct non-null string values of the
+// column (non-string columns yield their fmt rendering).
+func (t *Table) DistinctStrings(column string) []string {
+	ci := t.Schema.ColumnIndex(column)
+	if ci < 0 {
+		return nil
+	}
+	set := make(map[string]bool)
+	for _, row := range t.Rows {
+		if row[ci] == nil {
+			continue
+		}
+		set[toString(row[ci])] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func toString(v Value) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func checkType(v Value, ct ColumnType) error {
+	switch ct {
+	case TextCol:
+		if _, ok := v.(string); !ok {
+			return fmt.Errorf("want text, got %T", v)
+		}
+	case IntCol:
+		switch v.(type) {
+		case int64, int:
+		default:
+			return fmt.Errorf("want int, got %T", v)
+		}
+	case FloatCol:
+		switch v.(type) {
+		case float64, int64, int:
+		default:
+			return fmt.Errorf("want float, got %T", v)
+		}
+	case BoolCol:
+		if _, ok := v.(bool); !ok {
+			return fmt.Errorf("want bool, got %T", v)
+		}
+	default:
+		return fmt.Errorf("unknown column type %q", ct)
+	}
+	return nil
+}
+
+// ValidateForeignKeys checks that every non-null FK value resolves to a
+// primary key of the referenced table.
+func (k *KB) ValidateForeignKeys() error {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	var errs []string
+	for _, name := range k.order {
+		t := k.tables[strings.ToLower(name)]
+		for _, fk := range t.Schema.ForeignKeys {
+			ref := k.tables[strings.ToLower(fk.RefTable)]
+			if ref == nil {
+				errs = append(errs, fmt.Sprintf("%s.%s references missing table %s", name, fk.Column, fk.RefTable))
+				continue
+			}
+			if !strings.EqualFold(ref.Schema.PrimaryKey, fk.RefColumn) {
+				errs = append(errs, fmt.Sprintf("%s.%s references %s.%s which is not its primary key", name, fk.Column, fk.RefTable, fk.RefColumn))
+				continue
+			}
+			ci := t.Schema.ColumnIndex(fk.Column)
+			for _, row := range t.Rows {
+				if row[ci] == nil {
+					continue
+				}
+				if _, ok := ref.pkIndex[row[ci]]; !ok {
+					errs = append(errs, fmt.Sprintf("%s.%s value %v has no match in %s.%s", name, fk.Column, row[ci], fk.RefTable, fk.RefColumn))
+					break
+				}
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("kb: foreign key violations: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}

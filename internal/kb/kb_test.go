@@ -1,0 +1,260 @@
+package kb
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func drugSchema() Schema {
+	return Schema{
+		Name: "drug",
+		Columns: []Column{
+			{Name: "drug_id", Type: TextCol, NotNull: true},
+			{Name: "name", Type: TextCol, NotNull: true},
+			{Name: "class", Type: TextCol},
+			{Name: "year", Type: IntCol},
+			{Name: "half_life", Type: FloatCol},
+			{Name: "otc", Type: BoolCol},
+		},
+		PrimaryKey: "drug_id",
+	}
+}
+
+func newDrugKB(t *testing.T) (*KB, *Table) {
+	t.Helper()
+	k := New()
+	tab, err := k.CreateTable(drugSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, tab
+}
+
+func TestCreateTableDuplicate(t *testing.T) {
+	k, _ := newDrugKB(t)
+	if _, err := k.CreateTable(drugSchema()); err == nil {
+		t.Fatal("duplicate table must error")
+	}
+	// case-insensitive
+	s := drugSchema()
+	s.Name = "DRUG"
+	if _, err := k.CreateTable(s); err == nil {
+		t.Fatal("case-insensitive duplicate must error")
+	}
+}
+
+func TestCreateTableBadConstraints(t *testing.T) {
+	k := New()
+	s := drugSchema()
+	s.PrimaryKey = "ghost"
+	if _, err := k.CreateTable(s); err == nil {
+		t.Fatal("primary key must be a column")
+	}
+	s = drugSchema()
+	s.ForeignKeys = []ForeignKey{{Column: "ghost", RefTable: "x", RefColumn: "y"}}
+	if _, err := k.CreateTable(s); err == nil {
+		t.Fatal("FK column must exist")
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	_, tab := newDrugKB(t)
+	ok := Row{"D1", "Aspirin", "NSAID", int64(1899), 0.25, true}
+	if err := tab.Insert(ok); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		row  Row
+	}{
+		{"wrong arity", Row{"D2", "X"}},
+		{"null not-null", Row{"D2", nil, "c", int64(1), 1.0, true}},
+		{"text type", Row{"D2", 42, "c", int64(1), 1.0, true}},
+		{"int type", Row{"D2", "N", "c", "1999", 1.0, true}},
+		{"bool type", Row{"D2", "N", "c", int64(1), 1.0, "yes"}},
+		{"nil pk", Row{nil, "N", "c", int64(1), 1.0, true}},
+		{"dup pk", Row{"D1", "N", "c", int64(1), 1.0, true}},
+	}
+	for _, c := range cases {
+		if err := tab.Insert(c.row); err == nil {
+			t.Errorf("%s: insert should fail", c.name)
+		}
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("failed inserts must not append; len=%d", tab.Len())
+	}
+}
+
+func TestIntAndFloatCoercion(t *testing.T) {
+	_, tab := newDrugKB(t)
+	// plain int accepted for IntCol; int for FloatCol too
+	if err := tab.Insert(Row{"D1", "A", nil, 7, 3, false}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByPK(t *testing.T) {
+	_, tab := newDrugKB(t)
+	tab.MustInsert(Row{"D1", "Aspirin", nil, nil, nil, nil})
+	row, ok := tab.ByPK("D1")
+	if !ok || row[1] != "Aspirin" {
+		t.Fatalf("ByPK = %v, %v", row, ok)
+	}
+	if _, ok := tab.ByPK("missing"); ok {
+		t.Fatal("missing PK found")
+	}
+}
+
+func TestLookupWithAndWithoutIndex(t *testing.T) {
+	_, tab := newDrugKB(t)
+	tab.MustInsert(Row{"D1", "Aspirin", "NSAID", nil, nil, nil})
+	tab.MustInsert(Row{"D2", "Ibuprofen", "NSAID", nil, nil, nil})
+	tab.MustInsert(Row{"D3", "Prednisone", "Steroid", nil, nil, nil})
+	scan := tab.Lookup("class", "NSAID")
+	if err := tab.BuildIndex("class"); err != nil {
+		t.Fatal(err)
+	}
+	indexed := tab.Lookup("class", "NSAID")
+	if !reflect.DeepEqual(scan, indexed) || len(indexed) != 2 {
+		t.Fatalf("scan %v vs indexed %v", scan, indexed)
+	}
+	// index maintained on subsequent insert
+	tab.MustInsert(Row{"D4", "Naproxen", "NSAID", nil, nil, nil})
+	if got := tab.Lookup("class", "NSAID"); len(got) != 3 {
+		t.Fatalf("index not maintained: %v", got)
+	}
+	if err := tab.BuildIndex("ghost"); err == nil {
+		t.Fatal("indexing a missing column must error")
+	}
+	if got := tab.Lookup("ghost", "x"); got != nil {
+		t.Fatalf("lookup on missing column = %v", got)
+	}
+}
+
+func TestValuesAndDistinct(t *testing.T) {
+	_, tab := newDrugKB(t)
+	tab.MustInsert(Row{"D1", "A", "c1", nil, nil, nil})
+	tab.MustInsert(Row{"D2", "B", nil, nil, nil, nil})
+	tab.MustInsert(Row{"D3", "C", "c1", nil, nil, nil})
+	tab.MustInsert(Row{"D4", "D", "c2", nil, nil, nil})
+	if got := tab.Values("class"); len(got) != 3 {
+		t.Fatalf("Values skips nulls: %v", got)
+	}
+	if got := tab.DistinctStrings("class"); !reflect.DeepEqual(got, []string{"c1", "c2"}) {
+		t.Fatalf("DistinctStrings = %v", got)
+	}
+}
+
+func TestForeignKeyValidation(t *testing.T) {
+	k, drugs := newDrugKB(t)
+	brands, err := k.CreateTable(Schema{
+		Name: "brand",
+		Columns: []Column{
+			{Name: "brand_id", Type: TextCol, NotNull: true},
+			{Name: "drug_id", Type: TextCol},
+		},
+		PrimaryKey:  "brand_id",
+		ForeignKeys: []ForeignKey{{Column: "drug_id", RefTable: "drug", RefColumn: "drug_id"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drugs.MustInsert(Row{"D1", "Aspirin", nil, nil, nil, nil})
+	brands.MustInsert(Row{"B1", "D1"})
+	brands.MustInsert(Row{"B2", nil}) // null FK is allowed
+	if err := k.ValidateForeignKeys(); err != nil {
+		t.Fatalf("valid FKs rejected: %v", err)
+	}
+	brands.MustInsert(Row{"B3", "GHOST"})
+	err = k.ValidateForeignKeys()
+	if err == nil || !strings.Contains(err.Error(), "GHOST") {
+		t.Fatalf("dangling FK not caught: %v", err)
+	}
+}
+
+func TestForeignKeyToNonPK(t *testing.T) {
+	k := New()
+	if _, err := k.CreateTable(Schema{
+		Name:       "a",
+		Columns:    []Column{{Name: "id", Type: TextCol}, {Name: "other", Type: TextCol}},
+		PrimaryKey: "id",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.CreateTable(Schema{
+		Name:        "b",
+		Columns:     []Column{{Name: "id", Type: TextCol}, {Name: "a_ref", Type: TextCol}},
+		PrimaryKey:  "id",
+		ForeignKeys: []ForeignKey{{Column: "a_ref", RefTable: "a", RefColumn: "other"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ValidateForeignKeys(); err == nil {
+		t.Fatal("FK referencing a non-PK column must be flagged")
+	}
+}
+
+func TestTableNamesOrder(t *testing.T) {
+	k := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := k.CreateTable(Schema{Name: n, Columns: []Column{{Name: "id", Type: TextCol}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := k.TableNames(); !reflect.DeepEqual(got, []string{"zeta", "alpha", "mid"}) {
+		t.Fatalf("TableNames = %v, want creation order", got)
+	}
+	if k.Table("ALPHA") == nil {
+		t.Fatal("table lookup should be case-insensitive")
+	}
+}
+
+func TestSchemaColumnLookup(t *testing.T) {
+	s := drugSchema()
+	if s.ColumnIndex("NAME") != 1 {
+		t.Fatal("column lookup should be case-insensitive")
+	}
+	if s.ColumnIndex("ghost") != -1 {
+		t.Fatal("missing column should be -1")
+	}
+	if c := s.Column("year"); c == nil || c.Type != IntCol {
+		t.Fatalf("Column(year) = %v", c)
+	}
+}
+
+// Property (quick): every inserted PK is retrievable via ByPK with the
+// same row contents.
+func TestInsertByPKProperty(t *testing.T) {
+	f := func(ids []string) bool {
+		k := New()
+		tab, err := k.CreateTable(Schema{
+			Name:       "t",
+			Columns:    []Column{{Name: "id", Type: TextCol, NotNull: true}, {Name: "v", Type: IntCol}},
+			PrimaryKey: "id",
+		})
+		if err != nil {
+			return false
+		}
+		seen := map[string]bool{}
+		for i, id := range ids {
+			if id == "" || seen[id] {
+				continue
+			}
+			seen[id] = true
+			if err := tab.Insert(Row{id, int64(i)}); err != nil {
+				return false
+			}
+		}
+		for id := range seen {
+			if _, ok := tab.ByPK(id); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package kb
+
+import (
+	"sort"
+)
+
+// ColumnStats summarizes one column's data distribution. The ontology
+// generator uses these to infer categorical attributes (paper §4.2.1:
+// "we gather data statistics ... to find those that can be identified as
+// categorical attributes based on their number of distinct data values").
+type ColumnStats struct {
+	Table    string
+	Column   string
+	Rows     int
+	NonNull  int
+	Distinct int
+	// DistinctRatio is Distinct/NonNull (0 when the column is empty).
+	DistinctRatio float64
+	// TopValues holds up to 10 most frequent values with counts,
+	// most-frequent first (ties broken by value for determinism).
+	TopValues []ValueCount
+}
+
+// ValueCount pairs a rendered value with its frequency.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// Categorical reports whether the column behaves like a categorical
+// attribute: few distinct values relative to rows, and at least one
+// repeated value. maxDistinct bounds the absolute distinct count and
+// maxRatio the distinct/non-null ratio.
+func (s ColumnStats) Categorical(maxDistinct int, maxRatio float64) bool {
+	if s.NonNull == 0 {
+		return false
+	}
+	return s.Distinct <= maxDistinct && s.DistinctRatio <= maxRatio
+}
+
+// Stats computes statistics for one column.
+func (t *Table) Stats(column string) ColumnStats {
+	st := ColumnStats{Table: t.Schema.Name, Column: column, Rows: len(t.Rows)}
+	ci := t.Schema.ColumnIndex(column)
+	if ci < 0 {
+		return st
+	}
+	counts := make(map[string]int)
+	for _, row := range t.Rows {
+		if row[ci] == nil {
+			continue
+		}
+		st.NonNull++
+		counts[toString(row[ci])]++
+	}
+	st.Distinct = len(counts)
+	if st.NonNull > 0 {
+		st.DistinctRatio = float64(st.Distinct) / float64(st.NonNull)
+	}
+	type kv struct {
+		v string
+		c int
+	}
+	all := make([]kv, 0, len(counts))
+	for v, c := range counts {
+		all = append(all, kv{v, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].v < all[j].v
+	})
+	n := len(all)
+	if n > 10 {
+		n = 10
+	}
+	for _, e := range all[:n] {
+		st.TopValues = append(st.TopValues, ValueCount{Value: e.v, Count: e.c})
+	}
+	return st
+}
+
+// AllStats computes statistics for every column of every table, in
+// deterministic order.
+func (k *KB) AllStats() []ColumnStats {
+	var out []ColumnStats
+	for _, name := range k.TableNames() {
+		t := k.Table(name)
+		for _, c := range t.Schema.Columns {
+			out = append(out, t.Stats(c.Name))
+		}
+	}
+	return out
+}

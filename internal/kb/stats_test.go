@@ -1,0 +1,106 @@
+package kb
+
+import (
+	"testing"
+)
+
+func statsTable(t *testing.T) *Table {
+	t.Helper()
+	k := New()
+	tab, err := k.CreateTable(Schema{
+		Name: "s",
+		Columns: []Column{
+			{Name: "id", Type: TextCol, NotNull: true},
+			{Name: "category", Type: TextCol},
+			{Name: "free_text", Type: TextCol},
+		},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := []string{"a", "b", "a", "a", "c", "b", "a", nil1(), "a", "b"}
+	for i, c := range cats {
+		var cv Value
+		if c != "" {
+			cv = c
+		}
+		tab.MustInsert(Row{id(i), cv, "unique text " + id(i)})
+	}
+	return tab
+}
+
+func nil1() string { return "" }
+
+func id(i int) string { return string(rune('A' + i)) }
+
+func TestColumnStats(t *testing.T) {
+	tab := statsTable(t)
+	st := tab.Stats("category")
+	if st.Rows != 10 || st.NonNull != 9 || st.Distinct != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.TopValues[0].Value != "a" || st.TopValues[0].Count != 5 {
+		t.Fatalf("top value = %+v", st.TopValues[0])
+	}
+	if !st.Categorical(10, 0.5) {
+		t.Fatal("3 distinct over 9 non-null should be categorical")
+	}
+	if st.Categorical(2, 0.5) {
+		t.Fatal("maxDistinct bound should reject")
+	}
+	if st.Categorical(10, 0.1) {
+		t.Fatal("ratio bound should reject")
+	}
+}
+
+func TestStatsFreeTextNotCategorical(t *testing.T) {
+	tab := statsTable(t)
+	st := tab.Stats("free_text")
+	if st.Distinct != 10 {
+		t.Fatalf("distinct = %d", st.Distinct)
+	}
+	if st.Categorical(64, 0.5) {
+		t.Fatal("all-unique column must not be categorical")
+	}
+}
+
+func TestStatsMissingColumn(t *testing.T) {
+	tab := statsTable(t)
+	st := tab.Stats("ghost")
+	if st.NonNull != 0 || st.Distinct != 0 {
+		t.Fatalf("missing column stats = %+v", st)
+	}
+	if st.Categorical(10, 1.0) {
+		t.Fatal("empty stats can never be categorical")
+	}
+}
+
+func TestStatsTopValuesCap(t *testing.T) {
+	k := New()
+	tab, _ := k.CreateTable(Schema{Name: "t", Columns: []Column{{Name: "v", Type: IntCol}}})
+	for i := 0; i < 30; i++ {
+		tab.MustInsert(Row{int64(i % 15)})
+	}
+	st := tab.Stats("v")
+	if len(st.TopValues) != 10 {
+		t.Fatalf("TopValues capped at 10, got %d", len(st.TopValues))
+	}
+}
+
+func TestAllStats(t *testing.T) {
+	k := New()
+	for _, n := range []string{"t1", "t2"} {
+		tab, _ := k.CreateTable(Schema{Name: n, Columns: []Column{
+			{Name: "a", Type: TextCol}, {Name: "b", Type: IntCol},
+		}})
+		tab.MustInsert(Row{"x", int64(1)})
+	}
+	all := k.AllStats()
+	if len(all) != 4 {
+		t.Fatalf("AllStats returned %d entries, want 4", len(all))
+	}
+	if all[0].Table != "t1" || all[0].Column != "a" {
+		t.Fatalf("AllStats order wrong: %+v", all[0])
+	}
+}

@@ -1,0 +1,672 @@
+package medkb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ontoconv/internal/kb"
+)
+
+// Config controls the size of the generated knowledge base. All generation
+// is deterministic given Seed.
+type Config struct {
+	Drugs       int
+	Indications int
+	Findings    int
+	Procedures  int
+	Seed        int64
+}
+
+// DefaultConfig is the size used by the experiments: large enough that
+// data statistics are meaningful, small enough that the full pipeline runs
+// in unit-test time.
+func DefaultConfig() Config {
+	return Config{Drugs: 200, Indications: 100, Findings: 60, Procedures: 30, Seed: 42}
+}
+
+// seedDrug is one of the drugs named in the paper; these always exist so
+// the published transcripts replay verbatim.
+type seedDrug struct {
+	name, brand, base, salt, class string
+}
+
+var seedDrugs = []seedDrug{
+	{"Aspirin", "Bayer Aspirin", "Acetylsalicylic Acid", "", "NSAID"},
+	{"Ibuprofen", "Advil", "Ibuprofen", "", "NSAID"},
+	{"Acetaminophen", "Tylenol", "Acetaminophen", "", "Analgesic"},
+	{"Tazarotene", "Tazorac", "Tazarotene", "", "Retinoid"},
+	{"Fluocinonide", "Vanos", "Fluocinonide", "", "Corticosteroid"},
+	{"Benazepril", "Lotensin", "Benazepril", "Hydrochloride", "ACE Inhibitor"},
+	{"Citicoline", "Cognizin", "Citicoline", "Sodium", "Nootropic"},
+	{"Pancreatin", "Creon", "Pancreatin", "", "Enzyme"},
+	{"Benztropine Mesylate", "Cogentin", "Benztropine", "Mesylate", "Anticholinergic"},
+	{"Cyclopentolate Hydrochloride", "Cyclogel", "Cyclopentolate", "Hydrochloride", "Mydriatic"},
+	{"Acitretin", "Soriatane", "Acitretin", "", "Retinoid"},
+	{"Adalimumab", "Humira", "Adalimumab", "", "Biologic"},
+	{"Salicylic Acid", "Compound W", "Salicylic Acid", "", "Keratolytic"},
+	{"Calcium Carbonate", "Tums", "Calcium", "Carbonate", "Antacid"},
+	{"Metformin", "Glucophage", "Metformin", "Hydrochloride", "Biguanide"},
+	{"Lisinopril", "Zestril", "Lisinopril", "", "ACE Inhibitor"},
+	{"Atorvastatin", "Lipitor", "Atorvastatin", "Calcium", "Statin"},
+	{"Amoxicillin", "Amoxil", "Amoxicillin", "Trihydrate", "Penicillin"},
+	{"Azithromycin", "Zithromax", "Azithromycin", "Dihydrate", "Macrolide"},
+	{"Prednisone", "Deltasone", "Prednisone", "", "Corticosteroid"},
+	{"Warfarin", "Coumadin", "Warfarin", "Sodium", "Anticoagulant"},
+	{"Omeprazole", "Prilosec", "Omeprazole", "Magnesium", "PPI"},
+	{"Sertraline", "Zoloft", "Sertraline", "Hydrochloride", "SSRI"},
+	{"Gabapentin", "Neurontin", "Gabapentin", "", "Anticonvulsant"},
+	{"Levothyroxine", "Synthroid", "Levothyroxine", "Sodium", "Thyroid Hormone"},
+}
+
+var seedIndications = []struct{ name, system string }{
+	{"Psoriasis", "Dermatologic"},
+	{"Plaque Psoriasis", "Dermatologic"},
+	{"Acne", "Dermatologic"},
+	{"Fever", "General"},
+	{"Bronchitis", "Respiratory"},
+	{"Hypertension", "Cardiovascular"},
+	{"Diabetes Mellitus Type 2", "Endocrine"},
+	{"Depression", "Psychiatric"},
+	{"Anxiety", "Psychiatric"},
+	{"Asthma", "Respiratory"},
+	{"Pneumonia", "Respiratory"},
+	{"Migraine", "Neurologic"},
+	{"Epilepsy", "Neurologic"},
+	{"Gout", "Musculoskeletal"},
+	{"Eczema", "Dermatologic"},
+	{"Rheumatoid Arthritis", "Musculoskeletal"},
+	{"Hypothyroidism", "Endocrine"},
+	{"Gastroesophageal Reflux Disease", "Gastrointestinal"},
+	{"Hyperlipidemia", "Cardiovascular"},
+	{"Atrial Fibrillation", "Cardiovascular"},
+	{"Urinary Tract Infection", "Genitourinary"},
+	{"Otitis Media", "ENT"},
+	{"Conjunctivitis", "Ophthalmic"},
+	{"Insomnia", "Neurologic"},
+	{"Osteoporosis", "Musculoskeletal"},
+	{"Parkinsonism", "Neurologic"},
+	{"Pain", "General"},
+}
+
+var drugClasses = []string{
+	"NSAID", "Analgesic", "Retinoid", "Corticosteroid", "ACE Inhibitor",
+	"Nootropic", "Enzyme", "Anticholinergic", "Mydriatic", "Biologic",
+	"Keratolytic", "Antacid", "Biguanide", "Statin", "Penicillin",
+	"Macrolide", "Anticoagulant", "PPI", "SSRI", "Anticonvulsant",
+	"Thyroid Hormone", "Beta Blocker", "Diuretic", "Antihistamine", "Antiviral",
+}
+
+var (
+	drugPrefixes = []string{"alu", "bena", "cor", "dexa", "epi", "fluo", "gati", "halo", "iso", "keto", "lami", "meto", "nifed", "oxa", "predni", "quina", "rifa", "sulfa", "tetra", "vera", "zolo"}
+	drugMiddles  = []string{"ben", "cil", "dro", "fen", "lix", "mab", "nex", "pra", "rel", "sta", "tri", "vap", "zol"}
+	drugSuffixes = []string{"cillin", "dine", "fenac", "lol", "mide", "nazole", "pril", "ril", "sartan", "statin", "tide", "vir", "zepam"}
+
+	condAdjs  = []string{"Acute", "Chronic", "Recurrent", "Idiopathic", "Secondary", "Allergic", "Atypical", "Severe", "Mild"}
+	condNouns = []string{"Dermatitis", "Nephropathy", "Neuralgia", "Colitis", "Rhinitis", "Myalgia", "Anemia", "Cystitis", "Hepatitis", "Gastritis", "Sinusitis", "Tendinitis", "Neuropathy", "Arrhythmia"}
+
+	routes       = []string{"ORAL", "TOPICAL", "INTRAVENOUS", "INTRAMUSCULAR", "OPHTHALMIC", "SUBCUTANEOUS"}
+	schedules    = []string{"Unscheduled", "Schedule II", "Schedule III", "Schedule IV"}
+	statuses     = []string{"Active", "Active", "Active", "Discontinued"}
+	efficacies   = []string{"Effective", "Effective", "Possibly Effective", "Evidence Inconclusive"}
+	evidences    = []string{"Category A", "Category B", "Category C"}
+	recs         = []string{"Class I", "Class IIa", "Class IIb"}
+	ageGroups    = []string{"adult", "pediatric"}
+	severities   = []string{"Mild", "Moderate", "Severe", "Life-threatening"}
+	frequencies  = []string{"Common", "Uncommon", "Rare", "Very rare"}
+	documents    = []string{"Excellent", "Good", "Fair"}
+	preCats      = []string{"Hepatic", "Renal", "Cardiac", "Hematologic", "Dermatologic", "Neurologic"}
+	effectNames  = []string{"Nausea", "Headache", "Dizziness", "Rash", "Fatigue", "Dry mouth", "Constipation", "Diarrhea", "Insomnia", "Pruritus", "Edema", "Hypotension", "Tachycardia", "Blurred vision", "Somnolence"}
+	foodNames    = []string{"Grapefruit juice", "Alcohol", "Dairy products", "High-fat meal", "Caffeine", "Leafy greens", "Aged cheese", "Cranberry juice", "Soy products", "Bananas", "Chocolate", "Licorice", "Salt substitutes", "Fiber supplements", "Green tea", "Tyramine-rich foods", "Iron-rich foods", "Citrus fruits", "Smoked meats", "Energy drinks", "Orange juice", "Garlic supplements", "Ginkgo", "St John's Wort", "Multivitamins", "Antacids with food", "Pickled vegetables", "Fermented foods", "Apple juice", "Milk"}
+	labTestNames = []string{"Serum creatinine", "ALT", "AST", "INR", "Blood glucose", "Serum potassium", "TSH", "Hemoglobin A1c", "Platelet count", "White blood cell count", "Serum sodium", "Urine protein", "Lipid panel", "Serum digoxin", "Prothrombin time", "Uric acid", "Serum calcium", "Bilirubin", "Alkaline phosphatase", "Creatine kinase", "Serum magnesium", "Blood urea nitrogen", "Lactate", "Troponin", "C-reactive protein"}
+	solutions    = []string{"NS", "D5W", "LR", "D5NS"}
+	compats      = []string{"Compatible", "Compatible", "Incompatible", "Variable"}
+	pregCats     = []string{"A", "B", "C", "D", "X"}
+	lactCompat   = []string{"Compatible", "Use caution", "Avoid"}
+	dosageForms  = []string{"Tablet", "Capsule", "Cream", "Gel", "Solution", "Suspension", "Injection", "Patch"}
+	regions      = []string{"US", "EU", "CA", "JP"}
+	regStatuses  = []string{"Approved", "Approved", "Approved", "Withdrawn", "Investigational"}
+	useTypes     = []string{"FDA Labeled", "Non-FDA Labeled", "Off-label"}
+)
+
+// Generate builds and fills the MDX knowledge base.
+func Generate(cfg Config) (*kb.KB, error) {
+	base := kb.New()
+	for _, s := range Schemas() {
+		if _, err := base.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{base: base, rng: rng, cfg: cfg}
+	g.fill()
+	if g.err != nil {
+		return nil, g.err
+	}
+	// Secondary indexes on the hot lookup columns the online path uses.
+	for _, ix := range []struct{ table, col string }{
+		{"drug", "name"}, {"indication", "name"}, {"treats", "drug_id"},
+		{"treats", "indication_id"}, {"dosage", "drug_id"},
+		{"precaution", "drug_id"}, {"adverse_effect", "drug_id"},
+		{"drug_interaction", "drug_id"}, {"risk", "drug_id"},
+	} {
+		if err := base.Table(ix.table).BuildIndex(ix.col); err != nil {
+			return nil, err
+		}
+	}
+	if err := base.ValidateForeignKeys(); err != nil {
+		return nil, err
+	}
+	return base, nil
+}
+
+// MustGenerate is Generate that panics on error; generation of the default
+// configuration is exercised by tests and cannot fail at runtime.
+func MustGenerate(cfg Config) *kb.KB {
+	base, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return base
+}
+
+type generator struct {
+	base *kb.KB
+	rng  *rand.Rand
+	cfg  Config
+	err  error
+
+	drugIDs       []string
+	drugNames     []string
+	indicationIDs []string
+	foodIDs       []string
+	labIDs        []string
+	classIDs      map[string]string
+	mfrIDs        []string
+	nextID        map[string]int
+}
+
+func (g *generator) insert(table string, row kb.Row) {
+	if g.err != nil {
+		return
+	}
+	if err := g.base.Table(table).Insert(row); err != nil {
+		g.err = fmt.Errorf("medkb: %s: %w", table, err)
+	}
+}
+
+func (g *generator) id(prefix string) string {
+	if g.nextID == nil {
+		g.nextID = make(map[string]int)
+	}
+	g.nextID[prefix]++
+	return fmt.Sprintf("%s%04d", prefix, g.nextID[prefix])
+}
+
+func (g *generator) pick(list []string) string { return list[g.rng.Intn(len(list))] }
+
+func (g *generator) fill() {
+	g.fillClasses()
+	g.fillManufacturers()
+	g.fillDrugs()
+	g.fillIndications()
+	g.fillFindings()
+	g.fillProcedures()
+	g.fillFoods()
+	g.fillLabTests()
+	g.fillTreats()
+	g.fillDosage()
+	g.fillDrugSatellites()
+	g.fillInteractions()
+	g.fillRisks()
+	g.fillIVCompatibility()
+	g.fillComparativeEfficacy()
+	g.fillExtra()
+}
+
+func (g *generator) fillClasses() {
+	g.classIDs = make(map[string]string)
+	for _, c := range drugClasses {
+		id := g.id("C")
+		g.classIDs[c] = id
+		g.insert("drug_class", kb.Row{id, c, c + " pharmacologic class"})
+	}
+}
+
+func (g *generator) fillManufacturers() {
+	names := []string{"Pfizer", "Novartis", "Roche", "Merck", "AbbVie", "Bayer", "Sanofi", "GSK", "AstraZeneca", "Lilly", "Amgen", "Teva", "Mylan", "Sandoz", "Apotex"}
+	countries := []string{"US", "CH", "CH", "US", "US", "DE", "FR", "UK", "UK", "US", "US", "IL", "US", "CH", "CA"}
+	for i, n := range names {
+		id := g.id("M")
+		g.mfrIDs = append(g.mfrIDs, id)
+		g.insert("manufacturer", kb.Row{id, n, countries[i]})
+	}
+}
+
+func (g *generator) syntheticDrugName(i int) string {
+	p := drugPrefixes[i%len(drugPrefixes)]
+	m := drugMiddles[(i/len(drugPrefixes))%len(drugMiddles)]
+	s := drugSuffixes[(i/(len(drugPrefixes)*len(drugMiddles)))%len(drugSuffixes)]
+	name := p + m + s
+	return string(name[0]-'a'+'A') + name[1:]
+}
+
+func (g *generator) fillDrugs() {
+	n := g.cfg.Drugs
+	if n < len(seedDrugs) {
+		n = len(seedDrugs)
+	}
+	for i := 0; i < n; i++ {
+		id := g.id("D")
+		g.drugIDs = append(g.drugIDs, id)
+		var name, brand, base, salt, class string
+		if i < len(seedDrugs) {
+			sd := seedDrugs[i]
+			name, brand, base, salt, class = sd.name, sd.brand, sd.base, sd.salt, sd.class
+		} else {
+			name = g.syntheticDrugName(i - len(seedDrugs))
+			brand = name + " XR"
+			base = name
+			if g.rng.Intn(2) == 0 {
+				salt = g.pick([]string{"Hydrochloride", "Sodium", "Sulfate", "Mesylate", "Citrate"})
+			}
+			class = drugClasses[g.rng.Intn(len(drugClasses))]
+		}
+		g.drugNames = append(g.drugNames, name)
+		route := g.pick(routes)
+		g.insert("drug", kb.Row{id, name, base, nullable(salt), g.classIDs[class], route, g.pick(schedules), g.pick(statuses)})
+		g.insert("brand", kb.Row{g.id("B"), brand, id, g.pick(g.mfrIDs)})
+		if g.rng.Intn(3) == 0 { // some drugs have a second brand
+			g.insert("brand", kb.Row{g.id("B"), name + " Forte", id, g.pick(g.mfrIDs)})
+		}
+	}
+}
+
+func (g *generator) fillIndications() {
+	n := g.cfg.Indications
+	if n < len(seedIndications) {
+		n = len(seedIndications)
+	}
+	for i := 0; i < n; i++ {
+		id := g.id("I")
+		g.indicationIDs = append(g.indicationIDs, id)
+		var name, system string
+		if i < len(seedIndications) {
+			name, system = seedIndications[i].name, seedIndications[i].system
+		} else {
+			name = condAdjs[i%len(condAdjs)] + " " + condNouns[(i/len(condAdjs))%len(condNouns)]
+			system = g.pick([]string{"Dermatologic", "Cardiovascular", "Respiratory", "Neurologic", "Gastrointestinal", "Musculoskeletal"})
+		}
+		icd := fmt.Sprintf("%c%02d.%d", 'A'+i%20, i%100, i%10)
+		g.insert("indication", kb.Row{id, name, icd, system, "Clinical condition: " + name})
+	}
+}
+
+func (g *generator) fillFindings() {
+	base := []string{"Elevated blood pressure", "Tachycardia", "Bradycardia", "Fever", "Rash", "Jaundice", "Edema", "Wheezing", "Proteinuria", "Hyperglycemia", "Hypokalemia", "Anemia", "Leukocytosis", "Elevated transaminases", "Prolonged QT interval"}
+	for i := 0; i < g.cfg.Findings; i++ {
+		name := base[i%len(base)]
+		if i >= len(base) {
+			name = fmt.Sprintf("%s (grade %d)", name, i/len(base)+1)
+		}
+		g.insert("finding", kb.Row{g.id("F"), name, g.pick([]string{"Cardiovascular", "Dermatologic", "Hematologic", "Metabolic", "Hepatic"}), "Clinical finding: " + name})
+	}
+}
+
+func (g *generator) fillProcedures() {
+	base := []string{"Hemodialysis", "Gastric lavage", "Intubation", "Central line placement", "Lumbar puncture", "Skin biopsy", "Patch testing", "Echocardiography", "Spirometry", "Colonoscopy"}
+	for i := 0; i < g.cfg.Procedures; i++ {
+		name := base[i%len(base)]
+		if i >= len(base) {
+			name = fmt.Sprintf("%s (protocol %d)", name, i/len(base)+1)
+		}
+		g.insert("med_procedure", kb.Row{g.id("P"), name, g.pick([]string{"Diagnostic", "Therapeutic", "Supportive"}), "Procedure: " + name})
+	}
+}
+
+func (g *generator) fillFoods() {
+	for _, n := range foodNames {
+		id := g.id("FD")
+		g.foodIDs = append(g.foodIDs, id)
+		g.insert("food", kb.Row{id, n, g.pick([]string{"Beverage", "Produce", "Dairy", "Supplement", "Prepared"})})
+	}
+}
+
+func (g *generator) fillLabTests() {
+	for _, n := range labTestNames {
+		id := g.id("L")
+		g.labIDs = append(g.labIDs, id)
+		g.insert("lab_test", kb.Row{id, n, g.pick([]string{"Serum", "Whole blood", "Urine", "Plasma"}), g.pick([]string{"mg/dL", "U/L", "mmol/L", "ng/mL", "%"})})
+	}
+}
+
+// pairSeed holds the hand-authored drug-indication pairs from the paper's
+// transcript so the §6.3 conversation replays exactly.
+var treatSeeds = []struct {
+	drug, indication, efficacy string
+}{
+	{"Acitretin", "Psoriasis", "Effective"},
+	{"Adalimumab", "Psoriasis", "Effective"},
+	{"Fluocinonide", "Psoriasis", "Effective"},
+	{"Salicylic Acid", "Psoriasis", "Effective"},
+	{"Tazarotene", "Psoriasis", "Effective"},
+	{"Tazarotene", "Plaque Psoriasis", "Effective"},
+	{"Fluocinonide", "Plaque Psoriasis", "Effective"},
+	{"Tazarotene", "Acne", "Effective"},
+	{"Aspirin", "Fever", "Effective"},
+	{"Ibuprofen", "Fever", "Effective"},
+	{"Acetaminophen", "Fever", "Effective"},
+	{"Aspirin", "Pain", "Effective"},
+	{"Amoxicillin", "Bronchitis", "Possibly Effective"},
+	{"Azithromycin", "Bronchitis", "Effective"},
+	{"Azithromycin", "Pneumonia", "Effective"},
+	{"Benazepril", "Hypertension", "Effective"},
+	{"Lisinopril", "Hypertension", "Effective"},
+	{"Metformin", "Diabetes Mellitus Type 2", "Effective"},
+	{"Sertraline", "Depression", "Effective"},
+	{"Sertraline", "Anxiety", "Effective"},
+	{"Atorvastatin", "Hyperlipidemia", "Effective"},
+	{"Warfarin", "Atrial Fibrillation", "Effective"},
+	{"Levothyroxine", "Hypothyroidism", "Effective"},
+	{"Omeprazole", "Gastroesophageal Reflux Disease", "Effective"},
+	{"Benztropine Mesylate", "Parkinsonism", "Effective"},
+	{"Gabapentin", "Epilepsy", "Effective"},
+	{"Prednisone", "Rheumatoid Arthritis", "Effective"},
+	{"Adalimumab", "Rheumatoid Arthritis", "Effective"},
+}
+
+func (g *generator) drugIDByName(name string) string {
+	for i, n := range g.drugNames {
+		if n == name {
+			return g.drugIDs[i]
+		}
+	}
+	return ""
+}
+
+func (g *generator) indicationIDByName(name string) string {
+	t := g.base.Table("indication")
+	ni := t.Schema.ColumnIndex("name")
+	ii := t.Schema.ColumnIndex("indication_id")
+	for _, row := range t.Rows {
+		if row[ni] == name {
+			return row[ii].(string)
+		}
+	}
+	return ""
+}
+
+func (g *generator) fillTreats() {
+	seen := make(map[[2]string]bool)
+	add := func(drugID, indID, eff string) {
+		key := [2]string{drugID, indID}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		g.insert("treats", kb.Row{g.id("T"), drugID, indID, eff, g.pick(evidences), g.pick(recs)})
+	}
+	for _, ts := range treatSeeds {
+		d, i := g.drugIDByName(ts.drug), g.indicationIDByName(ts.indication)
+		if d == "" || i == "" {
+			g.err = fmt.Errorf("medkb: treat seed references missing %q / %q", ts.drug, ts.indication)
+			return
+		}
+		add(d, i, ts.efficacy)
+	}
+	// Every remaining drug treats 1-3 random indications, drawn from
+	// outside the seeded set so the paper-transcript answers (psoriasis,
+	// fever, …) stay exactly the hand-authored ones.
+	pool := g.indicationIDs
+	if len(pool) > len(seedIndications) {
+		pool = pool[len(seedIndications):]
+	}
+	for _, d := range g.drugIDs {
+		n := 1 + g.rng.Intn(3)
+		for j := 0; j < n; j++ {
+			add(d, g.pick(pool), g.pick(efficacies))
+		}
+	}
+}
+
+// ageGroupsFor pins the age groups with dosing data for the transcript
+// pairs: the §6.3 conversation shows different drug lists for adult vs
+// pediatric psoriasis.
+var ageGroupSeeds = map[[2]string][]string{
+	{"Acitretin", "Psoriasis"}:      {"adult"},
+	{"Adalimumab", "Psoriasis"}:     {"adult"},
+	{"Fluocinonide", "Psoriasis"}:   {"pediatric"},
+	{"Salicylic Acid", "Psoriasis"}: {"pediatric"},
+	{"Tazarotene", "Psoriasis"}:     {"pediatric"},
+}
+
+// dosageSeeds reproduce the §6.3 transcript dosing answers.
+var dosageSeeds = []struct {
+	drug, indication, ageGroup, route, desc string
+}{
+	{"Tazarotene", "Plaque Psoriasis", "pediatric", "TOPICAL",
+		"Plaque psoriasis Tazorac(R) gel (12 years and older); initial, apply 0.05% gel TOPICALLY every night to affected area; may increase to 0.1% gel or cream TOPICALLY every night if indicated and tolerated."},
+	{"Tazarotene", "Plaque Psoriasis", "adult", "TOPICAL",
+		"Plaque psoriasis; apply 0.1% cream TOPICALLY once daily in the evening to affected area."},
+	{"Fluocinonide", "Plaque Psoriasis", "pediatric", "TOPICAL",
+		"Plaque psoriasis 12 years or older; TOPICAL, apply 0.1% cream once or twice daily to the affected area for maximum of 2 consecutive weeks and 60 grams/week."},
+	{"Fluocinonide", "Plaque Psoriasis", "adult", "TOPICAL",
+		"Plaque psoriasis; TOPICAL, apply 0.1% cream once daily for up to 2 consecutive weeks."},
+	{"Tazarotene", "Psoriasis", "pediatric", "TOPICAL",
+		"Psoriasis (12 years and older); apply 0.05% gel TOPICALLY every night to affected area."},
+	{"Fluocinonide", "Psoriasis", "pediatric", "TOPICAL",
+		"Psoriasis 12 years or older; TOPICAL, apply 0.1% cream once or twice daily."},
+}
+
+func (g *generator) fillDosage() {
+	for _, ds := range dosageSeeds {
+		d, i := g.drugIDByName(ds.drug), g.indicationIDByName(ds.indication)
+		if d == "" || i == "" {
+			g.err = fmt.Errorf("medkb: dosage seed references missing %q / %q", ds.drug, ds.indication)
+			return
+		}
+		g.insert("dosage", kb.Row{g.id("DS"), d, i, ds.ageGroup, ds.route, "see description", "daily", "see description", ds.desc})
+	}
+	// Generic dosing rows for every treats pair. Each pair doses one or
+	// both age groups (pinned for the transcript pairs), so the set of
+	// drugs treating a condition genuinely differs between adult and
+	// pediatric — the behaviour the §6.3 conversation exhibits.
+	names := make(map[string]string, len(g.drugIDs))
+	for i, id := range g.drugIDs {
+		names[id] = g.drugNames[i]
+	}
+	indNames := make(map[string]string)
+	it := g.base.Table("indication")
+	ini, iii := it.Schema.ColumnIndex("name"), it.Schema.ColumnIndex("indication_id")
+	for _, row := range it.Rows {
+		indNames[row[iii].(string)] = row[ini].(string)
+	}
+	tt := g.base.Table("treats")
+	di := tt.Schema.ColumnIndex("drug_id")
+	ii := tt.Schema.ColumnIndex("indication_id")
+	for _, row := range tt.Rows {
+		drugID, indID := row[di].(string), row[ii].(string)
+		groups, pinned := ageGroupSeeds[[2]string{names[drugID], indNames[indID]}]
+		if !pinned {
+			switch g.rng.Intn(3) {
+			case 0:
+				groups = []string{"adult"}
+			case 1:
+				groups = []string{"pediatric"}
+			default:
+				groups = ageGroups
+			}
+		}
+		for _, ag := range groups {
+			amt := fmt.Sprintf("%d mg", 5*(1+g.rng.Intn(100)))
+			freq := g.pick([]string{"once daily", "twice daily", "every 8 hours", "every 12 hours", "as needed"})
+			maxd := fmt.Sprintf("%d mg/day", 50*(1+g.rng.Intn(40)))
+			desc := fmt.Sprintf("%s %s, maximum %s (%s)", amt, freq, maxd, ag)
+			g.insert("dosage", kb.Row{g.id("DS"), drugID, indID, ag, g.pick(routes), amt, freq, maxd, desc})
+		}
+	}
+}
+
+func (g *generator) fillDrugSatellites() {
+	for di, d := range g.drugIDs {
+		name := g.drugNames[di]
+		// dose adjustments
+		for j := 0; j < 1+g.rng.Intn(2); j++ {
+			reason := g.pick([]string{"Renal impairment", "Hepatic impairment", "Geriatric", "Concomitant CYP3A4 inhibitor"})
+			g.insert("dose_adjustment", kb.Row{g.id("DA"), d, reason, g.pick([]string{"adult", "pediatric", "geriatric"}),
+				fmt.Sprintf("Reduce %s dose by %d%% for %s.", name, 25*(1+g.rng.Intn(3)), reason)})
+		}
+		// precautions
+		for j := 0; j < 1+g.rng.Intn(3); j++ {
+			cat := g.pick(preCats)
+			g.insert("precaution", kb.Row{g.id("PR"), d, cat,
+				fmt.Sprintf("Use %s with caution in patients with %s disease; monitor closely.", name, cat)})
+		}
+		// adverse effects
+		used := map[string]bool{}
+		for j := 0; j < 2+g.rng.Intn(4); j++ {
+			en := g.pick(effectNames)
+			if used[en] {
+				continue
+			}
+			used[en] = true
+			g.insert("adverse_effect", kb.Row{g.id("AE"), d, en, g.pick(severities), g.pick(frequencies),
+				fmt.Sprintf("%s reported with %s.", en, name)})
+		}
+		// administration
+		g.insert("administration", kb.Row{g.id("AD"), d, g.pick(routes),
+			fmt.Sprintf("Administer %s %s.", name, g.pick([]string{"with food", "on an empty stomach", "with a full glass of water", "at bedtime"})),
+			g.pick([]string{"morning", "evening", "with meals", "any time"})})
+		// pharmacokinetics
+		g.insert("pharmacokinetics", kb.Row{g.id("PK"), d, g.pick([]string{"Rapid", "Moderate", "Slow"}),
+			0.5 + g.rng.Float64()*47.5, g.pick([]string{"Hepatic CYP3A4", "Hepatic CYP2D6", "Renal", "Plasma esterases"}),
+			g.pick([]string{"Renal", "Biliary", "Fecal"}), 10 + g.rng.Float64()*89})
+		// regulatory status
+		for _, rgn := range regions[:1+g.rng.Intn(3)] {
+			g.insert("regulatory_status", kb.Row{g.id("RG"), d, rgn, g.pick(regStatuses), int64(1960 + g.rng.Intn(60))})
+		}
+		// mechanism of action
+		g.insert("mechanism_of_action", kb.Row{g.id("MA"), d,
+			g.pick([]string{"COX-1/COX-2", "ACE", "HMG-CoA reductase", "Beta-adrenergic receptor", "Histamine H1 receptor", "Sodium channel", "TNF-alpha"}),
+			fmt.Sprintf("%s acts by modulating its molecular target.", name)})
+		// monitoring
+		g.insert("monitoring", kb.Row{g.id("MO"), d, g.pick(labTestNames),
+			g.pick([]string{"Baseline", "Monthly", "Quarterly", "Annually"}),
+			"Monitor for therapeutic response and toxicity."})
+		// overdose & toxicology
+		g.insert("overdose", kb.Row{g.id("OD"), d,
+			g.pick([]string{"Nausea, vomiting, drowsiness", "Hypotension, bradycardia", "Seizures, coma", "Respiratory depression"}),
+			g.pick([]string{"Supportive care", "Activated charcoal", "Hemodialysis", "Specific antidote"})})
+		g.insert("toxicology", kb.Row{g.id("TX"), d,
+			fmt.Sprintf(">%d mg/kg", 10*(1+g.rng.Intn(20))),
+			g.pick([]string{"Hepatotoxicity", "Nephrotoxicity", "Cardiotoxicity", "CNS depression"}),
+			g.pick([]string{"None specific", "N-acetylcysteine", "Naloxone", "Vitamin K", "Flumazenil"})})
+		// pregnancy / lactation / age extremes
+		g.insert("pregnancy", kb.Row{g.id("PG"), d, g.pick(pregCats), "Weigh benefit against fetal risk."})
+		g.insert("lactation", kb.Row{g.id("LC"), d, g.pick(lactCompat), "Consider infant exposure."})
+		g.insert("pediatric_use", kb.Row{g.id("PU"), d, g.pick([]string{"Neonates", "1 month", "2 years", "6 years", "12 years"}),
+			"Safety and efficacy established above the minimum age."})
+		g.insert("geriatric_use", kb.Row{g.id("GU"), d, g.pick([]string{"Start low, go slow", "Renal dose adjustment advised", "No special precautions"})})
+		// storage / availability
+		g.insert("storage", kb.Row{g.id("ST"), d, g.pick([]string{"20-25C", "2-8C", "Below 30C"}), g.rng.Intn(2) == 0, "Keep out of reach of children."})
+		for j := 0; j < 1+g.rng.Intn(2); j++ {
+			g.insert("availability", kb.Row{g.id("AV"), d, g.pick(dosageForms), fmt.Sprintf("%d mg", 5*(1+g.rng.Intn(100)))})
+		}
+		// education / warnings / allergy / teaching / uses
+		g.insert("patient_education", kb.Row{g.id("PE"), d, g.pick([]string{"Adherence", "Side effects", "Storage", "Missed dose"}),
+			fmt.Sprintf("Take %s exactly as prescribed.", name)})
+		g.insert("warning", kb.Row{g.id("WR"), d, g.pick(severities),
+			fmt.Sprintf("Warning: discontinue %s if hypersensitivity occurs.", name)})
+		g.insert("allergy", kb.Row{g.id("AL"), d, g.pick(drugClasses), "Cross-sensitivity possible within class."})
+		g.insert("clinical_teaching", kb.Row{g.id("CT"), d, g.pick([]string{"Counseling", "Administration technique", "Interactions"}),
+			fmt.Sprintf("Teach patients how to use %s safely.", name)})
+		g.insert("drug_use", kb.Row{g.id("US"), d, g.pick(useTypes),
+			fmt.Sprintf("%s is used for its labeled indications.", name)})
+	}
+}
+
+func (g *generator) fillInteractions() {
+	for di, d := range g.drugIDs {
+		// Each drug gets 1-4 interactions, partitioned across the three
+		// subtypes so the union/inheritance detection has real data.
+		n := 1 + g.rng.Intn(4)
+		for j := 0; j < n; j++ {
+			iid := g.id("IX")
+			g.insert("drug_interaction", kb.Row{iid, d, g.pick(severities), g.pick(documents),
+				g.pick([]string{"CYP3A4 inhibition", "Additive effect", "Displaced protein binding", "Reduced absorption", "QT prolongation"}),
+				fmt.Sprintf("Interaction involving %s.", g.drugNames[di])})
+			// The subtype family is inheritance, not union (paper Figure 2):
+			// some interactions stay generic with no subtype row, so the
+			// children are NOT exhaustive and the ontology generator must
+			// infer isA without promoting it to unionOf.
+			switch g.rng.Intn(4) {
+			case 0:
+				g.insert("drug_food_interaction", kb.Row{iid, g.pick(g.foodIDs),
+					g.pick([]string{"Rapid", "Delayed"}), "Separate administration from the food."})
+			case 1:
+				g.insert("drug_lab_interaction", kb.Row{iid, g.pick(g.labIDs),
+					g.pick([]string{"Falsely elevated", "Falsely decreased", "No change"}), "Interpret the result with caution."})
+			case 2:
+				other := g.pick(g.drugIDs)
+				g.insert("drug_drug_interaction", kb.Row{iid, other,
+					g.pick([]string{"Avoid combination", "Monitor closely", "Adjust dose"}), "Clinically significant combination."})
+			default:
+				// generic interaction with no subtype row
+			}
+		}
+	}
+}
+
+func (g *generator) fillRisks() {
+	for di, d := range g.drugIDs {
+		n := 1 + g.rng.Intn(2)
+		for j := 0; j < n; j++ {
+			rid := g.id("RK")
+			g.insert("risk", kb.Row{rid, d, fmt.Sprintf("Risk associated with %s.", g.drugNames[di])})
+			if g.rng.Intn(2) == 0 {
+				g.insert("contra_indication", kb.Row{rid,
+					g.pick([]string{"Severe hepatic impairment", "Pregnancy", "Active GI bleeding", "Hypersensitivity", "Severe renal impairment"}),
+					"Documented contraindication."})
+			} else {
+				g.insert("black_box_warning", kb.Row{rid,
+					g.pick([]string{"Serious cardiovascular events", "Hepatotoxicity", "Suicidality in young adults", "Severe infections", "QT prolongation"}),
+					int64(1990 + g.rng.Intn(30))})
+			}
+		}
+	}
+}
+
+func (g *generator) fillIVCompatibility() {
+	for _, d := range g.drugIDs {
+		n := 1 + g.rng.Intn(3)
+		for j := 0; j < n; j++ {
+			other := g.pick(g.drugIDs)
+			if other == d {
+				continue
+			}
+			g.insert("iv_compatibility", kb.Row{g.id("IV"), d, other, g.pick(solutions), g.pick(compats),
+				"Y-site compatibility tested."})
+		}
+	}
+}
+
+func (g *generator) fillComparativeEfficacy() {
+	tt := g.base.Table("treats")
+	di := tt.Schema.ColumnIndex("drug_id")
+	ii := tt.Schema.ColumnIndex("indication_id")
+	for r := 0; r < len(tt.Rows); r += 7 { // sample of pairs
+		row := tt.Rows[r]
+		other := g.pick(g.drugIDs)
+		if other == row[di] {
+			continue
+		}
+		g.insert("comparative_efficacy", kb.Row{g.id("CE"), row[di], other, row[ii],
+			g.pick([]string{"Superior", "Non-inferior", "Inferior", "Inconclusive"})})
+	}
+}
+
+func nullable(s string) kb.Value {
+	if s == "" {
+		return nil
+	}
+	return s
+}

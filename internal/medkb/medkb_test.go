@@ -1,0 +1,318 @@
+package medkb
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"ontoconv/internal/kb"
+	"ontoconv/internal/ontology"
+)
+
+// The generated KB is deterministic and moderately large; share one
+// instance across tests.
+var (
+	once     sync.Once
+	sharedKB *kb.KB
+	sharedO  *ontology.Ontology
+	genErr   error
+)
+
+func fixture(t *testing.T) (*kb.KB, *ontology.Ontology) {
+	t.Helper()
+	once.Do(func() {
+		sharedKB, genErr = Generate(DefaultConfig())
+		if genErr != nil {
+			return
+		}
+		sharedO, genErr = Ontology(sharedKB)
+	})
+	if genErr != nil {
+		t.Fatal(genErr)
+	}
+	return sharedKB, sharedO
+}
+
+func TestGenerateTables(t *testing.T) {
+	base, _ := fixture(t)
+	if got := len(base.TableNames()); got != len(Schemas()) {
+		t.Fatalf("tables = %d, want %d", got, len(Schemas()))
+	}
+	if base.Table("drug").Len() != DefaultConfig().Drugs {
+		t.Fatalf("drugs = %d", base.Table("drug").Len())
+	}
+	if base.Table("indication").Len() != DefaultConfig().Indications {
+		t.Fatalf("indications = %d", base.Table("indication").Len())
+	}
+}
+
+func TestGenerateForeignKeysValid(t *testing.T) {
+	base, _ := fixture(t)
+	if err := base.ValidateForeignKeys(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range a.TableNames() {
+		ta, tb := a.Table(name), b.Table(name)
+		if ta.Len() != tb.Len() {
+			t.Fatalf("table %s sizes differ: %d vs %d", name, ta.Len(), tb.Len())
+		}
+		if ta.Len() > 0 && !reflect.DeepEqual(ta.Rows[0], tb.Rows[0]) {
+			t.Fatalf("table %s first rows differ:\n%v\n%v", name, ta.Rows[0], tb.Rows[0])
+		}
+	}
+}
+
+func TestSeedDrugsPresent(t *testing.T) {
+	base, _ := fixture(t)
+	drug := base.Table("drug")
+	names := map[string]bool{}
+	ni := drug.Schema.ColumnIndex("name")
+	for _, row := range drug.Rows {
+		names[row[ni].(string)] = true
+	}
+	for _, sd := range seedDrugs {
+		if !names[sd.name] {
+			t.Errorf("seed drug %q missing", sd.name)
+		}
+	}
+}
+
+func TestTranscriptTreatmentPairs(t *testing.T) {
+	base, _ := fixture(t)
+	// psoriasis drugs from the §6.3 transcript must exist with the seeded
+	// efficacies
+	treats := base.Table("treats")
+	drug := base.Table("drug")
+	ind := base.Table("indication")
+	drugName := map[string]string{}
+	for _, row := range drug.Rows {
+		drugName[row[0].(string)] = row[1].(string)
+	}
+	indName := map[string]string{}
+	for _, row := range ind.Rows {
+		indName[row[0].(string)] = row[1].(string)
+	}
+	found := map[string]bool{}
+	di := treats.Schema.ColumnIndex("drug_id")
+	ii := treats.Schema.ColumnIndex("indication_id")
+	for _, row := range treats.Rows {
+		if indName[row[ii].(string)] == "Psoriasis" {
+			found[drugName[row[di].(string)]] = true
+		}
+	}
+	for _, want := range []string{"Acitretin", "Adalimumab", "Fluocinonide", "Salicylic Acid", "Tazarotene"} {
+		if !found[want] {
+			t.Errorf("psoriasis treatment %q missing", want)
+		}
+	}
+}
+
+func TestOntologyShapeMatchesFigure2(t *testing.T) {
+	_, o := fixture(t)
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Risk = union(ContraIndication, BlackBoxWarning)
+	if got := o.UnionOf("Risk"); !reflect.DeepEqual(got, []string{"BlackBoxWarning", "ContraIndication"}) {
+		t.Fatalf("Risk union = %v", got)
+	}
+	// the interaction family is inheritance, NOT union
+	if o.UnionOf("DrugInteraction") != nil {
+		t.Fatal("DrugInteraction must not be a union")
+	}
+	children := o.Children("DrugInteraction")
+	if !reflect.DeepEqual(children, []string{"DrugDrugInteraction", "DrugFoodInteraction", "DrugLabInteraction"}) {
+		t.Fatalf("interaction children = %v", children)
+	}
+	// treats collapsed to a direct Drug->Indication relation with a
+	// junction
+	var treats *ontology.ObjectProperty
+	for i := range o.ObjectProperties {
+		if o.ObjectProperties[i].Name == "treats" {
+			treats = &o.ObjectProperties[i]
+		}
+	}
+	if treats == nil || treats.From != "Drug" || treats.To != "Indication" || treats.Via == nil {
+		t.Fatalf("treats relation = %+v", treats)
+	}
+	if treats.Inverse != "is treated by" {
+		t.Fatalf("treats inverse = %q", treats.Inverse)
+	}
+	// the junction concept is gone
+	if o.HasConcept("Treats") {
+		t.Fatal("junction concept must be collapsed")
+	}
+	// label refinement
+	if o.Concept("Indication").Label != "Condition" {
+		t.Fatalf("Indication label = %q", o.Concept("Indication").Label)
+	}
+}
+
+func TestOntologyScale(t *testing.T) {
+	_, o := fixture(t)
+	s := o.Stats()
+	// paper §6.1 reports 59 concepts / 178 properties / 58 relationships;
+	// the synthetic KB reproduces the same order of magnitude.
+	if s.Concepts < 30 {
+		t.Fatalf("concepts = %d, want a realistically sized ontology", s.Concepts)
+	}
+	if s.DataProperties < 80 {
+		t.Fatalf("data properties = %d", s.DataProperties)
+	}
+	if s.ObjectProperties < 25 {
+		t.Fatalf("object properties = %d", s.ObjectProperties)
+	}
+}
+
+func TestDrugSynonyms(t *testing.T) {
+	base, _ := fixture(t)
+	syn := DrugSynonyms(base)
+	// Cyclogel example from §6.1
+	got := syn["Cyclopentolate Hydrochloride"]
+	hasBrand := false
+	for _, s := range got {
+		if s == "Cyclogel" {
+			hasBrand = true
+		}
+	}
+	if !hasBrand {
+		t.Fatalf("Cyclopentolate Hydrochloride synonyms = %v, want brand Cyclogel", got)
+	}
+	// Cogentin brand for benztropine
+	found := false
+	for _, s := range syn["Benztropine Mesylate"] {
+		if s == "Cogentin" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Benztropine Mesylate synonyms = %v", syn["Benztropine Mesylate"])
+	}
+}
+
+func TestConceptSynonymsTable2(t *testing.T) {
+	syn := ConceptSynonyms()
+	// the Table 2 rows
+	checks := map[string]string{
+		"AdverseEffect":  "side effect",
+		"Indication":     "disease",
+		"Drug":           "medication",
+		"Precaution":     "caution",
+		"DoseAdjustment": "dosing modification",
+	}
+	for concept, want := range checks {
+		found := false
+		for _, s := range syn[concept] {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s synonyms %v missing %q", concept, syn[concept], want)
+		}
+	}
+}
+
+func TestAgeGroupSynonyms(t *testing.T) {
+	syn := AgeGroupSynonyms()
+	found := false
+	for _, s := range syn["pediatric"] {
+		if s == "children" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pediatric synonyms = %v", syn["pediatric"])
+	}
+}
+
+func TestDosageSeedTexts(t *testing.T) {
+	base, _ := fixture(t)
+	dosage := base.Table("dosage")
+	di := dosage.Schema.ColumnIndex("description")
+	found := false
+	for _, row := range dosage.Rows {
+		if s, ok := row[di].(string); ok && len(s) > 0 &&
+			s == dosageSeeds[0].desc {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("transcript Tazarotene pediatric dosing text missing")
+	}
+}
+
+func TestAgeGroupsDiffer(t *testing.T) {
+	base, _ := fixture(t)
+	// adult and pediatric psoriasis drug sets must differ (transcript)
+	drugsFor := func(age string) map[string]bool {
+		out := map[string]bool{}
+		dosage := base.Table("dosage")
+		ind := base.Table("indication")
+		drug := base.Table("drug")
+		indID := ""
+		for _, row := range ind.Rows {
+			if row[1] == "Psoriasis" {
+				indID = row[0].(string)
+			}
+		}
+		dI := dosage.Schema.ColumnIndex("drug_id")
+		iI := dosage.Schema.ColumnIndex("indication_id")
+		aI := dosage.Schema.ColumnIndex("age_group")
+		name := map[string]string{}
+		for _, row := range drug.Rows {
+			name[row[0].(string)] = row[1].(string)
+		}
+		for _, row := range dosage.Rows {
+			if row[iI] == indID && row[aI] == age {
+				out[name[row[dI].(string)]] = true
+			}
+		}
+		return out
+	}
+	adult, ped := drugsFor("adult"), drugsFor("pediatric")
+	if adult["Fluocinonide"] || !ped["Fluocinonide"] {
+		t.Fatalf("Fluocinonide should be pediatric-only: adult=%v ped=%v", adult, ped)
+	}
+	if !adult["Acitretin"] || ped["Acitretin"] {
+		t.Fatalf("Acitretin should be adult-only")
+	}
+}
+
+func TestBootstrapEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full bootstrap in -short mode")
+	}
+	base, o, space, err := Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == nil || o == nil || space == nil {
+		t.Fatal("nil artifacts")
+	}
+	for _, name := range []string{
+		"Drugs That Treat Condition", "Drug Dosage for Condition",
+		"DRUG_GENERAL", "Precautions of Drug", "Adverse Effects of Drug",
+		"Drug-Drug Interactions", "Risks of Drug",
+	} {
+		if space.Intent(name) == nil {
+			t.Errorf("intent %q missing", name)
+		}
+	}
+	// pruned intents stay gone
+	if space.Intent("Dosages of Drug") != nil {
+		t.Error("pruned intent resurfaced")
+	}
+}

@@ -1,0 +1,122 @@
+package medkb
+
+import (
+	"fmt"
+
+	"ontoconv/internal/kb"
+	"ontoconv/internal/ontogen"
+	"ontoconv/internal/ontology"
+)
+
+// Ontology builds the MDX domain ontology the hybrid way the paper deploys
+// (§3, approach 3): data-driven generation from the KB schema and
+// statistics, followed by SME refinement — collapsing the treats junction
+// into a direct Drug-treats-Indication object property, naming relationship
+// inverses, and fixing display labels.
+func Ontology(base *kb.KB) (*ontology.Ontology, error) {
+	o, err := ontogen.Generate(base, ontogen.DefaultConfig("mdx"))
+	if err != nil {
+		return nil, err
+	}
+	if err := collapseJunction(o, "Treats", "treats", ontology.ObjectProperty{
+		Name:    "treats",
+		From:    "Drug",
+		To:      "Indication",
+		Inverse: "is treated by",
+		Via: &ontology.JunctionTable{
+			Table:      "treats",
+			FromColumn: "drug_id",
+			ToColumn:   "indication_id",
+			Properties: []string{"efficacy"},
+		},
+		FromColumn: "drug_id",
+		ToColumn:   "indication_id",
+	}); err != nil {
+		return nil, err
+	}
+	if err := ontogen.Refine(o, ontogen.Refinement{
+		Inverses: map[string]string{
+			"hasDrug": "has",
+			"hasFood": "is involved in",
+			"class":   "classifies",
+		},
+		Labels: map[string]string{
+			"MedProcedure":     "Procedure",
+			"DrugUse":          "Uses",
+			"ContraIndication": "Contra Indication",
+			// The deployment's surface vocabulary for Indication is
+			// "Condition" (paper Tables 4-5).
+			"Indication": "Condition",
+		},
+		DisplayProperties: map[string]string{
+			"Precaution":        "description",
+			"Dosage":            "description",
+			"DoseAdjustment":    "description",
+			"Risk":              "description",
+			"ContraIndication":  "condition_name",
+			"BlackBoxWarning":   "warning_text",
+			"DrugInteraction":   "summary",
+			"AdverseEffect":     "name",
+			"Administration":    "instructions",
+			"RegulatoryStatus":  "status",
+			"Pharmacokinetics":  "absorption",
+			"MechanismOfAction": "description",
+			"IvCompatibility":   "compatibility",
+			"DrugUse":           "description",
+			"Warning":           "text",
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// collapseJunction removes the concept generated for a pure many-to-many
+// junction table and replaces it (and its two outgoing object properties)
+// with one direct relationship between the endpoints. This is the kind of
+// semantic correction the paper's SMEs apply to the generated ontology.
+func collapseJunction(o *ontology.Ontology, conceptName, table string, direct ontology.ObjectProperty) error {
+	found := false
+	kept := o.Concepts[:0]
+	for _, c := range o.Concepts {
+		if c.Name == conceptName && c.Table == table {
+			found = true
+			continue
+		}
+		kept = append(kept, c)
+	}
+	if !found {
+		return fmt.Errorf("medkb: junction concept %q not found", conceptName)
+	}
+	o.Concepts = kept
+	rels := o.ObjectProperties[:0]
+	for _, p := range o.ObjectProperties {
+		if p.From == conceptName || p.To == conceptName {
+			continue
+		}
+		rels = append(rels, p)
+	}
+	o.ObjectProperties = rels
+	// Rebuild the concept index (we mutated the slice directly).
+	rebuilt := ontology.New(o.Name)
+	for _, c := range o.Concepts {
+		if err := rebuilt.AddConcept(c); err != nil {
+			return err
+		}
+	}
+	for _, p := range o.ObjectProperties {
+		if err := rebuilt.AddObjectProperty(p); err != nil {
+			return err
+		}
+	}
+	rebuilt.IsARelations = o.IsARelations
+	rebuilt.Unions = o.Unions
+	if err := rebuilt.AddObjectProperty(direct); err != nil {
+		return err
+	}
+	*o = *rebuilt
+	return nil
+}

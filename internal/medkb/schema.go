@@ -1,0 +1,410 @@
+// Package medkb is the Micromedex stand-in: a deterministic synthetic
+// medical knowledge base (drugs, indications, dosages, interactions,
+// risks, …) plus its curated domain ontology and synonym dictionaries.
+//
+// The paper's use case (§6) runs against IBM Micromedex content in Db2 on
+// Cloud; that content is proprietary, so this package generates a KB with
+// the same schema *shape* — the concepts, properties and special-semantics
+// relationships of the paper's Figure 2 (treats, isA drug-interaction
+// family, Risk = ContraIndication ∪ BlackBoxWarning) embedded in a
+// realistically-sized satellite schema — and seeds it with the drug and
+// condition names that appear in the paper's examples so the published
+// transcripts replay verbatim.
+package medkb
+
+import "ontoconv/internal/kb"
+
+// Schemas returns the full MDX table set in creation order: the core
+// Figure-2 tier plus the second-tier clinical content families defined in
+// schema_extra.go.
+func Schemas() []kb.Schema {
+	return append(coreSchemas(), extraSchemas()...)
+}
+
+func coreSchemas() []kb.Schema {
+	text := func(name string) kb.Column { return kb.Column{Name: name, Type: kb.TextCol} }
+	reqText := func(name string) kb.Column { return kb.Column{Name: name, Type: kb.TextCol, NotNull: true} }
+	intc := func(name string) kb.Column { return kb.Column{Name: name, Type: kb.IntCol} }
+	floatc := func(name string) kb.Column { return kb.Column{Name: name, Type: kb.FloatCol} }
+	boolc := func(name string) kb.Column { return kb.Column{Name: name, Type: kb.BoolCol} }
+	fk := func(col, table, refCol string) kb.ForeignKey {
+		return kb.ForeignKey{Column: col, RefTable: table, RefColumn: refCol}
+	}
+
+	return []kb.Schema{
+		// ------- core entity tables -------
+		{
+			Name:       "drug_class",
+			Columns:    []kb.Column{reqText("class_id"), reqText("name"), text("description")},
+			PrimaryKey: "class_id",
+		},
+		{
+			Name:       "manufacturer",
+			Columns:    []kb.Column{reqText("manufacturer_id"), reqText("name"), text("country")},
+			PrimaryKey: "manufacturer_id",
+		},
+		{
+			Name: "drug",
+			Columns: []kb.Column{
+				reqText("drug_id"), reqText("name"), text("base"), text("salt"),
+				text("class_id"), text("route"), text("schedule"), text("status"),
+			},
+			PrimaryKey:  "drug_id",
+			ForeignKeys: []kb.ForeignKey{fk("class_id", "drug_class", "class_id")},
+		},
+		{
+			Name: "brand",
+			Columns: []kb.Column{
+				reqText("brand_id"), reqText("name"), reqText("drug_id"), text("manufacturer_id"),
+			},
+			PrimaryKey: "brand_id",
+			ForeignKeys: []kb.ForeignKey{
+				fk("drug_id", "drug", "drug_id"),
+				fk("manufacturer_id", "manufacturer", "manufacturer_id"),
+			},
+		},
+		{
+			Name: "indication",
+			Columns: []kb.Column{
+				reqText("indication_id"), reqText("name"), text("icd_code"),
+				text("body_system"), text("description"),
+			},
+			PrimaryKey: "indication_id",
+		},
+		{
+			Name: "finding",
+			Columns: []kb.Column{
+				reqText("finding_id"), reqText("name"), text("body_system"), text("description"),
+			},
+			PrimaryKey: "finding_id",
+		},
+		{
+			Name: "med_procedure",
+			Columns: []kb.Column{
+				reqText("procedure_id"), reqText("name"), text("category"), text("description"),
+			},
+			PrimaryKey: "procedure_id",
+		},
+		{
+			Name:       "food",
+			Columns:    []kb.Column{reqText("food_id"), reqText("name"), text("category")},
+			PrimaryKey: "food_id",
+		},
+		{
+			Name: "lab_test",
+			Columns: []kb.Column{
+				reqText("lab_test_id"), reqText("name"), text("specimen"), text("units"),
+			},
+			PrimaryKey: "lab_test_id",
+		},
+
+		// ------- treats: the Drug-treats-Indication junction -------
+		{
+			Name: "treats",
+			Columns: []kb.Column{
+				reqText("treat_id"), reqText("drug_id"), reqText("indication_id"),
+				text("efficacy"), text("evidence"), text("recommendation"),
+			},
+			PrimaryKey: "treat_id",
+			ForeignKeys: []kb.ForeignKey{
+				fk("drug_id", "drug", "drug_id"),
+				fk("indication_id", "indication", "indication_id"),
+			},
+		},
+
+		// ------- dosing -------
+		{
+			Name: "dosage",
+			Columns: []kb.Column{
+				reqText("dosage_id"), reqText("drug_id"), reqText("indication_id"),
+				reqText("age_group"), text("route"), text("amount"), text("frequency"),
+				text("max_daily"), text("description"),
+			},
+			PrimaryKey: "dosage_id",
+			ForeignKeys: []kb.ForeignKey{
+				fk("drug_id", "drug", "drug_id"),
+				fk("indication_id", "indication", "indication_id"),
+			},
+		},
+		{
+			Name: "dose_adjustment",
+			Columns: []kb.Column{
+				reqText("adjustment_id"), reqText("drug_id"), text("reason"),
+				text("population"), text("description"),
+			},
+			PrimaryKey:  "adjustment_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+
+		// ------- drug satellite content -------
+		{
+			Name: "precaution",
+			Columns: []kb.Column{
+				reqText("precaution_id"), reqText("drug_id"), text("category"), text("description"),
+			},
+			PrimaryKey:  "precaution_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "adverse_effect",
+			Columns: []kb.Column{
+				reqText("effect_id"), reqText("drug_id"), reqText("name"),
+				text("severity"), text("frequency"), text("description"),
+			},
+			PrimaryKey:  "effect_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "administration",
+			Columns: []kb.Column{
+				reqText("admin_id"), reqText("drug_id"), text("route"),
+				text("instructions"), text("timing"),
+			},
+			PrimaryKey:  "admin_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "pharmacokinetics",
+			Columns: []kb.Column{
+				reqText("pk_id"), reqText("drug_id"), text("absorption"),
+				floatc("half_life_hours"), text("metabolism"), text("excretion"),
+				floatc("protein_binding_pct"),
+			},
+			PrimaryKey:  "pk_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "regulatory_status",
+			Columns: []kb.Column{
+				reqText("reg_id"), reqText("drug_id"), text("region"), text("status"),
+				intc("approval_year"),
+			},
+			PrimaryKey:  "reg_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "mechanism_of_action",
+			Columns: []kb.Column{
+				reqText("moa_id"), reqText("drug_id"), text("target"), text("description"),
+			},
+			PrimaryKey:  "moa_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "monitoring",
+			Columns: []kb.Column{
+				reqText("monitor_id"), reqText("drug_id"), text("parameter"),
+				text("frequency"), text("rationale"),
+			},
+			PrimaryKey:  "monitor_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "overdose",
+			Columns: []kb.Column{
+				reqText("overdose_id"), reqText("drug_id"), text("symptoms"), text("management"),
+			},
+			PrimaryKey:  "overdose_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "toxicology",
+			Columns: []kb.Column{
+				reqText("tox_id"), reqText("drug_id"), text("toxic_dose"),
+				text("effects"), text("antidote"),
+			},
+			PrimaryKey:  "tox_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "pregnancy",
+			Columns: []kb.Column{
+				reqText("preg_id"), reqText("drug_id"), text("category"), text("risk_summary"),
+			},
+			PrimaryKey:  "preg_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "lactation",
+			Columns: []kb.Column{
+				reqText("lact_id"), reqText("drug_id"), text("compatibility"), text("note"),
+			},
+			PrimaryKey:  "lact_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "pediatric_use",
+			Columns: []kb.Column{
+				reqText("ped_id"), reqText("drug_id"), text("min_age"), text("note"),
+			},
+			PrimaryKey:  "ped_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "geriatric_use",
+			Columns: []kb.Column{
+				reqText("ger_id"), reqText("drug_id"), text("consideration"),
+			},
+			PrimaryKey:  "ger_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "storage",
+			Columns: []kb.Column{
+				reqText("storage_id"), reqText("drug_id"), text("temperature"),
+				boolc("light_protect"), text("note"),
+			},
+			PrimaryKey:  "storage_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "availability",
+			Columns: []kb.Column{
+				reqText("avail_id"), reqText("drug_id"), text("dosage_form"), text("strength"),
+			},
+			PrimaryKey:  "avail_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "patient_education",
+			Columns: []kb.Column{
+				reqText("edu_id"), reqText("drug_id"), text("topic"), text("instruction"),
+			},
+			PrimaryKey:  "edu_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "warning",
+			Columns: []kb.Column{
+				reqText("warning_id"), reqText("drug_id"), text("severity"), text("text"),
+			},
+			PrimaryKey:  "warning_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "allergy",
+			Columns: []kb.Column{
+				reqText("allergy_id"), reqText("drug_id"), text("cross_sensitivity_class"), text("note"),
+			},
+			PrimaryKey:  "allergy_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "clinical_teaching",
+			Columns: []kb.Column{
+				reqText("teach_id"), reqText("drug_id"), text("topic"), text("text"),
+			},
+			PrimaryKey:  "teach_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "drug_use",
+			Columns: []kb.Column{
+				reqText("use_id"), reqText("drug_id"), text("use_type"), text("description"),
+			},
+			PrimaryKey:  "use_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+
+		// ------- interactions: inheritance family (Figure 2) -------
+		{
+			Name: "drug_interaction",
+			Columns: []kb.Column{
+				reqText("interaction_id"), reqText("drug_id"), text("severity"),
+				text("documentation"), text("mechanism"), text("summary"),
+			},
+			PrimaryKey:  "interaction_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "drug_food_interaction",
+			Columns: []kb.Column{
+				reqText("interaction_id"), reqText("food_id"), text("onset"), text("note"),
+			},
+			PrimaryKey: "interaction_id",
+			ForeignKeys: []kb.ForeignKey{
+				fk("interaction_id", "drug_interaction", "interaction_id"),
+				fk("food_id", "food", "food_id"),
+			},
+		},
+		{
+			Name: "drug_lab_interaction",
+			Columns: []kb.Column{
+				reqText("interaction_id"), reqText("lab_test_id"), text("effect_on_result"), text("note"),
+			},
+			PrimaryKey: "interaction_id",
+			ForeignKeys: []kb.ForeignKey{
+				fk("interaction_id", "drug_interaction", "interaction_id"),
+				fk("lab_test_id", "lab_test", "lab_test_id"),
+			},
+		},
+		{
+			Name: "drug_drug_interaction",
+			Columns: []kb.Column{
+				reqText("interaction_id"), reqText("other_drug_id"), text("management"), text("note"),
+			},
+			PrimaryKey: "interaction_id",
+			ForeignKeys: []kb.ForeignKey{
+				fk("interaction_id", "drug_interaction", "interaction_id"),
+				fk("other_drug_id", "drug", "drug_id"),
+			},
+		},
+
+		// ------- risks: union family (Figure 2) -------
+		{
+			Name: "risk",
+			Columns: []kb.Column{
+				reqText("risk_id"), reqText("drug_id"), text("description"),
+			},
+			PrimaryKey:  "risk_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "contra_indication",
+			Columns: []kb.Column{
+				reqText("risk_id"), text("condition_name"), text("reason"),
+			},
+			PrimaryKey: "risk_id",
+			ForeignKeys: []kb.ForeignKey{
+				fk("risk_id", "risk", "risk_id"),
+			},
+		},
+		{
+			Name: "black_box_warning",
+			Columns: []kb.Column{
+				reqText("risk_id"), text("warning_text"), intc("issued_year"),
+			},
+			PrimaryKey: "risk_id",
+			ForeignKeys: []kb.ForeignKey{
+				fk("risk_id", "risk", "risk_id"),
+			},
+		},
+
+		// ------- IV compatibility & comparisons -------
+		{
+			Name: "iv_compatibility",
+			Columns: []kb.Column{
+				reqText("compat_id"), reqText("drug_id"), reqText("other_drug_id"),
+				text("solution"), text("compatibility"), text("note"),
+			},
+			PrimaryKey: "compat_id",
+			ForeignKeys: []kb.ForeignKey{
+				fk("drug_id", "drug", "drug_id"),
+				fk("other_drug_id", "drug", "drug_id"),
+			},
+		},
+		{
+			Name: "comparative_efficacy",
+			Columns: []kb.Column{
+				reqText("comp_id"), reqText("drug_id"), reqText("other_drug_id"),
+				reqText("indication_id"), text("result"),
+			},
+			PrimaryKey: "comp_id",
+			ForeignKeys: []kb.ForeignKey{
+				fk("drug_id", "drug", "drug_id"),
+				fk("other_drug_id", "drug", "drug_id"),
+				fk("indication_id", "indication", "indication_id"),
+			},
+		},
+	}
+}

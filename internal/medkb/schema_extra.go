@@ -1,0 +1,277 @@
+package medkb
+
+import "ontoconv/internal/kb"
+
+// extraSchemas returns the second tier of Micromedex-style content
+// families: metabolism, organ-impairment dosing, dialyzability,
+// administration safety, identification, alternative medicine, guidelines,
+// citations, cost, stability, and management satellites. Together with the
+// core tier they bring the discovered ontology close to the scale the
+// paper reports for the real MDX ontology (§6.1: 59 concepts, 178
+// properties, 58 relationships).
+func extraSchemas() []kb.Schema {
+	text := func(name string) kb.Column { return kb.Column{Name: name, Type: kb.TextCol} }
+	reqText := func(name string) kb.Column { return kb.Column{Name: name, Type: kb.TextCol, NotNull: true} }
+	intc := func(name string) kb.Column { return kb.Column{Name: name, Type: kb.IntCol} }
+	floatc := func(name string) kb.Column { return kb.Column{Name: name, Type: kb.FloatCol} }
+	boolc := func(name string) kb.Column { return kb.Column{Name: name, Type: kb.BoolCol} }
+	fk := func(col, table, refCol string) kb.ForeignKey {
+		return kb.ForeignKey{Column: col, RefTable: table, RefColumn: refCol}
+	}
+
+	return []kb.Schema{
+		{
+			Name: "cyp_metabolism",
+			Columns: []kb.Column{
+				reqText("cyp_id"), reqText("drug_id"), text("enzyme"), text("role"),
+				text("strength"),
+			},
+			PrimaryKey:  "cyp_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "renal_dosing",
+			Columns: []kb.Column{
+				reqText("renal_id"), reqText("drug_id"), text("crcl_range"),
+				text("adjustment"), text("note"),
+			},
+			PrimaryKey:  "renal_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "hepatic_dosing",
+			Columns: []kb.Column{
+				reqText("hepatic_id"), reqText("drug_id"), text("severity_class"),
+				text("adjustment"),
+			},
+			PrimaryKey:  "hepatic_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "dialyzability",
+			Columns: []kb.Column{
+				reqText("dial_id"), reqText("drug_id"), text("modality"),
+				boolc("removed"), text("note"),
+			},
+			PrimaryKey:  "dial_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "do_not_crush",
+			Columns: []kb.Column{
+				reqText("dnc_id"), reqText("drug_id"), text("form"), text("reason"),
+			},
+			PrimaryKey:  "dnc_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "pill_identification",
+			Columns: []kb.Column{
+				reqText("pill_id"), reqText("drug_id"), text("shape"), text("color"),
+				text("imprint"),
+			},
+			PrimaryKey:  "pill_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "alternative_medicine",
+			Columns: []kb.Column{
+				reqText("alt_id"), reqText("name"), text("category"), text("evidence"),
+			},
+			PrimaryKey: "alt_id",
+		},
+		{
+			Name: "alt_interaction",
+			Columns: []kb.Column{
+				reqText("alt_ix_id"), reqText("drug_id"), reqText("alt_id"),
+				text("severity"), text("note"),
+			},
+			PrimaryKey: "alt_ix_id",
+			ForeignKeys: []kb.ForeignKey{
+				fk("drug_id", "drug", "drug_id"),
+				fk("alt_id", "alternative_medicine", "alt_id"),
+			},
+		},
+		{
+			Name: "clinical_guideline",
+			Columns: []kb.Column{
+				reqText("guideline_id"), reqText("indication_id"), text("organization"),
+				intc("year"), text("summary"),
+			},
+			PrimaryKey:  "guideline_id",
+			ForeignKeys: []kb.ForeignKey{fk("indication_id", "indication", "indication_id")},
+		},
+		{
+			Name: "reference_citation",
+			Columns: []kb.Column{
+				reqText("ref_id"), reqText("drug_id"), text("source"), intc("year"),
+				text("title"),
+			},
+			PrimaryKey:  "ref_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "drug_cost",
+			Columns: []kb.Column{
+				reqText("cost_id"), reqText("drug_id"), text("form"),
+				floatc("price"), text("currency"),
+			},
+			PrimaryKey:  "cost_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "stability",
+			Columns: []kb.Column{
+				reqText("stab_id"), reqText("drug_id"), text("diluent"),
+				floatc("duration_hours"), text("condition"),
+			},
+			PrimaryKey:  "stab_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "effect_management",
+			Columns: []kb.Column{
+				reqText("em_id"), reqText("effect_id"), text("recommendation"),
+			},
+			PrimaryKey:  "em_id",
+			ForeignKeys: []kb.ForeignKey{fk("effect_id", "adverse_effect", "effect_id")},
+		},
+		{
+			Name: "tox_treatment",
+			Columns: []kb.Column{
+				reqText("tt_id"), reqText("tox_id"), intc("step_order"), text("action"),
+			},
+			PrimaryKey:  "tt_id",
+			ForeignKeys: []kb.ForeignKey{fk("tox_id", "toxicology", "tox_id")},
+		},
+		{
+			Name: "age_dosing_band",
+			Columns: []kb.Column{
+				reqText("band_id"), reqText("drug_id"), text("band"), text("dose"),
+				text("note"),
+			},
+			PrimaryKey:  "band_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+		{
+			Name: "therapeutic_class",
+			Columns: []kb.Column{
+				reqText("tc_id"), reqText("drug_id"), text("ahfs_class"), text("atc_code"),
+			},
+			PrimaryKey:  "tc_id",
+			ForeignKeys: []kb.ForeignKey{fk("drug_id", "drug", "drug_id")},
+		},
+	}
+}
+
+// fillExtra populates the second-tier tables.
+func (g *generator) fillExtra() {
+	altNames := []string{"St John's Wort extract", "Ginkgo biloba", "Echinacea", "Valerian root", "Fish oil", "Melatonin", "Turmeric", "Ginseng", "Garlic extract", "Saw palmetto", "Milk thistle", "Black cohosh"}
+	var altIDs []string
+	for _, n := range altNames {
+		id := g.id("AM")
+		altIDs = append(altIDs, id)
+		g.insert("alternative_medicine", kb.Row{id, n,
+			g.pick([]string{"Herbal", "Supplement", "Vitamin"}),
+			g.pick([]string{"Good", "Fair", "Insufficient"})})
+	}
+	for _, indID := range g.indicationIDs {
+		if g.rng.Intn(3) != 0 {
+			continue
+		}
+		g.insert("clinical_guideline", kb.Row{g.id("GL"), indID,
+			g.pick([]string{"AHA", "IDSA", "NICE", "WHO", "AAP"}),
+			int64(2000 + g.rng.Intn(20)), "Consensus guideline summary."})
+	}
+	for di, d := range g.drugIDs {
+		name := g.drugNames[di]
+		g.insert("cyp_metabolism", kb.Row{g.id("CY"), d,
+			g.pick([]string{"CYP3A4", "CYP2D6", "CYP2C9", "CYP1A2", "CYP2C19"}),
+			g.pick([]string{"Substrate", "Inhibitor", "Inducer"}),
+			g.pick([]string{"Strong", "Moderate", "Weak"})})
+		g.insert("renal_dosing", kb.Row{g.id("RN"), d,
+			g.pick([]string{"CrCl < 30", "CrCl 30-60", "CrCl < 15"}),
+			g.pick([]string{"Reduce dose 50%", "Extend interval", "Avoid use", "No change"}),
+			"Based on renal function."})
+		g.insert("hepatic_dosing", kb.Row{g.id("HP"), d,
+			g.pick([]string{"Child-Pugh A", "Child-Pugh B", "Child-Pugh C"}),
+			g.pick([]string{"Reduce dose 25%", "Reduce dose 50%", "Avoid use", "No change"})})
+		g.insert("dialyzability", kb.Row{g.id("DL"), d,
+			g.pick([]string{"Hemodialysis", "Peritoneal dialysis", "CRRT"}),
+			g.rng.Intn(2) == 0, "Supplement after dialysis if removed."})
+		if g.rng.Intn(3) == 0 {
+			g.insert("do_not_crush", kb.Row{g.id("DC"), d,
+				g.pick([]string{"Extended-release tablet", "Enteric-coated tablet", "Capsule"}),
+				g.pick([]string{"Modified release", "Irritant", "Taste"})})
+		}
+		g.insert("pill_identification", kb.Row{g.id("PI"), d,
+			g.pick([]string{"Round", "Oval", "Capsule", "Oblong"}),
+			g.pick([]string{"White", "Yellow", "Blue", "Pink", "Orange"}),
+			fmt3Letters(name) + itoa2(g.rng.Intn(100))})
+		if g.rng.Intn(2) == 0 {
+			g.insert("alt_interaction", kb.Row{g.id("AX"), d, g.pick(altIDs),
+				g.pick(severities), "Concurrent use may alter drug exposure."})
+		}
+		g.insert("reference_citation", kb.Row{g.id("RF"), d,
+			g.pick([]string{"NEJM", "Lancet", "JAMA", "BMJ", "Cochrane"}),
+			int64(1990 + g.rng.Intn(30)), "Pivotal study of " + name + "."})
+		g.insert("drug_cost", kb.Row{g.id("CO"), d,
+			g.pick(dosageForms), 1 + g.rng.Float64()*499, "USD"})
+		g.insert("stability", kb.Row{g.id("SB"), d, g.pick(solutions),
+			float64(4 * (1 + g.rng.Intn(18))), g.pick([]string{"Room temperature", "Refrigerated"})})
+		for _, band := range []string{"neonate", "infant", "child", "adolescent"}[:1+g.rng.Intn(3)] {
+			g.insert("age_dosing_band", kb.Row{g.id("AB"), d, band,
+				itoa2(1+g.rng.Intn(50)) + " mg/kg/day", "Divided doses."})
+		}
+		g.insert("therapeutic_class", kb.Row{g.id("TH"), d,
+			g.pick([]string{"08:12", "24:04", "28:08", "40:28", "56:22"}),
+			g.pick([]string{"N02BA", "C09AA", "J01CA", "A02BC", "M01AE"})})
+	}
+	// management satellites keyed by existing rows
+	ae := g.base.Table("adverse_effect")
+	for i, row := range ae.Rows {
+		if i%3 != 0 {
+			continue
+		}
+		g.insert("effect_management", kb.Row{g.id("EM"), row[0],
+			g.pick([]string{"Discontinue drug", "Reduce dose", "Symptomatic care", "Monitor only"})})
+	}
+	tox := g.base.Table("toxicology")
+	for i, row := range tox.Rows {
+		if i%2 != 0 {
+			continue
+		}
+		for step := 1; step <= 1+g.rng.Intn(2); step++ {
+			g.insert("tox_treatment", kb.Row{g.id("TT"), row[0], int64(step),
+				g.pick([]string{"Secure airway", "Activated charcoal", "IV fluids", "Administer antidote", "Observe 24h"})})
+		}
+	}
+}
+
+func fmt3Letters(name string) string {
+	out := make([]byte, 0, 3)
+	for i := 0; i < len(name) && len(out) < 3; i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c >= 'A' && c <= 'Z' {
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+func itoa2(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

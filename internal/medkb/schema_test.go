@@ -1,0 +1,100 @@
+package medkb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemasWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Schemas() {
+		if s.Name == "" {
+			t.Fatal("schema with empty name")
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate table %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.PrimaryKey == "" {
+			t.Errorf("table %q has no primary key", s.Name)
+		}
+		if s.ColumnIndex(s.PrimaryKey) < 0 {
+			t.Errorf("table %q primary key %q is not a column", s.Name, s.PrimaryKey)
+		}
+		for _, fk := range s.ForeignKeys {
+			if s.ColumnIndex(fk.Column) < 0 {
+				t.Errorf("table %q FK column %q missing", s.Name, fk.Column)
+			}
+			if !seen[fk.RefTable] && fk.RefTable != s.Name {
+				// forward references break creation order
+				t.Errorf("table %q references %q before it is created", s.Name, fk.RefTable)
+			}
+		}
+	}
+	if len(seen) < 50 {
+		t.Fatalf("only %d tables; the MDX stand-in should be at ontology scale", len(seen))
+	}
+}
+
+func TestFigure2TablesPresent(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range Schemas() {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		"drug", "indication", "treats", "dosage", "precaution",
+		"drug_interaction", "drug_food_interaction", "drug_lab_interaction",
+		"risk", "contra_indication", "black_box_warning",
+	} {
+		if !names[want] {
+			t.Errorf("Figure 2 table %q missing", want)
+		}
+	}
+}
+
+func TestBootstrapConfigConsistency(t *testing.T) {
+	base := MustGenerate(DefaultConfig())
+	cfg := BootstrapConfig(base)
+	// every rename target is distinct
+	targets := map[string]bool{}
+	for _, to := range cfg.Feedback.Rename {
+		if targets[to] {
+			t.Errorf("duplicate rename target %q", to)
+		}
+		targets[to] = true
+	}
+	// prior-query keys must be post-rename names (they are applied after
+	// renaming); none may appear among rename sources
+	for intent := range cfg.Feedback.PriorQueries {
+		if _, isSource := cfg.Feedback.Rename[intent]; isSource {
+			t.Errorf("prior queries keyed by pre-rename name %q", intent)
+		}
+	}
+	// value filters are keyed by pre-rename names
+	for intent := range cfg.Feedback.ValueFilters {
+		if targets[intent] {
+			t.Errorf("value filter keyed by post-rename name %q", intent)
+		}
+	}
+	// synonyms reference real concepts
+	o, err := Ontology(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for concept := range ConceptSynonyms() {
+		if !o.HasConcept(concept) {
+			t.Errorf("synonym entry for unknown concept %q", concept)
+		}
+	}
+}
+
+func TestSeedDrugNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sd := range seedDrugs {
+		key := strings.ToLower(sd.name)
+		if seen[key] {
+			t.Errorf("duplicate seed drug %q", sd.name)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,195 @@
+package medkb
+
+import (
+	"ontoconv/internal/core"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/ontology"
+)
+
+// BootstrapConfig returns the full bootstrap configuration for the MDX use
+// case (§6): the generic pipeline plus the SME feedback the paper
+// describes — renaming intents to their deployment names, pruning patterns
+// unlikely in a real workload (§4.2.2), the age-group elicitation of
+// Table 4, the DRUG_GENERAL keyword-entry intent (§6.1), the synonym
+// dictionaries (Tables 1-2), and prior-user-query augmentation (§4.3.2,
+// Figure 8).
+func BootstrapConfig(base *kb.KB) core.Config {
+	cfg := core.DefaultConfig()
+
+	cfg.Entities = core.EntityConfig{
+		ConceptSynonyms: ConceptSynonyms(),
+		InstanceSynonyms: map[string]map[string][]string{
+			"Drug":       DrugSynonyms(base),
+			"Indication": IndicationSynonyms(),
+		},
+		ValueSynonyms: map[string]map[string][]string{
+			"AgeGroup": AgeGroupSynonyms(),
+		},
+		ValueEntityMaxValues: 10,
+	}
+
+	cfg.Feedback = core.Feedback{
+		Rename: map[string]string{
+			"Administrations of Drug":       "Administration of Drug",
+			"Iv Compatibilities of Drug":    "IV Compatibility of Drug",
+			"Drugs That Treats Condition":   "Drugs That Treat Condition",
+			"Conditions Is Treated By Drug": "Conditions Treated by Drug",
+			"Drug Interactions of Drug":     "Drug-Drug Interactions",
+			"Dose Adjustments of Drug":      "Dose Adjustments for Drug",
+			"Regulatory Status of Drug":     "Regulatory Status for Drug",
+			"Pharmacokinetics of Drug":      "Pharmacokinetics",
+			"Mechanism Of Actions of Drug":  "Mechanism of Action of Drug",
+			"Storages of Drug":              "Storage of Drug",
+			"Monitorings of Drug":           "Monitoring of Drug",
+			"Lactations of Drug":            "Lactation of Drug",
+			"Toxicologies of Drug":          "Toxicology of Drug",
+			"Pregnancies of Drug":           "Pregnancy of Drug",
+			"Clinical Teachings of Drug":    "Clinical Teaching of Drug",
+			"Patient Educations of Drug":    "Patient Education of Drug",
+			"Geriatric Uses of Drug":        "Geriatric Use of Drug",
+			"Pediatric Uses of Drug":        "Pediatric Use of Drug",
+			"Drug Classes of Drug":          "Drug Class of Drug",
+			"Availabilities of Drug":        "Availability of Drug",
+			"Cyp Metabolisms of Drug":       "CYP Metabolism of Drug",
+			"Dialyzabilities of Drug":       "Dialyzability of Drug",
+			"Do Not Crushes of Drug":        "Do Not Crush Information for Drug",
+			"Hepatic Dosings of Drug":       "Hepatic Dosing for Drug",
+			"Renal Dosings of Drug":         "Renal Dosing for Drug",
+			"Stabilities of Drug":           "Stability of Drug",
+			"Alt Interactions of Drug":      "Alternative Medicine Interactions of Drug",
+			"Drug Costs of Drug":            "Cost of Drug",
+			"Pill Identifications of Drug":  "Pill Identification of Drug",
+			"Age Dosing Bands of Drug":      "Age-Based Dosing for Drug",
+		},
+		Prune: []string{
+			// ComparativeEfficacy crossed the key-concept cut on raw
+			// centrality, but SMEs judge its standalone relationship
+			// patterns unlikely in a real workload (§4.2.2).
+			"Comparative Efficacies That HasDrug Drug",
+			"Drugs Has Comparative Efficacy",
+			"Comparative Efficacies That OtherDrug Drug",
+			"Drugs Are Related Via OtherDrug To Comparative Efficacy",
+			"Comparative Efficacies That HasIndication Condition",
+			"Conditions Are Related Via HasIndication To Comparative Efficacy",
+			// The drug-drug child lookup duplicates the inheritance-
+			// augmented Drug Interaction intent.
+			"Drug Drug Interactions of Drug",
+			// Standalone dosage lookups are subsumed by the indirect
+			// Drug-Dosage-Condition intent.
+			"Dosages of Drug",
+			"Dosages of Condition",
+		},
+		ValueFilters: map[string][]core.ValueFilter{
+			// Table 4: both the treatment and the dosage request elicit
+			// the intended age group ("Adult or pediatric?").
+			"Drugs That Treats Condition": {{
+				Concept: "Dosage", Property: "age_group",
+				Elicitation: "Adult or pediatric?", Required: true,
+			}},
+			"Drug Dosage for Condition": {{
+				Concept: "Dosage", Property: "age_group",
+				Elicitation: "Adult or pediatric?", Required: true,
+			}},
+		},
+		GeneralEntityConcepts: []string{"Drug"},
+		PriorQueries: map[string][]string{
+			// Figure 8's SME-labelled prior user queries.
+			"Dose Adjustments for Drug": {
+				"Find Dose Adjustment for Aspirin?",
+				"Give me the increased dosage for Aspirin?",
+				"How do I perform a Dose Adjustment for Aspirin?",
+				"I want to see the modifications to dosing for Aspirin?",
+			},
+			// §6.3 user-log phrasings.
+			"Adverse Effects of Drug": {
+				"What are the side effects of cogentin",
+				"cogentin adverse effects",
+				"side effects of Ibuprofen",
+				"adverse reactions to Aspirin",
+				"does Sertraline have side effects",
+			},
+			"Drugs That Treat Condition": {
+				"show me drugs that treat psoriasis",
+				"what treats fever",
+				"which medications treat hypertension",
+				"treatment options for acne",
+				"what can I give for pain",
+			},
+			// Dosage questions collide with the renal/hepatic/age-band
+			// dosing intents (§4.6: intent separation); prior user
+			// queries teach the classifier that an unqualified dosage
+			// question means this intent.
+			"Drug Dosage for Condition": {
+				"dosage for Tazarotene",
+				"Tazarotene dosing",
+				"dosage for Tazarotene for acne",
+				"what dose of Ibuprofen for fever",
+				"how much Amoxicillin for bronchitis",
+				"how should I dose Aspirin",
+				"what is the dosage for Metformin",
+				"usual dose of Lisinopril",
+				"Ibuprofen dose",
+				"dosing for Amoxicillin",
+				"give me the dosage for Sertraline",
+				"what dose of Gabapentin for epilepsy",
+				"recommended dose of Omeprazole",
+				"Warfarin dosing for atrial fibrillation",
+				"dose for Acetaminophen for fever",
+			},
+			"Renal Dosing for Drug": {
+				"renal dosing for Aspirin",
+				"kidney dose adjustment for Metformin",
+				"what dose in renal failure for Lisinopril",
+				"CrCl based dosing for Gabapentin",
+			},
+			"Hepatic Dosing for Drug": {
+				"hepatic dosing for Aspirin",
+				"liver dose adjustment for Atorvastatin",
+				"dose in cirrhosis for Sertraline",
+			},
+			"Age-Based Dosing for Drug": {
+				"mg/kg dosing for Amoxicillin",
+				"weight based dose for Ibuprofen",
+				"dose per kilogram for Acetaminophen",
+			},
+			"Drug-Drug Interactions": {
+				"What are the drug interactions for aspirin?",
+				"does Warfarin interact with other drugs",
+				"interactions between medications for Omeprazole",
+			},
+			"IV Compatibility of Drug": {
+				"is Aspirin compatible with NS",
+				"IV compatibility for Heparin",
+				"can I run Azithromycin y-site",
+			},
+			"Risks of Drug": {
+				"contraindications for Aspirin",
+				"black box warnings for Warfarin",
+				"is Sertraline contraindicated in pregnancy",
+				"risks of Ibuprofen",
+				"boxed warning for Adalimumab",
+				"when is Metformin contraindicated",
+			},
+		},
+	}
+	return cfg
+}
+
+// Bootstrap generates the KB (default size), builds the ontology, and runs
+// the full MDX bootstrap. It is the one-call entry point used by the
+// examples and experiments.
+func Bootstrap() (*kb.KB, *ontology.Ontology, *core.Space, error) {
+	base, err := Generate(DefaultConfig())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	o, err := Ontology(base)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	space, err := core.Bootstrap(o, base, BootstrapConfig(base))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return base, o, space, nil
+}

@@ -1,0 +1,129 @@
+package medkb
+
+import (
+	"strings"
+
+	"ontoconv/internal/kb"
+)
+
+// ConceptSynonyms is the domain dictionary of Table 2: synonyms for
+// ontology concept names, keyed by concept name. SMEs provide these; user
+// testing grows them (§6.3: "side effects" had to be learned as a synonym
+// of "adverse effects").
+func ConceptSynonyms() map[string][]string {
+	return map[string][]string{
+		"AdverseEffect":       {"side effect", "side effects", "adverse reaction", "adverse reactions", "AE"},
+		"Indication":          {"condition", "disease", "finding", "disorder", "illness"},
+		"Drug":                {"medicine", "meds", "medication", "substance"},
+		"Precaution":          {"caution", "cautions", "safe to give"},
+		"DoseAdjustment":      {"dosing modification", "dose reduction", "dose modification", "modifications to dosing", "increased dosage"},
+		"Dosage":              {"dose", "dosing", "dose amount"},
+		"DrugInteraction":     {"interaction", "interactions"},
+		"DrugDrugInteraction": {"drug-drug interaction", "drug drug interactions"},
+		"DrugFoodInteraction": {"food interaction", "drug-food interaction"},
+		"DrugLabInteraction":  {"lab interaction", "drug-lab interaction"},
+		"ContraIndication":    {"contraindication", "contraindications", "contra-indication", "contra-indications"},
+		"BlackBoxWarning":     {"black box warnings", "boxed warning", "boxed warnings"},
+		"Risk":                {"risks", "hazards"},
+		"IvCompatibility":     {"IV compatibility", "intravenous compatibility", "y-site compatibility"},
+		"RegulatoryStatus":    {"regulatory status", "approval status", "FDA status"},
+		"Pharmacokinetics":    {"PK", "kinetics", "pharmacokinetic profile"},
+		"Administration":      {"how to give", "how to administer", "administration instructions"},
+		"DrugUse":             {"uses", "usage", "used for", "what is it for"},
+		"MechanismOfAction":   {"mechanism", "MOA", "how it works"},
+		"Monitoring":          {"monitoring parameters", "what to monitor"},
+		"Overdose":            {"overdosage", "OD"},
+		"Toxicology":          {"toxicity", "poisoning"},
+		"Pregnancy":           {"pregnancy category", "use in pregnancy"},
+		"Lactation":           {"breastfeeding", "nursing"},
+		"PediatricUse":        {"use in children", "pediatric considerations", "kids"},
+		"GeriatricUse":        {"use in elderly", "geriatric considerations"},
+		"Storage":             {"how to store", "storage conditions"},
+		"Availability":        {"dosage forms", "formulations", "strengths"},
+		"PatientEducation":    {"patient counseling", "patient instructions"},
+		"Warning":             {"warnings", "alerts"},
+		"Allergy":             {"allergies", "cross sensitivity", "cross-sensitivity"},
+		"Brand":               {"brand name", "trade name"},
+		"Finding":             {"clinical finding", "sign", "symptom"},
+		"ComparativeEfficacy": {"comparison", "comparative effectiveness", "head to head"},
+		"CypMetabolism":       {"CYP", "cytochrome", "metabolism enzymes", "CYP450"},
+		"RenalDosing":         {"renal dose", "kidney dosing", "renal adjustment"},
+		"HepaticDosing":       {"liver dosing", "hepatic adjustment"},
+		"Dialyzability":       {"dialysis removal", "dialyzable"},
+		"DoNotCrush":          {"can I crush", "crushable", "do not crush list"},
+		"PillIdentification":  {"pill id", "what does it look like", "imprint"},
+		"DrugCost":            {"price", "cost", "how much does it cost"},
+		"Stability":           {"shelf life", "how long is it stable"},
+		"ReferenceCitation":   {"references", "citations", "literature"},
+		"TherapeuticClass":    {"AHFS class", "ATC code", "therapeutic category"},
+		"AltInteraction":      {"herbal interactions", "supplement interactions", "alternative medicine interactions"},
+		"ClinicalGuideline":   {"guidelines", "treatment guidelines", "practice guidelines"},
+		"AgeDosingBand":       {"weight-based dosing", "mg/kg dosing", "age based dosing"},
+		"AlternativeMedicine": {"herbal", "supplement", "natural remedy"},
+		"EffectManagement":    {"managing side effects", "side effect management"},
+		"ToxTreatment":        {"overdose treatment", "poisoning management"},
+	}
+}
+
+// AgeGroupSynonyms maps the canonical age-group values to surface forms.
+func AgeGroupSynonyms() map[string][]string {
+	return map[string][]string{
+		"adult":     {"adults", "grown-ups", "grownups"},
+		"pediatric": {"pediatrics", "paediatric", "children", "child", "kids", "kid", "infants"},
+	}
+}
+
+// DrugSynonyms extracts instance synonyms for every drug from the KB:
+// its brand names and its base-with-salt description (§6.1: "Drug Cyclogel
+// also has a brand name Cylate and a base and salt description
+// Cyclopentolate Hydrochloride").
+func DrugSynonyms(base *kb.KB) map[string][]string {
+	out := make(map[string][]string)
+	dt := base.Table("drug")
+	idI := dt.Schema.ColumnIndex("drug_id")
+	nameI := dt.Schema.ColumnIndex("name")
+	baseI := dt.Schema.ColumnIndex("base")
+	saltI := dt.Schema.ColumnIndex("salt")
+	nameByID := make(map[string]string, dt.Len())
+	for _, row := range dt.Rows {
+		id := row[idI].(string)
+		name := row[nameI].(string)
+		nameByID[id] = name
+		if b, ok := row[baseI].(string); ok && b != "" {
+			full := b
+			if s, ok := row[saltI].(string); ok && s != "" {
+				full = b + " " + s
+			}
+			if !strings.EqualFold(full, name) {
+				out[name] = append(out[name], full)
+			}
+			if !strings.EqualFold(b, name) && !strings.EqualFold(b, full) {
+				out[name] = append(out[name], b)
+			}
+		}
+	}
+	bt := base.Table("brand")
+	bNameI := bt.Schema.ColumnIndex("name")
+	bDrugI := bt.Schema.ColumnIndex("drug_id")
+	for _, row := range bt.Rows {
+		drug := nameByID[row[bDrugI].(string)]
+		brand := row[bNameI].(string)
+		if drug != "" && !strings.EqualFold(brand, drug) {
+			out[drug] = append(out[drug], brand)
+		}
+	}
+	return out
+}
+
+// IndicationSynonyms provides surface variants for a few seeded
+// conditions.
+func IndicationSynonyms() map[string][]string {
+	return map[string][]string{
+		"Gastroesophageal Reflux Disease": {"GERD", "acid reflux"},
+		"Diabetes Mellitus Type 2":        {"type 2 diabetes", "T2DM"},
+		"Urinary Tract Infection":         {"UTI"},
+		"Hypertension":                    {"high blood pressure"},
+		"Fever":                           {"pyrexia", "high temperature"},
+		"Atrial Fibrillation":             {"afib", "AF"},
+	}
+}

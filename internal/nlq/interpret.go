@@ -1,0 +1,93 @@
+package nlq
+
+import (
+	"fmt"
+
+	"ontoconv/internal/nlu"
+	"ontoconv/internal/ontology"
+)
+
+// conceptMention is the recognizer entity type used for ontology concept
+// names, to keep them apart from instance mentions (whose type is the
+// concept they belong to).
+const conceptMention = "@concept"
+
+// Interpreter annotates utterances with ontology evidence and produces
+// structured Requests (the "interprets it over the domain ontology" step
+// of §2). It is used offline to turn one example utterance per intent
+// into SQL.
+type Interpreter struct {
+	svc *Service
+	rec *nlu.Recognizer
+}
+
+// NewInterpreter builds an interpreter over the service's ontology.
+// conceptSynonyms maps concept name -> extra surface forms (the Table 2
+// dictionary); concept labels themselves are always added.
+func NewInterpreter(svc *Service, conceptSynonyms map[string][]string) *Interpreter {
+	rec := nlu.NewRecognizer()
+	for _, c := range svc.onto.Concepts {
+		surfaces := []string{c.Name}
+		if c.Label != "" && c.Label != c.Name {
+			surfaces = append(surfaces, c.Label)
+		}
+		surfaces = append(surfaces, conceptSynonyms[c.Name]...)
+		rec.Add(conceptMention, c.Name, surfaces...)
+	}
+	return &Interpreter{svc: svc, rec: rec}
+}
+
+// AddInstances registers instance values of a concept (value -> synonyms)
+// so utterances mentioning them can be annotated.
+func (it *Interpreter) AddInstances(concept string, values map[string][]string) {
+	for v, syns := range values {
+		it.rec.Add(concept, v, syns...)
+	}
+}
+
+// AddInstanceList registers instance values without synonyms.
+func (it *Interpreter) AddInstanceList(concept string, values []string) {
+	for _, v := range values {
+		it.rec.Add(concept, v)
+	}
+}
+
+// Interpret annotates the utterance and derives a Request: the first
+// concept mention not explained by an instance becomes the answer concept;
+// every instance mention becomes an equality filter on its concept's
+// display property.
+func (it *Interpreter) Interpret(text string) (Request, error) {
+	mentions := it.rec.Recognize(text)
+	var answer string
+	var filters []Filter
+	seenFilter := map[string]bool{}
+	for _, m := range mentions {
+		if m.Partial {
+			continue // ambiguous; the dialogue layer resolves these
+		}
+		if m.Type == conceptMention {
+			if answer == "" {
+				answer = m.Value
+			}
+			continue
+		}
+		if seenFilter[m.Type] {
+			continue
+		}
+		seenFilter[m.Type] = true
+		filters = append(filters, Filter{Concept: m.Type, Value: m.Value})
+	}
+	if answer == "" {
+		// Entity-only utterance ("cogentin"): no query pattern — the
+		// conversation layer handles this as a DRUG_GENERAL-style flow.
+		return Request{}, fmt.Errorf("nlq: no answer concept recognized in %q", text)
+	}
+	if answer != "" && len(filters) == 1 && filters[0].Concept == answer {
+		// "tell me about drug Aspirin" — asking for the entity itself.
+		return Request{Answer: answer, Distinct: true, Filters: filters}, nil
+	}
+	return Request{Answer: answer, Distinct: true, Filters: filters}, nil
+}
+
+// Ontology exposes the service's ontology (used by the bootstrapper).
+func (s *Service) Ontology() *ontology.Ontology { return s.onto }

@@ -1,0 +1,458 @@
+// Package nlq implements the ontology-driven natural-language-query
+// service (paper §2 and §4.4; the stand-in for ATHENA [29]). Its job in the
+// system is to turn one representative utterance per intent into a
+// structured SQL query over the knowledge base, which the bootstrapper then
+// parameterizes into the intent's structured query template.
+//
+// The service works in two layers:
+//
+//   - BuildSQL compiles a structured Request (answer concept + filters)
+//     into SQL by discovering a join tree over the ontology-to-schema
+//     mapping (direct foreign keys, junction tables, isA PK-sharing).
+//   - Interpret produces a Request from a natural-language utterance by
+//     annotating it with ontology evidence (concept labels, synonyms, and
+//     instance values) — the "interprets it over the domain ontology"
+//     step of §2.
+package nlq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ontoconv/internal/ontology"
+	"ontoconv/internal/sqlx"
+)
+
+// Filter constrains the query: concept's property compared to a value or
+// left open as a template parameter.
+type Filter struct {
+	Concept  string
+	Property string // data property; empty means the concept's display property
+	Value    string // literal; ignored when Param != ""
+	Param    string // template parameter name, e.g. "Drug"
+	// PathHint optionally names the object-property sequence from the
+	// request's answer concept to this filter's concept. Without a hint
+	// the shortest join path is used; with one, the named relations are
+	// followed (the bootstrapper grounds each pattern in specific
+	// relations, so its templates must join through exactly those).
+	PathHint []string
+}
+
+// Request is a structured query request over the ontology.
+type Request struct {
+	// Answer is the concept whose information is requested.
+	Answer string
+	// Properties lists the answer's data properties to project; empty
+	// means the concept's display property.
+	Properties []string
+	// Filters constrain the result.
+	Filters []Filter
+	// Distinct deduplicates the projection (default true for lookups).
+	Distinct bool
+	// IncludeRelationProps also projects the qualifying properties of
+	// any junction relationship joined into the query (e.g. efficacy of
+	// Drug-treats-Indication), so the agent can group the answer the way
+	// the paper's transcript does ("Effective: Acitretin, …").
+	IncludeRelationProps bool
+}
+
+// Service compiles requests against one ontology.
+type Service struct {
+	onto *ontology.Ontology
+	// adjacency: concept -> join edges
+	edges map[string][]joinEdge
+}
+
+// joinEdge is one traversable schema connection between two concepts.
+type joinEdge struct {
+	from, to string
+	// build appends the SQL join chain and returns the alias of `to`.
+	// aliases tracks concept -> alias; junction tables get their own.
+	kind string // "fk", "fk-rev", "via", "via-rev", "isa-up", "isa-down"
+	prop ontology.ObjectProperty
+}
+
+// New builds a service over the ontology. Concepts must carry Table
+// metadata (set by the ontology generator).
+func New(o *ontology.Ontology) *Service {
+	s := &Service{onto: o, edges: make(map[string][]joinEdge)}
+	for _, p := range o.ObjectProperties {
+		s.edges[p.From] = append(s.edges[p.From], joinEdge{from: p.From, to: p.To, kind: edgeKind(p, false), prop: p})
+		s.edges[p.To] = append(s.edges[p.To], joinEdge{from: p.To, to: p.From, kind: edgeKind(p, true), prop: p})
+	}
+	for _, r := range o.IsARelations {
+		up := ontology.ObjectProperty{Name: "isA", From: r.Child, To: r.Parent}
+		s.edges[r.Child] = append(s.edges[r.Child], joinEdge{from: r.Child, to: r.Parent, kind: "isa-up", prop: up})
+		s.edges[r.Parent] = append(s.edges[r.Parent], joinEdge{from: r.Parent, to: r.Child, kind: "isa-down", prop: up})
+	}
+	return s
+}
+
+func edgeKind(p ontology.ObjectProperty, reverse bool) string {
+	if p.Via != nil {
+		if reverse {
+			return "via-rev"
+		}
+		return "via"
+	}
+	if reverse {
+		return "fk-rev"
+	}
+	return "fk"
+}
+
+// BuildSQL compiles the request into a SQL statement string (possibly with
+// <@Param> markers) using shortest join paths from the answer concept to
+// every filter concept.
+func (s *Service) BuildSQL(req Request) (string, error) {
+	ans := s.onto.Concept(req.Answer)
+	if ans == nil {
+		return "", fmt.Errorf("nlq: unknown concept %q", req.Answer)
+	}
+	if ans.Table == "" {
+		return "", fmt.Errorf("nlq: concept %q has no backing table", req.Answer)
+	}
+
+	b := &builder{svc: s, aliases: map[string]string{}, usedRels: map[string]bool{}}
+	b.from = b.alias(req.Answer, ans.Table)
+
+	// Join every filter concept into the tree.
+	for _, f := range req.Filters {
+		if f.Concept == req.Answer {
+			continue
+		}
+		if _, joined := b.aliases[f.Concept]; joined {
+			continue
+		}
+		var path []joinEdge
+		var err error
+		if len(f.PathHint) > 0 {
+			path, err = s.hintedPath(req.Answer, f.Concept, f.PathHint)
+		} else {
+			path, err = s.shortestPath(req.Answer, f.Concept, b.aliases)
+		}
+		if err != nil {
+			return "", err
+		}
+		if err := b.joinPath(path); err != nil {
+			return "", err
+		}
+	}
+	// Densify: concepts brought in by different filters may also relate
+	// to each other directly (Dosage has both a Drug and an Indication
+	// FK); without the extra equalities the query would pair unrelated
+	// rows. Every direct FK relation between two joined concepts becomes
+	// an equality predicate, unless it already backs a join.
+	b.densify()
+
+	// Projection.
+	props := req.Properties
+	if len(props) == 0 {
+		dp := ans.DisplayProperty
+		if dp == "" {
+			return "", fmt.Errorf("nlq: concept %q has no display property", req.Answer)
+		}
+		props = []string{dp}
+	}
+	var sel []string
+	for _, pr := range props {
+		if s.onto.Property(req.Answer, pr) == nil {
+			return "", fmt.Errorf("nlq: concept %q has no property %q", req.Answer, pr)
+		}
+		sel = append(sel, b.aliases[req.Answer]+"."+pr)
+	}
+	if req.IncludeRelationProps {
+		sel = append(sel, b.relProps...)
+	}
+
+	// WHERE clause.
+	var conds []string
+	for _, f := range req.Filters {
+		c := s.onto.Concept(f.Concept)
+		if c == nil {
+			return "", fmt.Errorf("nlq: unknown filter concept %q", f.Concept)
+		}
+		prop := f.Property
+		if prop == "" {
+			prop = c.DisplayProperty
+		}
+		if s.onto.Property(f.Concept, prop) == nil {
+			return "", fmt.Errorf("nlq: concept %q has no property %q", f.Concept, prop)
+		}
+		alias, joined := b.aliases[f.Concept]
+		if !joined {
+			return "", fmt.Errorf("nlq: filter concept %q not joined", f.Concept)
+		}
+		var rhs string
+		if f.Param != "" {
+			rhs = "<@" + f.Param + ">"
+		} else {
+			rhs = "'" + strings.ReplaceAll(f.Value, "'", "''") + "'"
+		}
+		conds = append(conds, fmt.Sprintf("%s.%s = %s", alias, prop, rhs))
+	}
+	conds = append(conds, b.extraConds...)
+
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if req.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	sb.WriteString(strings.Join(sel, ", "))
+	sb.WriteString(" FROM " + b.fromTable + " " + b.from)
+	for _, j := range b.joins {
+		sb.WriteString(" INNER JOIN " + j)
+	}
+	if len(conds) > 0 {
+		sb.WriteString(" WHERE " + strings.Join(conds, " AND "))
+	}
+	return sb.String(), nil
+}
+
+// BuildTemplate compiles the request and parses the result into a reusable
+// query template (filters using Param become template parameters).
+func (s *Service) BuildTemplate(req Request) (*sqlx.Template, error) {
+	sql, err := s.BuildSQL(req)
+	if err != nil {
+		return nil, err
+	}
+	return sqlx.NewTemplate(sql)
+}
+
+type builder struct {
+	svc       *Service
+	aliases   map[string]string // concept -> alias
+	from      string
+	fromTable string
+	joins     []string
+	nAlias    int
+	// usedRels tracks FK/isA relations already backing a join, so
+	// densify does not duplicate them. Keys are From+"\x00"+Name+"\x00"+To.
+	usedRels map[string]bool
+	// extraConds holds the densification equalities added to WHERE.
+	extraConds []string
+	// relProps holds qualified junction-property columns available for
+	// projection (alias.column).
+	relProps []string
+}
+
+func relKey(from, name, to string) string { return from + "\x00" + name + "\x00" + to }
+
+// densify adds equality predicates for unused direct FK or isA relations
+// whose two endpoint concepts are both joined — but only for concept pairs
+// not already connected by any join (a pair may carry several independent
+// relations, e.g. IV compatibility's hasDrug and otherDrug, and equating
+// the unused one would wrongly force both to the same row).
+func (b *builder) densify() {
+	o := b.svc.onto
+	connected := map[string]bool{}
+	pairKey := func(a, c string) string {
+		if a < c {
+			return a + "\x00" + c
+		}
+		return c + "\x00" + a
+	}
+	for _, p := range o.ObjectProperties {
+		if b.usedRels[relKey(p.From, p.Name, p.To)] {
+			connected[pairKey(p.From, p.To)] = true
+		}
+	}
+	for _, r := range o.IsARelations {
+		if b.usedRels[relKey(r.Child, "isA", r.Parent)] {
+			connected[pairKey(r.Child, r.Parent)] = true
+		}
+	}
+	for _, p := range o.ObjectProperties {
+		if p.Via != nil {
+			continue
+		}
+		fa, okF := b.aliases[p.From]
+		ta, okT := b.aliases[p.To]
+		if !okF || !okT || connected[pairKey(p.From, p.To)] {
+			continue
+		}
+		connected[pairKey(p.From, p.To)] = true
+		b.extraConds = append(b.extraConds, fmt.Sprintf("%s.%s = %s.%s", fa, p.FromColumn, ta, p.ToColumn))
+	}
+	for _, r := range o.IsARelations {
+		ca, okC := b.aliases[r.Child]
+		pa, okP := b.aliases[r.Parent]
+		if !okC || !okP || connected[pairKey(r.Child, r.Parent)] {
+			continue
+		}
+		cpk, err1 := b.svc.tablePK(r.Child)
+		ppk, err2 := b.svc.tablePK(r.Parent)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		connected[pairKey(r.Child, r.Parent)] = true
+		b.extraConds = append(b.extraConds, fmt.Sprintf("%s.%s = %s.%s", ca, cpk, pa, ppk))
+	}
+}
+
+func (b *builder) alias(concept, table string) string {
+	a := "o" + concept
+	b.aliases[concept] = a
+	if b.from == "" {
+		b.fromTable = table
+	}
+	return a
+}
+
+func (b *builder) junctionAlias(table string) string {
+	b.nAlias++
+	return fmt.Sprintf("j%d_%s", b.nAlias, table)
+}
+
+// joinPath adds the SQL joins for a path of edges whose first node is
+// already aliased.
+func (b *builder) joinPath(path []joinEdge) error {
+	for _, e := range path {
+		if _, done := b.aliases[e.to]; done {
+			continue
+		}
+		fromAlias := b.aliases[e.from]
+		toConcept := b.svc.onto.Concept(e.to)
+		if toConcept == nil || toConcept.Table == "" {
+			return fmt.Errorf("nlq: concept %q has no backing table", e.to)
+		}
+		toAlias := "o" + e.to
+		p := e.prop
+		switch e.kind {
+		case "fk":
+			// from-table has the FK column referencing to-table
+			b.usedRels[relKey(p.From, p.Name, p.To)] = true
+			b.joins = append(b.joins, fmt.Sprintf("%s %s ON %s.%s = %s.%s",
+				toConcept.Table, toAlias, fromAlias, p.FromColumn, toAlias, p.ToColumn))
+		case "fk-rev":
+			// to-table has the FK column referencing from-table
+			b.usedRels[relKey(p.From, p.Name, p.To)] = true
+			b.joins = append(b.joins, fmt.Sprintf("%s %s ON %s.%s = %s.%s",
+				toConcept.Table, toAlias, toAlias, p.FromColumn, fromAlias, p.ToColumn))
+		case "via", "via-rev":
+			j := b.junctionAlias(p.Via.Table)
+			var nearCol, farCol string
+			if e.kind == "via" {
+				nearCol, farCol = p.Via.FromColumn, p.Via.ToColumn
+			} else {
+				nearCol, farCol = p.Via.ToColumn, p.Via.FromColumn
+			}
+			nearPK, err := b.svc.tablePK(e.from)
+			if err != nil {
+				return err
+			}
+			farPK, err := b.svc.tablePK(e.to)
+			if err != nil {
+				return err
+			}
+			b.joins = append(b.joins, fmt.Sprintf("%s %s ON %s.%s = %s.%s",
+				p.Via.Table, j, j, nearCol, fromAlias, nearPK))
+			b.joins = append(b.joins, fmt.Sprintf("%s %s ON %s.%s = %s.%s",
+				toConcept.Table, toAlias, toAlias, farPK, j, farCol))
+			for _, rp := range p.Via.Properties {
+				b.relProps = append(b.relProps, j+"."+rp)
+			}
+		case "isa-up", "isa-down":
+			fromPK, err := b.svc.tablePK(e.from)
+			if err != nil {
+				return err
+			}
+			toPK, err := b.svc.tablePK(e.to)
+			if err != nil {
+				return err
+			}
+			b.usedRels[relKey(p.From, "isA", p.To)] = true
+			b.joins = append(b.joins, fmt.Sprintf("%s %s ON %s.%s = %s.%s",
+				toConcept.Table, toAlias, toAlias, toPK, fromAlias, fromPK))
+		default:
+			return fmt.Errorf("nlq: unknown edge kind %q", e.kind)
+		}
+		b.aliases[e.to] = toAlias
+	}
+	return nil
+}
+
+// tablePK returns the primary-key column backing the concept.
+func (s *Service) tablePK(concept string) (string, error) {
+	c := s.onto.Concept(concept)
+	if c == nil || c.TableKey == "" {
+		return "", fmt.Errorf("nlq: cannot determine primary key of %q", concept)
+	}
+	return c.TableKey, nil
+}
+
+// shortestPath finds the shortest join path from src toward dst, allowed
+// to start from ANY already-aliased concept (so later filters reuse the
+// existing join tree).
+func (s *Service) shortestPath(src, dst string, aliased map[string]string) ([]joinEdge, error) {
+	type state struct {
+		node string
+		path []joinEdge
+	}
+	var queue []state
+	visited := map[string]bool{}
+	if len(aliased) == 0 {
+		queue = append(queue, state{node: src})
+		visited[src] = true
+	} else {
+		starts := make([]string, 0, len(aliased))
+		for c := range aliased {
+			starts = append(starts, c)
+		}
+		sort.Strings(starts)
+		for _, c := range starts {
+			queue = append(queue, state{node: c})
+			visited[c] = true
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.node == dst {
+			return cur.path, nil
+		}
+		for _, e := range s.edges[cur.node] {
+			if visited[e.to] {
+				continue
+			}
+			visited[e.to] = true
+			np := make([]joinEdge, len(cur.path), len(cur.path)+1)
+			copy(np, cur.path)
+			np = append(np, e)
+			queue = append(queue, state{node: e.to, path: np})
+		}
+	}
+	return nil, fmt.Errorf("nlq: no join path from %q to %q", src, dst)
+}
+
+// hintedPath resolves a named relation sequence from src to dst. Relation
+// names can repeat across the ontology (every satellite concept may have a
+// "hasDrug"), so the resolution searches all name-matching edges and
+// requires the full sequence to land on dst.
+func (s *Service) hintedPath(src, dst string, names []string) ([]joinEdge, error) {
+	var dfs func(node string, i int, acc []joinEdge) []joinEdge
+	dfs = func(node string, i int, acc []joinEdge) []joinEdge {
+		if i == len(names) {
+			if node == dst {
+				out := make([]joinEdge, len(acc))
+				copy(out, acc)
+				return out
+			}
+			return nil
+		}
+		for _, e := range s.edges[node] {
+			if e.prop.Name != names[i] {
+				continue
+			}
+			if found := dfs(e.to, i+1, append(acc, e)); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	if found := dfs(src, 0, nil); found != nil {
+		return found, nil
+	}
+	return nil, fmt.Errorf("nlq: relation path %v does not connect %q to %q", names, src, dst)
+}

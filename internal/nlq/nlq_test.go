@@ -1,0 +1,296 @@
+package nlq_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ontoconv/internal/kb"
+	"ontoconv/internal/medkb"
+	"ontoconv/internal/nlq"
+	"ontoconv/internal/ontology"
+	"ontoconv/internal/sqlx"
+)
+
+var (
+	once  sync.Once
+	mBase *kb.KB
+	mOnto *ontology.Ontology
+	mErr  error
+)
+
+func mdx(t *testing.T) (*kb.KB, *ontology.Ontology) {
+	t.Helper()
+	once.Do(func() {
+		mBase, mErr = medkb.Generate(medkb.DefaultConfig())
+		if mErr != nil {
+			return
+		}
+		mOnto, mErr = medkb.Ontology(mBase)
+	})
+	if mErr != nil {
+		t.Fatal(mErr)
+	}
+	return mBase, mOnto
+}
+
+func TestBuildSQLLookup(t *testing.T) {
+	base, o := mdx(t)
+	svc := nlq.New(o)
+	sql, err := svc.BuildSQL(nlq.Request{
+		Answer:   "Precaution",
+		Distinct: true,
+		Filters:  []nlq.Filter{{Concept: "Drug", Value: "Ibuprofen"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// shape of the paper's Figure 9
+	for _, want := range []string{
+		"SELECT DISTINCT oPrecaution.description",
+		"FROM precaution oPrecaution",
+		"INNER JOIN drug oDrug",
+		"oDrug.name = 'Ibuprofen'",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+	res, err := sqlx.Exec(base, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no precautions for Ibuprofen")
+	}
+}
+
+func TestBuildSQLViaJunction(t *testing.T) {
+	base, o := mdx(t)
+	svc := nlq.New(o)
+	sql, err := svc.BuildSQL(nlq.Request{
+		Answer:   "Drug",
+		Distinct: true,
+		Filters:  []nlq.Filter{{Concept: "Indication", Value: "Fever", PathHint: []string{"treats"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "treats") {
+		t.Fatalf("junction not joined:\n%s", sql)
+	}
+	res, err := sqlx.Exec(base, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := res.Column("name")
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"Aspirin", "Ibuprofen", "Acetaminophen"} {
+		if !found[want] {
+			t.Errorf("fever drugs missing %q: %v", want, names)
+		}
+	}
+}
+
+func TestBuildSQLIsAPath(t *testing.T) {
+	base, o := mdx(t)
+	svc := nlq.New(o)
+	sql, err := svc.BuildSQL(nlq.Request{
+		Answer:   "BlackBoxWarning",
+		Distinct: true,
+		Filters:  []nlq.Filter{{Concept: "Drug", Param: "Drug"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// must traverse BlackBoxWarning -isA-> Risk -hasDrug-> Drug
+	if !strings.Contains(sql, "risk oRisk") {
+		t.Fatalf("isA join missing:\n%s", sql)
+	}
+	tpl, err := sqlx.NewTemplate(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := tpl.Instantiate(map[string]string{"Drug": "Warfarin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sqlx.Execute(base, stmt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSQLDensification(t *testing.T) {
+	base, o := mdx(t)
+	svc := nlq.New(o)
+	// Drugs treating an indication with pediatric dosing: the Dosage
+	// join must also be constrained to the SAME indication.
+	sql, err := svc.BuildSQL(nlq.Request{
+		Answer:   "Drug",
+		Distinct: true,
+		Filters: []nlq.Filter{
+			{Concept: "Indication", Value: "Psoriasis", PathHint: []string{"treats"}},
+			{Concept: "Dosage", Property: "age_group", Value: "pediatric"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "oDosage.indication_id = oIndication.indication_id") {
+		t.Fatalf("densification equality missing:\n%s", sql)
+	}
+	res, err := sqlx.Exec(base, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, n := range res.Column("name") {
+		names[n] = true
+	}
+	if names["Acitretin"] || names["Adalimumab"] {
+		t.Fatalf("adult-only drugs leaked into pediatric result: %v", names)
+	}
+	if !names["Tazarotene"] || !names["Fluocinonide"] {
+		t.Fatalf("pediatric drugs missing: %v", names)
+	}
+}
+
+func TestBuildSQLNoFalseDensifyOnMultiRelationPairs(t *testing.T) {
+	base, o := mdx(t)
+	svc := nlq.New(o)
+	// IvCompatibility has two relations to Drug (hasDrug, otherDrug);
+	// joining via one must NOT equate the other.
+	sql, err := svc.BuildSQL(nlq.Request{
+		Answer:   "IvCompatibility",
+		Distinct: true,
+		Filters:  []nlq.Filter{{Concept: "Drug", Value: "Aspirin", PathHint: []string{"hasDrug"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sql, "other_drug_id = oDrug") {
+		t.Fatalf("false densification:\n%s", sql)
+	}
+	if _, err := sqlx.Exec(base, sql); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSQLRelationProps(t *testing.T) {
+	base, o := mdx(t)
+	svc := nlq.New(o)
+	sql, err := svc.BuildSQL(nlq.Request{
+		Answer:               "Drug",
+		Distinct:             true,
+		IncludeRelationProps: true,
+		Filters:              []nlq.Filter{{Concept: "Indication", Value: "Psoriasis", PathHint: []string{"treats"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, ".efficacy") {
+		t.Fatalf("relation property not projected:\n%s", sql)
+	}
+	res, err := sqlx.Exec(base, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestBuildSQLErrors(t *testing.T) {
+	_, o := mdx(t)
+	svc := nlq.New(o)
+	cases := []nlq.Request{
+		{Answer: "Ghost"},
+		{Answer: "Drug", Filters: []nlq.Filter{{Concept: "Ghost", Value: "x"}}},
+		{Answer: "Drug", Properties: []string{"ghost"}},
+		{Answer: "Drug", Filters: []nlq.Filter{{Concept: "Indication", Value: "x", Property: "ghost"}}},
+		{Answer: "Drug", Filters: []nlq.Filter{{Concept: "Indication", Value: "x", PathHint: []string{"nope"}}}},
+	}
+	for i, req := range cases {
+		if _, err := svc.BuildSQL(req); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestBuildTemplateParams(t *testing.T) {
+	_, o := mdx(t)
+	svc := nlq.New(o)
+	tpl, err := svc.BuildTemplate(nlq.Request{
+		Answer:   "Dosage",
+		Distinct: true,
+		Filters: []nlq.Filter{
+			{Concept: "Drug", Param: "Drug"},
+			{Concept: "Indication", Param: "Indication"},
+			{Concept: "Dosage", Property: "age_group", Param: "AgeGroup"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tpl.Params) != 3 {
+		t.Fatalf("params = %v", tpl.Params)
+	}
+}
+
+func TestInterpret(t *testing.T) {
+	_, o := mdx(t)
+	svc := nlq.New(o)
+	it := nlq.NewInterpreter(svc, medkb.ConceptSynonyms())
+	it.AddInstances("Drug", map[string][]string{"Benazepril": nil, "Aspirin": {"Bayer Aspirin"}})
+	it.AddInstanceList("Indication", []string{"Fever", "Psoriasis"})
+
+	req, err := it.Interpret("Show me the Precautions for Benazepril?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Answer != "Precaution" {
+		t.Fatalf("answer = %q", req.Answer)
+	}
+	if len(req.Filters) != 1 || req.Filters[0].Concept != "Drug" || req.Filters[0].Value != "Benazepril" {
+		t.Fatalf("filters = %+v", req.Filters)
+	}
+
+	// relationship question: "What Drug treats Fever?"
+	req, err = it.Interpret("What Drug treats Fever?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Answer != "Drug" || req.Filters[0].Concept != "Indication" {
+		t.Fatalf("req = %+v", req)
+	}
+
+	// entity-only utterance has no answer concept
+	if _, err := it.Interpret("Aspirin"); err == nil {
+		t.Fatal("entity-only utterance must not interpret")
+	}
+}
+
+func TestInterpretToSQLRoundTrip(t *testing.T) {
+	base, o := mdx(t)
+	svc := nlq.New(o)
+	it := nlq.NewInterpreter(svc, medkb.ConceptSynonyms())
+	it.AddInstanceList("Drug", []string{"Ibuprofen"})
+	req, err := it.Interpret("Give me the Precautions for Ibuprofen?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := svc.BuildSQL(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sqlx.Exec(base, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("round trip returned nothing")
+	}
+}

@@ -1,0 +1,311 @@
+package nlu
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Prediction is a classifier output: the winning intent and its
+// confidence in [0,1], plus the runner-up scores for diagnostics.
+type Prediction struct {
+	Intent     string
+	Confidence float64
+	// Scores holds the posterior for every intent, descending.
+	Scores []IntentScore
+}
+
+// IntentScore pairs an intent with its posterior probability.
+type IntentScore struct {
+	Intent string
+	Score  float64
+}
+
+// Classifier is the intent classification interface the conversation space
+// trains during bootstrap and queries online.
+type Classifier interface {
+	// Train fits the model to the labelled examples.
+	Train(examples []Example) error
+	// Predict classifies one utterance.
+	Predict(text string) Prediction
+	// Labels returns the known intents, sorted.
+	Labels() []string
+}
+
+// ---------------------------------------------------------------------------
+// Multinomial naive Bayes
+// ---------------------------------------------------------------------------
+
+// NaiveBayes is a multinomial naive Bayes intent classifier with Laplace
+// smoothing over unigram+bigram features. It is the fast baseline model.
+type NaiveBayes struct {
+	Alpha float64 // smoothing; 1.0 when zero
+
+	vocab     *Vocabulary
+	labels    []string
+	labelIdx  map[string]int
+	logPrior  []float64
+	logLik    [][]float64 // [label][feature]
+	unkLogLik []float64   // [label] log-likelihood of an unseen feature
+}
+
+// NewNaiveBayes returns a classifier with Laplace smoothing alpha.
+func NewNaiveBayes(alpha float64) *NaiveBayes {
+	if alpha <= 0 {
+		alpha = 1.0
+	}
+	return &NaiveBayes{Alpha: alpha}
+}
+
+// Train implements Classifier.
+func (nb *NaiveBayes) Train(examples []Example) error {
+	if len(examples) == 0 {
+		return errors.New("nlu: no training examples")
+	}
+	nb.vocab = NewVocabulary()
+	nb.labelIdx = make(map[string]int)
+	var counts [][]float64 // [label][feature]
+	var total []float64    // [label] token count
+	var docs []float64     // [label] doc count
+	for _, ex := range examples {
+		li, ok := nb.labelIdx[ex.Intent]
+		if !ok {
+			li = len(nb.labels)
+			nb.labelIdx[ex.Intent] = li
+			nb.labels = append(nb.labels, ex.Intent)
+			counts = append(counts, nil)
+			total = append(total, 0)
+			docs = append(docs, 0)
+		}
+		docs[li]++
+		for _, f := range Featurize(ex.Text) {
+			fi := nb.vocab.Add(f)
+			for fi >= len(counts[li]) {
+				counts[li] = append(counts[li], 0)
+			}
+			counts[li][fi]++
+			total[li]++
+		}
+	}
+	nDocs := float64(len(examples))
+	v := float64(nb.vocab.Len())
+	nb.logPrior = make([]float64, len(nb.labels))
+	nb.logLik = make([][]float64, len(nb.labels))
+	nb.unkLogLik = make([]float64, len(nb.labels))
+	for li := range nb.labels {
+		nb.logPrior[li] = math.Log(docs[li] / nDocs)
+		denom := total[li] + nb.Alpha*v
+		row := make([]float64, nb.vocab.Len())
+		for fi := range row {
+			c := 0.0
+			if fi < len(counts[li]) {
+				c = counts[li][fi]
+			}
+			row[fi] = math.Log((c + nb.Alpha) / denom)
+		}
+		nb.logLik[li] = row
+		nb.unkLogLik[li] = math.Log(nb.Alpha / denom)
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (nb *NaiveBayes) Predict(text string) Prediction {
+	if len(nb.labels) == 0 {
+		return Prediction{}
+	}
+	scores := make([]float64, len(nb.labels))
+	copy(scores, nb.logPrior)
+	for _, f := range Featurize(text) {
+		fi := nb.vocab.Lookup(f)
+		for li := range nb.labels {
+			if fi >= 0 {
+				scores[li] += nb.logLik[li][fi]
+			} else {
+				scores[li] += nb.unkLogLik[li]
+			}
+		}
+	}
+	return softmaxPrediction(nb.labels, scores)
+}
+
+// Labels implements Classifier.
+func (nb *NaiveBayes) Labels() []string { return sortedCopy(nb.labels) }
+
+// ---------------------------------------------------------------------------
+// Softmax (multinomial logistic) regression
+// ---------------------------------------------------------------------------
+
+// LogisticRegression is a softmax-regression intent classifier over TF-IDF
+// features, trained with mini-batchless SGD and L2 regularization. It is the
+// Watson-Assistant-class model used in the experiments.
+type LogisticRegression struct {
+	Epochs int     // default 30
+	Rate   float64 // initial learning rate, default 0.5
+	L2     float64 // weight decay, default 1e-4
+	Seed   int64   // shuffle seed, default 1
+
+	tfidf   *TFIDF
+	labels  []string
+	labelID map[string]int
+	w       [][]float64 // [label][feature]
+	b       []float64   // [label]
+}
+
+// NewLogisticRegression returns a classifier with the default
+// hyperparameters used throughout the experiments.
+func NewLogisticRegression() *LogisticRegression {
+	return &LogisticRegression{Epochs: 30, Rate: 0.5, L2: 1e-4, Seed: 1}
+}
+
+// Train implements Classifier.
+func (lr *LogisticRegression) Train(examples []Example) error {
+	if len(examples) == 0 {
+		return errors.New("nlu: no training examples")
+	}
+	if lr.Epochs <= 0 {
+		lr.Epochs = 30
+	}
+	if lr.Rate <= 0 {
+		lr.Rate = 0.5
+	}
+	corpus := make([]string, len(examples))
+	for i, ex := range examples {
+		corpus[i] = ex.Text
+	}
+	lr.tfidf = FitTFIDF(corpus)
+	lr.labelID = make(map[string]int)
+	lr.labels = nil
+	ys := make([]int, len(examples))
+	for i, ex := range examples {
+		li, ok := lr.labelID[ex.Intent]
+		if !ok {
+			li = len(lr.labels)
+			lr.labelID[ex.Intent] = li
+			lr.labels = append(lr.labels, ex.Intent)
+		}
+		ys[i] = li
+	}
+	xs := make([]SparseVec, len(examples))
+	for i := range examples {
+		xs[i] = lr.tfidf.Transform(examples[i].Text)
+	}
+	nL, nF := len(lr.labels), lr.tfidf.Vocab.Len()
+	lr.w = make([][]float64, nL)
+	for i := range lr.w {
+		lr.w[i] = make([]float64, nF)
+	}
+	lr.b = make([]float64, nL)
+	rng := rand.New(rand.NewSource(lr.Seed))
+	order := rng.Perm(len(examples))
+	probs := make([]float64, nL)
+	for epoch := 0; epoch < lr.Epochs; epoch++ {
+		rate := lr.Rate / (1 + 0.1*float64(epoch))
+		// reshuffle per epoch for SGD
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, i := range order {
+			x, y := xs[i], ys[i]
+			// forward
+			maxz := math.Inf(-1)
+			for li := 0; li < nL; li++ {
+				probs[li] = x.Dot(lr.w[li]) + lr.b[li]
+				if probs[li] > maxz {
+					maxz = probs[li]
+				}
+			}
+			sum := 0.0
+			for li := 0; li < nL; li++ {
+				probs[li] = math.Exp(probs[li] - maxz)
+				sum += probs[li]
+			}
+			for li := 0; li < nL; li++ {
+				probs[li] /= sum
+			}
+			// backward: grad = (p - 1{y}) * x, applied sparsely
+			for li := 0; li < nL; li++ {
+				g := probs[li]
+				if li == y {
+					g -= 1
+				}
+				if g == 0 {
+					continue
+				}
+				wrow := lr.w[li]
+				step := rate * g
+				for k, fi := range x.Idx {
+					wrow[fi] -= step * x.Val[k]
+				}
+				lr.b[li] -= step
+			}
+		}
+		// weight decay applied once per epoch (cheaper than per-sample,
+		// equivalent up to a rate rescaling)
+		if lr.L2 > 0 {
+			decay := 1 - lr.Rate*lr.L2
+			for li := range lr.w {
+				for fi := range lr.w[li] {
+					lr.w[li][fi] *= decay
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (lr *LogisticRegression) Predict(text string) Prediction {
+	if len(lr.labels) == 0 {
+		return Prediction{}
+	}
+	x := lr.tfidf.Transform(text)
+	scores := make([]float64, len(lr.labels))
+	for li := range lr.labels {
+		scores[li] = x.Dot(lr.w[li]) + lr.b[li]
+	}
+	return softmaxPrediction(lr.labels, scores)
+}
+
+// Labels implements Classifier.
+func (lr *LogisticRegression) Labels() []string { return sortedCopy(lr.labels) }
+
+// ---------------------------------------------------------------------------
+
+func softmaxPrediction(labels []string, logits []float64) Prediction {
+	maxz := math.Inf(-1)
+	for _, z := range logits {
+		if z > maxz {
+			maxz = z
+		}
+	}
+	sum := 0.0
+	probs := make([]float64, len(logits))
+	for i, z := range logits {
+		probs[i] = math.Exp(z - maxz)
+		sum += probs[i]
+	}
+	p := Prediction{Scores: make([]IntentScore, len(labels))}
+	for i := range labels {
+		probs[i] /= sum
+		p.Scores[i] = IntentScore{Intent: labels[i], Score: probs[i]}
+	}
+	sort.Slice(p.Scores, func(a, b int) bool {
+		if p.Scores[a].Score != p.Scores[b].Score {
+			return p.Scores[a].Score > p.Scores[b].Score
+		}
+		return p.Scores[a].Intent < p.Scores[b].Intent
+	})
+	p.Intent = p.Scores[0].Intent
+	p.Confidence = p.Scores[0].Score
+	return p
+}
+
+func sortedCopy(in []string) []string {
+	out := make([]string, len(in))
+	copy(out, in)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,132 @@
+package nlu
+
+import (
+	"math"
+	"testing"
+)
+
+// toyExamples is a tiny three-intent corpus.
+func toyExamples() []Example {
+	return []Example{
+		{"show me the precautions for aspirin", "precautions"},
+		{"give me precautions for ibuprofen", "precautions"},
+		{"what are the precautions of tylenol", "precautions"},
+		{"list precautions for benazepril", "precautions"},
+		{"what drugs treat psoriasis", "treatment"},
+		{"which drug treats fever", "treatment"},
+		{"show me drugs that treat acne", "treatment"},
+		{"medications that treat bronchitis", "treatment"},
+		{"dosage for aspirin", "dosage"},
+		{"give me the dosage for tylenol", "dosage"},
+		{"what is the dosage of ibuprofen", "dosage"},
+		{"aspirin dosing", "dosage"},
+	}
+}
+
+func testClassifier(t *testing.T, c Classifier) {
+	t.Helper()
+	if err := c.Train(toyExamples()); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"precautions for naproxen":  "precautions",
+		"what treats headache":      "treatment",
+		"dosage for naproxen":       "dosage",
+		"show me the precaution of": "precautions", // singular via stemming
+	}
+	for text, want := range cases {
+		p := c.Predict(text)
+		if p.Intent != want {
+			t.Errorf("%T.Predict(%q) = %q (%.2f), want %q", c, text, p.Intent, p.Confidence, want)
+		}
+		if p.Confidence <= 0 || p.Confidence > 1 {
+			t.Errorf("confidence %v out of range", p.Confidence)
+		}
+	}
+}
+
+func TestNaiveBayes(t *testing.T)         { testClassifier(t, NewNaiveBayes(1.0)) }
+func TestLogisticRegression(t *testing.T) { testClassifier(t, NewLogisticRegression()) }
+
+func TestPredictionScoresSumToOne(t *testing.T) {
+	for _, c := range []Classifier{NewNaiveBayes(1.0), NewLogisticRegression()} {
+		if err := c.Train(toyExamples()); err != nil {
+			t.Fatal(err)
+		}
+		p := c.Predict("precautions for aspirin")
+		sum := 0.0
+		for _, s := range p.Scores {
+			sum += s.Score
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%T scores sum to %v", c, sum)
+		}
+		// scores descending
+		for i := 1; i < len(p.Scores); i++ {
+			if p.Scores[i].Score > p.Scores[i-1].Score {
+				t.Errorf("%T scores not sorted", c)
+			}
+		}
+		if p.Scores[0].Intent != p.Intent || p.Scores[0].Score != p.Confidence {
+			t.Errorf("%T top score inconsistent with prediction", c)
+		}
+	}
+}
+
+func TestTrainEmptyErrors(t *testing.T) {
+	if err := NewNaiveBayes(1.0).Train(nil); err == nil {
+		t.Fatal("NB empty train must error")
+	}
+	if err := NewLogisticRegression().Train(nil); err == nil {
+		t.Fatal("LR empty train must error")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	c := NewNaiveBayes(1.0)
+	if err := c.Train(toyExamples()); err != nil {
+		t.Fatal(err)
+	}
+	labels := c.Labels()
+	if len(labels) != 3 || labels[0] != "dosage" {
+		t.Fatalf("Labels = %v", labels)
+	}
+}
+
+func TestPredictBeforeTrain(t *testing.T) {
+	p := NewNaiveBayes(1.0).Predict("anything")
+	if p.Intent != "" {
+		t.Fatalf("untrained prediction = %+v", p)
+	}
+	p = NewLogisticRegression().Predict("anything")
+	if p.Intent != "" {
+		t.Fatalf("untrained prediction = %+v", p)
+	}
+}
+
+func TestLogisticRegressionDeterministic(t *testing.T) {
+	a, b := NewLogisticRegression(), NewLogisticRegression()
+	if err := a.Train(toyExamples()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Train(toyExamples()); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Predict("dosage for x"), b.Predict("dosage for x")
+	if pa.Intent != pb.Intent || math.Abs(pa.Confidence-pb.Confidence) > 1e-12 {
+		t.Fatalf("same seed must give identical models: %v vs %v", pa, pb)
+	}
+}
+
+func TestUnknownWordsFallToPrior(t *testing.T) {
+	// An utterance of entirely unseen words: NB should fall back to the
+	// class prior, which is uniform here — top confidence near 1/3.
+	c := NewNaiveBayes(1.0)
+	if err := c.Train(toyExamples()); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Predict("zzz qqq www")
+	if p.Confidence > 0.5 {
+		t.Fatalf("unseen input should have low confidence, got %v", p.Confidence)
+	}
+}

@@ -1,0 +1,285 @@
+package nlu
+
+import (
+	"sort"
+	"strings"
+)
+
+// Mention is one entity occurrence recognized in an utterance.
+type Mention struct {
+	Type    string // entity type, e.g. "Drug"
+	Value   string // canonical value, e.g. "Benztropine Mesylate"
+	Surface string // the text as the user wrote it, e.g. "cogentin"
+	Start   int    // first token index (inclusive)
+	End     int    // last token index (exclusive)
+	// Fuzzy marks matches that required spelling tolerance.
+	Fuzzy bool
+	// Partial marks an ambiguous partial match (paper §6.1 "Partial
+	// Entity Matching"): the user wrote a fragment ("Calcium") that is
+	// contained in several canonical values; Candidates lists them and
+	// Value holds the first. The dialogue layer asks the user to choose.
+	Partial    bool
+	Candidates []string
+}
+
+type dictEntry struct {
+	entityType string
+	canonical  string
+}
+
+// Recognizer is a dictionary-based entity recognizer with synonyms,
+// longest-phrase matching, spelling tolerance, and partial matching.
+type Recognizer struct {
+	// phrases maps a normalized surface phrase to its entries. A surface
+	// can name entities of several types ("fever" as Indication instance
+	// vs. concept) — all are returned; disambiguation is the dialogue's
+	// job via required-entity types.
+	phrases map[string][]dictEntry
+	// byFirstToken groups phrase token-slices by their first token for
+	// fast longest-match scanning.
+	byFirstToken map[string][][]string
+	// tokenIndex collects every distinct dictionary token for fuzzy
+	// correction.
+	tokenIndex map[string]bool
+	// wordOfValue maps each canonical-value word (len>=4) to canonical
+	// values containing it, for partial matching.
+	wordOfValue map[string][]dictEntry
+	maxLen      int
+}
+
+// NewRecognizer returns an empty recognizer.
+func NewRecognizer() *Recognizer {
+	return &Recognizer{
+		phrases:      make(map[string][]dictEntry),
+		byFirstToken: make(map[string][][]string),
+		tokenIndex:   make(map[string]bool),
+		wordOfValue:  make(map[string][]dictEntry),
+	}
+}
+
+// Add registers a canonical entity value and its synonyms under a type.
+func (r *Recognizer) Add(entityType, canonical string, synonyms ...string) {
+	entry := dictEntry{entityType: entityType, canonical: canonical}
+	surfaces := append([]string{canonical}, synonyms...)
+	for _, s := range surfaces {
+		norm := NormalizePhrase(s)
+		if norm == "" {
+			continue
+		}
+		if !r.hasEntry(norm, entry) {
+			r.phrases[norm] = append(r.phrases[norm], entry)
+			toks := strings.Split(norm, " ")
+			r.byFirstToken[toks[0]] = append(r.byFirstToken[toks[0]], toks)
+			if len(toks) > r.maxLen {
+				r.maxLen = len(toks)
+			}
+			for _, t := range toks {
+				r.tokenIndex[t] = true
+			}
+		}
+	}
+	// Partial-match index: each sufficiently long word of the canonical
+	// value points back at it ("calcium" -> "Calcium Carbonate").
+	canonToks := Words(canonical)
+	if len(canonToks) > 1 {
+		for _, t := range canonToks {
+			if len(t) >= 4 && !r.hasPartial(t, entry) {
+				r.wordOfValue[t] = append(r.wordOfValue[t], entry)
+			}
+		}
+	}
+}
+
+func (r *Recognizer) hasEntry(norm string, e dictEntry) bool {
+	for _, x := range r.phrases[norm] {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Recognizer) hasPartial(tok string, e dictEntry) bool {
+	for _, x := range r.wordOfValue[tok] {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Recognize scans the utterance and returns non-overlapping mentions,
+// preferring (1) longer matches, (2) exact over fuzzy, (3) full over
+// partial. Mentions are ordered by token position.
+func (r *Recognizer) Recognize(text string) []Mention {
+	toks := Tokenize(text)
+	var out []Mention
+	i := 0
+	for i < len(toks) {
+		m, adv := r.matchAt(toks, i)
+		if adv == 0 {
+			i++
+			continue
+		}
+		out = append(out, m...)
+		i += adv
+	}
+	return out
+}
+
+// matchAt tries to match a dictionary phrase starting at token i and
+// returns the mentions plus how many tokens were consumed (0 = no match).
+func (r *Recognizer) matchAt(toks []Token, i int) ([]Mention, int) {
+	// 1. exact longest match
+	max := r.maxLen
+	if rem := len(toks) - i; max > rem {
+		max = rem
+	}
+	for n := max; n >= 1; n-- {
+		key := joinTokens(toks, i, n)
+		if entries, ok := r.phrases[key]; ok {
+			return mentionsFor(entries, toks, i, n, false, ""), n
+		}
+	}
+	// 2. fuzzy longest match: correct each token to the nearest
+	// dictionary token within its budget, then retry exact lookup.
+	for n := max; n >= 1; n-- {
+		key, changed, ok := r.fuzzyKey(toks, i, n)
+		if !ok || !changed {
+			continue
+		}
+		if entries, hit := r.phrases[key]; hit {
+			return mentionsFor(entries, toks, i, n, true, ""), n
+		}
+	}
+	// 3. partial match on a single token ("calcium" -> candidates)
+	t := toks[i].Text
+	if entries, ok := r.wordOfValue[t]; ok {
+		// group by type
+		byType := map[string][]string{}
+		var types []string
+		for _, e := range entries {
+			if len(byType[e.entityType]) == 0 {
+				types = append(types, e.entityType)
+			}
+			byType[e.entityType] = append(byType[e.entityType], e.canonical)
+		}
+		var out []Mention
+		for _, ty := range types {
+			cands := byType[ty]
+			sort.Strings(cands)
+			out = append(out, Mention{
+				Type:       ty,
+				Value:      cands[0],
+				Surface:    toks[i].Raw,
+				Start:      i,
+				End:        i + 1,
+				Partial:    len(cands) > 1,
+				Candidates: cands,
+			})
+		}
+		return out, 1
+	}
+	return nil, 0
+}
+
+// commonEnglish lists frequent words that must never be fuzzy-corrected
+// into dictionary terms ("never" is one edit from "fever").
+var commonEnglish = map[string]bool{
+	"never": true, "there": true, "their": true, "these": true, "those": true,
+	"where": true, "when": true, "what": true, "which": true, "while": true,
+	"about": true, "above": true, "after": true, "again": true, "before": true,
+	"being": true, "below": true, "between": true, "every": true, "other": true,
+	"under": true, "would": true, "could": true, "should": true, "think": true,
+	"thing": true, "want": true, "need": true, "mean": true, "please": true,
+	"show": true, "give": true, "tell": true, "find": true, "take": true,
+	"make": true, "know": true, "right": true, "still": true, "first": true,
+	"going": true, "thanks": true, "thank": true, "hello": true, "sorry": true,
+	"okay": true, "maybe": true, "really": true, "options": true,
+}
+
+// fuzzyKey builds the lookup key for toks[i:i+n] with per-token fuzzy
+// correction; reports whether any token changed and whether all tokens
+// resolved.
+func (r *Recognizer) fuzzyKey(toks []Token, i, n int) (key string, changed, ok bool) {
+	parts := make([]string, n)
+	for k := 0; k < n; k++ {
+		t := toks[i+k].Text
+		if r.tokenIndex[t] {
+			parts[k] = t
+			continue
+		}
+		if stopwords[t] || commonEnglish[t] {
+			return "", false, false
+		}
+		budget := fuzzyBudget(len(t))
+		if budget == 0 {
+			return "", false, false
+		}
+		best, bestD := "", budget+1
+		for cand := range r.tokenIndex {
+			if abs(len(cand)-len(t)) > budget {
+				continue
+			}
+			if d := DamerauLevenshtein(t, cand); d < bestD || (d == bestD && best != "" && cand < best) {
+				best, bestD = cand, d
+			}
+		}
+		if best == "" {
+			return "", false, false
+		}
+		parts[k] = best
+		changed = true
+	}
+	return strings.Join(parts, " "), changed, true
+}
+
+func mentionsFor(entries []dictEntry, toks []Token, i, n int, fuzzy bool, _ string) []Mention {
+	surface := rawSpan(toks, i, n)
+	out := make([]Mention, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, Mention{
+			Type:    e.entityType,
+			Value:   e.canonical,
+			Surface: surface,
+			Start:   i,
+			End:     i + n,
+			Fuzzy:   fuzzy,
+		})
+	}
+	return out
+}
+
+func joinTokens(toks []Token, i, n int) string {
+	parts := make([]string, n)
+	for k := 0; k < n; k++ {
+		parts[k] = toks[i+k].Text
+	}
+	return strings.Join(parts, " ")
+}
+
+func rawSpan(toks []Token, i, n int) string {
+	parts := make([]string, n)
+	for k := 0; k < n; k++ {
+		parts[k] = toks[i+k].Raw
+	}
+	return strings.Join(parts, " ")
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MentionsOfType filters mentions by entity type.
+func MentionsOfType(ms []Mention, entityType string) []Mention {
+	var out []Mention
+	for _, m := range ms {
+		if m.Type == entityType {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package nlu
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func medicalRecognizer() *Recognizer {
+	r := NewRecognizer()
+	r.Add("Drug", "Aspirin", "Bayer Aspirin", "Acetylsalicylic Acid")
+	r.Add("Drug", "Benztropine Mesylate", "Cogentin")
+	r.Add("Drug", "Calcium Carbonate", "Tums")
+	r.Add("Drug", "Calcium Citrate")
+	r.Add("Drug", "Tazarotene", "Tazorac")
+	r.Add("Indication", "Psoriasis")
+	r.Add("Indication", "Plaque Psoriasis")
+	r.Add("AgeGroup", "pediatric", "children", "kids")
+	r.Add("Concepts", "AdverseEffect", "adverse effects", "side effects")
+	return r
+}
+
+func TestRecognizeExact(t *testing.T) {
+	r := medicalRecognizer()
+	ms := r.Recognize("show me the precautions for Aspirin")
+	if len(ms) != 1 || ms[0].Type != "Drug" || ms[0].Value != "Aspirin" {
+		t.Fatalf("mentions = %+v", ms)
+	}
+	if ms[0].Surface != "Aspirin" || ms[0].Fuzzy || ms[0].Partial {
+		t.Fatalf("mention detail = %+v", ms[0])
+	}
+}
+
+func TestRecognizeSynonymMapsToCanonical(t *testing.T) {
+	r := medicalRecognizer()
+	ms := r.Recognize("what are the side effects of cogentin")
+	var drug, concept *Mention
+	for i := range ms {
+		switch ms[i].Type {
+		case "Drug":
+			drug = &ms[i]
+		case "Concepts":
+			concept = &ms[i]
+		}
+	}
+	if drug == nil || drug.Value != "Benztropine Mesylate" {
+		t.Fatalf("cogentin not resolved: %+v", ms)
+	}
+	if concept == nil || concept.Value != "AdverseEffect" {
+		t.Fatalf("side effects not resolved: %+v", ms)
+	}
+}
+
+func TestRecognizeLongestMatchWins(t *testing.T) {
+	r := medicalRecognizer()
+	ms := r.Recognize("dosing for plaque psoriasis please")
+	if len(ms) != 1 || ms[0].Value != "Plaque Psoriasis" {
+		t.Fatalf("longest match failed: %+v", ms)
+	}
+}
+
+func TestRecognizeFuzzyMisspelling(t *testing.T) {
+	r := medicalRecognizer()
+	// one edit: "asprin"
+	ms := r.Recognize("precautions for asprin")
+	found := false
+	for _, m := range ms {
+		if m.Type == "Drug" && m.Value == "Aspirin" && m.Fuzzy {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("misspelling not recovered: %+v", ms)
+	}
+	// two edits on a long word: "tazaroten" -> missing e (1 edit, len 9 -> budget 1)
+	ms = r.Recognize("dosage for tazaroten")
+	found = false
+	for _, m := range ms {
+		if m.Value == "Tazarotene" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tazaroten not recovered: %+v", ms)
+	}
+}
+
+func TestRecognizeShortWordsNotFuzzy(t *testing.T) {
+	r := medicalRecognizer()
+	// "kid" vs "kids": short words get no fuzz budget; "kid" itself is
+	// not in the dictionary.
+	ms := r.Recognize("for a kip")
+	for _, m := range ms {
+		if m.Fuzzy {
+			t.Fatalf("short word fuzzed: %+v", m)
+		}
+	}
+}
+
+func TestRecognizePartialCandidates(t *testing.T) {
+	r := medicalRecognizer()
+	ms := r.Recognize("calcium")
+	if len(ms) != 1 {
+		t.Fatalf("mentions = %+v", ms)
+	}
+	m := ms[0]
+	if !m.Partial || m.Type != "Drug" {
+		t.Fatalf("partial = %+v", m)
+	}
+	if !reflect.DeepEqual(m.Candidates, []string{"Calcium Carbonate", "Calcium Citrate"}) {
+		t.Fatalf("candidates = %v", m.Candidates)
+	}
+}
+
+func TestRecognizeSingleCandidatePartialNotAmbiguous(t *testing.T) {
+	r := medicalRecognizer()
+	ms := r.Recognize("benztropine")
+	if len(ms) != 1 {
+		t.Fatalf("mentions = %+v", ms)
+	}
+	if ms[0].Partial {
+		t.Fatalf("single-candidate partial should resolve: %+v", ms[0])
+	}
+	if ms[0].Value != "Benztropine Mesylate" {
+		t.Fatalf("resolved to %q", ms[0].Value)
+	}
+}
+
+func TestRecognizeNonOverlapping(t *testing.T) {
+	r := medicalRecognizer()
+	ms := r.Recognize("does Aspirin help psoriasis in children")
+	if len(ms) != 3 {
+		t.Fatalf("mentions = %+v", ms)
+	}
+	// ordered by position, non-overlapping
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Start < ms[i-1].End {
+			t.Fatalf("overlap: %+v", ms)
+		}
+	}
+}
+
+func TestRecognizeMultiTypeSurface(t *testing.T) {
+	r := NewRecognizer()
+	r.Add("Indication", "Fever")
+	r.Add("Finding", "Fever")
+	ms := r.Recognize("fever")
+	if len(ms) != 2 {
+		t.Fatalf("both readings expected: %+v", ms)
+	}
+}
+
+func TestRecognizeEmpty(t *testing.T) {
+	r := medicalRecognizer()
+	if ms := r.Recognize(""); ms != nil {
+		t.Fatalf("empty input = %+v", ms)
+	}
+	if ms := r.Recognize("nothing known here at all"); ms != nil {
+		t.Fatalf("no-match input = %+v", ms)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	r := NewRecognizer()
+	r.Add("Drug", "Aspirin", "Bayer")
+	r.Add("Drug", "Aspirin", "Bayer")
+	ms := r.Recognize("bayer")
+	if len(ms) != 1 {
+		t.Fatalf("duplicate dictionary entries: %+v", ms)
+	}
+}
+
+func TestMentionsOfType(t *testing.T) {
+	r := medicalRecognizer()
+	ms := r.Recognize("Aspirin for psoriasis")
+	drugs := MentionsOfType(ms, "Drug")
+	if len(drugs) != 1 || drugs[0].Value != "Aspirin" {
+		t.Fatalf("MentionsOfType = %+v", drugs)
+	}
+}
+
+func TestDamerauLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "xyz", 3},
+		{"kitten", "sitting", 3},
+		{"aspirin", "asprin", 1},
+		{"ab", "ba", 1}, // transposition
+		{"abcd", "acbd", 1},
+		{"ca", "abc", 3}, // OSA distance
+	}
+	for _, c := range cases {
+		if got := DamerauLevenshtein(c.a, c.b); got != c.want {
+			t.Errorf("DL(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Properties (quick): symmetry, identity, bound by max length.
+func TestDamerauLevenshteinProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 || len(b) > 40 {
+			return true
+		}
+		d1, d2 := DamerauLevenshtein(a, b), DamerauLevenshtein(b, a)
+		if d1 != d2 {
+			return false
+		}
+		if DamerauLevenshtein(a, a) != 0 {
+			return false
+		}
+		max := len(a)
+		if len(b) > max {
+			max = len(b)
+		}
+		return d1 <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzyBudget(t *testing.T) {
+	if fuzzyBudget(4) != 0 || fuzzyBudget(5) != 1 || fuzzyBudget(9) != 1 || fuzzyBudget(10) != 2 {
+		t.Fatal("fuzzy budgets wrong")
+	}
+}

@@ -1,0 +1,180 @@
+package nlu
+
+import (
+	"math"
+	"sort"
+)
+
+// Example is one labelled training utterance.
+type Example struct {
+	Text   string
+	Intent string
+}
+
+// Vocabulary maps feature strings to dense indices.
+type Vocabulary struct {
+	index map[string]int
+	items []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{index: make(map[string]int)}
+}
+
+// Add interns the feature and returns its index.
+func (v *Vocabulary) Add(f string) int {
+	if i, ok := v.index[f]; ok {
+		return i
+	}
+	i := len(v.items)
+	v.index[f] = i
+	v.items = append(v.items, f)
+	return i
+}
+
+// Lookup returns the index of f, or -1 if unknown.
+func (v *Vocabulary) Lookup(f string) int {
+	if i, ok := v.index[f]; ok {
+		return i
+	}
+	return -1
+}
+
+// Len returns the vocabulary size.
+func (v *Vocabulary) Len() int { return len(v.items) }
+
+// Feature returns the feature string at index i.
+func (v *Vocabulary) Feature(i int) string { return v.items[i] }
+
+// Featurize extracts classifier features from an utterance: stemmed
+// content-word unigrams plus adjacent-content-word bigrams. Bigrams let
+// the classifier separate patterns like "dose adjustment" from "dosage";
+// stemming collapses singular/plural so "precaution" matches training
+// examples that said "precautions".
+func Featurize(text string) []string {
+	words := ContentWords(text)
+	for i, w := range words {
+		words[i] = Stem(w)
+	}
+	feats := make([]string, 0, 2*len(words))
+	feats = append(feats, words...)
+	for i := 0; i+1 < len(words); i++ {
+		feats = append(feats, words[i]+"_"+words[i+1])
+	}
+	return feats
+}
+
+// Stem applies a light suffix stemmer: plural stripping followed by
+// -ing/-ed collapsing, so "warnings", "warning" and "warn" coincide. It
+// deliberately under-stems: classification only needs singular/plural and
+// simple inflection variants to meet.
+func Stem(w string) string {
+	w = stripPlural(w)
+	n := len(w)
+	switch {
+	case n > 5 && hasSuffix(w, "ing"):
+		return w[:n-3]
+	case n > 5 && hasSuffix(w, "ed"):
+		return w[:n-2]
+	default:
+		return w
+	}
+}
+
+func stripPlural(w string) string {
+	n := len(w)
+	switch {
+	case n > 4 && hasSuffix(w, "ies"):
+		return w[:n-3] + "y"
+	case n > 4 && hasSuffix(w, "sses"):
+		return w[:n-2]
+	case n > 4 && (hasSuffix(w, "ches") || hasSuffix(w, "shes") || hasSuffix(w, "xes") || hasSuffix(w, "zes")):
+		return w[:n-2]
+	case n > 3 && hasSuffix(w, "s") && !hasSuffix(w, "ss") && !hasSuffix(w, "us") && !hasSuffix(w, "is"):
+		return w[:n-1]
+	default:
+		return w
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// SparseVec is a sparse feature vector: sorted index/value pairs.
+type SparseVec struct {
+	Idx []int
+	Val []float64
+}
+
+// Dot computes the dot product with a dense weight row.
+func (s SparseVec) Dot(w []float64) float64 {
+	sum := 0.0
+	for k, i := range s.Idx {
+		if i < len(w) {
+			sum += s.Val[k] * w[i]
+		}
+	}
+	return sum
+}
+
+// TFIDF builds term-frequency/inverse-document-frequency vectors over a
+// corpus, L2-normalized. Unknown features at transform time are dropped.
+type TFIDF struct {
+	Vocab *Vocabulary
+	IDF   []float64
+}
+
+// FitTFIDF learns the vocabulary and IDF weights from the corpus.
+func FitTFIDF(corpus []string) *TFIDF {
+	v := NewVocabulary()
+	df := []int{}
+	for _, doc := range corpus {
+		seen := map[int]bool{}
+		for _, f := range Featurize(doc) {
+			i := v.Add(f)
+			if i == len(df) {
+				df = append(df, 0)
+			}
+			if !seen[i] {
+				seen[i] = true
+				df[i]++
+			}
+		}
+	}
+	n := float64(len(corpus))
+	idf := make([]float64, v.Len())
+	for i := range idf {
+		idf[i] = math.Log((n+1)/(float64(df[i])+1)) + 1
+	}
+	return &TFIDF{Vocab: v, IDF: idf}
+}
+
+// Transform converts one document into an L2-normalized TF-IDF vector.
+func (t *TFIDF) Transform(doc string) SparseVec {
+	counts := map[int]float64{}
+	for _, f := range Featurize(doc) {
+		if i := t.Vocab.Lookup(f); i >= 0 {
+			counts[i]++
+		}
+	}
+	idx := make([]int, 0, len(counts))
+	for i := range counts {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	val := make([]float64, len(idx))
+	norm := 0.0
+	for k, i := range idx {
+		val[k] = counts[i] * t.IDF[i]
+		norm += val[k] * val[k]
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for k := range val {
+			val[k] /= norm
+		}
+	}
+	return SparseVec{Idx: idx, Val: val}
+}

@@ -1,0 +1,109 @@
+package nlu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary()
+	a := v.Add("alpha")
+	b := v.Add("beta")
+	if a == b {
+		t.Fatal("distinct features share an index")
+	}
+	if v.Add("alpha") != a {
+		t.Fatal("re-adding must return the same index")
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.Lookup("alpha") != a || v.Lookup("ghost") != -1 {
+		t.Fatal("Lookup wrong")
+	}
+	if v.Feature(a) != "alpha" || v.Feature(b) != "beta" {
+		t.Fatal("Feature reverse lookup wrong")
+	}
+}
+
+func TestFitTFIDF(t *testing.T) {
+	corpus := []string{
+		"precautions for aspirin",
+		"precautions for ibuprofen",
+		"dosage for aspirin",
+	}
+	tf := FitTFIDF(corpus)
+	// "precaution" appears in 2 docs, "dosage" in 1: dosage is rarer,
+	// its IDF must be higher.
+	pi := tf.Vocab.Lookup(Stem("precautions"))
+	di := tf.Vocab.Lookup("dosage")
+	if pi < 0 || di < 0 {
+		t.Fatalf("features missing: %d %d", pi, di)
+	}
+	if tf.IDF[di] <= tf.IDF[pi] {
+		t.Fatalf("IDF(dosage)=%v should exceed IDF(precaution)=%v", tf.IDF[di], tf.IDF[pi])
+	}
+}
+
+func TestTransformL2Normalized(t *testing.T) {
+	tf := FitTFIDF([]string{"a b c", "c d e", "e f g"})
+	vec := tf.Transform("a b c")
+	norm := 0.0
+	for _, v := range vec.Val {
+		norm += v * v
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("L2 norm = %v, want 1", norm)
+	}
+	// indices sorted
+	for i := 1; i < len(vec.Idx); i++ {
+		if vec.Idx[i] <= vec.Idx[i-1] {
+			t.Fatal("indices not strictly increasing")
+		}
+	}
+}
+
+func TestTransformUnknownFeaturesDropped(t *testing.T) {
+	tf := FitTFIDF([]string{"known words only"})
+	vec := tf.Transform("totally novel input")
+	if len(vec.Idx) != 0 {
+		t.Fatalf("unknown features kept: %+v", vec)
+	}
+	if vec.Dot([]float64{1, 2, 3}) != 0 {
+		t.Fatal("empty vector dot must be 0")
+	}
+}
+
+func TestSparseVecDot(t *testing.T) {
+	v := SparseVec{Idx: []int{0, 2}, Val: []float64{0.5, 2.0}}
+	w := []float64{2, 99, 3}
+	if got := v.Dot(w); math.Abs(got-7.0) > 1e-9 {
+		t.Fatalf("Dot = %v, want 7", got)
+	}
+	// out-of-range indices are ignored, not panics
+	v2 := SparseVec{Idx: []int{10}, Val: []float64{1}}
+	if v2.Dot(w) != 0 {
+		t.Fatal("out-of-range index should contribute 0")
+	}
+}
+
+// Property (quick): TF-IDF vectors always have norm 0 or 1.
+func TestTransformNormProperty(t *testing.T) {
+	tf := FitTFIDF([]string{"alpha beta gamma", "beta gamma delta", "gamma delta epsilon"})
+	f := func(words []string) bool {
+		doc := ""
+		for _, w := range words {
+			doc += " " + w
+		}
+		vec := tf.Transform(doc)
+		norm := 0.0
+		for _, v := range vec.Val {
+			norm += v * v
+		}
+		return norm == 0 || math.Abs(norm-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package nlu
+
+// DamerauLevenshtein computes the optimal-string-alignment edit distance
+// between two strings (insert, delete, substitute, adjacent transpose).
+// The entity recogniser uses it to tolerate the "heavy misspellings" the
+// paper's SMEs observed in real user input (§7.2).
+func DamerauLevenshtein(a, b string) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1              // deletion
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m { // substitution
+				m = v
+			}
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if v := prev2[j-2] + 1; v < m { // transposition
+					m = v
+				}
+			}
+			cur[j] = m
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}
+
+// fuzzyBudget returns the edit-distance tolerance for a word of the given
+// length: exact for short words (to avoid "acne"/"ache" style collisions),
+// 1 edit for medium words, 2 for long ones.
+func fuzzyBudget(n int) int {
+	switch {
+	case n < 5:
+		return 0
+	case n < 10:
+		return 1
+	default:
+		return 2
+	}
+}

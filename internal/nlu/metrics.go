@@ -1,0 +1,142 @@
+package nlu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ClassMetrics holds per-intent evaluation results.
+type ClassMetrics struct {
+	Intent    string
+	TP        int
+	FP        int
+	FN        int
+	Support   int // number of test examples with this gold intent
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Evaluation aggregates classifier quality over a test set, the way the
+// paper reports it (§7.1: per-intent F1 and the macro average, 0.85).
+type Evaluation struct {
+	Accuracy  float64
+	MacroF1   float64
+	MicroF1   float64
+	PerIntent []ClassMetrics
+	Confusion map[string]map[string]int // gold -> predicted -> count
+}
+
+// Evaluate runs the classifier over the test examples and scores it.
+func Evaluate(c Classifier, test []Example) Evaluation {
+	type counts struct{ tp, fp, fn, support int }
+	byIntent := map[string]*counts{}
+	conf := map[string]map[string]int{}
+	correct := 0
+	get := func(intent string) *counts {
+		if byIntent[intent] == nil {
+			byIntent[intent] = &counts{}
+		}
+		return byIntent[intent]
+	}
+	for _, ex := range test {
+		pred := c.Predict(ex.Text).Intent
+		if conf[ex.Intent] == nil {
+			conf[ex.Intent] = map[string]int{}
+		}
+		conf[ex.Intent][pred]++
+		get(ex.Intent).support++
+		if pred == ex.Intent {
+			correct++
+			get(ex.Intent).tp++
+		} else {
+			get(ex.Intent).fn++
+			get(pred).fp++
+		}
+	}
+	ev := Evaluation{Confusion: conf}
+	if len(test) > 0 {
+		ev.Accuracy = float64(correct) / float64(len(test))
+	}
+	intents := make([]string, 0, len(byIntent))
+	for intent := range byIntent {
+		intents = append(intents, intent)
+	}
+	sort.Strings(intents)
+	sumF1 := 0.0
+	nWithSupport := 0
+	tpAll, fpAll, fnAll := 0, 0, 0
+	for _, intent := range intents {
+		c := byIntent[intent]
+		m := ClassMetrics{Intent: intent, TP: c.tp, FP: c.fp, FN: c.fn, Support: c.support}
+		if c.tp+c.fp > 0 {
+			m.Precision = float64(c.tp) / float64(c.tp+c.fp)
+		}
+		if c.tp+c.fn > 0 {
+			m.Recall = float64(c.tp) / float64(c.tp+c.fn)
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		ev.PerIntent = append(ev.PerIntent, m)
+		if c.support > 0 {
+			sumF1 += m.F1
+			nWithSupport++
+		}
+		tpAll += c.tp
+		fpAll += c.fp
+		fnAll += c.fn
+	}
+	if nWithSupport > 0 {
+		ev.MacroF1 = sumF1 / float64(nWithSupport)
+	}
+	if 2*tpAll+fpAll+fnAll > 0 {
+		ev.MicroF1 = 2 * float64(tpAll) / float64(2*tpAll+fpAll+fnAll)
+	}
+	return ev
+}
+
+// IntentF1 returns the F1 of one intent, or 0 if absent.
+func (e Evaluation) IntentF1(intent string) float64 {
+	for _, m := range e.PerIntent {
+		if m.Intent == intent {
+			return m.F1
+		}
+	}
+	return 0
+}
+
+// String renders the evaluation as an aligned text table.
+func (e Evaluation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accuracy=%.3f macroF1=%.3f microF1=%.3f\n", e.Accuracy, e.MacroF1, e.MicroF1)
+	fmt.Fprintf(&b, "%-40s %9s %7s %7s %7s\n", "intent", "support", "prec", "recall", "F1")
+	for _, m := range e.PerIntent {
+		if m.Support == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-40s %9d %7.3f %7.3f %7.3f\n", m.Intent, m.Support, m.Precision, m.Recall, m.F1)
+	}
+	return b.String()
+}
+
+// TrainTestSplit partitions examples per intent: for each intent, every
+// holdOneIn-th example goes to the test set (deterministic, preserving the
+// intent mix — the paper §7.1 "ensure that the distribution of the training
+// and test sets are similar to the real intent statistics").
+func TrainTestSplit(examples []Example, holdOneIn int) (train, test []Example) {
+	if holdOneIn < 2 {
+		holdOneIn = 2
+	}
+	seen := map[string]int{}
+	for _, ex := range examples {
+		seen[ex.Intent]++
+		if seen[ex.Intent]%holdOneIn == 0 {
+			test = append(test, ex)
+		} else {
+			train = append(train, ex)
+		}
+	}
+	return train, test
+}

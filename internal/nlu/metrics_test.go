@@ -1,0 +1,124 @@
+package nlu
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fixedClassifier predicts from a lookup table.
+type fixedClassifier map[string]string
+
+func (f fixedClassifier) Train([]Example) error { return nil }
+func (f fixedClassifier) Predict(text string) Prediction {
+	return Prediction{Intent: f[text], Confidence: 1}
+}
+func (f fixedClassifier) Labels() []string { return nil }
+
+func TestEvaluateHandComputed(t *testing.T) {
+	// gold: a a a b b ; predictions: a a b b a
+	clf := fixedClassifier{
+		"t1": "a", "t2": "a", "t3": "b",
+		"t4": "b", "t5": "a",
+	}
+	test := []Example{
+		{"t1", "a"}, {"t2", "a"}, {"t3", "a"},
+		{"t4", "b"}, {"t5", "b"},
+	}
+	ev := Evaluate(clf, test)
+	if math.Abs(ev.Accuracy-0.6) > 1e-9 {
+		t.Fatalf("accuracy = %v, want 0.6", ev.Accuracy)
+	}
+	// class a: tp=2 fp=1 fn=1 -> P=2/3 R=2/3 F1=2/3
+	var a, b ClassMetrics
+	for _, m := range ev.PerIntent {
+		switch m.Intent {
+		case "a":
+			a = m
+		case "b":
+			b = m
+		}
+	}
+	if math.Abs(a.Precision-2.0/3) > 1e-9 || math.Abs(a.Recall-2.0/3) > 1e-9 || math.Abs(a.F1-2.0/3) > 1e-9 {
+		t.Fatalf("class a = %+v", a)
+	}
+	// class b: tp=1 fp=1 fn=1 -> P=R=F1=0.5
+	if math.Abs(b.F1-0.5) > 1e-9 {
+		t.Fatalf("class b = %+v", b)
+	}
+	wantMacro := (2.0/3 + 0.5) / 2
+	if math.Abs(ev.MacroF1-wantMacro) > 1e-9 {
+		t.Fatalf("macroF1 = %v, want %v", ev.MacroF1, wantMacro)
+	}
+	// micro-F1 equals accuracy in single-label classification
+	if math.Abs(ev.MicroF1-ev.Accuracy) > 1e-9 {
+		t.Fatalf("microF1 = %v, accuracy = %v", ev.MicroF1, ev.Accuracy)
+	}
+	if ev.Confusion["a"]["b"] != 1 || ev.Confusion["b"]["a"] != 1 {
+		t.Fatalf("confusion = %v", ev.Confusion)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	ev := Evaluate(fixedClassifier{}, nil)
+	if ev.Accuracy != 0 || ev.MacroF1 != 0 {
+		t.Fatalf("empty evaluation = %+v", ev)
+	}
+}
+
+func TestIntentF1Lookup(t *testing.T) {
+	clf := fixedClassifier{"x": "a"}
+	ev := Evaluate(clf, []Example{{"x", "a"}})
+	if ev.IntentF1("a") != 1 {
+		t.Fatalf("IntentF1(a) = %v", ev.IntentF1("a"))
+	}
+	if ev.IntentF1("ghost") != 0 {
+		t.Fatal("missing intent should be 0")
+	}
+}
+
+func TestEvaluationString(t *testing.T) {
+	clf := fixedClassifier{"x": "a"}
+	ev := Evaluate(clf, []Example{{"x", "a"}})
+	s := ev.String()
+	if !strings.Contains(s, "accuracy=1.000") || !strings.Contains(s, "a") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestTrainTestSplitStratified(t *testing.T) {
+	var examples []Example
+	for i := 0; i < 50; i++ {
+		examples = append(examples, Example{Text: "a" + string(rune(i)), Intent: "A"})
+	}
+	for i := 0; i < 10; i++ {
+		examples = append(examples, Example{Text: "b" + string(rune(i)), Intent: "B"})
+	}
+	train, test := TrainTestSplit(examples, 5)
+	if len(train)+len(test) != 60 {
+		t.Fatalf("split sizes %d+%d", len(train), len(test))
+	}
+	countIntent := func(xs []Example, intent string) int {
+		n := 0
+		for _, x := range xs {
+			if x.Intent == intent {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countIntent(test, "A"); got != 10 {
+		t.Fatalf("test A = %d, want every 5th of 50", got)
+	}
+	if got := countIntent(test, "B"); got != 2 {
+		t.Fatalf("test B = %d, want 2", got)
+	}
+}
+
+func TestTrainTestSplitMinimum(t *testing.T) {
+	examples := []Example{{"a", "x"}, {"b", "x"}, {"c", "x"}, {"d", "x"}}
+	train, test := TrainTestSplit(examples, 0) // clamped to 2
+	if len(test) != 2 || len(train) != 2 {
+		t.Fatalf("split = %d/%d", len(train), len(test))
+	}
+}

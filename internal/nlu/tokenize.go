@@ -1,0 +1,98 @@
+// Package nlu implements the natural-language-understanding substrate the
+// conversation space runs on: tokenisation, feature extraction, intent
+// classifiers with confidence scores, evaluation metrics, and a dictionary
+// entity recogniser with synonym, fuzzy and partial matching.
+//
+// It is the stand-in for the classification half of IBM Watson Assistant
+// (paper §2, §7): the conversation space uploads intents with training
+// examples, a classifier is trained, and at runtime each utterance yields
+// an intent with a confidence score plus the entities mentioned.
+package nlu
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one token with its source span.
+type Token struct {
+	Text  string // normalized (lowercased) text
+	Raw   string // original surface form
+	Start int    // byte offset in the original string
+	End   int    // byte offset one past the token
+}
+
+// Tokenize splits text into lowercase word tokens. Alphanumeric runs are
+// tokens; intra-word hyphens, apostrophes and periods (as in "y-site",
+// "St John's", "0.05%") are kept inside the token; everything else is a
+// separator.
+func Tokenize(text string) []Token {
+	var toks []Token
+	i := 0
+	n := len(text)
+	for i < n {
+		r := rune(text[i])
+		if !isWordRune(r) {
+			i++
+			continue
+		}
+		start := i
+		for i < n {
+			c := rune(text[i])
+			if isWordRune(c) {
+				i++
+				continue
+			}
+			// keep joiners when flanked by word runes
+			if (c == '-' || c == '\'' || c == '.') && i+1 < n && isWordRune(rune(text[i+1])) {
+				i += 2
+				continue
+			}
+			break
+		}
+		raw := text[start:i]
+		toks = append(toks, Token{Text: strings.ToLower(raw), Raw: raw, Start: start, End: i})
+	}
+	return toks
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '%'
+}
+
+// Words returns just the normalized token texts.
+func Words(text string) []string {
+	toks := Tokenize(text)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+// stopwords are excluded from classifier features (they carry no intent
+// signal) but NOT from entity matching, where surface forms matter.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "of": true, "for": true, "to": true,
+	"in": true, "on": true, "at": true, "is": true, "are": true, "be": true,
+	"and": true, "or": true, "me": true, "my": true, "i": true, "you": true,
+	"it": true, "its": true, "with": true, "that": true, "this": true,
+	"do": true, "does": true, "can": true, "please": true,
+}
+
+// ContentWords returns the normalized tokens with stopwords removed.
+func ContentWords(text string) []string {
+	var out []string
+	for _, t := range Tokenize(text) {
+		if !stopwords[t.Text] {
+			out = append(out, t.Text)
+		}
+	}
+	return out
+}
+
+// NormalizePhrase canonicalizes a dictionary phrase for matching: lowercase
+// tokens joined by single spaces.
+func NormalizePhrase(s string) string {
+	return strings.Join(Words(s), " ")
+}

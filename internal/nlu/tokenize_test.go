@@ -1,0 +1,113 @@
+package nlu
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks := Tokenize("Show me the Precautions for Benazepril?")
+	var texts []string
+	for _, tk := range toks {
+		texts = append(texts, tk.Text)
+	}
+	want := []string{"show", "me", "the", "precautions", "for", "benazepril"}
+	if !reflect.DeepEqual(texts, want) {
+		t.Fatalf("Tokenize = %v", texts)
+	}
+	// spans point back into the source
+	src := "Show me the Precautions for Benazepril?"
+	for _, tk := range toks {
+		if src[tk.Start:tk.End] != tk.Raw {
+			t.Fatalf("span %d:%d = %q, want %q", tk.Start, tk.End, src[tk.Start:tk.End], tk.Raw)
+		}
+	}
+}
+
+func TestTokenizeJoiners(t *testing.T) {
+	cases := map[string][]string{
+		"y-site compatibility":  {"y-site", "compatibility"},
+		"St John's Wort":        {"st", "john's", "wort"},
+		"apply 0.05% gel":       {"apply", "0.05%", "gel"},
+		"drug-drug interaction": {"drug-drug", "interaction"},
+		"":                      nil,
+		"  !!  ":                nil,
+		"trailing- dash":        {"trailing", "dash"},
+	}
+	for in, want := range cases {
+		got := Words(in)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Words(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestContentWords(t *testing.T) {
+	got := ContentWords("show me the precautions for the drug")
+	want := []string{"show", "precautions", "drug"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ContentWords = %v", got)
+	}
+}
+
+func TestNormalizePhrase(t *testing.T) {
+	if got := NormalizePhrase("  Black-Box   WARNING "); got != "black-box warning" {
+		t.Fatalf("NormalizePhrase = %q", got)
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"precautions":  "precaution",
+		"pregnancies":  "pregnancy",
+		"classes":      "class",
+		"uses":         "use",
+		"status":       "status",
+		"pass":         "pass",
+		"this":         "this",
+		"dosing":       "dos",
+		"adjusted":     "adjust",
+		"drug":         "drug",
+		"effects":      "effect",
+		"interactions": "interaction",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemConsistentSingularPlural(t *testing.T) {
+	pairs := [][2]string{
+		{"precaution", "precautions"},
+		{"warning", "warnings"},
+		{"pregnancy", "pregnancies"},
+		{"interaction", "interactions"},
+	}
+	for _, p := range pairs {
+		if Stem(p[0]) != Stem(p[1]) {
+			t.Errorf("Stem(%q)=%q != Stem(%q)=%q", p[0], Stem(p[0]), p[1], Stem(p[1]))
+		}
+	}
+}
+
+func TestFeaturizeBigrams(t *testing.T) {
+	feats := Featurize("dose adjustment for aspirin")
+	// stemmed unigrams + bigrams
+	want := map[string]bool{
+		"dose": true, "adjustment": true, "aspirin": true,
+		"dose_adjustment": true, "adjustment_aspirin": true,
+	}
+	if len(feats) != len(want) {
+		t.Fatalf("Featurize = %v", feats)
+	}
+	for _, f := range feats {
+		if !want[f] {
+			t.Fatalf("unexpected feature %q in %v", f, feats)
+		}
+	}
+}

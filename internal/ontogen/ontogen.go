@@ -1,0 +1,283 @@
+// Package ontogen implements data-driven ontology discovery from a
+// relational knowledge base (paper §3 "Ontology Creation", approach 2, and
+// reference [18]): it infers concepts from tables, data properties from
+// columns, object properties from foreign keys, isA relationships from
+// subtype tables that share the parent's primary key, unionOf relationships
+// from disjoint exhaustive subtype families, and categorical attributes
+// from distinct-value statistics.
+//
+// The hybrid approach the paper actually deploys (§3, approach 3) is
+// obtained by post-editing the generated ontology — see Refine.
+package ontogen
+
+import (
+	"fmt"
+	"strings"
+
+	"ontoconv/internal/kb"
+	"ontoconv/internal/ontology"
+)
+
+// Config tunes the discovery heuristics.
+type Config struct {
+	// CategoricalMaxDistinct is the largest distinct-value count a column
+	// may have and still be considered categorical.
+	CategoricalMaxDistinct int
+	// CategoricalMaxRatio is the largest distinct/non-null ratio a column
+	// may have and still be considered categorical.
+	CategoricalMaxRatio float64
+	// Name names the generated ontology.
+	Name string
+}
+
+// DefaultConfig returns the thresholds used throughout the reproduction.
+func DefaultConfig(name string) Config {
+	return Config{
+		CategoricalMaxDistinct: 64,
+		CategoricalMaxRatio:    0.5,
+		Name:                   name,
+	}
+}
+
+// Generate builds an ontology from the KB's schema and data statistics.
+func Generate(base *kb.KB, cfg Config) (*ontology.Ontology, error) {
+	o := ontology.New(cfg.Name)
+
+	// Pass 1: concepts with data properties (FK columns excluded — they
+	// become object properties).
+	for _, name := range base.TableNames() {
+		t := base.Table(name)
+		fkCols := make(map[string]bool)
+		for _, fk := range t.Schema.ForeignKeys {
+			fkCols[strings.ToLower(fk.Column)] = true
+		}
+		c := ontology.Concept{
+			Name:     ConceptName(name),
+			Table:    name,
+			TableKey: t.Schema.PrimaryKey,
+		}
+		for _, col := range t.Schema.Columns {
+			if fkCols[strings.ToLower(col.Name)] {
+				continue
+			}
+			if strings.EqualFold(col.Name, t.Schema.PrimaryKey) {
+				continue // surrogate keys are not domain properties
+			}
+			dp := ontology.DataProperty{
+				Name: col.Name,
+				Type: dataType(col.Type),
+			}
+			st := t.Stats(col.Name)
+			dp.Categorical = st.Categorical(cfg.CategoricalMaxDistinct, cfg.CategoricalMaxRatio)
+			c.DataProperties = append(c.DataProperties, dp)
+			if c.DisplayProperty == "" && strings.EqualFold(col.Name, "name") {
+				c.DisplayProperty = col.Name
+			}
+		}
+		if c.DisplayProperty == "" {
+			for _, dp := range c.DataProperties {
+				if dp.Type == ontology.String {
+					c.DisplayProperty = dp.Name
+					break
+				}
+			}
+		}
+		if err := o.AddConcept(c); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 2: object properties and isA from foreign keys.
+	for _, name := range base.TableNames() {
+		t := base.Table(name)
+		for _, fk := range t.Schema.ForeignKeys {
+			child := ConceptName(name)
+			parent := ConceptName(fk.RefTable)
+			if strings.EqualFold(fk.Column, t.Schema.PrimaryKey) {
+				// Subtype table: shares the parent's primary key.
+				if err := o.AddIsA(child, parent); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			op := ontology.ObjectProperty{
+				Name:       relationName(fk.Column, parent),
+				From:       child,
+				To:         parent,
+				FromColumn: fk.Column,
+				ToColumn:   fk.RefColumn,
+				Functional: true, // FK: each child row references one parent
+			}
+			if err := o.AddObjectProperty(op); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Pass 3: unions — an isA family where the children exactly partition
+	// the parent's primary keys (mutually exclusive and exhaustive).
+	detectUnions(base, o)
+
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func detectUnions(base *kb.KB, o *ontology.Ontology) {
+	parents := make(map[string][]string)
+	for _, r := range o.IsARelations {
+		parents[r.Parent] = append(parents[r.Parent], r.Child)
+	}
+	for parent, children := range parents {
+		if len(children) < 2 {
+			continue
+		}
+		pc := o.Concept(parent)
+		if pc == nil || pc.Table == "" {
+			continue
+		}
+		pt := base.Table(pc.Table)
+		if pt == nil || pt.Schema.PrimaryKey == "" {
+			continue
+		}
+		pki := pt.Schema.ColumnIndex(pt.Schema.PrimaryKey)
+		counts := make(map[kb.Value]int, pt.Len())
+		for _, row := range pt.Rows {
+			counts[row[pki]] = 0
+		}
+		ok := true
+		for _, childName := range children {
+			cc := o.Concept(childName)
+			ct := base.Table(cc.Table)
+			if ct == nil || ct.Schema.PrimaryKey == "" {
+				ok = false
+				break
+			}
+			cki := ct.Schema.ColumnIndex(ct.Schema.PrimaryKey)
+			for _, row := range ct.Rows {
+				n, exists := counts[row[cki]]
+				if !exists {
+					ok = false // child instance outside the parent
+					break
+				}
+				counts[row[cki]] = n + 1
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, n := range counts {
+			if n != 1 { // not exhaustive (0) or not disjoint (>1)
+				ok = false
+				break
+			}
+		}
+		if ok {
+			// Errors impossible here: all members validated above.
+			_ = o.AddUnion(parent, children...)
+		}
+	}
+}
+
+// Refine applies SME edits to a generated ontology (the "hybrid approach",
+// paper §3): rename relation inverses, set display properties, and mark
+// extra categorical attributes. Unknown targets are reported as errors so
+// SME files stay in sync with the schema.
+type Refinement struct {
+	// Inverses maps object-property name -> inverse surface form
+	// ("treats" -> "is treated by").
+	Inverses map[string]string
+	// Labels maps concept name -> human label override.
+	Labels map[string]string
+	// DisplayProperties maps concept name -> property used to render
+	// instances.
+	DisplayProperties map[string]string
+}
+
+// Refine applies the refinement in place.
+func Refine(o *ontology.Ontology, r Refinement) error {
+	for name, inv := range r.Inverses {
+		found := false
+		for i := range o.ObjectProperties {
+			if o.ObjectProperties[i].Name == name {
+				o.ObjectProperties[i].Inverse = inv
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("ontogen: refine: no object property %q", name)
+		}
+	}
+	for name, label := range r.Labels {
+		c := o.Concept(name)
+		if c == nil {
+			return fmt.Errorf("ontogen: refine: no concept %q", name)
+		}
+		c.Label = label
+	}
+	for name, dp := range r.DisplayProperties {
+		c := o.Concept(name)
+		if c == nil {
+			return fmt.Errorf("ontogen: refine: no concept %q", name)
+		}
+		if prop := o.Property(name, dp); prop == nil {
+			return fmt.Errorf("ontogen: refine: concept %q has no property %q", name, dp)
+		}
+		c.DisplayProperty = dp
+	}
+	return nil
+}
+
+// ConceptName converts a table name like "drug_food_interaction" into a
+// concept name "DrugFoodInteraction".
+func ConceptName(table string) string {
+	parts := strings.FieldsFunc(table, func(r rune) bool { return r == '_' || r == '-' || r == ' ' })
+	var b strings.Builder
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		b.WriteString(strings.ToUpper(p[:1]))
+		b.WriteString(p[1:])
+	}
+	return b.String()
+}
+
+// relationName derives an object-property name from an FK column name:
+// "treats_id" -> "treats"; "drug_id" -> "hasDrug" style fallback when the
+// stripped name equals the referenced concept.
+func relationName(column, refConcept string) string {
+	n := strings.TrimSuffix(strings.ToLower(column), "_id")
+	n = strings.TrimSuffix(n, "id")
+	n = strings.Trim(n, "_")
+	if n == "" || strings.EqualFold(ConceptName(n), refConcept) {
+		return "has" + refConcept
+	}
+	// re-camel multi-word FK names: "black_box" -> "blackBox"
+	parts := strings.Split(n, "_")
+	out := parts[0]
+	for _, p := range parts[1:] {
+		if p == "" {
+			continue
+		}
+		out += strings.ToUpper(p[:1]) + p[1:]
+	}
+	return out
+}
+
+func dataType(ct kb.ColumnType) ontology.DataType {
+	switch ct {
+	case kb.IntCol:
+		return ontology.Integer
+	case kb.FloatCol:
+		return ontology.Float
+	case kb.BoolCol:
+		return ontology.Boolean
+	default:
+		return ontology.String
+	}
+}

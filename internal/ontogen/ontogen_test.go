@@ -1,0 +1,225 @@
+package ontogen
+
+import (
+	"reflect"
+	"testing"
+
+	"ontoconv/internal/kb"
+)
+
+// subtypeKB builds person(base) with employee/customer subtypes plus an
+// order table: employee+customer partition person (union), order
+// references customer (object property).
+func subtypeKB(t *testing.T, exhaustive bool) *kb.KB {
+	t.Helper()
+	k := kb.New()
+	mk := func(s kb.Schema) *kb.Table {
+		tab, err := k.CreateTable(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	person := mk(kb.Schema{
+		Name: "person",
+		Columns: []kb.Column{
+			{Name: "person_id", Type: kb.TextCol, NotNull: true},
+			{Name: "name", Type: kb.TextCol, NotNull: true},
+			{Name: "status", Type: kb.TextCol},
+		},
+		PrimaryKey: "person_id",
+	})
+	employee := mk(kb.Schema{
+		Name: "employee",
+		Columns: []kb.Column{
+			{Name: "person_id", Type: kb.TextCol, NotNull: true},
+			{Name: "badge", Type: kb.TextCol},
+		},
+		PrimaryKey:  "person_id",
+		ForeignKeys: []kb.ForeignKey{{Column: "person_id", RefTable: "person", RefColumn: "person_id"}},
+	})
+	customer := mk(kb.Schema{
+		Name: "customer",
+		Columns: []kb.Column{
+			{Name: "person_id", Type: kb.TextCol, NotNull: true},
+			{Name: "tier", Type: kb.TextCol},
+		},
+		PrimaryKey:  "person_id",
+		ForeignKeys: []kb.ForeignKey{{Column: "person_id", RefTable: "person", RefColumn: "person_id"}},
+	})
+	order := mk(kb.Schema{
+		Name: "purchase",
+		Columns: []kb.Column{
+			{Name: "purchase_id", Type: kb.TextCol, NotNull: true},
+			{Name: "customer_id", Type: kb.TextCol, NotNull: true},
+			{Name: "amount", Type: kb.FloatCol},
+		},
+		PrimaryKey:  "purchase_id",
+		ForeignKeys: []kb.ForeignKey{{Column: "customer_id", RefTable: "person", RefColumn: "person_id"}},
+	})
+	for i := 0; i < 10; i++ {
+		id := string(rune('A' + i))
+		person.MustInsert(kb.Row{id, "Person " + id, []string{"active", "inactive"}[i%2]})
+		if i%2 == 0 {
+			employee.MustInsert(kb.Row{id, "badge-" + id})
+		} else if exhaustive || i < 7 {
+			customer.MustInsert(kb.Row{id, []string{"gold", "silver"}[i%2]})
+		}
+	}
+	order.MustInsert(kb.Row{"O1", "B", 10.0})
+	return k
+}
+
+func TestGenerateConceptsAndProperties(t *testing.T) {
+	k := subtypeKB(t, true)
+	o, err := Generate(k, DefaultConfig("shop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.ConceptNames(); !reflect.DeepEqual(got, []string{"Person", "Employee", "Customer", "Purchase"}) {
+		t.Fatalf("concepts = %v", got)
+	}
+	p := o.Concept("Person")
+	// person_id is the surrogate key -> excluded; name, status remain
+	if len(p.DataProperties) != 2 {
+		t.Fatalf("Person properties = %+v", p.DataProperties)
+	}
+	if p.DisplayProperty != "name" {
+		t.Fatalf("display = %q", p.DisplayProperty)
+	}
+	if p.Table != "person" || p.TableKey != "person_id" {
+		t.Fatalf("table mapping = %q %q", p.Table, p.TableKey)
+	}
+}
+
+func TestGenerateCategoricalDetection(t *testing.T) {
+	k := subtypeKB(t, true)
+	o, err := Generate(k, DefaultConfig("shop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := o.Property("Person", "status")
+	if status == nil || !status.Categorical {
+		t.Fatalf("status should be categorical: %+v", status)
+	}
+	name := o.Property("Person", "name")
+	if name == nil || name.Categorical {
+		t.Fatalf("name should not be categorical: %+v", name)
+	}
+}
+
+func TestGenerateIsAFromSharedPK(t *testing.T) {
+	k := subtypeKB(t, true)
+	o, _ := Generate(k, DefaultConfig("shop"))
+	if got := o.Parents("Employee"); !reflect.DeepEqual(got, []string{"Person"}) {
+		t.Fatalf("Employee parents = %v", got)
+	}
+	if got := o.Parents("Customer"); !reflect.DeepEqual(got, []string{"Person"}) {
+		t.Fatalf("Customer parents = %v", got)
+	}
+}
+
+func TestGenerateUnionWhenExhaustive(t *testing.T) {
+	k := subtypeKB(t, true)
+	o, _ := Generate(k, DefaultConfig("shop"))
+	if got := o.UnionOf("Person"); !reflect.DeepEqual(got, []string{"Customer", "Employee"}) {
+		t.Fatalf("union = %v", got)
+	}
+}
+
+func TestGenerateNoUnionWhenNotExhaustive(t *testing.T) {
+	k := subtypeKB(t, false) // some persons have no subtype row
+	o, _ := Generate(k, DefaultConfig("shop"))
+	if o.UnionOf("Person") != nil {
+		t.Fatal("non-exhaustive children must stay plain isA")
+	}
+	if len(o.Parents("Employee")) != 1 {
+		t.Fatal("isA must still be detected")
+	}
+}
+
+func TestGenerateObjectPropertyFromFK(t *testing.T) {
+	k := subtypeKB(t, true)
+	o, _ := Generate(k, DefaultConfig("shop"))
+	rels := o.RelationsFrom("Purchase")
+	if len(rels) != 1 {
+		t.Fatalf("Purchase relations = %v", rels)
+	}
+	r := rels[0]
+	if r.To != "Person" || r.FromColumn != "customer_id" || r.ToColumn != "person_id" {
+		t.Fatalf("relation = %+v", r)
+	}
+	if r.Name != "customer" {
+		t.Fatalf("relation name = %q (derived from customer_id)", r.Name)
+	}
+	if !r.Functional {
+		t.Fatal("FK relations are functional")
+	}
+}
+
+func TestRefine(t *testing.T) {
+	k := subtypeKB(t, true)
+	o, _ := Generate(k, DefaultConfig("shop"))
+	err := Refine(o, Refinement{
+		Inverses:          map[string]string{"customer": "made"},
+		Labels:            map[string]string{"Purchase": "Order"},
+		DisplayProperties: map[string]string{"Employee": "badge"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.RelationsFrom("Purchase")[0].Inverse != "made" {
+		t.Fatal("inverse not applied")
+	}
+	if o.Concept("Purchase").Label != "Order" {
+		t.Fatal("label not applied")
+	}
+	if o.Concept("Employee").DisplayProperty != "badge" {
+		t.Fatal("display property not applied")
+	}
+}
+
+func TestRefineErrors(t *testing.T) {
+	k := subtypeKB(t, true)
+	o, _ := Generate(k, DefaultConfig("shop"))
+	if err := Refine(o, Refinement{Inverses: map[string]string{"ghost": "x"}}); err == nil {
+		t.Fatal("unknown relation must error")
+	}
+	if err := Refine(o, Refinement{Labels: map[string]string{"Ghost": "x"}}); err == nil {
+		t.Fatal("unknown concept must error")
+	}
+	if err := Refine(o, Refinement{DisplayProperties: map[string]string{"Person": "ghost"}}); err == nil {
+		t.Fatal("unknown property must error")
+	}
+}
+
+func TestConceptName(t *testing.T) {
+	cases := map[string]string{
+		"drug":                  "Drug",
+		"drug_food_interaction": "DrugFoodInteraction",
+		"iv_compatibility":      "IvCompatibility",
+		"med procedure":         "MedProcedure",
+	}
+	for in, want := range cases {
+		if got := ConceptName(in); got != want {
+			t.Errorf("ConceptName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRelationName(t *testing.T) {
+	cases := []struct{ col, ref, want string }{
+		{"drug_id", "Drug", "hasDrug"},
+		{"treats_id", "Indication", "treats"},
+		{"other_drug_id", "Drug", "otherDrug"},
+		{"class_id", "DrugClass", "class"},
+	}
+	for _, c := range cases {
+		if got := relationName(c.col, c.ref); got != c.want {
+			t.Errorf("relationName(%q,%q) = %q, want %q", c.col, c.ref, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,479 @@
+// Package ontology implements the OWL-style domain-ontology model at the
+// core of the conversation system (paper §3).
+//
+// An ontology has concepts (OWL classes), data properties attached to
+// concepts, and object properties (relationships) between concepts.
+// Subsumption (isA) and union relationships carry special semantics that
+// the bootstrapper exploits when generating query patterns.
+package ontology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ontoconv/internal/graph"
+)
+
+// DataType enumerates the primitive types of data properties.
+type DataType string
+
+// Supported data property types.
+const (
+	String  DataType = "string"
+	Integer DataType = "integer"
+	Float   DataType = "float"
+	Boolean DataType = "boolean"
+)
+
+// DataProperty is a property of a concept holding a literal value
+// (e.g. Drug.name, Drug.brand).
+type DataProperty struct {
+	Name string   `json:"name"`
+	Type DataType `json:"type"`
+	// Categorical marks properties with few distinct values relative to
+	// the instance count; set during ontology generation from KB
+	// statistics and used by entity extraction.
+	Categorical bool `json:"categorical,omitempty"`
+	// Label is the human-readable surface form used in generated text;
+	// defaults to a de-camel-cased Name.
+	Label string `json:"label,omitempty"`
+}
+
+// Concept is an OWL class.
+type Concept struct {
+	Name string `json:"name"`
+	// Label is the surface form used when generating utterances
+	// ("DrugFoodInteraction" -> "Drug Food Interaction").
+	Label          string         `json:"label,omitempty"`
+	DataProperties []DataProperty `json:"dataProperties,omitempty"`
+	// Table optionally records the KB table backing this concept; set by
+	// the data-driven ontology generator and consumed by the NLQ service.
+	Table string `json:"table,omitempty"`
+	// TableKey records the primary-key column of Table, used by the NLQ
+	// service to build joins.
+	TableKey string `json:"tableKey,omitempty"`
+	// DisplayProperty is the data property used to render an instance of
+	// this concept in natural language (typically "name").
+	DisplayProperty string `json:"displayProperty,omitempty"`
+}
+
+// ObjectProperty is a directed relationship between two concepts
+// (e.g. Drug -treats-> Indication).
+type ObjectProperty struct {
+	Name    string `json:"name"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Inverse string `json:"inverse,omitempty"` // e.g. "is treated by"
+	// Functional marks relationships where each From instance relates to
+	// at most one To instance.
+	Functional bool `json:"functional,omitempty"`
+	// FromColumn/ToColumn record the KB join columns backing the
+	// relationship; consumed by the NLQ service. For a direct FK
+	// relationship, From.Table.FromColumn references To.Table.ToColumn.
+	FromColumn string `json:"fromColumn,omitempty"`
+	ToColumn   string `json:"toColumn,omitempty"`
+	// Via backs many-to-many relationships with a junction table:
+	// From.Table.(its PK) = Via.Table.Via.FromColumn and
+	// Via.Table.Via.ToColumn = To.Table.(its PK). When Via is set,
+	// FromColumn/ToColumn name the primary keys of the endpoint tables.
+	Via *JunctionTable `json:"via,omitempty"`
+}
+
+// JunctionTable describes the junction backing a many-to-many object
+// property.
+type JunctionTable struct {
+	Table      string `json:"table"`
+	FromColumn string `json:"fromColumn"`
+	ToColumn   string `json:"toColumn"`
+	// Properties lists junction columns that qualify the relationship
+	// itself (e.g. efficacy on Drug-treats-Indication); the NLQ service
+	// can project them alongside the answer.
+	Properties []string `json:"properties,omitempty"`
+}
+
+// IsA records that Child is a specialization of Parent.
+type IsA struct {
+	Child  string `json:"child"`
+	Parent string `json:"parent"`
+}
+
+// Union records that Parent is the union of Children, mutually exclusive
+// and exhaustive (paper §3: "Risk" is a union of "Contra Indication" and
+// "Black Box Warning").
+type Union struct {
+	Parent   string   `json:"parent"`
+	Children []string `json:"children"`
+}
+
+// Ontology is the full domain ontology.
+type Ontology struct {
+	Name             string           `json:"name"`
+	Concepts         []Concept        `json:"concepts"`
+	ObjectProperties []ObjectProperty `json:"objectProperties"`
+	IsARelations     []IsA            `json:"isA,omitempty"`
+	Unions           []Union          `json:"unions,omitempty"`
+
+	conceptIndex map[string]*Concept
+}
+
+// New returns an empty named ontology.
+func New(name string) *Ontology {
+	return &Ontology{Name: name, conceptIndex: make(map[string]*Concept)}
+}
+
+// AddConcept appends a concept; a missing Label is derived from the name.
+// It returns an error if the concept already exists.
+func (o *Ontology) AddConcept(c Concept) error {
+	o.ensureIndex()
+	if _, ok := o.conceptIndex[c.Name]; ok {
+		return fmt.Errorf("ontology: duplicate concept %q", c.Name)
+	}
+	if c.Label == "" {
+		c.Label = Labelize(c.Name)
+	}
+	for i := range c.DataProperties {
+		if c.DataProperties[i].Label == "" {
+			c.DataProperties[i].Label = Labelize(c.DataProperties[i].Name)
+		}
+	}
+	o.Concepts = append(o.Concepts, c)
+	o.conceptIndex[c.Name] = &o.Concepts[len(o.Concepts)-1]
+	return nil
+}
+
+// MustAddConcept is AddConcept that panics on error; for static ontologies.
+func (o *Ontology) MustAddConcept(c Concept) {
+	if err := o.AddConcept(c); err != nil {
+		panic(err)
+	}
+}
+
+// AddObjectProperty appends a relationship between existing concepts.
+func (o *Ontology) AddObjectProperty(p ObjectProperty) error {
+	o.ensureIndex()
+	if _, ok := o.conceptIndex[p.From]; !ok {
+		return fmt.Errorf("ontology: object property %q: unknown concept %q", p.Name, p.From)
+	}
+	if _, ok := o.conceptIndex[p.To]; !ok {
+		return fmt.Errorf("ontology: object property %q: unknown concept %q", p.Name, p.To)
+	}
+	o.ObjectProperties = append(o.ObjectProperties, p)
+	return nil
+}
+
+// MustAddObjectProperty is AddObjectProperty that panics on error.
+func (o *Ontology) MustAddObjectProperty(p ObjectProperty) {
+	if err := o.AddObjectProperty(p); err != nil {
+		panic(err)
+	}
+}
+
+// AddIsA records child isA parent.
+func (o *Ontology) AddIsA(child, parent string) error {
+	o.ensureIndex()
+	if _, ok := o.conceptIndex[child]; !ok {
+		return fmt.Errorf("ontology: isA: unknown concept %q", child)
+	}
+	if _, ok := o.conceptIndex[parent]; !ok {
+		return fmt.Errorf("ontology: isA: unknown concept %q", parent)
+	}
+	o.IsARelations = append(o.IsARelations, IsA{Child: child, Parent: parent})
+	return nil
+}
+
+// AddUnion records parent = union(children).
+func (o *Ontology) AddUnion(parent string, children ...string) error {
+	o.ensureIndex()
+	if _, ok := o.conceptIndex[parent]; !ok {
+		return fmt.Errorf("ontology: union: unknown concept %q", parent)
+	}
+	for _, ch := range children {
+		if _, ok := o.conceptIndex[ch]; !ok {
+			return fmt.Errorf("ontology: union: unknown concept %q", ch)
+		}
+	}
+	o.Unions = append(o.Unions, Union{Parent: parent, Children: children})
+	return nil
+}
+
+func (o *Ontology) ensureIndex() {
+	if o.conceptIndex == nil {
+		o.conceptIndex = make(map[string]*Concept, len(o.Concepts))
+		for i := range o.Concepts {
+			o.conceptIndex[o.Concepts[i].Name] = &o.Concepts[i]
+		}
+	}
+}
+
+// Concept returns the named concept, or nil.
+func (o *Ontology) Concept(name string) *Concept {
+	o.ensureIndex()
+	return o.conceptIndex[name]
+}
+
+// HasConcept reports whether the named concept exists.
+func (o *Ontology) HasConcept(name string) bool { return o.Concept(name) != nil }
+
+// ConceptNames returns all concept names in declaration order.
+func (o *Ontology) ConceptNames() []string {
+	out := make([]string, len(o.Concepts))
+	for i, c := range o.Concepts {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Property returns the named data property of the named concept, or nil.
+func (o *Ontology) Property(concept, property string) *DataProperty {
+	c := o.Concept(concept)
+	if c == nil {
+		return nil
+	}
+	for i := range c.DataProperties {
+		if c.DataProperties[i].Name == property {
+			return &c.DataProperties[i]
+		}
+	}
+	return nil
+}
+
+// RelationsFrom returns the object properties whose From is the concept.
+func (o *Ontology) RelationsFrom(concept string) []ObjectProperty {
+	var out []ObjectProperty
+	for _, p := range o.ObjectProperties {
+		if p.From == concept {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RelationsTo returns the object properties whose To is the concept.
+func (o *Ontology) RelationsTo(concept string) []ObjectProperty {
+	var out []ObjectProperty
+	for _, p := range o.ObjectProperties {
+		if p.To == concept {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RelationsOf returns all object properties touching the concept.
+func (o *Ontology) RelationsOf(concept string) []ObjectProperty {
+	var out []ObjectProperty
+	for _, p := range o.ObjectProperties {
+		if p.From == concept || p.To == concept {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Children returns the concepts declared as isA-children of parent, sorted.
+func (o *Ontology) Children(parent string) []string {
+	var out []string
+	for _, r := range o.IsARelations {
+		if r.Parent == parent {
+			out = append(out, r.Child)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parents returns the isA-parents of child, sorted.
+func (o *Ontology) Parents(child string) []string {
+	var out []string
+	for _, r := range o.IsARelations {
+		if r.Child == child {
+			out = append(out, r.Parent)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnionOf returns the union children of parent, or nil if parent is not a
+// union concept.
+func (o *Ontology) UnionOf(parent string) []string {
+	for _, u := range o.Unions {
+		if u.Parent == parent {
+			out := make([]string, len(u.Children))
+			copy(out, u.Children)
+			sort.Strings(out)
+			return out
+		}
+	}
+	return nil
+}
+
+// IsUnion reports whether the concept is declared as a union of others.
+func (o *Ontology) IsUnion(name string) bool { return o.UnionOf(name) != nil }
+
+// IsParent reports whether the concept has isA children.
+func (o *Ontology) IsParent(name string) bool { return len(o.Children(name)) > 0 }
+
+// Neighborhood returns the distinct concepts within one relationship hop of
+// the given concept (object properties in either direction), sorted.
+// isA and union edges are not traversed: the bootstrapper treats those
+// through their dedicated augmentation rules instead.
+func (o *Ontology) Neighborhood(concept string) []string {
+	seen := make(map[string]bool)
+	for _, p := range o.ObjectProperties {
+		if p.From == concept {
+			seen[p.To] = true
+		}
+		if p.To == concept {
+			seen[p.From] = true
+		}
+	}
+	delete(seen, concept)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Graph projects the ontology onto a directed graph: one node per concept,
+// one edge per object property (labelled with the property name), one edge
+// per isA (labelled "isA") and per union membership (labelled "unionOf").
+// The graph is the input to centrality-based key-concept discovery.
+func (o *Ontology) Graph() *graph.Graph {
+	g := graph.New()
+	for _, c := range o.Concepts {
+		g.AddNode(c.Name)
+	}
+	for _, p := range o.ObjectProperties {
+		g.AddEdge(p.From, p.To, p.Name)
+	}
+	for _, r := range o.IsARelations {
+		g.AddEdge(r.Child, r.Parent, "isA")
+	}
+	for _, u := range o.Unions {
+		for _, ch := range u.Children {
+			g.AddEdge(ch, u.Parent, "unionOf")
+		}
+	}
+	return g
+}
+
+// RelationGraph is like Graph but contains only object-property edges;
+// used for relationship-pattern path discovery where isA/union edges must
+// not create spurious join paths.
+func (o *Ontology) RelationGraph() *graph.Graph {
+	g := graph.New()
+	for _, c := range o.Concepts {
+		g.AddNode(c.Name)
+	}
+	for _, p := range o.ObjectProperties {
+		g.AddEdge(p.From, p.To, p.Name)
+	}
+	return g
+}
+
+// Stats summarizes ontology size the way the paper reports it (§6.1:
+// "59 concepts, 178 properties, and 58 relationships").
+type Stats struct {
+	Concepts         int `json:"concepts"`
+	DataProperties   int `json:"dataProperties"`
+	ObjectProperties int `json:"objectProperties"`
+	IsA              int `json:"isA"`
+	Unions           int `json:"unions"`
+}
+
+// Stats computes size statistics.
+func (o *Ontology) Stats() Stats {
+	s := Stats{
+		Concepts:         len(o.Concepts),
+		ObjectProperties: len(o.ObjectProperties),
+		IsA:              len(o.IsARelations),
+		Unions:           len(o.Unions),
+	}
+	for _, c := range o.Concepts {
+		s.DataProperties += len(c.DataProperties)
+	}
+	return s
+}
+
+// Validate checks referential integrity: every relationship endpoint, isA
+// member and union member must be a declared concept; unions must have at
+// least two children; concept names must be unique.
+func (o *Ontology) Validate() error {
+	seen := make(map[string]bool, len(o.Concepts))
+	var errs []string
+	for _, c := range o.Concepts {
+		if c.Name == "" {
+			errs = append(errs, "concept with empty name")
+			continue
+		}
+		if seen[c.Name] {
+			errs = append(errs, fmt.Sprintf("duplicate concept %q", c.Name))
+		}
+		seen[c.Name] = true
+	}
+	for _, p := range o.ObjectProperties {
+		if !seen[p.From] {
+			errs = append(errs, fmt.Sprintf("object property %q references unknown concept %q", p.Name, p.From))
+		}
+		if !seen[p.To] {
+			errs = append(errs, fmt.Sprintf("object property %q references unknown concept %q", p.Name, p.To))
+		}
+	}
+	for _, r := range o.IsARelations {
+		if !seen[r.Child] {
+			errs = append(errs, fmt.Sprintf("isA references unknown concept %q", r.Child))
+		}
+		if !seen[r.Parent] {
+			errs = append(errs, fmt.Sprintf("isA references unknown concept %q", r.Parent))
+		}
+	}
+	for _, u := range o.Unions {
+		if !seen[u.Parent] {
+			errs = append(errs, fmt.Sprintf("union references unknown concept %q", u.Parent))
+		}
+		if len(u.Children) < 2 {
+			errs = append(errs, fmt.Sprintf("union %q has fewer than two children", u.Parent))
+		}
+		for _, ch := range u.Children {
+			if !seen[ch] {
+				errs = append(errs, fmt.Sprintf("union %q references unknown concept %q", u.Parent, ch))
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return errors.New("ontology: invalid: " + strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// Labelize converts an identifier like "DrugFoodInteraction" or
+// "dose_adjustment" into a human-readable label ("Drug Food Interaction",
+// "Dose Adjustment").
+func Labelize(name string) string {
+	var b strings.Builder
+	prevLower := false
+	for _, r := range name {
+		switch {
+		case r == '_' || r == '-':
+			b.WriteByte(' ')
+			prevLower = false
+			continue
+		case r >= 'A' && r <= 'Z' && prevLower:
+			b.WriteByte(' ')
+		}
+		prevLower = r >= 'a' && r <= 'z' || r >= '0' && r <= '9'
+		b.WriteRune(r)
+	}
+	words := strings.Fields(b.String())
+	for i, w := range words {
+		if len(w) > 0 && w[0] >= 'a' && w[0] <= 'z' {
+			words[i] = strings.ToUpper(w[:1]) + w[1:]
+		}
+	}
+	return strings.Join(words, " ")
+}

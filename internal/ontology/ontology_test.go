@@ -1,0 +1,238 @@
+package ontology
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// figure2 builds the paper's Figure 2 snippet: Drug, Indication, Dosage,
+// Precaution, Risk (union of ContraIndication and BlackBoxWarning),
+// DrugInteraction (parent of food/lab subtypes).
+func figure2(t *testing.T) *Ontology {
+	t.Helper()
+	o := New("figure2")
+	for _, c := range []Concept{
+		{Name: "Drug", DataProperties: []DataProperty{
+			{Name: "name", Type: String}, {Name: "brand", Type: String},
+		}, DisplayProperty: "name", Table: "drug", TableKey: "drug_id"},
+		{Name: "Indication", DataProperties: []DataProperty{
+			{Name: "name", Type: String}, {Name: "desc", Type: String},
+		}, DisplayProperty: "name", Table: "indication", TableKey: "indication_id"},
+		{Name: "Dosage", DataProperties: []DataProperty{
+			{Name: "description", Type: String}, {Name: "route", Type: String, Categorical: true},
+		}, DisplayProperty: "description", Table: "dosage", TableKey: "dosage_id"},
+		{Name: "Precaution", DataProperties: []DataProperty{{Name: "description", Type: String}},
+			DisplayProperty: "description", Table: "precaution", TableKey: "precaution_id"},
+		{Name: "Risk", Table: "risk", TableKey: "risk_id"},
+		{Name: "ContraIndication", Table: "contra_indication", TableKey: "risk_id"},
+		{Name: "BlackBoxWarning", Table: "black_box_warning", TableKey: "risk_id"},
+		{Name: "DrugInteraction", Table: "drug_interaction", TableKey: "interaction_id"},
+		{Name: "DrugFoodInteraction", Table: "drug_food_interaction", TableKey: "interaction_id"},
+		{Name: "DrugLabInteraction", Table: "drug_lab_interaction", TableKey: "interaction_id"},
+	} {
+		if err := o.AddConcept(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(o.AddObjectProperty(ObjectProperty{Name: "treats", From: "Drug", To: "Indication", Inverse: "is treated by"}))
+	must(o.AddObjectProperty(ObjectProperty{Name: "hasDrug", From: "Dosage", To: "Drug", FromColumn: "drug_id", ToColumn: "drug_id"}))
+	must(o.AddObjectProperty(ObjectProperty{Name: "hasIndication", From: "Dosage", To: "Indication", FromColumn: "indication_id", ToColumn: "indication_id"}))
+	must(o.AddObjectProperty(ObjectProperty{Name: "for", From: "Precaution", To: "Drug", FromColumn: "drug_id", ToColumn: "drug_id"}))
+	must(o.AddObjectProperty(ObjectProperty{Name: "hasRisk", From: "Risk", To: "Drug", FromColumn: "drug_id", ToColumn: "drug_id"}))
+	must(o.AddObjectProperty(ObjectProperty{Name: "cause", From: "DrugInteraction", To: "Drug", FromColumn: "drug_id", ToColumn: "drug_id"}))
+	must(o.AddIsA("DrugFoodInteraction", "DrugInteraction"))
+	must(o.AddIsA("DrugLabInteraction", "DrugInteraction"))
+	must(o.AddIsA("ContraIndication", "Risk"))
+	must(o.AddIsA("BlackBoxWarning", "Risk"))
+	must(o.AddUnion("Risk", "ContraIndication", "BlackBoxWarning"))
+	return o
+}
+
+func TestAddConceptDuplicate(t *testing.T) {
+	o := New("t")
+	if err := o.AddConcept(Concept{Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddConcept(Concept{Name: "A"}); err == nil {
+		t.Fatal("duplicate concept must error")
+	}
+}
+
+func TestLabelDefaults(t *testing.T) {
+	o := New("t")
+	o.MustAddConcept(Concept{Name: "DrugFoodInteraction", DataProperties: []DataProperty{{Name: "effect_on_result", Type: String}}})
+	c := o.Concept("DrugFoodInteraction")
+	if c.Label != "Drug Food Interaction" {
+		t.Fatalf("Label = %q", c.Label)
+	}
+	if c.DataProperties[0].Label != "Effect On Result" {
+		t.Fatalf("property label = %q", c.DataProperties[0].Label)
+	}
+}
+
+func TestObjectPropertyValidation(t *testing.T) {
+	o := New("t")
+	o.MustAddConcept(Concept{Name: "A"})
+	if err := o.AddObjectProperty(ObjectProperty{Name: "r", From: "A", To: "Nope"}); err == nil {
+		t.Fatal("unknown To must error")
+	}
+	if err := o.AddObjectProperty(ObjectProperty{Name: "r", From: "Nope", To: "A"}); err == nil {
+		t.Fatal("unknown From must error")
+	}
+}
+
+func TestIsAUnionValidation(t *testing.T) {
+	o := New("t")
+	o.MustAddConcept(Concept{Name: "A"})
+	o.MustAddConcept(Concept{Name: "B"})
+	if err := o.AddIsA("A", "missing"); err == nil {
+		t.Fatal("isA to missing parent must error")
+	}
+	if err := o.AddUnion("A", "B", "missing"); err == nil {
+		t.Fatal("union with missing child must error")
+	}
+}
+
+func TestRelationsQueries(t *testing.T) {
+	o := figure2(t)
+	if got := len(o.RelationsFrom("Dosage")); got != 2 {
+		t.Fatalf("RelationsFrom(Dosage) = %d, want 2", got)
+	}
+	if got := len(o.RelationsTo("Drug")); got != 4 {
+		t.Fatalf("RelationsTo(Drug) = %d, want 4", got)
+	}
+	if got := len(o.RelationsOf("Indication")); got != 2 {
+		t.Fatalf("RelationsOf(Indication) = %d, want 2", got)
+	}
+}
+
+func TestChildrenParentsUnions(t *testing.T) {
+	o := figure2(t)
+	if got := o.Children("Risk"); !reflect.DeepEqual(got, []string{"BlackBoxWarning", "ContraIndication"}) {
+		t.Fatalf("Children(Risk) = %v", got)
+	}
+	if got := o.Parents("DrugFoodInteraction"); !reflect.DeepEqual(got, []string{"DrugInteraction"}) {
+		t.Fatalf("Parents = %v", got)
+	}
+	if got := o.UnionOf("Risk"); !reflect.DeepEqual(got, []string{"BlackBoxWarning", "ContraIndication"}) {
+		t.Fatalf("UnionOf(Risk) = %v", got)
+	}
+	if o.UnionOf("DrugInteraction") != nil {
+		t.Fatal("DrugInteraction is inheritance, not union")
+	}
+	if !o.IsUnion("Risk") || o.IsUnion("Drug") {
+		t.Fatal("IsUnion wrong")
+	}
+	if !o.IsParent("DrugInteraction") || o.IsParent("Drug") {
+		t.Fatal("IsParent wrong")
+	}
+}
+
+func TestNeighborhoodExcludesSpecialEdges(t *testing.T) {
+	o := figure2(t)
+	nb := o.Neighborhood("Drug")
+	want := []string{"Dosage", "DrugInteraction", "Indication", "Precaution", "Risk"}
+	if !reflect.DeepEqual(nb, want) {
+		t.Fatalf("Neighborhood(Drug) = %v, want %v", nb, want)
+	}
+	// ContraIndication connects to Risk only via isA, which Neighborhood
+	// must not traverse.
+	if got := o.Neighborhood("ContraIndication"); len(got) != 0 {
+		t.Fatalf("Neighborhood(ContraIndication) = %v, want empty", got)
+	}
+}
+
+func TestGraphProjections(t *testing.T) {
+	o := figure2(t)
+	full := o.Graph()
+	rel := o.RelationGraph()
+	if full.NumEdges() <= rel.NumEdges() {
+		t.Fatalf("full graph (%d edges) must include isA/union edges beyond relation graph (%d)",
+			full.NumEdges(), rel.NumEdges())
+	}
+	// 6 object properties; +4 isA +2 unionOf = 12
+	if rel.NumEdges() != 6 {
+		t.Fatalf("relation graph edges = %d, want 6", rel.NumEdges())
+	}
+	if full.NumEdges() != 12 {
+		t.Fatalf("full graph edges = %d, want 12", full.NumEdges())
+	}
+}
+
+func TestStats(t *testing.T) {
+	o := figure2(t)
+	s := o.Stats()
+	if s.Concepts != 10 || s.ObjectProperties != 6 || s.IsA != 4 || s.Unions != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.DataProperties != 7 {
+		t.Fatalf("DataProperties = %d, want 7", s.DataProperties)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	o := figure2(t)
+	if err := o.Validate(); err != nil {
+		t.Fatalf("valid ontology rejected: %v", err)
+	}
+	// break it: dangling relationship
+	o.ObjectProperties = append(o.ObjectProperties, ObjectProperty{Name: "bad", From: "Drug", To: "Ghost"})
+	if err := o.Validate(); err == nil || !strings.Contains(err.Error(), "Ghost") {
+		t.Fatalf("expected Ghost error, got %v", err)
+	}
+}
+
+func TestValidateUnionTooSmall(t *testing.T) {
+	o := New("t")
+	o.MustAddConcept(Concept{Name: "P"})
+	o.MustAddConcept(Concept{Name: "C"})
+	o.Unions = append(o.Unions, Union{Parent: "P", Children: []string{"C"}})
+	if err := o.Validate(); err == nil {
+		t.Fatal("single-child union must be invalid")
+	}
+}
+
+func TestProperty(t *testing.T) {
+	o := figure2(t)
+	if p := o.Property("Drug", "brand"); p == nil || p.Type != String {
+		t.Fatalf("Property(Drug, brand) = %v", p)
+	}
+	if o.Property("Drug", "nope") != nil || o.Property("Nope", "name") != nil {
+		t.Fatal("missing property lookups must be nil")
+	}
+}
+
+func TestLabelize(t *testing.T) {
+	cases := map[string]string{
+		"DrugFoodInteraction": "Drug Food Interaction",
+		"dose_adjustment":     "Dose Adjustment",
+		"name":                "Name",
+		"IVCompat":            "IVCompat",
+		"risk-summary":        "Risk Summary",
+		"":                    "",
+		"a":                   "A",
+	}
+	for in, want := range cases {
+		if got := Labelize(in); got != want {
+			t.Errorf("Labelize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestConceptNames(t *testing.T) {
+	o := figure2(t)
+	names := o.ConceptNames()
+	if len(names) != 10 || names[0] != "Drug" {
+		t.Fatalf("ConceptNames = %v", names)
+	}
+	if !o.HasConcept("Risk") || o.HasConcept("Ghost") {
+		t.Fatal("HasConcept wrong")
+	}
+}

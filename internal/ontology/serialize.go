@@ -1,0 +1,140 @@
+package ontology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// MarshalJSON ensures the index is not serialized and output is stable.
+func (o *Ontology) MarshalJSON() ([]byte, error) {
+	type plain Ontology // avoid recursion
+	return json.Marshal((*plain)(o))
+}
+
+// UnmarshalJSON rebuilds the concept index after decoding.
+func (o *Ontology) UnmarshalJSON(data []byte) error {
+	type plain Ontology
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	*o = Ontology(p)
+	o.conceptIndex = nil
+	o.ensureIndex()
+	return nil
+}
+
+// WriteJSON encodes the ontology as indented JSON.
+func (o *Ontology) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o)
+}
+
+// ReadJSON decodes an ontology from JSON and validates it.
+func ReadJSON(r io.Reader) (*Ontology, error) {
+	var o Ontology
+	if err := json.NewDecoder(r).Decode(&o); err != nil {
+		return nil, fmt.Errorf("ontology: decode: %w", err)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &o, nil
+}
+
+// Functional renders the ontology in a compact OWL-functional-syntax-like
+// text form, useful for SME review tooling and golden tests.
+func (o *Ontology) Functional() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ontology(<%s>\n", o.Name)
+	names := make([]string, 0, len(o.Concepts))
+	byName := make(map[string]Concept, len(o.Concepts))
+	for _, c := range o.Concepts {
+		names = append(names, c.Name)
+		byName[c.Name] = c
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := byName[n]
+		fmt.Fprintf(&b, "  Declaration(Class(:%s))\n", c.Name)
+		props := make([]DataProperty, len(c.DataProperties))
+		copy(props, c.DataProperties)
+		sort.Slice(props, func(i, j int) bool { return props[i].Name < props[j].Name })
+		for _, p := range props {
+			fmt.Fprintf(&b, "  DataPropertyDomain(:%s.%s :%s) DataPropertyRange(:%s.%s xsd:%s)\n",
+				c.Name, p.Name, c.Name, c.Name, p.Name, p.Type)
+		}
+	}
+	rels := make([]ObjectProperty, len(o.ObjectProperties))
+	copy(rels, o.ObjectProperties)
+	sort.Slice(rels, func(i, j int) bool {
+		if rels[i].Name != rels[j].Name {
+			return rels[i].Name < rels[j].Name
+		}
+		return rels[i].From < rels[j].From
+	})
+	for _, p := range rels {
+		fmt.Fprintf(&b, "  ObjectPropertyDomain(:%s :%s) ObjectPropertyRange(:%s :%s)\n",
+			p.Name, p.From, p.Name, p.To)
+	}
+	isas := make([]IsA, len(o.IsARelations))
+	copy(isas, o.IsARelations)
+	sort.Slice(isas, func(i, j int) bool {
+		if isas[i].Child != isas[j].Child {
+			return isas[i].Child < isas[j].Child
+		}
+		return isas[i].Parent < isas[j].Parent
+	})
+	for _, r := range isas {
+		fmt.Fprintf(&b, "  SubClassOf(:%s :%s)\n", r.Child, r.Parent)
+	}
+	unions := make([]Union, len(o.Unions))
+	copy(unions, o.Unions)
+	sort.Slice(unions, func(i, j int) bool { return unions[i].Parent < unions[j].Parent })
+	for _, u := range unions {
+		ch := make([]string, len(u.Children))
+		copy(ch, u.Children)
+		sort.Strings(ch)
+		fmt.Fprintf(&b, "  EquivalentClasses(:%s ObjectUnionOf(:%s))\n", u.Parent, strings.Join(ch, " :"))
+	}
+	b.WriteString(")\n")
+	return b.String()
+}
+
+// Annotation is an SME annotation attached to the OWL description of a
+// concept or relationship (paper §4.2.2). The bootstrapper consumes these
+// to add, refine, or prune query patterns.
+type Annotation struct {
+	// Target identifies the annotated element: a concept name ("Drug"),
+	// or "From.relation.To" for a relationship.
+	Target string `json:"target"`
+	// Kind is one of "expected-pattern", "prune-pattern", "synonym".
+	Kind string `json:"kind"`
+	// Value holds the pattern text, or the synonym, depending on Kind.
+	Value string `json:"value"`
+}
+
+// AnnotationSet is a collection of SME annotations with lookup helpers.
+type AnnotationSet struct {
+	Annotations []Annotation `json:"annotations"`
+}
+
+// ByKind returns the annotations of the given kind.
+func (s *AnnotationSet) ByKind(kind string) []Annotation {
+	var out []Annotation
+	for _, a := range s.Annotations {
+		if a.Kind == kind {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Add appends an annotation.
+func (s *AnnotationSet) Add(target, kind, value string) {
+	s.Annotations = append(s.Annotations, Annotation{Target: target, Kind: kind, Value: value})
+}

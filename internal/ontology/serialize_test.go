@@ -1,0 +1,75 @@
+package ontology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	o := figure2(t)
+	var buf bytes.Buffer
+	if err := o.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats() != o.Stats() {
+		t.Fatalf("round-trip stats mismatch: %+v vs %+v", back.Stats(), o.Stats())
+	}
+	// index rebuilt after decode
+	if back.Concept("Drug") == nil {
+		t.Fatal("concept index not rebuilt after decode")
+	}
+	if got := back.UnionOf("Risk"); len(got) != 2 {
+		t.Fatalf("union lost in round trip: %v", got)
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	bad := `{"name":"x","concepts":[{"name":"A"}],"objectProperties":[{"name":"r","from":"A","to":"Ghost"}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid ontology must be rejected on read")
+	}
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}
+
+func TestFunctionalRendering(t *testing.T) {
+	o := figure2(t)
+	text := o.Functional()
+	for _, want := range []string{
+		"Declaration(Class(:Drug))",
+		"SubClassOf(:ContraIndication :Risk)",
+		"EquivalentClasses(:Risk ObjectUnionOf(:BlackBoxWarning :ContraIndication))",
+		"ObjectPropertyDomain(:treats :Drug) ObjectPropertyRange(:treats :Indication)",
+		"DataPropertyRange(:Drug.brand xsd:string)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Functional() missing %q", want)
+		}
+	}
+	// deterministic
+	if o.Functional() != text {
+		t.Fatal("Functional must be deterministic")
+	}
+}
+
+func TestAnnotationSet(t *testing.T) {
+	var s AnnotationSet
+	s.Add("Drug", "expected-pattern", "what is <@Drug> used for")
+	s.Add("Drug", "synonym", "medication")
+	s.Add("Drug.treats.Indication", "prune-pattern", "")
+	if got := s.ByKind("synonym"); len(got) != 1 || got[0].Value != "medication" {
+		t.Fatalf("ByKind(synonym) = %v", got)
+	}
+	if got := s.ByKind("expected-pattern"); len(got) != 1 || got[0].Target != "Drug" {
+		t.Fatalf("ByKind(expected-pattern) = %v", got)
+	}
+	if got := s.ByKind("none"); got != nil {
+		t.Fatalf("ByKind(none) = %v", got)
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import "sort"
+
+// MineFailures extracts the §9 "lessons learned" feedback signal from a
+// usage log: utterances of objectively-failed interactions whose intended
+// intent is known, grouped by that intent. Feeding these back as
+// SME-labelled training examples (core.AugmentFromPriorQueries) closes the
+// loop the paper names as future work — "learning from the system usage
+// logs, and using that as a feedback to further improve the system".
+//
+// maxPerIntent caps the examples mined per intent (0 = unlimited).
+// Utterances are deduplicated and returned in first-seen order.
+func MineFailures(log *Log, maxPerIntent int) map[string][]string {
+	out := map[string][]string{}
+	seen := map[string]map[string]bool{}
+	for _, r := range log.Interactions {
+		if r.Correct || r.Expected == "" || r.Utterance == "" {
+			continue
+		}
+		if maxPerIntent > 0 && len(out[r.Expected]) >= maxPerIntent {
+			continue
+		}
+		if seen[r.Expected] == nil {
+			seen[r.Expected] = map[string]bool{}
+		}
+		if seen[r.Expected][r.Utterance] {
+			continue
+		}
+		seen[r.Expected][r.Utterance] = true
+		out[r.Expected] = append(out[r.Expected], r.Utterance)
+	}
+	return out
+}
+
+// FailureIntents returns the intents with mined failures, sorted by
+// failure count descending (ties by name), for reporting.
+func FailureIntents(mined map[string][]string) []string {
+	names := make([]string, 0, len(mined))
+	for n := range mined {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if len(mined[names[i]]) != len(mined[names[j]]) {
+			return len(mined[names[i]]) > len(mined[names[j]])
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

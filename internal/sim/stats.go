@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/core"
+)
+
+// IntentStats aggregates one intent's interactions.
+type IntentStats struct {
+	Intent       string
+	Interactions int
+	Negatives    int
+	SuccessRate  float64 // Eq. 1: (interactions - negatives) / interactions
+	Share        float64 // fraction of all interactions
+	Correct      int     // objectively correct (ground truth)
+	Accuracy     float64 // Correct / Interactions
+}
+
+// attributionIntent returns the intent an interaction is counted under:
+// the intent the user intended when known (gibberish has none and falls
+// back to what the agent detected, or "(unrecognized)").
+func attributionIntent(r Interaction) string {
+	if r.Expected != "" {
+		return r.Expected
+	}
+	if r.Detected != "" {
+		return r.Detected
+	}
+	return "(unrecognized)"
+}
+
+// OverallSuccessRate computes Eq. 1 over the whole log.
+func (l *Log) OverallSuccessRate() float64 {
+	if len(l.Interactions) == 0 {
+		return 0
+	}
+	neg := 0
+	for _, r := range l.Interactions {
+		if r.Negative {
+			neg++
+		}
+	}
+	return float64(len(l.Interactions)-neg) / float64(len(l.Interactions))
+}
+
+// PerIntent aggregates success rates per intent, descending by usage.
+func (l *Log) PerIntent() []IntentStats {
+	agg := map[string]*IntentStats{}
+	var order []string
+	for _, r := range l.Interactions {
+		key := attributionIntent(r)
+		st, ok := agg[key]
+		if !ok {
+			st = &IntentStats{Intent: key}
+			agg[key] = st
+			order = append(order, key)
+		}
+		st.Interactions++
+		if r.Negative {
+			st.Negatives++
+		}
+		if r.Correct {
+			st.Correct++
+		}
+	}
+	total := len(l.Interactions)
+	out := make([]IntentStats, 0, len(order))
+	for _, k := range order {
+		st := agg[k]
+		st.SuccessRate = float64(st.Interactions-st.Negatives) / float64(st.Interactions)
+		st.Accuracy = float64(st.Correct) / float64(st.Interactions)
+		if total > 0 {
+			st.Share = float64(st.Interactions) / float64(total)
+		}
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Interactions != out[j].Interactions {
+			return out[i].Interactions > out[j].Interactions
+		}
+		return out[i].Intent < out[j].Intent
+	})
+	return out
+}
+
+// TopN returns the N most-used intents' stats.
+func (l *Log) TopN(n int) []IntentStats {
+	all := l.PerIntent()
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// SMESample holds the Figure 12 comparison on the re-judged sample.
+type SMESample struct {
+	Size int
+	// UserSuccessRate: Eq. 1 on the sample with user thumbs as the
+	// negative signal (the paper reports 97.9%).
+	UserSuccessRate float64
+	// SMESuccessRate: Eq. 1 with SME verdicts (the paper reports 90.8%).
+	SMESuccessRate float64
+	// PerIntent success (SME verdicts) for the sample's top intents.
+	PerIntent []IntentStats
+}
+
+// SMEStats evaluates the SME-judged sample.
+func (l *Log) SMEStats() SMESample {
+	s := SMESample{}
+	agg := map[string]*IntentStats{}
+	userNeg, smeNeg := 0, 0
+	for _, r := range l.Interactions {
+		if !r.SMEJudged {
+			continue
+		}
+		s.Size++
+		if r.Negative {
+			userNeg++
+		}
+		if r.SMENegative {
+			smeNeg++
+		}
+		key := attributionIntent(r)
+		st, ok := agg[key]
+		if !ok {
+			st = &IntentStats{Intent: key}
+			agg[key] = st
+		}
+		st.Interactions++
+		if r.SMENegative {
+			st.Negatives++
+		}
+		if r.Correct {
+			st.Correct++
+		}
+	}
+	if s.Size == 0 {
+		return s
+	}
+	s.UserSuccessRate = float64(s.Size-userNeg) / float64(s.Size)
+	s.SMESuccessRate = float64(s.Size-smeNeg) / float64(s.Size)
+	for _, st := range agg {
+		st.SuccessRate = float64(st.Interactions-st.Negatives) / float64(st.Interactions)
+		st.Accuracy = float64(st.Correct) / float64(st.Interactions)
+		st.Share = float64(st.Interactions) / float64(s.Size)
+		s.PerIntent = append(s.PerIntent, *st)
+	}
+	sort.Slice(s.PerIntent, func(i, j int) bool {
+		if s.PerIntent[i].Interactions != s.PerIntent[j].Interactions {
+			return s.PerIntent[i].Interactions > s.PerIntent[j].Interactions
+		}
+		return s.PerIntent[i].Intent < s.PerIntent[j].Intent
+	})
+	return s
+}
+
+// RunBaseline replays the same seeded workload against the keyword-search
+// baseline (single-shot: no slot filling, no context) and returns its log.
+// Correctness requires the baseline to answer with the intended intent on
+// the first utterance.
+func RunBaseline(base *agent.KeywordAgent, space *core.Space, cfg Config) *Log {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	u := newUserModel(space, rng, cfg)
+	log := &Log{}
+	for i := 0; i < cfg.Interactions; i++ {
+		rec := Interaction{}
+		if u.rng.Float64() < cfg.GibberishProb {
+			rec.Utterance = gibberish(u.rng)
+			_, rec.Detected = base.Respond(rec.Utterance)
+			rec.Turns = 1
+			u.applyFeedback(&rec)
+			log.Interactions = append(log.Interactions, rec)
+			continue
+		}
+		intent := u.pickIntent()
+		in := u.space.Intent(intent)
+		if in == nil {
+			continue
+		}
+		rec.Expected = intent
+		utterance, _ := u.composeUtterance(in)
+		rec.Utterance = utterance
+		rec.Turns = 1
+		reply, detected := base.Respond(utterance)
+		rec.Detected = detected
+		rec.Answered = detected != "" && reply != "No results found."
+		rec.Correct = rec.Answered && detected == intent
+		u.applyFeedback(&rec)
+		log.Interactions = append(log.Interactions, rec)
+	}
+	return log
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"strings"
+
+	"ontoconv/internal/core"
+)
+
+// leadIns are user phrasings, deliberately wider than the bootstrap
+// phrase lists so classification is tested on unseen variation.
+var leadIns = []string{
+	"show me", "give me", "what are the", "tell me the", "can I see",
+	"do you have", "pull up", "I need the", "looking for", "find",
+	"list the", "what's the", "need", "get me the",
+}
+
+var treatTemplates = []string{
+	"show me drugs that treat %s",
+	"what treats %s",
+	"which drugs treat %s",
+	"what drug treats %s",
+	"medications that treat %s",
+	"treatment options for %s",
+	"what can I give for %s",
+	"how do I treat %s",
+}
+
+var dosageTemplates = []string{
+	"dosage for %s",
+	"%s dosing",
+	"%s dose",
+	"what is the dosage for %s",
+	"how should I dose %s",
+	"give me the dosage for %s",
+}
+
+// composeUtterance builds the opening utterance for an intent and returns
+// the entities it explicitly provides.
+func (u *userModel) composeUtterance(in *core.Intent) (string, map[string]string) {
+	provided := map[string]string{}
+	var utterance string
+	switch {
+	case in.Kind == core.GeneralEntityPattern:
+		if v, ok := u.pickValue(in.AnswerConcept); ok {
+			provided[in.AnswerConcept] = v.canonical
+			utterance = v.surface
+		}
+	case in.Kind == core.DirectRelationPattern:
+		utterance = u.composeRelation(in, provided)
+	case in.Kind == core.IndirectRelationPattern:
+		utterance = u.composeIndirect(in, provided)
+	default:
+		utterance = u.composeLookup(in, provided)
+	}
+	return u.noisy(utterance), provided
+}
+
+// composeLookup renders "show me the precautions for Aspirin" style
+// requests, sometimes omitting the key entity (triggering elicitation) and
+// sometimes in bare keyword style.
+func (u *userModel) composeLookup(in *core.Intent, provided map[string]string) string {
+	concept := u.conceptPhrase(in)
+	key, hasKey := u.firstInstanceRequired(in)
+	var keyV valueVariant
+	include := false
+	if hasKey {
+		if v, ok := u.pickValue(key); ok {
+			keyV = v
+			include = u.rng.Float64() < 0.85
+		}
+	}
+	if include {
+		provided[key] = keyV.canonical
+		if u.rng.Float64() < u.cfg.KeywordStyleProb {
+			if u.rng.Intn(2) == 0 {
+				return keyV.surface + " " + concept
+			}
+			return concept + " " + keyV.surface
+		}
+		lead := leadIns[u.rng.Intn(len(leadIns))]
+		conn := " for "
+		if u.rng.Intn(3) == 0 {
+			conn = " of "
+		}
+		return lead + " " + concept + conn + keyV.surface
+	}
+	lead := leadIns[u.rng.Intn(len(leadIns))]
+	return lead + " " + concept
+}
+
+// composeRelation renders treatment-style requests.
+func (u *userModel) composeRelation(in *core.Intent, provided map[string]string) string {
+	key, ok := u.firstInstanceRequired(in)
+	if !ok {
+		return u.composeLookup(in, provided)
+	}
+	v, ok := u.pickValue(key)
+	if !ok {
+		return u.composeLookup(in, provided)
+	}
+	provided[key] = v.canonical
+	t := treatTemplates[u.rng.Intn(len(treatTemplates))]
+	utterance := strings.Replace(t, "%s", v.surface, 1)
+	// Optionally mention the age group up front ("… in children").
+	if ag, hasAG := u.valueRequired(in); hasAG && u.rng.Float64() < 0.3 {
+		if av, got := u.pickValue(ag); got {
+			provided[ag] = av.canonical
+			if u.rng.Intn(2) == 0 {
+				utterance += " in " + av.surface
+			} else {
+				utterance += " for " + av.surface
+			}
+		}
+	}
+	return utterance
+}
+
+// composeIndirect renders dosage-style requests over two key concepts.
+func (u *userModel) composeIndirect(in *core.Intent, provided map[string]string) string {
+	var drugV, indV valueVariant
+	var drugE, indE string
+	n := 0
+	for _, req := range in.Required {
+		if u.entityKind(req.Entity) != "instance" {
+			continue
+		}
+		if n == 0 {
+			drugE = req.Entity
+		} else if n == 1 {
+			indE = req.Entity
+		}
+		n++
+	}
+	if drugE == "" {
+		return u.composeLookup(in, provided)
+	}
+	dv, ok := u.pickValue(drugE)
+	if !ok {
+		return u.composeLookup(in, provided)
+	}
+	drugV = dv
+	provided[drugE] = drugV.canonical
+	t := dosageTemplates[u.rng.Intn(len(dosageTemplates))]
+	utterance := strings.Replace(t, "%s", drugV.surface, 1)
+	if indE != "" && u.rng.Float64() < 0.45 {
+		if iv, got := u.pickValue(indE); got {
+			indV = iv
+			provided[indE] = indV.canonical
+			utterance += " for " + indV.surface
+		}
+	}
+	if ag, hasAG := u.valueRequired(in); hasAG && u.rng.Float64() < 0.25 {
+		if av, got := u.pickValue(ag); got {
+			provided[ag] = av.canonical
+			utterance += " " + av.surface
+		}
+	}
+	return utterance
+}
+
+// conceptPhrase picks a surface form for the intent's answer concept: its
+// label-derived phrase from the intent name, or a domain synonym.
+func (u *userModel) conceptPhrase(in *core.Intent) string {
+	surfaces := append([]string(nil), u.conceptSurface[in.AnswerConcept]...)
+	// the phrase embedded in the intent name ("Adverse Effects of Drug")
+	name := in.Name
+	for _, sep := range []string{" of ", " for ", " That "} {
+		if i := strings.Index(name, sep); i > 0 {
+			surfaces = append(surfaces, strings.ToLower(name[:i]))
+			break
+		}
+	}
+	if len(surfaces) == 0 {
+		surfaces = []string{strings.ToLower(name)}
+	}
+	return surfaces[u.rng.Intn(len(surfaces))]
+}
+
+// firstInstanceRequired returns the first required entity backed by KB
+// instances.
+func (u *userModel) firstInstanceRequired(in *core.Intent) (string, bool) {
+	for _, req := range in.Required {
+		if u.entityKind(req.Entity) == "instance" {
+			return req.Entity, true
+		}
+	}
+	return "", false
+}
+
+// valueRequired returns the first required value entity (AgeGroup).
+func (u *userModel) valueRequired(in *core.Intent) (string, bool) {
+	for _, req := range in.Required {
+		if u.entityKind(req.Entity) == "value" {
+			return req.Entity, true
+		}
+	}
+	return "", false
+}
+
+func (u *userModel) entityKind(entity string) string {
+	if def := u.space.Entity(entity); def != nil {
+		return def.Kind
+	}
+	return ""
+}
+
+// noisy injects misspellings: with per-word probability, one random
+// character edit (delete, substitute, transpose or insert).
+func (u *userModel) noisy(utterance string) string {
+	if utterance == "" {
+		return utterance
+	}
+	words := strings.Fields(utterance)
+	for i, w := range words {
+		if len(w) < 5 || u.rng.Float64() >= u.cfg.MisspellWordProb {
+			continue
+		}
+		words[i] = misspell(w, u.rng)
+	}
+	return strings.Join(words, " ")
+}
+
+func misspell(w string, rng interface{ Intn(int) int }) string {
+	b := []byte(w)
+	pos := 1 + rng.Intn(len(b)-2)
+	switch rng.Intn(4) {
+	case 0: // delete
+		return string(append(b[:pos], b[pos+1:]...))
+	case 1: // substitute
+		b[pos] = byte('a' + rng.Intn(26))
+		return string(b)
+	case 2: // transpose
+		b[pos-1], b[pos] = b[pos], b[pos-1]
+		return string(b)
+	default: // insert
+		out := make([]byte, 0, len(b)+1)
+		out = append(out, b[:pos]...)
+		out = append(out, byte('a'+rng.Intn(26)))
+		out = append(out, b[pos:]...)
+		return string(out)
+	}
+}

@@ -1,0 +1,234 @@
+package sqlx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SelectStmt is the root of a parsed query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []Join
+	Where    Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// SelectItem is one projection: a column, COUNT aggregate, or *.
+type SelectItem struct {
+	Star  bool
+	Count bool    // COUNT(expr) or COUNT(*)
+	Expr  *ColRef // nil for * and COUNT(*)
+	Alias string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Binding returns the name the query text uses to refer to the table.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// Join is an INNER JOIN with an equality ON condition.
+type Join struct {
+	Table TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ColRef
+	Desc bool
+}
+
+// Expr is a boolean or scalar expression node.
+type Expr interface {
+	exprString() string
+}
+
+// ColRef references a column, optionally qualified by a table binding.
+type ColRef struct {
+	Table  string // may be empty
+	Column string
+}
+
+func (c *ColRef) exprString() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Lit is a literal value: string, float64, int64, bool, or nil (NULL).
+type Lit struct {
+	Value interface{}
+}
+
+func (l *Lit) exprString() string {
+	switch v := l.Value.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Param is a template parameter marker <@Name>.
+type Param struct {
+	Name string
+}
+
+func (p *Param) exprString() string { return "<@" + p.Name + ">" }
+
+// Cmp is a binary comparison: =, !=, <, <=, >, >=, LIKE.
+type Cmp struct {
+	Op    string
+	Left  Expr
+	Right Expr
+}
+
+func (c *Cmp) exprString() string {
+	return c.Left.exprString() + " " + c.Op + " " + c.Right.exprString()
+}
+
+// In is "expr IN (lit, ...)".
+type In struct {
+	Left  Expr
+	Items []Expr
+}
+
+func (i *In) exprString() string {
+	parts := make([]string, len(i.Items))
+	for j, it := range i.Items {
+		parts[j] = it.exprString()
+	}
+	return i.Left.exprString() + " IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// IsNull is "expr IS [NOT] NULL".
+type IsNull struct {
+	Left Expr
+	Not  bool
+}
+
+func (n *IsNull) exprString() string {
+	if n.Not {
+		return n.Left.exprString() + " IS NOT NULL"
+	}
+	return n.Left.exprString() + " IS NULL"
+}
+
+// Logical combines subexpressions with AND or OR.
+type Logical struct {
+	Op    string // "AND" or "OR"
+	Left  Expr
+	Right Expr
+}
+
+func (l *Logical) exprString() string {
+	return "(" + l.Left.exprString() + " " + l.Op + " " + l.Right.exprString() + ")"
+}
+
+// String renders the statement back to SQL text (canonical form).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star:
+			b.WriteString("*")
+		case it.Count && it.Expr == nil:
+			b.WriteString("COUNT(*)")
+		case it.Count:
+			b.WriteString("COUNT(" + it.Expr.exprString() + ")")
+		default:
+			b.WriteString(it.Expr.exprString())
+		}
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM " + s.From.Table)
+	if s.From.Alias != "" {
+		b.WriteString(" " + s.From.Alias)
+	}
+	for _, j := range s.Joins {
+		b.WriteString(" INNER JOIN " + j.Table.Table)
+		if j.Table.Alias != "" {
+			b.WriteString(" " + j.Table.Alias)
+		}
+		b.WriteString(" ON " + j.On.exprString())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.exprString())
+	}
+	for i, o := range s.OrderBy {
+		if i == 0 {
+			b.WriteString(" ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(o.Col.exprString())
+		if o.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// Params returns the distinct parameter names appearing in the statement,
+// in first-appearance order.
+func (s *SelectStmt) Params() []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Param:
+			if !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, x.Name)
+			}
+		case *Cmp:
+			walk(x.Left)
+			walk(x.Right)
+		case *Logical:
+			walk(x.Left)
+			walk(x.Right)
+		case *In:
+			walk(x.Left)
+			for _, it := range x.Items {
+				walk(it)
+			}
+		case *IsNull:
+			walk(x.Left)
+		}
+	}
+	if s.Where != nil {
+		walk(s.Where)
+	}
+	for _, j := range s.Joins {
+		walk(j.On)
+	}
+	return out
+}

@@ -1,0 +1,612 @@
+package sqlx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ontoconv/internal/kb"
+)
+
+// Result is a query result set.
+type Result struct {
+	Columns []string
+	Rows    [][]kb.Value
+}
+
+// Strings renders every row as a slice of display strings (NULL -> "").
+func (r *Result) Strings() [][]string {
+	out := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		s := make([]string, len(row))
+		for j, v := range row {
+			if v == nil {
+				s[j] = ""
+			} else {
+				s[j] = fmt.Sprint(v)
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Column returns the values of the named result column as strings.
+func (r *Result) Column(name string) []string {
+	idx := -1
+	for i, c := range r.Columns {
+		if strings.EqualFold(c, name) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		if row[idx] == nil {
+			out = append(out, "")
+		} else {
+			out = append(out, fmt.Sprint(row[idx]))
+		}
+	}
+	return out
+}
+
+// Exec parses and executes src against the knowledge base.
+func Exec(base *kb.KB, src string) (*Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(base, stmt)
+}
+
+// Execute runs a parsed statement. Statements containing parameter markers
+// must be instantiated first (see Template).
+func Execute(base *kb.KB, stmt *SelectStmt) (*Result, error) {
+	if ps := stmt.Params(); len(ps) > 0 {
+		return nil, fmt.Errorf("sqlx: statement has unbound parameters: %s", strings.Join(ps, ", "))
+	}
+	ex := &executor{base: base, stmt: stmt, bindings: make(map[string]*kb.Table)}
+	if err := ex.bind(); err != nil {
+		return nil, err
+	}
+	tuples, err := ex.joinAll()
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Where != nil {
+		var kept []env
+		for _, t := range tuples {
+			ok, err := ex.evalBool(t, stmt.Where)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, t)
+			}
+		}
+		tuples = kept
+	}
+	return ex.project(tuples)
+}
+
+// env maps a table binding name (lowercased) to the current row.
+type env map[string]kb.Row
+
+type executor struct {
+	base     *kb.KB
+	stmt     *SelectStmt
+	bindings map[string]*kb.Table // lowercased binding -> table
+	order    []string             // binding order
+}
+
+func (ex *executor) bind() error {
+	add := func(tr TableRef) error {
+		t := ex.base.Table(tr.Table)
+		if t == nil {
+			return fmt.Errorf("sqlx: unknown table %q", tr.Table)
+		}
+		b := strings.ToLower(tr.Binding())
+		if _, dup := ex.bindings[b]; dup {
+			return fmt.Errorf("sqlx: duplicate table binding %q", tr.Binding())
+		}
+		ex.bindings[b] = t
+		ex.order = append(ex.order, b)
+		return nil
+	}
+	if err := add(ex.stmt.From); err != nil {
+		return err
+	}
+	for _, j := range ex.stmt.Joins {
+		if err := add(j.Table); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolve finds the binding and column index for a column reference given
+// the set of bindings visible so far.
+func (ex *executor) resolve(c *ColRef, visible []string) (string, int, error) {
+	if c.Table != "" {
+		b := strings.ToLower(c.Table)
+		t, ok := ex.bindings[b]
+		if !ok {
+			return "", 0, fmt.Errorf("sqlx: unknown table binding %q", c.Table)
+		}
+		ci := t.Schema.ColumnIndex(c.Column)
+		if ci < 0 {
+			return "", 0, fmt.Errorf("sqlx: table %q has no column %q", c.Table, c.Column)
+		}
+		return b, ci, nil
+	}
+	found := ""
+	fi := -1
+	for _, b := range visible {
+		if ci := ex.bindings[b].Schema.ColumnIndex(c.Column); ci >= 0 {
+			if found != "" {
+				return "", 0, fmt.Errorf("sqlx: ambiguous column %q", c.Column)
+			}
+			found, fi = b, ci
+		}
+	}
+	if found == "" {
+		return "", 0, fmt.Errorf("sqlx: unknown column %q", c.Column)
+	}
+	return found, fi, nil
+}
+
+// joinAll materializes the joined tuples, using hash joins for equality ON
+// conditions between one already-joined binding and the new binding.
+func (ex *executor) joinAll() ([]env, error) {
+	fromB := ex.order[0]
+	fromT := ex.bindings[fromB]
+	tuples := make([]env, 0, fromT.Len())
+	for _, row := range fromT.Rows {
+		tuples = append(tuples, env{fromB: row})
+	}
+	visible := []string{fromB}
+	for i, j := range ex.stmt.Joins {
+		newB := ex.order[i+1]
+		newT := ex.bindings[newB]
+		joined, err := ex.joinOne(tuples, visible, newB, newT, j.On)
+		if err != nil {
+			return nil, err
+		}
+		tuples = joined
+		visible = append(visible, newB)
+	}
+	return tuples, nil
+}
+
+func (ex *executor) joinOne(tuples []env, visible []string, newB string, newT *kb.Table, on Expr) ([]env, error) {
+	// Try hash join: ON must be a single equality between a visible
+	// column and a new-binding column.
+	if cmp, ok := on.(*Cmp); ok && cmp.Op == "=" {
+		lc, lok := cmp.Left.(*ColRef)
+		rc, rok := cmp.Right.(*ColRef)
+		if lok && rok {
+			lb, li, lerr := ex.resolve(lc, append(visible, newB))
+			rb, ri, rerr := ex.resolve(rc, append(visible, newB))
+			if lerr == nil && rerr == nil {
+				var oldB string
+				var oldI, newI int
+				switch {
+				case lb == newB && rb != newB:
+					oldB, oldI, newI = rb, ri, li
+				case rb == newB && lb != newB:
+					oldB, oldI, newI = lb, li, ri
+				default:
+					oldB = ""
+				}
+				if oldB != "" {
+					return hashJoin(tuples, oldB, oldI, newB, newT, newI), nil
+				}
+			}
+		}
+	}
+	// Fall back to nested loop with full predicate evaluation.
+	var out []env
+	for _, t := range tuples {
+		for _, row := range newT.Rows {
+			cand := cloneEnv(t)
+			cand[newB] = row
+			ok, err := ex.evalBool(cand, on)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out, nil
+}
+
+func hashJoin(tuples []env, oldB string, oldI int, newB string, newT *kb.Table, newI int) []env {
+	index := make(map[kb.Value][]kb.Row)
+	for _, row := range newT.Rows {
+		v := row[newI]
+		if v == nil {
+			continue // NULL never joins
+		}
+		index[v] = append(index[v], row)
+	}
+	var out []env
+	for _, t := range tuples {
+		v := t[oldB][oldI]
+		if v == nil {
+			continue
+		}
+		for _, row := range index[v] {
+			cand := cloneEnv(t)
+			cand[newB] = row
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func cloneEnv(e env) env {
+	out := make(env, len(e)+1)
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+func (ex *executor) eval(t env, e Expr) (kb.Value, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.Value, nil
+	case *ColRef:
+		b, ci, err := ex.resolve(x, ex.order)
+		if err != nil {
+			return nil, err
+		}
+		row, ok := t[b]
+		if !ok {
+			return nil, fmt.Errorf("sqlx: binding %q not in scope", b)
+		}
+		return row[ci], nil
+	case *Param:
+		return nil, fmt.Errorf("sqlx: unbound parameter <@%s>", x.Name)
+	}
+	return nil, fmt.Errorf("sqlx: cannot evaluate %T as a value", e)
+}
+
+func (ex *executor) evalBool(t env, e Expr) (bool, error) {
+	switch x := e.(type) {
+	case *Logical:
+		l, err := ex.evalBool(t, x.Left)
+		if err != nil {
+			return false, err
+		}
+		if x.Op == "AND" && !l {
+			return false, nil
+		}
+		if x.Op == "OR" && l {
+			return true, nil
+		}
+		return ex.evalBool(t, x.Right)
+	case *Cmp:
+		l, err := ex.eval(t, x.Left)
+		if err != nil {
+			return false, err
+		}
+		r, err := ex.eval(t, x.Right)
+		if err != nil {
+			return false, err
+		}
+		if l == nil || r == nil {
+			return false, nil // SQL three-valued logic collapsed to false
+		}
+		if x.Op == "LIKE" {
+			ls, lok := l.(string)
+			rs, rok := r.(string)
+			if !lok || !rok {
+				return false, fmt.Errorf("sqlx: LIKE requires strings")
+			}
+			return likeMatch(ls, rs), nil
+		}
+		c, err := compareValues(l, r)
+		if err != nil {
+			return false, err
+		}
+		switch x.Op {
+		case "=":
+			return c == 0, nil
+		case "!=":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		case ">=":
+			return c >= 0, nil
+		}
+		return false, fmt.Errorf("sqlx: unknown operator %q", x.Op)
+	case *In:
+		l, err := ex.eval(t, x.Left)
+		if err != nil {
+			return false, err
+		}
+		if l == nil {
+			return false, nil
+		}
+		for _, item := range x.Items {
+			r, err := ex.eval(t, item)
+			if err != nil {
+				return false, err
+			}
+			if r == nil {
+				continue
+			}
+			c, err := compareValues(l, r)
+			if err != nil {
+				return false, err
+			}
+			if c == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *IsNull:
+		l, err := ex.eval(t, x.Left)
+		if err != nil {
+			return false, err
+		}
+		return (l == nil) != x.Not, nil
+	}
+	return false, fmt.Errorf("sqlx: expression %T is not a predicate", e)
+}
+
+// compareValues orders two non-nil values, coercing numerics.
+func compareValues(a, b kb.Value) (int, error) {
+	if af, aok := asFloat(a); aok {
+		if bf, bok := asFloat(b); bok {
+			switch {
+			case af < bf:
+				return -1, nil
+			case af > bf:
+				return 1, nil
+			}
+			return 0, nil
+		}
+	}
+	switch av := a.(type) {
+	case string:
+		bv, ok := b.(string)
+		if !ok {
+			return 0, fmt.Errorf("sqlx: cannot compare string with %T", b)
+		}
+		return strings.Compare(av, bv), nil
+	case bool:
+		bv, ok := b.(bool)
+		if !ok {
+			return 0, fmt.Errorf("sqlx: cannot compare bool with %T", b)
+		}
+		switch {
+		case av == bv:
+			return 0, nil
+		case !av:
+			return -1, nil
+		}
+		return 1, nil
+	}
+	return 0, fmt.Errorf("sqlx: cannot compare %T with %T", a, b)
+}
+
+func asFloat(v kb.Value) (float64, bool) {
+	switch x := v.(type) {
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (one char),
+// case-insensitively.
+func likeMatch(s, pattern string) bool {
+	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// collapse consecutive %
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func (ex *executor) project(tuples []env) (*Result, error) {
+	stmt := ex.stmt
+	res := &Result{}
+
+	// Aggregate path: any COUNT item makes the whole projection aggregate.
+	hasCount := false
+	for _, it := range stmt.Items {
+		if it.Count {
+			hasCount = true
+		}
+	}
+	if hasCount {
+		row := make([]kb.Value, len(stmt.Items))
+		for i, it := range stmt.Items {
+			if !it.Count {
+				return nil, fmt.Errorf("sqlx: cannot mix COUNT with plain columns (no GROUP BY support)")
+			}
+			name := it.Alias
+			if name == "" {
+				name = "count"
+			}
+			res.Columns = append(res.Columns, name)
+			if it.Expr == nil {
+				row[i] = int64(len(tuples))
+				continue
+			}
+			n := int64(0)
+			for _, t := range tuples {
+				v, err := ex.eval(t, it.Expr)
+				if err != nil {
+					return nil, err
+				}
+				if v != nil {
+					n++
+				}
+			}
+			row[i] = n
+		}
+		res.Rows = [][]kb.Value{row}
+		return res, nil
+	}
+
+	// Column projection.
+	type proj struct {
+		binding string
+		col     int
+	}
+	var projs []proj
+	for _, it := range stmt.Items {
+		if it.Star {
+			for _, b := range ex.order {
+				t := ex.bindings[b]
+				for ci, c := range t.Schema.Columns {
+					projs = append(projs, proj{b, ci})
+					res.Columns = append(res.Columns, c.Name)
+				}
+			}
+			continue
+		}
+		b, ci, err := ex.resolve(it.Expr, ex.order)
+		if err != nil {
+			return nil, err
+		}
+		projs = append(projs, proj{b, ci})
+		name := it.Alias
+		if name == "" {
+			name = it.Expr.Column
+		}
+		res.Columns = append(res.Columns, name)
+	}
+	for _, t := range tuples {
+		row := make([]kb.Value, len(projs))
+		for i, p := range projs {
+			row[i] = t[p.binding][p.col]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	if stmt.Distinct {
+		seen := make(map[string]bool, len(res.Rows))
+		var kept [][]kb.Value
+		for _, row := range res.Rows {
+			key := rowKey(row)
+			if !seen[key] {
+				seen[key] = true
+				kept = append(kept, row)
+			}
+		}
+		res.Rows = kept
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		// ORDER BY columns must appear in the projection: we sort the
+		// projected result (DISTINCT may already have dropped the source
+		// envs by this point).
+		keyIdx := make([]int, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			keyIdx[i] = -1
+			for j, c := range res.Columns {
+				if strings.EqualFold(c, o.Col.Column) {
+					keyIdx[i] = j
+					break
+				}
+			}
+			if keyIdx[i] < 0 {
+				return nil, fmt.Errorf("sqlx: ORDER BY column %q must appear in the projection", o.Col.Column)
+			}
+		}
+		var sortErr error
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			for i, o := range stmt.OrderBy {
+				va, vb := res.Rows[a][keyIdx[i]], res.Rows[b][keyIdx[i]]
+				if va == nil && vb == nil {
+					continue
+				}
+				if va == nil {
+					return !o.Desc
+				}
+				if vb == nil {
+					return o.Desc
+				}
+				c, err := compareValues(va, vb)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	if stmt.Limit >= 0 && len(res.Rows) > stmt.Limit {
+		res.Rows = res.Rows[:stmt.Limit]
+	}
+	return res, nil
+}
+
+func rowKey(row []kb.Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		if v == nil {
+			parts[i] = "\x00"
+		} else {
+			parts[i] = fmt.Sprintf("%T:%v", v, v)
+		}
+	}
+	return strings.Join(parts, "\x1f")
+}

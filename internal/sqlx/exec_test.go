@@ -1,0 +1,324 @@
+package sqlx
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ontoconv/internal/kb"
+)
+
+// fixtureKB builds drug / brand / treats / indication tables with known
+// contents.
+func fixtureKB(t *testing.T) *kb.KB {
+	t.Helper()
+	k := kb.New()
+	mk := func(s kb.Schema) *kb.Table {
+		tab, err := k.CreateTable(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	drug := mk(kb.Schema{
+		Name: "drug",
+		Columns: []kb.Column{
+			{Name: "drug_id", Type: kb.TextCol, NotNull: true},
+			{Name: "name", Type: kb.TextCol, NotNull: true},
+			{Name: "class", Type: kb.TextCol},
+			{Name: "year", Type: kb.IntCol},
+		},
+		PrimaryKey: "drug_id",
+	})
+	brand := mk(kb.Schema{
+		Name: "brand",
+		Columns: []kb.Column{
+			{Name: "brand_id", Type: kb.TextCol, NotNull: true},
+			{Name: "name", Type: kb.TextCol},
+			{Name: "drug_id", Type: kb.TextCol},
+		},
+		PrimaryKey: "brand_id",
+	})
+	ind := mk(kb.Schema{
+		Name: "indication",
+		Columns: []kb.Column{
+			{Name: "indication_id", Type: kb.TextCol, NotNull: true},
+			{Name: "name", Type: kb.TextCol},
+		},
+		PrimaryKey: "indication_id",
+	})
+	treats := mk(kb.Schema{
+		Name: "treats",
+		Columns: []kb.Column{
+			{Name: "t_id", Type: kb.TextCol, NotNull: true},
+			{Name: "drug_id", Type: kb.TextCol},
+			{Name: "indication_id", Type: kb.TextCol},
+			{Name: "efficacy", Type: kb.TextCol},
+		},
+		PrimaryKey: "t_id",
+	})
+	drug.MustInsert(kb.Row{"D1", "Aspirin", "NSAID", int64(1899)})
+	drug.MustInsert(kb.Row{"D2", "Ibuprofen", "NSAID", int64(1961)})
+	drug.MustInsert(kb.Row{"D3", "Tazarotene", "Retinoid", int64(1997)})
+	drug.MustInsert(kb.Row{"D4", "Mystery", nil, nil})
+	brand.MustInsert(kb.Row{"B1", "Bayer", "D1"})
+	brand.MustInsert(kb.Row{"B2", "Advil", "D2"})
+	brand.MustInsert(kb.Row{"B3", "Tazorac", "D3"})
+	brand.MustInsert(kb.Row{"B4", "Orphan", nil})
+	ind.MustInsert(kb.Row{"I1", "Fever"})
+	ind.MustInsert(kb.Row{"I2", "Psoriasis"})
+	treats.MustInsert(kb.Row{"T1", "D1", "I1", "Effective"})
+	treats.MustInsert(kb.Row{"T2", "D2", "I1", "Effective"})
+	treats.MustInsert(kb.Row{"T3", "D3", "I2", "Effective"})
+	return k
+}
+
+func mustExec(t *testing.T, k *kb.KB, sql string) *Result {
+	t.Helper()
+	res, err := Exec(k, sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestSelectAll(t *testing.T) {
+	k := fixtureKB(t)
+	res := mustExec(t, k, "SELECT * FROM drug")
+	if len(res.Rows) != 4 || len(res.Columns) != 4 {
+		t.Fatalf("rows=%d cols=%v", len(res.Rows), res.Columns)
+	}
+}
+
+func TestProjectionAndAlias(t *testing.T) {
+	k := fixtureKB(t)
+	res := mustExec(t, k, "SELECT name AS drug_name FROM drug WHERE drug_id = 'D1'")
+	if res.Columns[0] != "drug_name" || res.Rows[0][0] != "Aspirin" {
+		t.Fatalf("res = %v %v", res.Columns, res.Rows)
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	k := fixtureKB(t)
+	cases := map[string]int{
+		"SELECT name FROM drug WHERE class = 'NSAID'":                   2,
+		"SELECT name FROM drug WHERE class != 'NSAID'":                  1, // NULL row excluded
+		"SELECT name FROM drug WHERE year > 1900":                       2,
+		"SELECT name FROM drug WHERE year >= 1899":                      3,
+		"SELECT name FROM drug WHERE year < 1961":                       1,
+		"SELECT name FROM drug WHERE year <= 1961":                      2,
+		"SELECT name FROM drug WHERE name LIKE 'a%'":                    1, // case-insensitive
+		"SELECT name FROM drug WHERE name LIKE '%en%'":                  2,
+		"SELECT name FROM drug WHERE name LIKE '_spirin'":               1,
+		"SELECT name FROM drug WHERE class IN ('NSAID', 'Statin')":      2,
+		"SELECT name FROM drug WHERE class IS NULL":                     1,
+		"SELECT name FROM drug WHERE class IS NOT NULL":                 3,
+		"SELECT name FROM drug WHERE (class = 'NSAID' AND year > 1900)": 1,
+		"SELECT name FROM drug WHERE (year < 1900 OR year > 1990)":      2,
+	}
+	for sql, want := range cases {
+		if got := len(mustExec(t, k, sql).Rows); got != want {
+			t.Errorf("%s: %d rows, want %d", sql, got, want)
+		}
+	}
+}
+
+func TestNullComparisons(t *testing.T) {
+	k := fixtureKB(t)
+	// NULL compares false under every operator (collapsed 3VL)
+	if got := len(mustExec(t, k, "SELECT name FROM drug WHERE class = NULL").Rows); got != 0 {
+		t.Fatalf("= NULL matched %d rows", got)
+	}
+	if got := len(mustExec(t, k, "SELECT name FROM drug WHERE year > 0").Rows); got != 3 {
+		t.Fatalf("NULL year must not satisfy >: %d", got)
+	}
+}
+
+func TestJoinTwoTables(t *testing.T) {
+	k := fixtureKB(t)
+	res := mustExec(t, k, "SELECT b.name FROM drug d INNER JOIN brand b ON b.drug_id = d.drug_id WHERE d.name = 'Aspirin'")
+	if got := res.Column("name"); !reflect.DeepEqual(got, []string{"Bayer"}) {
+		t.Fatalf("join result = %v", got)
+	}
+}
+
+func TestJoinNullNeverMatches(t *testing.T) {
+	k := fixtureKB(t)
+	res := mustExec(t, k, "SELECT b.brand_id FROM brand b INNER JOIN drug d ON b.drug_id = d.drug_id")
+	if len(res.Rows) != 3 {
+		t.Fatalf("NULL FK joined: %d rows, want 3", len(res.Rows))
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	k := fixtureKB(t)
+	res := mustExec(t, k, `SELECT DISTINCT d.name FROM drug d
+		INNER JOIN treats t ON t.drug_id = d.drug_id
+		INNER JOIN indication i ON i.indication_id = t.indication_id
+		WHERE i.name = 'Fever'`)
+	got := res.Column("name")
+	if !reflect.DeepEqual(got, []string{"Aspirin", "Ibuprofen"}) {
+		t.Fatalf("fever drugs = %v", got)
+	}
+}
+
+func TestNestedLoopJoinFallback(t *testing.T) {
+	k := fixtureKB(t)
+	// Non-equality ON forces the nested-loop path.
+	res := mustExec(t, k, "SELECT d.name, b.name FROM drug d INNER JOIN brand b ON d.year > 1950")
+	// 2 drugs (>1950) x 4 brands
+	if len(res.Rows) != 8 {
+		t.Fatalf("cross-ish join rows = %d, want 8", len(res.Rows))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	k := fixtureKB(t)
+	all := mustExec(t, k, "SELECT class FROM drug WHERE class IS NOT NULL")
+	dis := mustExec(t, k, "SELECT DISTINCT class FROM drug WHERE class IS NOT NULL")
+	if len(all.Rows) != 3 || len(dis.Rows) != 2 {
+		t.Fatalf("all=%d distinct=%d", len(all.Rows), len(dis.Rows))
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	k := fixtureKB(t)
+	res := mustExec(t, k, "SELECT name FROM drug ORDER BY name DESC LIMIT 2")
+	if got := res.Column("name"); !reflect.DeepEqual(got, []string{"Tazarotene", "Mystery"}) {
+		t.Fatalf("ordered = %v", got)
+	}
+	res = mustExec(t, k, "SELECT name, year FROM drug ORDER BY year")
+	// NULL year sorts first ascending
+	if res.Rows[0][1] != nil {
+		t.Fatalf("NULL should sort first: %v", res.Rows)
+	}
+	if _, err := Exec(k, "SELECT name FROM drug ORDER BY year"); err == nil {
+		t.Fatal("ORDER BY on unprojected column must error")
+	}
+}
+
+func TestCount(t *testing.T) {
+	k := fixtureKB(t)
+	res := mustExec(t, k, "SELECT COUNT(*) FROM drug")
+	if res.Rows[0][0] != int64(4) {
+		t.Fatalf("COUNT(*) = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, k, "SELECT COUNT(class) AS n FROM drug")
+	if res.Columns[0] != "n" || res.Rows[0][0] != int64(3) {
+		t.Fatalf("COUNT(class) = %v %v", res.Columns, res.Rows)
+	}
+	if _, err := Exec(k, "SELECT COUNT(*), name FROM drug"); err == nil {
+		t.Fatal("mixing COUNT with plain columns must error")
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	k := fixtureKB(t)
+	cases := []string{
+		"SELECT name FROM ghost",
+		"SELECT ghost FROM drug",
+		"SELECT g.name FROM drug d",
+		"SELECT name FROM drug d INNER JOIN drug d ON d.drug_id = d.drug_id", // dup binding
+		"SELECT name FROM drug WHERE name = <@P>",                            // unbound param
+		"SELECT name FROM drug WHERE year LIKE 'x'",                          // LIKE on non-string
+		"SELECT name FROM drug WHERE name = 5",                               // type mismatch in cmp
+	}
+	for _, sql := range cases {
+		if _, err := Exec(k, sql); err == nil {
+			t.Errorf("Exec(%q) should fail", sql)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	k := fixtureKB(t)
+	// "name" exists in both drug and brand
+	if _, err := Exec(k, "SELECT name FROM drug d INNER JOIN brand b ON b.drug_id = d.drug_id"); err == nil {
+		t.Fatal("ambiguous column must error")
+	}
+	// qualified is fine
+	mustExec(t, k, "SELECT d.name FROM drug d INNER JOIN brand b ON b.drug_id = d.drug_id")
+}
+
+func TestResultHelpers(t *testing.T) {
+	k := fixtureKB(t)
+	res := mustExec(t, k, "SELECT name, class FROM drug WHERE drug_id = 'D4'")
+	rows := res.Strings()
+	if rows[0][1] != "" {
+		t.Fatalf("NULL should render empty: %v", rows)
+	}
+	if res.Column("ghost") != nil {
+		t.Fatal("missing column should be nil")
+	}
+	if got := res.Column("NAME"); len(got) != 1 {
+		t.Fatal("Column lookup should be case-insensitive")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"abc", "abc", true},
+		{"ABC", "abc", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_d", false},
+		{"abc", "%%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q,%q) = %v", c.s, c.p, got)
+		}
+	}
+}
+
+// Property (quick): LIKE with no wildcards behaves as case-insensitive
+// equality.
+func TestLikeEqualsProperty(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "%_") {
+			return true
+		}
+		return likeMatch(s, s) && likeMatch(strings.ToUpper(s), strings.ToLower(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): DISTINCT is idempotent over random literal filters.
+func TestDistinctIdempotent(t *testing.T) {
+	k := fixtureKB(t)
+	res1 := mustExec(t, k, "SELECT DISTINCT class FROM drug")
+	seen := map[string]bool{}
+	for _, row := range res1.Rows {
+		key := rowKey(row)
+		if seen[key] {
+			t.Fatal("DISTINCT produced duplicates")
+		}
+		seen[key] = true
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	if c, err := compareValues(int64(1), 1.5); err != nil || c >= 0 {
+		t.Fatalf("int/float coercion: %d %v", c, err)
+	}
+	if c, err := compareValues(true, false); err != nil || c <= 0 {
+		t.Fatalf("bool compare: %d %v", c, err)
+	}
+	if _, err := compareValues("x", int64(1)); err == nil {
+		t.Fatal("string/int compare must error")
+	}
+	if _, err := compareValues(true, "x"); err == nil {
+		t.Fatal("bool/string compare must error")
+	}
+}

@@ -1,0 +1,164 @@
+// Package sqlx implements the SQL-subset engine used to execute the
+// structured queries that the conversation system generates against the
+// knowledge base (paper §2: structured query templates are instantiated
+// into SQL and "executed against the KB to retrieve the answers").
+//
+// The dialect covers what the NLQ service emits: SELECT with projections
+// and COUNT, INNER JOIN chains with ON equality predicates, WHERE with
+// AND/OR, =, !=, <, <=, >, >=, LIKE, IN, IS [NOT] NULL, DISTINCT,
+// ORDER BY, and LIMIT.
+package sqlx
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokSymbol // punctuation and operators
+	tokParam  // <@Name> template parameter
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer turns SQL text into tokens. Keywords are returned as tokIdent and
+// matched case-insensitively by the parser.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case c == '<' && strings.HasPrefix(l.src[l.pos:], "<@"):
+			end := strings.IndexByte(l.src[l.pos:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("sqlx: unterminated parameter marker at %d", start)
+			}
+			name := l.src[l.pos+2 : l.pos+end]
+			l.pos += end + 1
+			l.toks = append(l.toks, token{kind: tokParam, text: name, pos: start})
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			l.lexNumber()
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case isIdentStart(c):
+			l.lexIdent()
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		default:
+			sym, err := l.lexSymbol()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: sym, pos: start})
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && strings.HasPrefix(l.src[l.pos:], "--") {
+			nl := strings.IndexByte(l.src[l.pos:], '\n')
+			if nl < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.pos += nl + 1
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' { // escaped quote
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sqlx: unterminated string literal at %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexIdent() {
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexSymbol() (string, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		l.pos += 2
+		return two, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '.', '*', '=', '<', '>', ';', '?':
+		l.pos++
+		return string(c), nil
+	}
+	return "", fmt.Errorf("sqlx: unexpected character %q at %d", c, l.pos)
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

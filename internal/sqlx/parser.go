@@ -1,0 +1,410 @@
+package sqlx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// optional trailing semicolon
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sqlx: unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// MustParse is Parse that panics on error; for static templates in tests.
+func MustParse(src string) *SelectStmt {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword reports whether the next token is the given keyword (case
+// insensitive) and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sqlx: expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.symbol(s) {
+		return fmt.Errorf("sqlx: expected %q, got %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlx: expected identifier, got %s", t)
+	}
+	p.next()
+	return t.text, nil
+}
+
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "inner": true, "join": true,
+	"on": true, "and": true, "or": true, "order": true, "by": true,
+	"limit": true, "distinct": true, "as": true, "in": true, "like": true,
+	"is": true, "not": true, "null": true, "count": true, "asc": true,
+	"desc": true, "true": true, "false": true,
+}
+
+func isReserved(s string) bool { return reserved[strings.ToLower(s)] }
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.keyword("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	for {
+		if p.keyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.keyword("JOIN") {
+			break
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, Join{Table: tr, On: on})
+	}
+	if p.keyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			o := OrderItem{Col: *col}
+			if p.keyword("DESC") {
+				o.Desc = true
+			} else {
+				p.keyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, o)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sqlx: expected number after LIMIT, got %s", t)
+		}
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sqlx: bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.symbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	if p.keyword("COUNT") {
+		if err := p.expectSymbol("("); err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Count: true}
+		if !p.symbol("*") {
+			col, err := p.parseColRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Expr = col
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return SelectItem{}, err
+		}
+		if p.keyword("AS") {
+			a, err := p.ident()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Alias = a
+		}
+		return item, nil
+	}
+	col, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: col}
+	if p.keyword("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	// optional alias: a bare identifier that is not a reserved keyword
+	if t := p.peek(); t.kind == tokIdent && !isReserved(t.text) {
+		p.next()
+		tr.Alias = t.text
+	}
+	return tr, nil
+}
+
+func (p *parser) parseColRef() (*ColRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.symbol(".") {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ColRef{Table: first, Column: col}, nil
+	}
+	return &ColRef{Column: first}, nil
+}
+
+// parseExpr parses OR-combined expressions (lowest precedence).
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logical{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		right, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logical{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.symbol("(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch {
+	case t.kind == tokSymbol && isCmpOp(t.text):
+		p.next()
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		op := t.text
+		if op == "<>" {
+			op = "!="
+		}
+		return &Cmp{Op: op, Left: left, Right: right}, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "LIKE"):
+		p.next()
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return &Cmp{Op: "LIKE", Left: left, Right: right}, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "IN"):
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var items []Expr
+		for {
+			it, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, it)
+			if !p.symbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &In{Left: left, Items: items}, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "IS"):
+		p.next()
+		not := p.keyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{Left: left, Not: not}, nil
+	}
+	return nil, fmt.Errorf("sqlx: expected comparison operator, got %s", t)
+}
+
+func isCmpOp(s string) bool {
+	switch s {
+	case "=", "!=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOperand() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return &Lit{Value: t.text}, nil
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlx: bad number %q", t.text)
+			}
+			return &Lit{Value: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlx: bad number %q", t.text)
+		}
+		return &Lit{Value: n}, nil
+	case tokParam:
+		p.next()
+		return &Param{Name: t.text}, nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "null":
+			p.next()
+			return &Lit{Value: nil}, nil
+		case "true":
+			p.next()
+			return &Lit{Value: true}, nil
+		case "false":
+			p.next()
+			return &Lit{Value: false}, nil
+		}
+		return p.parseColRef()
+	}
+	return nil, fmt.Errorf("sqlx: expected operand, got %s", t)
+}

@@ -1,0 +1,152 @@
+package sqlx
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrips(t *testing.T) {
+	// canonical form -> must parse and re-render identically
+	cases := []string{
+		"SELECT * FROM drug",
+		"SELECT name FROM drug",
+		"SELECT d.name AS drug_name FROM drug d",
+		"SELECT DISTINCT name FROM drug",
+		"SELECT COUNT(*) FROM drug",
+		"SELECT COUNT(name) AS n FROM drug",
+		"SELECT name FROM drug WHERE name = 'Aspirin'",
+		"SELECT name FROM drug WHERE (year > 1900 AND otc = true)",
+		"SELECT name FROM drug WHERE (class = 'NSAID' OR class = 'Statin')",
+		"SELECT name FROM drug WHERE name LIKE 'A%'",
+		"SELECT name FROM drug WHERE class IN ('NSAID', 'Statin')",
+		"SELECT name FROM drug WHERE class IS NULL",
+		"SELECT name FROM drug WHERE class IS NOT NULL",
+		"SELECT name FROM drug ORDER BY name LIMIT 10",
+		"SELECT name FROM drug ORDER BY name DESC, year",
+		"SELECT d.name FROM drug d INNER JOIN brand b ON b.drug_id = d.drug_id",
+		"SELECT name FROM drug WHERE name = <@Drug>",
+		"SELECT name FROM drug WHERE half_life < 2.5",
+		"SELECT name FROM drug WHERE year != 2000",
+	}
+	for _, src := range cases {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if got := stmt.String(); got != src {
+			t.Errorf("round trip:\n in:  %s\n out: %s", src, got)
+		}
+	}
+}
+
+func TestParseNormalizations(t *testing.T) {
+	cases := map[string]string{
+		"select name from drug;":                                          "SELECT name FROM drug",
+		"SELECT name FROM drug WHERE year <> 2000":                        "SELECT name FROM drug WHERE year != 2000",
+		"SELECT name FROM drug ORDER BY name ASC":                         "SELECT name FROM drug ORDER BY name",
+		"SELECT d.name FROM drug d JOIN brand b ON b.drug_id = d.drug_id": "SELECT d.name FROM drug d INNER JOIN brand b ON b.drug_id = d.drug_id",
+		"SELECT name FROM drug WHERE name = 'O''Brien'":                   "SELECT name FROM drug WHERE name = 'O''Brien'",
+		"SELECT name FROM drug -- trailing comment":                       "SELECT name FROM drug",
+	}
+	for src, want := range cases {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if got := stmt.String(); got != want {
+			t.Errorf("normalize %q:\n got  %s\n want %s", src, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"DELETE FROM drug",
+		"SELECT FROM drug",
+		"SELECT name",
+		"SELECT name FROM",
+		"SELECT name FROM drug WHERE",
+		"SELECT name FROM drug WHERE name =",
+		"SELECT name FROM drug WHERE name 'x'",
+		"SELECT name FROM drug LIMIT -1",
+		"SELECT name FROM drug LIMIT x",
+		"SELECT name FROM drug extra garbage ,",
+		"SELECT name FROM drug WHERE name = 'unterminated",
+		"SELECT name FROM drug WHERE name = <@unclosed",
+		"SELECT COUNT( FROM drug",
+		"SELECT name FROM drug WHERE class IN ()",
+		"SELECT name FROM drug INNER JOIN ON x = y",
+		"SELECT name FROM drug WHERE name = 'x' AND",
+		"SELECT name FROM drug WHERE @bad",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParamsExtraction(t *testing.T) {
+	stmt := MustParse("SELECT d.name FROM drug d INNER JOIN treats t ON t.drug_id = d.drug_id WHERE t.efficacy = <@Eff> AND d.name = <@Drug> AND d.base = <@Drug>")
+	if got := stmt.Params(); !reflect.DeepEqual(got, []string{"Eff", "Drug"}) {
+		t.Fatalf("Params = %v, want first-appearance dedup", got)
+	}
+}
+
+func TestParamsInJoinCondition(t *testing.T) {
+	stmt := MustParse("SELECT d.name FROM drug d INNER JOIN brand b ON b.name = <@Brand>")
+	if got := stmt.Params(); !reflect.DeepEqual(got, []string{"Brand"}) {
+		t.Fatalf("join params = %v", got)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not sql")
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex("SELECT a.b, 'it''s', 1.5, <@P> <= >= != <>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	wantTexts := []string{"SELECT", "a", ".", "b", ",", "it's", ",", "1.5", ",", "P", "<=", ">=", "!=", "<>", ""}
+	if !reflect.DeepEqual(texts, wantTexts) {
+		t.Fatalf("lexed %v, want %v", texts, wantTexts)
+	}
+	if kinds[5] != tokString || kinds[7] != tokNumber || kinds[9] != tokParam {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"'open", "<@open", "SELECT ~"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestExprStringQuotesLiterals(t *testing.T) {
+	stmt := MustParse("SELECT name FROM t WHERE a = 'x''y' AND b = NULL")
+	if !strings.Contains(stmt.String(), "'x''y'") {
+		t.Fatalf("literal quoting lost: %s", stmt.String())
+	}
+	if !strings.Contains(stmt.String(), "NULL") {
+		t.Fatalf("NULL literal lost: %s", stmt.String())
+	}
+}

@@ -1,0 +1,107 @@
+package sqlx
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ontoconv/internal/kb"
+)
+
+// TestWhereAgainstReference cross-checks the executor's WHERE handling
+// against a naive reference evaluation over randomly generated predicates
+// and data.
+func TestWhereAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	k := kb.New()
+	tab, err := k.CreateTable(kb.Schema{
+		Name: "t",
+		Columns: []kb.Column{
+			{Name: "id", Type: kb.TextCol, NotNull: true},
+			{Name: "cat", Type: kb.TextCol},
+			{Name: "num", Type: kb.IntCol},
+		},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := []string{"a", "b", "c", ""} // "" means NULL
+	type rowData struct {
+		id  string
+		cat string // "" = NULL
+		num int64
+	}
+	var data []rowData
+	for i := 0; i < 200; i++ {
+		r := rowData{id: fmt.Sprintf("R%03d", i), cat: cats[rng.Intn(len(cats))], num: int64(rng.Intn(50))}
+		data = append(data, r)
+		var catV kb.Value
+		if r.cat != "" {
+			catV = r.cat
+		}
+		tab.MustInsert(kb.Row{r.id, catV, r.num})
+	}
+
+	type pred struct {
+		sql string
+		ok  func(rowData) bool
+	}
+	mkPreds := func() []pred {
+		catLit := cats[rng.Intn(3)]
+		n := int64(rng.Intn(50))
+		return []pred{
+			{fmt.Sprintf("cat = '%s'", catLit), func(r rowData) bool { return r.cat == catLit }},
+			{fmt.Sprintf("cat != '%s'", catLit), func(r rowData) bool { return r.cat != "" && r.cat != catLit }},
+			{fmt.Sprintf("num > %d", n), func(r rowData) bool { return r.num > n }},
+			{fmt.Sprintf("num <= %d", n), func(r rowData) bool { return r.num <= n }},
+			{"cat IS NULL", func(r rowData) bool { return r.cat == "" }},
+			{"cat IS NOT NULL", func(r rowData) bool { return r.cat != "" }},
+			{fmt.Sprintf("cat IN ('a', '%s')", catLit), func(r rowData) bool { return r.cat == "a" || r.cat == catLit }},
+		}
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		preds := mkPreds()
+		p1 := preds[rng.Intn(len(preds))]
+		p2 := preds[rng.Intn(len(preds))]
+		var sql string
+		var want func(rowData) bool
+		switch rng.Intn(3) {
+		case 0:
+			sql = p1.sql
+			want = p1.ok
+		case 1:
+			sql = fmt.Sprintf("(%s AND %s)", p1.sql, p2.sql)
+			want = func(r rowData) bool { return p1.ok(r) && p2.ok(r) }
+		default:
+			sql = fmt.Sprintf("(%s OR %s)", p1.sql, p2.sql)
+			want = func(r rowData) bool { return p1.ok(r) || p2.ok(r) }
+		}
+		res, err := Exec(k, "SELECT id FROM t WHERE "+sql)
+		if err != nil {
+			t.Fatalf("trial %d: %q: %v", trial, sql, err)
+		}
+		got := map[string]bool{}
+		for _, id := range res.Column("id") {
+			got[id] = true
+		}
+		for _, r := range data {
+			if want(r) != got[r.id] {
+				t.Fatalf("trial %d: %q disagrees on row %+v (reference=%v engine=%v)",
+					trial, sql, r, want(r), got[r.id])
+			}
+		}
+	}
+}
+
+// TestLimitNeverExceeds checks LIMIT over random values.
+func TestLimitNeverExceeds(t *testing.T) {
+	k := fixtureKB(t)
+	for n := 0; n < 8; n++ {
+		res := mustExec(t, k, fmt.Sprintf("SELECT name FROM drug LIMIT %d", n))
+		if len(res.Rows) > n {
+			t.Fatalf("LIMIT %d returned %d rows", n, len(res.Rows))
+		}
+	}
+}

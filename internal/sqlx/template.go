@@ -1,0 +1,135 @@
+package sqlx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Template is a parameterized structured query (paper §4.4, Figure 9):
+// a SQL statement whose filter literals have been replaced by <@Entity>
+// parameter markers. Templates are generated offline per intent and
+// instantiated online with the entities recognized in a user utterance.
+type Template struct {
+	// SQL is the template text, containing <@Name> markers.
+	SQL string `json:"sql"`
+	// Params lists the distinct marker names in first-appearance order.
+	Params []string `json:"params"`
+}
+
+// NewTemplate parses the template text (validating syntax) and records its
+// parameters.
+func NewTemplate(sql string) (*Template, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("sqlx: template: %w", err)
+	}
+	return &Template{SQL: stmt.String(), Params: stmt.Params()}, nil
+}
+
+// MustTemplate is NewTemplate that panics on error.
+func MustTemplate(sql string) *Template {
+	t, err := NewTemplate(sql)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Instantiate binds every parameter to a string value and returns the
+// executable statement. Unbound or unknown parameters are errors.
+func (t *Template) Instantiate(args map[string]string) (*SelectStmt, error) {
+	stmt, err := Parse(t.SQL)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool, len(t.Params))
+	for _, p := range t.Params {
+		known[p] = true
+	}
+	for name := range args {
+		if !known[name] {
+			return nil, fmt.Errorf("sqlx: template has no parameter %q", name)
+		}
+	}
+	var missing []string
+	var bind func(e Expr) Expr
+	bind = func(e Expr) Expr {
+		switch x := e.(type) {
+		case *Param:
+			v, ok := args[x.Name]
+			if !ok {
+				missing = append(missing, x.Name)
+				return x
+			}
+			return &Lit{Value: v}
+		case *Cmp:
+			return &Cmp{Op: x.Op, Left: bind(x.Left), Right: bind(x.Right)}
+		case *Logical:
+			return &Logical{Op: x.Op, Left: bind(x.Left), Right: bind(x.Right)}
+		case *In:
+			items := make([]Expr, len(x.Items))
+			for i, it := range x.Items {
+				items[i] = bind(it)
+			}
+			return &In{Left: bind(x.Left), Items: items}
+		case *IsNull:
+			return &IsNull{Left: bind(x.Left), Not: x.Not}
+		}
+		return e
+	}
+	if stmt.Where != nil {
+		stmt.Where = bind(stmt.Where)
+	}
+	for i := range stmt.Joins {
+		stmt.Joins[i].On = bind(stmt.Joins[i].On)
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("sqlx: template parameters not bound: %s", strings.Join(missing, ", "))
+	}
+	return stmt, nil
+}
+
+// Parameterize converts a concrete statement into a template by replacing
+// the string literals given in byValue with parameter markers. byValue maps
+// literal text -> parameter name. It is how the bootstrapper turns the NLQ
+// service's SQL for one example utterance into a reusable template
+// (paper §4.4: "We parameterize this SQL query to generate a structured
+// query template").
+func Parameterize(stmt *SelectStmt, byValue map[string]string) *Template {
+	var sub func(e Expr) Expr
+	sub = func(e Expr) Expr {
+		switch x := e.(type) {
+		case *Lit:
+			if s, ok := x.Value.(string); ok {
+				if name, hit := byValue[s]; hit {
+					return &Param{Name: name}
+				}
+			}
+			return x
+		case *Cmp:
+			return &Cmp{Op: x.Op, Left: sub(x.Left), Right: sub(x.Right)}
+		case *Logical:
+			return &Logical{Op: x.Op, Left: sub(x.Left), Right: sub(x.Right)}
+		case *In:
+			items := make([]Expr, len(x.Items))
+			for i, it := range x.Items {
+				items[i] = sub(it)
+			}
+			return &In{Left: sub(x.Left), Items: items}
+		case *IsNull:
+			return &IsNull{Left: sub(x.Left), Not: x.Not}
+		}
+		return e
+	}
+	cp := *stmt
+	if cp.Where != nil {
+		cp.Where = sub(cp.Where)
+	}
+	cp.Joins = append([]Join(nil), stmt.Joins...)
+	for i := range cp.Joins {
+		cp.Joins[i].On = sub(cp.Joins[i].On)
+	}
+	return &Template{SQL: cp.String(), Params: cp.Params()}
+}

@@ -1,0 +1,113 @@
+package sqlx
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNewTemplate(t *testing.T) {
+	tpl, err := NewTemplate("SELECT p.description FROM precaution p INNER JOIN drug d ON p.drug_id = d.drug_id WHERE d.name = <@Drug>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tpl.Params, []string{"Drug"}) {
+		t.Fatalf("Params = %v", tpl.Params)
+	}
+	if _, err := NewTemplate("not sql"); err == nil {
+		t.Fatal("bad template must error")
+	}
+}
+
+func TestTemplateInstantiate(t *testing.T) {
+	k := fixtureKB(t)
+	tpl := MustTemplate("SELECT d.name FROM drug d WHERE d.class = <@Class>")
+	stmt, err := tpl.Instantiate(map[string]string{"Class": "NSAID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(k, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("instantiated query returned %d rows", len(res.Rows))
+	}
+}
+
+func TestTemplateInstantiateEscapesQuotes(t *testing.T) {
+	tpl := MustTemplate("SELECT name FROM drug WHERE name = <@Drug>")
+	stmt, err := tpl.Instantiate(map[string]string{"Drug": "O'Brien's"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stmt.String(), "'O''Brien''s'") {
+		t.Fatalf("quoting: %s", stmt.String())
+	}
+	// The rendered form must re-parse.
+	if _, err := Parse(stmt.String()); err != nil {
+		t.Fatalf("instantiated SQL does not re-parse: %v", err)
+	}
+}
+
+func TestTemplateInstantiateErrors(t *testing.T) {
+	tpl := MustTemplate("SELECT name FROM drug WHERE name = <@Drug> AND class = <@Class>")
+	if _, err := tpl.Instantiate(map[string]string{"Drug": "x"}); err == nil {
+		t.Fatal("missing param must error")
+	}
+	if _, err := tpl.Instantiate(map[string]string{"Drug": "x", "Class": "y", "Ghost": "z"}); err == nil {
+		t.Fatal("unknown param must error")
+	}
+}
+
+func TestTemplateInstantiateInJoin(t *testing.T) {
+	k := fixtureKB(t)
+	tpl := MustTemplate("SELECT d.name FROM drug d INNER JOIN brand b ON b.drug_id = d.drug_id WHERE b.name = <@Brand>")
+	stmt, err := tpl.Instantiate(map[string]string{"Brand": "Bayer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(k, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Column("name"); !reflect.DeepEqual(got, []string{"Aspirin"}) {
+		t.Fatalf("join-template result = %v", got)
+	}
+}
+
+func TestParameterize(t *testing.T) {
+	// The §4.4 flow: NLQ produces concrete SQL for one example utterance;
+	// Parameterize turns the example literal into a marker.
+	stmt := MustParse("SELECT p.description FROM precaution p INNER JOIN drug d ON p.drug_id = d.drug_id WHERE d.name = 'Ibuprofen'")
+	tpl := Parameterize(stmt, map[string]string{"Ibuprofen": "Drug"})
+	if !reflect.DeepEqual(tpl.Params, []string{"Drug"}) {
+		t.Fatalf("Params = %v", tpl.Params)
+	}
+	if !strings.Contains(tpl.SQL, "<@Drug>") || strings.Contains(tpl.SQL, "Ibuprofen") {
+		t.Fatalf("SQL = %s", tpl.SQL)
+	}
+	// original untouched
+	if strings.Contains(stmt.String(), "<@") {
+		t.Fatal("Parameterize must not mutate the source statement")
+	}
+}
+
+func TestParameterizeOnlyNamedLiterals(t *testing.T) {
+	stmt := MustParse("SELECT name FROM drug WHERE class = 'NSAID' AND name = 'Aspirin'")
+	tpl := Parameterize(stmt, map[string]string{"Aspirin": "Drug"})
+	if !strings.Contains(tpl.SQL, "'NSAID'") {
+		t.Fatalf("unrelated literal replaced: %s", tpl.SQL)
+	}
+	if !strings.Contains(tpl.SQL, "<@Drug>") {
+		t.Fatalf("named literal not replaced: %s", tpl.SQL)
+	}
+}
+
+func TestExecuteRejectsUnboundParams(t *testing.T) {
+	k := fixtureKB(t)
+	stmt := MustParse("SELECT name FROM drug WHERE name = <@Drug>")
+	if _, err := Execute(k, stmt); err == nil {
+		t.Fatal("executing with unbound params must error")
+	}
+}

@@ -1,0 +1,223 @@
+// Package ontoconv is an ontology-based conversation system for knowledge
+// bases: a from-scratch Go implementation of the system described in
+// "An Ontology-Based Conversation System for Knowledge Bases" (SIGMOD
+// 2020).
+//
+// Given a relational knowledge base, the library
+//
+//   - discovers (or accepts) an OWL-style domain ontology over it,
+//   - bootstraps a complete conversation space from that ontology: user
+//     intents grounded in query patterns, training examples generated from
+//     KB instance data, entities with domain synonyms, and parameterized
+//     SQL query templates,
+//   - compiles a dialogue tree with slot filling, persistent context and
+//     conversation management, and
+//   - serves a multi-turn conversation agent that answers natural-language
+//     questions by executing the templates against the KB.
+//
+// The pipeline is domain agnostic; the bundled medical knowledge base
+// (the paper's IBM Micromedex use case) is one instantiation, and
+// examples/custom-domain shows another.
+//
+// # Quick start
+//
+//	base := ontoconv.NewKB()
+//	// … create tables, insert rows …
+//	onto, _ := ontoconv.GenerateOntology(base, ontoconv.DefaultOntogenConfig("mydomain"))
+//	space, _ := ontoconv.Bootstrap(onto, base, ontoconv.DefaultBootstrapConfig())
+//	agent, _ := ontoconv.NewAgent(space, base, ontoconv.AgentOptions{})
+//	session := ontoconv.NewSession()
+//	fmt.Println(agent.Respond(session, "show me the widgets for AcmeCo"))
+//
+// The subpackages under internal/ hold the implementation; this package is
+// the supported public surface.
+package ontoconv
+
+import (
+	"ontoconv/internal/agent"
+	"ontoconv/internal/core"
+	"ontoconv/internal/dialogue"
+	"ontoconv/internal/eval"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/medkb"
+	"ontoconv/internal/nlq"
+	"ontoconv/internal/nlu"
+	"ontoconv/internal/ontogen"
+	"ontoconv/internal/ontology"
+	"ontoconv/internal/sim"
+	"ontoconv/internal/sqlx"
+)
+
+// Knowledge-base types.
+type (
+	// KB is the in-memory relational knowledge base.
+	KB = kb.KB
+	// Schema describes one KB table.
+	Schema = kb.Schema
+	// Column describes one table column.
+	Column = kb.Column
+	// ForeignKey declares a referential constraint.
+	ForeignKey = kb.ForeignKey
+	// Row is one tuple.
+	Row = kb.Row
+)
+
+// Column types.
+const (
+	TextCol  = kb.TextCol
+	IntCol   = kb.IntCol
+	FloatCol = kb.FloatCol
+	BoolCol  = kb.BoolCol
+)
+
+// NewKB returns an empty knowledge base.
+func NewKB() *KB { return kb.New() }
+
+// Ontology types.
+type (
+	// Ontology is the OWL-style domain ontology.
+	Ontology = ontology.Ontology
+	// Concept is an OWL class.
+	Concept = ontology.Concept
+	// DataProperty is a literal-valued property of a concept.
+	DataProperty = ontology.DataProperty
+	// ObjectProperty is a relationship between concepts.
+	ObjectProperty = ontology.ObjectProperty
+	// OntogenConfig tunes data-driven ontology discovery.
+	OntogenConfig = ontogen.Config
+)
+
+// NewOntology returns an empty named ontology.
+func NewOntology(name string) *Ontology { return ontology.New(name) }
+
+// GenerateOntology infers an ontology from the KB's schema and data
+// statistics (concepts from tables, relationships from foreign keys, isA
+// from subtype tables, unions from disjoint exhaustive children).
+func GenerateOntology(base *KB, cfg OntogenConfig) (*Ontology, error) {
+	return ontogen.Generate(base, cfg)
+}
+
+// DefaultOntogenConfig returns the discovery thresholds used by the paper
+// reproduction.
+func DefaultOntogenConfig(name string) OntogenConfig { return ontogen.DefaultConfig(name) }
+
+// Conversation-space types.
+type (
+	// Space is a bootstrapped conversation space.
+	Space = core.Space
+	// Intent is one conversation intent.
+	Intent = core.Intent
+	// EntityDef is one entity dictionary entry set.
+	EntityDef = core.EntityDef
+	// BootstrapConfig tunes the bootstrap pipeline.
+	BootstrapConfig = core.Config
+	// SMEFeedback carries subject-matter-expert refinements.
+	SMEFeedback = core.Feedback
+	// SMEPattern is one expert-identified query pattern.
+	SMEPattern = core.SMEPattern
+)
+
+// Bootstrap runs the offline pipeline: key-concept discovery, pattern
+// extraction, SME feedback, training-example generation, query-template
+// generation, and entity extraction.
+func Bootstrap(o *Ontology, base *KB, cfg BootstrapConfig) (*Space, error) {
+	return core.Bootstrap(o, base, cfg)
+}
+
+// DefaultBootstrapConfig returns the configuration used by the paper
+// reproduction.
+func DefaultBootstrapConfig() BootstrapConfig { return core.DefaultConfig() }
+
+// Agent types.
+type (
+	// Agent is the online conversation agent.
+	Agent = agent.Agent
+	// AgentOptions configures agent construction.
+	AgentOptions = agent.Options
+	// Session is one user conversation.
+	Session = agent.Session
+	// KeywordAgent is the search-style baseline.
+	KeywordAgent = agent.KeywordAgent
+)
+
+// NewAgent trains the classifier, builds the recognizer and dialogue tree,
+// and returns a ready agent.
+func NewAgent(space *Space, base *KB, opts AgentOptions) (*Agent, error) {
+	return agent.New(space, base, opts)
+}
+
+// NewSession returns a fresh conversation session.
+func NewSession() *Session { return agent.NewSession() }
+
+// NewKeywordAgent builds the keyword-search baseline over the same space.
+func NewKeywordAgent(space *Space, base *KB) *KeywordAgent {
+	return agent.NewKeywordAgent(space, base)
+}
+
+// Dialogue types.
+type (
+	// DialogueTree is the compiled dialogue structure.
+	DialogueTree = dialogue.Tree
+	// LogicTable is the generated Dialogue Logic Table.
+	LogicTable = dialogue.LogicTable
+)
+
+// NLU types.
+type (
+	// Classifier is the intent-classification interface.
+	Classifier = nlu.Classifier
+	// Recognizer is the dictionary entity recognizer.
+	Recognizer = nlu.Recognizer
+)
+
+// NewNaiveBayes returns a multinomial naive Bayes intent classifier.
+func NewNaiveBayes(alpha float64) Classifier { return nlu.NewNaiveBayes(alpha) }
+
+// NewLogisticRegression returns a softmax-regression intent classifier.
+func NewLogisticRegression() Classifier { return nlu.NewLogisticRegression() }
+
+// NLQ types.
+type (
+	// NLQService compiles structured requests to SQL over an ontology.
+	NLQService = nlq.Service
+	// NLQRequest is a structured query request.
+	NLQRequest = nlq.Request
+	// QueryTemplate is a parameterized SQL template.
+	QueryTemplate = sqlx.Template
+)
+
+// NewNLQService builds the NL-query service over an ontology.
+func NewNLQService(o *Ontology) *NLQService { return nlq.New(o) }
+
+// ExecSQL parses and executes a SQL statement against the KB.
+func ExecSQL(base *KB, sql string) (*sqlx.Result, error) { return sqlx.Exec(base, sql) }
+
+// Medical use case (the paper's §6 deployment).
+
+// MedicalKB generates the deterministic synthetic Micromedex-style
+// knowledge base.
+func MedicalKB() (*KB, error) { return medkb.Generate(medkb.DefaultConfig()) }
+
+// MedicalBootstrap builds the complete MDX environment: KB, curated
+// ontology, and bootstrapped conversation space with the paper's SME
+// feedback applied.
+func MedicalBootstrap() (*KB, *Ontology, *Space, error) { return medkb.Bootstrap() }
+
+// Evaluation (the paper's §7 experiments).
+type (
+	// EvalEnv bundles the artifacts the experiments run against.
+	EvalEnv = eval.Env
+	// UsageSimConfig tunes the simulated usage study.
+	UsageSimConfig = sim.Config
+	// UsageLog is a simulated interaction log.
+	UsageLog = sim.Log
+)
+
+// NewEvalEnv builds the full evaluation environment.
+func NewEvalEnv() (*EvalEnv, error) { return eval.NewEnv() }
+
+// SimulateUsage runs the seeded usage study against an agent.
+func SimulateUsage(a *Agent, cfg UsageSimConfig) *UsageLog { return sim.Run(a, cfg) }
+
+// DefaultUsageSimConfig returns the calibration used by the experiments.
+func DefaultUsageSimConfig() UsageSimConfig { return sim.DefaultConfig() }

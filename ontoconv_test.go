@@ -1,0 +1,156 @@
+package ontoconv_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ontoconv"
+)
+
+var (
+	once    sync.Once
+	mdxBase *ontoconv.KB
+	mdxOnto *ontoconv.Ontology
+	mdxSp   *ontoconv.Space
+	mdxAg   *ontoconv.Agent
+	mdxErr  error
+)
+
+func mdxFixture(t *testing.T) (*ontoconv.KB, *ontoconv.Space, *ontoconv.Agent) {
+	t.Helper()
+	once.Do(func() {
+		mdxBase, mdxOnto, mdxSp, mdxErr = ontoconv.MedicalBootstrap()
+		if mdxErr != nil {
+			return
+		}
+		mdxAg, mdxErr = ontoconv.NewAgent(mdxSp, mdxBase, ontoconv.AgentOptions{})
+	})
+	if mdxErr != nil {
+		t.Fatal(mdxErr)
+	}
+	return mdxBase, mdxSp, mdxAg
+}
+
+// TestQuickstartFlow exercises the README quickstart against the public
+// facade: custom KB -> ontology discovery -> bootstrap -> agent.
+func TestQuickstartFlow(t *testing.T) {
+	base := ontoconv.NewKB()
+	companies, err := base.CreateTable(ontoconv.Schema{
+		Name: "company",
+		Columns: []ontoconv.Column{
+			{Name: "company_id", Type: ontoconv.TextCol, NotNull: true},
+			{Name: "name", Type: ontoconv.TextCol, NotNull: true},
+			{Name: "sector", Type: ontoconv.TextCol},
+		},
+		PrimaryKey: "company_id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	products, err := base.CreateTable(ontoconv.Schema{
+		Name: "product",
+		Columns: []ontoconv.Column{
+			{Name: "product_id", Type: ontoconv.TextCol, NotNull: true},
+			{Name: "name", Type: ontoconv.TextCol, NotNull: true},
+			{Name: "company_id", Type: ontoconv.TextCol, NotNull: true},
+			{Name: "category", Type: ontoconv.TextCol},
+		},
+		PrimaryKey: "product_id",
+		ForeignKeys: []ontoconv.ForeignKey{
+			{Column: "company_id", RefTable: "company", RefColumn: "company_id"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	companies.MustInsert(ontoconv.Row{"C1", "AcmeCo", "Hardware"})
+	companies.MustInsert(ontoconv.Row{"C2", "Globex", "Software"})
+	products.MustInsert(ontoconv.Row{"P1", "Rocket Skates", "C1", "Gadgets"})
+	products.MustInsert(ontoconv.Row{"P2", "Hypnotizer", "C2", "Appliances"})
+
+	onto, err := ontoconv.GenerateOntology(base, ontoconv.DefaultOntogenConfig("shop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ontoconv.DefaultBootstrapConfig()
+	cfg.KeyConcepts.MinKeep = 1
+	cfg.KeyConcepts.MaxKeep = 2
+	space, err := ontoconv.Bootstrap(onto, base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := ontoconv.NewAgent(space, base, ontoconv.AgentOptions{Greeting: "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := ontoconv.NewSession()
+	r := agent.Respond(session, "show me the products for AcmeCo")
+	if !strings.Contains(r, "Rocket Skates") {
+		t.Fatalf("quickstart answer = %q", r)
+	}
+	r = agent.Respond(session, "what about Globex?")
+	if !strings.Contains(r, "Hypnotizer") {
+		t.Fatalf("follow-up = %q", r)
+	}
+}
+
+func TestFacadeMedicalPipeline(t *testing.T) {
+	base, space, ag := mdxFixture(t)
+	if len(space.Intents) < 30 {
+		t.Fatalf("intents = %d", len(space.Intents))
+	}
+	session := ontoconv.NewSession()
+	r := ag.Respond(session, "precautions for Aspirin")
+	if !strings.Contains(r, "Aspirin") {
+		t.Fatalf("answer = %q", r)
+	}
+	res, err := ontoconv.ExecSQL(base, "SELECT COUNT(*) FROM drug")
+	if err != nil || res.Rows[0][0] != int64(200) {
+		t.Fatalf("ExecSQL = %v %v", res, err)
+	}
+}
+
+func TestFacadeNLQService(t *testing.T) {
+	_, _, _ = mdxFixture(t)
+	svc := ontoconv.NewNLQService(mdxOnto)
+	sql, err := svc.BuildSQL(ontoconv.NLQRequest{
+		Answer:   "Precaution",
+		Distinct: true,
+	})
+	if err != nil || !strings.Contains(sql, "precaution") {
+		t.Fatalf("BuildSQL = %q %v", sql, err)
+	}
+}
+
+func TestFacadeClassifiers(t *testing.T) {
+	for _, clf := range []ontoconv.Classifier{
+		ontoconv.NewNaiveBayes(1.0),
+		ontoconv.NewLogisticRegression(),
+	} {
+		if clf == nil {
+			t.Fatal("nil classifier")
+		}
+	}
+}
+
+func TestFacadeUsageSimulation(t *testing.T) {
+	_, _, ag := mdxFixture(t)
+	cfg := ontoconv.DefaultUsageSimConfig()
+	cfg.Interactions = 300
+	log := ontoconv.SimulateUsage(ag, cfg)
+	if len(log.Interactions) != 300 {
+		t.Fatalf("interactions = %d", len(log.Interactions))
+	}
+	if log.OverallSuccessRate() < 0.8 {
+		t.Fatalf("success = %.3f", log.OverallSuccessRate())
+	}
+}
+
+func TestFacadeKeywordBaseline(t *testing.T) {
+	base, space, _ := mdxFixture(t)
+	kw := ontoconv.NewKeywordAgent(space, base)
+	if _, intent := kw.Respond("precautions Aspirin"); intent == "" {
+		t.Fatal("baseline did not answer")
+	}
+}
