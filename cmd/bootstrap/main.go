@@ -10,6 +10,13 @@
 //	-space        conversation space JSON (default)
 //	-logictable   Dialogue Logic Table as text
 //	-stats        summary counts
+//	-phases-json  per-phase timing as JSON instead of the text summary
+//	-no-timings   suppress the per-phase timing summary on stderr
+//
+// Every run times the offline pipeline phase by phase (KB generation,
+// ontology curation, concept analysis, pattern extraction, example
+// generation, template generation, entity extraction) and prints a
+// structured summary to stderr; artifact output stays on stdout.
 package main
 
 import (
@@ -18,9 +25,10 @@ import (
 	"fmt"
 	"os"
 
-	"ontoconv"
 	"ontoconv/internal/core"
 	"ontoconv/internal/dialogue"
+	"ontoconv/internal/medkb"
+	"ontoconv/internal/obs"
 )
 
 func main() {
@@ -30,16 +38,28 @@ func main() {
 		spaceJSON  = flag.Bool("space", false, "print the conversation space as JSON")
 		logicTable = flag.Bool("logictable", false, "print the Dialogue Logic Table")
 		stats      = flag.Bool("stats", false, "print summary counts")
+		phasesJSON = flag.Bool("phases-json", false, "print per-phase bootstrap timing as JSON on stderr")
+		noTimings  = flag.Bool("no-timings", false, "suppress the per-phase timing summary")
 	)
 	flag.Parse()
 	if !*ontoJSON && !*owl && !*spaceJSON && !*logicTable && !*stats {
 		*spaceJSON = true
 	}
 
-	_, onto, space, err := ontoconv.MedicalBootstrap()
+	phases := obs.NewPhaseLog()
+	_, onto, space, err := medkb.BootstrapWithPhases(phases)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bootstrap:", err)
 		os.Exit(1)
+	}
+	if !*noTimings {
+		if *phasesJSON {
+			enc := json.NewEncoder(os.Stderr)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(phases.Phases())
+		} else {
+			fmt.Fprint(os.Stderr, phases.Summary())
+		}
 	}
 
 	switch {

@@ -1,11 +1,17 @@
 // Command mdxserver hosts Conversational MDX over HTTP (the deployment
 // shape of §7: conversation interface as a hosted service).
 //
-//	mdxserver -addr :8080
+//	mdxserver -addr :8080 [-debug] [-idle-ttl 30m] [-quiet]
 //
 //	curl -s localhost:8080/chat -d '{"session":"s1","message":"show me drugs that treat psoriasis"}'
 //	curl -s localhost:8080/chat -d '{"session":"s1","message":"pediatric"}'
 //	curl -s localhost:8080/feedback -d '{"session":"s1","thumbs":"up"}'
+//	curl -s localhost:8080/trace?session=s1     # per-stage trace of the last turn
+//	curl -s localhost:8080/metrics              # Prometheus text exposition
+//
+// Every request is logged as one JSON line on stderr (method, path,
+// session, status, duration). -debug additionally mounts net/http/pprof
+// under /debug/pprof/.
 package main
 
 import (
@@ -13,13 +19,20 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
 
 	"ontoconv"
 	"ontoconv/internal/agent"
+	"ontoconv/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+	idleTTL := flag.Duration("idle-ttl", agent.DefaultIdleTTL, "evict sessions idle longer than this (0 disables)")
+	quiet := flag.Bool("quiet", false, "disable JSON request logging")
 	flag.Parse()
 
 	fmt.Println("bootstrapping conversation space …")
@@ -32,6 +45,28 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := agent.NewServer(ag)
-	fmt.Printf("listening on %s (POST /chat, POST /feedback, GET /context, GET /healthz)\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	srv.SetIdleTTL(*idleTTL)
+
+	var handler http.Handler = srv.Handler()
+	if !*quiet {
+		handler = obs.AccessLog(os.Stderr, handler)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	if *debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Println("pprof enabled at /debug/pprof/")
+	}
+
+	fmt.Printf("listening on %s (POST /chat, POST /feedback, GET /context, GET /trace, GET /metrics, GET /healthz)\n", *addr)
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(server.ListenAndServe())
 }

@@ -32,6 +32,9 @@ type Options struct {
 	MaxListed int
 	// Greeting overrides the conversation-opening line.
 	Greeting string
+	// Metrics overrides the agent's metric bundle; nil creates a fresh
+	// one on its own registry.
+	Metrics *Metrics
 }
 
 // Agent is a conversation agent over one bootstrapped space and KB.
@@ -57,6 +60,8 @@ type Agent struct {
 	// entityKinds maps entity type -> kind, to know which mentions enter
 	// the context.
 	entityKinds map[string]string
+	// metrics is the serving-time metric bundle (never nil after New).
+	metrics *Metrics
 }
 
 // New trains the classifier on the space's examples, builds the entity
@@ -103,6 +108,10 @@ func New(space *core.Space, base *kb.KB, opts Options) (*Agent, error) {
 	if greeting == "" {
 		greeting = "Hello. This is Micromedex. If this is your first time, just ask for help. How can I help you today?"
 	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
 
 	a := &Agent{
 		space: space, base: base, clf: clf, rec: rec, tree: tree, table: table,
@@ -111,6 +120,7 @@ func New(space *core.Space, base *kb.KB, opts Options) (*Agent, error) {
 		generalIntents: map[string]string{},
 		proposals:      map[string][]string{},
 		entityKinds:    entityKinds,
+		metrics:        metrics,
 	}
 	for _, in := range space.Intents {
 		switch in.Kind {
@@ -180,3 +190,7 @@ func (a *Agent) Tree() *dialogue.Tree { return a.tree }
 
 // LogicTable exposes the generated Dialogue Logic Table.
 func (a *Agent) LogicTable() *dialogue.LogicTable { return a.table }
+
+// Metrics exposes the agent's metric bundle (for the /metrics endpoint
+// and evaluation).
+func (a *Agent) Metrics() *Metrics { return a.metrics }

@@ -1,0 +1,94 @@
+package agent
+
+import (
+	"time"
+
+	"ontoconv/internal/obs"
+)
+
+// Metrics is the agent's metric bundle, mirroring the per-intent usage and
+// success-rate bookkeeping of the production deployment (§7, Figures
+// 11-12): turn and per-stage latency, per-intent classification /
+// fulfillment / feedback counters, and session lifecycle.
+type Metrics struct {
+	reg *obs.Registry
+
+	// Turn pipeline.
+	Turns         *obs.Counter
+	TurnLatency   *obs.Histogram
+	StageLatency  *obs.HistogramVec // stage
+	Fallbacks     *obs.Counter
+	LowConfidence *obs.Counter
+
+	// Per-intent bookkeeping (Figure 11).
+	Classified *obs.CounterVec // intent
+	Fulfilled  *obs.CounterVec // intent
+	Feedback   *obs.CounterVec // intent, thumbs
+
+	// Session lifecycle.
+	SessionsLive    *obs.Gauge
+	SessionsOpened  *obs.Counter
+	SessionsEvicted *obs.CounterVec // reason
+
+	// HTTP serving.
+	HTTPRequests *obs.CounterVec // path, code
+	HTTPLatency  *obs.HistogramVec
+}
+
+// NewMetrics builds the bundle on a fresh registry.
+func NewMetrics() *Metrics { return NewMetricsOn(obs.NewRegistry()) }
+
+// NewMetricsOn builds the bundle on an existing registry, so callers can
+// expose agent metrics next to their own.
+func NewMetricsOn(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		reg:   reg,
+		Turns: reg.Counter("mdx_turns_total", "Conversation turns processed."),
+		TurnLatency: reg.Histogram("mdx_turn_seconds",
+			"End-to-end turn latency in seconds.", nil),
+		StageLatency: reg.HistogramVec("mdx_turn_stage_seconds",
+			"Per-stage turn latency in seconds.", nil, "stage"),
+		Fallbacks: reg.Counter("mdx_fallback_total",
+			"Turns answered by the fallback response (no intent routed)."),
+		LowConfidence: reg.Counter("mdx_intent_low_confidence_total",
+			"Classifications below the confidence threshold."),
+		Classified: reg.CounterVec("mdx_intent_classified_total",
+			"Above-threshold intent classifications by intent.", "intent"),
+		Fulfilled: reg.CounterVec("mdx_intent_fulfilled_total",
+			"Turns that executed a KB query, by intent.", "intent"),
+		Feedback: reg.CounterVec("mdx_feedback_total",
+			"Thumbs feedback by intent.", "intent", "thumbs"),
+		SessionsLive: reg.Gauge("mdx_sessions_live",
+			"Sessions currently held by the server."),
+		SessionsOpened: reg.Counter("mdx_sessions_opened_total",
+			"Sessions created."),
+		SessionsEvicted: reg.CounterVec("mdx_sessions_evicted_total",
+			"Sessions removed, by reason (closed, idle).", "reason"),
+		HTTPRequests: reg.CounterVec("mdx_http_requests_total",
+			"HTTP requests by path and status code.", "path", "code"),
+		HTTPLatency: reg.HistogramVec("mdx_http_request_seconds",
+			"HTTP request latency in seconds by path.", nil, "path"),
+	}
+}
+
+// Registry exposes the underlying registry (for the /metrics endpoint).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// observeTurn records one completed turn: total latency, per-stage
+// latencies from the trace, and fallback/fulfillment counters.
+func (m *Metrics) observeTurn(elapsed time.Duration, turn *Turn) {
+	if m == nil {
+		return
+	}
+	m.Turns.Inc()
+	m.TurnLatency.Observe(elapsed.Seconds())
+	for _, sp := range turn.Trace.Spans() {
+		m.StageLatency.With(sp.Name).Observe(sp.Duration.Seconds())
+	}
+	if turn.Intent == "" {
+		m.Fallbacks.Inc()
+	}
+	if turn.Answered {
+		m.Fulfilled.With(turn.Intent).Inc()
+	}
+}

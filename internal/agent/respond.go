@@ -4,28 +4,36 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"ontoconv/internal/core"
 	"ontoconv/internal/dialogue"
 	"ontoconv/internal/nlu"
+	"ontoconv/internal/obs"
 	"ontoconv/internal/sqlx"
 )
 
 // Respond processes one user utterance and returns the agent's reply,
-// recording the exchange on the session.
+// recording the exchange (with its per-stage trace) on the session.
 func (a *Agent) Respond(s *Session, utterance string) string {
 	s.Ctx.NextTurn()
-	turn := Turn{User: utterance}
+	s.Touch()
+	start := time.Now()
+	turn := Turn{User: utterance, Trace: obs.NewTrace(s.Ctx.Turn)}
 	reply := a.respond(s, utterance, &turn)
 	turn.Agent = reply
 	s.Ctx.LastResponse = reply
+	turn.Trace.Finish()
 	s.Turns = append(s.Turns, turn)
+	a.metrics.observeTurn(time.Since(start), &turn)
 	return reply
 }
 
 func (a *Agent) respond(s *Session, utterance string, turn *Turn) string {
 	ctx := s.Ctx
+	sp := turn.Trace.StartSpan("entity_recognition")
 	mentions := a.rec.Recognize(utterance)
+	sp.AttrInt("mentions", len(mentions)).End()
 
 	// 1. A pending partial-entity disambiguation consumes the answer
 	// (§6.1: base "Calcium" -> choose the salt).
@@ -78,7 +86,14 @@ func (a *Agent) respond(s *Session, utterance string, turn *Turn) string {
 		return a.fulfill(s, turn)
 	}
 
+	sp = turn.Trace.StartSpan("intent_classification")
 	pred := a.clf.Predict(utterance)
+	sp.Attr("intent", pred.Intent).AttrFloat("confidence", pred.Confidence).End()
+	if pred.Confidence >= a.minConf {
+		a.metrics.Classified.With(pred.Intent).Inc()
+	} else {
+		a.metrics.LowConfidence.Inc()
+	}
 
 	// 3. Conversation management (§5.2 step 3).
 	if a.cmIntents[pred.Intent] && pred.Confidence >= a.minConf {
@@ -148,6 +163,7 @@ func (a *Agent) fulfill(s *Session, turn *Turn) string {
 	if in == nil || in.Template == nil {
 		return a.tree.Fallback.Response
 	}
+	sp := turn.Trace.StartSpan("slot_filling").Attr("intent", ctx.Intent)
 	// Assume declared defaults (Table 3: "The dialogue tree must either
 	// assume a value of a required entity or elicit a value").
 	for _, req := range in.Required {
@@ -156,6 +172,7 @@ func (a *Agent) fulfill(s *Session, turn *Turn) string {
 		}
 	}
 	node := a.tree.Match(ctx.Intent, ctx.Bound)
+	sp.Attr("action", string(node.Action)).End()
 	switch node.Action {
 	case dialogue.ActElicit:
 		turn.Intent = ctx.Intent
@@ -171,24 +188,36 @@ func (a *Agent) fulfill(s *Session, turn *Turn) string {
 // answer instantiates the intent's template, executes it, and renders the
 // response.
 func (a *Agent) answer(in *core.Intent, ctx *dialogue.Context, turn *Turn) string {
+	sp := turn.Trace.StartSpan("sql_instantiate")
 	args := map[string]string{}
 	for _, req := range in.Required {
 		v, ok := ctx.Value(req.Entity)
 		if !ok {
+			sp.Attr("error", "unbound "+req.Entity).End()
 			return a.tree.Fallback.Response
 		}
 		args[req.Param] = v
 	}
 	stmt, err := in.Template.Instantiate(args)
 	if err != nil {
+		sp.Attr("error", err.Error()).End()
 		return a.tree.Fallback.Response
 	}
+	sp.AttrInt("args", len(args)).End()
+
+	sp = turn.Trace.StartSpan("kb_execute")
 	res, err := sqlx.Execute(a.base, stmt)
 	if err != nil {
+		sp.Attr("error", err.Error()).End()
 		return a.tree.Fallback.Response
 	}
+	sp.AttrInt("rows", len(res.Rows)).End()
 	turn.Answered = true
-	return a.formatAnswer(in, ctx, res)
+
+	sp = turn.Trace.StartSpan("answer_rendering")
+	reply := a.formatAnswer(in, ctx, res)
+	sp.End()
+	return reply
 }
 
 // handleCM executes a conversation-management action.

@@ -6,7 +6,14 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
+
+	"ontoconv/internal/obs"
 )
+
+// DefaultIdleTTL is how long an abandoned session is kept before the
+// sweeper evicts it.
+const DefaultIdleTTL = 30 * time.Minute
 
 // Server exposes the agent over HTTP the way the deployed system is
 // hosted (§7: "All the components of Conversational MDX are hosted on IBM
@@ -17,30 +24,92 @@ import (
 //	             -> {"session":"s1","reply":"…","intent":"…","closed":false}
 //	POST /feedback  {"session":"s1","thumbs":"down"}
 //	GET  /context?session=s1
+//	GET  /trace?session=s1[&all=1]
+//	GET  /metrics
 //	GET  /healthz
 type Server struct {
 	agent *Agent
 
-	mu       sync.Mutex
-	sessions map[string]*Session
+	// mu guards the session map only; each Session carries its own lock,
+	// so turns in distinct sessions proceed concurrently.
+	mu        sync.Mutex
+	sessions  map[string]*Session
+	idleTTL   time.Duration
+	lastSweep time.Time
 }
 
 // NewServer wraps an agent for HTTP serving.
 func NewServer(a *Agent) *Server {
-	return &Server{agent: a, sessions: make(map[string]*Session)}
+	return &Server{
+		agent:    a,
+		sessions: make(map[string]*Session),
+		idleTTL:  DefaultIdleTTL,
+	}
+}
+
+// SetIdleTTL changes the max-idle session lifetime; d <= 0 disables
+// eviction.
+func (s *Server) SetIdleTTL(d time.Duration) {
+	s.mu.Lock()
+	s.idleTTL = d
+	s.mu.Unlock()
 }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
+	m := s.agent.metrics
 	mux := http.NewServeMux()
-	mux.HandleFunc("/chat", s.handleChat)
-	mux.HandleFunc("/feedback", s.handleFeedback)
-	mux.HandleFunc("/context", s.handleContext)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle := func(path string, h http.HandlerFunc) {
+		mux.Handle(path, s.instrument(path, h))
+	}
+	handle("/chat", s.handleChat)
+	handle("/feedback", s.handleFeedback)
+	handle("/context", s.handleContext)
+	handle("/trace", s.handleTrace)
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.sweep() // scrapes double as the idle-session janitor
+		m.Registry().Handler().ServeHTTP(w, r)
+	}))
+	handle("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// instrument wraps a handler with request count and latency metrics.
+func (s *Server) instrument(path string, next http.Handler) http.Handler {
+	m := s.agent.metrics
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		m.HTTPRequests.With(path, fmt.Sprintf("%d", sw.status)).Inc()
+		m.HTTPLatency.With(path).Observe(time.Since(start).Seconds())
+	})
+}
+
+// statusWriter captures the response status code.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // ChatRequest is the /chat request body.
@@ -63,16 +132,72 @@ type FeedbackRequest struct {
 	Thumbs  string `json:"thumbs"` // "up" or "down"
 }
 
-// session returns (creating if needed) the named session.
+// session returns (creating if needed) the named session, and
+// opportunistically sweeps idle ones.
 func (s *Server) session(id string) *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked(time.Now())
 	sess, ok := s.sessions[id]
 	if !ok {
 		sess = NewSession()
 		s.sessions[id] = sess
+		s.agent.metrics.SessionsOpened.Inc()
+		s.agent.metrics.SessionsLive.Set(int64(len(s.sessions)))
 	}
 	return sess
+}
+
+// lookup returns the named session without creating it.
+func (s *Server) lookup(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// drop removes a session and records the eviction reason.
+func (s *Server) drop(id, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return
+	}
+	delete(s.sessions, id)
+	s.agent.metrics.SessionsEvicted.With(reason).Inc()
+	s.agent.metrics.SessionsLive.Set(int64(len(s.sessions)))
+}
+
+// sweep evicts idle sessions (also called from the /metrics handler so
+// periodic scrapes act as a janitor).
+func (s *Server) sweep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastSweep = time.Time{} // force
+	s.sweepLocked(time.Now())
+}
+
+// sweepLocked evicts sessions idle past the TTL. Throttled to at most one
+// pass per quarter-TTL so per-request overhead stays negligible.
+func (s *Server) sweepLocked(now time.Time) {
+	if s.idleTTL <= 0 {
+		return
+	}
+	if now.Sub(s.lastSweep) < s.idleTTL/4 {
+		return
+	}
+	s.lastSweep = now
+	evicted := 0
+	for id, sess := range s.sessions {
+		if now.Sub(sess.LastActive()) > s.idleTTL {
+			delete(s.sessions, id)
+			evicted++
+		}
+	}
+	if evicted > 0 {
+		s.agent.metrics.SessionsEvicted.With("idle").Add(uint64(evicted))
+		s.agent.metrics.SessionsLive.Set(int64(len(s.sessions)))
+	}
 }
 
 func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
@@ -89,21 +214,23 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "session and message are required", http.StatusBadRequest)
 		return
 	}
+	obs.LogField(r, "session", req.Session)
 	sess := s.session(req.Session)
-	// Serialize turns within a session; different sessions proceed
-	// concurrently (the agent itself is read-only at serving time).
-	s.mu.Lock()
+
+	// Serialize turns within this session only; other sessions hold their
+	// own locks and proceed concurrently.
+	sess.mu.Lock()
 	reply := s.agent.Respond(sess, req.Message)
 	last := sess.LastTurn()
 	closed := sess.Closed()
-	if closed {
-		delete(s.sessions, req.Session)
-	}
-	s.mu.Unlock()
-
 	resp := ChatResponse{Session: req.Session, Reply: reply, Closed: closed}
 	if last != nil {
 		resp.Intent = last.Intent
+	}
+	sess.mu.Unlock()
+
+	if closed {
+		s.drop(req.Session, "closed")
 	}
 	writeJSON(w, resp)
 }
@@ -122,38 +249,72 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `thumbs must be "up" or "down"`, http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	sess, ok := s.sessions[req.Session]
-	if ok {
-		sess.Feedback(req.Thumbs == "up")
-	}
-	s.mu.Unlock()
+	obs.LogField(r, "session", req.Session)
+	sess, ok := s.lookup(req.Session)
 	if !ok {
 		http.Error(w, "unknown session", http.StatusNotFound)
 		return
 	}
+	sess.mu.Lock()
+	sess.Feedback(req.Thumbs == "up")
+	intent := ""
+	if last := sess.LastTurn(); last != nil {
+		intent = last.Intent
+	}
+	sess.mu.Unlock()
+	s.agent.metrics.Feedback.With(intent, req.Thumbs).Inc()
 	writeJSON(w, map[string]string{"status": "recorded"})
 }
 
 func (s *Server) handleContext(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("session")
-	s.mu.Lock()
-	sess, ok := s.sessions[id]
-	var payload map[string]interface{}
-	if ok {
-		payload = map[string]interface{}{
-			"session":  id,
-			"intent":   sess.Ctx.Intent,
-			"bindings": sess.Ctx.Bindings(),
-			"turns":    len(sess.Turns),
-		}
-	}
-	s.mu.Unlock()
+	obs.LogField(r, "session", id)
+	sess, ok := s.lookup(id)
 	if !ok {
 		http.Error(w, "unknown session", http.StatusNotFound)
 		return
 	}
+	sess.mu.Lock()
+	payload := map[string]interface{}{
+		"session":  id,
+		"intent":   sess.Ctx.Intent,
+		"bindings": sess.Ctx.Bindings(),
+		"turns":    len(sess.Turns),
+	}
+	sess.mu.Unlock()
 	writeJSON(w, payload)
+}
+
+// TraceResponse is the /trace response body: the per-stage execution
+// trace(s) of a session's turns.
+type TraceResponse struct {
+	Session string          `json:"session"`
+	Turns   int             `json:"turns"`
+	Traces  []obs.TraceData `json:"traces"`
+}
+
+// handleTrace returns the last turn's trace (or every turn's with
+// ?all=1) for a session.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("session")
+	obs.LogField(r, "session", id)
+	sess, ok := s.lookup(id)
+	if !ok {
+		http.Error(w, "unknown session", http.StatusNotFound)
+		return
+	}
+	all := r.URL.Query().Get("all") != ""
+	sess.mu.Lock()
+	resp := TraceResponse{Session: id, Turns: len(sess.Turns)}
+	if all {
+		for i := range sess.Turns {
+			resp.Traces = append(resp.Traces, sess.Turns[i].Trace.Snapshot())
+		}
+	} else if last := sess.LastTurn(); last != nil {
+		resp.Traces = append(resp.Traces, last.Trace.Snapshot())
+	}
+	sess.mu.Unlock()
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -1,0 +1,274 @@
+package agent_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/obs"
+)
+
+// obsFixture builds a server with a fresh metric bundle (the shared
+// fixture agent would accumulate counts across tests).
+func obsFixture(t *testing.T) (*agent.Server, *httptest.Server, *agent.Metrics) {
+	t.Helper()
+	fixture(t) // ensure bootstrap ran; reuse its space and KB
+	m := agent.NewMetrics()
+	a, err := agent.New(space, base, agent.Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := agent.NewServer(a)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, m
+}
+
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// metricValue extracts the first sample value of a metric line matching
+// the given prefix (name or name{labels…}).
+func metricValue(t *testing.T, exposition, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := strings.TrimSpace(line[len(prefix):])
+		// Skip longer label sets that share the prefix.
+		if i := strings.LastIndex(rest, " "); i >= 0 {
+			rest = rest[i+1:]
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			continue
+		}
+		return v
+	}
+	t.Fatalf("no metric with prefix %q in:\n%s", prefix, exposition)
+	return 0
+}
+
+// TestServerConcurrentSessions drives N sessions concurrently (detecting
+// data races under -race) and then checks the exposed counters and
+// histogram add up.
+func TestServerConcurrentSessions(t *testing.T) {
+	_, ts, _ := obsFixture(t)
+
+	const sessions = 8
+	const turnsPer = 4
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("c%d", i)
+			chat(t, ts, id, "show me drugs that treat psoriasis")
+			chat(t, ts, id, "pediatric")
+			chat(t, ts, id, "precautions for Aspirin")
+			chat(t, ts, id, "what is the dosage of Metformin")
+		}(i)
+	}
+	wg.Wait()
+
+	out := scrape(t, ts)
+	total := sessions * turnsPer
+	if got := metricValue(t, out, "mdx_turns_total"); got != float64(total) {
+		t.Fatalf("mdx_turns_total = %v, want %d", got, total)
+	}
+	if got := metricValue(t, out, "mdx_turn_seconds_count"); got != float64(total) {
+		t.Fatalf("mdx_turn_seconds_count = %v, want %d", got, total)
+	}
+	// The terminal histogram bucket must equal the observation count.
+	if got := metricValue(t, out, `mdx_turn_seconds_bucket{le="+Inf"}`); got != float64(total) {
+		t.Fatalf("+Inf bucket = %v, want %d", got, total)
+	}
+	// Cumulative buckets must be monotonically non-decreasing.
+	re := regexp.MustCompile(`mdx_turn_seconds_bucket\{le="[^"]+"\} (\d+)`)
+	prev := -1.0
+	for _, m := range re.FindAllStringSubmatch(out, -1) {
+		v, _ := strconv.ParseFloat(m[1], 64)
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative:\n%s", out)
+		}
+		prev = v
+	}
+	// Per-intent classification counters (Figure 11 bookkeeping): each
+	// session classified the treatment, precaution and dosage requests.
+	if got := metricValue(t, out, `mdx_intent_classified_total{intent="Drugs That Treat Condition"}`); got < sessions {
+		t.Fatalf("treatment intent counter = %v, want >= %d", got, sessions)
+	}
+	if got := metricValue(t, out, `mdx_intent_fulfilled_total{intent="Precautions of Drug"}`); got != sessions {
+		t.Fatalf("precaution fulfilled counter = %v, want %d", got, sessions)
+	}
+	// Per-stage latency histogram is present for every pipeline stage.
+	for _, stage := range []string{"entity_recognition", "intent_classification", "slot_filling", "kb_execute"} {
+		if got := metricValue(t, out, fmt.Sprintf(`mdx_turn_stage_seconds_count{stage="%s"}`, stage)); got == 0 {
+			t.Fatalf("no %s stage observations", stage)
+		}
+	}
+	if got := metricValue(t, out, "mdx_sessions_live"); got != sessions {
+		t.Fatalf("mdx_sessions_live = %v, want %d", got, sessions)
+	}
+	if got := metricValue(t, out, `mdx_http_requests_total{path="/chat",code="200"}`); got != float64(total) {
+		t.Fatalf("http request counter = %v, want %d", got, total)
+	}
+}
+
+func TestServerTraceEndpoint(t *testing.T) {
+	_, ts, _ := obsFixture(t)
+	chat(t, ts, "tr", "precautions for Aspirin")
+
+	resp, err := http.Get(ts.URL + "/trace?session=tr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/trace status %d", resp.StatusCode)
+	}
+	var tr agent.TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Session != "tr" || len(tr.Traces) != 1 {
+		t.Fatalf("trace response = %+v", tr)
+	}
+	got := map[string]obs.Span{}
+	for _, sp := range tr.Traces[0].Spans {
+		got[sp.Name] = sp
+	}
+	// Every pipeline stage of a fully-answered turn must have a span.
+	for _, stage := range []string{
+		"entity_recognition", "intent_classification", "slot_filling",
+		"sql_instantiate", "kb_execute", "answer_rendering",
+	} {
+		if _, ok := got[stage]; !ok {
+			t.Fatalf("missing %q span in %v", stage, tr.Traces[0].Spans)
+		}
+	}
+	// Key attributes survive the round trip.
+	attrs := map[string]string{}
+	for _, a := range got["intent_classification"].Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["intent"] != "Precautions of Drug" {
+		t.Fatalf("classification attrs = %v", attrs)
+	}
+	if got["kb_execute"].Duration <= 0 {
+		t.Fatalf("kb_execute duration = %v", got["kb_execute"].Duration)
+	}
+
+	// ?all=1 returns one trace per turn.
+	chat(t, ts, "tr", "what is the dosage of Metformin")
+	resp2, err := http.Get(ts.URL + "/trace?session=tr&all=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var tr2 agent.TraceResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&tr2); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Traces) != 2 {
+		t.Fatalf("all traces = %d, want 2", len(tr2.Traces))
+	}
+
+	// Unknown session is a 404.
+	resp3, _ := http.Get(ts.URL + "/trace?session=ghost")
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost trace status %d", resp3.StatusCode)
+	}
+}
+
+func TestServerIdleEviction(t *testing.T) {
+	srv, ts, m := obsFixture(t)
+	srv.SetIdleTTL(10 * time.Millisecond)
+
+	chat(t, ts, "idle", "precautions for Aspirin")
+	if m.SessionsLive.Value() != 1 {
+		t.Fatalf("live = %d", m.SessionsLive.Value())
+	}
+	time.Sleep(20 * time.Millisecond)
+	// A metrics scrape doubles as the janitor.
+	out := scrape(t, ts)
+	if got := metricValue(t, out, `mdx_sessions_evicted_total{reason="idle"}`); got != 1 {
+		t.Fatalf("idle evictions = %v", got)
+	}
+	if m.SessionsLive.Value() != 0 {
+		t.Fatalf("live after eviction = %d", m.SessionsLive.Value())
+	}
+	resp, _ := http.Get(ts.URL + "/context?session=idle")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted session still present: %d", resp.StatusCode)
+	}
+
+	// A fresh turn under the TTL is not evicted.
+	chat(t, ts, "fresh", "precautions for Aspirin")
+	chat(t, ts, "fresh", "goodbye")
+	out = scrape(t, ts)
+	if got := metricValue(t, out, `mdx_sessions_evicted_total{reason="closed"}`); got != 1 {
+		t.Fatalf("closed evictions = %v", got)
+	}
+}
+
+func TestServerFeedbackMetrics(t *testing.T) {
+	_, ts, m := obsFixture(t)
+	chat(t, ts, "fbm", "precautions for Aspirin")
+	resp := postJSON(t, ts.URL+"/feedback", agent.FeedbackRequest{Session: "fbm", Thumbs: "down"})
+	resp.Body.Close()
+	if got := m.Feedback.With("Precautions of Drug", "down").Value(); got != 1 {
+		t.Fatalf("feedback counter = %d", got)
+	}
+	out := scrape(t, ts)
+	if got := metricValue(t, out, `mdx_feedback_total{intent="Precautions of Drug",thumbs="down"}`); got != 1 {
+		t.Fatalf("feedback exposition = %v", got)
+	}
+}
+
+func TestTurnTraceAttachedForLibraryUse(t *testing.T) {
+	a := fixture(t)
+	s := agent.NewSession()
+	a.Respond(s, "precautions for Aspirin")
+	turn := s.LastTurn()
+	if turn == nil || turn.Trace == nil {
+		t.Fatal("no trace on turn")
+	}
+	spans := turn.Trace.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	data := turn.Trace.Snapshot()
+	if data.Duration <= 0 {
+		t.Fatalf("trace duration = %v", data.Duration)
+	}
+}

@@ -1,7 +1,12 @@
 package agent
 
 import (
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"ontoconv/internal/dialogue"
+	"ontoconv/internal/obs"
 )
 
 // Turn records one exchange plus optional user feedback (the thumbs
@@ -15,17 +20,37 @@ type Turn struct {
 	Answered bool
 	// Feedback: 0 none, +1 thumbs up, -1 thumbs down.
 	Feedback int
+	// Trace holds the per-stage execution trace of this turn.
+	Trace *obs.Trace
 }
 
 // Session is one user conversation: persistent context plus transcript.
+// Turns within a session are serialized by mu; distinct sessions proceed
+// concurrently (the agent is read-only at serving time).
 type Session struct {
 	Ctx   *dialogue.Context
 	Turns []Turn
+
+	// mu serializes turns and transcript access for this session only.
+	mu sync.Mutex
+	// lastActive is the unix-nano timestamp of the last turn, for idle
+	// eviction; atomic so the sweeper can read it without taking mu.
+	lastActive atomic.Int64
 }
 
 // NewSession returns a fresh session.
 func NewSession() *Session {
-	return &Session{Ctx: dialogue.NewContext()}
+	s := &Session{Ctx: dialogue.NewContext()}
+	s.Touch()
+	return s
+}
+
+// Touch marks the session active now.
+func (s *Session) Touch() { s.lastActive.Store(time.Now().UnixNano()) }
+
+// LastActive returns the time of the session's last activity.
+func (s *Session) LastActive() time.Time {
+	return time.Unix(0, s.lastActive.Load())
 }
 
 // Feedback records thumbs up/down on the most recent turn.

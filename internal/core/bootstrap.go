@@ -6,6 +6,7 @@ import (
 
 	"ontoconv/internal/kb"
 	"ontoconv/internal/nlq"
+	"ontoconv/internal/obs"
 	"ontoconv/internal/ontogen"
 	"ontoconv/internal/ontology"
 )
@@ -21,6 +22,9 @@ type Config struct {
 	Feedback          Feedback
 	// IncludeConversationManagement appends the 14 generic intents.
 	IncludeConversationManagement bool
+	// Phases, when non-nil, receives per-step durations and artifact
+	// counts of the offline pipeline.
+	Phases *obs.PhaseLog
 }
 
 // DefaultConfig returns the configuration used throughout the
@@ -55,28 +59,41 @@ func Bootstrap(o *ontology.Ontology, base *kb.KB, cfg Config) (*Space, error) {
 	}
 
 	// 1. key and dependent concepts (§4.2.1)
+	done := cfg.Phases.Phase("concept_analysis")
 	an := AnalyzeConcepts(o, base, cfg.KeyConcepts)
+	done(obs.C("key_concepts", len(an.KeyConcepts)), obs.C("dependents", len(an.AllDependents)))
 	if len(an.KeyConcepts) == 0 {
 		return nil, fmt.Errorf("core: no key concepts identified")
 	}
 
 	// 2. query patterns -> intents (§4.2.1)
+	done = cfg.Phases.Phase("pattern_extraction")
 	intents := ExtractPatterns(o, an)
+	done(obs.C("intents", len(intents)))
 	if len(intents) == 0 {
 		return nil, fmt.Errorf("core: no query patterns extracted")
 	}
 
 	// 3. SME structural feedback (§4.2.2)
+	done = cfg.Phases.Phase("sme_structural_feedback")
 	intents, err := applyStructural(intents, cfg.Feedback)
+	done(obs.C("intents", len(intents)))
 	if err != nil {
 		return nil, err
 	}
 
 	// 4. training examples (§4.3.1)
+	done = cfg.Phases.Phase("training_examples")
 	surfaces := ConceptSurfaces(o, cfg.Entities.ConceptSynonyms)
 	GenerateExamples(intents, base, o, cfg.Phrases, surfaces, cfg.ExamplesPerIntent, cfg.Seed)
+	nexamples := 0
+	for i := range intents {
+		nexamples += len(intents[i].intent.Examples)
+	}
+	done(obs.C("examples", nexamples))
 
 	// 5. structured query templates via the NLQ service (§4.4)
+	done = cfg.Phases.Phase("query_templates")
 	svc := nlq.New(o)
 	valueEntityName := func(concept, property string) string {
 		return ontogen.ConceptName(property)
@@ -86,6 +103,7 @@ func Bootstrap(o *ontology.Ontology, base *kb.KB, cfg Config) (*Space, error) {
 			return nil, err
 		}
 	}
+	done(obs.C("templates", len(intents)))
 
 	space := &Space{
 		KeyConcepts:       an.KeyConcepts,
@@ -96,13 +114,20 @@ func Bootstrap(o *ontology.Ontology, base *kb.KB, cfg Config) (*Space, error) {
 	}
 
 	// 6. entity extraction (§4.5)
+	done = cfg.Phases.Phase("entity_extraction")
 	entCfg := cfg.Entities
 	if entCfg.InstanceEntityConcepts == nil {
 		entCfg.InstanceEntityConcepts = an.KeyConcepts
 	}
 	space.Entities = ExtractEntities(o, base, an, entCfg)
+	nvalues := 0
+	for _, def := range space.Entities {
+		nvalues += len(def.Values)
+	}
+	done(obs.C("entities", len(space.Entities)), obs.C("values", nvalues))
 
 	// 7. general entity intents (§6.1 DRUG_GENERAL)
+	done = cfg.Phases.Phase("general_and_cm_intents")
 	for _, concept := range cfg.Feedback.GeneralEntityConcepts {
 		if o.Concept(concept) == nil {
 			return nil, fmt.Errorf("core: general-entity intent for unknown concept %q", concept)
@@ -121,17 +146,22 @@ func Bootstrap(o *ontology.Ontology, base *kb.KB, cfg Config) (*Space, error) {
 	if cfg.IncludeConversationManagement {
 		space.Intents = append(space.Intents, ConversationManagementIntents()...)
 	}
+	done(obs.C("intents", len(space.Intents)))
 
 	// 9. SME renames and prior-query augmentation
+	done = cfg.Phases.Phase("sme_rename_augment")
 	if err := applyRename(space, cfg.Feedback.Rename); err != nil {
 		return nil, err
 	}
 	if err := AugmentFromPriorQueries(space, cfg.Feedback.PriorQueries); err != nil {
 		return nil, err
 	}
+	done(obs.C("prior_queries", len(cfg.Feedback.PriorQueries)))
 
 	// 10. query-completion metadata (§4.2.1, end)
+	done = cfg.Phases.Phase("completion_meta")
 	space.Completion = buildCompletionMeta(an)
+	done(obs.C("examples", len(space.AllExamples())))
 	return space, nil
 }
 

@@ -3,6 +3,7 @@ package medkb
 import (
 	"ontoconv/internal/core"
 	"ontoconv/internal/kb"
+	"ontoconv/internal/obs"
 	"ontoconv/internal/ontology"
 )
 
@@ -179,15 +180,34 @@ func BootstrapConfig(base *kb.KB) core.Config {
 // the full MDX bootstrap. It is the one-call entry point used by the
 // examples and experiments.
 func Bootstrap() (*kb.KB, *ontology.Ontology, *core.Space, error) {
+	return BootstrapWithPhases(nil)
+}
+
+// BootstrapWithPhases is Bootstrap with per-phase timing recorded into pl
+// (nil for none): KB generation, ontology curation, and every step of the
+// conversation-space bootstrap.
+func BootstrapWithPhases(pl *obs.PhaseLog) (*kb.KB, *ontology.Ontology, *core.Space, error) {
+	done := pl.Phase("medkb.generate")
 	base, err := Generate(DefaultConfig())
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	rows := 0
+	for _, name := range base.TableNames() {
+		rows += base.Table(name).Len()
+	}
+	done(obs.C("tables", len(base.TableNames())), obs.C("rows", rows))
+
+	done = pl.Phase("medkb.ontology")
 	o, err := Ontology(base)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	space, err := core.Bootstrap(o, base, BootstrapConfig(base))
+	done(obs.C("concepts", len(o.Concepts)), obs.C("object_properties", len(o.ObjectProperties)))
+
+	cfg := BootstrapConfig(base)
+	cfg.Phases = pl
+	space, err := core.Bootstrap(o, base, cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// logInfo carries handler-attached fields (session id, intent) back to the
+// access-log middleware through the request context.
+type logInfo struct {
+	mu     sync.Mutex
+	fields []Attr
+}
+
+type logCtxKey struct{}
+
+// LogField attaches a key/value pair to the current request's access-log
+// line. No-op when the request did not pass through AccessLog.
+func LogField(r *http.Request, key, value string) {
+	info, ok := r.Context().Value(logCtxKey{}).(*logInfo)
+	if !ok {
+		return
+	}
+	info.mu.Lock()
+	info.fields = append(info.fields, Attr{Key: key, Value: value})
+	info.mu.Unlock()
+}
+
+// statusWriter captures the response status and size.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// AccessLog wraps a handler with structured JSON request logging: one line
+// per request with time, method, path, status, duration, response bytes,
+// and any handler-attached fields (see LogField).
+func AccessLog(out io.Writer, next http.Handler) http.Handler {
+	var mu sync.Mutex
+	enc := json.NewEncoder(out)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		info := &logInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), logCtxKey{}, info))
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		line := map[string]interface{}{
+			"time":        start.UTC().Format(time.RFC3339Nano),
+			"method":      r.Method,
+			"path":        r.URL.Path,
+			"status":      sw.status,
+			"duration_ms": float64(time.Since(start).Microseconds()) / 1000,
+			"bytes":       sw.bytes,
+		}
+		info.mu.Lock()
+		for _, f := range info.fields {
+			line[f.Key] = f.Value
+		}
+		info.mu.Unlock()
+		mu.Lock()
+		_ = enc.Encode(line)
+		mu.Unlock()
+	})
+}

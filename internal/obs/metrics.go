@@ -1,0 +1,304 @@
+// Package obs is the dependency-free observability substrate of the
+// serving and bootstrap pipelines: an atomic metrics registry with a
+// Prometheus text-exposition writer, per-turn execution traces, phase
+// timing for the offline bootstrap, and structured HTTP access logging.
+//
+// The deployed system the paper describes (§7) reports per-intent usage
+// and success rates over seven months of production traffic (Figures
+// 11-12); this package provides the bookkeeping those figures need, live,
+// without pulling in any third-party client library.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency buckets in seconds, tuned for the
+// sub-millisecond-to-seconds range the turn pipeline spans.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets hold
+// non-cumulative counts; exposition emits them cumulatively with the
+// conventional +Inf terminal bucket.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	b := append([]float64(nil), buckets...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	if idx < len(h.bounds) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is anything a family can hold under one label set.
+type metric interface{}
+
+// family is one exposition family: a name, help text, a type, and its
+// labeled children.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "histogram"
+	labels  []string
+	buckets []float64
+
+	mu       sync.Mutex
+	children map[string]metric // key: joined label values
+	order    []string
+}
+
+func (f *family) child(values []string, make func() metric) metric {
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.children[key]
+	if !ok {
+		m = make()
+		f.children[key] = m
+		f.order = append(f.order, key)
+	}
+	return m
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format (version 0.0.4).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels: labels, buckets: buckets,
+		children: make(map[string]metric),
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter returns (registering if needed) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, "counter", nil, nil)
+	return f.child(nil, func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns (registering if needed) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, "gauge", nil, nil)
+	return f.child(nil, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns (registering if needed) an unlabeled histogram; nil
+// buckets select DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, "histogram", nil, buckets)
+	return f.child(nil, func() metric { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec returns (registering if needed) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, "counter", labels, nil)}
+}
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() metric { return &Counter{} }).(*Counter)
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns (registering if needed) a labeled histogram family;
+// nil buckets select DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, "histogram", labels, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(values, func() metric { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// labelString renders {k="v",…} for the family's labels plus extras.
+func labelString(names, values []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		val := ""
+		if i < len(values) {
+			val = values[i]
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(val))
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraK, escapeLabel(extraV))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered family in text exposition
+// format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		children := make([]metric, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		if len(children) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for i, m := range children {
+			values := strings.Split(keys[i], "\x00")
+			if keys[i] == "" {
+				values = nil
+			}
+			switch x := m.(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), x.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), x.Value())
+			case *Histogram:
+				cum := uint64(0)
+				for bi, bound := range x.bounds {
+					cum += x.counts[bi].Load()
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						labelString(f.labels, values, "le", formatFloat(bound)), cum)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, values, "le", "+Inf"), x.Count())
+				fmt.Fprintf(w, "%s_sum%s %g\n", f.name, labelString(f.labels, values, "", ""), x.Sum())
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), x.Count())
+			}
+		}
+	}
+}
+
+// Handler returns an http.Handler serving the registry in exposition
+// format (the GET /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

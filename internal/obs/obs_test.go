@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("turns_total", "turns")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := r.Gauge("sessions_live", "live sessions")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	// re-registering returns the same instance
+	if r.Counter("turns_total", "turns") != c {
+		t.Fatal("counter not deduplicated")
+	}
+}
+
+func TestCounterVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("intent_total", "by intent", "intent")
+	v.With("Precautions of Drug").Add(3)
+	v.With("Dosage of Drug").Inc()
+	if v.With("Precautions of Drug").Value() != 3 {
+		t.Fatal("labeled counter lost")
+	}
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE intent_total counter",
+		`intent_total{intent="Precautions of Drug"} 3`,
+		`intent_total{intent="Dosage of Drug"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 5.6 || got > 5.61 {
+		t.Fatalf("sum = %g", got)
+	}
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundInclusive(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	if got := h.counts[0].Load(); got != 1 {
+		t.Fatalf("bucket[0] = %d", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 7.99 || got > 8.01 {
+		t.Fatalf("sum = %g", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("x_total", "x", "v").With(`a"b\c`).Inc()
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `x_total{v="a\"b\\c"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace(3)
+	sp := tr.StartSpan("classify").Attr("intent", "Dosage of Drug").AttrFloat("confidence", 0.91)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.StartSpan("execute").AttrInt("rows", 4).End()
+	tr.Finish()
+
+	d := tr.Snapshot()
+	if d.Turn != 3 || len(d.Spans) != 2 {
+		t.Fatalf("snapshot = %+v", d)
+	}
+	if d.Spans[0].Name != "classify" || d.Spans[0].Duration <= 0 {
+		t.Fatalf("span 0 = %+v", d.Spans[0])
+	}
+	if d.Spans[0].Attrs[0].Value != "Dosage of Drug" {
+		t.Fatalf("attrs = %+v", d.Spans[0].Attrs)
+	}
+	if d.Duration < d.Spans[0].Duration {
+		t.Fatalf("trace duration %v < span duration %v", d.Duration, d.Spans[0].Duration)
+	}
+	// JSON round-trips
+	if _, err := json.Marshal(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x").Attr("k", "v").End() // must not panic
+	tr.Finish()
+	if got := tr.Snapshot(); len(got.Spans) != 0 {
+		t.Fatalf("nil trace snapshot = %+v", got)
+	}
+}
+
+func TestPhaseLog(t *testing.T) {
+	pl := NewPhaseLog()
+	done := pl.Phase("pattern_extraction")
+	time.Sleep(time.Millisecond)
+	done(C("intents", 42))
+	pl.Phase("entity_extraction")(C("entities", 9), C("values", 120))
+
+	phases := pl.Phases()
+	if len(phases) != 2 || phases[0].Name != "pattern_extraction" {
+		t.Fatalf("phases = %+v", phases)
+	}
+	if phases[0].Duration <= 0 {
+		t.Fatal("phase duration not recorded")
+	}
+	sum := pl.Summary()
+	for _, want := range []string{"pattern_extraction", "intents=42", "entities=9", "total"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	if pl.Total() < phases[0].Duration {
+		t.Fatal("total < first phase")
+	}
+}
+
+func TestPhaseLogNilSafe(t *testing.T) {
+	var pl *PhaseLog
+	pl.Phase("x")(C("n", 1)) // must not panic
+	if pl.Summary() != "" || pl.Total() != 0 {
+		t.Fatal("nil phase log not empty")
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	h := AccessLog(&buf, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		LogField(r, "session", "s1")
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/chat", nil))
+
+	var line map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log not JSON: %v (%q)", err, buf.String())
+	}
+	if line["method"] != "POST" || line["path"] != "/chat" || line["session"] != "s1" {
+		t.Fatalf("line = %v", line)
+	}
+	if line["status"].(float64) != float64(http.StatusTeapot) {
+		t.Fatalf("status = %v", line["status"])
+	}
+	if line["bytes"].(float64) != 15 {
+		t.Fatalf("bytes = %v", line["bytes"])
+	}
+	if _, ok := line["duration_ms"]; !ok {
+		t.Fatal("no duration")
+	}
+}

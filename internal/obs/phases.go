@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Count is one named count attached to a bootstrap phase ("intents=42").
+type Count struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+}
+
+// C builds a Count.
+func C(name string, n int) Count { return Count{Name: name, N: n} }
+
+// Phase is one timed step of the offline bootstrap.
+type Phase struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
+	Counts   []Count       `json:"counts,omitempty"`
+}
+
+// PhaseLog collects per-phase durations and artifact counts of the offline
+// pipeline (Figure 1a): ontology discovery passes, concept analysis,
+// pattern extraction, example generation, template generation, entity
+// extraction. A nil *PhaseLog is a valid no-op sink, so the pipeline can
+// call it unconditionally.
+type PhaseLog struct {
+	mu     sync.Mutex
+	phases []Phase
+}
+
+// NewPhaseLog returns an empty phase log.
+func NewPhaseLog() *PhaseLog { return &PhaseLog{} }
+
+// Phase starts timing a named phase; the returned func stops the clock and
+// records the phase with the given counts. Safe on a nil log.
+func (p *PhaseLog) Phase(name string) func(counts ...Count) {
+	if p == nil {
+		return func(...Count) {}
+	}
+	start := time.Now()
+	return func(counts ...Count) {
+		ph := Phase{Name: name, Duration: time.Since(start), Counts: counts}
+		p.mu.Lock()
+		p.phases = append(p.phases, ph)
+		p.mu.Unlock()
+	}
+}
+
+// Phases returns a copy of the recorded phases. Safe on a nil log.
+func (p *PhaseLog) Phases() []Phase {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Phase(nil), p.phases...)
+}
+
+// Total sums all phase durations. Safe on a nil log.
+func (p *PhaseLog) Total() time.Duration {
+	var total time.Duration
+	for _, ph := range p.Phases() {
+		total += ph.Duration
+	}
+	return total
+}
+
+// Summary renders an aligned per-phase timing table with counts, for
+// cmd/bootstrap's structured summary. Safe on a nil log.
+func (p *PhaseLog) Summary() string {
+	phases := p.Phases()
+	if len(phases) == 0 {
+		return ""
+	}
+	width := 0
+	for _, ph := range phases {
+		if len(ph.Name) > width {
+			width = len(ph.Name)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("bootstrap phases:\n")
+	for _, ph := range phases {
+		fmt.Fprintf(&b, "  %-*s  %10s", width, ph.Name, ph.Duration.Round(time.Microsecond))
+		for _, c := range ph.Counts {
+			fmt.Fprintf(&b, "  %s=%d", c.Name, c.N)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  %-*s  %10s\n", width, "total", p.Total().Round(time.Microsecond))
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one finished pipeline stage within a trace.
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Trace records the stages of one agent turn (intent classification,
+// entity recognition, slot filling, template instantiation, KB execution,
+// answer rendering). It is attached to the Turn and retrievable over
+// GET /trace?session=….
+type Trace struct {
+	mu    sync.Mutex
+	turn  int
+	start time.Time
+	end   time.Time
+	spans []Span
+}
+
+// NewTrace opens a trace for the given turn number.
+func NewTrace(turn int) *Trace {
+	return &Trace{turn: turn, start: time.Now()}
+}
+
+// SpanRef is an open span; call End to record it.
+type SpanRef struct {
+	t     *Trace
+	name  string
+	start time.Time
+	attrs []Attr
+}
+
+// StartSpan opens a named span. Safe on a nil trace (returns a no-op ref).
+func (t *Trace) StartSpan(name string) *SpanRef {
+	if t == nil {
+		return nil
+	}
+	return &SpanRef{t: t, name: name, start: time.Now()}
+}
+
+// Attr attaches a string attribute. Safe on a nil ref.
+func (s *SpanRef) Attr(key, value string) *SpanRef {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// AttrInt attaches an integer attribute. Safe on a nil ref.
+func (s *SpanRef) AttrInt(key string, value int) *SpanRef {
+	return s.Attr(key, strconv.Itoa(value))
+}
+
+// AttrFloat attaches a float attribute. Safe on a nil ref.
+func (s *SpanRef) AttrFloat(key string, value float64) *SpanRef {
+	return s.Attr(key, strconv.FormatFloat(value, 'g', 4, 64))
+}
+
+// End closes the span and records it on the trace. Safe on a nil ref.
+func (s *SpanRef) End() {
+	if s == nil {
+		return
+	}
+	sp := Span{Name: s.name, Start: s.start, Duration: time.Since(s.start), Attrs: s.attrs}
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, sp)
+	s.t.mu.Unlock()
+}
+
+// Finish marks the turn complete. Safe on a nil trace.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.end = time.Now()
+	t.mu.Unlock()
+}
+
+// TraceData is an immutable snapshot of a trace, shaped for JSON.
+type TraceData struct {
+	Turn     int           `json:"turn"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Spans    []Span        `json:"spans"`
+}
+
+// Snapshot copies the trace for serialization. Safe on a nil trace.
+func (t *Trace) Snapshot() TraceData {
+	if t == nil {
+		return TraceData{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return TraceData{
+		Turn:     t.turn,
+		Start:    t.start,
+		Duration: end.Sub(t.start),
+		Spans:    append([]Span(nil), t.spans...),
+	}
+}
+
+// Spans returns a copy of the finished spans. Safe on a nil trace.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}

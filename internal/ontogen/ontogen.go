@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"ontoconv/internal/kb"
+	"ontoconv/internal/obs"
 	"ontoconv/internal/ontology"
 )
 
@@ -28,6 +29,8 @@ type Config struct {
 	CategoricalMaxRatio float64
 	// Name names the generated ontology.
 	Name string
+	// Phases, when non-nil, receives per-pass durations and counts.
+	Phases *obs.PhaseLog
 }
 
 // DefaultConfig returns the thresholds used throughout the reproduction.
@@ -45,6 +48,7 @@ func Generate(base *kb.KB, cfg Config) (*ontology.Ontology, error) {
 
 	// Pass 1: concepts with data properties (FK columns excluded — they
 	// become object properties).
+	done := cfg.Phases.Phase("ontogen.concepts")
 	for _, name := range base.TableNames() {
 		t := base.Table(name)
 		fkCols := make(map[string]bool)
@@ -87,7 +91,14 @@ func Generate(base *kb.KB, cfg Config) (*ontology.Ontology, error) {
 		}
 	}
 
+	nprops := 0
+	for _, c := range o.Concepts {
+		nprops += len(c.DataProperties)
+	}
+	done(obs.C("concepts", len(o.Concepts)), obs.C("data_properties", nprops))
+
 	// Pass 2: object properties and isA from foreign keys.
+	done = cfg.Phases.Phase("ontogen.relationships")
 	for _, name := range base.TableNames() {
 		t := base.Table(name)
 		for _, fk := range t.Schema.ForeignKeys {
@@ -114,9 +125,13 @@ func Generate(base *kb.KB, cfg Config) (*ontology.Ontology, error) {
 		}
 	}
 
+	done(obs.C("object_properties", len(o.ObjectProperties)), obs.C("isa", len(o.IsARelations)))
+
 	// Pass 3: unions — an isA family where the children exactly partition
 	// the parent's primary keys (mutually exclusive and exhaustive).
+	done = cfg.Phases.Phase("ontogen.unions")
 	detectUnions(base, o)
+	done(obs.C("unions", len(o.Unions)))
 
 	if err := o.Validate(); err != nil {
 		return nil, err

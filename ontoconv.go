@@ -42,6 +42,7 @@ import (
 	"ontoconv/internal/medkb"
 	"ontoconv/internal/nlq"
 	"ontoconv/internal/nlu"
+	"ontoconv/internal/obs"
 	"ontoconv/internal/ontogen"
 	"ontoconv/internal/ontology"
 	"ontoconv/internal/sim"
@@ -202,6 +203,37 @@ func MedicalKB() (*KB, error) { return medkb.Generate(medkb.DefaultConfig()) }
 // ontology, and bootstrapped conversation space with the paper's SME
 // feedback applied.
 func MedicalBootstrap() (*KB, *Ontology, *Space, error) { return medkb.Bootstrap() }
+
+// MedicalBootstrapTimed is MedicalBootstrap with per-phase timing recorded
+// into pl (see NewPhaseLog).
+func MedicalBootstrapTimed(pl *PhaseLog) (*KB, *Ontology, *Space, error) {
+	return medkb.BootstrapWithPhases(pl)
+}
+
+// Observability types (the serving-time measurement layer).
+type (
+	// MetricsRegistry is the dependency-free metric registry with a
+	// Prometheus text-exposition writer.
+	MetricsRegistry = obs.Registry
+	// AgentMetrics is the agent's metric bundle: turn and per-stage
+	// latency, per-intent classification/fulfillment/feedback counters,
+	// and session lifecycle (the paper's Figure 11 bookkeeping, live).
+	AgentMetrics = agent.Metrics
+	// TurnTrace is the per-stage execution trace attached to each turn.
+	TurnTrace = obs.Trace
+	// PhaseLog collects per-phase durations of the offline bootstrap.
+	PhaseLog = obs.PhaseLog
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewAgentMetrics builds an agent metric bundle on a fresh registry; pass
+// it via AgentOptions.Metrics to share one registry across agents.
+func NewAgentMetrics() *AgentMetrics { return agent.NewMetrics() }
+
+// NewPhaseLog returns an empty bootstrap phase log.
+func NewPhaseLog() *PhaseLog { return obs.NewPhaseLog() }
 
 // Evaluation (the paper's §7 experiments).
 type (
