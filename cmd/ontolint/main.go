@@ -1,0 +1,139 @@
+// Command ontolint is the static-analysis suite for ontoconv. It checks
+// correctness in the two places it lives for an ontology-bootstrapped
+// conversation system: the Go source that emits the artifacts, and the
+// bootstrapped workspace itself.
+//
+//	ontolint ./...                 lint the module's source (Layer 1)
+//	ontolint -space space.json     lint a bootstrapped conversation space
+//	                               (Layer 2); "-" reads stdin
+//	ontolint -bootstrap            bootstrap the built-in MDX workspace
+//	                               in-process and lint it
+//	ontolint -run nondeterm,errdrop ./...   run a subset of analyzers
+//	ontolint -list                 list analyzers and space rules
+//
+// Suppress a source finding with a comment on (or directly above) the
+// flagged line:
+//
+//	//ontolint:ignore lockheld per-session lock; serializing turns is the point
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ontoconv/internal/core"
+	"ontoconv/internal/lint"
+	"ontoconv/internal/medkb"
+)
+
+func main() {
+	var (
+		spaceFile = flag.String("space", "", "lint a conversation-space JSON file instead of source (\"-\" for stdin)")
+		bootstrap = flag.Bool("bootstrap", false, "bootstrap the built-in MDX workspace and lint it")
+		run       = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		list      = flag.Bool("list", false, "list analyzers and space rules, then exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("source analyzers (Layer 1):")
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Println("space rules (Layer 2): dangling-intent dangling-entity unreachable-node template-slot dup-example synonym-collision empty-intent")
+	case *spaceFile != "" || *bootstrap:
+		os.Exit(lintSpace(*spaceFile, *bootstrap))
+	default:
+		os.Exit(lintSource(flag.Args(), *run))
+	}
+}
+
+func lintSource(patterns []string, run string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers := lint.Analyzers()
+	if run != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ontolint: unknown analyzer %q (have %s)\n", name, strings.Join(lint.AnalyzerNames(), ", "))
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ontolint:", err)
+		return 2
+	}
+	pkgs, err := lint.LoadModule(wd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ontolint:", err)
+		return 2
+	}
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ontolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func lintSpace(file string, bootstrap bool) int {
+	var space *core.Space
+	switch {
+	case bootstrap:
+		_, _, s, err := medkb.Bootstrap()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ontolint: bootstrap:", err)
+			return 2
+		}
+		space = s
+	case file == "-":
+		s, err := core.ReadJSON(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ontolint:", err)
+			return 2
+		}
+		space = s
+	default:
+		f, err := os.Open(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ontolint:", err)
+			return 2
+		}
+		s, err := core.ReadJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ontolint:", err)
+			return 2
+		}
+		space = s
+	}
+	diags := lint.LintSpace(space)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ontolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

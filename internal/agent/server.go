@@ -220,6 +220,7 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	// Serialize turns within this session only; other sessions hold their
 	// own locks and proceed concurrently.
 	sess.mu.Lock()
+	//ontolint:ignore lockheld per-session lock: serializing turns within one conversation is the point
 	reply := s.agent.Respond(sess, req.Message)
 	last := sess.LastTurn()
 	closed := sess.Closed()

@@ -43,12 +43,17 @@ func applyStructural(intents []extractedIntent, fb Feedback) ([]extractedIntent,
 	for i := range intents {
 		byName[intents[i].intent.Name] = &intents[i]
 	}
-	for name, vfs := range fb.ValueFilters {
+	vfNames := make([]string, 0, len(fb.ValueFilters))
+	for name := range fb.ValueFilters {
+		vfNames = append(vfNames, name)
+	}
+	sort.Strings(vfNames)
+	for _, name := range vfNames {
 		in, ok := byName[name]
 		if !ok {
 			return nil, fmt.Errorf("core: sme value filter for unknown intent %q", name)
 		}
-		in.valueFilters = append(in.valueFilters, vfs...)
+		in.valueFilters = append(in.valueFilters, fb.ValueFilters[name]...)
 	}
 	for _, p := range fb.ExpectedPatterns {
 		in, ok := byName[p.Intent]

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"ontoconv/internal/kb"
@@ -238,7 +239,13 @@ func GenerateGeneralEntityExamples(concept string, base *kb.KB, o *ontology.Onto
 // AugmentFromPriorQueries appends SME-labelled prior user queries to an
 // intent's training set (§4.3.2, Figure 8). Unknown intents are an error.
 func AugmentFromPriorQueries(space *Space, byIntent map[string][]string) error {
-	for name, examples := range byIntent {
+	names := make([]string, 0, len(byIntent))
+	for name := range byIntent {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		examples := byIntent[name]
 		in := space.Intent(name)
 		if in == nil {
 			return fmt.Errorf("core: augment: unknown intent %q", name)

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pathMatcher returns a Match function accepting exactly the given import
+// paths. A trailing "/..." in an entry matches the whole subtree.
+func pathMatcher(paths ...string) func(string) bool {
+	return func(p string) bool {
+		for _, want := range paths {
+			if sub, ok := strings.CutSuffix(want, "/..."); ok {
+				if p == sub || strings.HasPrefix(p, sub+"/") {
+					return true
+				}
+			} else if p == want {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (function, method, or qualified selector), or nil for builtins,
+// conversions and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fn].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fn.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// funcDecls yields every function declaration with a body in the pass's
+// files.
+func funcDecls(files []*ast.File, fn func(*ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// receiverTypeName returns the name of a method's receiver type (without
+// pointer), or "" for plain functions.
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// callDropsError reports whether the call returns an error (alone or as
+// the last element of a tuple).
+func callDropsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return t != nil && isErrorType(t)
+	}
+}

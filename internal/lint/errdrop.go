@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ErrDropAnalyzer flags calls whose error result is silently discarded on
+// the serve and bootstrap paths. A dropped error during bootstrap means a
+// corrupted artifact ships without failing the build; a dropped error
+// while serving means a user turn silently degrades. Explicitly assigning
+// to the blank identifier (`_ = f()`) is treated as a reviewed decision
+// and not reported.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "discarded error return on a serve or bootstrap path",
+	Match: pathMatcher(
+		"ontoconv",
+		"ontoconv/internal/agent",
+		"ontoconv/internal/core",
+		"ontoconv/internal/ontogen",
+		"ontoconv/internal/medkb",
+		"ontoconv/internal/kb",
+		"ontoconv/internal/dialogue",
+		"ontoconv/internal/nlq",
+		"ontoconv/internal/sqlx",
+		"ontoconv/internal/obs",
+		"ontoconv/cmd/...",
+	),
+	Run: runErrDrop,
+}
+
+// errDropAllowed are callees whose returned error is always nil by
+// contract (strings.Builder, bytes.Buffer) or conventionally unchecked
+// terminal output (fmt printing).
+func errDropAllowed(pkgPath, recv, name string) bool {
+	switch pkgPath {
+	case "fmt":
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	case "strings":
+		return recv == "Builder"
+	case "bytes":
+		return recv == "Buffer"
+	}
+	return false
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !callDropsError(p.Info, call) {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil {
+				p.Reportf(call.Pos(), "error result discarded; handle it or assign to _ explicitly")
+				return true
+			}
+			pkgPath := ""
+			if fn.Pkg() != nil {
+				pkgPath = fn.Pkg().Path()
+			}
+			recv := receiverTypeName(fn)
+			if errDropAllowed(pkgPath, recv, fn.Name()) {
+				return true
+			}
+			p.Reportf(call.Pos(), "error result of %s is discarded; handle it or assign to _ explicitly", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"ontoconv/internal/lint"
+)
+
+// Golden tests: each analyzer runs over a testdata package of known-bad
+// (and deliberately-benign) snippets. Lines that must produce a
+// diagnostic carry a `//want:<analyzer>` marker; the test fails on any
+// missing or unexpected finding, so both detection and false-positive
+// regressions are caught.
+
+var wantMarker = regexp.MustCompile(`//want:([a-z]+)`)
+
+func analyzerByName(t *testing.T, name string) *lint.Analyzer {
+	t.Helper()
+	for _, a := range lint.Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// runGolden type-checks testdata/src/<name> under the import path the
+// analyzer is scoped to and diffs findings against the //want markers.
+func runGolden(t *testing.T, name, importPath string) {
+	t.Helper()
+	a := analyzerByName(t, name)
+	if a.Match != nil && !a.Match(importPath) {
+		t.Fatalf("analyzer %s is out of scope for %s; golden test would be vacuous", name, importPath)
+	}
+
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := lint.CheckDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("CheckDir(%s): %v", dir, err)
+	}
+
+	want := map[string]bool{} // "file:line"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantMarker.FindAllStringSubmatch(line, -1) {
+				if m[1] != name {
+					t.Fatalf("%s:%d: marker %q does not match analyzer %q", e.Name(), i+1, m[0], name)
+				}
+				want[fmt.Sprintf("%s:%d", e.Name(), i+1)] = true
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("no //want:%s markers in %s; golden test would prove nothing", name, dir)
+	}
+
+	got := map[string]bool{}
+	var diags []lint.Diagnostic
+	for _, d := range lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a}) {
+		got[fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)] = true
+		diags = append(diags, d)
+	}
+
+	var missing, extra []string
+	for k := range want {
+		if !got[k] {
+			missing = append(missing, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	if len(missing)+len(extra) > 0 {
+		var all []string
+		for _, d := range diags {
+			all = append(all, d.String())
+		}
+		t.Errorf("%s: missing findings at %v, unexpected findings at %v\nall diagnostics:\n  %s",
+			name, missing, extra, strings.Join(all, "\n  "))
+	}
+}
+
+func TestGoldenNonDeterm(t *testing.T) { runGolden(t, "nondeterm", "ontoconv/internal/core") }
+func TestGoldenSQLBuild(t *testing.T)  { runGolden(t, "sqlbuild", "ontoconv/internal/agent") }
+func TestGoldenLockHeld(t *testing.T)  { runGolden(t, "lockheld", "ontoconv/internal/agent") }
+func TestGoldenErrDrop(t *testing.T)   { runGolden(t, "errdrop", "ontoconv/internal/core") }
+
+// TestAnalyzerScope proves scoped analyzers stay silent outside their
+// package set: the same known-bad nondeterm snippets produce nothing when
+// the package impersonates a path off the artifact-emission path.
+func TestAnalyzerScope(t *testing.T) {
+	a := analyzerByName(t, "nondeterm")
+	if a.Match("ontoconv/internal/sim") {
+		t.Fatalf("nondeterm unexpectedly in scope for internal/sim")
+	}
+	pkg, err := lint.CheckDir(filepath.Join("testdata", "src", "nondeterm"), "ontoconv/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a}); len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced findings: %v", diags)
+	}
+}
+
+// TestSuppressionDirective proves //ontolint:ignore silences exactly the
+// annotated line: the suppressed twin of a flagged pattern (present in the
+// nondeterm snippets) must not appear in the diagnostics.
+func TestSuppressionDirective(t *testing.T) {
+	pkg, err := lint.CheckDir(filepath.Join("testdata", "src", "nondeterm"), "ontoconv/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{analyzerByName(t, "nondeterm")})
+	for _, d := range diags {
+		line, err := snippetLine(d.Pos.Filename, d.Pos.Line-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(line, "ontolint:ignore") {
+			t.Errorf("diagnostic survived a suppression directive: %s", d)
+		}
+	}
+}
+
+func snippetLine(file string, n int) (string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	lines := strings.Split(string(data), "\n")
+	if n < 1 || n > len(lines) {
+		return "", nil
+	}
+	return lines[n-1], nil
+}

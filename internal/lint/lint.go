@@ -1,0 +1,187 @@
+// Package lint is ontoconv's from-scratch static-analysis suite. It has
+// two layers mirroring where correctness lives in an ontology-bootstrapped
+// conversation system (paper §4): Layer 1 analyzes the Go source that
+// *emits* the conversation-space artifacts (determinism of generation,
+// templated SQL discipline, lock hygiene on the serving path, dropped
+// errors), and Layer 2 statically validates a *bootstrapped workspace*
+// itself — intents, entities, dialogue logic table, dialogue tree and SQL
+// templates — before it is served (see space.go).
+//
+// Layer 1 is built on the standard library only: go/parser for syntax and
+// go/types for semantic facts. There is no dependency on
+// golang.org/x/tools; the loader in load.go type-checks the module with a
+// topological import walk and a stdlib importer chain.
+//
+// A diagnostic can be suppressed by placing a comment of the form
+//
+//	//ontolint:ignore <analyzer> <reason>
+//
+// on the flagged line or on the line immediately above it. The reason is
+// mandatory by convention: suppressions document why the pattern is safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	if d.Pos.Filename == "" {
+		return fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one source-level check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Match reports whether the analyzer applies to a package import
+	// path. A nil Match applies everywhere.
+	Match func(path string) bool
+	// Run inspects one type-checked package and reports findings.
+	Run func(p *Pass)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Path  string // import path
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	suppress map[string]map[int]bool // filename -> suppressed lines
+	out      *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an ontolint:ignore comment
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	lines := p.suppress[position.Filename]
+	if lines[position.Line] || lines[position.Line-1] {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      position,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Analyzers returns the full Layer-1 suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NonDetermAnalyzer,
+		SQLBuildAnalyzer,
+		LockHeldAnalyzer,
+		ErrDropAnalyzer,
+	}
+}
+
+// AnalyzerNames returns the names of every registered analyzer, sorted.
+func AnalyzerNames() []string {
+	var out []string
+	for _, a := range Analyzers() {
+		out = append(out, a.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAnalyzers applies the given analyzers (nil means all) to the loaded
+// packages and returns the findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		supp := suppressions(pkg)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				analyzer: a,
+				suppress: supp[a.Name],
+				out:      &out,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// suppressions scans a package's comments for ontolint:ignore directives
+// and returns analyzer -> filename -> line lookup tables.
+func suppressions(pkg *Package) map[string]map[string]map[int]bool {
+	out := map[string]map[string]map[int]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "ontolint:ignore") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "ontolint:ignore"))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				name := fields[0]
+				pos := pkg.Fset.Position(c.Pos())
+				byFile, ok := out[name]
+				if !ok {
+					byFile = map[string]map[int]bool{}
+					out[name] = byFile
+				}
+				lines, ok := byFile[pos.Filename]
+				if !ok {
+					lines = map[int]bool{}
+					byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+			}
+		}
+	}
+	return out
+}

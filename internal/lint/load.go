@@ -1,0 +1,328 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// stdlibImporter chains the compiler export-data importer with a
+// source-parsing fallback, so the loader works both on machines with
+// prebuilt stdlib export data and on machines with only GOROOT sources
+// (Go ≥ 1.20 stopped shipping stdlib .a files).
+type stdlibImporter struct {
+	fset *token.FileSet
+	gc   types.Importer
+	src  types.Importer
+	memo map[string]*types.Package
+}
+
+func newStdlibImporter(fset *token.FileSet) *stdlibImporter {
+	return &stdlibImporter{
+		fset: fset,
+		gc:   importer.Default(),
+		memo: map[string]*types.Package{},
+	}
+}
+
+func (si *stdlibImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := si.memo[path]; ok {
+		return pkg, nil
+	}
+	pkg, err := si.gc.Import(path)
+	if err != nil {
+		if si.src == nil {
+			si.src = importer.ForCompiler(si.fset, "source", nil)
+		}
+		pkg, err = si.src.Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: import %q: %w", path, err)
+		}
+	}
+	si.memo[path] = pkg
+	return pkg, nil
+}
+
+// moduleImporter resolves module-internal imports from already-checked
+// packages and everything else through the stdlib chain.
+type moduleImporter struct {
+	module string
+	done   map[string]*types.Package
+	stdlib *stdlibImporter
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == mi.module || strings.HasPrefix(path, mi.module+"/") {
+		pkg, ok := mi.done[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: internal package %q not yet checked (import cycle?)", path)
+		}
+		return pkg, nil
+	}
+	return mi.stdlib.Import(path)
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return abs, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// LoadModule parses and type-checks every package of the module rooted at
+// root whose import path matches one of the patterns. Patterns follow go
+// tool syntax reduced to what ontolint needs: "./..." (everything),
+// "./dir/..." (a subtree), or "./dir" (one package). Packages are
+// returned topologically sorted (dependencies first). Test files are
+// excluded: the analyzers target the shipping code.
+func LoadModule(root string, patterns []string) ([]*Package, error) {
+	root, module, err := FindModule(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	type parsed struct {
+		dir   string
+		path  string
+		files []*ast.File
+		deps  []string
+	}
+	byPath := map[string]*parsed{}
+	var order []string
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := module
+		if rel != "." {
+			path = module + "/" + filepath.ToSlash(rel)
+		}
+		p := &parsed{dir: dir, path: path, files: files}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if ip == module || strings.HasPrefix(ip, module+"/") {
+					p.deps = append(p.deps, ip)
+				}
+			}
+		}
+		byPath[path] = p
+		order = append(order, path)
+	}
+	sort.Strings(order)
+
+	// Topological sort over module-internal imports.
+	var topo []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %q", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		p := byPath[path]
+		deps := append([]string(nil), p.deps...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if _, ok := byPath[d]; !ok {
+				return fmt.Errorf("lint: %q imports %q, which is not in the module", path, d)
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		topo = append(topo, path)
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+
+	// Type-check in dependency order.
+	imp := &moduleImporter{module: module, done: map[string]*types.Package{}, stdlib: newStdlibImporter(fset)}
+	var pkgs []*Package
+	for _, path := range topo {
+		p := byPath[path]
+		pkg, err := check(fset, path, p.files, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.done[path] = pkg.Types
+		pkg.Dir = p.dir
+		pkgs = append(pkgs, pkg)
+	}
+
+	// Filter down to the requested patterns, preserving topo order.
+	want := func(path string) bool {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, module), "/")
+		for _, pat := range patterns {
+			pat = strings.TrimPrefix(pat, "./")
+			switch {
+			case pat == "..." || pat == "" || pat == ".":
+				return true
+			case strings.HasSuffix(pat, "/..."):
+				prefix := strings.TrimSuffix(pat, "/...")
+				if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+					return true
+				}
+			case rel == strings.TrimSuffix(pat, "/"):
+				return true
+			}
+		}
+		return false
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var out []*Package
+	for _, pkg := range pkgs {
+		if want(pkg.Path) {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// CheckDir parses and type-checks a single directory of Go files as the
+// given import path, resolving imports from the standard library only.
+// Golden tests use it to run analyzers over known-bad snippets while
+// impersonating an analyzer-scoped package path.
+func CheckDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg, err := check(fset, importPath, files, newStdlibImporter(fset))
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}
+
+// check type-checks one package.
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// parseDir parses every non-test Go file in dir (build-tag-free module, so
+// no constraint evaluation is needed).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// packageDirs lists every directory under root that can hold a package,
+// skipping VCS metadata, testdata trees and hidden directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		name := info.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

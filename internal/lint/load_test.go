@@ -1,0 +1,66 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ontoconv/internal/lint"
+)
+
+// TestLoadModulePatterns exercises the stdlib-only loader end to end: it
+// must find the enclosing module from a package directory, type-check it
+// with dependencies ordered before dependents, and honor go-style
+// pattern filtering.
+func TestLoadModulePatterns(t *testing.T) {
+	pkgs, err := lint.LoadModule(".", []string{"./internal/lint"})
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "ontoconv/internal/lint" {
+		t.Fatalf("pattern ./internal/lint selected %v", paths(pkgs))
+	}
+
+	pkgs, err = lint.LoadModule(".", []string{"./internal/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		seen[p.Path] = true
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Fatalf("package %s loaded without type information", p.Path)
+		}
+	}
+	for _, want := range []string{"ontoconv/internal/core", "ontoconv/internal/sqlx", "ontoconv/internal/agent"} {
+		if !seen[want] {
+			t.Fatalf("pattern ./internal/... missed %s; got %v", want, paths(pkgs))
+		}
+	}
+	if seen["ontoconv/cmd/ontolint"] {
+		t.Fatalf("pattern ./internal/... leaked cmd packages")
+	}
+}
+
+// TestModuleLintClean is the self-hosting regression test: the repository
+// must stay free of findings from its own analyzers. This is the same
+// invariant CI enforces with `go run ./cmd/ontolint ./...`.
+func TestModuleLintClean(t *testing.T) {
+	pkgs, err := lint.LoadModule(".", []string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	diags := lint.RunAnalyzers(pkgs, nil)
+	for _, d := range diags {
+		t.Errorf("finding: %s", d.String())
+	}
+}
+
+func paths(pkgs []*lint.Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.Path)
+	}
+	return out
+}

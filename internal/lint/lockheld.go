@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeldAnalyzer flags KB-execution and IO calls made while a sync
+// mutex is held, in the serving packages. This is the exact bug class
+// fixed by hand in the observability PR: holding the server-wide session
+// lock across Agent.Respond (which executes structured queries against
+// the KB) serializes every user onto one mutex. A deliberate hold — such
+// as the per-session lock that serializes turns within one conversation —
+// is documented with an ontolint:ignore comment.
+var LockHeldAnalyzer = &Analyzer{
+	Name:  "lockheld",
+	Doc:   "mutex held across KB-execute or IO calls on the serving path",
+	Match: pathMatcher("ontoconv/internal/agent", "ontoconv/cmd/..."),
+	Run:   runLockHeld,
+}
+
+// lockBlockingPkgs are packages whose calls do KB execution, network or
+// file IO: work that must not run under a contended mutex.
+var lockBlockingPkgs = map[string]bool{
+	"ontoconv/internal/kb":   true,
+	"ontoconv/internal/sqlx": true,
+	"net/http":               true,
+	"net":                    true,
+	"os":                     true,
+	"database/sql":           true,
+}
+
+// lockBlockingMethods are in-module entry points known to reach KB
+// execution regardless of their defining package.
+var lockBlockingMethods = map[string]bool{
+	"Respond": true,
+}
+
+// lockRegion is a span of one function during which a given mutex
+// expression is held.
+type lockRegion struct {
+	expr       string // receiver expression, e.g. "s.mu"
+	start, end token.Pos
+}
+
+func runLockHeld(p *Pass) {
+	funcDecls(p.Files, func(fd *ast.FuncDecl) {
+		regions := lockRegions(p, fd)
+		if len(regions) == 0 {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil {
+				return true
+			}
+			if !blockingCallee(fn) {
+				return true
+			}
+			for _, reg := range regions {
+				if call.Pos() > reg.start && call.Pos() < reg.end {
+					p.Reportf(call.Pos(), "%s called while %s is held; KB/IO work under a mutex blocks every other holder",
+						fn.Name(), reg.expr)
+					return true
+				}
+			}
+			return true
+		})
+	})
+}
+
+func blockingCallee(fn *types.Func) bool {
+	if fn.Pkg() != nil && lockBlockingPkgs[fn.Pkg().Path()] {
+		return true
+	}
+	return lockBlockingMethods[fn.Name()]
+}
+
+// lockRegions finds the held spans of every sync.Mutex / sync.RWMutex in
+// one function: from each Lock/RLock call to the first matching
+// Unlock/RUnlock on the same receiver expression, or to the function end
+// when the unlock is deferred (or missing).
+func lockRegions(p *Pass, fd *ast.FuncDecl) []lockRegion {
+	type event struct {
+		expr   string
+		pos    token.Pos
+		unlock bool
+	}
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		deferred := false
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			call, deferred = n.Call, true
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		}
+		if call == nil {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		switch fn.Name() {
+		case "Lock", "RLock":
+			events = append(events, event{expr: types.ExprString(sel.X), pos: call.Pos()})
+		case "Unlock", "RUnlock":
+			if !deferred {
+				events = append(events, event{expr: types.ExprString(sel.X), pos: call.Pos(), unlock: true})
+			}
+			// A deferred unlock releases at return: the region runs to
+			// the function end, which is the default below.
+		}
+		return true
+	})
+
+	var regions []lockRegion
+	for i, ev := range events {
+		if ev.unlock {
+			continue
+		}
+		end := fd.Body.End()
+		for _, later := range events[i+1:] {
+			if later.unlock && later.expr == ev.expr {
+				end = later.pos
+				break
+			}
+		}
+		regions = append(regions, lockRegion{expr: ev.expr, start: ev.pos, end: end})
+	}
+	return regions
+}

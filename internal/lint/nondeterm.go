@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// emissionPaths are the packages on the artifact-emission path: everything
+// they produce (ontology, conversation space, logic table, templates) must
+// be byte-reproducible run over run, because the paper's whole pipeline is
+// "generate artifacts offline, upload, serve" — a nondeterministic
+// bootstrap breaks artifact diffing, caching and CI golden files.
+var emissionPaths = pathMatcher(
+	"ontoconv",
+	"ontoconv/internal/core",
+	"ontoconv/internal/ontogen",
+	"ontoconv/internal/medkb",
+	"ontoconv/internal/ontology",
+	"ontoconv/internal/dialogue",
+	"ontoconv/internal/kb",
+	"ontoconv/internal/nlq",
+	"ontoconv/internal/sqlx",
+)
+
+// NonDetermAnalyzer flags `range` over a map whose iteration order can
+// leak into generated artifacts. Two shapes are recognized as safe:
+//
+//   - order-insensitive bodies: only per-key map writes, commutative
+//     numeric accumulation (x++, x += n), constant stores, deletes, and
+//     sorts of values indexed by the range key;
+//   - collect-then-sort: every slice appended to inside the loop is passed
+//     to a sort.* call later in the same function.
+//
+// Everything else — appending without a subsequent sort, returning from
+// inside the loop (first-match selection), calling functions with
+// unknowable effects — is reported.
+var NonDetermAnalyzer = &Analyzer{
+	Name:  "nondeterm",
+	Doc:   "unsorted map iteration on an artifact-emission path",
+	Match: emissionPaths,
+	Run:   runNonDeterm,
+}
+
+func runNonDeterm(p *Pass) {
+	funcDecls(p.Files, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(p, fd, rs)
+			return true
+		})
+	})
+}
+
+// checkMapRange classifies one map-range statement.
+func checkMapRange(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	keyName, valueName := "", ""
+	if id, ok := rs.Key.(*ast.Ident); ok {
+		keyName = id.Name
+	}
+	if id, ok := rs.Value.(*ast.Ident); ok {
+		valueName = id.Name
+	}
+	c := &rangeClassifier{pass: p, keyName: keyName, valueName: valueName}
+	c.stmts(rs.Body.List)
+	if c.verdict != "" {
+		p.Reportf(rs.For, "iteration over map %s is order-dependent (%s); sort the keys first",
+			types.ExprString(rs.X), c.verdict)
+		return
+	}
+	// Collect-then-sort: every appended-to slice must be sorted after the
+	// loop, inside this function.
+	if len(c.appends) == 0 {
+		return
+	}
+	sorted := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if fn := calleeFunc(p.Info, call); fn != nil && fn.Pkg() != nil &&
+			(fn.Pkg().Path() == "sort" || fn.Pkg().Path() == "slices") && len(call.Args) > 0 {
+			sorted[types.ExprString(call.Args[0])] = true
+		}
+		return true
+	})
+	for _, target := range c.appends {
+		if !sorted[target.expr] {
+			p.Reportf(target.pos, "%s is appended to in map-iteration order and never sorted; output order is nondeterministic", target.expr)
+		}
+	}
+}
+
+// rangeClassifier walks a map-range body deciding whether its effects are
+// independent of iteration order.
+type rangeClassifier struct {
+	pass      *Pass
+	keyName   string
+	valueName string
+	verdict   string // non-empty: definitely order-dependent, with reason
+	appends   []appendTarget
+}
+
+type appendTarget struct {
+	expr string
+	pos  token.Pos
+}
+
+func (c *rangeClassifier) fail(reason string) {
+	if c.verdict == "" {
+		c.verdict = reason
+	}
+}
+
+func (c *rangeClassifier) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *rangeClassifier) stmt(s ast.Stmt) {
+	if c.verdict != "" {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.IncDecStmt:
+		// x++ / x-- accumulate commutatively.
+	case *ast.DeclStmt:
+		// local declarations are per-iteration state
+	case *ast.ExprStmt:
+		c.exprStmt(s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.stmts(s.Body.List)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.ForStmt:
+		c.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		// Nested ranges: over a map is its own finding (handled by the
+		// outer walk); over slices, classify the body in this context.
+		c.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cl.Body)
+			}
+		}
+	case *ast.BranchStmt:
+		// continue / break only skip work per key
+	case *ast.ReturnStmt:
+		c.fail("returns from inside the loop, selecting an arbitrary element")
+	default:
+		c.fail("statement with order-dependent effects")
+	}
+}
+
+// assign classifies one assignment inside the loop body.
+func (c *rangeClassifier) assign(s *ast.AssignStmt) {
+	// x = append(x, ...) is collect-then-sort material.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 && s.Tok == token.ASSIGN {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 &&
+				types.ExprString(call.Args[0]) == types.ExprString(s.Lhs[0]) {
+				// Appending into the range value itself (per-key posting
+				// lists: idx[k] = append(idx[k], …) where idx is the
+				// value variable) touches a distinct structure per key.
+				if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+					if base, ok := ix.X.(*ast.Ident); ok && (base.Name == c.valueName || base.Name == c.keyName) {
+						return
+					}
+				}
+				c.appends = append(c.appends, appendTarget{expr: types.ExprString(s.Lhs[0]), pos: s.Pos()})
+				return
+			}
+		}
+	}
+	switch s.Tok {
+	case token.DEFINE:
+		return // new per-iteration variables
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative accumulation — but only for numeric types; string
+		// concatenation via += is order-dependent.
+		for _, lhs := range s.Lhs {
+			if t := c.pass.TypeOf(lhs); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsNumeric == 0 {
+					c.fail("non-numeric compound assignment accumulates in iteration order")
+					return
+				}
+			}
+		}
+		return
+	}
+	for _, lhs := range s.Lhs {
+		if !c.benignStore(lhs, s) {
+			return
+		}
+	}
+}
+
+// benignStore reports whether a plain `=` store is order-independent:
+// writes keyed by the range key (map[k] = v), blank discards of
+// call-free values, or constant stores (idempotent across iterations).
+func (c *rangeClassifier) benignStore(lhs ast.Expr, s *ast.AssignStmt) bool {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		// `_ = f(...)` exists only for f's side effects; those effects
+		// happen in iteration order.
+		for _, r := range s.Rhs {
+			var called ast.Expr
+			ast.Inspect(r, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && called == nil {
+					called = call.Fun
+				}
+				return true
+			})
+			if called != nil {
+				c.fail("discards the result of " + types.ExprString(called) + ", called for its side effects in iteration order")
+				return false
+			}
+		}
+		return true
+	}
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		if t := c.pass.TypeOf(ix.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return true // keyed map write: one slot per iteration
+			}
+		}
+	}
+	// Constant stores like found = true are idempotent.
+	allConst := true
+	for _, r := range s.Rhs {
+		if tv, ok := c.pass.Info.Types[r]; !ok || tv.Value == nil {
+			allConst = false
+		}
+	}
+	if allConst {
+		return true
+	}
+	c.fail("assignment to " + types.ExprString(lhs) + " depends on iteration order")
+	return false
+}
+
+// exprStmt classifies a bare call inside the loop body.
+func (c *rangeClassifier) exprStmt(s *ast.ExprStmt) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		c.fail("expression with order-dependent effects")
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "delete", "println", "print", "panic":
+			return
+		}
+	}
+	// sort.X(m[k]) — sorting a value keyed by the range key is
+	// per-iteration work.
+	if fn := calleeFunc(c.pass.Info, call); fn != nil && fn.Pkg() != nil &&
+		(fn.Pkg().Path() == "sort" || fn.Pkg().Path() == "slices") && len(call.Args) > 0 {
+		if ix, ok := call.Args[0].(*ast.IndexExpr); ok {
+			if id, ok := ix.Index.(*ast.Ident); ok && id.Name == c.keyName {
+				return
+			}
+		}
+	}
+	c.fail("calls " + types.ExprString(call.Fun) + ", whose effects may depend on iteration order")
+}

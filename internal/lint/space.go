@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ontoconv/internal/core"
+	"ontoconv/internal/dialogue"
+	"ontoconv/internal/nlu"
+)
+
+// Layer 2: the conversation-space linter. The paper's SMEs sanity-check
+// the bootstrapped artifacts by hand (§4.2.2, §5.2 — reviewing the
+// Dialogue Logic Table, pruning patterns, fixing intent confusion);
+// LintSpace runs the same checks statically so a broken generated
+// workspace fails CI instead of a user turn. Rule names (used in
+// diagnostics and suppression-free: space findings are always real):
+//
+//	dangling-intent    logic-table rows / tree roots referencing intents
+//	                   that do not exist, and intents missing a row
+//	dangling-entity    entity specs or response placeholders referencing
+//	                   undeclared entities or unbound parameters
+//	unreachable-node   dialogue-tree nodes shadowed by an earlier sibling
+//	template-slot      SQL templates with unbound, shadowed or unknown
+//	                   parameter slots
+//	dup-example        training examples duplicated across intents
+//	                   (classifier confusion, §4.6)
+//	synonym-collision  one surface form naming two values of an entity
+//	empty-intent       intents with no training examples
+//
+// LintSpace validates a space against the dialogue artifacts derived from
+// it; LintSpaceArtifacts accepts an explicit logic table and tree so
+// SME-edited tables can be checked against the space they claim to serve.
+
+// LintSpace builds the dialogue logic table and tree exactly as the agent
+// does at startup and validates the full workspace.
+func LintSpace(space *core.Space) []Diagnostic {
+	table := dialogue.BuildLogicTable(space)
+	tree := dialogue.BuildTree(space, table)
+	return LintSpaceArtifacts(space, table, tree)
+}
+
+// LintSpaceArtifacts validates a conversation space together with its
+// dialogue logic table and compiled dialogue tree.
+func LintSpaceArtifacts(space *core.Space, table *dialogue.LogicTable, tree *dialogue.Tree) []Diagnostic {
+	var out []Diagnostic
+	report := func(rule, format string, args ...interface{}) {
+		out = append(out, Diagnostic{Analyzer: rule, Message: fmt.Sprintf(format, args...)})
+	}
+	lintIntentRefs(space, table, tree, report)
+	lintTreeReachability(tree, report)
+	lintTemplateSlots(space, report)
+	lintExamples(space, report)
+	lintSynonyms(space, report)
+	return out
+}
+
+type spaceReport func(rule, format string, args ...interface{})
+
+// lintIntentRefs cross-checks intent references between the space, the
+// logic table and the tree, plus entity references from intent specs and
+// response placeholders.
+func lintIntentRefs(space *core.Space, table *dialogue.LogicTable, tree *dialogue.Tree, report spaceReport) {
+	intents := map[string]bool{}
+	for _, in := range space.Intents {
+		intents[in.Name] = true
+	}
+	entities := map[string]bool{}
+	for _, e := range space.Entities {
+		entities[e.Name] = true
+	}
+
+	rowFor := map[string]bool{}
+	for _, row := range table.Rows {
+		if !intents[row.Intent] {
+			report("dangling-intent", "logic table row references unknown intent %q", row.Intent)
+		}
+		rowFor[row.Intent] = true
+	}
+	for _, in := range space.Intents {
+		if !rowFor[in.Name] {
+			report("dangling-intent", "intent %q has no logic table row; the dialogue cannot reach it", in.Name)
+		}
+	}
+	for _, root := range tree.Roots {
+		if root.Intent != "" && !intents[root.Intent] {
+			report("dangling-intent", "dialogue-tree node %s references unknown intent %q", root.ID, root.Intent)
+		}
+	}
+
+	for _, in := range space.Intents {
+		params := map[string]bool{}
+		for _, spec := range append(append([]core.EntitySpec(nil), in.Required...), in.Optional...) {
+			if !entities[spec.Entity] {
+				report("dangling-entity", "intent %q: entity spec %q has no entity definition", in.Name, spec.Entity)
+			}
+			params[spec.Param] = true
+		}
+		for _, ph := range placeholders(in.Response) {
+			if !params[ph] {
+				report("dangling-entity", "intent %q: response placeholder {{%s}} is bound by no entity spec and will render empty", in.Name, ph)
+			}
+		}
+	}
+}
+
+// placeholders extracts {{Name}} markers from a response template.
+func placeholders(s string) []string {
+	var out []string
+	for {
+		i := strings.Index(s, "{{")
+		if i < 0 {
+			return out
+		}
+		j := strings.Index(s[i:], "}}")
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[i+2:i+j])
+		s = s[i+j+2:]
+	}
+}
+
+// lintTreeReachability flags dialogue-tree nodes that can never match: a
+// sibling shadowed by an earlier, strictly-more-general sibling, and
+// duplicate roots for one intent (Match stops at the first).
+func lintTreeReachability(tree *dialogue.Tree, report spaceReport) {
+	seenRoot := map[string]string{}
+	for _, root := range tree.Roots {
+		if first, dup := seenRoot[root.Intent]; dup {
+			report("unreachable-node", "tree node %s is unreachable: %s already handles intent %q", root.ID, first, root.Intent)
+			continue
+		}
+		seenRoot[root.Intent] = root.ID
+		for i, child := range root.Children {
+			for _, earlier := range root.Children[:i] {
+				if shadows(earlier, child) {
+					report("unreachable-node", "tree node %s is unreachable: sibling %s matches every context it matches", child.ID, earlier.ID)
+					break
+				}
+			}
+		}
+	}
+}
+
+// shadows reports whether node a matches every context node b matches. A
+// condition of a must be implied by b's conditions: an empty condition on
+// a is always implied; otherwise it must be b's identical condition.
+func shadows(a, b *dialogue.Node) bool {
+	if a.RequireEntity != "" && a.RequireEntity != b.RequireEntity {
+		return false
+	}
+	if a.AbsentEntity != "" && a.AbsentEntity != b.AbsentEntity {
+		return false
+	}
+	return true
+}
+
+// lintTemplateSlots checks every intent's SQL template parameters against
+// its entity specs: each parameter bound exactly once, no spec binding a
+// parameter the template does not declare.
+func lintTemplateSlots(space *core.Space, report spaceReport) {
+	for _, in := range space.Intents {
+		if in.Template == nil {
+			continue
+		}
+		declared := map[string]bool{}
+		for _, p := range in.Template.Params {
+			declared[p] = true
+		}
+		bound := map[string]int{}
+		specs := append(append([]core.EntitySpec(nil), in.Required...), in.Optional...)
+		for _, spec := range specs {
+			bound[spec.Param]++
+			if !declared[spec.Param] {
+				report("template-slot", "intent %q: entity %q binds parameter %q, which the SQL template does not declare", in.Name, spec.Entity, spec.Param)
+			}
+		}
+		var params []string
+		for p := range declared {
+			params = append(params, p)
+		}
+		sort.Strings(params)
+		for _, p := range params {
+			switch n := bound[p]; {
+			case n == 0:
+				report("template-slot", "intent %q: template parameter <@%s> is bound by no entity spec; instantiation will always fail", in.Name, p)
+			case n > 1:
+				report("template-slot", "intent %q: template parameter <@%s> is bound by %d entity specs; later bindings shadow earlier ones", in.Name, p, n)
+			}
+		}
+	}
+}
+
+// lintExamples flags training examples that appear under more than one
+// intent (after surface normalization): the classifier sees contradictory
+// labels, the exact intent-confusion problem §4.6 measures.
+func lintExamples(space *core.Space, report spaceReport) {
+	first := map[string]string{}
+	reported := map[string]bool{}
+	for _, in := range space.Intents {
+		if len(in.Examples) == 0 {
+			report("empty-intent", "intent %q has no training examples; the classifier can never predict it", in.Name)
+		}
+		for _, ex := range in.Examples {
+			key := nlu.NormalizePhrase(ex)
+			if key == "" {
+				continue
+			}
+			owner, ok := first[key]
+			if !ok {
+				first[key] = in.Name
+				continue
+			}
+			if owner != in.Name && !reported[key] {
+				reported[key] = true
+				report("dup-example", "training example %q appears under intents %q and %q; labels contradict", ex, owner, in.Name)
+			}
+		}
+	}
+}
+
+// lintSynonyms flags surface forms that name two different values of the
+// same entity: recognition becomes an arbitrary pick between them.
+func lintSynonyms(space *core.Space, report spaceReport) {
+	for _, def := range space.Entities {
+		surface := map[string]string{} // normalized surface -> value
+		for _, v := range def.Values {
+			forms := append([]string{v.Value}, v.Synonyms...)
+			for _, f := range forms {
+				key := nlu.NormalizePhrase(f)
+				if key == "" {
+					continue
+				}
+				if prev, ok := surface[key]; ok && prev != v.Value {
+					report("synonym-collision", "entity %q: surface form %q names both value %q and value %q", def.Name, f, prev, v.Value)
+					continue
+				}
+				surface[key] = v.Value
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lint_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ontoconv/internal/core"
+	"ontoconv/internal/dialogue"
+	"ontoconv/internal/lint"
+	"ontoconv/internal/sqlx"
+)
+
+// cleanSpace builds a minimal workspace that every space rule accepts: one
+// lookup intent with a bound template, one conversation-management intent,
+// and one entity dictionary with collision-free synonyms.
+func cleanSpace(t *testing.T) *core.Space {
+	t.Helper()
+	tmpl, err := sqlx.NewTemplate("SELECT description FROM precaution WHERE drug = <@Drug>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Space{
+		Intents: []core.Intent{
+			{
+				Name:     "Precautions of Drug",
+				Kind:     core.LookupPattern,
+				Examples: []string{"show me precautions for aspirin", "precautions of tylenol"},
+				Template: tmpl,
+				Required: []core.EntitySpec{{Entity: "Drug", Param: "Drug", Elicitation: "For which drug?"}},
+				Response: "Precautions for {{Drug}}:",
+			},
+			{
+				Name:     "GREETING",
+				Kind:     core.ConversationPattern,
+				Examples: []string{"hello", "good morning"},
+				Response: "Hello! Ask me about a drug.",
+			},
+		},
+		Entities: []core.EntityDef{
+			{Name: "Drug", Kind: "instance", Concept: "Drug", Values: []core.EntityValue{
+				{Value: "Aspirin", Synonyms: []string{"ASA"}},
+				{Value: "Tylenol", Synonyms: []string{"acetaminophen"}},
+			}},
+		},
+	}
+}
+
+func findRule(diags []lint.Diagnostic, rule, substr string) bool {
+	for _, d := range diags {
+		if d.Analyzer == rule && strings.Contains(d.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func wantRule(t *testing.T, diags []lint.Diagnostic, rule, substr string) {
+	t.Helper()
+	if !findRule(diags, rule, substr) {
+		t.Errorf("missing %s finding containing %q; got %v", rule, substr, diags)
+	}
+}
+
+func TestSpaceCleanFixture(t *testing.T) {
+	if diags := lint.LintSpace(cleanSpace(t)); len(diags) != 0 {
+		t.Fatalf("clean fixture produced findings: %v", diags)
+	}
+}
+
+func TestSpaceDanglingIntent(t *testing.T) {
+	space := cleanSpace(t)
+	table := dialogue.BuildLogicTable(space)
+	tree := dialogue.BuildTree(space, table)
+
+	// A row for an intent that does not exist (stale SME-edited table).
+	table.Rows = append(table.Rows, dialogue.LogicRow{Intent: "Ghost"})
+	// A tree node routing to an unknown intent.
+	tree.Roots = append(tree.Roots, &dialogue.Node{ID: "intent:Phantom", Intent: "Phantom"})
+	diags := lint.LintSpaceArtifacts(space, table, tree)
+	wantRule(t, diags, "dangling-intent", `unknown intent "Ghost"`)
+	wantRule(t, diags, "dangling-intent", `unknown intent "Phantom"`)
+
+	// An intent with no logic-table row is unreachable by the dialogue.
+	table.Rows = table.Rows[:1]
+	diags = lint.LintSpaceArtifacts(space, table, tree)
+	wantRule(t, diags, "dangling-intent", "has no logic table row")
+}
+
+func TestSpaceDanglingEntity(t *testing.T) {
+	space := cleanSpace(t)
+	in := space.Intent("Precautions of Drug")
+	in.Optional = append(in.Optional, core.EntitySpec{Entity: "AgeGroup", Param: "Drug"})
+	in.Response = "Precautions for {{Drug}} in {{Zone}}:"
+	diags := lint.LintSpace(space)
+	wantRule(t, diags, "dangling-entity", `entity spec "AgeGroup" has no entity definition`)
+	wantRule(t, diags, "dangling-entity", "placeholder {{Zone}}")
+}
+
+func TestSpaceUnreachableNode(t *testing.T) {
+	space := cleanSpace(t)
+	table := dialogue.BuildLogicTable(space)
+	tree := dialogue.BuildTree(space, table)
+
+	// Duplicate root for an intent: Match stops at the first.
+	tree.Roots = append(tree.Roots, &dialogue.Node{ID: "intent:GREETING#2", Intent: "GREETING"})
+	// A condition-free sibling placed before a conditioned one shadows it.
+	tree.Roots[0].Children = []*dialogue.Node{
+		{ID: "catchall"},
+		{ID: "with-drug", RequireEntity: "Drug"},
+	}
+	diags := lint.LintSpaceArtifacts(space, table, tree)
+	wantRule(t, diags, "unreachable-node", "intent:GREETING#2 is unreachable")
+	wantRule(t, diags, "unreachable-node", "with-drug is unreachable: sibling catchall")
+}
+
+func TestSpaceTemplateSlots(t *testing.T) {
+	space := cleanSpace(t)
+	in := space.Intent("Precautions of Drug")
+	tmpl, err := sqlx.NewTemplate("SELECT description FROM precaution WHERE drug = <@Drug> AND age_group = <@AgeGroup>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Template = tmpl
+	in.Optional = append(in.Optional,
+		core.EntitySpec{Entity: "Drug", Param: "Drug"},  // second binding of Drug
+		core.EntitySpec{Entity: "Drug", Param: "Brand"}, // undeclared parameter
+	)
+	diags := lint.LintSpace(space)
+	wantRule(t, diags, "template-slot", "<@AgeGroup> is bound by no entity spec")
+	wantRule(t, diags, "template-slot", "<@Drug> is bound by 2 entity specs")
+	wantRule(t, diags, "template-slot", `parameter "Brand", which the SQL template does not declare`)
+}
+
+func TestSpaceDupAndEmptyExamples(t *testing.T) {
+	space := cleanSpace(t)
+	// Same utterance labelled with both intents, up to surface noise.
+	space.Intents[0].Examples = append(space.Intents[0].Examples, "Hello!")
+	space.Intents = append(space.Intents, core.Intent{
+		Name: "FAREWELL", Kind: core.ConversationPattern, Response: "Bye!",
+	})
+	diags := lint.LintSpace(space)
+	wantRule(t, diags, "dup-example", `appears under intents "Precautions of Drug" and "GREETING"`)
+	wantRule(t, diags, "empty-intent", `intent "FAREWELL" has no training examples`)
+}
+
+func TestSpaceSynonymCollision(t *testing.T) {
+	space := cleanSpace(t)
+	space.Entities[0].Values = append(space.Entities[0].Values,
+		core.EntityValue{Value: "Paracetamol", Synonyms: []string{"Acetaminophen"}})
+	diags := lint.LintSpace(space)
+	wantRule(t, diags, "synonym-collision", `names both value "Tylenol" and value "Paracetamol"`)
+}
+
+// TestSpaceJSONFixture lints a corrupted workspace through the same
+// ReadJSON path the ontolint CLI uses, proving the file-level entry point
+// surfaces the planted defects.
+func TestSpaceJSONFixture(t *testing.T) {
+	f, err := os.Open("testdata/space/corrupt_space.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	space, err := core.ReadJSON(f)
+	if err != nil {
+		t.Fatalf("fixture must pass core validation (lint finds what Validate cannot): %v", err)
+	}
+	diags := lint.LintSpace(space)
+	wantRule(t, diags, "template-slot", "bound by no entity spec")
+	wantRule(t, diags, "dup-example", "labels contradict")
+	wantRule(t, diags, "synonym-collision", "surface form")
+	wantRule(t, diags, "empty-intent", "no training examples")
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// SQLBuildAnalyzer enforces the paper's templated-SQL design (§4.4): every
+// structured query is a sqlx.Template with <@Param> markers, instantiated
+// through the parser — never assembled by string formatting. Dynamic SQL
+// built with fmt.Sprintf or string concatenation outside internal/sqlx is
+// an injection hazard and bypasses template validation, so it is flagged
+// wherever it appears.
+var SQLBuildAnalyzer = &Analyzer{
+	Name: "sqlbuild",
+	Doc:  "SQL assembled via Sprintf/concatenation outside the sqlx template layer",
+	Match: func(path string) bool {
+		return path != "ontoconv/internal/sqlx"
+	},
+	Run: runSQLBuild,
+}
+
+// sqlPattern matches text that reads like a SQL statement skeleton.
+var sqlPattern = regexp.MustCompile(`(?i)\b(select|insert|update|delete)\b.*\b(from|into|set|where)\b`)
+
+var sprintfFamily = map[string]bool{
+	"fmt.Sprintf": true, "fmt.Sprint": true, "fmt.Sprintln": true,
+	"fmt.Appendf": true, "fmt.Fprintf": true,
+}
+
+func runSQLBuild(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkSprintfSQL(p, n)
+			case *ast.BinaryExpr:
+				if checkConcatSQL(p, n) {
+					return false // don't re-report nested sub-concats
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSprintfSQL flags fmt.Sprintf-family calls whose format string looks
+// like SQL and that interpolate at least one dynamic argument.
+func checkSprintfSQL(p *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil || !sprintfFamily[fn.Pkg().Name()+"."+fn.Name()] {
+		return
+	}
+	for i, arg := range call.Args {
+		lit := stringLiteral(arg)
+		if lit == "" || !sqlPattern.MatchString(lit) {
+			continue
+		}
+		if len(call.Args) > i+1 { // dynamic parts follow the format
+			p.Reportf(call.Pos(), "SQL assembled with %s.%s; build a sqlx.Template with <@Param> markers instead",
+				fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+}
+
+// checkConcatSQL flags `+` chains mixing SQL-looking literals with dynamic
+// string operands. It reports true when it handled (and reported) the
+// whole chain.
+func checkConcatSQL(p *Pass, be *ast.BinaryExpr) bool {
+	if be.Op != token.ADD {
+		return false
+	}
+	if t := p.TypeOf(be); t == nil || !isStringType(t) {
+		return false
+	}
+	var static strings.Builder
+	dynamic := false
+	var flatten func(e ast.Expr)
+	flatten = func(e ast.Expr) {
+		if b, ok := unparen(e).(*ast.BinaryExpr); ok && b.Op == token.ADD {
+			flatten(b.X)
+			flatten(b.Y)
+			return
+		}
+		if lit := stringLiteral(e); lit != "" {
+			static.WriteString(lit)
+			return
+		}
+		if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+			// named string constant: static, but unknown text
+			return
+		}
+		dynamic = true
+	}
+	flatten(be)
+	if dynamic && sqlPattern.MatchString(static.String()) {
+		p.Reportf(be.Pos(), "SQL assembled by string concatenation; build a sqlx.Template with <@Param> markers instead")
+		return true
+	}
+	return false
+}
+
+// stringLiteral returns the value of a string literal expression, or "".
+func stringLiteral(e ast.Expr) string {
+	bl, ok := unparen(e).(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return ""
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

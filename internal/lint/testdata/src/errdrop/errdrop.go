@@ -1,0 +1,42 @@
+// Package errdrop is a golden-test fixture: silently dropped errors
+// (flagged) next to the allowed conventions (not flagged).
+package errdrop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// flush drops errors at statement level in three positions.
+func flush(f *os.File) {
+	f.Sync()         //want:errdrop
+	defer f.Close()  //want:errdrop
+	go persist("/x") //want:errdrop
+}
+
+func persist(path string) error {
+	return os.WriteFile(path, nil, 0o644)
+}
+
+// reviewed discards explicitly: a visible, reviewed decision.
+func reviewed(f *os.File) {
+	_ = f.Sync()
+}
+
+// allowed exercises the nil-by-contract and terminal-output allowlist.
+func allowed() string {
+	fmt.Println("bootstrap done")
+	var b strings.Builder
+	b.WriteString("ok")
+	fmt.Fprintf(os.Stderr, "%d findings\n", 0)
+	return b.String()
+}
+
+// handled checks the error: the normal path.
+func handled(path string) error {
+	if err := persist(path); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package lockheld is a golden-test fixture: blocking work under a held
+// mutex (flagged) next to hand-over-hand patterns that release first.
+package lockheld
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type server struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	cache map[string][]byte
+}
+
+// fetchLocked holds the lock across a network round-trip.
+func (s *server) fetchLocked(url string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := http.Get(url) //want:lockheld
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// readLocked holds the lock across file IO even though it unlocks inline.
+func (s *server) readLocked(path string) ([]byte, error) {
+	s.mu.Lock()
+	data, err := os.ReadFile(path) //want:lockheld
+	s.mu.Unlock()
+	return data, err
+}
+
+// readThenRelease does the blocking read after releasing: benign.
+func (s *server) readThenRelease(path string) ([]byte, error) {
+	s.mu.Lock()
+	cached := s.cache[path]
+	s.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	return os.ReadFile(path)
+}
+
+// rlockHeld flags read locks the same way as write locks.
+func (s *server) rlockHeld(path string) ([]byte, error) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return os.ReadFile(path) //want:lockheld
+}
+
+type responder struct{ mu sync.Mutex }
+
+// Respond stands in for the agent entry point that reaches KB execution.
+func (r *responder) Respond(q string) string { return q }
+
+// handleLocked calls the KB-reaching entry point under the lock.
+func handleLocked(r *responder, q string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.Respond(q) //want:lockheld
+}
+
+// intentional documents a deliberate hold with a suppression.
+func (s *server) intentional(path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//ontolint:ignore lockheld fixture: hold is deliberate, read must be atomic with the lock
+	return os.ReadFile(path)
+}

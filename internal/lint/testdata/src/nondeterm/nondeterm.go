@@ -1,0 +1,96 @@
+// Package nondeterm is a golden-test fixture: map-iteration shapes the
+// nondeterm analyzer must flag, next to benign twins it must not.
+package nondeterm
+
+import "sort"
+
+// emitUnsorted leaks map order into its output slice.
+func emitUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //want:nondeterm
+	}
+	return out
+}
+
+// firstMatch returns an arbitrary element of the map.
+func firstMatch(m map[string]string) string {
+	for _, v := range m { //want:nondeterm
+		if v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+// sideEffects calls a function in iteration order and discards its result.
+func sideEffects(m map[string]int) {
+	for k := range m { //want:nondeterm
+		_ = register(k)
+	}
+}
+
+func register(string) error { return nil }
+
+// concatOrder accumulates a string in iteration order (non-numeric +=).
+func concatOrder(m map[string]string) string {
+	s := ""
+	for _, v := range m { //want:nondeterm
+		s += v
+	}
+	return s
+}
+
+// emitSorted is the collect-then-sort idiom: benign.
+func emitSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// count accumulates commutatively: benign.
+func count(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// invert writes one map slot per key: benign.
+func invert(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// sortEach sorts a value indexed by the range key: benign per-key work.
+func sortEach(m map[string][]string) {
+	for k := range m {
+		sort.Strings(m[k])
+	}
+}
+
+// postingLists appends into the range value's own slot: benign.
+func postingLists(idx map[string]map[string][]int, rows []string) {
+	for _, byVal := range idx {
+		for i, r := range rows {
+			byVal[r] = append(byVal[r], i)
+		}
+	}
+}
+
+// suppressed is the flagged pattern under an ignore directive: silent.
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//ontolint:ignore nondeterm fixture: output order deliberately unspecified
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+// Package sqlbuild is a golden-test fixture: SQL assembled by string
+// formatting (flagged) next to benign string work (not flagged).
+package sqlbuild
+
+import "fmt"
+
+// sprintfSQL interpolates a dynamic value into a SQL skeleton.
+func sprintfSQL(name string) string {
+	return fmt.Sprintf("SELECT description FROM precaution WHERE drug = '%s'", name) //want:sqlbuild
+}
+
+// fprintfSQL streams the same hazard through a writer.
+func fprintfSQL(w writer, name string) {
+	fmt.Fprintf(w, "SELECT name FROM drug WHERE name = '%s'", name) //want:sqlbuild
+}
+
+type writer interface{ Write([]byte) (int, error) }
+
+// concatSQL splices a dynamic value into SQL with +.
+func concatSQL(name string) string {
+	return "SELECT name FROM drug WHERE name = '" + name + "'" //want:sqlbuild
+}
+
+// staticSQL is a constant statement: templates are built from these.
+func staticSQL() string {
+	return "SELECT name FROM drug WHERE class = 'NSAID'"
+}
+
+// sprintfStatic has a SQL-looking format but no dynamic arguments.
+func sprintfStatic() string {
+	return fmt.Sprintf("SELECT count(*) FROM drug WHERE salt IS NOT NULL")
+}
+
+// sprintfProse formats ordinary prose: not SQL.
+func sprintfProse(name string) string {
+	return fmt.Sprintf("no results for %s; choose another drug", name)
+}
+
+// concatProse concatenates ordinary prose: not SQL.
+func concatProse(a, b string) string {
+	return "precautions for " + a + " and " + b
+}

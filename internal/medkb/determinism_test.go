@@ -1,0 +1,49 @@
+package medkb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestBootstrapDeterminism asserts the whole offline pipeline is
+// byte-reproducible: bootstrapping twice must serialize to identical
+// ontology and workspace artifacts. This is the invariant the nondeterm
+// analyzer (internal/lint) guards statically — artifact diffing, caching
+// and golden files all depend on it.
+func TestBootstrapDeterminism(t *testing.T) {
+	var runs [2]*bytes.Buffer
+	for i := range runs {
+		_, onto, space, err := Bootstrap()
+		if err != nil {
+			t.Fatalf("bootstrap run %d: %v", i+1, err)
+		}
+		buf := &bytes.Buffer{}
+		if err := onto.WriteJSON(buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := space.WriteJSON(buf); err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = buf
+	}
+	if !bytes.Equal(runs[0].Bytes(), runs[1].Bytes()) {
+		t.Fatalf("bootstrap is not byte-reproducible:\n%s", firstDiff(runs[0].Bytes(), runs[1].Bytes()))
+	}
+}
+
+// firstDiff locates the first differing line of two serialized artifacts.
+func firstDiff(a, b []byte) string {
+	al := bytes.Split(a, []byte("\n"))
+	bl := bytes.Split(b, []byte("\n"))
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  run1: %s\n  run2: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

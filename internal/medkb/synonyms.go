@@ -12,8 +12,11 @@ import (
 // of "adverse effects").
 func ConceptSynonyms() map[string][]string {
 	return map[string][]string{
-		"AdverseEffect":       {"side effect", "side effects", "adverse reaction", "adverse reactions", "AE"},
-		"Indication":          {"condition", "disease", "finding", "disorder", "illness"},
+		"AdverseEffect": {"side effect", "side effects", "adverse reaction", "adverse reactions", "AE"},
+		// "finding" is NOT an Indication synonym: Finding is its own
+		// concept, and one surface form must not name two values
+		// (ontolint space rule synonym-collision).
+		"Indication":          {"condition", "disease", "disorder", "illness"},
 		"Drug":                {"medicine", "meds", "medication", "substance"},
 		"Precaution":          {"caution", "cautions", "safe to give"},
 		"DoseAdjustment":      {"dosing modification", "dose reduction", "dose modification", "modifications to dosing", "increased dosage"},

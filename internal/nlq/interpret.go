@@ -2,6 +2,7 @@ package nlq
 
 import (
 	"fmt"
+	"sort"
 
 	"ontoconv/internal/nlu"
 	"ontoconv/internal/ontology"
@@ -40,8 +41,15 @@ func NewInterpreter(svc *Service, conceptSynonyms map[string][]string) *Interpre
 // AddInstances registers instance values of a concept (value -> synonyms)
 // so utterances mentioning them can be annotated.
 func (it *Interpreter) AddInstances(concept string, values map[string][]string) {
-	for v, syns := range values {
-		it.rec.Add(concept, v, syns...)
+	// Register in sorted order: dictionary insertion order decides which
+	// value wins a colliding surface form.
+	vals := make([]string, 0, len(values))
+	for v := range values {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	for _, v := range vals {
+		it.rec.Add(concept, v, values[v]...)
 	}
 }
 

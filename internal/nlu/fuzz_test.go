@@ -1,0 +1,60 @@
+package nlu
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTokenize drives the tokenizer with arbitrary byte strings and checks
+// the span invariants every downstream consumer relies on: the entity
+// recognizer slices the original utterance with Start/End, and the
+// classifier assumes Text is the lowercased surface form.
+//
+// testdata/fuzz/FuzzTokenize holds the checked-in seed corpus; CI runs a
+// short -fuzztime smoke over it.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"Show me the precautions for Aspirin?",
+		"y-site compatibility of St John's wort",
+		"0.05% solution, 10mg/kg",
+		"  weird   spacing\tand\nnewlines  ",
+		"drug--interaction -- comment-ish",
+		"café naïve Über MIXED case",
+		"trailing joiners a- b' c.",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		toks := Tokenize(text)
+		prevEnd := 0
+		for i, tok := range toks {
+			if tok.Start < 0 || tok.End > len(text) || tok.Start >= tok.End {
+				t.Fatalf("token %d has invalid span [%d,%d) in %d-byte input %q", i, tok.Start, tok.End, len(text), text)
+			}
+			if tok.Start < prevEnd {
+				t.Fatalf("token %d span [%d,%d) overlaps previous end %d in %q", i, tok.Start, tok.End, prevEnd, text)
+			}
+			prevEnd = tok.End
+			if got := text[tok.Start:tok.End]; got != tok.Raw {
+				t.Fatalf("token %d Raw %q does not match its span slice %q in %q", i, tok.Raw, got, text)
+			}
+			if want := strings.ToLower(tok.Raw); tok.Text != want {
+				t.Fatalf("token %d Text %q is not the lowercased Raw %q", i, tok.Text, want)
+			}
+		}
+		// The derived views must agree with the token stream.
+		words := Words(text)
+		if len(words) != len(toks) {
+			t.Fatalf("Words returned %d entries for %d tokens in %q", len(words), len(toks), text)
+		}
+		for i, w := range words {
+			if w != toks[i].Text {
+				t.Fatalf("Words[%d] = %q, token Text = %q in %q", i, w, toks[i].Text, text)
+			}
+		}
+		if got, want := len(ContentWords(text)), len(words); got > want {
+			t.Fatalf("ContentWords grew the token stream: %d > %d in %q", got, want, text)
+		}
+	})
+}

@@ -12,6 +12,7 @@ package ontogen
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ontoconv/internal/kb"
@@ -144,7 +145,15 @@ func detectUnions(base *kb.KB, o *ontology.Ontology) {
 	for _, r := range o.IsARelations {
 		parents[r.Parent] = append(parents[r.Parent], r.Child)
 	}
-	for parent, children := range parents {
+	// Unions are appended in parent order; iterate sorted so the emitted
+	// ontology is byte-reproducible.
+	parentNames := make([]string, 0, len(parents))
+	for p := range parents {
+		parentNames = append(parentNames, p)
+	}
+	sort.Strings(parentNames)
+	for _, parent := range parentNames {
+		children := parents[parent]
 		if len(children) < 2 {
 			continue
 		}
@@ -213,9 +222,11 @@ type Refinement struct {
 	DisplayProperties map[string]string
 }
 
-// Refine applies the refinement in place.
+// Refine applies the refinement in place. Maps are walked in sorted key
+// order so that which error surfaces first is deterministic.
 func Refine(o *ontology.Ontology, r Refinement) error {
-	for name, inv := range r.Inverses {
+	for _, name := range sortedKeys(r.Inverses) {
+		inv := r.Inverses[name]
 		found := false
 		for i := range o.ObjectProperties {
 			if o.ObjectProperties[i].Name == name {
@@ -227,14 +238,15 @@ func Refine(o *ontology.Ontology, r Refinement) error {
 			return fmt.Errorf("ontogen: refine: no object property %q", name)
 		}
 	}
-	for name, label := range r.Labels {
+	for _, name := range sortedKeys(r.Labels) {
 		c := o.Concept(name)
 		if c == nil {
 			return fmt.Errorf("ontogen: refine: no concept %q", name)
 		}
-		c.Label = label
+		c.Label = r.Labels[name]
 	}
-	for name, dp := range r.DisplayProperties {
+	for _, name := range sortedKeys(r.DisplayProperties) {
+		dp := r.DisplayProperties[name]
 		c := o.Concept(name)
 		if c == nil {
 			return fmt.Errorf("ontogen: refine: no concept %q", name)
@@ -245,6 +257,16 @@ func Refine(o *ontology.Ontology, r Refinement) error {
 		c.DisplayProperty = dp
 	}
 	return nil
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ConceptName converts a table name like "drug_food_interaction" into a

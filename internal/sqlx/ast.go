@@ -2,6 +2,7 @@ package sqlx
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -79,6 +80,11 @@ func (l *Lit) exprString() string {
 		return "NULL"
 	case string:
 		return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	case float64:
+		// %v would render large/small magnitudes in exponent notation,
+		// which the lexer does not read back; keep the canonical form
+		// round-trippable.
+		return strconv.FormatFloat(v, 'f', -1, 64)
 	default:
 		return fmt.Sprint(v)
 	}

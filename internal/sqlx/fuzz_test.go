@@ -1,0 +1,54 @@
+package sqlx
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the SQL lexer and parser with arbitrary input. Beyond
+// not panicking, it checks the printer invariant the template layer
+// depends on: String() is a canonical form, so whatever Parse accepts must
+// reprint to something Parse accepts again, and printing must be a fixed
+// point (NewTemplate stores stmt.String() and later re-parses it in
+// Instantiate — a non-round-tripping statement would brick its intent).
+//
+// testdata/fuzz/FuzzParse holds the checked-in seed corpus; CI runs a
+// short -fuzztime smoke over it.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT name FROM drug",
+		"SELECT DISTINCT d.name FROM drug d WHERE d.class = 'NSAID'",
+		"SELECT p.description FROM precaution p INNER JOIN drug d ON p.drug_id = d.drug_id WHERE d.name = <@Drug>",
+		"SELECT COUNT(*) FROM dosage WHERE age_group = <@AgeGroup> AND amount >= 0.5",
+		"SELECT name AS n FROM drug WHERE salt IS NOT NULL ORDER BY name DESC LIMIT 10",
+		"SELECT name FROM drug WHERE name IN ('Aspirin', 'Tylenol') OR (base = 'ibuprofen' AND salt != 'sodium')",
+		"SELECT name FROM drug WHERE note LIKE 'don''t%' -- trailing comment\n",
+		"SELECT amount FROM dosage WHERE amount = 1000000.5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; crashing or mis-printing is not
+		}
+		printed := stmt.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse\n  input:   %q\n  printed: %q\n  error:   %v", src, printed, err)
+		}
+		if reprinted := again.String(); reprinted != printed {
+			t.Fatalf("printing is not a fixed point\n  input: %q\n  first: %q\n  second: %q", src, printed, reprinted)
+		}
+		// Params must survive the round trip: instantiation binds against
+		// the reparsed canonical text.
+		a, b := stmt.Params(), again.Params()
+		if len(a) != len(b) {
+			t.Fatalf("params changed across round trip: %v vs %v (input %q)", a, b, src)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("params changed across round trip: %v vs %v (input %q)", a, b, src)
+			}
+		}
+	})
+}

@@ -47,10 +47,15 @@ func (t *Template) Instantiate(args map[string]string) (*SelectStmt, error) {
 	for _, p := range t.Params {
 		known[p] = true
 	}
+	var unknown []string
 	for name := range args {
 		if !known[name] {
-			return nil, fmt.Errorf("sqlx: template has no parameter %q", name)
+			unknown = append(unknown, name)
 		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("sqlx: template has no parameter %q", unknown[0])
 	}
 	var missing []string
 	var bind func(e Expr) Expr
