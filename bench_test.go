@@ -14,11 +14,13 @@
 package ontoconv_test
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
 	"ontoconv"
 	"ontoconv/internal/agent"
+	"ontoconv/internal/bundle"
 	"ontoconv/internal/core"
 	"ontoconv/internal/eval"
 	"ontoconv/internal/graph"
@@ -229,6 +231,53 @@ func BenchmarkAblationCentrality(b *testing.B) {
 			cfg := core.DefaultKeyConceptConfig()
 			cfg.Metric = m
 			core.AnalyzeConcepts(env.Onto, env.Base, cfg)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cold start: bundle load vs in-process retraining
+// ---------------------------------------------------------------------------
+
+// BenchmarkColdStartRetrainFromSpace measures the classic serving cold
+// start: train the classifier, build the recognizer and dialogue tree
+// from an already bootstrapped space (the KB and space are prebuilt and
+// shared — only the agent construction is timed).
+func BenchmarkColdStartRetrainFromSpace(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.New(env.Space, env.Base, agent.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdStartFromBundle measures the bundle serving cold start:
+// read, verify, and decode a compiled bundle from memory and construct
+// the agent from it — no retraining. The ratio to
+// BenchmarkColdStartRetrainFromSpace is the offline/online split's
+// payoff (tracked in BENCH_cold_start.json).
+func BenchmarkColdStartFromBundle(b *testing.B) {
+	env := benchEnvironment(b)
+	compiled, err := bundle.Compile(env.Space, bundle.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := compiled.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loaded, err := bundle.Open(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := agent.NewFromBundle(loaded, env.Base, agent.Options{}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -10,6 +10,9 @@
 //	-space        conversation space JSON (default)
 //	-logictable   Dialogue Logic Table as text
 //	-stats        summary counts
+//	-out FILE     compile the workspace into a versioned bundle at FILE
+//	              (trains the classifier offline; mdxserver -bundle FILE
+//	              then cold-starts without retraining)
 //	-phases-json  per-phase timing as JSON instead of the text summary
 //	-no-timings   suppress the per-phase timing summary on stderr
 //
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"os"
 
+	"ontoconv/internal/bundle"
 	"ontoconv/internal/core"
 	"ontoconv/internal/dialogue"
 	"ontoconv/internal/medkb"
@@ -38,11 +42,12 @@ func main() {
 		spaceJSON  = flag.Bool("space", false, "print the conversation space as JSON")
 		logicTable = flag.Bool("logictable", false, "print the Dialogue Logic Table")
 		stats      = flag.Bool("stats", false, "print summary counts")
+		out        = flag.String("out", "", "compile the workspace into a versioned bundle file")
 		phasesJSON = flag.Bool("phases-json", false, "print per-phase bootstrap timing as JSON on stderr")
 		noTimings  = flag.Bool("no-timings", false, "suppress the per-phase timing summary")
 	)
 	flag.Parse()
-	if !*ontoJSON && !*owl && !*spaceJSON && !*logicTable && !*stats {
+	if !*ontoJSON && !*owl && !*spaceJSON && !*logicTable && !*stats && *out == "" {
 		*spaceJSON = true
 	}
 
@@ -52,6 +57,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bootstrap:", err)
 		os.Exit(1)
 	}
+	if *out != "" {
+		done := phases.Phase("bundle compilation")
+		b, err := bundle.Compile(space, bundle.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bootstrap:", err)
+			os.Exit(1)
+		}
+		done(obs.C("artifacts", len(b.Manifest.Artifacts)))
+		if err := b.WriteFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "bootstrap:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote bundle %s (version %s, %d intents, %d entities, %d examples)\n",
+			*out, b.Version(), b.Manifest.Intents, b.Manifest.Entities, b.Manifest.Examples)
+	}
+
 	if !*noTimings {
 		if *phasesJSON {
 			enc := json.NewEncoder(os.Stderr)
@@ -60,6 +81,10 @@ func main() {
 		} else {
 			fmt.Fprint(os.Stderr, phases.Summary())
 		}
+	}
+
+	if *out != "" && !*ontoJSON && !*owl && !*spaceJSON && !*logicTable && !*stats {
+		return
 	}
 
 	switch {

@@ -1,13 +1,21 @@
 // Command mdxserver hosts Conversational MDX over HTTP (the deployment
 // shape of §7: conversation interface as a hosted service).
 //
-//	mdxserver -addr :8080 [-debug] [-idle-ttl 30m] [-quiet]
+//	mdxserver -addr :8080 [-bundle FILE] [-debug] [-idle-ttl 30m] [-quiet]
 //
 //	curl -s localhost:8080/chat -d '{"session":"s1","message":"show me drugs that treat psoriasis"}'
 //	curl -s localhost:8080/chat -d '{"session":"s1","message":"pediatric"}'
 //	curl -s localhost:8080/feedback -d '{"session":"s1","thumbs":"up"}'
 //	curl -s localhost:8080/trace?session=s1     # per-stage trace of the last turn
 //	curl -s localhost:8080/metrics              # Prometheus text exposition
+//	curl -s -X POST localhost:8080/admin/reload # hot-swap to the bundle on disk
+//
+// Without -bundle the server bootstraps the conversation space and trains
+// the classifier in-process (slow cold start). With -bundle FILE it
+// deserializes a compiled workspace bundle produced by `bootstrap -out`
+// instead — no retraining — and can hot-swap to a newer bundle at the same
+// path via POST /admin/reload or SIGHUP, without dropping sessions or
+// in-flight turns.
 //
 // Every request is logged as one JSON line on stderr (method, path,
 // session, status, duration). -debug additionally mounts net/http/pprof
@@ -21,31 +29,71 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ontoconv"
 	"ontoconv/internal/agent"
+	"ontoconv/internal/bundle"
 	"ontoconv/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	bundlePath := flag.String("bundle", "", "serve from a compiled workspace bundle (see bootstrap -out); enables /admin/reload and SIGHUP hot swaps")
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	idleTTL := flag.Duration("idle-ttl", agent.DefaultIdleTTL, "evict sessions idle longer than this (0 disables)")
 	quiet := flag.Bool("quiet", false, "disable JSON request logging")
 	flag.Parse()
 
-	fmt.Println("bootstrapping conversation space …")
-	base, _, space, err := ontoconv.MedicalBootstrap()
-	if err != nil {
-		log.Fatal(err)
-	}
-	ag, err := agent.New(space, base, agent.Options{})
-	if err != nil {
-		log.Fatal(err)
+	var ag *agent.Agent
+	if *bundlePath != "" {
+		start := time.Now()
+		b, err := bundle.OpenFile(*bundlePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := ontoconv.MedicalKB()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ag, err = agent.NewFromBundle(b, base, agent.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded bundle %s (version %s, classifier %s) in %s — no retraining\n",
+			*bundlePath, b.Version(), b.Manifest.Classifier, time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Println("bootstrapping conversation space …")
+		base, _, space, err := ontoconv.MedicalBootstrap()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ag, err = agent.New(space, base, agent.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	srv := agent.NewServer(ag)
 	srv.SetIdleTTL(*idleTTL)
+
+	if *bundlePath != "" {
+		srv.SetReloader(func() (*bundle.Bundle, error) {
+			return bundle.OpenFile(*bundlePath)
+		})
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if v, err := srv.Reload(); err != nil {
+					fmt.Fprintln(os.Stderr, "reload (SIGHUP):", err)
+				} else {
+					fmt.Printf("reloaded bundle, serving version %s\n", v)
+				}
+			}
+		}()
+	}
 
 	var handler http.Handler = srv.Handler()
 	if !*quiet {
@@ -62,7 +110,7 @@ func main() {
 		fmt.Println("pprof enabled at /debug/pprof/")
 	}
 
-	fmt.Printf("listening on %s (POST /chat, POST /feedback, GET /context, GET /trace, GET /metrics, GET /healthz)\n", *addr)
+	fmt.Printf("listening on %s (POST /chat, POST /feedback, POST /admin/reload, GET /context, GET /trace, GET /metrics, GET /healthz)\n", *addr)
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,

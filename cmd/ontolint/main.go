@@ -6,6 +6,8 @@
 //	ontolint ./...                 lint the module's source (Layer 1)
 //	ontolint -space space.json     lint a bootstrapped conversation space
 //	                               (Layer 2); "-" reads stdin
+//	ontolint -bundle mdx.bundle    verify a compiled workspace bundle's
+//	                               manifest and lint the space it carries
 //	ontolint -bootstrap            bootstrap the built-in MDX workspace
 //	                               in-process and lint it
 //	ontolint -run nondeterm,errdrop ./...   run a subset of analyzers
@@ -25,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"ontoconv/internal/bundle"
 	"ontoconv/internal/core"
 	"ontoconv/internal/lint"
 	"ontoconv/internal/medkb"
@@ -32,10 +35,11 @@ import (
 
 func main() {
 	var (
-		spaceFile = flag.String("space", "", "lint a conversation-space JSON file instead of source (\"-\" for stdin)")
-		bootstrap = flag.Bool("bootstrap", false, "bootstrap the built-in MDX workspace and lint it")
-		run       = flag.String("run", "", "comma-separated analyzer subset (default: all)")
-		list      = flag.Bool("list", false, "list analyzers and space rules, then exit")
+		spaceFile  = flag.String("space", "", "lint a conversation-space JSON file instead of source (\"-\" for stdin)")
+		bundleFile = flag.String("bundle", "", "verify a compiled workspace bundle and lint its space")
+		bootstrap  = flag.Bool("bootstrap", false, "bootstrap the built-in MDX workspace and lint it")
+		run        = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		list       = flag.Bool("list", false, "list analyzers and space rules, then exit")
 	)
 	flag.Parse()
 
@@ -46,11 +50,34 @@ func main() {
 			fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
 		}
 		fmt.Println("space rules (Layer 2): dangling-intent dangling-entity unreachable-node template-slot dup-example synonym-collision empty-intent")
+	case *bundleFile != "":
+		os.Exit(lintBundle(*bundleFile))
 	case *spaceFile != "" || *bootstrap:
 		os.Exit(lintSpace(*spaceFile, *bootstrap))
 	default:
 		os.Exit(lintSource(flag.Args(), *run))
 	}
+}
+
+// lintBundle opens a compiled workspace bundle (verifying its manifest
+// hashes in the process) and lints the conversation space it carries.
+func lintBundle(path string) int {
+	b, err := bundle.OpenFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ontolint:", err)
+		return 2
+	}
+	fmt.Printf("bundle %s: version %s, classifier %s, %d intents, %d entities, %d examples\n",
+		path, b.Version(), b.Manifest.Classifier, b.Manifest.Intents, b.Manifest.Entities, b.Manifest.Examples)
+	diags := lint.LintSpace(b.Space)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ontolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
 }
 
 func lintSource(patterns []string, run string) int {

@@ -5,12 +5,24 @@
 // filling"), and completed requests instantiate the intent's structured
 // query template, execute it against the knowledge base, and render a
 // natural-language answer.
+//
+// All compiled state — space, trained classifier, recognizer, dialogue
+// tree — lives in an immutable runtime behind an atomic pointer. An agent
+// is constructed either the classic way (New trains from a Space) or from
+// a compiled workspace bundle (NewFromBundle, no retraining), and a live
+// agent can hot-swap to a new bundle (InstallBundle): in-flight turns
+// finish on the runtime they started with, new turns see the new version,
+// and sessions survive the swap.
 package agent
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
+	"time"
 
+	"ontoconv/internal/bundle"
 	"ontoconv/internal/core"
 	"ontoconv/internal/dialogue"
 	"ontoconv/internal/kb"
@@ -20,15 +32,18 @@ import (
 // Options configures an agent.
 type Options struct {
 	// Classifier is the intent classifier; nil selects logistic
-	// regression (the experiments' default).
+	// regression (the experiments' default). Ignored when constructing
+	// from a bundle, which carries its own trained model.
 	Classifier nlu.Classifier
 	// MinConfidence is the intent-confidence threshold below which the
 	// utterance is treated as an incremental modification of the current
-	// request rather than a new one (§6.3).
+	// request rather than a new one (§6.3). Zero selects the default
+	// (0.25); any negative value disables the threshold entirely.
 	MinConfidence float64
 	// Definitions overrides the glossary for definition-request repair.
 	Definitions map[string]string
-	// MaxListed caps the values listed in an answer before "…".
+	// MaxListed caps the values listed in an answer before "…". Zero
+	// selects the default (10); any negative value removes the cap.
 	MaxListed int
 	// Greeting overrides the conversation-opening line.
 	Greeting string
@@ -37,8 +52,14 @@ type Options struct {
 	Metrics *Metrics
 }
 
-// Agent is a conversation agent over one bootstrapped space and KB.
-type Agent struct {
+// SpaceVersion is the version label reported for runtimes trained
+// directly from a Space rather than loaded from a bundle.
+const SpaceVersion = "space"
+
+// runtime is one immutable generation of compiled serving state. It is
+// fully constructed before being published to the agent's atomic pointer
+// and never mutated afterwards, so turns read it lock-free.
+type runtime struct {
 	space    *core.Space
 	base     *kb.KB
 	clf      nlu.Classifier
@@ -49,6 +70,9 @@ type Agent struct {
 	minConf  float64
 	maxList  int
 	greeting string
+	// version identifies the artifact generation (bundle Version(), or
+	// SpaceVersion for space-trained runtimes).
+	version string
 	// cmIntents marks conversation-management intent names.
 	cmIntents map[string]bool
 	// generalIntents maps a concept name -> its *_GENERAL intent name.
@@ -60,8 +84,20 @@ type Agent struct {
 	// entityKinds maps entity type -> kind, to know which mentions enter
 	// the context.
 	entityKinds map[string]string
-	// metrics is the serving-time metric bundle (never nil after New).
+	// metrics is the serving-time metric bundle, shared across runtime
+	// generations (never nil).
 	metrics *Metrics
+}
+
+// Agent is a conversation agent over one bootstrapped space and KB.
+type Agent struct {
+	rt atomic.Pointer[runtime]
+	// metrics is shared across runtime generations so counters survive
+	// hot swaps.
+	metrics *Metrics
+	// opts remembers the construction options so bundle swaps keep the
+	// caller's thresholds and overrides.
+	opts Options
 }
 
 // New trains the classifier on the space's examples, builds the entity
@@ -72,8 +108,9 @@ func New(space *core.Space, base *kb.KB, opts Options) (*Agent, error) {
 	if clf == nil {
 		clf = nlu.NewLogisticRegression()
 	}
-	var examples []nlu.Example
-	for _, te := range space.AllExamples() {
+	all := space.AllExamples()
+	examples := make([]nlu.Example, 0, len(all))
+	for _, te := range all {
 		examples = append(examples, nlu.Example{Text: te.Text, Intent: te.Intent})
 	}
 	if err := clf.Train(examples); err != nil {
@@ -81,9 +118,7 @@ func New(space *core.Space, base *kb.KB, opts Options) (*Agent, error) {
 	}
 
 	rec := nlu.NewRecognizer()
-	entityKinds := map[string]string{}
 	for _, def := range space.Entities {
-		entityKinds[def.Name] = def.Kind
 		for _, v := range def.Values {
 			rec.Add(def.Name, v.Value, v.Synonyms...)
 		}
@@ -91,13 +126,55 @@ func New(space *core.Space, base *kb.KB, opts Options) (*Agent, error) {
 
 	table := dialogue.BuildLogicTable(space)
 	tree := dialogue.BuildTree(space, table)
+	return newAgent(space, base, clf, rec, table, tree, SpaceVersion, opts)
+}
 
+// NewFromBundle builds an agent from a compiled workspace bundle: no
+// retraining, the bundle's trained classifier and prebuilt artifacts are
+// served as-is. opts.Classifier is ignored.
+func NewFromBundle(b *bundle.Bundle, base *kb.KB, opts Options) (*Agent, error) {
+	if b == nil {
+		return nil, fmt.Errorf("agent: nil bundle")
+	}
+	return newAgent(b.Space, base, b.Classifier, b.Recognizer, b.LogicTable, b.Tree, b.Version(), opts)
+}
+
+func newAgent(space *core.Space, base *kb.KB, clf nlu.Classifier, rec *nlu.Recognizer,
+	table *dialogue.LogicTable, tree *dialogue.Tree, version string, opts Options) (*Agent, error) {
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	a := &Agent{metrics: metrics, opts: opts}
+	rt, err := a.newRuntime(space, base, clf, rec, table, tree, version)
+	if err != nil {
+		return nil, err
+	}
+	a.rt.Store(rt)
+	metrics.BundleInfo.With(version).Set(1)
+	return a, nil
+}
+
+// newRuntime assembles one immutable runtime generation from compiled
+// artifacts, applying the agent's stored options.
+func (a *Agent) newRuntime(space *core.Space, base *kb.KB, clf nlu.Classifier, rec *nlu.Recognizer,
+	table *dialogue.LogicTable, tree *dialogue.Tree, version string) (*runtime, error) {
+	if space == nil || clf == nil || rec == nil || table == nil || tree == nil {
+		return nil, fmt.Errorf("agent: incomplete runtime artifacts")
+	}
+	opts := a.opts
 	minConf := opts.MinConfidence
-	if minConf <= 0 {
+	switch {
+	case minConf < 0:
+		minConf = 0 // explicitly disabled
+	case minConf == 0:
 		minConf = 0.25
 	}
 	maxList := opts.MaxListed
-	if maxList <= 0 {
+	switch {
+	case maxList < 0:
+		maxList = math.MaxInt // explicitly uncapped
+	case maxList == 0:
 		maxList = 10
 	}
 	defs := opts.Definitions
@@ -106,38 +183,69 @@ func New(space *core.Space, base *kb.KB, opts Options) (*Agent, error) {
 	}
 	greeting := opts.Greeting
 	if greeting == "" {
-		greeting = "Hello. This is Micromedex. If this is your first time, just ask for help. How can I help you today?"
-	}
-	metrics := opts.Metrics
-	if metrics == nil {
-		metrics = NewMetrics()
+		greeting = core.DefaultGreeting
 	}
 
-	a := &Agent{
+	rt := &runtime{
 		space: space, base: base, clf: clf, rec: rec, tree: tree, table: table,
 		defs: defs, minConf: minConf, maxList: maxList, greeting: greeting,
+		version:        version,
 		cmIntents:      map[string]bool{},
 		generalIntents: map[string]string{},
 		proposals:      map[string][]string{},
-		entityKinds:    entityKinds,
-		metrics:        metrics,
+		entityKinds:    map[string]string{},
+		metrics:        a.metrics,
+	}
+	for _, def := range space.Entities {
+		rt.entityKinds[def.Name] = def.Kind
 	}
 	for _, in := range space.Intents {
 		switch in.Kind {
 		case core.ConversationPattern:
-			a.cmIntents[in.Name] = true
+			rt.cmIntents[in.Name] = true
 		case core.GeneralEntityPattern:
-			a.generalIntents[in.AnswerConcept] = in.Name
-			a.proposals[in.AnswerConcept] = a.proposalIntents(in.AnswerConcept)
+			rt.generalIntents[in.AnswerConcept] = in.Name
+			rt.proposals[in.AnswerConcept] = rt.proposalIntents(in.AnswerConcept)
 		}
 	}
-	return a, nil
+	return rt, nil
+}
+
+// runtime returns the current generation; every turn pins one generation
+// for its whole duration.
+func (a *Agent) runtime() *runtime { return a.rt.Load() }
+
+// InstallBundle atomically swaps the agent onto a new compiled bundle.
+// The new runtime is fully constructed and validated off to the side
+// before the swap; on any error the current runtime keeps serving.
+// In-flight turns complete on the generation they started with; sessions
+// and accumulated metrics are preserved.
+func (a *Agent) InstallBundle(b *bundle.Bundle) error {
+	start := time.Now()
+	old := a.rt.Load()
+	if b == nil {
+		a.metrics.Reloads.With("error").Inc()
+		return fmt.Errorf("agent: install: nil bundle")
+	}
+	rt, err := a.newRuntime(b.Space, old.base, b.Classifier, b.Recognizer, b.LogicTable, b.Tree, b.Version())
+	if err != nil {
+		a.metrics.Reloads.With("error").Inc()
+		return err
+	}
+	a.rt.Store(rt)
+	if old.version != rt.version {
+		a.metrics.BundleInfo.With(old.version).Set(0)
+	}
+	a.metrics.BundleInfo.With(rt.version).Set(1)
+	a.metrics.Reloads.With("success").Inc()
+	a.metrics.ReloadLatency.Observe(time.Since(start).Seconds())
+	return nil
 }
 
 // proposalIntents orders the lookup intents proposable when the user types
 // only an entity name: precaution-style lookups first (matching the §6.3
 // transcript), then the rest alphabetically.
-func (a *Agent) proposalIntents(concept string) []string {
+func (a *runtime) proposalIntents(concept string) []string {
 	deps := a.space.Completion.DependentsOfKey[concept]
 	depSet := map[string]bool{}
 	for _, d := range deps {
@@ -174,22 +282,26 @@ func (a *Agent) proposalIntents(concept string) []string {
 }
 
 // Greeting returns the conversation-opening line (§6.3 line 01).
-func (a *Agent) Greeting() string { return a.greeting }
+func (a *Agent) Greeting() string { return a.runtime().greeting }
 
 // Space exposes the agent's conversation space.
-func (a *Agent) Space() *core.Space { return a.space }
+func (a *Agent) Space() *core.Space { return a.runtime().space }
 
 // Classifier exposes the trained classifier (for evaluation).
-func (a *Agent) Classifier() nlu.Classifier { return a.clf }
+func (a *Agent) Classifier() nlu.Classifier { return a.runtime().clf }
 
 // Recognizer exposes the entity recognizer (for evaluation and tests).
-func (a *Agent) Recognizer() *nlu.Recognizer { return a.rec }
+func (a *Agent) Recognizer() *nlu.Recognizer { return a.runtime().rec }
 
 // Tree exposes the compiled dialogue tree.
-func (a *Agent) Tree() *dialogue.Tree { return a.tree }
+func (a *Agent) Tree() *dialogue.Tree { return a.runtime().tree }
 
 // LogicTable exposes the generated Dialogue Logic Table.
-func (a *Agent) LogicTable() *dialogue.LogicTable { return a.table }
+func (a *Agent) LogicTable() *dialogue.LogicTable { return a.runtime().table }
+
+// Version returns the live artifact generation: the bundle version the
+// agent serves from, or SpaceVersion when trained in-process.
+func (a *Agent) Version() string { return a.runtime().version }
 
 // Metrics exposes the agent's metric bundle (for the /metrics endpoint
 // and evaluation).

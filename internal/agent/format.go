@@ -15,7 +15,7 @@ import (
 // template with entity values substituted, followed by the result list —
 // grouped by the relation's qualifying property when present ("Effective:
 // Acitretin, Adalimumab …", §6.3 line 05).
-func (a *Agent) formatAnswer(in *core.Intent, ctx *dialogue.Context, res *sqlx.Result) string {
+func (a *runtime) formatAnswer(in *core.Intent, ctx *dialogue.Context, res *sqlx.Result) string {
 	header := a.renderHeader(in, ctx)
 	if len(res.Rows) == 0 {
 		return strings.TrimSuffix(header, ":") + ": I couldn't find any results. Please modify your search."
@@ -52,7 +52,7 @@ func (a *Agent) formatAnswer(in *core.Intent, ctx *dialogue.Context, res *sqlx.R
 // renderHeader substitutes {{Entity}} placeholders in the response
 // template with context values and appends bound value entities not named
 // by the template ("… for pediatric").
-func (a *Agent) renderHeader(in *core.Intent, ctx *dialogue.Context) string {
+func (a *runtime) renderHeader(in *core.Intent, ctx *dialogue.Context) string {
 	header := in.Response
 	if header == "" {
 		header = "Here is what I found:"

@@ -180,10 +180,10 @@ func TestAnswerShapedHeuristics(t *testing.T) {
 	// concept-kind mentions are never answer-shaped — build a recognizer
 	// hit via the Concepts def would require one; here we check the
 	// short-utterance and coverage rules instead.
-	if !a.answerShaped(nil, "yes it is") {
+	if !a.runtime().answerShaped(nil, "yes it is") {
 		t.Fatal("short utterances are answer-shaped")
 	}
-	if a.answerShaped(nil, "this is a very long sentence that mentions nothing at all here") {
+	if a.runtime().answerShaped(nil, "this is a very long sentence that mentions nothing at all here") {
 		t.Fatal("long mention-free utterances are not answer-shaped")
 	}
 }

@@ -33,6 +33,13 @@ type Metrics struct {
 	// HTTP serving.
 	HTTPRequests *obs.CounterVec // path, code
 	HTTPLatency  *obs.HistogramVec
+
+	// Artifact lifecycle: which bundle version is live (info-style gauge,
+	// 1 for the serving generation, 0 for retired ones) and hot-reload
+	// outcomes.
+	BundleInfo    *obs.GaugeVec   // version
+	Reloads       *obs.CounterVec // result (success, error)
+	ReloadLatency *obs.Histogram
 }
 
 // NewMetrics builds the bundle on a fresh registry.
@@ -68,6 +75,12 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 			"HTTP requests by path and status code.", "path", "code"),
 		HTTPLatency: reg.HistogramVec("mdx_http_request_seconds",
 			"HTTP request latency in seconds by path.", nil, "path"),
+		BundleInfo: reg.GaugeVec("mdx_bundle_info",
+			"Live workspace-bundle version (1 = serving, 0 = retired).", "version"),
+		Reloads: reg.CounterVec("mdx_reloads_total",
+			"Bundle hot-reload attempts by result.", "result"),
+		ReloadLatency: reg.Histogram("mdx_reload_seconds",
+			"Latency of successful bundle swaps in seconds.", nil),
 	}
 }
 

@@ -1,0 +1,277 @@
+package agent_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/bundle"
+	"ontoconv/internal/core"
+)
+
+// bundlePair compiles two distinct bundles from the fixture space: the
+// original, and one from a minimally mutated copy (one extra training
+// example), so their content-addressed versions differ.
+func bundlePair(t *testing.T) (*bundle.Bundle, *bundle.Bundle) {
+	t.Helper()
+	fixture(t)
+	b1, err := bundle.Compile(space, bundle.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mutated core.Space
+	data, err := json.Marshal(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &mutated); err != nil {
+		t.Fatal(err)
+	}
+	in := mutated.Intent("Drugs That Treat Condition")
+	if in == nil {
+		t.Fatal("fixture space lost its treatment intent")
+	}
+	in.Examples = append(in.Examples, "what medication would help with psoriasis please")
+	b2, err := bundle.Compile(&mutated, bundle.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Version() == b2.Version() {
+		t.Fatal("mutated space compiled to the same version")
+	}
+	return b1, b2
+}
+
+// TestInstallBundleUnderConcurrentTraffic is the hot-swap acceptance
+// check, meant to run under -race: sessions chat continuously while the
+// agent is repeatedly swapped between two bundle generations. Every turn
+// must complete normally (in-flight turns finish on the runtime they
+// started on) and the live version must track the last installed bundle.
+func TestInstallBundleUnderConcurrentTraffic(t *testing.T) {
+	b1, b2 := bundlePair(t)
+	a, err := agent.NewFromBundle(b1, base, agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		chatters     = 8
+		turnsPerChat = 30
+		reloads      = 20
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, chatters*turnsPerChat)
+	for c := 0; c < chatters; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			s := agent.NewSession()
+			for i := 0; i < turnsPerChat; i++ {
+				var reply string
+				switch i % 3 {
+				case 0:
+					reply = a.Respond(s, "show me drugs that treat psoriasis")
+				case 1:
+					reply = a.Respond(s, "adult")
+				default:
+					reply = a.Respond(s, "precautions for Aspirin")
+				}
+				if reply == "" {
+					errs <- fmt.Errorf("chatter %d turn %d: empty reply", c, i)
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reloads; i++ {
+			next := b2
+			if i%2 == 1 {
+				next = b1
+			}
+			if err := a.InstallBundle(next); err != nil {
+				errs <- fmt.Errorf("reload %d: %v", i, err)
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// reloads ran 0..19, last i=19 odd -> b1
+	if a.Version() != b1.Version() {
+		t.Fatalf("final version %q, want %q", a.Version(), b1.Version())
+	}
+	// sessions survived: an elicitation answered across swaps still works
+	s := agent.NewSession()
+	if r := a.Respond(s, "show me drugs that treat psoriasis"); r != "Adult or pediatric?" {
+		t.Fatalf("elicitation = %q", r)
+	}
+	a.InstallBundle(b2)
+	if r := a.Respond(s, "adult"); !strings.Contains(r, "Acitretin") {
+		t.Fatalf("session lost across swap: %q", r)
+	}
+}
+
+func TestInstallBundleRejectsNil(t *testing.T) {
+	b1, _ := bundlePair(t)
+	a, err := agent.NewFromBundle(b1, base, agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InstallBundle(nil); err == nil {
+		t.Fatal("expected error for nil bundle")
+	}
+	if a.Version() != b1.Version() {
+		t.Fatalf("failed install changed version to %q", a.Version())
+	}
+}
+
+// TestServerReloadEndpoint drives the HTTP reload path: version change,
+// method restrictions, the 501 without a reloader, and the new version
+// showing up in the /metrics exposition.
+func TestServerReloadEndpoint(t *testing.T) {
+	b1, b2 := bundlePair(t)
+	a, err := agent.NewFromBundle(b1, base, agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := agent.NewServer(a)
+	next := b2
+	srv.SetReloader(func() (*bundle.Bundle, error) { return next, nil })
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d", resp.StatusCode)
+	}
+	var out agent.ReloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != b2.Version() {
+		t.Fatalf("reload reported %q, want %q", out.Version, b2.Version())
+	}
+	if a.Version() != b2.Version() {
+		t.Fatalf("agent serves %q after reload", a.Version())
+	}
+
+	// GET is not allowed
+	getResp, err := http.Get(ts.URL + "/admin/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reload status %d", getResp.StatusCode)
+	}
+
+	// reloader failure keeps the current runtime serving
+	srv.SetReloader(func() (*bundle.Bundle, error) { return nil, fmt.Errorf("disk gone") })
+	failResp, err := http.Post(ts.URL+"/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failResp.Body.Close()
+	if failResp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failed reload status %d", failResp.StatusCode)
+	}
+	if a.Version() != b2.Version() {
+		t.Fatalf("failed reload changed serving version to %q", a.Version())
+	}
+
+	// the exposition must carry the live version and the reload counters
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mResp.Body)
+	mResp.Body.Close()
+	text := string(body)
+	live := fmt.Sprintf(`mdx_bundle_info{version=%q} 1`, b2.Version())
+	retired := fmt.Sprintf(`mdx_bundle_info{version=%q} 0`, b1.Version())
+	for _, want := range []string{live, retired, `mdx_reloads_total{result="success"} 1`, `mdx_reloads_total{result="error"} 1`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestServerReloadWithoutReloader(t *testing.T) {
+	a := fixture(t)
+	ts := httptest.NewServer(agent.NewServer(a).Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestOptionsSentinels covers the zero-value fix: zero means default,
+// negative means explicitly disabled.
+func TestOptionsSentinels(t *testing.T) {
+	fixture(t)
+
+	// MaxListed: a tiny positive cap elides, -1 removes the cap entirely.
+	capped, err := agent.New(space, base, agent.Options{MaxListed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncapped, err := agent.New(space, base, agent.Options{MaxListed: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ask := func(a *agent.Agent) string {
+		s := agent.NewSession()
+		a.Respond(s, "show me drugs that treat psoriasis")
+		return a.Respond(s, "adult")
+	}
+	cappedReply, uncappedReply := ask(capped), ask(uncapped)
+	if !strings.Contains(cappedReply, "…") {
+		t.Fatalf("MaxListed=1 did not elide: %q", cappedReply)
+	}
+	if strings.Contains(uncappedReply, "…") {
+		t.Fatalf("MaxListed=-1 still elided: %q", uncappedReply)
+	}
+	if len(uncappedReply) <= len(cappedReply) {
+		t.Fatalf("uncapped reply (%d bytes) not longer than capped (%d)", len(uncappedReply), len(cappedReply))
+	}
+
+	// MinConfidence: -1 disables the threshold, so even gibberish is
+	// dispatched as a fresh classification instead of being routed through
+	// the low-confidence repair path.
+	strict, err := agent.New(space, base, agent.Options{MinConfidence: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lax, err := agent.New(space, base, agent.Options{MinConfidence: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	utterance := "show me drugs that treat psoriasis"
+	strictReply := strict.Respond(agent.NewSession(), utterance)
+	laxReply := lax.Respond(agent.NewSession(), utterance)
+	if strictReply == laxReply {
+		t.Fatalf("threshold 0.99 and disabled threshold behave identically: %q", strictReply)
+	}
+	if laxReply != "Adult or pediatric?" {
+		t.Fatalf("disabled threshold should classify normally, got %q", laxReply)
+	}
+}

@@ -14,8 +14,14 @@ import (
 )
 
 // Respond processes one user utterance and returns the agent's reply,
-// recording the exchange (with its per-stage trace) on the session.
+// recording the exchange (with its per-stage trace) on the session. The
+// turn pins the runtime generation current at entry: a concurrent bundle
+// swap never changes artifacts mid-turn.
 func (a *Agent) Respond(s *Session, utterance string) string {
+	return a.runtime().respondTurn(s, utterance)
+}
+
+func (a *runtime) respondTurn(s *Session, utterance string) string {
 	s.Ctx.NextTurn()
 	s.Touch()
 	start := time.Now()
@@ -29,7 +35,7 @@ func (a *Agent) Respond(s *Session, utterance string) string {
 	return reply
 }
 
-func (a *Agent) respond(s *Session, utterance string, turn *Turn) string {
+func (a *runtime) respond(s *Session, utterance string, turn *Turn) string {
 	ctx := s.Ctx
 	sp := turn.Trace.StartSpan("entity_recognition")
 	mentions := a.rec.Recognize(utterance)
@@ -157,7 +163,7 @@ func (a *Agent) respond(s *Session, utterance string, turn *Turn) string {
 
 // fulfill runs slot filling for the active intent: either the next
 // elicitation or the final answer.
-func (a *Agent) fulfill(s *Session, turn *Turn) string {
+func (a *runtime) fulfill(s *Session, turn *Turn) string {
 	ctx := s.Ctx
 	in := a.space.Intent(ctx.Intent)
 	if in == nil || in.Template == nil {
@@ -187,7 +193,7 @@ func (a *Agent) fulfill(s *Session, turn *Turn) string {
 
 // answer instantiates the intent's template, executes it, and renders the
 // response.
-func (a *Agent) answer(in *core.Intent, ctx *dialogue.Context, turn *Turn) string {
+func (a *runtime) answer(in *core.Intent, ctx *dialogue.Context, turn *Turn) string {
 	sp := turn.Trace.StartSpan("sql_instantiate")
 	args := map[string]string{}
 	for _, req := range in.Required {
@@ -221,7 +227,7 @@ func (a *Agent) answer(in *core.Intent, ctx *dialogue.Context, turn *Turn) strin
 }
 
 // handleCM executes a conversation-management action.
-func (a *Agent) handleCM(s *Session, intent, utterance string, turn *Turn) string {
+func (a *runtime) handleCM(s *Session, intent, utterance string, turn *Turn) string {
 	ctx := s.Ctx
 	node := a.tree.Match(intent, ctx.Bound)
 	switch node.Action {
@@ -280,7 +286,7 @@ func (a *Agent) handleCM(s *Session, intent, utterance string, turn *Turn) strin
 }
 
 // propose starts (or restarts) the proposal flow for an entity-only input.
-func (a *Agent) propose(ctx *dialogue.Context, concept string) string {
+func (a *runtime) propose(ctx *dialogue.Context, concept string) string {
 	value, _ := ctx.Value(concept)
 	options := a.proposals[concept]
 	if len(options) == 0 {
@@ -297,7 +303,7 @@ func (a *Agent) propose(ctx *dialogue.Context, concept string) string {
 
 // proposalQuestion renders "Would you like to see the precautions of
 // benztropine mesylate?".
-func (a *Agent) proposalQuestion(intent string, assume map[string]string) string {
+func (a *runtime) proposalQuestion(intent string, assume map[string]string) string {
 	phrase := intentPhrase(intent)
 	var value string
 	for _, v := range assume {
@@ -318,14 +324,14 @@ func intentPhrase(name string) string {
 }
 
 // askChoice records a pending disambiguation and asks the user to choose.
-func (a *Agent) askChoice(ctx *dialogue.Context, m nlu.Mention) string {
+func (a *runtime) askChoice(ctx *dialogue.Context, m nlu.Mention) string {
 	cands := limit(m.Candidates, 5)
 	ctx.Choice = &dialogue.Choice{Entity: m.Type, Candidates: cands}
 	return fmt.Sprintf("Which one do you mean: %s?", joinOr(cands))
 }
 
 // resolveChoice matches the user's reply against the pending candidates.
-func (a *Agent) resolveChoice(c *dialogue.Choice, utterance string, mentions []nlu.Mention) (string, bool) {
+func (a *runtime) resolveChoice(c *dialogue.Choice, utterance string, mentions []nlu.Mention) (string, bool) {
 	for _, m := range mentions {
 		if m.Type != c.Entity || m.Partial {
 			continue
@@ -347,7 +353,7 @@ func (a *Agent) resolveChoice(c *dialogue.Choice, utterance string, mentions []n
 
 // lookupDefinition finds the longest glossary key mentioned in the
 // utterance.
-func (a *Agent) lookupDefinition(utterance string) (string, bool) {
+func (a *runtime) lookupDefinition(utterance string) (string, bool) {
 	low := strings.ToLower(utterance)
 	keys := make([]string, 0, len(a.defs))
 	for k := range a.defs {
@@ -371,7 +377,7 @@ func (a *Agent) lookupDefinition(utterance string) (string, bool) {
 // answer: no concept mention (those signal a fresh request), and either
 // very short, mostly covered by entity mentions, or led by a discourse
 // marker.
-func (a *Agent) answerShaped(mentions []nlu.Mention, utterance string) bool {
+func (a *runtime) answerShaped(mentions []nlu.Mention, utterance string) bool {
 	covered := 0
 	for _, m := range mentions {
 		if a.entityKinds[m.Type] == "concept" {
@@ -397,7 +403,7 @@ func (a *Agent) answerShaped(mentions []nlu.Mention, utterance string) bool {
 
 // isIncrementalModification decides whether the utterance operates on the
 // active request rather than starting a new one.
-func (a *Agent) isIncrementalModification(ctx *dialogue.Context, mentions []nlu.Mention, utterance string) bool {
+func (a *runtime) isIncrementalModification(ctx *dialogue.Context, mentions []nlu.Mention, utterance string) bool {
 	if ctx.Intent == "" {
 		return false
 	}
@@ -455,7 +461,7 @@ func (a *Agent) isIncrementalModification(ctx *dialogue.Context, mentions []nlu.
 
 // bindMentions stores instance and value mentions into the context and
 // returns how many were bound.
-func (a *Agent) bindMentions(ctx *dialogue.Context, mentions []nlu.Mention) int {
+func (a *runtime) bindMentions(ctx *dialogue.Context, mentions []nlu.Mention) int {
 	n := 0
 	for _, m := range mentions {
 		if m.Partial {
@@ -473,7 +479,7 @@ func (a *Agent) bindMentions(ctx *dialogue.Context, mentions []nlu.Mention) int 
 
 // firstMissing returns the first required entity of the active intent not
 // bound in context (considering defaults), or "".
-func (a *Agent) firstMissing(ctx *dialogue.Context) string {
+func (a *runtime) firstMissing(ctx *dialogue.Context) string {
 	in := a.space.Intent(ctx.Intent)
 	if in == nil {
 		return ""
@@ -490,7 +496,7 @@ func (a *Agent) firstMissing(ctx *dialogue.Context) string {
 }
 
 // generalConceptFor maps a *_GENERAL intent name back to its concept.
-func (a *Agent) generalConceptFor(intent string) (string, bool) {
+func (a *runtime) generalConceptFor(intent string) (string, bool) {
 	for concept, name := range a.generalIntents {
 		if name == intent {
 			return concept, true

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"ontoconv/internal/bundle"
 	"ontoconv/internal/obs"
 )
 
@@ -23,6 +24,7 @@ const DefaultIdleTTL = 30 * time.Minute
 //	POST /chat      {"session":"s1","message":"precautions for aspirin"}
 //	             -> {"session":"s1","reply":"…","intent":"…","closed":false}
 //	POST /feedback  {"session":"s1","thumbs":"down"}
+//	POST /admin/reload   hot-swap to a fresh bundle (when a reloader is set)
 //	GET  /context?session=s1
 //	GET  /trace?session=s1[&all=1]
 //	GET  /metrics
@@ -36,6 +38,12 @@ type Server struct {
 	sessions  map[string]*Session
 	idleTTL   time.Duration
 	lastSweep time.Time
+
+	// reloadMu serializes reloads; reloader produces the next bundle
+	// (typically by re-reading a bundle file). Nil disables the reload
+	// endpoint.
+	reloadMu sync.Mutex
+	reloader func() (*bundle.Bundle, error)
 }
 
 // NewServer wraps an agent for HTTP serving.
@@ -66,6 +74,7 @@ func (s *Server) Handler() http.Handler {
 	handle("/feedback", s.handleFeedback)
 	handle("/context", s.handleContext)
 	handle("/trace", s.handleTrace)
+	handle("/admin/reload", s.handleReload)
 	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.sweep() // scrapes double as the idle-session janitor
 		m.Registry().Handler().ServeHTTP(w, r)
@@ -110,6 +119,57 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.status = http.StatusOK
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// SetReloader installs the bundle producer the reload path uses (the
+// /admin/reload endpoint and any signal-driven Reload calls). Pass nil to
+// disable reloading.
+func (s *Server) SetReloader(f func() (*bundle.Bundle, error)) {
+	s.reloadMu.Lock()
+	s.reloader = f
+	s.reloadMu.Unlock()
+}
+
+// Reload obtains a fresh bundle from the reloader, validates it, and
+// atomically swaps the agent onto it. In-flight turns finish on the old
+// runtime; sessions survive. Returns the new live version.
+func (s *Server) Reload() (string, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if s.reloader == nil {
+		return "", fmt.Errorf("agent: no reloader configured")
+	}
+	b, err := s.reloader()
+	if err != nil {
+		s.agent.metrics.Reloads.With("error").Inc()
+		return "", fmt.Errorf("agent: reload: %w", err)
+	}
+	if err := s.agent.InstallBundle(b); err != nil {
+		return "", err
+	}
+	return s.agent.Version(), nil
+}
+
+// ReloadResponse is the /admin/reload response body.
+type ReloadResponse struct {
+	Version string `json:"version"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	version, err := s.Reload()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "no reloader configured") {
+			status = http.StatusNotImplemented
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, ReloadResponse{Version: version})
 }
 
 // ChatRequest is the /chat request body.

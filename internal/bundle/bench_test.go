@@ -1,0 +1,37 @@
+package bundle_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"ontoconv/internal/bundle"
+)
+
+// BenchmarkOpen measures the verified read path on its own: header,
+// manifest, hash checks, and artifact decoding.
+func BenchmarkOpen(b *testing.B) {
+	_, raw := fixture(b)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bundle.Open(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile measures offline compilation (classifier training
+// included) for comparison with BenchmarkOpen.
+func BenchmarkCompile(b *testing.B) {
+	fixture(b)
+	for i := 0; i < b.N; i++ {
+		compiled, err := bundle.Compile(space, bundle.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := compiled.Write(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

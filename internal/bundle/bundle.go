@@ -1,0 +1,421 @@
+// Package bundle implements the compiled workspace bundle: the immutable,
+// versioned artifact that is the sole hand-off between the offline
+// bootstrap (paper §4, Figure 1a) and the online serving half (§2,
+// Figure 1b). The paper's deployment uploads generated artifacts to the
+// hosted assistant, which trains and serves them ("Uploading the
+// artifacts ... triggers the natural language classifier to train the
+// model", §7); here Compile performs the training offline and the bundle
+// carries the *trained* model, so a server cold-starts by deserializing
+// instead of retraining and can hot-swap a new bundle under live traffic.
+//
+// On-disk format (all integers big-endian):
+//
+//	magic "OCWB" | uint16 format version
+//	uint32 manifest length | manifest JSON
+//	for each artifact, in manifest order:
+//	    uint32 payload length | payload bytes
+//
+// The manifest records the format version, the hash of the conversation
+// space the bundle was compiled from, and a SHA-256 per artifact. Open
+// verifies every hash and size and rejects truncated, corrupt, or
+// tampered bundles with an error — never a panic. Compilation is
+// deterministic: the same space yields byte-identical bundle files, so
+// the manifest's Version() doubles as a content-addressed release id.
+package bundle
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"ontoconv/internal/core"
+	"ontoconv/internal/dialogue"
+	"ontoconv/internal/nlu"
+)
+
+// FormatVersion is the container format version; Open rejects any other.
+const FormatVersion = 1
+
+// magic identifies a workspace bundle file.
+var magic = []byte("OCWB")
+
+// maxSectionLen bounds a single declared section so corrupt length
+// prefixes cannot trigger huge allocations.
+const maxSectionLen = 1 << 28 // 256 MiB
+
+// Artifact section names, in their fixed bundle order.
+const (
+	ArtifactSpace      = "space"
+	ArtifactClassifier = "classifier"
+	ArtifactRecognizer = "recognizer"
+	ArtifactLogicTable = "logictable"
+	ArtifactTree       = "tree"
+)
+
+var artifactOrder = []string{
+	ArtifactSpace, ArtifactClassifier, ArtifactRecognizer, ArtifactLogicTable, ArtifactTree,
+}
+
+// ArtifactInfo describes one serialized section.
+type ArtifactInfo struct {
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest is the bundle's self-description: enough to identify, verify,
+// and display a bundle without decoding its payloads.
+type Manifest struct {
+	// FormatVersion is the container format version.
+	FormatVersion int `json:"formatVersion"`
+	// SpaceSHA256 is the hash of the serialized conversation space the
+	// bundle was compiled from.
+	SpaceSHA256 string `json:"spaceSha256"`
+	// Classifier is the trained model kind (nlu envelope tag).
+	Classifier string `json:"classifier"`
+	// Inventory counts for quick display (ontolint, admin endpoints).
+	Intents  int `json:"intents"`
+	Entities int `json:"entities"`
+	Examples int `json:"examples"`
+	// Artifacts lists every section in bundle order with its hash.
+	Artifacts []ArtifactInfo `json:"artifacts"`
+}
+
+// Version returns the bundle's content-addressed release id: the first 12
+// hex digits of the SHA-256 over all artifact hashes. Two bundles share a
+// version exactly when their compiled content is identical.
+func (m *Manifest) Version() string {
+	h := sha256.New()
+	for _, a := range m.Artifacts {
+		io.WriteString(h, a.Name)
+		io.WriteString(h, "\x00")
+		io.WriteString(h, a.SHA256)
+		io.WriteString(h, "\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12]
+}
+
+// Artifact returns the named section's info, or nil.
+func (m *Manifest) Artifact(name string) *ArtifactInfo {
+	for i := range m.Artifacts {
+		if m.Artifacts[i].Name == name {
+			return &m.Artifacts[i]
+		}
+	}
+	return nil
+}
+
+// Bundle is a compiled workspace: the manifest plus the decoded artifacts
+// the online agent serves from. A Bundle is immutable after Compile/Open.
+type Bundle struct {
+	Manifest   Manifest
+	Space      *core.Space
+	Classifier nlu.Classifier
+	Recognizer *nlu.Recognizer
+	LogicTable *dialogue.LogicTable
+	Tree       *dialogue.Tree
+
+	// sections holds the exact bytes each artifact serialized to, kept so
+	// Write emits them without re-encoding (and therefore byte-identical
+	// to what the hashes in the manifest cover).
+	sections map[string][]byte
+}
+
+// Options tunes compilation.
+type Options struct {
+	// Classifier is the model to train; nil selects logistic regression
+	// (the experiments' default).
+	Classifier nlu.Classifier
+}
+
+// Compile trains the classifier on the space's examples, builds the
+// recognizer dictionary, generates the logic table and dialogue tree, and
+// packages everything into a verified in-memory bundle. The knowledge
+// base itself is not part of the bundle: it is the database the serving
+// half connects to separately.
+func Compile(space *core.Space, opts Options) (*Bundle, error) {
+	if space == nil {
+		return nil, errors.New("bundle: compile: nil space")
+	}
+	if err := space.Validate(); err != nil {
+		return nil, fmt.Errorf("bundle: compile: %w", err)
+	}
+	clf := opts.Classifier
+	if clf == nil {
+		clf = nlu.NewLogisticRegression()
+	}
+	if nlu.ClassifierKind(clf) == "" {
+		return nil, fmt.Errorf("bundle: compile: classifier %T has no serialization support", clf)
+	}
+	all := space.AllExamples()
+	examples := make([]nlu.Example, 0, len(all))
+	for _, te := range all {
+		examples = append(examples, nlu.Example{Text: te.Text, Intent: te.Intent})
+	}
+	if err := clf.Train(examples); err != nil {
+		return nil, fmt.Errorf("bundle: compile: train: %w", err)
+	}
+
+	rec := nlu.NewRecognizer()
+	for _, def := range space.Entities {
+		for _, v := range def.Values {
+			rec.Add(def.Name, v.Value, v.Synonyms...)
+		}
+	}
+	table := dialogue.BuildLogicTable(space)
+	tree := dialogue.BuildTree(space, table)
+
+	b := &Bundle{
+		Space: space, Classifier: clf, Recognizer: rec,
+		LogicTable: table, Tree: tree,
+	}
+	if err := b.seal(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// seal serializes every artifact, computes hashes, and fills the manifest.
+func (b *Bundle) seal() error {
+	spaceJSON, err := json.Marshal(b.Space)
+	if err != nil {
+		return fmt.Errorf("bundle: encode space: %w", err)
+	}
+	clfBytes, err := nlu.MarshalClassifier(b.Classifier)
+	if err != nil {
+		return fmt.Errorf("bundle: encode classifier: %w", err)
+	}
+	recBytes, err := nlu.MarshalRecognizer(b.Recognizer)
+	if err != nil {
+		return fmt.Errorf("bundle: encode recognizer: %w", err)
+	}
+	tableJSON, err := json.Marshal(b.LogicTable)
+	if err != nil {
+		return fmt.Errorf("bundle: encode logic table: %w", err)
+	}
+	treeJSON, err := json.Marshal(b.Tree)
+	if err != nil {
+		return fmt.Errorf("bundle: encode tree: %w", err)
+	}
+	b.sections = map[string][]byte{
+		ArtifactSpace:      spaceJSON,
+		ArtifactClassifier: clfBytes,
+		ArtifactRecognizer: recBytes,
+		ArtifactLogicTable: tableJSON,
+		ArtifactTree:       treeJSON,
+	}
+	spaceSum := sha256.Sum256(spaceJSON)
+	b.Manifest = Manifest{
+		FormatVersion: FormatVersion,
+		SpaceSHA256:   hex.EncodeToString(spaceSum[:]),
+		Classifier:    nlu.ClassifierKind(b.Classifier),
+		Intents:       len(b.Space.Intents),
+		Entities:      len(b.Space.Entities),
+		Examples:      len(b.Space.AllExamples()),
+	}
+	for _, name := range artifactOrder {
+		payload := b.sections[name]
+		sum := sha256.Sum256(payload)
+		b.Manifest.Artifacts = append(b.Manifest.Artifacts, ArtifactInfo{
+			Name: name, Size: int64(len(payload)), SHA256: hex.EncodeToString(sum[:]),
+		})
+	}
+	return nil
+}
+
+// Version returns the bundle's content-addressed release id.
+func (b *Bundle) Version() string { return b.Manifest.Version() }
+
+// Write emits the bundle in the on-disk format. Output is deterministic:
+// the same compiled content always produces identical bytes.
+func (b *Bundle) Write(w io.Writer) error {
+	if b.sections == nil {
+		return errors.New("bundle: write: bundle was not compiled or opened")
+	}
+	manifestJSON, err := json.Marshal(&b.Manifest)
+	if err != nil {
+		return fmt.Errorf("bundle: encode manifest: %w", err)
+	}
+	if _, err := w.Write(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint16(FormatVersion)); err != nil {
+		return err
+	}
+	writeSection := func(payload []byte) error {
+		if err := binary.Write(w, binary.BigEndian, uint32(len(payload))); err != nil {
+			return err
+		}
+		_, err := w.Write(payload)
+		return err
+	}
+	if err := writeSection(manifestJSON); err != nil {
+		return err
+	}
+	for _, a := range b.Manifest.Artifacts {
+		if err := writeSection(b.sections[a.Name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the bundle to path via a temp file + rename, so a
+// concurrently reloading server never observes a half-written bundle.
+func (b *Bundle) WriteFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".bundle-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := b.Write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// Open reads, verifies, and decodes a bundle. Any structural problem —
+// short file, unknown version, length overruns, hash or size mismatches,
+// malformed payloads, dangling references inside the space — returns an
+// error; Open never panics on hostile input.
+func Open(r io.Reader) (*Bundle, error) {
+	head := make([]byte, len(magic)+2)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("bundle: read header: %w", err)
+	}
+	if !bytes.Equal(head[:len(magic)], magic) {
+		return nil, fmt.Errorf("bundle: bad magic %q", head[:len(magic)])
+	}
+	if v := binary.BigEndian.Uint16(head[len(magic):]); v != FormatVersion {
+		return nil, fmt.Errorf("bundle: unsupported format version %d (want %d)", v, FormatVersion)
+	}
+	readSection := func(what string) ([]byte, error) {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("bundle: read %s length: %w", what, err)
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > maxSectionLen {
+			return nil, fmt.Errorf("bundle: %s section of %d bytes exceeds limit", what, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("bundle: read %s (%d bytes): %w", what, n, err)
+		}
+		return payload, nil
+	}
+
+	manifestJSON, err := readSection("manifest")
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(manifestJSON, &m); err != nil {
+		return nil, fmt.Errorf("bundle: decode manifest: %w", err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("bundle: manifest declares format version %d (want %d)", m.FormatVersion, FormatVersion)
+	}
+	if len(m.Artifacts) != len(artifactOrder) {
+		return nil, fmt.Errorf("bundle: manifest lists %d artifacts (want %d)", len(m.Artifacts), len(artifactOrder))
+	}
+	sections := make(map[string][]byte, len(m.Artifacts))
+	for i, a := range m.Artifacts {
+		if a.Name != artifactOrder[i] {
+			return nil, fmt.Errorf("bundle: artifact %d is %q (want %q)", i, a.Name, artifactOrder[i])
+		}
+		payload, err := readSection(a.Name)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(payload)) != a.Size {
+			return nil, fmt.Errorf("bundle: artifact %q is %d bytes, manifest says %d", a.Name, len(payload), a.Size)
+		}
+		sum := sha256.Sum256(payload)
+		if got := hex.EncodeToString(sum[:]); got != a.SHA256 {
+			return nil, fmt.Errorf("bundle: artifact %q hash mismatch: have %s, manifest says %s", a.Name, got, a.SHA256)
+		}
+		sections[a.Name] = payload
+	}
+	if extra, err := io.ReadAll(io.LimitReader(r, 1)); err == nil && len(extra) > 0 {
+		return nil, errors.New("bundle: trailing bytes after last artifact")
+	}
+
+	spaceSum := sha256.Sum256(sections[ArtifactSpace])
+	if got := hex.EncodeToString(spaceSum[:]); got != m.SpaceSHA256 {
+		return nil, fmt.Errorf("bundle: space hash mismatch: have %s, manifest says %s", got, m.SpaceSHA256)
+	}
+
+	var space core.Space
+	if err := json.Unmarshal(sections[ArtifactSpace], &space); err != nil {
+		return nil, fmt.Errorf("bundle: decode space: %w", err)
+	}
+	if err := space.Validate(); err != nil {
+		return nil, fmt.Errorf("bundle: %w", err)
+	}
+	clf, err := nlu.UnmarshalClassifier(sections[ArtifactClassifier])
+	if err != nil {
+		return nil, fmt.Errorf("bundle: %w", err)
+	}
+	if kind := nlu.ClassifierKind(clf); kind != m.Classifier {
+		return nil, fmt.Errorf("bundle: classifier kind %q does not match manifest %q", kind, m.Classifier)
+	}
+	rec, err := nlu.UnmarshalRecognizer(sections[ArtifactRecognizer])
+	if err != nil {
+		return nil, fmt.Errorf("bundle: %w", err)
+	}
+	var table dialogue.LogicTable
+	if err := json.Unmarshal(sections[ArtifactLogicTable], &table); err != nil {
+		return nil, fmt.Errorf("bundle: decode logic table: %w", err)
+	}
+	var tree dialogue.Tree
+	if err := json.Unmarshal(sections[ArtifactTree], &tree); err != nil {
+		return nil, fmt.Errorf("bundle: decode tree: %w", err)
+	}
+	if tree.Fallback == nil {
+		return nil, errors.New("bundle: dialogue tree has no fallback node")
+	}
+	return &Bundle{
+		Manifest: m, Space: &space, Classifier: clf, Recognizer: rec,
+		LogicTable: &table, Tree: &tree, sections: sections,
+	}, nil
+}
+
+// OpenFile opens and verifies a bundle file.
+func OpenFile(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Open(f)
+}
+
+// Verify reads a bundle and reports its manifest without keeping the
+// decoded artifacts; it returns an error exactly when Open would.
+func Verify(r io.Reader) (*Manifest, error) {
+	b, err := Open(r)
+	if err != nil {
+		return nil, err
+	}
+	return &b.Manifest, nil
+}

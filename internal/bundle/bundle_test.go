@@ -1,0 +1,320 @@
+package bundle_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/bundle"
+	"ontoconv/internal/core"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/medkb"
+	"ontoconv/internal/nlu"
+	"ontoconv/internal/sim"
+)
+
+var (
+	once   sync.Once
+	base   *kb.KB
+	space  *core.Space
+	b      *bundle.Bundle
+	raw    []byte
+	setupE error
+)
+
+// fixture bootstraps the MDX workspace and compiles it into a bundle once
+// for the whole package.
+func fixture(t testing.TB) (*bundle.Bundle, []byte) {
+	t.Helper()
+	once.Do(func() {
+		var err error
+		base, _, space, err = medkb.Bootstrap()
+		if err != nil {
+			setupE = err
+			return
+		}
+		b, err = bundle.Compile(space, bundle.Options{})
+		if err != nil {
+			setupE = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := b.Write(&buf); err != nil {
+			setupE = err
+			return
+		}
+		raw = buf.Bytes()
+	})
+	if setupE != nil {
+		t.Fatal(setupE)
+	}
+	return b, raw
+}
+
+func TestWriteOpenRoundTrip(t *testing.T) {
+	b, raw := fixture(t)
+	got, err := bundle.Open(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Manifest, b.Manifest) {
+		t.Fatalf("manifest round-trip mismatch:\n%+v\n%+v", got.Manifest, b.Manifest)
+	}
+	if got.Version() != b.Version() {
+		t.Fatalf("version %q != %q", got.Version(), b.Version())
+	}
+	if len(got.Space.Intents) != len(b.Space.Intents) {
+		t.Fatalf("space intents %d != %d", len(got.Space.Intents), len(b.Space.Intents))
+	}
+	// a reopened bundle must re-serialize to identical bytes
+	var buf bytes.Buffer
+	if err := got.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("reopened bundle does not re-serialize byte-identically")
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	b, raw := fixture(t)
+	again, err := bundle.Compile(space, bundle.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Version() != b.Version() {
+		t.Fatalf("recompilation changed version: %q != %q", again.Version(), b.Version())
+	}
+	var buf bytes.Buffer
+	if err := again.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("compiling the same space twice is not byte-identical")
+	}
+}
+
+func TestManifestInventory(t *testing.T) {
+	b, _ := fixture(t)
+	m := b.Manifest
+	if m.FormatVersion != bundle.FormatVersion {
+		t.Fatalf("format version %d", m.FormatVersion)
+	}
+	if m.Classifier != nlu.KindLogisticRegression {
+		t.Fatalf("classifier kind %q", m.Classifier)
+	}
+	if m.Intents != len(space.Intents) || m.Entities != len(space.Entities) || m.Examples != len(space.AllExamples()) {
+		t.Fatalf("inventory %d/%d/%d does not match space %d/%d/%d",
+			m.Intents, m.Entities, m.Examples,
+			len(space.Intents), len(space.Entities), len(space.AllExamples()))
+	}
+	for _, name := range []string{
+		bundle.ArtifactSpace, bundle.ArtifactClassifier, bundle.ArtifactRecognizer,
+		bundle.ArtifactLogicTable, bundle.ArtifactTree,
+	} {
+		a := m.Artifact(name)
+		if a == nil {
+			t.Fatalf("manifest missing artifact %q", name)
+		}
+		if a.Size <= 0 || len(a.SHA256) != 64 {
+			t.Fatalf("artifact %q: size %d, sha %q", name, a.Size, a.SHA256)
+		}
+	}
+	if len(b.Version()) != 12 {
+		t.Fatalf("version %q is not 12 hex digits", b.Version())
+	}
+}
+
+// TestOpenRejectsCorruption flips, truncates, and extends the valid bundle
+// and asserts Open returns an error (and never panics) in every case.
+func TestOpenRejectsCorruption(t *testing.T) {
+	_, raw := fixture(t)
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			data := mutate(append([]byte(nil), raw...))
+			if _, err := bundle.Open(bytes.NewReader(data)); err == nil {
+				t.Fatalf("%s: Open accepted corrupt input", name)
+			}
+		})
+	}
+
+	corrupt("empty", func(d []byte) []byte { return nil })
+	corrupt("bad magic", func(d []byte) []byte { d[0] = 'X'; return d })
+	corrupt("bad format version", func(d []byte) []byte { d[5] = 99; return d })
+	corrupt("truncated header", func(d []byte) []byte { return d[:3] })
+	corrupt("truncated manifest", func(d []byte) []byte { return d[:20] })
+	corrupt("truncated mid-payload", func(d []byte) []byte { return d[:len(d)/2] })
+	corrupt("truncated last byte", func(d []byte) []byte { return d[:len(d)-1] })
+	corrupt("trailing bytes", func(d []byte) []byte { return append(d, 0) })
+	corrupt("flipped payload byte", func(d []byte) []byte { d[len(d)-10] ^= 0xff; return d })
+	corrupt("oversized section length", func(d []byte) []byte {
+		// manifest length prefix sits right after the 6-byte header
+		d[6], d[7], d[8], d[9] = 0xff, 0xff, 0xff, 0xff
+		return d
+	})
+	corrupt("corrupt manifest json", func(d []byte) []byte { d[10] = '}'; return d })
+	corrupt("flipped manifest hash", func(d []byte) []byte {
+		// find the first artifact hash in the manifest JSON and alter one
+		// hex digit without changing lengths
+		i := bytes.Index(d, []byte(`"sha256":"`))
+		if i < 0 {
+			t.Fatal("no sha256 field found")
+		}
+		p := i + len(`"sha256":"`)
+		if d[p] == '0' {
+			d[p] = '1'
+		} else {
+			d[p] = '0'
+		}
+		return d
+	})
+}
+
+func TestVerify(t *testing.T) {
+	b, raw := fixture(t)
+	m, err := bundle.Verify(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != b.Version() {
+		t.Fatalf("Verify version %q != %q", m.Version(), b.Version())
+	}
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 1
+	if _, err := bundle.Verify(bytes.NewReader(bad)); err == nil {
+		t.Fatal("Verify accepted corrupt bundle")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	b, raw := fixture(t)
+	path := t.TempDir() + "/mdx.bundle"
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bundle.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version() != b.Version() {
+		t.Fatalf("version %q != %q", got.Version(), b.Version())
+	}
+	var buf bytes.Buffer
+	if err := got.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("file round-trip not byte-identical")
+	}
+}
+
+func TestCompileRejects(t *testing.T) {
+	if _, err := bundle.Compile(nil, bundle.Options{}); err == nil {
+		t.Fatal("expected error for nil space")
+	}
+	if _, err := bundle.Compile(&core.Space{}, bundle.Options{}); err == nil {
+		t.Fatal("expected error for empty space")
+	}
+}
+
+// TestBundleAgentMatchesSpaceAgent is the offline/online split's core
+// acceptance check: an agent served from a bundle must be behaviorally
+// indistinguishable from one trained in-process from the same space. Both
+// agents replay the full E3 simulated usage study and the logs must match
+// interaction for interaction.
+func TestBundleAgentMatchesSpaceAgent(t *testing.T) {
+	b, raw := fixture(t)
+
+	trained, err := agent.New(space, base, agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// load through the serialized bytes, exactly like a server cold start
+	loaded, err := bundle.Open(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBundle, err := agent.NewFromBundle(loaded, base, agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromBundle.Version() != b.Version() {
+		t.Fatalf("bundle agent version %q, want %q", fromBundle.Version(), b.Version())
+	}
+	if trained.Version() != agent.SpaceVersion {
+		t.Fatalf("trained agent version %q, want %q", trained.Version(), agent.SpaceVersion)
+	}
+	if trained.Greeting() != fromBundle.Greeting() {
+		t.Fatalf("greetings differ: %q vs %q", trained.Greeting(), fromBundle.Greeting())
+	}
+
+	cfg := sim.DefaultConfig()
+	if testing.Short() {
+		cfg.Interactions = 1500
+	}
+	want := sim.Run(trained, cfg)
+	got := sim.Run(fromBundle, cfg)
+	if len(want.Interactions) != len(got.Interactions) {
+		t.Fatalf("log sizes differ: %d vs %d", len(want.Interactions), len(got.Interactions))
+	}
+	for i := range want.Interactions {
+		if !reflect.DeepEqual(want.Interactions[i], got.Interactions[i]) {
+			t.Fatalf("interaction %d diverges:\ntrained: %+v\nbundle:  %+v",
+				i, want.Interactions[i], got.Interactions[i])
+		}
+	}
+}
+
+// TestTable5SplitRoundTrip trains both classifier kinds on the Table-5
+// train split, round-trips them through serialization, and asserts
+// bit-identical Predict output — intent, confidence, and the full score
+// vector — across the whole held-out test set.
+func TestTable5SplitRoundTrip(t *testing.T) {
+	fixture(t)
+	var examples []nlu.Example
+	for _, te := range space.AllExamples() {
+		examples = append(examples, nlu.Example{Text: te.Text, Intent: te.Intent})
+	}
+	train, test := nlu.TrainTestSplit(examples, 5)
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatalf("degenerate split: %d train, %d test", len(train), len(test))
+	}
+
+	for _, clf := range []nlu.Classifier{nlu.NewNaiveBayes(1), nlu.NewLogisticRegression()} {
+		kind := nlu.ClassifierKind(clf)
+		if err := clf.Train(train); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		data, err := nlu.MarshalClassifier(clf)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		loaded, err := nlu.UnmarshalClassifier(data)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for _, ex := range test {
+			pw, pg := clf.Predict(ex.Text), loaded.Predict(ex.Text)
+			if pw.Intent != pg.Intent || pw.Confidence != pg.Confidence {
+				t.Fatalf("%s: Predict(%q): (%q, %v) != (%q, %v)",
+					kind, ex.Text, pg.Intent, pg.Confidence, pw.Intent, pw.Confidence)
+			}
+			if !reflect.DeepEqual(pw.Scores, pg.Scores) {
+				t.Fatalf("%s: Predict(%q): score vectors differ", kind, ex.Text)
+			}
+		}
+	}
+}
+
+// TestErrorsMentionBundle spot-checks that failures are reported with the
+// package prefix so server logs are attributable.
+func TestErrorsMentionBundle(t *testing.T) {
+	_, err := bundle.Open(strings.NewReader("not a bundle at all"))
+	if err == nil || !strings.Contains(err.Error(), "bundle:") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package bundle_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ontoconv/internal/bundle"
+	"ontoconv/internal/core"
+)
+
+// FuzzOpenBundle throws arbitrary bytes at the bundle reader. The
+// contract under test is the one the online server depends on: Open
+// either succeeds on a well-formed, hash-verified bundle or returns an
+// error — it must never panic, hang, or over-allocate on hostile input.
+func FuzzOpenBundle(f *testing.F) {
+	// Seed with a valid compiled bundle and characteristic corruptions.
+	b, raw := fuzzSeed(f)
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])                         // truncated mid-payload
+	f.Add(raw[:6])                                  // header only
+	f.Add(append([]byte(nil), raw[:len(raw)-1]...)) // short one byte
+
+	trailing := append(append([]byte(nil), raw...), 0xAA)
+	f.Add(trailing)
+
+	hashFlip := append([]byte(nil), raw...)
+	if i := bytes.Index(hashFlip, []byte(`"sha256":"`)); i >= 0 {
+		p := i + len(`"sha256":"`)
+		hashFlip[p] ^= 1
+	}
+	f.Add(hashFlip)
+
+	badJSON := append([]byte(nil), raw...)
+	badJSON[10] = '}'
+	f.Add(badJSON)
+
+	f.Add([]byte("OCWB"))
+	f.Add([]byte{})
+
+	version := b.Version()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := bundle.Open(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything Open accepts must be the intact seed bundle: the hash
+		// chain makes silent mutation impossible.
+		if got.Version() != version {
+			t.Fatalf("accepted a mutated bundle: version %q, want %q", got.Version(), version)
+		}
+	})
+}
+
+// fuzzSeed compiles a minimal valid bundle for the corpus. The MDX
+// bootstrap is too slow for fuzz startup, so it uses a tiny synthetic
+// space instead.
+func fuzzSeed(f *testing.F) (*bundle.Bundle, []byte) {
+	f.Helper()
+	space := tinySpace()
+	b, err := bundle.Compile(space, bundle.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return b, buf.Bytes()
+}
+
+// tinySpace is a minimal valid conversation space: two classifiable
+// intents and one entity dictionary.
+func tinySpace() *core.Space {
+	return &core.Space{
+		Intents: []core.Intent{
+			{
+				Name: "Greeting", Kind: core.ConversationPattern,
+				Examples: []string{"hello", "hi there", "good morning"},
+				Response: "Hello.",
+			},
+			{
+				Name: "Uses of Drug", Kind: core.LookupPattern,
+				Examples:      []string{"what is aspirin used for", "uses of ibuprofen", "what does tylenol do"},
+				AnswerConcept: "Use",
+			},
+		},
+		Entities: []core.EntityDef{
+			{Name: "Drug", Kind: "instance", Values: []core.EntityValue{
+				{Value: "Aspirin", Synonyms: []string{"asa"}},
+				{Value: "Ibuprofen"},
+			}},
+		},
+		Completion: core.CompletionMeta{
+			DependentsOfKey: map[string][]string{},
+			KeysOfDependent: map[string][]string{},
+		},
+	}
+}

@@ -1,5 +1,10 @@
 package core
 
+// DefaultGreeting is the conversation-opening line of the MDX deployment
+// (§6.3 line 01). It is the single source for both the CM Greeting intent
+// response and the agent's default greeting.
+const DefaultGreeting = "Hello. This is Micromedex. If this is your first time, just ask for help. How can I help you today?"
+
 // ConversationManagementIntents returns the 14 domain-independent intents
 // the MDX deployment layers around the KB intents (§5.2 step 3, §6.1):
 // generic actions users take to manage the interaction itself, drawn from
@@ -17,7 +22,7 @@ func ConversationManagementIntents() []Intent {
 	}
 	return []Intent{
 		mk("CM Greeting",
-			"Hello. This is Micromedex. If this is your first time, just ask for help. How can I help you today?",
+			DefaultGreeting,
 			"hello", "hi", "hey there", "good morning", "good afternoon", "hi there",
 			"greetings", "hello agent", "hey", "good evening", "hello there", "hiya",
 			"morning", "hi assistant", "hello micromedex", "good day", "yo", "hey assistant"),

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+
+	"ontoconv/internal/bundle"
 )
 
 // TestBootstrapDeterminism asserts the whole offline pipeline is
@@ -29,6 +31,38 @@ func TestBootstrapDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(runs[0].Bytes(), runs[1].Bytes()) {
 		t.Fatalf("bootstrap is not byte-reproducible:\n%s", firstDiff(runs[0].Bytes(), runs[1].Bytes()))
+	}
+}
+
+// TestBundleCompilationDeterminism extends the invariant through the
+// compiled-bundle stage: two independent bootstrap-and-compile runs —
+// including classifier training — must produce byte-identical bundle
+// files, so the manifest version is a trustworthy content-addressed
+// release id.
+func TestBundleCompilationDeterminism(t *testing.T) {
+	var runs [2]*bytes.Buffer
+	var versions [2]string
+	for i := range runs {
+		_, _, space, err := Bootstrap()
+		if err != nil {
+			t.Fatalf("bootstrap run %d: %v", i+1, err)
+		}
+		b, err := bundle.Compile(space, bundle.Options{})
+		if err != nil {
+			t.Fatalf("compile run %d: %v", i+1, err)
+		}
+		buf := &bytes.Buffer{}
+		if err := b.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = buf
+		versions[i] = b.Version()
+	}
+	if versions[0] != versions[1] {
+		t.Fatalf("versions differ across runs: %q vs %q", versions[0], versions[1])
+	}
+	if !bytes.Equal(runs[0].Bytes(), runs[1].Bytes()) {
+		t.Fatalf("bundle compilation is not byte-reproducible:\n%s", firstDiff(runs[0].Bytes(), runs[1].Bytes()))
 	}
 }
 

@@ -45,6 +45,16 @@ type Recognizer struct {
 	// values containing it, for partial matching.
 	wordOfValue map[string][]dictEntry
 	maxLen      int
+	// additions journals every Add call in order, so the dictionary can
+	// be serialized and rebuilt behaviourally identical (see serialize.go).
+	additions []dictAddition
+}
+
+// dictAddition is one journaled Add call.
+type dictAddition struct {
+	Type      string   `json:"type"`
+	Canonical string   `json:"canonical"`
+	Synonyms  []string `json:"synonyms,omitempty"`
 }
 
 // NewRecognizer returns an empty recognizer.
@@ -59,6 +69,10 @@ func NewRecognizer() *Recognizer {
 
 // Add registers a canonical entity value and its synonyms under a type.
 func (r *Recognizer) Add(entityType, canonical string, synonyms ...string) {
+	r.additions = append(r.additions, dictAddition{
+		Type: entityType, Canonical: canonical,
+		Synonyms: append([]string(nil), synonyms...),
+	})
 	entry := dictEntry{entityType: entityType, canonical: canonical}
 	surfaces := append([]string{canonical}, synonyms...)
 	for _, s := range surfaces {

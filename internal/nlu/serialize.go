@@ -1,0 +1,288 @@
+package nlu
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// ModelFormatVersion is the serialization format version of the trained
+// NLU artifacts. It is bumped whenever the encoded shape changes in a way
+// an older reader cannot decode; decoders reject any other version.
+const ModelFormatVersion = 1
+
+// The classifier kind tags stored in the envelope.
+const (
+	KindNaiveBayes         = "naive-bayes"
+	KindLogisticRegression = "logistic-regression"
+)
+
+// Serialization is deliberately JSON-based: encoding/json marshals every
+// map with sorted keys, so encoding is deterministic, and all state below
+// is ordered slices — no map iteration touches the wire. Model parameters
+// (the bulk of the payload) travel as base64-encoded raw little-endian
+// float64 bits rather than decimal literals: exact to the bit by
+// construction, a third the size, and decoded at memory speed instead of
+// float-parsing speed — the fast server cold start depends on this.
+
+// floatVec is a []float64 that marshals as a base64 string of raw
+// little-endian IEEE-754 bits.
+type floatVec []float64
+
+func (v floatVec) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(f))
+	}
+	return json.Marshal(base64.StdEncoding.EncodeToString(buf))
+}
+
+func (v *floatVec) UnmarshalJSON(data []byte) error {
+	// Fast path: a plain quoted string with no escapes. The base64
+	// alphabet never needs JSON escaping, so this is the shape every
+	// encoder (ours included) produces; re-running json.Unmarshal per row
+	// would re-validate and re-unquote megabytes of weight data.
+	var b64 []byte
+	if len(data) >= 2 && data[0] == '"' && data[len(data)-1] == '"' &&
+		bytes.IndexByte(data[1:len(data)-1], '\\') < 0 && bytes.IndexByte(data[1:len(data)-1], '"') < 0 {
+		b64 = data[1 : len(data)-1]
+	} else {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return fmt.Errorf("nlu: float vector is not a base64 string: %w", err)
+		}
+		b64 = []byte(s)
+	}
+	raw := make([]byte, base64.StdEncoding.DecodedLen(len(b64)))
+	n, err := base64.StdEncoding.Decode(raw, b64)
+	if err != nil {
+		return fmt.Errorf("nlu: float vector: %w", err)
+	}
+	raw = raw[:n]
+	if len(raw)%8 != 0 {
+		return fmt.Errorf("nlu: float vector of %d bytes is not a multiple of 8", len(raw))
+	}
+	out := make(floatVec, len(raw)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	*v = out
+	return nil
+}
+
+// floatMat is a [][]float64 that marshals as an array of base64 rows.
+type floatMat []floatVec
+
+func matState(m [][]float64) floatMat {
+	out := make(floatMat, len(m))
+	for i, row := range m {
+		out[i] = floatVec(row)
+	}
+	return out
+}
+
+func matFromState(m floatMat) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = []float64(row)
+	}
+	return out
+}
+
+type vocabularyState []string
+
+func (v *Vocabulary) state() vocabularyState {
+	return append([]string(nil), v.items...)
+}
+
+func vocabularyFromState(items vocabularyState) *Vocabulary {
+	v := NewVocabulary()
+	for _, it := range items {
+		v.Add(it)
+	}
+	return v
+}
+
+type naiveBayesState struct {
+	Alpha     float64         `json:"alpha"`
+	Labels    []string        `json:"labels"`
+	Vocab     vocabularyState `json:"vocab"`
+	LogPrior  floatVec        `json:"logPrior"`
+	LogLik    floatMat        `json:"logLik"`
+	UnkLogLik floatVec        `json:"unkLogLik"`
+}
+
+type logisticState struct {
+	Epochs  int             `json:"epochs"`
+	Rate    float64         `json:"rate"`
+	L2      float64         `json:"l2"`
+	Seed    int64           `json:"seed"`
+	Labels  []string        `json:"labels"`
+	Vocab   vocabularyState `json:"vocab"`
+	IDF     floatVec        `json:"idf"`
+	Weights floatMat        `json:"weights"`
+	Bias    floatVec        `json:"bias"`
+}
+
+type classifierEnvelope struct {
+	Version    int              `json:"version"`
+	Kind       string           `json:"kind"`
+	NaiveBayes *naiveBayesState `json:"naiveBayes,omitempty"`
+	Logistic   *logisticState   `json:"logistic,omitempty"`
+}
+
+// MarshalClassifier serializes a trained classifier into the versioned
+// model format. Only the built-in NaiveBayes and LogisticRegression
+// classifiers are supported.
+func MarshalClassifier(c Classifier) ([]byte, error) {
+	env := classifierEnvelope{Version: ModelFormatVersion}
+	switch m := c.(type) {
+	case *NaiveBayes:
+		if m.vocab == nil {
+			return nil, fmt.Errorf("nlu: marshal: naive bayes is untrained")
+		}
+		env.Kind = KindNaiveBayes
+		env.NaiveBayes = &naiveBayesState{
+			Alpha:     m.Alpha,
+			Labels:    append([]string(nil), m.labels...),
+			Vocab:     m.vocab.state(),
+			LogPrior:  floatVec(m.logPrior),
+			LogLik:    matState(m.logLik),
+			UnkLogLik: floatVec(m.unkLogLik),
+		}
+	case *LogisticRegression:
+		if m.tfidf == nil {
+			return nil, fmt.Errorf("nlu: marshal: logistic regression is untrained")
+		}
+		env.Kind = KindLogisticRegression
+		env.Logistic = &logisticState{
+			Epochs:  m.Epochs,
+			Rate:    m.Rate,
+			L2:      m.L2,
+			Seed:    m.Seed,
+			Labels:  append([]string(nil), m.labels...),
+			Vocab:   m.tfidf.Vocab.state(),
+			IDF:     floatVec(m.tfidf.IDF),
+			Weights: matState(m.w),
+			Bias:    floatVec(m.b),
+		}
+	default:
+		return nil, fmt.Errorf("nlu: marshal: unsupported classifier type %T", c)
+	}
+	return json.Marshal(env)
+}
+
+// UnmarshalClassifier decodes a classifier serialized with
+// MarshalClassifier. The returned model predicts byte-identically to the
+// one that was marshalled.
+func UnmarshalClassifier(data []byte) (Classifier, error) {
+	var env classifierEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("nlu: unmarshal classifier: %w", err)
+	}
+	if env.Version != ModelFormatVersion {
+		return nil, fmt.Errorf("nlu: unsupported model format version %d (want %d)", env.Version, ModelFormatVersion)
+	}
+	switch env.Kind {
+	case KindNaiveBayes:
+		s := env.NaiveBayes
+		if s == nil {
+			return nil, fmt.Errorf("nlu: %s envelope missing payload", env.Kind)
+		}
+		if len(s.LogPrior) != len(s.Labels) || len(s.LogLik) != len(s.Labels) || len(s.UnkLogLik) != len(s.Labels) {
+			return nil, fmt.Errorf("nlu: naive bayes state inconsistent: %d labels, %d priors, %d likelihood rows, %d unknown likelihoods",
+				len(s.Labels), len(s.LogPrior), len(s.LogLik), len(s.UnkLogLik))
+		}
+		nb := NewNaiveBayes(s.Alpha)
+		nb.vocab = vocabularyFromState(s.Vocab)
+		nb.labels = s.Labels
+		nb.labelIdx = make(map[string]int, len(s.Labels))
+		for i, l := range s.Labels {
+			nb.labelIdx[l] = i
+		}
+		for i, row := range s.LogLik {
+			if len(row) != nb.vocab.Len() {
+				return nil, fmt.Errorf("nlu: naive bayes likelihood row %d has %d features, vocab has %d", i, len(row), nb.vocab.Len())
+			}
+		}
+		nb.logPrior = []float64(s.LogPrior)
+		nb.logLik = matFromState(s.LogLik)
+		nb.unkLogLik = []float64(s.UnkLogLik)
+		return nb, nil
+	case KindLogisticRegression:
+		s := env.Logistic
+		if s == nil {
+			return nil, fmt.Errorf("nlu: %s envelope missing payload", env.Kind)
+		}
+		if len(s.Weights) != len(s.Labels) || len(s.Bias) != len(s.Labels) {
+			return nil, fmt.Errorf("nlu: logistic state inconsistent: %d labels, %d weight rows, %d biases",
+				len(s.Labels), len(s.Weights), len(s.Bias))
+		}
+		if len(s.IDF) != len(s.Vocab) {
+			return nil, fmt.Errorf("nlu: logistic state inconsistent: %d vocab items, %d idf weights", len(s.Vocab), len(s.IDF))
+		}
+		lr := &LogisticRegression{Epochs: s.Epochs, Rate: s.Rate, L2: s.L2, Seed: s.Seed}
+		lr.tfidf = &TFIDF{Vocab: vocabularyFromState(s.Vocab), IDF: []float64(s.IDF)}
+		lr.labels = s.Labels
+		lr.labelID = make(map[string]int, len(s.Labels))
+		for i, l := range s.Labels {
+			lr.labelID[l] = i
+		}
+		for i, row := range s.Weights {
+			if len(row) != lr.tfidf.Vocab.Len() {
+				return nil, fmt.Errorf("nlu: logistic weight row %d has %d features, vocab has %d", i, len(row), lr.tfidf.Vocab.Len())
+			}
+		}
+		lr.w = matFromState(s.Weights)
+		lr.b = []float64(s.Bias)
+		return lr, nil
+	default:
+		return nil, fmt.Errorf("nlu: unknown classifier kind %q", env.Kind)
+	}
+}
+
+// ClassifierKind returns the envelope tag for a classifier, or "" if the
+// type has no serialization support.
+func ClassifierKind(c Classifier) string {
+	switch c.(type) {
+	case *NaiveBayes:
+		return KindNaiveBayes
+	case *LogisticRegression:
+		return KindLogisticRegression
+	default:
+		return ""
+	}
+}
+
+type recognizerState struct {
+	Version int            `json:"version"`
+	Entries []dictAddition `json:"entries"`
+}
+
+// MarshalRecognizer serializes the dictionary as the ordered journal of
+// Add calls that built it; replaying them reconstructs a recognizer with
+// identical matching behaviour (entry order inside a phrase bucket is
+// insertion order, which longest-match scanning preserves).
+func MarshalRecognizer(r *Recognizer) ([]byte, error) {
+	return json.Marshal(recognizerState{Version: ModelFormatVersion, Entries: r.additions})
+}
+
+// UnmarshalRecognizer rebuilds a recognizer serialized with
+// MarshalRecognizer.
+func UnmarshalRecognizer(data []byte) (*Recognizer, error) {
+	var s recognizerState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("nlu: unmarshal recognizer: %w", err)
+	}
+	if s.Version != ModelFormatVersion {
+		return nil, fmt.Errorf("nlu: unsupported recognizer format version %d (want %d)", s.Version, ModelFormatVersion)
+	}
+	r := NewRecognizer()
+	for _, e := range s.Entries {
+		r.Add(e.Type, e.Canonical, e.Synonyms...)
+	}
+	return r, nil
+}

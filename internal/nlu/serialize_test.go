@@ -1,0 +1,180 @@
+package nlu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func trainingExamples() []Example {
+	return []Example{
+		{"show me the precautions for aspirin", "Precautions of Drug"},
+		{"precautions of ibuprofen", "Precautions of Drug"},
+		{"what should I watch out for with cogentin", "Precautions of Drug"},
+		{"dosage for amoxicillin", "Drug Dosage for Condition"},
+		{"how much tazarotene should an adult take", "Drug Dosage for Condition"},
+		{"dose of aspirin for headache", "Drug Dosage for Condition"},
+		{"drugs that treat psoriasis", "Drugs That Treat Condition"},
+		{"what treats acne", "Drugs That Treat Condition"},
+		{"which medications help with fever", "Drugs That Treat Condition"},
+	}
+}
+
+var probeUtterances = []string{
+	"precautions for aspirin",
+	"what is the dose of tazarotene",
+	"show me drugs that treat psoriasis in children",
+	"something entirely unrelated to medicine",
+	"",
+}
+
+// assertIdenticalPredictions checks intent, confidence, and the full
+// score vector are bit-identical between two classifiers.
+func assertIdenticalPredictions(t *testing.T, want, got Classifier, texts []string) {
+	t.Helper()
+	for _, text := range texts {
+		pw, pg := want.Predict(text), got.Predict(text)
+		if pw.Intent != pg.Intent || pw.Confidence != pg.Confidence {
+			t.Fatalf("Predict(%q): (%q, %v) != (%q, %v)", text, pg.Intent, pg.Confidence, pw.Intent, pw.Confidence)
+		}
+		if len(pw.Scores) != len(pg.Scores) {
+			t.Fatalf("Predict(%q): %d scores != %d", text, len(pg.Scores), len(pw.Scores))
+		}
+		for i := range pw.Scores {
+			if pw.Scores[i] != pg.Scores[i] {
+				t.Fatalf("Predict(%q): score[%d] %v != %v", text, i, pg.Scores[i], pw.Scores[i])
+			}
+		}
+	}
+}
+
+func TestNaiveBayesRoundTrip(t *testing.T) {
+	nb := NewNaiveBayes(0.5)
+	if err := nb.Train(trainingExamples()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalClassifier(nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := UnmarshalClassifier(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loaded.(*NaiveBayes); !ok {
+		t.Fatalf("loaded %T, want *NaiveBayes", loaded)
+	}
+	assertIdenticalPredictions(t, nb, loaded, probeUtterances)
+}
+
+func TestLogisticRegressionRoundTrip(t *testing.T) {
+	lr := NewLogisticRegression()
+	if err := lr.Train(trainingExamples()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalClassifier(lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := UnmarshalClassifier(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loaded.(*LogisticRegression); !ok {
+		t.Fatalf("loaded %T, want *LogisticRegression", loaded)
+	}
+	assertIdenticalPredictions(t, lr, loaded, probeUtterances)
+}
+
+func TestMarshalClassifierDeterministic(t *testing.T) {
+	lr := NewLogisticRegression()
+	if err := lr.Train(trainingExamples()); err != nil {
+		t.Fatal(err)
+	}
+	a, err := MarshalClassifier(lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalClassifier(lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("MarshalClassifier is not deterministic")
+	}
+}
+
+func TestMarshalUntrainedClassifier(t *testing.T) {
+	if _, err := MarshalClassifier(NewNaiveBayes(1)); err == nil {
+		t.Fatal("expected error marshalling untrained naive bayes")
+	}
+	if _, err := MarshalClassifier(NewLogisticRegression()); err == nil {
+		t.Fatal("expected error marshalling untrained logistic regression")
+	}
+}
+
+func TestUnmarshalClassifierRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"version":1,`,
+		"bad version":     `{"version":99,"kind":"naive-bayes"}`,
+		"unknown kind":    `{"version":1,"kind":"transformer"}`,
+		"missing payload": `{"version":1,"kind":"naive-bayes"}`,
+		// one prior for two labels ("AAAAAAAAAAA=" is one float64 of zero bits)
+		"inconsistent": `{"version":1,"kind":"naive-bayes","naiveBayes":` +
+			`{"alpha":1,"labels":["a","b"],"vocab":[],"logPrior":"AAAAAAAAAAA=","logLik":[""],"unkLogLik":""}}`,
+		"numeric floats": `{"version":1,"kind":"naive-bayes","naiveBayes":` +
+			`{"alpha":1,"labels":["a"],"vocab":[],"logPrior":[0],"logLik":[[]],"unkLogLik":[0]}}`,
+		"bad base64": `{"version":1,"kind":"naive-bayes","naiveBayes":` +
+			`{"alpha":1,"labels":["a"],"vocab":[],"logPrior":"!!!","logLik":[""],"unkLogLik":""}}`,
+		"odd byte count": `{"version":1,"kind":"naive-bayes","naiveBayes":` +
+			`{"alpha":1,"labels":["a"],"vocab":[],"logPrior":"AAAA","logLik":[""],"unkLogLik":""}}`,
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalClassifier([]byte(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRecognizerRoundTrip(t *testing.T) {
+	r := NewRecognizer()
+	r.Add("Drug", "Benztropine Mesylate", "cogentin")
+	r.Add("Drug", "Calcium Carbonate")
+	r.Add("Drug", "Calcium Citrate")
+	r.Add("Indication", "Fever", "high temperature")
+	data, err := MarshalRecognizer(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := UnmarshalRecognizer(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range []string{
+		"precautions for cogentin",
+		"is calcium safe",
+		"cogentim and high temperature", // fuzzy + multiword synonym
+	} {
+		want := r.Recognize(text)
+		got := loaded.Recognize(text)
+		if len(want) != len(got) {
+			t.Fatalf("Recognize(%q): %d mentions != %d", text, len(got), len(want))
+		}
+		for i := range want {
+			w, g := want[i], got[i]
+			if w.Type != g.Type || w.Value != g.Value || w.Start != g.Start || w.End != g.End ||
+				w.Fuzzy != g.Fuzzy || w.Partial != g.Partial || strings.Join(w.Candidates, "|") != strings.Join(g.Candidates, "|") {
+				t.Fatalf("Recognize(%q)[%d]: %+v != %+v", text, i, g, w)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRecognizerRejects(t *testing.T) {
+	if _, err := UnmarshalRecognizer([]byte(`{"version":2,"entries":[]}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+	if _, err := UnmarshalRecognizer([]byte(`{`)); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

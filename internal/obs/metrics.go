@@ -193,6 +193,19 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.child(values, func() metric { return &Counter{} }).(*Counter)
 }
 
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns (registering if needed) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, "gauge", labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() metric { return &Gauge{} }).(*Gauge)
+}
+
 // HistogramVec is a histogram family partitioned by label values.
 type HistogramVec struct{ f *family }
 

@@ -53,6 +53,32 @@ func TestCounterVecLabels(t *testing.T) {
 	}
 }
 
+func TestGaugeVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("bundle_info", "live bundle version", "version")
+	v.With("aaaa00000000").Set(1)
+	v.With("aaaa00000000").Set(0)
+	v.With("bbbb11111111").Set(1)
+	if v.With("bbbb11111111").Value() != 1 {
+		t.Fatal("labeled gauge lost")
+	}
+	if v.With("aaaa00000000") != v.With("aaaa00000000") {
+		t.Fatal("gauge child not deduplicated")
+	}
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE bundle_info gauge",
+		`bundle_info{version="aaaa00000000"} 0`,
+		`bundle_info{version="bbbb11111111"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})

@@ -34,7 +34,10 @@
 package ontoconv
 
 import (
+	"io"
+
 	"ontoconv/internal/agent"
+	"ontoconv/internal/bundle"
 	"ontoconv/internal/core"
 	"ontoconv/internal/dialogue"
 	"ontoconv/internal/eval"
@@ -145,6 +148,38 @@ type (
 // and returns a ready agent.
 func NewAgent(space *Space, base *KB, opts AgentOptions) (*Agent, error) {
 	return agent.New(space, base, opts)
+}
+
+// Workspace-bundle types (the offline/online hand-off artifact).
+type (
+	// WorkspaceBundle is a compiled, versioned, immutable workspace: the
+	// serialized space plus the trained classifier, recognizer dictionary,
+	// logic table, and dialogue tree, sealed under a hashed manifest.
+	WorkspaceBundle = bundle.Bundle
+	// BundleManifest is a bundle's self-description.
+	BundleManifest = bundle.Manifest
+	// BundleOptions tunes bundle compilation.
+	BundleOptions = bundle.Options
+)
+
+// CompileBundle trains and packages a conversation space into a workspace
+// bundle. Compilation is deterministic: the same space always yields
+// byte-identical bundle output.
+func CompileBundle(space *Space, opts BundleOptions) (*WorkspaceBundle, error) {
+	return bundle.Compile(space, opts)
+}
+
+// OpenBundle reads, verifies, and decodes a workspace bundle; it rejects
+// truncated, corrupt, or hash-mismatched input with an error.
+func OpenBundle(r io.Reader) (*WorkspaceBundle, error) { return bundle.Open(r) }
+
+// OpenBundleFile opens and verifies a workspace bundle file.
+func OpenBundleFile(path string) (*WorkspaceBundle, error) { return bundle.OpenFile(path) }
+
+// NewAgentFromBundle builds an agent from a compiled bundle without
+// retraining — the fast cold-start path for serving.
+func NewAgentFromBundle(b *WorkspaceBundle, base *KB, opts AgentOptions) (*Agent, error) {
+	return agent.NewFromBundle(b, base, opts)
 }
 
 // NewSession returns a fresh conversation session.
