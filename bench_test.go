@@ -374,6 +374,153 @@ func BenchmarkMedicalKBGeneration(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Per-turn fast path: compiled plans + answer cache (BENCH_turn.json)
+// ---------------------------------------------------------------------------
+
+var (
+	turnOnce sync.Once
+	turnUtts []string
+	turnErr  error
+)
+
+// turnUtterances replays the E3 workload generator against a throwaway
+// agent and keeps the opening utterances: a realistic mix of task
+// requests, misspellings, keyword-style inputs, and gibberish.
+func turnUtterances(b *testing.B) []string {
+	env := benchEnvironment(b)
+	turnOnce.Do(func() {
+		probe, err := agent.New(env.Space, env.Base, agent.Options{})
+		if err != nil {
+			turnErr = err
+			return
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Interactions = 512
+		for _, in := range sim.Run(probe, cfg).Interactions {
+			turnUtts = append(turnUtts, in.Utterance)
+		}
+	})
+	if turnErr != nil {
+		b.Fatal(turnErr)
+	}
+	return turnUtts
+}
+
+func benchTurn(b *testing.B, opts agent.Options) {
+	env := benchEnvironment(b)
+	utts := turnUtterances(b)
+	a, err := agent.New(env.Space, env.Base, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := agent.NewSession()
+		a.Respond(s, utts[i%len(utts)])
+	}
+}
+
+// BenchmarkTurnE3 measures the steady-state turn loop on the E3 workload
+// with the full fast path: precompiled plans plus a warm answer cache.
+func BenchmarkTurnE3(b *testing.B) { benchTurn(b, agent.Options{}) }
+
+// BenchmarkTurnE3NoCache isolates the planner's contribution: compiled
+// plans, caching disabled.
+func BenchmarkTurnE3NoCache(b *testing.B) { benchTurn(b, agent.Options{AnswerCache: -1}) }
+
+// BenchmarkTurnE3Interpreted is the pre-optimization baseline: template
+// re-instantiation plus the tree-walking interpreter every turn.
+func BenchmarkTurnE3Interpreted(b *testing.B) {
+	benchTurn(b, agent.Options{AnswerCache: -1, DisablePlans: true})
+}
+
+// benchExecuteSQL is the three-way treatment join whose pushed-down
+// equality (indication.name) has a bootstrap-built secondary index.
+const benchExecuteSQL = `SELECT DISTINCT oDrug.name FROM drug oDrug
+	INNER JOIN treats t ON t.drug_id = oDrug.drug_id
+	INNER JOIN indication i ON i.indication_id = t.indication_id
+	WHERE i.name = 'Psoriasis'`
+
+// benchExecuteScanSQL filters on drug.route, deliberately outside the
+// derived index set, so the planner falls back to a filtered seq scan.
+const benchExecuteScanSQL = `SELECT d.name FROM drug d WHERE d.route = 'ORAL'`
+
+// BenchmarkExecutePlannedIndexed measures planned execution with the
+// equality predicate answered by an index probe.
+func BenchmarkExecutePlannedIndexed(b *testing.B) {
+	env := benchEnvironment(b)
+	if !env.Base.Table("indication").HasIndex("name") {
+		b.Fatal("indication.name not indexed: bootstrap index derivation regressed")
+	}
+	plan, err := sqlx.PrepareSQL(env.Base, benchExecuteSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Exec(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteInterpretedIndexed runs the same statement through the
+// tree-walking interpreter, which never consults indexes.
+func BenchmarkExecuteInterpretedIndexed(b *testing.B) {
+	env := benchEnvironment(b)
+	stmt, err := sqlx.Parse(benchExecuteSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlx.Execute(env.Base, stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecutePlannedScan measures the planner's no-index fallback:
+// compiled predicate over a sequential scan.
+func BenchmarkExecutePlannedScan(b *testing.B) {
+	env := benchEnvironment(b)
+	if env.Base.Table("drug").HasIndex("route") {
+		b.Fatal("drug.route unexpectedly indexed: scan benchmark would probe instead")
+	}
+	plan, err := sqlx.PrepareSQL(env.Base, benchExecuteScanSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Exec(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteInterpretedScan is the interpreter on the same
+// sequential-scan statement.
+func BenchmarkExecuteInterpretedScan(b *testing.B) {
+	env := benchEnvironment(b)
+	stmt, err := sqlx.Parse(benchExecuteScanSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlx.Execute(env.Base, stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

@@ -58,6 +58,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// The generated KB has no secondary indexes; derive them from the
+		// bundle's space before serving so template plans get index scans.
+		if _, err := ontoconv.BuildKBIndexes(base, b.Space); err != nil {
+			log.Fatal(err)
+		}
 		ag, err = agent.NewFromBundle(b, base, agent.Options{})
 		if err != nil {
 			log.Fatal(err)

@@ -27,6 +27,7 @@ import (
 	"ontoconv/internal/dialogue"
 	"ontoconv/internal/kb"
 	"ontoconv/internal/nlu"
+	"ontoconv/internal/sqlx"
 )
 
 // Options configures an agent.
@@ -50,6 +51,13 @@ type Options struct {
 	// Metrics overrides the agent's metric bundle; nil creates a fresh
 	// one on its own registry.
 	Metrics *Metrics
+	// AnswerCache bounds the per-generation LRU answer cache. Zero
+	// selects the default (DefaultAnswerCacheSize); any negative value
+	// disables caching.
+	AnswerCache int
+	// DisablePlans forces the interpreter for every template (no
+	// precompiled query plans). For benchmarking and differential tests.
+	DisablePlans bool
 }
 
 // SpaceVersion is the version label reported for runtimes trained
@@ -84,6 +92,17 @@ type runtime struct {
 	// entityKinds maps entity type -> kind, to know which mentions enter
 	// the context.
 	entityKinds map[string]string
+	// intents maps intent name -> definition, replacing the space's
+	// linear scan on the per-turn path.
+	intents map[string]*core.Intent
+	// plans holds one compiled query plan per template intent. An intent
+	// absent here (plan compilation failed, or DisablePlans) falls back
+	// to Instantiate + Execute.
+	plans map[string]*sqlx.Plan
+	// cache is the per-generation answer cache (nil when disabled). A
+	// bundle swap replaces the runtime and with it the cache, so stale
+	// generations can never be served.
+	cache *answerCache
 	// metrics is the serving-time metric bundle, shared across runtime
 	// generations (never nil).
 	metrics *Metrics
@@ -186,6 +205,11 @@ func (a *Agent) newRuntime(space *core.Space, base *kb.KB, clf nlu.Classifier, r
 		greeting = core.DefaultGreeting
 	}
 
+	cacheSize := opts.AnswerCache
+	if cacheSize == 0 {
+		cacheSize = DefaultAnswerCacheSize
+	}
+
 	rt := &runtime{
 		space: space, base: base, clf: clf, rec: rec, tree: tree, table: table,
 		defs: defs, minConf: minConf, maxList: maxList, greeting: greeting,
@@ -194,12 +218,17 @@ func (a *Agent) newRuntime(space *core.Space, base *kb.KB, clf nlu.Classifier, r
 		generalIntents: map[string]string{},
 		proposals:      map[string][]string{},
 		entityKinds:    map[string]string{},
+		intents:        make(map[string]*core.Intent, len(space.Intents)),
+		plans:          map[string]*sqlx.Plan{},
+		cache:          newAnswerCache(cacheSize),
 		metrics:        a.metrics,
 	}
 	for _, def := range space.Entities {
 		rt.entityKinds[def.Name] = def.Kind
 	}
-	for _, in := range space.Intents {
+	for i := range space.Intents {
+		in := &space.Intents[i]
+		rt.intents[in.Name] = in
 		switch in.Kind {
 		case core.ConversationPattern:
 			rt.cmIntents[in.Name] = true
@@ -207,8 +236,24 @@ func (a *Agent) newRuntime(space *core.Space, base *kb.KB, clf nlu.Classifier, r
 			rt.generalIntents[in.AnswerConcept] = in.Name
 			rt.proposals[in.AnswerConcept] = rt.proposalIntents(in.AnswerConcept)
 		}
+		if in.Template != nil && !opts.DisablePlans {
+			// A template the planner rejects is served by the
+			// interpreter instead; plan compilation is best-effort.
+			if plan, err := in.Template.Prepare(base); err == nil {
+				rt.plans[in.Name] = plan
+			}
+		}
 	}
 	return rt, nil
+}
+
+// intent returns the named intent definition from the precomputed map, or
+// nil.
+func (a *runtime) intent(name string) *core.Intent {
+	if name == "" {
+		return nil
+	}
+	return a.intents[name]
 }
 
 // runtime returns the current generation; every turn pins one generation

@@ -1,0 +1,102 @@
+package agent
+
+import (
+	"container/list"
+	"sort"
+	"strings"
+	"sync"
+
+	"ontoconv/internal/sqlx"
+)
+
+// DefaultAnswerCacheSize is the answer-cache capacity selected by
+// Options.AnswerCache == 0.
+const DefaultAnswerCacheSize = 1024
+
+// answerCache is a bounded LRU of executed query results, keyed by
+// (intent, sorted slot bindings). One cache belongs to exactly one
+// runtime generation: InstallBundle builds a fresh runtime — and with it
+// a fresh, empty cache — so a swap can never serve results computed
+// against retired artifacts. Cached *sqlx.Result values are shared and
+// must be treated as read-only (formatAnswer never mutates them).
+//
+// Lock discipline: the mutex guards only map/list bookkeeping. KB
+// execution happens strictly outside the lock; two turns racing on the
+// same missing key may both execute, which is benign (identical results,
+// last write wins).
+type answerCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recent
+	ent map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *sqlx.Result
+}
+
+// newAnswerCache returns a cache bounded to max entries, or nil when
+// max <= 0 (caching disabled).
+func newAnswerCache(max int) *answerCache {
+	if max <= 0 {
+		return nil
+	}
+	return &answerCache{max: max, ll: list.New(), ent: make(map[string]*list.Element)}
+}
+
+// answerKey builds the lookup key for one intent invocation: the slot
+// bindings are sorted so argument-map iteration order never splits
+// entries. \x1f separates fields; it cannot occur in recognized entity
+// values.
+func answerKey(intent string, args map[string]string) string {
+	parts := make([]string, 0, len(args))
+	for k, v := range args {
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return intent + "\x1f" + strings.Join(parts, "\x1f")
+}
+
+func (c *answerCache) get(key string) (*sqlx.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.ent[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *answerCache) put(key string, res *sqlx.Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.ent[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.ent[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.ent, back.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the current entry count (for tests).
+func (c *answerCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

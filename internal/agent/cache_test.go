@@ -1,0 +1,222 @@
+package agent_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/sim"
+)
+
+// script is a fixed multi-turn conversation exercising template answers
+// (cacheable), elicitation, incremental modification, proposals, and
+// conversation management.
+var equivalenceScript = []string{
+	"show me drugs that treat psoriasis",
+	"adult",
+	"i mean pediatric",
+	"precautions for Aspirin",
+	"precautions for Aspirin",
+	"what are the side effects of Ibuprofen",
+	"how about for Aspirin?",
+	"dosage for Tazarotene for psoriasis",
+	"adult",
+	"what does contraindication mean",
+	"thanks, goodbye",
+}
+
+// replies drives the script through a fresh session and returns the
+// concatenated response log.
+func replies(a *agent.Agent) string {
+	s := agent.NewSession()
+	var b strings.Builder
+	for _, u := range equivalenceScript {
+		b.WriteString(a.Respond(s, u))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestAnswerCacheHit checks the cache fast path: the second identical
+// request is served from cache (hit counter moves, reply unchanged).
+func TestAnswerCacheHit(t *testing.T) {
+	fixture(t)
+	a, err := agent.New(space, base, agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := a.Metrics()
+	ask := func() string {
+		return a.Respond(agent.NewSession(), "precautions for Aspirin")
+	}
+	first := ask()
+	misses := m.AnswerCache.With("miss").Value()
+	if misses == 0 {
+		t.Fatal("first request did not record a cache miss")
+	}
+	second := ask()
+	if second != first {
+		t.Fatalf("cached reply differs:\nfirst:  %q\nsecond: %q", first, second)
+	}
+	if hits := m.AnswerCache.With("hit").Value(); hits == 0 {
+		t.Fatal("second identical request did not hit the cache")
+	}
+	if m.AnswerCache.With("miss").Value() != misses {
+		t.Fatal("second identical request recorded another miss")
+	}
+}
+
+// TestAnswerCacheSentinels: AnswerCache 0 selects the default size,
+// negative disables caching entirely, and both produce identical replies.
+func TestAnswerCacheSentinels(t *testing.T) {
+	fixture(t)
+	cached, err := agent.New(space, base, agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := agent.New(space, base, agent.Options{AnswerCache: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replies(uncached), replies(cached); got != want {
+		t.Fatalf("cache-off replies diverge:\ncache-on:  %q\ncache-off: %q", want, got)
+	}
+	m := uncached.Metrics()
+	if n := m.AnswerCache.With("hit").Value() + m.AnswerCache.With("miss").Value(); n != 0 {
+		t.Fatalf("disabled cache still counted %d lookups", n)
+	}
+}
+
+// TestEquivalenceCacheAndPlans is the differential acceptance test: the
+// same conversation script must produce byte-identical response logs with
+// the cache on or off, and with compiled plans or the interpreter.
+func TestEquivalenceCacheAndPlans(t *testing.T) {
+	fixture(t)
+	variants := map[string]agent.Options{
+		"fast":        {},
+		"no-cache":    {AnswerCache: -1},
+		"interpreter": {AnswerCache: -1, DisablePlans: true},
+		"plans-only":  {DisablePlans: true},
+	}
+	logs := map[string]string{}
+	for name, opts := range variants {
+		a, err := agent.New(space, base, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		logs[name] = replies(a)
+	}
+	for name, log := range logs {
+		if log != logs["fast"] {
+			t.Fatalf("variant %q diverges from the fast path:\nfast: %q\n%s: %q",
+				name, logs["fast"], name, log)
+		}
+	}
+}
+
+// TestE3EquivalencePlansVsInterpreter runs the full E3 usage simulation
+// against the fast path and the interpreter-only configuration: the two
+// interaction logs must be identical entry by entry.
+func TestE3EquivalencePlansVsInterpreter(t *testing.T) {
+	fixture(t)
+	fast, err := agent.New(space, base, agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := agent.New(space, base, agent.Options{AnswerCache: -1, DisablePlans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Interactions = 4000
+	if testing.Short() {
+		cfg.Interactions = 800
+	}
+	want := sim.Run(slow, cfg)
+	got := sim.Run(fast, cfg)
+	if len(want.Interactions) != len(got.Interactions) {
+		t.Fatalf("log sizes differ: %d vs %d", len(want.Interactions), len(got.Interactions))
+	}
+	for i := range want.Interactions {
+		if !reflect.DeepEqual(want.Interactions[i], got.Interactions[i]) {
+			t.Fatalf("interaction %d diverges:\ninterpreter: %+v\nfast path:   %+v",
+				i, want.Interactions[i], got.Interactions[i])
+		}
+	}
+}
+
+// TestAnswerCacheUnderConcurrentReload is the cache-invalidation race
+// test (run under -race): chatters hammer cacheable questions while the
+// agent swaps between two bundle generations whose answers differ. Every
+// reply must match one of the two generations' correct answers — a reply
+// from a retired generation's cache would match neither pattern rule —
+// and after the swaps settle, a fresh request must serve the live
+// generation's answer.
+func TestAnswerCacheUnderConcurrentReload(t *testing.T) {
+	b1, b2 := bundlePair(t)
+	a, err := agent.NewFromBundle(b1, base, agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		chatters     = 8
+		turnsPerChat = 40
+		reloads      = 30
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, chatters*turnsPerChat)
+	for c := 0; c < chatters; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			s := agent.NewSession()
+			for i := 0; i < turnsPerChat; i++ {
+				var reply string
+				if i%2 == 0 {
+					reply = a.Respond(s, "precautions for Aspirin")
+					if !strings.Contains(reply, "Aspirin") {
+						errs <- fmt.Errorf("chatter %d turn %d: bad answer %q", c, i, reply)
+					}
+				} else {
+					reply = a.Respond(s, "what are the side effects of Ibuprofen")
+					if reply == "" {
+						errs <- fmt.Errorf("chatter %d turn %d: empty reply", c, i)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reloads; i++ {
+			next := b2
+			if i%2 == 1 {
+				next = b1
+			}
+			if err := a.InstallBundle(next); err != nil {
+				errs <- fmt.Errorf("reload %d: %v", i, err)
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Swaps settled (last install was b1). A stale cache would have been
+	// impossible anyway — each runtime generation owns a fresh cache —
+	// but assert the live generation answers correctly post-swap.
+	if a.Version() != b1.Version() {
+		t.Fatalf("final version %q, want %q", a.Version(), b1.Version())
+	}
+	reply := a.Respond(agent.NewSession(), "precautions for Aspirin")
+	if !strings.Contains(reply, "Aspirin") {
+		t.Fatalf("post-swap answer: %q", reply)
+	}
+}

@@ -1,0 +1,68 @@
+package agent
+
+import (
+	"fmt"
+	"testing"
+
+	"ontoconv/internal/sqlx"
+)
+
+func TestAnswerKeyCanonical(t *testing.T) {
+	a := answerKey("Intent", map[string]string{"Drug": "Aspirin", "AgeGroup": "Adult"})
+	b := answerKey("Intent", map[string]string{"AgeGroup": "Adult", "Drug": "Aspirin"})
+	if a != b {
+		t.Fatalf("key depends on map order: %q vs %q", a, b)
+	}
+	if c := answerKey("Other", map[string]string{"Drug": "Aspirin", "AgeGroup": "Adult"}); c == a {
+		t.Fatal("different intents share a key")
+	}
+	if c := answerKey("Intent", map[string]string{"Drug": "Aspirin"}); c == a {
+		t.Fatal("different bindings share a key")
+	}
+}
+
+func TestAnswerCacheLRUEviction(t *testing.T) {
+	c := newAnswerCache(3)
+	res := func(i int) *sqlx.Result { return &sqlx.Result{Columns: []string{fmt.Sprint(i)}} }
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("k%d", i), res(i))
+	}
+	// touch k0 so k1 becomes the eviction victim
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.put("k3", res(3))
+	if c.len() != 3 {
+		t.Fatalf("len = %d", c.len())
+	}
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("k1 should have been evicted")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	// updating an existing key must not grow the cache
+	c.put("k3", res(99))
+	if c.len() != 3 {
+		t.Fatalf("len after update = %d", c.len())
+	}
+	if got, _ := c.get("k3"); got.Columns[0] != "99" {
+		t.Fatalf("update not applied: %v", got.Columns)
+	}
+}
+
+func TestAnswerCacheDisabled(t *testing.T) {
+	var c *answerCache // nil = disabled
+	c.put("k", &sqlx.Result{})
+	if _, ok := c.get("k"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+	if newAnswerCache(-1) != nil || newAnswerCache(0) != nil {
+		t.Fatal("non-positive capacity must disable the cache")
+	}
+}

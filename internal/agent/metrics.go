@@ -25,6 +25,9 @@ type Metrics struct {
 	Fulfilled  *obs.CounterVec // intent
 	Feedback   *obs.CounterVec // intent, thumbs
 
+	// Answer cache (the per-turn fast path).
+	AnswerCache *obs.CounterVec // result (hit, miss)
+
 	// Session lifecycle.
 	SessionsLive    *obs.Gauge
 	SessionsOpened  *obs.Counter
@@ -65,6 +68,8 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 			"Turns that executed a KB query, by intent.", "intent"),
 		Feedback: reg.CounterVec("mdx_feedback_total",
 			"Thumbs feedback by intent.", "intent", "thumbs"),
+		AnswerCache: reg.CounterVec("mdx_answer_cache_total",
+			"Answer-cache lookups by result (hit, miss).", "result"),
 		SessionsLive: reg.Gauge("mdx_sessions_live",
 			"Sessions currently held by the server."),
 		SessionsOpened: reg.Counter("mdx_sessions_opened_total",

@@ -113,7 +113,7 @@ func (a *runtime) respond(s *Session, utterance string, turn *Turn) string {
 	for _, m := range mentions {
 		if m.Partial && len(m.Candidates) > 1 && a.entityKinds[m.Type] == "instance" {
 			if pred.Confidence >= a.minConf && !a.cmIntents[pred.Intent] {
-				if in := a.space.Intent(pred.Intent); in != nil && in.Template != nil {
+				if in := a.intent(pred.Intent); in != nil && in.Template != nil {
 					ctx.Intent = pred.Intent
 					a.bindMentions(ctx, mentions)
 				}
@@ -135,7 +135,7 @@ func (a *runtime) respond(s *Session, utterance string, turn *Turn) string {
 	}
 
 	// 6. A new (or repeated) task request.
-	if pred.Confidence >= a.minConf && a.space.Intent(pred.Intent) != nil {
+	if pred.Confidence >= a.minConf && a.intent(pred.Intent) != nil {
 		ctx.Intent = pred.Intent
 		ctx.Proposal = nil
 		a.bindMentions(ctx, mentions)
@@ -165,7 +165,7 @@ func (a *runtime) respond(s *Session, utterance string, turn *Turn) string {
 // elicitation or the final answer.
 func (a *runtime) fulfill(s *Session, turn *Turn) string {
 	ctx := s.Ctx
-	in := a.space.Intent(ctx.Intent)
+	in := a.intent(ctx.Intent)
 	if in == nil || in.Template == nil {
 		return a.tree.Fallback.Response
 	}
@@ -191,8 +191,9 @@ func (a *runtime) fulfill(s *Session, turn *Turn) string {
 	}
 }
 
-// answer instantiates the intent's template, executes it, and renders the
-// response.
+// answer resolves the intent's slot bindings, executes its query — answer
+// cache first, then the precompiled plan, then the interpreter — and
+// renders the response.
 func (a *runtime) answer(in *core.Intent, ctx *dialogue.Context, turn *Turn) string {
 	sp := turn.Trace.StartSpan("sql_instantiate")
 	args := map[string]string{}
@@ -204,15 +205,10 @@ func (a *runtime) answer(in *core.Intent, ctx *dialogue.Context, turn *Turn) str
 		}
 		args[req.Param] = v
 	}
-	stmt, err := in.Template.Instantiate(args)
-	if err != nil {
-		sp.Attr("error", err.Error()).End()
-		return a.tree.Fallback.Response
-	}
 	sp.AttrInt("args", len(args)).End()
 
 	sp = turn.Trace.StartSpan("kb_execute")
-	res, err := sqlx.Execute(a.base, stmt)
+	res, err := a.execute(in, args, sp)
 	if err != nil {
 		sp.Attr("error", err.Error()).End()
 		return a.tree.Fallback.Response
@@ -224,6 +220,43 @@ func (a *runtime) answer(in *core.Intent, ctx *dialogue.Context, turn *Turn) str
 	reply := a.formatAnswer(in, ctx, res)
 	sp.End()
 	return reply
+}
+
+// execute runs one fully-bound intent query. Results are cached per
+// (intent, bindings) within this runtime generation; cached results are
+// shared read-only. The cache lock is never held across execution, so a
+// cold key may execute twice under concurrency — benign, the results are
+// identical.
+func (a *runtime) execute(in *core.Intent, args map[string]string, sp *obs.SpanRef) (*sqlx.Result, error) {
+	key := answerKey(in.Name, args)
+	if res, ok := a.cache.get(key); ok {
+		a.metrics.AnswerCache.With("hit").Inc()
+		sp.Attr("cache", "hit")
+		return res, nil
+	}
+	if a.cache != nil {
+		a.metrics.AnswerCache.With("miss").Inc()
+		sp.Attr("cache", "miss")
+	}
+	res, err := a.executeUncached(in, args)
+	if err != nil {
+		return nil, err
+	}
+	a.cache.put(key, res)
+	return res, nil
+}
+
+// executeUncached prefers the precompiled plan; templates the planner
+// could not compile take the interpreted path.
+func (a *runtime) executeUncached(in *core.Intent, args map[string]string) (*sqlx.Result, error) {
+	if plan, ok := a.plans[in.Name]; ok {
+		return plan.Exec(args)
+	}
+	stmt, err := in.Template.Instantiate(args)
+	if err != nil {
+		return nil, err
+	}
+	return sqlx.Execute(a.base, stmt)
 }
 
 // handleCM executes a conversation-management action.
@@ -407,7 +440,7 @@ func (a *runtime) isIncrementalModification(ctx *dialogue.Context, mentions []nl
 	if ctx.Intent == "" {
 		return false
 	}
-	in := a.space.Intent(ctx.Intent)
+	in := a.intent(ctx.Intent)
 	if in == nil || in.Template == nil {
 		return false
 	}
@@ -480,7 +513,7 @@ func (a *runtime) bindMentions(ctx *dialogue.Context, mentions []nlu.Mention) in
 // firstMissing returns the first required entity of the active intent not
 // bound in context (considering defaults), or "".
 func (a *runtime) firstMissing(ctx *dialogue.Context) string {
-	in := a.space.Intent(ctx.Intent)
+	in := a.intent(ctx.Intent)
 	if in == nil {
 		return ""
 	}

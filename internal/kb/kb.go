@@ -201,6 +201,31 @@ func (t *Table) BuildIndex(column string) error {
 	return nil
 }
 
+// HasIndex reports whether the column has a secondary index.
+func (t *Table) HasIndex(column string) bool {
+	_, ok := t.indexes[strings.ToLower(column)]
+	return ok
+}
+
+// IndexOn returns the column's secondary index (value -> ascending row
+// positions), when one exists. The map is shared and must be treated as
+// read-only; it lets the query planner probe join columns directly.
+func (t *Table) IndexOn(column string) (map[Value][]int, bool) {
+	idx, ok := t.indexes[strings.ToLower(column)]
+	return idx, ok
+}
+
+// IndexedColumns returns the sorted (lowercased) names of the columns that
+// have secondary indexes.
+func (t *Table) IndexedColumns() []string {
+	out := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Lookup returns the positions of rows whose column equals v, using a
 // secondary index when available and a scan otherwise.
 func (t *Table) Lookup(column string, v Value) []int {

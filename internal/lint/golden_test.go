@@ -124,6 +124,24 @@ func TestAnalyzerScope(t *testing.T) {
 	}
 }
 
+// TestPlannerInScope pins the query-planner package into the analyzers
+// that must watch it: compiled plans are emission artifacts (a map-order
+// dependency in Prepare would make plans differ run over run), and
+// Plan.Exec is KB execution that must never run under a serving-path
+// mutex (the answer cache's lock discipline depends on lockheld seeing
+// sqlx calls as blocking).
+func TestPlannerInScope(t *testing.T) {
+	if !analyzerByName(t, "nondeterm").Match("ontoconv/internal/sqlx") {
+		t.Error("nondeterm does not cover internal/sqlx; plan compilation order unchecked")
+	}
+	if !analyzerByName(t, "lockheld").Match("ontoconv/internal/agent") {
+		t.Error("lockheld does not cover internal/agent; cache lock discipline unchecked")
+	}
+	if !analyzerByName(t, "errdrop").Match("ontoconv/internal/sqlx") {
+		t.Error("errdrop does not cover internal/sqlx")
+	}
+}
+
 // TestSuppressionDirective proves //ontolint:ignore silences exactly the
 // annotated line: the suppressed twin of a flagged pattern (present in the
 // nondeterm snippets) must not appear in the diagnostics.

@@ -1,0 +1,76 @@
+package medkb
+
+import (
+	"fmt"
+	"sort"
+
+	"ontoconv/internal/core"
+	"ontoconv/internal/kb"
+)
+
+// BuildIndexes builds the secondary indexes the per-turn serving path
+// needs, derived from the data rather than hard-coded:
+//
+//   - every foreign-key column and its referenced column (hash-join keys),
+//   - every column a conversation-space template filters with an equality
+//     pushdown, discovered by preparing each intent's template and reading
+//     the resulting plan's index hints.
+//
+// It returns the number of indexes built. Indexes must be built before
+// serving starts: the KB is only safe for concurrent readers, so the
+// bootstrapper and the server's bundle cold-start both call this before
+// the first turn, never on a live KB.
+func BuildIndexes(base *kb.KB, space *core.Space) (int, error) {
+	type tc struct{ table, column string }
+	want := make(map[tc]bool)
+
+	for _, name := range base.TableNames() {
+		t := base.Table(name)
+		for _, fk := range t.Schema.ForeignKeys {
+			want[tc{t.Schema.Name, fk.Column}] = true
+			want[tc{fk.RefTable, fk.RefColumn}] = true
+		}
+	}
+
+	if space != nil {
+		for i := range space.Intents {
+			tpl := space.Intents[i].Template
+			if tpl == nil {
+				continue
+			}
+			plan, err := tpl.Prepare(base)
+			if err != nil {
+				// A template the planner cannot compile falls back to the
+				// interpreter at serve time; it contributes no hints.
+				continue
+			}
+			for _, h := range plan.IndexHints() {
+				want[tc{h.Table, h.Column}] = true
+			}
+		}
+	}
+
+	cols := make([]tc, 0, len(want))
+	for c := range want {
+		cols = append(cols, c)
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		if cols[i].table != cols[j].table {
+			return cols[i].table < cols[j].table
+		}
+		return cols[i].column < cols[j].column
+	})
+
+	built := 0
+	for _, c := range cols {
+		t := base.Table(c.table)
+		if t == nil {
+			return built, fmt.Errorf("medkb: index on missing table %q", c.table)
+		}
+		if err := t.BuildIndex(c.column); err != nil {
+			return built, err
+		}
+		built++
+	}
+	return built, nil
+}

@@ -1,0 +1,98 @@
+package medkb
+
+import (
+	"testing"
+
+	"ontoconv/internal/kb"
+)
+
+// TestBuildIndexesCoversTemplates asserts the bootstrap-derived index set
+// covers every column the generated templates push an equality filter
+// down to: each plan's index hints must resolve to an actual index, so no
+// template falls back to a sequential scan on its filter column.
+func TestBuildIndexesCoversTemplates(t *testing.T) {
+	base, _, space, err := Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	templates := 0
+	for i := range space.Intents {
+		tpl := space.Intents[i].Template
+		if tpl == nil {
+			continue
+		}
+		plan, err := tpl.Prepare(base)
+		if err != nil {
+			t.Fatalf("intent %q: Prepare: %v", space.Intents[i].Name, err)
+		}
+		templates++
+		for _, h := range plan.IndexHints() {
+			tab := base.Table(h.Table)
+			if tab == nil {
+				t.Fatalf("intent %q: hint names missing table %q", space.Intents[i].Name, h.Table)
+			}
+			if !tab.HasIndex(h.Column) {
+				t.Errorf("intent %q: pushed-down equality column %s.%s is not indexed",
+					space.Intents[i].Name, h.Table, h.Column)
+			}
+		}
+	}
+	if templates == 0 {
+		t.Fatal("no templates in the bootstrapped space")
+	}
+}
+
+// TestBuildIndexesCoversForeignKeys asserts every FK column and every
+// referenced column carries an index (the hash-join fast path).
+func TestBuildIndexesCoversForeignKeys(t *testing.T) {
+	base, _, _, err := Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range base.TableNames() {
+		tab := base.Table(name)
+		for _, fk := range tab.Schema.ForeignKeys {
+			if !tab.HasIndex(fk.Column) {
+				t.Errorf("%s.%s (FK) not indexed", name, fk.Column)
+			}
+			ref := base.Table(fk.RefTable)
+			if ref == nil || !ref.HasIndex(fk.RefColumn) {
+				t.Errorf("%s.%s (FK target) not indexed", fk.RefTable, fk.RefColumn)
+			}
+		}
+	}
+}
+
+// TestBuildIndexesDeterministic: building twice on fresh KBs yields the
+// same count, and the per-table index sets are equal (sorted derivation).
+func TestBuildIndexesDeterministic(t *testing.T) {
+	build := func() (*kb.KB, int) {
+		base, _, space, err := Bootstrap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bootstrap already indexed; rebuild is idempotent.
+		n, err := BuildIndexes(base, space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return base, n
+	}
+	b1, n1 := build()
+	b2, n2 := build()
+	if n1 != n2 || n1 == 0 {
+		t.Fatalf("index counts differ: %d vs %d", n1, n2)
+	}
+	for _, name := range b1.TableNames() {
+		c1 := b1.Table(name).IndexedColumns()
+		c2 := b2.Table(name).IndexedColumns()
+		if len(c1) != len(c2) {
+			t.Fatalf("table %s: %v vs %v", name, c1, c2)
+		}
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatalf("table %s: %v vs %v", name, c1, c2)
+			}
+		}
+	}
+}

@@ -211,5 +211,12 @@ func BootstrapWithPhases(pl *obs.PhaseLog) (*kb.KB, *ontology.Ontology, *core.Sp
 	if err != nil {
 		return nil, nil, nil, err
 	}
+
+	done = pl.Phase("medkb.index")
+	built, err := BuildIndexes(base, space)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	done(obs.C("indexes", built))
 	return base, o, space, nil
 }

@@ -415,11 +415,40 @@ func asFloat(v kb.Value) (float64, bool) {
 }
 
 // likeMatch implements SQL LIKE with % (any run) and _ (one char),
-// case-insensitively.
+// case-insensitively. The matcher is iterative with greedy %-backtracking:
+// linear in len(s)*len(p) worst case, where the naive recursive form is
+// exponential on patterns like "%a%a%a%a".
 func likeMatch(s, pattern string) bool {
-	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+	return likeIter(strings.ToLower(s), strings.ToLower(pattern))
 }
 
+func likeIter(s, p string) bool {
+	si, pi := 0, 0
+	star, mark := -1, 0 // position after the last %, and the s index it consumed up to
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star, mark = pi, si
+			pi++
+		case star >= 0:
+			// mismatch after a %: widen what the % consumed and retry
+			mark++
+			si, pi = mark, star+1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// likeRec is the original recursive matcher, kept as the reference oracle
+// for property tests of likeIter.
 func likeRec(s, p string) bool {
 	for len(p) > 0 {
 		switch p[0] {

@@ -1,0 +1,966 @@
+package sqlx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ontoconv/internal/kb"
+)
+
+// This file is the compiled fast path of the per-turn serving loop: where
+// Execute re-resolves names and materializes the full cross-join on every
+// call, Prepare compiles a statement once — table bindings and column
+// ordinals resolved up front, WHERE conjuncts classified into per-table
+// pushdowns (index scans for equality on indexed text columns), equi-join
+// keys fed to hash joins, and a residual post-join filter — and the
+// resulting Plan executes with flat []kb.Row tuples allocated from a
+// chunked arena instead of per-tuple maps.
+//
+// A Plan may contain <@Name> parameter markers: they compile to slots
+// filled at Exec time, so one prepared template serves every turn without
+// re-parsing or re-planning.
+
+// tuple is one (partial) join result: the current row of each table
+// binding, indexed by binding ordinal. Slots of not-yet-joined bindings
+// are nil.
+type tuple []kb.Row
+
+// evalFn produces a scalar value for one tuple.
+type evalFn func(tu tuple, params []kb.Value) (kb.Value, error)
+
+// predFn evaluates a boolean predicate for one tuple.
+type predFn func(tu tuple, params []kb.Value) (bool, error)
+
+// valueRef is a compile-time reference to a comparison value: either a
+// literal or a parameter slot filled at Exec time.
+type valueRef struct {
+	lit   kb.Value
+	param int // slot ordinal, or -1 for a literal
+}
+
+func (v valueRef) value(params []kb.Value) kb.Value {
+	if v.param >= 0 {
+		return params[v.param]
+	}
+	return v.lit
+}
+
+// planBinding is one resolved table binding.
+type planBinding struct {
+	name  string // lowercased binding name
+	table *kb.Table
+}
+
+// indexEq is an equality pushdown eligible for an index scan: column =
+// string-literal/parameter on a text column. When the table has a
+// secondary index on the column, Exec probes it; otherwise kb.Table.Lookup
+// degrades to a single filtered sequential scan with identical semantics.
+type indexEq struct {
+	col     int // column ordinal
+	colName string
+	val     valueRef
+}
+
+// planScan is the access path of one binding: an optional equality probe
+// plus residual single-table filters applied before the join.
+type planScan struct {
+	eq      *indexEq
+	filters []predFn
+}
+
+// planJoin is one INNER JOIN step onto binding ordinal newB. When hash is
+// true the ON clause is a single equality between an already-joined
+// binding and the new one; otherwise on is evaluated per candidate pair.
+type planJoin struct {
+	newB int
+	hash bool
+
+	oldB, oldCol int
+	newCol       int
+	newColName   string // lowercased, for stored-index reuse
+
+	on predFn
+}
+
+type planProj struct{ b, c int }
+
+type planCount struct {
+	expr evalFn // nil for COUNT(*)
+}
+
+type planOrder struct {
+	idx  int
+	desc bool
+}
+
+// TableColumn names one (table, column) pair a plan would like an index
+// on; the bootstrapper uses these hints to build secondary indexes on
+// exactly the columns the generated templates filter by.
+type TableColumn struct {
+	Table  string
+	Column string
+}
+
+// Plan is a compiled, parameterizable query over one knowledge base.
+// Plans are immutable after Prepare and safe for concurrent Exec.
+type Plan struct {
+	stmt     *SelectStmt
+	params   []string
+	bindings []planBinding
+	scans    []planScan
+	joins    []planJoin
+	residual []predFn
+	hints    []TableColumn
+
+	hasCount bool
+	counts   []planCount
+	projs    []planProj
+	columns  []string
+	distinct bool
+	orderBy  []planOrder
+	limit    int
+}
+
+// Params returns the plan's parameter names in first-appearance order.
+func (p *Plan) Params() []string { return append([]string(nil), p.params...) }
+
+// String renders the compiled statement (canonical SQL text).
+func (p *Plan) String() string { return p.stmt.String() }
+
+// IndexHints lists the (table, column) pairs of every equality pushdown
+// the plan compiled; indexing them turns those scans into probes.
+func (p *Plan) IndexHints() []TableColumn { return append([]TableColumn(nil), p.hints...) }
+
+// PrepareSQL parses and prepares src against the knowledge base.
+func PrepareSQL(base *kb.KB, src string) (*Plan, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(base, stmt)
+}
+
+// Prepare compiles a parsed statement into an executable plan. The
+// statement may contain <@Name> parameter markers; bind them at Exec time.
+// The statement is not retained mutated — the plan shares its (immutable)
+// expression nodes.
+func Prepare(base *kb.KB, stmt *SelectStmt) (*Plan, error) {
+	p := &Plan{stmt: stmt, params: stmt.Params(), distinct: stmt.Distinct, limit: stmt.Limit}
+	slots := make(map[string]int, len(p.params))
+	for i, name := range p.params {
+		slots[name] = i
+	}
+
+	add := func(tr TableRef) error {
+		t := base.Table(tr.Table)
+		if t == nil {
+			return fmt.Errorf("sqlx: unknown table %q", tr.Table)
+		}
+		b := strings.ToLower(tr.Binding())
+		for _, existing := range p.bindings {
+			if existing.name == b {
+				return fmt.Errorf("sqlx: duplicate table binding %q", tr.Binding())
+			}
+		}
+		p.bindings = append(p.bindings, planBinding{name: b, table: t})
+		return nil
+	}
+	if err := add(stmt.From); err != nil {
+		return nil, err
+	}
+	for _, j := range stmt.Joins {
+		if err := add(j.Table); err != nil {
+			return nil, err
+		}
+	}
+	p.scans = make([]planScan, len(p.bindings))
+
+	// Classify WHERE conjuncts: single-binding predicates are pushed to
+	// that binding's scan (equality on a text column becomes an index
+	// probe), everything else lands in the residual post-join filter.
+	if stmt.Where != nil {
+		for _, c := range conjuncts(stmt.Where) {
+			refs, err := p.bindingsOf(c)
+			if err != nil {
+				return nil, err
+			}
+			if len(refs) == 1 {
+				b := refs[0]
+				if eq := p.indexableEq(c, b, slots); eq != nil {
+					p.hints = append(p.hints, TableColumn{
+						Table: p.bindings[b].table.Schema.Name, Column: eq.colName,
+					})
+					if p.scans[b].eq == nil {
+						p.scans[b].eq = eq
+						continue
+					}
+				}
+				f, err := p.compilePred(c, slots, len(p.bindings))
+				if err != nil {
+					return nil, err
+				}
+				p.scans[b].filters = append(p.scans[b].filters, f)
+				continue
+			}
+			f, err := p.compilePred(c, slots, len(p.bindings))
+			if err != nil {
+				return nil, err
+			}
+			p.residual = append(p.residual, f)
+		}
+	}
+
+	// Joins: detect the hash-joinable single-equality shape the
+	// interpreter uses, with the same visibility rules; everything else
+	// becomes a compiled nested-loop predicate.
+	for ji, j := range stmt.Joins {
+		newB := ji + 1
+		pj := planJoin{newB: newB}
+		if cmp, ok := j.On.(*Cmp); ok && cmp.Op == "=" {
+			lc, lok := cmp.Left.(*ColRef)
+			rc, rok := cmp.Right.(*ColRef)
+			if lok && rok {
+				lb, li, lerr := p.resolveCol(lc, newB+1)
+				rb, ri, rerr := p.resolveCol(rc, newB+1)
+				if lerr == nil && rerr == nil {
+					switch {
+					case lb == newB && rb != newB:
+						pj.hash, pj.oldB, pj.oldCol, pj.newCol = true, rb, ri, li
+					case rb == newB && lb != newB:
+						pj.hash, pj.oldB, pj.oldCol, pj.newCol = true, lb, li, ri
+					}
+				}
+			}
+		}
+		if pj.hash {
+			pj.newColName = strings.ToLower(p.bindings[newB].table.Schema.Columns[pj.newCol].Name)
+		} else {
+			// The interpreter's nested loop resolves ON references
+			// against every binding and fails at runtime when the slot
+			// is absent; compile with full visibility to match.
+			on, err := p.compilePred(j.On, slots, len(p.bindings))
+			if err != nil {
+				return nil, err
+			}
+			pj.on = on
+		}
+		p.joins = append(p.joins, pj)
+	}
+
+	if err := p.compileProjection(slots); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// conjuncts flattens top-level AND chains.
+func conjuncts(e Expr) []Expr {
+	if l, ok := e.(*Logical); ok && l.Op == "AND" {
+		return append(conjuncts(l.Left), conjuncts(l.Right)...)
+	}
+	return []Expr{e}
+}
+
+// resolveCol resolves a column reference against the first `visible`
+// bindings, mirroring executor.resolve.
+func (p *Plan) resolveCol(c *ColRef, visible int) (int, int, error) {
+	if c.Table != "" {
+		name := strings.ToLower(c.Table)
+		for b := 0; b < len(p.bindings); b++ {
+			if p.bindings[b].name == name {
+				ci := p.bindings[b].table.Schema.ColumnIndex(c.Column)
+				if ci < 0 {
+					return 0, 0, fmt.Errorf("sqlx: table %q has no column %q", c.Table, c.Column)
+				}
+				return b, ci, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("sqlx: unknown table binding %q", c.Table)
+	}
+	found, fi := -1, -1
+	for b := 0; b < visible && b < len(p.bindings); b++ {
+		if ci := p.bindings[b].table.Schema.ColumnIndex(c.Column); ci >= 0 {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("sqlx: ambiguous column %q", c.Column)
+			}
+			found, fi = b, ci
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("sqlx: unknown column %q", c.Column)
+	}
+	return found, fi, nil
+}
+
+// bindingsOf returns the sorted distinct binding ordinals an expression
+// references.
+func (p *Plan) bindingsOf(e Expr) ([]int, error) {
+	seen := make(map[int]bool)
+	var walk func(e Expr) error
+	walk = func(e Expr) error {
+		switch x := e.(type) {
+		case *ColRef:
+			b, _, err := p.resolveCol(x, len(p.bindings))
+			if err != nil {
+				return err
+			}
+			seen[b] = true
+		case *Cmp:
+			if err := walk(x.Left); err != nil {
+				return err
+			}
+			return walk(x.Right)
+		case *Logical:
+			if err := walk(x.Left); err != nil {
+				return err
+			}
+			return walk(x.Right)
+		case *In:
+			if err := walk(x.Left); err != nil {
+				return err
+			}
+			for _, it := range x.Items {
+				if err := walk(it); err != nil {
+					return err
+				}
+			}
+		case *IsNull:
+			return walk(x.Left)
+		}
+		return nil
+	}
+	if err := walk(e); err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// indexableEq recognizes `col = 'string'` / `col = <@Param>` (either
+// operand order) on a text column of binding b. Only text columns
+// qualify: string equality under compareValues matches map-key equality
+// exactly, so an index probe and a compare-based scan return identical
+// rows. Numeric equality coerces (2 = 2.0) and must stay on the compare
+// path.
+func (p *Plan) indexableEq(e Expr, b int, slots map[string]int) *indexEq {
+	cmp, ok := e.(*Cmp)
+	if !ok || cmp.Op != "=" {
+		return nil
+	}
+	col, val := cmp.Left, cmp.Right
+	if _, ok := col.(*ColRef); !ok {
+		col, val = cmp.Right, cmp.Left
+	}
+	cr, ok := col.(*ColRef)
+	if !ok {
+		return nil
+	}
+	cb, ci, err := p.resolveCol(cr, len(p.bindings))
+	if err != nil || cb != b {
+		return nil
+	}
+	schema := &p.bindings[b].table.Schema
+	if schema.Columns[ci].Type != kb.TextCol {
+		return nil
+	}
+	var ref valueRef
+	switch v := val.(type) {
+	case *Lit:
+		if _, isStr := v.Value.(string); !isStr {
+			return nil
+		}
+		ref = valueRef{lit: v.Value, param: -1}
+	case *Param:
+		slot, ok := slots[v.Name]
+		if !ok {
+			return nil
+		}
+		ref = valueRef{param: slot}
+	default:
+		return nil
+	}
+	return &indexEq{col: ci, colName: strings.ToLower(schema.Columns[ci].Name), val: ref}
+}
+
+// compileEval compiles a scalar expression with ordinals resolved against
+// the first `visible` bindings.
+func (p *Plan) compileEval(e Expr, slots map[string]int, visible int) (evalFn, error) {
+	switch x := e.(type) {
+	case *Lit:
+		v := x.Value
+		return func(tuple, []kb.Value) (kb.Value, error) { return v, nil }, nil
+	case *ColRef:
+		b, ci, err := p.resolveCol(x, visible)
+		if err != nil {
+			return nil, err
+		}
+		name := p.bindings[b].name
+		return func(tu tuple, _ []kb.Value) (kb.Value, error) {
+			row := tu[b]
+			if row == nil {
+				return nil, fmt.Errorf("sqlx: binding %q not in scope", name)
+			}
+			return row[ci], nil
+		}, nil
+	case *Param:
+		slot, ok := slots[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("sqlx: unbound parameter <@%s>", x.Name)
+		}
+		return func(_ tuple, params []kb.Value) (kb.Value, error) {
+			return params[slot], nil
+		}, nil
+	}
+	return nil, fmt.Errorf("sqlx: cannot evaluate %T as a value", e)
+}
+
+// compilePred compiles a boolean expression, mirroring executor.evalBool
+// semantics (NULL collapses to false, AND/OR short-circuit left-to-right).
+func (p *Plan) compilePred(e Expr, slots map[string]int, visible int) (predFn, error) {
+	switch x := e.(type) {
+	case *Logical:
+		l, err := p.compilePred(x.Left, slots, visible)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.compilePred(x.Right, slots, visible)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "AND" {
+			return func(tu tuple, params []kb.Value) (bool, error) {
+				ok, err := l(tu, params)
+				if err != nil || !ok {
+					return false, err
+				}
+				return r(tu, params)
+			}, nil
+		}
+		return func(tu tuple, params []kb.Value) (bool, error) {
+			ok, err := l(tu, params)
+			if err != nil || ok {
+				return ok, err
+			}
+			return r(tu, params)
+		}, nil
+	case *Cmp:
+		l, err := p.compileEval(x.Left, slots, visible)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.compileEval(x.Right, slots, visible)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return func(tu tuple, params []kb.Value) (bool, error) {
+			lv, err := l(tu, params)
+			if err != nil {
+				return false, err
+			}
+			rv, err := r(tu, params)
+			if err != nil {
+				return false, err
+			}
+			if lv == nil || rv == nil {
+				return false, nil
+			}
+			if op == "LIKE" {
+				ls, lok := lv.(string)
+				rs, rok := rv.(string)
+				if !lok || !rok {
+					return false, fmt.Errorf("sqlx: LIKE requires strings")
+				}
+				return likeMatch(ls, rs), nil
+			}
+			c, err := compareValues(lv, rv)
+			if err != nil {
+				return false, err
+			}
+			switch op {
+			case "=":
+				return c == 0, nil
+			case "!=":
+				return c != 0, nil
+			case "<":
+				return c < 0, nil
+			case "<=":
+				return c <= 0, nil
+			case ">":
+				return c > 0, nil
+			case ">=":
+				return c >= 0, nil
+			}
+			return false, fmt.Errorf("sqlx: unknown operator %q", op)
+		}, nil
+	case *In:
+		l, err := p.compileEval(x.Left, slots, visible)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]evalFn, len(x.Items))
+		for i, it := range x.Items {
+			f, err := p.compileEval(it, slots, visible)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = f
+		}
+		return func(tu tuple, params []kb.Value) (bool, error) {
+			lv, err := l(tu, params)
+			if err != nil {
+				return false, err
+			}
+			if lv == nil {
+				return false, nil
+			}
+			for _, item := range items {
+				rv, err := item(tu, params)
+				if err != nil {
+					return false, err
+				}
+				if rv == nil {
+					continue
+				}
+				c, err := compareValues(lv, rv)
+				if err != nil {
+					return false, err
+				}
+				if c == 0 {
+					return true, nil
+				}
+			}
+			return false, nil
+		}, nil
+	case *IsNull:
+		l, err := p.compileEval(x.Left, slots, visible)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return func(tu tuple, params []kb.Value) (bool, error) {
+			lv, err := l(tu, params)
+			if err != nil {
+				return false, err
+			}
+			return (lv == nil) != not, nil
+		}, nil
+	}
+	return nil, fmt.Errorf("sqlx: expression %T is not a predicate", e)
+}
+
+// compileProjection resolves the SELECT list, DISTINCT, ORDER BY and
+// LIMIT once.
+func (p *Plan) compileProjection(slots map[string]int) error {
+	stmt := p.stmt
+	for _, it := range stmt.Items {
+		if it.Count {
+			p.hasCount = true
+		}
+	}
+	if p.hasCount {
+		for _, it := range stmt.Items {
+			if !it.Count {
+				return fmt.Errorf("sqlx: cannot mix COUNT with plain columns (no GROUP BY support)")
+			}
+			name := it.Alias
+			if name == "" {
+				name = "count"
+			}
+			p.columns = append(p.columns, name)
+			var expr evalFn
+			if it.Expr != nil {
+				var err error
+				expr, err = p.compileEval(it.Expr, slots, len(p.bindings))
+				if err != nil {
+					return err
+				}
+			}
+			p.counts = append(p.counts, planCount{expr: expr})
+		}
+		return nil
+	}
+	for _, it := range stmt.Items {
+		if it.Star {
+			for b := range p.bindings {
+				for ci, c := range p.bindings[b].table.Schema.Columns {
+					p.projs = append(p.projs, planProj{b, ci})
+					p.columns = append(p.columns, c.Name)
+				}
+			}
+			continue
+		}
+		b, ci, err := p.resolveCol(it.Expr, len(p.bindings))
+		if err != nil {
+			return err
+		}
+		p.projs = append(p.projs, planProj{b, ci})
+		name := it.Alias
+		if name == "" {
+			name = it.Expr.Column
+		}
+		p.columns = append(p.columns, name)
+	}
+	for _, o := range stmt.OrderBy {
+		idx := -1
+		for j, c := range p.columns {
+			if strings.EqualFold(c, o.Col.Column) {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("sqlx: ORDER BY column %q must appear in the projection", o.Col.Column)
+		}
+		p.orderBy = append(p.orderBy, planOrder{idx: idx, desc: o.Desc})
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+// tupleArena hands out fixed-width tuples from chunked backing arrays, so
+// a join producing thousands of tuples costs a handful of allocations
+// instead of one map per tuple.
+type tupleArena struct {
+	width int
+	buf   []kb.Row
+}
+
+const arenaChunkTuples = 256
+
+func newTupleArena(width int) *tupleArena { return &tupleArena{width: width} }
+
+func (a *tupleArena) alloc() tuple {
+	if len(a.buf)+a.width > cap(a.buf) {
+		a.buf = make([]kb.Row, 0, a.width*arenaChunkTuples)
+	}
+	start := len(a.buf)
+	a.buf = a.buf[:start+a.width]
+	return tuple(a.buf[start : start+a.width : start+a.width])
+}
+
+func (a *tupleArena) clone(src tuple) tuple {
+	t := a.alloc()
+	copy(t, src)
+	return t
+}
+
+// Exec binds the named string arguments into the plan's parameter slots
+// and executes. It is the compiled equivalent of Template.Instantiate
+// followed by Execute.
+func (p *Plan) Exec(args map[string]string) (*Result, error) {
+	params, err := p.bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return p.run(params)
+}
+
+func (p *Plan) bindArgs(args map[string]string) ([]kb.Value, error) {
+	if len(p.params) == 0 && len(args) == 0 {
+		return nil, nil
+	}
+	known := make(map[string]bool, len(p.params))
+	for _, name := range p.params {
+		known[name] = true
+	}
+	var unknown []string
+	for name := range args {
+		if !known[name] {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("sqlx: plan has no parameter %q", unknown[0])
+	}
+	params := make([]kb.Value, len(p.params))
+	var missing []string
+	for i, name := range p.params {
+		v, ok := args[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		params[i] = v
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("sqlx: plan parameters not bound: %s", strings.Join(missing, ", "))
+	}
+	return params, nil
+}
+
+// scanRows produces the candidate rows of one binding with its pushdown
+// predicates applied: an index/Lookup probe for the equality, then the
+// residual single-table filters.
+func (p *Plan) scanRows(b int, params []kb.Value) ([]kb.Row, error) {
+	sc := &p.scans[b]
+	t := p.bindings[b].table
+	if sc.eq == nil && len(sc.filters) == 0 {
+		return t.Rows, nil
+	}
+	var rows []kb.Row
+	if sc.eq != nil {
+		v := sc.eq.val.value(params)
+		if v == nil {
+			return nil, nil
+		}
+		pos := t.Lookup(sc.eq.colName, v)
+		if len(pos) == 0 {
+			return nil, nil
+		}
+		rows = make([]kb.Row, 0, len(pos))
+		for _, i := range pos {
+			rows = append(rows, t.Rows[i])
+		}
+	} else {
+		rows = t.Rows
+	}
+	if len(sc.filters) == 0 {
+		return rows, nil
+	}
+	scratch := make(tuple, len(p.bindings))
+	kept := make([]kb.Row, 0, len(rows))
+	for _, row := range rows {
+		scratch[b] = row
+		ok := true
+		for _, f := range sc.filters {
+			match, err := f(scratch, params)
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, row)
+		}
+	}
+	return kept, nil
+}
+
+func (p *Plan) run(params []kb.Value) (*Result, error) {
+	arena := newTupleArena(len(p.bindings))
+
+	fromRows, err := p.scanRows(0, params)
+	if err != nil {
+		return nil, err
+	}
+	tuples := make([]tuple, 0, len(fromRows))
+	for _, row := range fromRows {
+		t := arena.alloc()
+		t[0] = row
+		tuples = append(tuples, t)
+	}
+
+	for ji := range p.joins {
+		j := &p.joins[ji]
+		if len(tuples) == 0 {
+			tuples = nil
+			break
+		}
+		if j.hash {
+			joined, err := p.hashJoin(arena, tuples, j, params)
+			if err != nil {
+				return nil, err
+			}
+			tuples = joined
+			continue
+		}
+		rows, err := p.scanRows(j.newB, params)
+		if err != nil {
+			return nil, err
+		}
+		var out []tuple
+		for _, tu := range tuples {
+			for _, row := range rows {
+				cand := arena.clone(tu)
+				cand[j.newB] = row
+				ok, err := j.on(cand, params)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, cand)
+				}
+			}
+		}
+		tuples = out
+	}
+
+	if len(p.residual) > 0 {
+		kept := tuples[:0]
+		for _, tu := range tuples {
+			ok := true
+			for _, f := range p.residual {
+				match, err := f(tu, params)
+				if err != nil {
+					return nil, err
+				}
+				if !match {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, tu)
+			}
+		}
+		tuples = kept
+	}
+	return p.project(tuples, params)
+}
+
+// hashJoin joins tuples onto binding j.newB. When the new binding is
+// unrestricted and the table already has a secondary index on the join
+// column, the stored index is probed directly — no per-execution hash
+// build at all.
+func (p *Plan) hashJoin(arena *tupleArena, tuples []tuple, j *planJoin, params []kb.Value) ([]tuple, error) {
+	t := p.bindings[j.newB].table
+	sc := &p.scans[j.newB]
+	if sc.eq == nil && len(sc.filters) == 0 {
+		if idx, ok := t.IndexOn(j.newColName); ok {
+			var out []tuple
+			for _, tu := range tuples {
+				v := tu[j.oldB][j.oldCol]
+				if v == nil {
+					continue
+				}
+				for _, pos := range idx[v] {
+					cand := arena.clone(tu)
+					cand[j.newB] = t.Rows[pos]
+					out = append(out, cand)
+				}
+			}
+			return out, nil
+		}
+	}
+	rows, err := p.scanRows(j.newB, params)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[kb.Value][]kb.Row, len(rows))
+	for _, row := range rows {
+		v := row[j.newCol]
+		if v == nil {
+			continue // NULL never joins
+		}
+		idx[v] = append(idx[v], row)
+	}
+	var out []tuple
+	for _, tu := range tuples {
+		v := tu[j.oldB][j.oldCol]
+		if v == nil {
+			continue
+		}
+		for _, row := range idx[v] {
+			cand := arena.clone(tu)
+			cand[j.newB] = row
+			out = append(out, cand)
+		}
+	}
+	return out, nil
+}
+
+func (p *Plan) project(tuples []tuple, params []kb.Value) (*Result, error) {
+	res := &Result{Columns: append([]string(nil), p.columns...)}
+
+	if p.hasCount {
+		row := make([]kb.Value, len(p.counts))
+		for i, c := range p.counts {
+			if c.expr == nil {
+				row[i] = int64(len(tuples))
+				continue
+			}
+			n := int64(0)
+			for _, tu := range tuples {
+				v, err := c.expr(tu, params)
+				if err != nil {
+					return nil, err
+				}
+				if v != nil {
+					n++
+				}
+			}
+			row[i] = n
+		}
+		res.Rows = [][]kb.Value{row}
+		return res, nil
+	}
+
+	if len(tuples) > 0 {
+		width := len(p.projs)
+		backing := make([]kb.Value, len(tuples)*width)
+		res.Rows = make([][]kb.Value, len(tuples))
+		for i, tu := range tuples {
+			row := backing[i*width : (i+1)*width : (i+1)*width]
+			for pi, pr := range p.projs {
+				row[pi] = tu[pr.b][pr.c]
+			}
+			res.Rows[i] = row
+		}
+	}
+
+	if p.distinct {
+		seen := make(map[string]bool, len(res.Rows))
+		var kept [][]kb.Value
+		for _, row := range res.Rows {
+			key := rowKey(row)
+			if !seen[key] {
+				seen[key] = true
+				kept = append(kept, row)
+			}
+		}
+		res.Rows = kept
+	}
+
+	if len(p.orderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			for _, o := range p.orderBy {
+				va, vb := res.Rows[a][o.idx], res.Rows[b][o.idx]
+				if va == nil && vb == nil {
+					continue
+				}
+				if va == nil {
+					return !o.desc
+				}
+				if vb == nil {
+					return o.desc
+				}
+				c, err := compareValues(va, vb)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c == 0 {
+					continue
+				}
+				if o.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	if p.limit >= 0 && len(res.Rows) > p.limit {
+		res.Rows = res.Rows[:p.limit]
+	}
+	return res, nil
+}

@@ -3,6 +3,7 @@ package sqlx
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"ontoconv/internal/kb"
@@ -91,6 +92,36 @@ func TestWhereAgainstReference(t *testing.T) {
 				t.Fatalf("trial %d: %q disagrees on row %+v (reference=%v engine=%v)",
 					trial, sql, r, want(r), got[r.id])
 			}
+		}
+	}
+}
+
+// TestLikeIterMatchesRecursive cross-checks the iterative LIKE matcher
+// against the original recursive implementation (kept as the oracle) on
+// random strings and patterns.
+func TestLikeIterMatchesRecursive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	alphabet := []byte("ab%_")
+	randStr := func(chars []byte, n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = chars[rng.Intn(len(chars))]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 5000; trial++ {
+		s := randStr([]byte("ab"), rng.Intn(9))
+		p := randStr(alphabet, rng.Intn(9))
+		if got, want := likeIter(s, p), likeRec(s, p); got != want {
+			t.Fatalf("likeIter(%q, %q) = %v, recursive oracle = %v", s, p, got, want)
+		}
+	}
+	// Adversarial pattern that is exponential for the recursive matcher at
+	// larger sizes: the iterative matcher must agree (and stay fast).
+	s := strings.Repeat("a", 60)
+	for _, p := range []string{"%a%a%a%a%b", "%a%a%a%a%a", "a%a%a%b", "%_%_%_%"} {
+		if got, want := likeIter(s, p), likeRec(s, p); got != want {
+			t.Fatalf("likeIter(%q, %q) = %v, want %v", s, p, got, want)
 		}
 	}
 }

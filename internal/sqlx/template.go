@@ -4,17 +4,47 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+
+	"ontoconv/internal/kb"
 )
 
 // Template is a parameterized structured query (paper §4.4, Figure 9):
 // a SQL statement whose filter literals have been replaced by <@Entity>
 // parameter markers. Templates are generated offline per intent and
 // instantiated online with the entities recognized in a user utterance.
+//
+// Templates are always handled by pointer: the cached AST below is an
+// atomic and must not be copied by value.
 type Template struct {
 	// SQL is the template text, containing <@Name> markers.
 	SQL string `json:"sql"`
 	// Params lists the distinct marker names in first-appearance order.
 	Params []string `json:"params"`
+
+	// prep caches the parsed AST so Instantiate does not re-parse per
+	// turn. The pointed-to statement is shared and read-only; Instantiate
+	// binds into a copy. Populated eagerly by NewTemplate/Parameterize and
+	// lazily (benign-race CAS) for templates decoded from JSON bundles.
+	prep atomic.Pointer[templateAST]
+}
+
+type templateAST struct {
+	stmt *SelectStmt
+	err  error
+}
+
+// ast returns the template's parsed statement, parsing at most once per
+// populated cache. The returned statement is shared: callers must not
+// mutate it.
+func (t *Template) ast() (*SelectStmt, error) {
+	if p := t.prep.Load(); p != nil {
+		return p.stmt, p.err
+	}
+	stmt, err := Parse(t.SQL)
+	p := &templateAST{stmt: stmt, err: err}
+	t.prep.CompareAndSwap(nil, p)
+	return p.stmt, p.err
 }
 
 // NewTemplate parses the template text (validating syntax) and records its
@@ -24,7 +54,9 @@ func NewTemplate(sql string) (*Template, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sqlx: template: %w", err)
 	}
-	return &Template{SQL: stmt.String(), Params: stmt.Params()}, nil
+	t := &Template{SQL: stmt.String(), Params: stmt.Params()}
+	t.prep.Store(&templateAST{stmt: stmt})
+	return t, nil
 }
 
 // MustTemplate is NewTemplate that panics on error.
@@ -37,9 +69,11 @@ func MustTemplate(sql string) *Template {
 }
 
 // Instantiate binds every parameter to a string value and returns the
-// executable statement. Unbound or unknown parameters are errors.
+// executable statement. Unbound or unknown parameters are errors. The
+// template's AST is parsed once and reused; the returned statement is a
+// copy with fresh filter trees, so callers may mutate it freely.
 func (t *Template) Instantiate(args map[string]string) (*SelectStmt, error) {
-	stmt, err := Parse(t.SQL)
+	src, err := t.ast()
 	if err != nil {
 		return nil, err
 	}
@@ -83,17 +117,30 @@ func (t *Template) Instantiate(args map[string]string) (*SelectStmt, error) {
 		}
 		return e
 	}
-	if stmt.Where != nil {
-		stmt.Where = bind(stmt.Where)
+	cp := *src
+	cp.Joins = append([]Join(nil), src.Joins...)
+	if cp.Where != nil {
+		cp.Where = bind(cp.Where)
 	}
-	for i := range stmt.Joins {
-		stmt.Joins[i].On = bind(stmt.Joins[i].On)
+	for i := range cp.Joins {
+		cp.Joins[i].On = bind(cp.Joins[i].On)
 	}
 	if len(missing) > 0 {
 		sort.Strings(missing)
 		return nil, fmt.Errorf("sqlx: template parameters not bound: %s", strings.Join(missing, ", "))
 	}
-	return stmt, nil
+	return &cp, nil
+}
+
+// Prepare compiles the template into an executable query plan over the
+// knowledge base: parameters stay as slots, so one plan serves every
+// instantiation (see Plan).
+func (t *Template) Prepare(base *kb.KB) (*Plan, error) {
+	stmt, err := t.ast()
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(base, stmt)
 }
 
 // Parameterize converts a concrete statement into a template by replacing

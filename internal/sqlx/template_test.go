@@ -104,6 +104,64 @@ func TestParameterizeOnlyNamedLiterals(t *testing.T) {
 	}
 }
 
+// TestInstantiateDoesNotReparse is the regression test for the
+// parse-per-turn bug: after NewTemplate, Instantiate must work from the
+// cached AST, so corrupting the SQL text afterwards cannot affect it.
+func TestInstantiateDoesNotReparse(t *testing.T) {
+	k := fixtureKB(t)
+	tpl := MustTemplate("SELECT d.name FROM drug d WHERE d.class = <@Class>")
+	tpl.SQL = "this is no longer sql (("
+	stmt, err := tpl.Instantiate(map[string]string{"Class": "NSAID"})
+	if err != nil {
+		t.Fatalf("Instantiate after SQL mutation: %v", err)
+	}
+	res, err := Execute(k, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+}
+
+// TestInstantiateSharedASTUnmutated checks repeated instantiations see a
+// pristine template: binding must go into a copy, never the cached AST.
+func TestInstantiateSharedASTUnmutated(t *testing.T) {
+	tpl := MustTemplate("SELECT d.name FROM drug d INNER JOIN brand b ON b.drug_id = d.drug_id AND b.name = <@Brand> WHERE d.class = <@Class>")
+	first, err := tpl.Instantiate(map[string]string{"Brand": "Bayer", "Class": "NSAID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tpl.Instantiate(map[string]string{"Brand": "Advil", "Class": "Retinoid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := first.String(); !strings.Contains(s, "'Bayer'") || strings.Contains(s, "'Advil'") {
+		t.Fatalf("first instantiation corrupted: %s", s)
+	}
+	if s := second.String(); !strings.Contains(s, "'Advil'") || strings.Contains(s, "<@") {
+		t.Fatalf("second instantiation wrong: %s", s)
+	}
+	// The template itself must still carry its markers.
+	if stmt, err := tpl.ast(); err != nil || len(stmt.Params()) != 2 {
+		t.Fatalf("cached AST mutated: %v %v", err, stmt.Params())
+	}
+}
+
+// TestLazyASTFromJSON covers templates that arrive via JSON decoding
+// (workspace bundles) and so skip NewTemplate: the first Instantiate
+// parses, later ones reuse the cache.
+func TestLazyASTFromJSON(t *testing.T) {
+	tpl := &Template{SQL: "SELECT name FROM drug WHERE class = <@Class>", Params: []string{"Class"}}
+	if _, err := tpl.Instantiate(map[string]string{"Class": "NSAID"}); err != nil {
+		t.Fatal(err)
+	}
+	tpl.SQL = "garbage" // proves the second call hits the cache
+	if _, err := tpl.Instantiate(map[string]string{"Class": "NSAID"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestExecuteRejectsUnboundParams(t *testing.T) {
 	k := fixtureKB(t)
 	stmt := MustParse("SELECT name FROM drug WHERE name = <@Drug>")

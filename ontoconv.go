@@ -245,6 +245,16 @@ func MedicalBootstrapTimed(pl *PhaseLog) (*KB, *Ontology, *Space, error) {
 	return medkb.BootstrapWithPhases(pl)
 }
 
+// BuildKBIndexes builds the secondary indexes the serving fast path uses:
+// foreign-key join columns plus every column the space's query templates
+// filter with an equality pushdown. Call it after loading a KB and before
+// serving traffic (the bootstrap does this automatically; the bundle
+// cold-start path must do it explicitly). Returns the number of indexes
+// built.
+func BuildKBIndexes(base *KB, space *Space) (int, error) {
+	return medkb.BuildIndexes(base, space)
+}
+
 // Observability types (the serving-time measurement layer).
 type (
 	// MetricsRegistry is the dependency-free metric registry with a
