@@ -15,6 +15,7 @@ package ontoconv_test
 
 import (
 	"bytes"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -281,6 +282,129 @@ func BenchmarkColdStartFromBundle(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Fused NLU inference + parallel offline pipeline (BENCH_nlu.json)
+// ---------------------------------------------------------------------------
+
+var (
+	nluModelsOnce sync.Once
+	nluBenchNB    *nlu.NaiveBayes
+	nluBenchLR    *nlu.LogisticRegression
+	nluModelsErr  error
+)
+
+// nluBenchModels trains both classifier families on the full MDX
+// conversation space, once, so the predict benchmarks score against
+// production-sized models rather than toy fixtures.
+func nluBenchModels(b *testing.B) (*nlu.NaiveBayes, *nlu.LogisticRegression) {
+	env := benchEnvironment(b)
+	nluModelsOnce.Do(func() {
+		var examples []nlu.Example
+		for _, te := range env.Space.AllExamples() {
+			examples = append(examples, nlu.Example{Text: te.Text, Intent: te.Intent})
+		}
+		nluBenchNB = nlu.NewNaiveBayes(1.0)
+		if nluModelsErr = nluBenchNB.Train(examples); nluModelsErr != nil {
+			return
+		}
+		nluBenchLR = nlu.NewLogisticRegression()
+		nluModelsErr = nluBenchLR.Train(examples)
+	})
+	if nluModelsErr != nil {
+		b.Fatal(nluModelsErr)
+	}
+	return nluBenchNB, nluBenchLR
+}
+
+const predictUtterance = "show me the dose adjustments for aspirin in children"
+
+// BenchmarkPredictTopNB / LR measure the turn loop's NLU stage as
+// agent.Respond now runs it: the fused tokenize/stem/lookup pass over
+// pooled scratch, scored against the compiled weight matrix. The
+// BENCH_nlu.json floor holds this at ≥3× the reference path with ~0
+// allocs/op.
+func BenchmarkPredictTopNB(b *testing.B) {
+	nb, _ := nluBenchModels(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nlu.PredictTop(nb, predictUtterance)
+	}
+}
+
+func BenchmarkPredictTopLR(b *testing.B) {
+	_, lr := nluBenchModels(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nlu.PredictTop(lr, predictUtterance)
+	}
+}
+
+// BenchmarkPredictReferenceNB / LR are the retained pre-optimization
+// implementation (per-utterance token and feature slices, map-backed
+// sparse vectors, per-label Dot) — the denominator of the speedup floor
+// and the oracle of TestFusedPredictMatchesReference.
+func BenchmarkPredictReferenceNB(b *testing.B) {
+	nb, _ := nluBenchModels(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nb.PredictReference(predictUtterance)
+	}
+}
+
+func BenchmarkPredictReferenceLR(b *testing.B) {
+	_, lr := nluBenchModels(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr.PredictReference(predictUtterance)
+	}
+}
+
+// benchBootstrapAt runs the complete offline bootstrap (KB generation,
+// ontology discovery, conversation-space bootstrap) pinned to a worker
+// width.
+func benchBootstrapAt(b *testing.B, procs int) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := medkb.Bootstrap(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBootstrapParallel vs BenchmarkBootstrapSerial is the offline
+// half of BENCH_nlu.json: identical artifacts (pinned by the
+// determinism tests), wall-clock scaled by the worker pool. The ≥2×
+// floor applies on 4 cores; on a single-core host the two are expected
+// to coincide.
+func BenchmarkBootstrapParallel(b *testing.B) { benchBootstrapAt(b, runtime.NumCPU()) }
+func BenchmarkBootstrapSerial(b *testing.B)   { benchBootstrapAt(b, 1) }
+
+// benchCompileAt compiles the workspace bundle (classifier training ∥
+// recognizer ∥ logic table + tree, then parallel artifact sealing)
+// pinned to a worker width.
+func benchCompileAt(b *testing.B, procs int) {
+	env := benchEnvironment(b)
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bundle.Compile(env.Space, bundle.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileParallel vs BenchmarkCompileSerial: bundle compilation
+// wall-clock at full width vs one worker, same byte-identical output.
+func BenchmarkCompileParallel(b *testing.B) { benchCompileAt(b, runtime.NumCPU()) }
+func BenchmarkCompileSerial(b *testing.B)   { benchCompileAt(b, 1) }
 
 // ---------------------------------------------------------------------------
 // Component micro-benchmarks

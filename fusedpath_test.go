@@ -1,0 +1,67 @@
+package ontoconv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ontoconv/internal/nlu"
+	"ontoconv/internal/sim"
+)
+
+// TestFusedPredictMatchesReferenceE3 is the acceptance-level
+// differential test for the fused NLU path: both classifier families are
+// trained on the full MDX conversation space, then every opening
+// utterance of an E3 simulation run — task requests, misspellings,
+// keyword-style fragments, and gibberish — must score bit-identically
+// (intent, confidence, and the full posterior vector) on the fused and
+// reference paths, and PredictTop must return exactly Predict's winner.
+func TestFusedPredictMatchesReferenceE3(t *testing.T) {
+	_, space, ag := mdxFixture(t)
+
+	cfg := sim.DefaultConfig()
+	cfg.Interactions = 400
+	log := sim.Run(ag, cfg)
+	var utterances []string
+	for _, in := range log.Interactions {
+		utterances = append(utterances, in.Utterance)
+	}
+	if len(utterances) == 0 {
+		t.Fatal("simulation produced no utterances")
+	}
+
+	var examples []nlu.Example
+	for _, te := range space.AllExamples() {
+		examples = append(examples, nlu.Example{Text: te.Text, Intent: te.Intent})
+	}
+
+	type refPredictor interface {
+		nlu.Classifier
+		PredictReference(text string) nlu.Prediction
+	}
+	for _, c := range []refPredictor{nlu.NewNaiveBayes(1.0), nlu.NewLogisticRegression()} {
+		if err := c.Train(examples); err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("%T", c)
+		for _, text := range utterances {
+			fused, ref := c.Predict(text), c.PredictReference(text)
+			if fused.Intent != ref.Intent || fused.Confidence != ref.Confidence {
+				t.Fatalf("%s(%q): fused (%q, %v) != reference (%q, %v)",
+					label, text, fused.Intent, fused.Confidence, ref.Intent, ref.Confidence)
+			}
+			if len(fused.Scores) != len(ref.Scores) {
+				t.Fatalf("%s(%q): %d scores, reference has %d", label, text, len(fused.Scores), len(ref.Scores))
+			}
+			for i := range fused.Scores {
+				if fused.Scores[i] != ref.Scores[i] {
+					t.Fatalf("%s(%q): score[%d] fused %+v != reference %+v",
+						label, text, i, fused.Scores[i], ref.Scores[i])
+				}
+			}
+			if intent, conf := nlu.PredictTop(c, text); intent != fused.Intent || conf != fused.Confidence {
+				t.Fatalf("%s: PredictTop(%q) = (%q, %v), Predict = (%q, %v)",
+					label, text, intent, conf, fused.Intent, fused.Confidence)
+			}
+		}
+	}
+}

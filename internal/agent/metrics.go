@@ -3,7 +3,9 @@ package agent
 import (
 	"time"
 
+	"ontoconv/internal/nlu"
 	"ontoconv/internal/obs"
+	"ontoconv/internal/par"
 )
 
 // Metrics is the agent's metric bundle, mirroring the per-intent usage and
@@ -51,7 +53,7 @@ func NewMetrics() *Metrics { return NewMetricsOn(obs.NewRegistry()) }
 // NewMetricsOn builds the bundle on an existing registry, so callers can
 // expose agent metrics next to their own.
 func NewMetricsOn(reg *obs.Registry) *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		reg:   reg,
 		Turns: reg.Counter("mdx_turns_total", "Conversation turns processed."),
 		TurnLatency: reg.Histogram("mdx_turn_seconds",
@@ -87,6 +89,39 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 		ReloadLatency: reg.Histogram("mdx_reload_seconds",
 			"Latency of successful bundle swaps in seconds.", nil),
 	}
+	m.registerRuntimeGauges(reg)
+	return m
+}
+
+// registerRuntimeGauges exposes the NLU scratch pool and offline worker
+// pool counters as callback gauges: the subsystems already count
+// atomically, so exposition just reads them.
+func (m *Metrics) registerRuntimeGauges(reg *obs.Registry) {
+	reg.GaugeFunc("mdx_nlu_scratch_gets_total",
+		"Fused-NLU scratch buffers checked out of the pool.", func() int64 {
+			gets, _ := nlu.ScratchStats()
+			return int64(gets)
+		})
+	reg.GaugeFunc("mdx_nlu_scratch_allocs_total",
+		"Fused-NLU scratch checkouts that allocated (pool misses).", func() int64 {
+			_, allocs := nlu.ScratchStats()
+			return int64(allocs)
+		})
+	reg.GaugeFunc("mdx_par_tasks_total",
+		"Tasks processed by the deterministic worker pool.", func() int64 {
+			tasks, _, _ := par.Stats()
+			return int64(tasks)
+		})
+	reg.GaugeFunc("mdx_par_workers_total",
+		"Worker goroutines spawned by the deterministic worker pool.", func() int64 {
+			_, workers, _ := par.Stats()
+			return int64(workers)
+		})
+	reg.GaugeFunc("mdx_par_fanouts_total",
+		"Parallel fan-outs performed by the deterministic worker pool.", func() int64 {
+			_, _, fanouts := par.Stats()
+			return int64(fanouts)
+		})
 }
 
 // Registry exposes the underlying registry (for the /metrics endpoint).

@@ -13,6 +13,7 @@ import (
 	"ontoconv/internal/agent"
 	"ontoconv/internal/bundle"
 	"ontoconv/internal/core"
+	"ontoconv/internal/nlu"
 )
 
 // bundlePair compiles two distinct bundles from the fixture space: the
@@ -118,6 +119,64 @@ func TestInstallBundleUnderConcurrentTraffic(t *testing.T) {
 	a.InstallBundle(b2)
 	if r := a.Respond(s, "adult"); !strings.Contains(r, "Acitretin") {
 		t.Fatalf("session lost across swap: %q", r)
+	}
+}
+
+// TestRespondScratchPoolUnderReload aims -race at the fused-NLU scratch
+// pool specifically: many goroutines classify through pooled scratch
+// buffers while the classifier they score against is swapped underneath
+// by InstallBundle. The pool is shared across bundle generations (the
+// scratch holds no model state), so traffic must neither race nor
+// observe a torn model, and the pool counters must show the traffic
+// actually went through the fused path.
+func TestRespondScratchPoolUnderReload(t *testing.T) {
+	b1, b2 := bundlePair(t)
+	a, err := agent.NewFromBundle(b1, base, agent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gets0, _ := nlu.ScratchStats()
+
+	utterances := []string{
+		"show me drugs that treat psoriasis",
+		"precautions for Aspirin",
+		"what is the dosage of ibuprofen",
+		"precuations for asprin", // misspelled: exercises fuzzy + fused paths
+		"zzz unknown gibberish input",
+	}
+	const (
+		chatters = 16
+		turns    = 40
+		reloads  = 30
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < chatters; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			s := agent.NewSession()
+			for i := 0; i < turns; i++ {
+				a.Respond(s, utterances[(c+i)%len(utterances)])
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reloads; i++ {
+			next := b2
+			if i%2 == 1 {
+				next = b1
+			}
+			if err := a.InstallBundle(next); err != nil {
+				t.Errorf("reload %d: %v", i, err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	if gets1, _ := nlu.ScratchStats(); gets1 <= gets0 {
+		t.Fatalf("scratch pool saw no checkouts (gets %d -> %d); traffic bypassed the fused path", gets0, gets1)
 	}
 }
 

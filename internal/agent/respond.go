@@ -93,7 +93,11 @@ func (a *runtime) respond(s *Session, utterance string, turn *Turn) string {
 	}
 
 	sp = turn.Trace.StartSpan("intent_classification")
-	pred := a.clf.Predict(utterance)
+	// Only the winner and its confidence are consumed here, so the
+	// allocation-free top-1 path replaces the full Predict; both return
+	// bit-identical (intent, confidence) pairs.
+	intent, conf := nlu.PredictTop(a.clf, utterance)
+	pred := nlu.Prediction{Intent: intent, Confidence: conf}
 	sp.Attr("intent", pred.Intent).AttrFloat("confidence", pred.Confidence).End()
 	if pred.Confidence >= a.minConf {
 		a.metrics.Classified.With(pred.Intent).Inc()

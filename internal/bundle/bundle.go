@@ -37,6 +37,7 @@ import (
 	"ontoconv/internal/core"
 	"ontoconv/internal/dialogue"
 	"ontoconv/internal/nlu"
+	"ontoconv/internal/par"
 )
 
 // FormatVersion is the container format version; Open rejects any other.
@@ -158,22 +159,43 @@ func Compile(space *core.Space, opts Options) (*Bundle, error) {
 	for _, te := range all {
 		examples = append(examples, nlu.Example{Text: te.Text, Intent: te.Intent})
 	}
-	if err := clf.Train(examples); err != nil {
+
+	// The three artifact builds only read the (immutable) space and write
+	// disjoint results, so classifier training, recognizer construction,
+	// and logic-table/tree generation run concurrently, each into its own
+	// slot. Each build is itself deterministic, so the compiled bundle is
+	// byte-identical at any GOMAXPROCS.
+	type buildSlot struct {
+		err   error
+		rec   *nlu.Recognizer
+		table *dialogue.LogicTable
+		tree  *dialogue.Tree
+	}
+	slots := make([]buildSlot, 3)
+	par.Do(len(slots), func(i int) {
+		s := &slots[i]
+		switch i {
+		case 0:
+			s.err = clf.Train(examples)
+		case 1:
+			s.rec = nlu.NewRecognizer()
+			for _, def := range space.Entities {
+				for _, v := range def.Values {
+					s.rec.Add(def.Name, v.Value, v.Synonyms...)
+				}
+			}
+		case 2:
+			s.table = dialogue.BuildLogicTable(space)
+			s.tree = dialogue.BuildTree(space, s.table)
+		}
+	})
+	if err := slots[0].err; err != nil {
 		return nil, fmt.Errorf("bundle: compile: train: %w", err)
 	}
 
-	rec := nlu.NewRecognizer()
-	for _, def := range space.Entities {
-		for _, v := range def.Values {
-			rec.Add(def.Name, v.Value, v.Synonyms...)
-		}
-	}
-	table := dialogue.BuildLogicTable(space)
-	tree := dialogue.BuildTree(space, table)
-
 	b := &Bundle{
-		Space: space, Classifier: clf, Recognizer: rec,
-		LogicTable: table, Tree: tree,
+		Space: space, Classifier: clf, Recognizer: slots[1].rec,
+		LogicTable: slots[2].table, Tree: slots[2].tree,
 	}
 	if err := b.seal(); err != nil {
 		return nil, err
@@ -182,35 +204,48 @@ func Compile(space *core.Space, opts Options) (*Bundle, error) {
 }
 
 // seal serializes every artifact, computes hashes, and fills the manifest.
+// The five serializations are independent, so they fan out over the worker
+// pool into index-ordered slots; the manifest reduce below walks
+// artifactOrder, so hashes and bytes come out identical at any GOMAXPROCS
+// (errors too: the first failing artifact in bundle order is reported).
 func (b *Bundle) seal() error {
-	spaceJSON, err := json.Marshal(b.Space)
-	if err != nil {
-		return fmt.Errorf("bundle: encode space: %w", err)
+	payloads := make([][]byte, len(artifactOrder))
+	errs := make([]error, len(artifactOrder))
+	par.Do(len(artifactOrder), func(i int) {
+		var payload []byte
+		var err error
+		switch name := artifactOrder[i]; name {
+		case ArtifactSpace:
+			if payload, err = json.Marshal(b.Space); err != nil {
+				err = fmt.Errorf("bundle: encode space: %w", err)
+			}
+		case ArtifactClassifier:
+			if payload, err = nlu.MarshalClassifier(b.Classifier); err != nil {
+				err = fmt.Errorf("bundle: encode classifier: %w", err)
+			}
+		case ArtifactRecognizer:
+			if payload, err = nlu.MarshalRecognizer(b.Recognizer); err != nil {
+				err = fmt.Errorf("bundle: encode recognizer: %w", err)
+			}
+		case ArtifactLogicTable:
+			if payload, err = json.Marshal(b.LogicTable); err != nil {
+				err = fmt.Errorf("bundle: encode logic table: %w", err)
+			}
+		case ArtifactTree:
+			if payload, err = json.Marshal(b.Tree); err != nil {
+				err = fmt.Errorf("bundle: encode tree: %w", err)
+			}
+		}
+		payloads[i], errs[i] = payload, err
+	})
+	b.sections = make(map[string][]byte, len(artifactOrder))
+	for i, name := range artifactOrder {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		b.sections[name] = payloads[i]
 	}
-	clfBytes, err := nlu.MarshalClassifier(b.Classifier)
-	if err != nil {
-		return fmt.Errorf("bundle: encode classifier: %w", err)
-	}
-	recBytes, err := nlu.MarshalRecognizer(b.Recognizer)
-	if err != nil {
-		return fmt.Errorf("bundle: encode recognizer: %w", err)
-	}
-	tableJSON, err := json.Marshal(b.LogicTable)
-	if err != nil {
-		return fmt.Errorf("bundle: encode logic table: %w", err)
-	}
-	treeJSON, err := json.Marshal(b.Tree)
-	if err != nil {
-		return fmt.Errorf("bundle: encode tree: %w", err)
-	}
-	b.sections = map[string][]byte{
-		ArtifactSpace:      spaceJSON,
-		ArtifactClassifier: clfBytes,
-		ArtifactRecognizer: recBytes,
-		ArtifactLogicTable: tableJSON,
-		ArtifactTree:       treeJSON,
-	}
-	spaceSum := sha256.Sum256(spaceJSON)
+	spaceSum := sha256.Sum256(b.sections[ArtifactSpace])
 	b.Manifest = Manifest{
 		FormatVersion: FormatVersion,
 		SpaceSHA256:   hex.EncodeToString(spaceSum[:]),

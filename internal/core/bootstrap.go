@@ -9,6 +9,7 @@ import (
 	"ontoconv/internal/obs"
 	"ontoconv/internal/ontogen"
 	"ontoconv/internal/ontology"
+	"ontoconv/internal/par"
 )
 
 // Config collects every knob of the offline bootstrapping process
@@ -90,20 +91,27 @@ func Bootstrap(o *ontology.Ontology, base *kb.KB, cfg Config) (*Space, error) {
 	for i := range intents {
 		nexamples += len(intents[i].intent.Examples)
 	}
-	done(obs.C("examples", nexamples))
+	done(obs.C("examples", nexamples), obs.C("workers", par.Workers(len(intents))))
 
-	// 5. structured query templates via the NLQ service (§4.4)
+	// 5. structured query templates via the NLQ service (§4.4). The NLQ
+	// service is read-only after New, and each worker writes only its own
+	// intent, so templates build in parallel; errors reduce in intent
+	// order, preserving which one is reported.
 	done = cfg.Phases.Phase("query_templates")
 	svc := nlq.New(o)
 	valueEntityName := func(concept, property string) string {
 		return ontogen.ConceptName(property)
 	}
-	for i := range intents {
-		if err := buildTemplate(svc, o, &intents[i], valueEntityName); err != nil {
+	terrs := make([]error, len(intents))
+	par.Do(len(intents), func(i int) {
+		terrs[i] = buildTemplate(svc, o, &intents[i], valueEntityName)
+	})
+	for _, err := range terrs {
+		if err != nil {
 			return nil, err
 		}
 	}
-	done(obs.C("templates", len(intents)))
+	done(obs.C("templates", len(intents)), obs.C("workers", par.Workers(len(intents))))
 
 	space := &Space{
 		KeyConcepts:       an.KeyConcepts,

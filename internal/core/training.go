@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"ontoconv/internal/kb"
 	"ontoconv/internal/ontology"
+	"ontoconv/internal/par"
 )
 
 // Phrases holds the initial-phrase paraphrase lists per pattern kind
@@ -42,7 +44,9 @@ func DefaultPhrases() Phrases {
 type instanceSource struct {
 	base *kb.KB
 	onto *ontology.Ontology
-	// cache concept -> distinct display values
+	// cache concept -> distinct display values; mu makes the source safe
+	// to share across the per-intent generation workers.
+	mu    sync.Mutex
 	cache map[string][]string
 }
 
@@ -52,6 +56,8 @@ func newInstanceSource(base *kb.KB, o *ontology.Ontology) *instanceSource {
 
 // values returns the distinct display values of the concept's instances.
 func (s *instanceSource) values(concept string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if v, ok := s.cache[concept]; ok {
 		return v
 	}
@@ -70,13 +76,18 @@ func (s *instanceSource) values(concept string) []string {
 // values, concept-surface slots (<#Concept>) with the concept's label,
 // plural, or a Table 2 synonym, and the pattern's lead-in with paraphrases
 // from the kind's phrase list. perIntent bounds the examples generated per
-// intent; generation is deterministic given seed.
+// intent.
+//
+// Generation is deterministic given seed at any GOMAXPROCS: each intent
+// draws from its own stream seeded by (seed, intent name), so intents fan
+// out across cores without observing each other's draw counts, and every
+// worker writes only its own intent's slot.
 func GenerateExamples(intents []extractedIntent, base *kb.KB, o *ontology.Ontology, ph Phrases, surfaces map[string][]string, perIntent int, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
 	src := newInstanceSource(base, o)
-	gen := &exampleGen{src: src, surfaces: surfaces, rng: rng}
-	for i := range intents {
+	par.Do(len(intents), func(i int) {
 		in := &intents[i]
+		rng := rand.New(rand.NewSource(deriveSeed(seed, in.intent.Name)))
+		gen := &exampleGen{src: src, surfaces: surfaces, rng: rng}
 		var texts []string
 		seen := map[string]bool{}
 		add := func(t string) {
@@ -101,7 +112,20 @@ func GenerateExamples(intents []extractedIntent, base *kb.KB, o *ontology.Ontolo
 			}
 		}
 		in.intent.Examples = append(in.intent.Examples, texts...)
+	})
+}
+
+// deriveSeed decouples one intent's random stream from the shared seed by
+// folding in an FNV-1a hash of the intent name. Intent names are unique
+// within a space, so streams never collide, and the derivation depends on
+// nothing but (seed, name) — not on generation order.
+func deriveSeed(seed int64, name string) int64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
 	}
+	return seed ^ int64(h)
 }
 
 // ConceptSurfaces builds the surface-form lists used to vary the concept

@@ -107,6 +107,35 @@ func TestGoldenSQLBuild(t *testing.T)  { runGolden(t, "sqlbuild", "ontoconv/inte
 func TestGoldenLockHeld(t *testing.T)  { runGolden(t, "lockheld", "ontoconv/internal/agent") }
 func TestGoldenErrDrop(t *testing.T)   { runGolden(t, "errdrop", "ontoconv/internal/core") }
 
+func TestGoldenParaGoroutine(t *testing.T) {
+	runGolden(t, "paragoroutine", "ontoconv/internal/core")
+}
+
+// TestParaGoroutineScope pins the parallel-pipeline packages into the
+// analyzer's watch set: the fused NLU trainer, the bundle compiler, and
+// the pool itself all fan out over goroutines, and an unsynchronized
+// shared write in any of them silently breaks the byte-identical-bundle
+// guarantee. The serving-side agent package stays out of scope — its
+// concurrency (sessions, reloads) is mutex-based by design and belongs
+// to lockheld.
+func TestParaGoroutineScope(t *testing.T) {
+	a := analyzerByName(t, "paragoroutine")
+	for _, path := range []string{
+		"ontoconv/internal/par",
+		"ontoconv/internal/nlu",
+		"ontoconv/internal/bundle",
+		"ontoconv/internal/core",
+		"ontoconv/internal/medkb",
+	} {
+		if !a.Match(path) {
+			t.Errorf("paragoroutine does not cover %s; parallel closures there are unchecked", path)
+		}
+	}
+	if a.Match("ontoconv/internal/agent") {
+		t.Error("paragoroutine unexpectedly in scope for internal/agent")
+	}
+}
+
 // TestAnalyzerScope proves scoped analyzers stay silent outside their
 // package set: the same known-bad nondeterm snippets produce nothing when
 // the package impersonates a path off the artifact-emission path.

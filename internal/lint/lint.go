@@ -95,6 +95,7 @@ func Analyzers() []*Analyzer {
 		SQLBuildAnalyzer,
 		LockHeldAnalyzer,
 		ErrDropAnalyzer,
+		ParaGoroutineAnalyzer,
 	}
 }
 

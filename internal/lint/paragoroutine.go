@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// parallelPaths are the packages where offline work fans out over
+// goroutines: the artifact-emission path plus the NLU trainer, the
+// bundle compiler, and the worker pool itself. A shared-state write from
+// a concurrent closure in any of them is a data race at best and a
+// GOMAXPROCS-dependent artifact at worst, so the safe shape — each task
+// writes only slots indexed by its own parameter, merged serially in
+// fixed order afterwards — is enforced statically.
+var parallelPaths = pathMatcher(
+	"ontoconv",
+	"ontoconv/internal/core",
+	"ontoconv/internal/ontogen",
+	"ontoconv/internal/medkb",
+	"ontoconv/internal/ontology",
+	"ontoconv/internal/dialogue",
+	"ontoconv/internal/kb",
+	"ontoconv/internal/nlq",
+	"ontoconv/internal/sqlx",
+	"ontoconv/internal/nlu",
+	"ontoconv/internal/bundle",
+	"ontoconv/internal/par",
+)
+
+// ParaGoroutineAnalyzer flags concurrent closures — function literals
+// launched by a `go` statement or handed to par.Do — that write captured
+// state without a provable ownership story. Recognized as safe:
+//
+//   - slot writes s[i] = v where s is a captured slice and every variable
+//     in the index expression is the closure's own (the ordered-merge
+//     pattern par.Do is built around);
+//   - writes through pointers or structs the closure itself declared,
+//     including the s := &slots[i] form;
+//   - closures that acquire a sync mutex anywhere in their body (lock
+//     discipline itself is the lockheld analyzer's job);
+//   - channel operations, which are synchronization by construction.
+//
+// Everything else — map writes (racy even on distinct keys), appends to
+// captured slices, stores to captured scalars, writes at captured
+// indexes, and calls through captured function values whose effects this
+// analysis cannot see — is reported.
+var ParaGoroutineAnalyzer = &Analyzer{
+	Name:  "paragoroutine",
+	Doc:   "unsynchronized shared-state write in a concurrent bootstrap/compile closure",
+	Match: parallelPaths,
+	Run:   runParaGoroutine,
+}
+
+func runParaGoroutine(p *Pass) {
+	funcDecls(p.Files, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					checkConcurrentLit(p, lit)
+				}
+			case *ast.CallExpr:
+				if isParDo(p, n) {
+					for _, arg := range n.Args {
+						if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+							checkConcurrentLit(p, lit)
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isParDo reports whether a call launches closures through the
+// deterministic worker pool. Resolution is semantic when type
+// information reaches the real package and falls back to the syntactic
+// par.Do shape (golden fixtures impersonate the pool with a local value).
+func isParDo(p *Pass, call *ast.CallExpr) bool {
+	if fn := calleeFunc(p.Info, call); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "ontoconv/internal/par" && fn.Name() == "Do" {
+		return true
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Do" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "par"
+}
+
+// checkConcurrentLit inspects one concurrently-running closure for
+// writes to captured state.
+func checkConcurrentLit(p *Pass, lit *ast.FuncLit) {
+	if litHoldsLock(p, lit) {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Nested launches are analyzed at their own site.
+			if _, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				return false
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkWrite(p, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(p, lit, n.X)
+		case *ast.CallExpr:
+			if isParDo(p, n) {
+				return false
+			}
+			checkFuncValueCall(p, lit, n)
+		}
+		return true
+	})
+}
+
+// checkWrite classifies one assignment target inside a concurrent
+// closure.
+func checkWrite(p *Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		if capturedVar(p, lit, lhs) {
+			p.Reportf(lhs.Pos(), "concurrent closure writes captured variable %s; give each task an index-disjoint slot and merge in order, or guard it with a mutex", lhs.Name)
+		}
+	case *ast.IndexExpr:
+		root := rootIdent(lhs.X)
+		if root == nil || !capturedVar(p, lit, root) {
+			return
+		}
+		if t := p.TypeOf(lhs.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				p.Reportf(lhs.Pos(), "concurrent closure writes shared map %s; map writes race even on distinct keys — fill per-task slots and merge in order, or guard the map with a mutex", root.Name)
+				return
+			}
+		}
+		if !indexLocal(p, lit, lhs.Index) {
+			p.Reportf(lhs.Pos(), "concurrent closure writes %s at an index that is not task-local; slot ownership cannot be proven — index with the closure's own parameter", types.ExprString(lhs))
+		}
+	case *ast.StarExpr:
+		if root := rootIdent(lhs.X); root != nil && capturedVar(p, lit, root) {
+			p.Reportf(lhs.Pos(), "concurrent closure writes through captured pointer %s; slot ownership cannot be proven", root.Name)
+		}
+	case *ast.SelectorExpr:
+		if root := rootIdent(lhs.X); root != nil && capturedVar(p, lit, root) {
+			p.Reportf(lhs.Pos(), "concurrent closure writes field %s of captured %s; take a task-owned pointer (s := &slots[i]) or guard it with a mutex", lhs.Sel.Name, root.Name)
+		}
+	}
+}
+
+// checkFuncValueCall flags calls through captured function *values*: the
+// analysis cannot see their bodies, so their writes are unaccounted for.
+// Named functions and methods resolve through calleeFunc and are not
+// function values; the one legitimate site (the pool invoking its work
+// callback) documents itself with an ontolint:ignore.
+func checkFuncValueCall(p *Pass, lit *ast.FuncLit, call *ast.CallExpr) {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := objOf(p, id).(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	if _, isSig := v.Type().Underlying().(*types.Signature); !isSig {
+		return
+	}
+	if !capturedVar(p, lit, id) {
+		return
+	}
+	p.Reportf(call.Pos(), "concurrent closure calls captured function value %s, whose writes this analysis cannot see; pass results through per-task slots", id.Name)
+}
+
+// litHoldsLock reports whether the closure acquires a sync mutex
+// anywhere in its body. Lock discipline is flow-sensitive and belongs to
+// the lockheld analyzer; here a Lock call is taken as evidence the
+// author synchronized the shared state, and the closure is left alone.
+func litHoldsLock(p *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(p.Info, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync" && (fn.Name() == "Lock" || fn.Name() == "RLock") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// indexLocal reports whether every variable in an index expression is
+// declared inside the closure (parameters included): only then does the
+// slot-ownership argument hold.
+func indexLocal(p *Pass, lit *ast.FuncLit, idx ast.Expr) bool {
+	local := true
+	ast.Inspect(idx, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := objOf(p, id).(*types.Var); ok && !v.IsField() {
+				if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+					local = false
+				}
+			}
+		}
+		return local
+	})
+	return local
+}
+
+// capturedVar reports whether an identifier resolves to a variable
+// declared outside the closure (a true capture, fields excluded).
+func capturedVar(p *Pass, lit *ast.FuncLit, id *ast.Ident) bool {
+	v, ok := objOf(p, id).(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+}
+
+// objOf resolves an identifier to its object through either the use or
+// the definition map.
+func objOf(p *Pass, id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}
+
+// rootIdent unwraps selectors, indexes, stars and parens down to the
+// base identifier of an expression, or nil if the base is not an
+// identifier (a call result, say).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

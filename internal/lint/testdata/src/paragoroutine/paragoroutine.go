@@ -1,0 +1,124 @@
+// Package paragoroutine is a golden-test fixture: concurrent closures
+// writing shared state (flagged) next to the slot-indexed ordered-merge
+// pattern, mutex-guarded sections, and channel handoffs (benign).
+package paragoroutine
+
+import "sync"
+
+// pool stands in for the module's par worker pool: the analyzer matches
+// the par.Do call shape syntactically when type information cannot reach
+// the real package.
+type pool struct{}
+
+func (pool) Do(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+var par pool
+
+// sharedMapWrite: map writes from workers race even on distinct keys.
+func sharedMapWrite(keys []string) map[string]int {
+	out := make(map[string]int)
+	par.Do(len(keys), func(i int) {
+		out[keys[i]] = i //want:paragoroutine
+	})
+	return out
+}
+
+// sharedAppend: append reallocates the backing array; concurrent appends
+// lose elements and order nondeterministically.
+func sharedAppend(n int) []int {
+	var out []int
+	par.Do(n, func(i int) {
+		out = append(out, i) //want:paragoroutine
+	})
+	return out
+}
+
+// sharedScalar: compound stores to a captured scalar race.
+func sharedScalar(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			total += i //want:paragoroutine
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+// capturedIndex: the slot index lives outside the closure, so exclusive
+// slot ownership cannot be proven.
+func capturedIndex(vals []int) {
+	j := 0
+	par.Do(len(vals), func(i int) {
+		vals[j] = i //want:paragoroutine
+	})
+	_ = j
+}
+
+// capturedFn: a captured function value hides its writes from the
+// analysis.
+func capturedFn(fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn(0) //want:paragoroutine
+	}()
+	wg.Wait()
+}
+
+// slotWrites: each task owns slot i exclusively and the caller merges in
+// index order afterwards — the module's ordered-merge idiom.
+func slotWrites(texts []string) []int {
+	out := make([]int, len(texts))
+	par.Do(len(texts), func(i int) {
+		out[i] = len(texts[i])
+	})
+	return out
+}
+
+// slotPointer: a task-owned pointer into the slot array is the same
+// ownership story spelled with a struct.
+func slotPointer(n int) []struct{ v, w int } {
+	slots := make([]struct{ v, w int }, n)
+	par.Do(n, func(i int) {
+		s := &slots[i]
+		s.v = i
+		s.w = i * i
+	})
+	return slots
+}
+
+// lockedWrites: mutex-guarded shared state is synchronized; lock
+// discipline itself is the lockheld analyzer's job.
+func lockedWrites(n int) map[int]bool {
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	par.Do(n, func(i int) {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+	})
+	return seen
+}
+
+// channelHandoff: results flow through a channel — synchronization by
+// construction, no shared writes.
+func channelHandoff(n int) []int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- i * i }(i)
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch)
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 
 	"ontoconv/internal/core"
 	"ontoconv/internal/kb"
+	"ontoconv/internal/par"
 )
 
 // BuildIndexes builds the secondary indexes the per-turn serving path
@@ -33,19 +34,28 @@ func BuildIndexes(base *kb.KB, space *core.Space) (int, error) {
 	}
 
 	if space != nil {
-		for i := range space.Intents {
+		// Template planning is read-only over the KB, so the hint
+		// collection fans out per intent; the per-slot hint lists reduce
+		// into the want set in intent order.
+		hintLists := make([][]tc, len(space.Intents))
+		par.Do(len(space.Intents), func(i int) {
 			tpl := space.Intents[i].Template
 			if tpl == nil {
-				continue
+				return
 			}
 			plan, err := tpl.Prepare(base)
 			if err != nil {
 				// A template the planner cannot compile falls back to the
 				// interpreter at serve time; it contributes no hints.
-				continue
+				return
 			}
 			for _, h := range plan.IndexHints() {
-				want[tc{h.Table, h.Column}] = true
+				hintLists[i] = append(hintLists[i], tc{h.Table, h.Column})
+			}
+		})
+		for _, hs := range hintLists {
+			for _, c := range hs {
+				want[c] = true
 			}
 		}
 	}
@@ -61,16 +71,45 @@ func BuildIndexes(base *kb.KB, space *core.Space) (int, error) {
 		return cols[i].column < cols[j].column
 	})
 
-	built := 0
+	// A table's indexes share one map, so builds parallelize across
+	// tables, never within one: each worker owns every column of its
+	// table. Errors reduce in sorted table order, so the reported failure
+	// is the same at any GOMAXPROCS.
+	type group struct {
+		table   string
+		columns []string
+	}
+	var groups []group
 	for _, c := range cols {
-		t := base.Table(c.table)
+		if len(groups) == 0 || groups[len(groups)-1].table != c.table {
+			groups = append(groups, group{table: c.table})
+		}
+		g := &groups[len(groups)-1]
+		g.columns = append(g.columns, c.column)
+	}
+	errs := make([]error, len(groups))
+	counts := make([]int, len(groups))
+	par.Do(len(groups), func(gi int) {
+		g := groups[gi]
+		t := base.Table(g.table)
 		if t == nil {
-			return built, fmt.Errorf("medkb: index on missing table %q", c.table)
+			errs[gi] = fmt.Errorf("medkb: index on missing table %q", g.table)
+			return
 		}
-		if err := t.BuildIndex(c.column); err != nil {
-			return built, err
+		for _, col := range g.columns {
+			if err := t.BuildIndex(col); err != nil {
+				errs[gi] = err
+				return
+			}
+			counts[gi]++
 		}
-		built++
+	})
+	built := 0
+	for gi := range groups {
+		built += counts[gi]
+		if errs[gi] != nil {
+			return built, errs[gi]
+		}
 	}
 	return built, nil
 }

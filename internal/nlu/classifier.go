@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"ontoconv/internal/par"
 )
 
 // Prediction is a classifier output: the winning intent and its
@@ -48,6 +50,13 @@ type NaiveBayes struct {
 	logPrior  []float64
 	logLik    [][]float64 // [label][feature]
 	unkLogLik []float64   // [label] log-likelihood of an unseen feature
+
+	// mat is the compiled inference matrix: row-major [label][feature+1]
+	// with the extra trailing column holding unkLogLik, so unknown features
+	// index a real cell instead of branching (see fastpath.go). Built by
+	// compile(); nil only for hand-assembled or untrained models.
+	mat          []float64
+	sortedLabels []string // Labels() result, cached at compile time
 }
 
 // NewNaiveBayes returns a classifier with Laplace smoothing alpha.
@@ -63,12 +72,18 @@ func (nb *NaiveBayes) Train(examples []Example) error {
 	if len(examples) == 0 {
 		return errors.New("nlu: no training examples")
 	}
+	// Feature extraction fans out across cores; the count accumulation
+	// below reduces serially in example order, so label and vocabulary
+	// indices (and therefore every smoothed log-likelihood) come out
+	// bit-identical at any GOMAXPROCS.
+	feats := make([][]string, len(examples))
+	par.Do(len(examples), func(i int) { feats[i] = Featurize(examples[i].Text) })
 	nb.vocab = NewVocabulary()
 	nb.labelIdx = make(map[string]int)
 	var counts [][]float64 // [label][feature]
 	var total []float64    // [label] token count
 	var docs []float64     // [label] doc count
-	for _, ex := range examples {
+	for xi, ex := range examples {
 		li, ok := nb.labelIdx[ex.Intent]
 		if !ok {
 			li = len(nb.labels)
@@ -79,7 +94,7 @@ func (nb *NaiveBayes) Train(examples []Example) error {
 			docs = append(docs, 0)
 		}
 		docs[li]++
-		for _, f := range Featurize(ex.Text) {
+		for _, f := range feats[xi] {
 			fi := nb.vocab.Add(f)
 			for fi >= len(counts[li]) {
 				counts[li] = append(counts[li], 0)
@@ -107,11 +122,44 @@ func (nb *NaiveBayes) Train(examples []Example) error {
 		nb.logLik[li] = row
 		nb.unkLogLik[li] = math.Log(nb.Alpha / denom)
 	}
+	nb.compile()
 	return nil
 }
 
-// Predict implements Classifier.
+// compile flattens the trained parameters into the dense inference matrix
+// and caches the sorted label slice. Idempotent; called at the end of
+// Train and after decode.
+func (nb *NaiveBayes) compile() {
+	nF := nb.vocab.Len()
+	stride := nF + 1
+	nb.mat = make([]float64, len(nb.labels)*stride)
+	for li, row := range nb.logLik {
+		copy(nb.mat[li*stride:], row)
+		nb.mat[li*stride+nF] = nb.unkLogLik[li]
+	}
+	nb.sortedLabels = sortedCopy(nb.labels)
+}
+
+// Predict implements Classifier. It scores on the compiled matrix via the
+// pooled fused path — bit-identical to PredictReference, which
+// TestFusedPredictMatchesReference pins.
 func (nb *NaiveBayes) Predict(text string) Prediction {
+	if len(nb.labels) == 0 {
+		return Prediction{}
+	}
+	if nb.mat == nil {
+		return nb.PredictReference(text)
+	}
+	s := getScratch()
+	s.fillWords(text)
+	p := softmaxPrediction(nb.labels, nb.fusedLogits(s))
+	putScratch(s)
+	return p
+}
+
+// PredictReference is the original per-feature scoring path, retained as
+// the differential-testing oracle for the compiled fast path.
+func (nb *NaiveBayes) PredictReference(text string) Prediction {
 	if len(nb.labels) == 0 {
 		return Prediction{}
 	}
@@ -130,8 +178,14 @@ func (nb *NaiveBayes) Predict(text string) Prediction {
 	return softmaxPrediction(nb.labels, scores)
 }
 
-// Labels implements Classifier.
-func (nb *NaiveBayes) Labels() []string { return sortedCopy(nb.labels) }
+// Labels implements Classifier. The returned slice is cached and shared;
+// callers must not modify it.
+func (nb *NaiveBayes) Labels() []string {
+	if nb.sortedLabels != nil {
+		return nb.sortedLabels
+	}
+	return sortedCopy(nb.labels)
+}
 
 // ---------------------------------------------------------------------------
 // Softmax (multinomial logistic) regression
@@ -151,6 +205,12 @@ type LogisticRegression struct {
 	labelID map[string]int
 	w       [][]float64 // [label][feature]
 	b       []float64   // [label]
+
+	// wf is w flattened row-major into one contiguous block for the fused
+	// inference path (fastpath.go). Built by compile(); nil only for
+	// hand-assembled or untrained models.
+	wf           []float64
+	sortedLabels []string // Labels() result, cached at compile time
 }
 
 // NewLogisticRegression returns a classifier with the default
@@ -170,11 +230,14 @@ func (lr *LogisticRegression) Train(examples []Example) error {
 	if lr.Rate <= 0 {
 		lr.Rate = 0.5
 	}
-	corpus := make([]string, len(examples))
-	for i, ex := range examples {
-		corpus[i] = ex.Text
-	}
-	lr.tfidf = FitTFIDF(corpus)
+	// Featurize every example once, in parallel; the TF-IDF fit reduces
+	// the shared features serially in corpus order and the per-example
+	// transforms fan back out over index-disjoint slots. Both halves are
+	// bit-identical to the serial pipeline at any GOMAXPROCS (and the
+	// previous code re-featurized the whole corpus a second time here).
+	feats := make([][]string, len(examples))
+	par.Do(len(examples), func(i int) { feats[i] = Featurize(examples[i].Text) })
+	lr.tfidf = fitTFIDFFeats(feats)
 	lr.labelID = make(map[string]int)
 	lr.labels = nil
 	ys := make([]int, len(examples))
@@ -188,9 +251,7 @@ func (lr *LogisticRegression) Train(examples []Example) error {
 		ys[i] = li
 	}
 	xs := make([]SparseVec, len(examples))
-	for i := range examples {
-		xs[i] = lr.tfidf.Transform(examples[i].Text)
-	}
+	par.Do(len(examples), func(i int) { xs[i] = lr.tfidf.transformFeats(feats[i]) })
 	nL, nF := len(lr.labels), lr.tfidf.Vocab.Len()
 	lr.w = make([][]float64, nL)
 	for i := range lr.w {
@@ -253,11 +314,42 @@ func (lr *LogisticRegression) Train(examples []Example) error {
 			}
 		}
 	}
+	lr.compile()
 	return nil
 }
 
-// Predict implements Classifier.
+// compile flattens the weight rows into one contiguous block and caches
+// the sorted label slice. Idempotent; called at the end of Train and after
+// decode.
+func (lr *LogisticRegression) compile() {
+	nF := lr.tfidf.Vocab.Len()
+	lr.wf = make([]float64, len(lr.labels)*nF)
+	for li, row := range lr.w {
+		copy(lr.wf[li*nF:], row)
+	}
+	lr.sortedLabels = sortedCopy(lr.labels)
+}
+
+// Predict implements Classifier. It scores on the flattened weights via
+// the pooled fused path — bit-identical to PredictReference, which
+// TestFusedPredictMatchesReference pins.
 func (lr *LogisticRegression) Predict(text string) Prediction {
+	if len(lr.labels) == 0 {
+		return Prediction{}
+	}
+	if lr.wf == nil {
+		return lr.PredictReference(text)
+	}
+	s := getScratch()
+	s.fillWords(text)
+	p := softmaxPrediction(lr.labels, lr.fusedLogits(s))
+	putScratch(s)
+	return p
+}
+
+// PredictReference is the original Transform+Dot scoring path, retained as
+// the differential-testing oracle for the compiled fast path.
+func (lr *LogisticRegression) PredictReference(text string) Prediction {
 	if len(lr.labels) == 0 {
 		return Prediction{}
 	}
@@ -269,8 +361,14 @@ func (lr *LogisticRegression) Predict(text string) Prediction {
 	return softmaxPrediction(lr.labels, scores)
 }
 
-// Labels implements Classifier.
-func (lr *LogisticRegression) Labels() []string { return sortedCopy(lr.labels) }
+// Labels implements Classifier. The returned slice is cached and shared;
+// callers must not modify it.
+func (lr *LogisticRegression) Labels() []string {
+	if lr.sortedLabels != nil {
+		return lr.sortedLabels
+	}
+	return sortedCopy(lr.labels)
+}
 
 // ---------------------------------------------------------------------------
 

@@ -35,9 +35,10 @@ type Recognizer struct {
 	// vs. concept) — all are returned; disambiguation is the dialogue's
 	// job via required-entity types.
 	phrases map[string][]dictEntry
-	// byFirstToken groups phrase token-slices by their first token for
-	// fast longest-match scanning.
-	byFirstToken map[string][][]string
+	// dispatch groups dictionary phrases by their first token, longest
+	// first, so matchAt resolves the exact longest match by comparing
+	// token texts directly — no per-turn key joining or re-normalization.
+	dispatch map[string][]phraseRef
 	// tokenIndex collects every distinct dictionary token for fuzzy
 	// correction.
 	tokenIndex map[string]bool
@@ -57,13 +58,20 @@ type dictAddition struct {
 	Synonyms  []string `json:"synonyms,omitempty"`
 }
 
+// phraseRef is one dispatch entry: a normalized phrase split into tokens,
+// plus the phrases-map key that yields its dictEntries.
+type phraseRef struct {
+	norm string
+	toks []string
+}
+
 // NewRecognizer returns an empty recognizer.
 func NewRecognizer() *Recognizer {
 	return &Recognizer{
-		phrases:      make(map[string][]dictEntry),
-		byFirstToken: make(map[string][][]string),
-		tokenIndex:   make(map[string]bool),
-		wordOfValue:  make(map[string][]dictEntry),
+		phrases:     make(map[string][]dictEntry),
+		dispatch:    make(map[string][]phraseRef),
+		tokenIndex:  make(map[string]bool),
+		wordOfValue: make(map[string][]dictEntry),
 	}
 }
 
@@ -83,7 +91,7 @@ func (r *Recognizer) Add(entityType, canonical string, synonyms ...string) {
 		if !r.hasEntry(norm, entry) {
 			r.phrases[norm] = append(r.phrases[norm], entry)
 			toks := strings.Split(norm, " ")
-			r.byFirstToken[toks[0]] = append(r.byFirstToken[toks[0]], toks)
+			r.addDispatch(norm, toks)
 			if len(toks) > r.maxLen {
 				r.maxLen = len(toks)
 			}
@@ -102,6 +110,30 @@ func (r *Recognizer) Add(entityType, canonical string, synonyms ...string) {
 			}
 		}
 	}
+}
+
+// addDispatch registers a phrase in the first-token dispatch table,
+// keeping each bucket longest-first (ties keep insertion order) and
+// deduplicated by normalized phrase — two synonyms normalizing to the same
+// surface share one entry.
+func (r *Recognizer) addDispatch(norm string, toks []string) {
+	bucket := r.dispatch[toks[0]]
+	for _, ref := range bucket {
+		if ref.norm == norm {
+			return
+		}
+	}
+	pos := len(bucket)
+	for k, x := range bucket {
+		if len(x.toks) < len(toks) {
+			pos = k
+			break
+		}
+	}
+	bucket = append(bucket, phraseRef{})
+	copy(bucket[pos+1:], bucket[pos:])
+	bucket[pos] = phraseRef{norm: norm, toks: toks}
+	r.dispatch[toks[0]] = bucket
 }
 
 func (r *Recognizer) hasEntry(norm string, e dictEntry) bool {
@@ -144,15 +176,28 @@ func (r *Recognizer) Recognize(text string) []Mention {
 // matchAt tries to match a dictionary phrase starting at token i and
 // returns the mentions plus how many tokens were consumed (0 = no match).
 func (r *Recognizer) matchAt(toks []Token, i int) ([]Mention, int) {
-	// 1. exact longest match
+	// 1. exact longest match via the first-token dispatch: candidates
+	// share the span's first token and sit longest-first, so the first
+	// full token-sequence match IS the longest exact match — no joined
+	// lookup keys are built per turn.
 	max := r.maxLen
 	if rem := len(toks) - i; max > rem {
 		max = rem
 	}
-	for n := max; n >= 1; n-- {
-		key := joinTokens(toks, i, n)
-		if entries, ok := r.phrases[key]; ok {
-			return mentionsFor(entries, toks, i, n, false, ""), n
+	for _, ref := range r.dispatch[toks[i].Text] {
+		n := len(ref.toks)
+		if n > max {
+			continue
+		}
+		matched := true
+		for k := 1; k < n; k++ {
+			if toks[i+k].Text != ref.toks[k] {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			return mentionsFor(r.phrases[ref.norm], toks, i, n, false, ""), n
 		}
 	}
 	// 2. fuzzy longest match: correct each token to the nearest
@@ -232,7 +277,11 @@ func (r *Recognizer) fuzzyKey(toks []Token, i, n int) (key string, changed, ok b
 		}
 		best, bestD := "", budget+1
 		for cand := range r.tokenIndex {
-			if abs(len(cand)-len(t)) > budget {
+			// The length gap lower-bounds the edit distance, so a candidate
+			// whose gap exceeds the budget — or the best distance found so
+			// far, which only tightens — can neither win nor tie; skip the
+			// DamerauLevenshtein call outright.
+			if gap := abs(len(cand) - len(t)); gap > budget || gap > bestD {
 				continue
 			}
 			if d := DamerauLevenshtein(t, cand); d < bestD || (d == bestD && best != "" && cand < best) {
@@ -262,14 +311,6 @@ func mentionsFor(entries []dictEntry, toks []Token, i, n int, fuzzy bool, _ stri
 		})
 	}
 	return out
-}
-
-func joinTokens(toks []Token, i, n int) string {
-	parts := make([]string, n)
-	for k := 0; k < n; k++ {
-		parts[k] = toks[i+k].Text
-	}
-	return strings.Join(parts, " ")
 }
 
 func rawSpan(toks []Token, i, n int) string {

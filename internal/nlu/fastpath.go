@@ -1,0 +1,336 @@
+package nlu
+
+import (
+	"math"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unicode/utf8"
+)
+
+// This file is the compiled inference fast path. The trained classifiers
+// keep their sparse, map-backed training representation, but at the end of
+// Train (and after decode) compile() flattens the weights into one dense
+// row-major matrix per model, and Predict/PredictTop score an utterance by
+// walking contiguous rows with a fused tokenize→stem→vocab-lookup pass that
+// borrows all working memory from a sync.Pool. The contract, pinned by
+// TestFusedPredictMatchesReference, is bit-identical output: every
+// floating-point addition happens in exactly the order the reference path
+// (PredictReference) performs it.
+
+// span locates one stemmed content word inside scratch.buf.
+type span struct {
+	off, n int32
+}
+
+// scratch is the per-call working set of the fused path: a flat byte
+// buffer holding every lowered+stemmed content word, the feature-id list,
+// and dense accumulators. All slices are length-reset and reused; counts
+// is kept all-zero between uses (entries touched during a transform are
+// re-zeroed before the scratch is returned to the pool).
+type scratch struct {
+	buf    []byte    // flat storage for lowered, stemmed content words
+	words  []span    // one span per content word, in utterance order
+	feat   []byte    // bigram key assembly buffer
+	ids    []int32   // feature ids in Featurize order (NB: unknown -> nF)
+	idx    []int32   // touched feature indices (LR transform)
+	val    []float64 // TF-IDF values aligned with idx
+	counts []float64 // dense term counts, all-zero invariant between uses
+	logits []float64
+	probs  []float64
+}
+
+var (
+	scratchPool sync.Pool
+	scratchGets atomic.Uint64
+	scratchNews atomic.Uint64
+)
+
+func getScratch() *scratch {
+	scratchGets.Add(1)
+	if v := scratchPool.Get(); v != nil {
+		return v.(*scratch)
+	}
+	scratchNews.Add(1)
+	return &scratch{}
+}
+
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// ScratchStats reports cumulative fused-path scratch usage: how many times
+// a scratch was checked out and how many checkouts had to allocate a fresh
+// one (pool miss). Exposed as gauges on the agent metrics registry.
+func ScratchStats() (gets, allocs uint64) {
+	return scratchGets.Load(), scratchNews.Load()
+}
+
+// growF returns s resized to n, reallocating only when capacity is short.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// fillWords runs the fused equivalent of ContentWords+Stem: one pass over
+// the utterance that tokenizes exactly like Tokenize (same byte-wise word
+// runes and joiner handling), lowercases into s.buf, drops stopwords, and
+// stems in place. It produces the same word sequence Featurize sees,
+// without the intermediate []Token or []string.
+func (s *scratch) fillWords(text string) {
+	s.buf = s.buf[:0]
+	s.words = s.words[:0]
+	i, n := 0, len(text)
+	for i < n {
+		if !isWordRune(rune(text[i])) {
+			i++
+			continue
+		}
+		start := i
+		for i < n {
+			c := rune(text[i])
+			if isWordRune(c) {
+				i++
+				continue
+			}
+			if (c == '-' || c == '\'' || c == '.') && i+1 < n && isWordRune(rune(text[i+1])) {
+				i += 2
+				continue
+			}
+			break
+		}
+		raw := text[start:i]
+		off := len(s.buf)
+		ascii := true
+		for j := 0; j < len(raw); j++ {
+			if raw[j] >= utf8.RuneSelf {
+				ascii = false
+				break
+			}
+		}
+		if ascii {
+			for j := 0; j < len(raw); j++ {
+				c := raw[j]
+				if 'A' <= c && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				s.buf = append(s.buf, c)
+			}
+		} else {
+			// Rare non-ASCII token: defer to strings.ToLower so the result
+			// matches Tokenize byte for byte.
+			s.buf = append(s.buf, strings.ToLower(raw)...)
+		}
+		if stopwords[string(s.buf[off:])] {
+			s.buf = s.buf[:off]
+			continue
+		}
+		wl := stemBytes(s.buf[off:])
+		s.buf = s.buf[:off+wl]
+		s.words = append(s.words, span{off: int32(off), n: int32(wl)})
+	}
+}
+
+// stemBytes applies Stem (stripPlural then -ing/-ed collapsing) in place
+// and returns the stemmed length. The only rewrite ("ies" -> "y") happens
+// inside the word's own storage, so the flat buffer stays contiguous.
+func stemBytes(w []byte) int {
+	n := len(w)
+	switch {
+	case n > 4 && bytesSuffix(w[:n], "ies"):
+		w[n-3] = 'y'
+		n -= 2
+	case n > 4 && bytesSuffix(w[:n], "sses"):
+		n -= 2
+	case n > 4 && (bytesSuffix(w[:n], "ches") || bytesSuffix(w[:n], "shes") || bytesSuffix(w[:n], "xes") || bytesSuffix(w[:n], "zes")):
+		n -= 2
+	case n > 3 && bytesSuffix(w[:n], "s") && !bytesSuffix(w[:n], "ss") && !bytesSuffix(w[:n], "us") && !bytesSuffix(w[:n], "is"):
+		n--
+	}
+	switch {
+	case n > 5 && bytesSuffix(w[:n], "ing"):
+		n -= 3
+	case n > 5 && bytesSuffix(w[:n], "ed"):
+		n -= 2
+	}
+	return n
+}
+
+func bytesSuffix(w []byte, suf string) bool {
+	if len(w) < len(suf) {
+		return false
+	}
+	return string(w[len(w)-len(suf):]) == suf
+}
+
+// lookupBytes is Lookup without the string allocation: the string(f)
+// conversion used directly as a map key does not escape.
+func (v *Vocabulary) lookupBytes(f []byte) int {
+	if i, ok := v.index[string(f)]; ok {
+		return i
+	}
+	return -1
+}
+
+// bigram assembles the "w1_w2" feature key for words k and k+1 in s.feat.
+func (s *scratch) bigram(k int) []byte {
+	w1, w2 := s.words[k], s.words[k+1]
+	s.feat = append(s.feat[:0], s.buf[w1.off:w1.off+w1.n]...)
+	s.feat = append(s.feat, '_')
+	s.feat = append(s.feat, s.buf[w2.off:w2.off+w2.n]...)
+	return s.feat
+}
+
+// fusedLogits scores the words already in s against the compiled NB
+// matrix. Unknown features resolve to the sentinel column nF, which holds
+// unkLogLik, so the per-label addition sequence (prior, then every feature
+// in Featurize order) is exactly the reference path's.
+func (nb *NaiveBayes) fusedLogits(s *scratch) []float64 {
+	nF := nb.vocab.Len()
+	s.ids = s.ids[:0]
+	for _, w := range s.words {
+		fi := nb.vocab.lookupBytes(s.buf[w.off : w.off+w.n])
+		if fi < 0 {
+			fi = nF
+		}
+		s.ids = append(s.ids, int32(fi))
+	}
+	for k := 0; k+1 < len(s.words); k++ {
+		fi := nb.vocab.lookupBytes(s.bigram(k))
+		if fi < 0 {
+			fi = nF
+		}
+		s.ids = append(s.ids, int32(fi))
+	}
+	nL := len(nb.labels)
+	s.logits = growF(s.logits, nL)
+	stride := nF + 1
+	for li := 0; li < nL; li++ {
+		row := nb.mat[li*stride : (li+1)*stride]
+		z := nb.logPrior[li]
+		for _, id := range s.ids {
+			z += row[id]
+		}
+		s.logits[li] = z
+	}
+	return s.logits
+}
+
+// fusedLogits scores the words already in s against the flattened LR
+// weights, reproducing TFIDF.Transform (dense counts, ascending-index
+// TF-IDF, L2 normalization) and the ascending-index dot product bit for
+// bit.
+func (lr *LogisticRegression) fusedLogits(s *scratch) []float64 {
+	v := lr.tfidf.Vocab
+	nF := v.Len()
+	if cap(s.counts) < nF {
+		s.counts = make([]float64, nF)
+	}
+	counts := s.counts[:nF]
+	s.idx = s.idx[:0]
+	for _, w := range s.words {
+		if fi := v.lookupBytes(s.buf[w.off : w.off+w.n]); fi >= 0 {
+			if counts[fi] == 0 {
+				s.idx = append(s.idx, int32(fi))
+			}
+			counts[fi]++
+		}
+	}
+	for k := 0; k+1 < len(s.words); k++ {
+		if fi := v.lookupBytes(s.bigram(k)); fi >= 0 {
+			if counts[fi] == 0 {
+				s.idx = append(s.idx, int32(fi))
+			}
+			counts[fi]++
+		}
+	}
+	slices.Sort(s.idx)
+	s.val = growF(s.val, len(s.idx))
+	norm := 0.0
+	for k, fi := range s.idx {
+		x := counts[fi] * lr.tfidf.IDF[fi]
+		s.val[k] = x
+		norm += x * x
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for k := range s.val {
+			s.val[k] /= norm
+		}
+	}
+	// Restore the all-zero invariant before the scratch goes back to the
+	// pool.
+	for _, fi := range s.idx {
+		counts[fi] = 0
+	}
+	nL := len(lr.labels)
+	s.logits = growF(s.logits, nL)
+	for li := 0; li < nL; li++ {
+		row := lr.wf[li*nF : (li+1)*nF]
+		sum := 0.0
+		for k, fi := range s.idx {
+			sum += s.val[k] * row[fi]
+		}
+		s.logits[li] = sum + lr.b[li]
+	}
+	return s.logits
+}
+
+// softmaxTop is softmaxPrediction minus the Scores slice: same maxz scan,
+// same exponentiation and normalization order, and the same winner — the
+// highest posterior, ties broken toward the lexicographically smaller
+// intent (what the reference sort puts at Scores[0]).
+func softmaxTop(labels []string, logits []float64, s *scratch) (string, float64) {
+	s.probs = growF(s.probs, len(logits))
+	probs := s.probs
+	maxz := math.Inf(-1)
+	for _, z := range logits {
+		if z > maxz {
+			maxz = z
+		}
+	}
+	sum := 0.0
+	for i, z := range logits {
+		probs[i] = math.Exp(z - maxz)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	best := 0
+	for i := 1; i < len(probs); i++ {
+		if probs[i] > probs[best] || (probs[i] == probs[best] && labels[i] < labels[best]) {
+			best = i
+		}
+	}
+	return labels[best], probs[best]
+}
+
+// PredictTop classifies one utterance and returns only the winning intent
+// and its confidence — the pair agent.Respond actually consumes. On the
+// built-in classifiers' compiled fast path it performs no per-call heap
+// allocation; for any other Classifier it falls back to Predict. The
+// result is bit-identical to Predict(text).Intent / .Confidence.
+func PredictTop(c Classifier, text string) (string, float64) {
+	switch m := c.(type) {
+	case *NaiveBayes:
+		if m.mat != nil && len(m.labels) > 0 {
+			s := getScratch()
+			s.fillWords(text)
+			intent, conf := softmaxTop(m.labels, m.fusedLogits(s), s)
+			putScratch(s)
+			return intent, conf
+		}
+	case *LogisticRegression:
+		if m.wf != nil && len(m.labels) > 0 {
+			s := getScratch()
+			s.fillWords(text)
+			intent, conf := softmaxTop(m.labels, m.fusedLogits(s), s)
+			putScratch(s)
+			return intent, conf
+		}
+	}
+	p := c.Predict(text)
+	return p.Intent, p.Confidence
+}

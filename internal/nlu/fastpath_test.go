@@ -1,0 +1,299 @@
+package nlu
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// syntheticCorpus is a deterministic ~300-example corpus, large enough
+// that parallel featurization actually chunks across workers and the
+// vocabulary exceeds the toy fixture's.
+func syntheticCorpus() []Example {
+	drugs := []string{
+		"aspirin", "ibuprofen", "tylenol", "benazepril", "naproxen",
+		"acitretin", "amoxicillin", "lisinopril", "metformin", "warfarin",
+	}
+	conds := []string{
+		"psoriasis", "fever", "acne", "bronchitis", "hypertension",
+		"migraine", "arthritis", "insomnia", "anxiety", "eczema",
+	}
+	var out []Example
+	for i, d := range drugs {
+		out = append(out,
+			Example{fmt.Sprintf("show me the precautions for %s", d), "precautions"},
+			Example{fmt.Sprintf("what are the precautions of %s please", d), "precautions"},
+			Example{fmt.Sprintf("dosage for %s", d), "dosage"},
+			Example{fmt.Sprintf("what is the recommended dosage of %s", d), "dosage"},
+		)
+		c := conds[i%len(conds)]
+		out = append(out,
+			Example{fmt.Sprintf("what drugs treat %s", c), "treatment"},
+			Example{fmt.Sprintf("which medications help with %s", c), "treatment"},
+			Example{fmt.Sprintf("does %s treat %s", d, c), "treatment"},
+		)
+	}
+	for _, c := range conds {
+		out = append(out,
+			Example{fmt.Sprintf("tell me about %s", c), "overview"},
+			Example{fmt.Sprintf("%s overview", c), "overview"},
+		)
+	}
+	return out
+}
+
+// adversarialUtterances covers the tokenizer and scratch-path edge
+// cases: empty input, stopword-only, unknown vocabulary, case folding,
+// non-ASCII (the ToLower fallback), joiners, and inputs long enough to
+// force scratch growth.
+func adversarialUtterances() []string {
+	return []string{
+		"",
+		"   ",
+		"the of and a an",
+		"precautions for aspirin",
+		"PRECAUTIONS FOR ASPIRIN!!!",
+		"what's the dosage of extended-release naproxen",
+		"zzzz qqqq xxxxy unknownword",
+		"aspirin",
+		"dosage dosage dosage dosage",
+		"Träumerei über die Dosierung",
+		"co-trimoxazole 'quoted' tokens-with-joiners don't",
+		"\ttabs\nand newlines dosage",
+		strings.Repeat("precautions aspirin dosage treats psoriasis ", 40),
+	}
+}
+
+// referencePredictor is satisfied by both concrete classifiers.
+type referencePredictor interface {
+	Classifier
+	PredictReference(text string) Prediction
+}
+
+func trainedPair(t *testing.T) []referencePredictor {
+	t.Helper()
+	ex := append(toyExamples(), syntheticCorpus()...)
+	nb := NewNaiveBayes(1.0)
+	lr := NewLogisticRegression()
+	for _, c := range []Classifier{nb, lr} {
+		if err := c.Train(ex); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return []referencePredictor{nb, lr}
+}
+
+// assertSamePrediction requires bit-identical predictions: intent,
+// confidence, and the full score vector, compared with ==, not within a
+// tolerance. The fused path reorders no floating-point operation, so
+// exact equality is the contract.
+func assertSamePrediction(t *testing.T, label, text string, got, want Prediction) {
+	t.Helper()
+	if got.Intent != want.Intent || got.Confidence != want.Confidence {
+		t.Fatalf("%s(%q): fused (%q, %v) != reference (%q, %v)",
+			label, text, got.Intent, got.Confidence, want.Intent, want.Confidence)
+	}
+	if len(got.Scores) != len(want.Scores) {
+		t.Fatalf("%s(%q): %d scores, reference has %d", label, text, len(got.Scores), len(want.Scores))
+	}
+	for i := range got.Scores {
+		if got.Scores[i] != want.Scores[i] {
+			t.Fatalf("%s(%q): score[%d] fused %+v != reference %+v",
+				label, text, i, got.Scores[i], want.Scores[i])
+		}
+	}
+}
+
+// TestFusedPredictMatchesReference is the differential pin the fused
+// matrix path is built against: over every training text and every
+// adversarial utterance, Predict (fused) and PredictReference (the
+// retained per-feature map walk) must agree bit for bit.
+func TestFusedPredictMatchesReference(t *testing.T) {
+	texts := adversarialUtterances()
+	for _, e := range append(toyExamples(), syntheticCorpus()...) {
+		texts = append(texts, e.Text)
+	}
+	for _, c := range trainedPair(t) {
+		label := fmt.Sprintf("%T", c)
+		for _, text := range texts {
+			assertSamePrediction(t, label, text, c.Predict(text), c.PredictReference(text))
+		}
+	}
+}
+
+// TestPredictTopMatchesPredict: the allocation-free top-1 entry point
+// returns exactly Predict's winner and confidence.
+func TestPredictTopMatchesPredict(t *testing.T) {
+	for _, c := range trainedPair(t) {
+		for _, text := range adversarialUtterances() {
+			intent, conf := PredictTop(c, text)
+			p := c.Predict(text)
+			if intent != p.Intent || conf != p.Confidence {
+				t.Fatalf("%T: PredictTop(%q) = (%q, %v), Predict = (%q, %v)",
+					c, text, intent, conf, p.Intent, p.Confidence)
+			}
+		}
+	}
+}
+
+// TestPredictTopFallback: a classifier without a compiled matrix (any
+// implementation outside the two built-ins) routes through Predict.
+type stubClassifier struct{}
+
+func (stubClassifier) Train([]Example) error { return nil }
+func (stubClassifier) Predict(string) Prediction {
+	return Prediction{Intent: "stub", Confidence: 0.5}
+}
+func (stubClassifier) Labels() []string { return []string{"stub"} }
+
+func TestPredictTopFallback(t *testing.T) {
+	if intent, conf := PredictTop(stubClassifier{}, "anything"); intent != "stub" || conf != 0.5 {
+		t.Fatalf("fallback PredictTop = (%q, %v)", intent, conf)
+	}
+}
+
+// TestParallelTrainingBitIdentical is the offline half of the
+// determinism contract: training fans featurization out over workers,
+// and the serialized model must still be byte-identical at any width.
+func TestParallelTrainingBitIdentical(t *testing.T) {
+	ex := append(toyExamples(), syntheticCorpus()...)
+	makers := []struct {
+		name string
+		mk   func() Classifier
+	}{
+		{"naive-bayes", func() Classifier { return NewNaiveBayes(1.0) }},
+		{"logreg", func() Classifier { return NewLogisticRegression() }},
+	}
+	for _, m := range makers {
+		var ref []byte
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			c := m.mk()
+			err := c.Train(ex)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := MarshalClassifier(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = data
+			} else if !bytes.Equal(ref, data) {
+				t.Errorf("%s: model trained at GOMAXPROCS=%d differs from GOMAXPROCS=1", m.name, procs)
+			}
+		}
+	}
+}
+
+// TestParallelTFIDFBitIdentical: the TF-IDF fit (parallel featurize +
+// serial in-order reduce) produces an identical vocabulary and IDF
+// vector at every worker width.
+func TestParallelTFIDFBitIdentical(t *testing.T) {
+	var corpus []string
+	for _, e := range append(toyExamples(), syntheticCorpus()...) {
+		corpus = append(corpus, e.Text)
+	}
+	var ref *TFIDF
+	for _, procs := range []int{1, 2, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		tf := FitTFIDF(corpus)
+		runtime.GOMAXPROCS(prev)
+		if ref == nil {
+			ref = tf
+			continue
+		}
+		if !reflect.DeepEqual(ref, tf) {
+			t.Errorf("TF-IDF fit at GOMAXPROCS=%d differs from GOMAXPROCS=1", procs)
+		}
+	}
+}
+
+// TestFuzzyKeyGuardMatchesBruteForce pins the length-gap early exit as
+// behavior-preserving: over a seeded stream of typo'd and garbage
+// tokens, fuzzyKey must pick exactly the candidate a guard-free scan
+// picks, with the same tie-break (smallest distance, then
+// lexicographically smallest candidate).
+func TestFuzzyKeyGuardMatchesBruteForce(t *testing.T) {
+	r := NewRecognizer()
+	for _, v := range []string{
+		"benazepril", "acitretin", "amoxicillin", "psoriasis",
+		"bronchitis", "hypertension", "ibuprofen", "warfarin",
+	} {
+		r.Add("drug", v)
+	}
+
+	bruteBest := func(tok string) (string, int) {
+		budget := fuzzyBudget(len(tok))
+		best, bestD := "", budget+1
+		for cand := range r.tokenIndex {
+			if d := DamerauLevenshtein(tok, cand); d < bestD || (d == bestD && best != "" && cand < best) {
+				best, bestD = cand, d
+			}
+		}
+		return best, bestD
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	var vocab []string
+	for cand := range r.tokenIndex {
+		vocab = append(vocab, cand)
+	}
+	for trial := 0; trial < 500; trial++ {
+		var tok string
+		if trial%3 == 0 {
+			// Random garbage of random length: mostly misses.
+			n := 4 + rng.Intn(14)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = letters[rng.Intn(len(letters))]
+			}
+			tok = string(b)
+		} else {
+			// A vocabulary word with 1-3 random edits: mostly hits.
+			w := []byte(vocab[rng.Intn(len(vocab))])
+			for e := 0; e <= rng.Intn(3); e++ {
+				i := rng.Intn(len(w))
+				switch rng.Intn(3) {
+				case 0:
+					w[i] = letters[rng.Intn(len(letters))]
+				case 1:
+					w = append(w[:i], w[i+1:]...)
+				default:
+					w = append(w[:i], append([]byte{letters[rng.Intn(len(letters))]}, w[i:]...)...)
+				}
+				if len(w) == 0 {
+					w = []byte{'x'}
+				}
+			}
+			tok = string(w)
+		}
+		if r.tokenIndex[tok] || stopwords[tok] || commonEnglish[tok] {
+			continue // fuzzyKey never scans for these
+		}
+		wantBest, wantD := bruteBest(tok)
+		toks := []Token{{Text: tok}}
+		key, _, ok := r.fuzzyKey(toks, 0, 1)
+		if fuzzyBudget(len(tok)) == 0 {
+			if ok {
+				t.Fatalf("%q: matched %q with a zero budget", tok, key)
+			}
+			continue
+		}
+		if wantBest == "" {
+			if ok {
+				t.Fatalf("%q: guard path matched %q, brute force found nothing within %d", tok, key, wantD-1)
+			}
+			continue
+		}
+		if !ok || key != wantBest {
+			t.Fatalf("%q: guard path = (%q, %v), brute force = %q", tok, key, ok, wantBest)
+		}
+	}
+}

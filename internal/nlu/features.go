@@ -3,6 +3,8 @@ package nlu
 import (
 	"math"
 	"sort"
+
+	"ontoconv/internal/par"
 )
 
 // Example is one labelled training utterance.
@@ -126,13 +128,26 @@ type TFIDF struct {
 	IDF   []float64
 }
 
-// FitTFIDF learns the vocabulary and IDF weights from the corpus.
+// FitTFIDF learns the vocabulary and IDF weights from the corpus. Feature
+// extraction (the dominant cost) fans out across cores with a deterministic
+// reduction: each worker fills only its own document slots, and the
+// vocabulary/document-frequency reduce then runs serially in corpus order,
+// so the fitted model is bit-identical at any GOMAXPROCS.
 func FitTFIDF(corpus []string) *TFIDF {
+	feats := make([][]string, len(corpus))
+	par.Do(len(corpus), func(i int) { feats[i] = Featurize(corpus[i]) })
+	return fitTFIDFFeats(feats)
+}
+
+// fitTFIDFFeats is the serial in-order reduce over pre-extracted features:
+// vocabulary indices follow first-encounter order across documents, exactly
+// as the original single-pass fit assigned them.
+func fitTFIDFFeats(featDocs [][]string) *TFIDF {
 	v := NewVocabulary()
 	df := []int{}
-	for _, doc := range corpus {
+	for _, fs := range featDocs {
 		seen := map[int]bool{}
-		for _, f := range Featurize(doc) {
+		for _, f := range fs {
 			i := v.Add(f)
 			if i == len(df) {
 				df = append(df, 0)
@@ -143,7 +158,7 @@ func FitTFIDF(corpus []string) *TFIDF {
 			}
 		}
 	}
-	n := float64(len(corpus))
+	n := float64(len(featDocs))
 	idf := make([]float64, v.Len())
 	for i := range idf {
 		idf[i] = math.Log((n+1)/(float64(df[i])+1)) + 1
@@ -153,8 +168,14 @@ func FitTFIDF(corpus []string) *TFIDF {
 
 // Transform converts one document into an L2-normalized TF-IDF vector.
 func (t *TFIDF) Transform(doc string) SparseVec {
+	return t.transformFeats(Featurize(doc))
+}
+
+// transformFeats vectorizes pre-extracted features; Train uses it to share
+// one Featurize pass between the fit and the transform of each example.
+func (t *TFIDF) transformFeats(feats []string) SparseVec {
 	counts := map[int]float64{}
-	for _, f := range Featurize(doc) {
+	for _, f := range feats {
 		if i := t.Vocab.Lookup(f); i >= 0 {
 			counts[i]++
 		}

@@ -211,6 +211,7 @@ func UnmarshalClassifier(data []byte) (Classifier, error) {
 		nb.logPrior = []float64(s.LogPrior)
 		nb.logLik = matFromState(s.LogLik)
 		nb.unkLogLik = []float64(s.UnkLogLik)
+		nb.compile()
 		return nb, nil
 	case KindLogisticRegression:
 		s := env.Logistic
@@ -238,6 +239,7 @@ func UnmarshalClassifier(data []byte) (Classifier, error) {
 		}
 		lr.w = matFromState(s.Weights)
 		lr.b = []float64(s.Bias)
+		lr.compile()
 		return lr, nil
 	default:
 		return nil, fmt.Errorf("nlu: unknown classifier kind %q", env.Kind)

@@ -48,6 +48,16 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// GaugeFunc is a gauge whose value is read from a callback at exposition
+// time — the fit for values another subsystem already tracks (pool
+// counters, worker totals) that would otherwise need a sampling loop.
+type GaugeFunc struct {
+	fn func() int64
+}
+
+// Value invokes the callback.
+func (g *GaugeFunc) Value() int64 { return g.fn() }
+
 // DefBuckets are the default latency buckets in seconds, tuned for the
 // sub-millisecond-to-seconds range the turn pipeline spans.
 var DefBuckets = []float64{
@@ -180,6 +190,14 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return f.child(nil, func() metric { return newHistogram(f.buckets) }).(*Histogram)
 }
 
+// GaugeFunc returns (registering if needed) an unlabeled gauge rendered
+// by calling fn at exposition time. A name registered earlier keeps its
+// original callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) *GaugeFunc {
+	f := r.family(name, help, "gauge", nil, nil)
+	return f.child(nil, func() metric { return &GaugeFunc{fn: fn} }).(*GaugeFunc)
+}
+
 // CounterVec is a counter family partitioned by label values.
 type CounterVec struct{ f *family }
 
@@ -291,6 +309,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 				fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), x.Value())
 			case *Gauge:
 				fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), x.Value())
+			case *GaugeFunc:
+				if x.fn != nil {
+					fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), x.Value())
+				}
 			case *Histogram:
 				cum := uint64(0)
 				for bi, bound := range x.bounds {

@@ -1,0 +1,100 @@
+// Package par is the deterministic-parallelism substrate of the offline
+// pipeline: a chunked index-parallel worker pool whose only contract is
+// that fn(i) runs exactly once for every index, with results merged by
+// slot. Because every worker writes only the slots it was handed, the
+// merged output is identical at any GOMAXPROCS — determinism by
+// construction, the property TestBootstrapDeterminism and
+// TestBundleCompilationDeterminism pin end to end.
+//
+// The pool deliberately has no futures, no error channels and no context:
+// callers collect per-slot results (including per-slot errors) into
+// preallocated slices and reduce them in fixed index order afterwards.
+// That ordered-merge shape is what the paragoroutine analyzer
+// (internal/lint) recognizes as safe.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// stats are cumulative package-level counters exposed through the obs
+// registry as pool/worker gauges (see agent.NewMetricsOn).
+var (
+	statTasks   atomic.Uint64 // indexes processed by Do
+	statWorkers atomic.Uint64 // worker goroutines spawned by Do
+	statCalls   atomic.Uint64 // Do invocations that actually fanned out
+)
+
+// Stats reports cumulative pool activity: indexes processed, worker
+// goroutines spawned, and parallel fan-outs performed. Serial fallbacks
+// (one core, or n < 2) count tasks but no workers.
+func Stats() (tasks, workers, fanouts uint64) {
+	return statTasks.Load(), statWorkers.Load(), statCalls.Load()
+}
+
+// Workers returns the worker count Do would use for n independent tasks:
+// min(GOMAXPROCS, n), never less than 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Do runs fn(i) exactly once for every i in [0, n), fanning out over up
+// to GOMAXPROCS worker goroutines, and returns when all calls have
+// finished. Workers claim contiguous index chunks from an atomic cursor,
+// so work stays cache-friendly and the scheduling order can never leak
+// into results as long as fn writes only state keyed by its own index
+// (the ordered-merge pattern). With one core or a single task it degrades
+// to a plain serial loop.
+func Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	statTasks.Add(uint64(n))
+	workers := Workers(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	statCalls.Add(1)
+	statWorkers.Add(uint64(workers))
+	// Chunks small enough to balance uneven task costs, large enough to
+	// keep cursor contention negligible.
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					//ontolint:ignore paragoroutine fn is the pool's work callback; caller closures are analyzed at their par.Do call sites, and each fn(i) owns slot i exclusively (ordered merge)
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
