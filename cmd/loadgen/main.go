@@ -1,0 +1,459 @@
+// Command loadgen drives a running mdxserver with the usage study's
+// traffic shape and gates the result against service-level objectives.
+//
+//	loadgen -target http://127.0.0.1:8080 -bundle mdx.bundle \
+//	        -mode closed -workers 8 -warmup 5s -duration 30s \
+//	        -out report.json -slo BENCH_load.json
+//
+// The utterance stream comes from the simulation's user model
+// (internal/sim.Scripter): the Table-5 intent mix, elicitation
+// follow-ups, misspellings, keyword-only queries, gibberish, abandoned
+// requests. Interactions are multi-turn — a simulated user always waits
+// for the reply before the next turn — and the load shape is set by how
+// interactions arrive:
+//
+//   - closed (-workers N): N users in a loop, each starting the next
+//     interaction the moment the previous one ends. Throughput is
+//     whatever the server sustains; latency hides queueing (coordinated
+//     omission), so closed mode measures capacity, not user experience.
+//   - open (-rate R): interactions arrive on a fixed schedule regardless
+//     of how slow the server is, up to -max-inflight concurrent
+//     conversations (arrivals beyond the cap are dropped and reported,
+//     never silently delayed). Open mode measures what users would feel
+//     at a given offered load.
+//
+// Latency is measured client-side per turn into a lock-free log-linear
+// histogram (internal/obs.QuantileHistogram, ≤1.6% relative quantile
+// error). Turns completing during -warmup or after the measurement
+// window are excluded. The run is deterministic per (space, seed) in
+// closed mode: worker w draws from seed+w.
+//
+// With -slo FILE the report is evaluated against the baseline's
+// objectives and the exit status is 1 on any violation — the CI gate.
+// -replay REPORT re-evaluates a previous run's report without
+// generating load.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ontoconv/internal/bundle"
+	"ontoconv/internal/core"
+	"ontoconv/internal/medkb"
+	"ontoconv/internal/obs"
+	"ontoconv/internal/sim"
+	"ontoconv/internal/slo"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "http://127.0.0.1:8080", "base URL of the mdxserver under test")
+		bundlePath  = flag.String("bundle", "", "draw utterances from this compiled workspace bundle's space")
+		spacePath   = flag.String("space", "", "draw utterances from this conversation-space JSON (see bootstrap -space)")
+		mode        = flag.String("mode", "closed", "load shape: closed (N looping users) or open (fixed arrival rate)")
+		workers     = flag.Int("workers", 8, "closed mode: concurrent simulated users")
+		rate        = flag.Float64("rate", 50, "open mode: interaction arrivals per second")
+		maxInflight = flag.Int("max-inflight", 256, "open mode: drop arrivals beyond this many concurrent interactions")
+		duration    = flag.Duration("duration", 30*time.Second, "measurement window")
+		warmup      = flag.Duration("warmup", 5*time.Second, "traffic before the window; excluded from the report")
+		seed        = flag.Int64("seed", 2019, "base seed for the utterance stream")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		waitReady   = flag.Duration("wait-ready", 30*time.Second, "poll /readyz this long before driving load")
+		outPath     = flag.String("out", "", "write the JSON report here (default stdout)")
+		sloPath     = flag.String("slo", "", "evaluate the report against this baseline's objectives; exit 1 on violation")
+		replayPath  = flag.String("replay", "", "re-evaluate this existing report instead of generating load")
+	)
+	flag.Parse()
+
+	if *replayPath != "" {
+		os.Exit(replay(*replayPath, *sloPath))
+	}
+
+	space, err := loadSpace(*bundlePath, *spacePath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := waitForReady(*target, *waitReady); err != nil {
+		fatal(err)
+	}
+
+	d := &driver{
+		target: *target,
+		space:  space,
+		seed:   *seed,
+		client: &http.Client{
+			Timeout: *timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        *workers + *maxInflight,
+				MaxIdleConnsPerHost: *workers + *maxInflight,
+			},
+		},
+	}
+	report := &slo.Report{
+		Target:          *target,
+		Mode:            *mode,
+		Seed:            *seed,
+		WarmupSeconds:   warmup.Seconds(),
+		DurationSeconds: duration.Seconds(),
+	}
+	switch *mode {
+	case "closed":
+		report.Workers = *workers
+		d.runClosed(report, *workers, *warmup, *duration)
+	case "open":
+		report.RatePerSecond = *rate
+		d.runOpen(report, *rate, *maxInflight, *warmup, *duration)
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (closed or open)", *mode))
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	if out != os.Stdout {
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	summarize(os.Stderr, report)
+	os.Exit(gate(report, *sloPath))
+}
+
+// replay re-evaluates an existing report against a baseline.
+func replay(reportPath, sloPath string) int {
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		fatal(err)
+	}
+	var report slo.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		fatal(fmt.Errorf("%s: %w", reportPath, err))
+	}
+	summarize(os.Stderr, &report)
+	return gate(&report, sloPath)
+}
+
+// gate prints violations and returns the process exit code.
+func gate(report *slo.Report, sloPath string) int {
+	if sloPath == "" {
+		return 0
+	}
+	spec, err := slo.Load(sloPath)
+	if err != nil {
+		fatal(err)
+	}
+	violations := spec.Evaluate(report)
+	if len(violations) == 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: within SLO (%s)\n", sloPath)
+		return 0
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "loadgen: SLO VIOLATION: %s\n", v)
+	}
+	return 1
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(2)
+}
+
+// loadSpace resolves the conversation space the scripter draws from: a
+// compiled bundle, a space JSON, or the built-in bootstrap corpus.
+func loadSpace(bundlePath, spacePath string) (*core.Space, error) {
+	switch {
+	case bundlePath != "" && spacePath != "":
+		return nil, fmt.Errorf("-bundle and -space are mutually exclusive")
+	case bundlePath != "":
+		b, err := bundle.OpenFile(bundlePath)
+		if err != nil {
+			return nil, err
+		}
+		return b.Space, nil
+	case spacePath != "":
+		data, err := os.ReadFile(spacePath)
+		if err != nil {
+			return nil, err
+		}
+		var space core.Space
+		if err := json.Unmarshal(data, &space); err != nil {
+			return nil, fmt.Errorf("%s: %w", spacePath, err)
+		}
+		return &space, nil
+	default:
+		_, _, space, err := medkb.Bootstrap()
+		return space, err
+	}
+}
+
+// waitForReady polls /readyz until the server reports a live runtime.
+func waitForReady(target string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for {
+		resp, err := client.Get(target + "/readyz")
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not ready after %s: %v", patience, err)
+			}
+			return fmt.Errorf("server not ready after %s", patience)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// driver fires scripted interactions at the target.
+type driver struct {
+	target string
+	space  *core.Space
+	seed   int64
+	client *http.Client
+}
+
+// counters are one traffic source's tallies; windowed ones only count
+// turns completing inside the measurement window.
+type counters struct {
+	interactions uint64
+	turns        uint64
+	answered     uint64
+	errors       uint64
+}
+
+type chatRequest struct {
+	Session string `json:"session"`
+	Message string `json:"message"`
+}
+
+type chatResponse struct {
+	Session  string `json:"session"`
+	Reply    string `json:"reply"`
+	Intent   string `json:"intent"`
+	Answered bool   `json:"answered"`
+	Closed   bool   `json:"closed"`
+}
+
+// turn posts one /chat turn and returns the reply and client-observed
+// latency.
+func (d *driver) turn(session, message string) (chatResponse, time.Duration, error) {
+	body, err := json.Marshal(chatRequest{Session: session, Message: message})
+	if err != nil {
+		return chatResponse{}, 0, err
+	}
+	start := time.Now()
+	resp, err := d.client.Post(d.target+"/chat", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return chatResponse{}, time.Since(start), err
+	}
+	//ontolint:ignore errdrop best-effort drain: the turn's verdict is the status/decode below
+	defer resp.Body.Close()
+	var out chatResponse
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return out, time.Since(start), fmt.Errorf("/chat status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, time.Since(start), fmt.Errorf("/chat decode: %w", err)
+	}
+	return out, time.Since(start), nil
+}
+
+// interaction plays one script to completion. Turn latencies completing
+// inside [winStart, winEnd) are recorded into hist and cnt; the
+// interaction itself is counted if its first turn lands in the window.
+// sc is synchronized by mu when shared (open mode); nil mu means the
+// caller owns the scripter (closed mode).
+func (d *driver) interaction(sc *sim.Scripter, mu *sync.Mutex, session string,
+	hist *obs.QuantileHistogram, cnt *counters, winStart, winEnd time.Time) {
+	lock := func() {
+		if mu != nil {
+			mu.Lock()
+		}
+	}
+	unlock := func() {
+		if mu != nil {
+			mu.Unlock()
+		}
+	}
+	lock()
+	sp := sc.Next()
+	unlock()
+	if sp.Skip {
+		return
+	}
+	counted := false
+	utterance := sp.Utterance
+	var last chatResponse
+	for {
+		resp, elapsed, err := d.turn(session, utterance)
+		now := time.Now()
+		inWindow := now.After(winStart) && now.Before(winEnd)
+		if err != nil {
+			if inWindow {
+				atomic.AddUint64(&cnt.errors, 1)
+				if !counted {
+					atomic.AddUint64(&cnt.interactions, 1)
+				}
+			}
+			return
+		}
+		if inWindow {
+			hist.Observe(elapsed.Seconds())
+			atomic.AddUint64(&cnt.turns, 1)
+			if !counted {
+				atomic.AddUint64(&cnt.interactions, 1)
+				counted = true
+			}
+		}
+		last = resp
+		lock()
+		next, done := sc.React(sp, resp.Reply, resp.Answered, resp.Closed)
+		unlock()
+		if done {
+			break
+		}
+		utterance = next
+	}
+	lock()
+	rec := sc.Score(sp, last.Intent, last.Answered, last.Reply)
+	unlock()
+	if counted && rec.Answered {
+		atomic.AddUint64(&cnt.answered, 1)
+	}
+}
+
+// runClosed: N simulated users in a loop, one scripter per worker so the
+// draw stream is deterministic per (seed, worker).
+func (d *driver) runClosed(report *slo.Report, workers int, warmup, duration time.Duration) {
+	winStart := time.Now().Add(warmup)
+	winEnd := winStart.Add(duration)
+	hists := make([]*obs.QuantileHistogram, workers)
+	var cnt counters
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		hists[w] = &obs.QuantileHistogram{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cfg := sim.DefaultConfig()
+			cfg.Seed = d.seed + int64(w)
+			sc := sim.NewScripter(d.space, cfg)
+			for i := 0; time.Now().Before(winEnd); i++ {
+				session := fmt.Sprintf("lg-w%d-i%d", w, i)
+				d.interaction(sc, nil, session, hists[w], &cnt, winStart, winEnd)
+			}
+		}(w)
+	}
+	wg.Wait()
+	merged := &obs.QuantileHistogram{}
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+	fill(report, merged, &cnt, duration)
+}
+
+// runOpen: interactions arrive on a fixed schedule from one shared
+// scripter (mutex-guarded — the arrival process is the point here, not
+// draw-order determinism), each played out in its own goroutine.
+func (d *driver) runOpen(report *slo.Report, rate float64, maxInflight int, warmup, duration time.Duration) {
+	if rate <= 0 {
+		fatal(fmt.Errorf("-rate must be positive in open mode"))
+	}
+	winStart := time.Now().Add(warmup)
+	winEnd := winStart.Add(duration)
+	cfg := sim.DefaultConfig()
+	cfg.Seed = d.seed
+	sc := sim.NewScripter(d.space, cfg)
+	var mu sync.Mutex
+	hist := &obs.QuantileHistogram{}
+	var cnt counters
+	var inflight atomic.Int64
+	var dropped uint64
+	var wg sync.WaitGroup
+	tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
+	defer tick.Stop()
+	for i := 0; ; i++ {
+		now := <-tick.C
+		if now.After(winEnd) {
+			break
+		}
+		if int(inflight.Load()) >= maxInflight {
+			// An overloaded server does not slow arrivals down — the excess
+			// is dropped and reported, keeping the offered rate honest.
+			if now.After(winStart) {
+				dropped++
+			}
+			continue
+		}
+		inflight.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			d.interaction(sc, &mu, fmt.Sprintf("lg-o%d", i), hist, &cnt, winStart, winEnd)
+		}(i)
+	}
+	wg.Wait()
+	report.DroppedArrivals = dropped
+	fill(report, hist, &cnt, duration)
+}
+
+// fill computes the report's derived fields from the raw tallies.
+func fill(report *slo.Report, hist *obs.QuantileHistogram, cnt *counters, duration time.Duration) {
+	report.Interactions = atomic.LoadUint64(&cnt.interactions)
+	report.Turns = atomic.LoadUint64(&cnt.turns)
+	report.Answered = atomic.LoadUint64(&cnt.answered)
+	report.Errors = atomic.LoadUint64(&cnt.errors)
+	if total := report.Turns + report.Errors; total > 0 {
+		report.ErrorRate = float64(report.Errors) / float64(total)
+	}
+	if duration > 0 {
+		report.TurnsPerSecond = float64(report.Turns) / duration.Seconds()
+	}
+	report.TurnLatency = slo.Latency{
+		P50Seconds:  hist.Quantile(0.5),
+		P90Seconds:  hist.Quantile(0.9),
+		P99Seconds:  hist.Quantile(0.99),
+		P999Seconds: hist.Quantile(0.999),
+		MaxSeconds:  hist.Max(),
+		MeanSeconds: hist.Mean(),
+	}
+}
+
+func summarize(w io.Writer, r *slo.Report) {
+	fmt.Fprintf(w, "loadgen: %s %s: %d interactions, %d turns (%d answered), %d errors",
+		r.Mode, r.Target, r.Interactions, r.Turns, r.Answered, r.Errors)
+	if r.DroppedArrivals > 0 {
+		fmt.Fprintf(w, ", %d arrivals dropped", r.DroppedArrivals)
+	}
+	fmt.Fprintf(w, "\nloadgen: %.1f turns/s, latency p50 %.2fms p90 %.2fms p99 %.2fms p99.9 %.2fms max %.2fms\n",
+		r.TurnsPerSecond,
+		r.TurnLatency.P50Seconds*1e3, r.TurnLatency.P90Seconds*1e3,
+		r.TurnLatency.P99Seconds*1e3, r.TurnLatency.P999Seconds*1e3,
+		r.TurnLatency.MaxSeconds*1e3)
+}

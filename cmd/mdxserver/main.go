@@ -18,13 +18,16 @@
 // in-flight turns.
 //
 // Every request is logged as one JSON line on stderr (method, path,
-// session, status, duration). -debug additionally mounts net/http/pprof
-// under /debug/pprof/.
+// session, status, duration, request_id). X-Request-ID headers are
+// propagated (or minted) and echoed even under -quiet, so access-log
+// lines, /trace/slow entries, and client records join on one key.
+// -debug additionally mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -100,10 +103,14 @@ func main() {
 		}()
 	}
 
-	var handler http.Handler = srv.Handler()
-	if !*quiet {
-		handler = obs.AccessLog(os.Stderr, handler)
+	// AccessLog always wraps the handler — it owns request-ID minting and
+	// propagation, which /trace/slow correlation relies on even when the
+	// log lines themselves are discarded by -quiet.
+	logDest := io.Writer(os.Stderr)
+	if *quiet {
+		logDest = io.Discard
 	}
+	handler := obs.AccessLog(logDest, srv.Handler())
 	mux := http.NewServeMux()
 	mux.Handle("/", handler)
 	if *debug {
@@ -115,7 +122,7 @@ func main() {
 		fmt.Println("pprof enabled at /debug/pprof/")
 	}
 
-	fmt.Printf("listening on %s (POST /chat, POST /feedback, POST /admin/reload, GET /context, GET /trace, GET /metrics, GET /healthz)\n", *addr)
+	fmt.Printf("listening on %s (POST /chat, POST /feedback, POST /admin/reload, GET /context, GET /trace, GET /trace/slow, GET /metrics, GET /healthz, GET /readyz)\n", *addr)
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,

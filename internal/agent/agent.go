@@ -171,6 +171,7 @@ func newAgent(space *core.Space, base *kb.KB, clf nlu.Classifier, rec *nlu.Recog
 	}
 	a.rt.Store(rt)
 	metrics.BundleInfo.With(version).Set(1)
+	metrics.Slow.SetGeneration(version)
 	return a, nil
 }
 
@@ -278,6 +279,10 @@ func (a *Agent) InstallBundle(b *bundle.Bundle) error {
 		return err
 	}
 	a.rt.Store(rt)
+	// Rotate the slow-trace reservoir onto the new generation: traces
+	// recorded against the retired artifacts are dropped, and stragglers
+	// still finishing on the old runtime will be rejected at offer time.
+	a.metrics.Slow.SetGeneration(rt.version)
 	if old.version != rt.version {
 		a.metrics.BundleInfo.With(old.version).Set(0)
 	}

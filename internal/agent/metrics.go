@@ -22,6 +22,13 @@ type Metrics struct {
 	Fallbacks     *obs.Counter
 	LowConfidence *obs.Counter
 
+	// Live tail latency: high-resolution quantiles over the last
+	// TurnLiveWindow (exposed as mdx_turn_seconds_live{quantile="…"}),
+	// and the slowest-K turn traces with per-stage breakdowns
+	// (GET /trace/slow).
+	TurnLive *obs.RollingQuantile
+	Slow     *obs.SlowTraces
+
 	// Per-intent bookkeeping (Figure 11).
 	Classified *obs.CounterVec // intent
 	Fulfilled  *obs.CounterVec // intent
@@ -38,6 +45,7 @@ type Metrics struct {
 	// HTTP serving.
 	HTTPRequests *obs.CounterVec // path, code
 	HTTPLatency  *obs.HistogramVec
+	HTTPInflight *obs.Gauge
 
 	// Artifact lifecycle: which bundle version is live (info-style gauge,
 	// 1 for the serving generation, 0 for retired ones) and hot-reload
@@ -46,6 +54,16 @@ type Metrics struct {
 	Reloads       *obs.CounterVec // result (success, error)
 	ReloadLatency *obs.Histogram
 }
+
+// TurnLiveWindow is the span of the live turn-latency quantile window,
+// split into TurnLiveSlots ring slots.
+const (
+	TurnLiveWindow = 60 * time.Second
+	TurnLiveSlots  = 6
+)
+
+// TurnLiveQuantiles are the quantiles exposed as live gauges.
+var TurnLiveQuantiles = []float64{0.5, 0.9, 0.99}
 
 // NewMetrics builds the bundle on a fresh registry.
 func NewMetrics() *Metrics { return NewMetricsOn(obs.NewRegistry()) }
@@ -82,6 +100,10 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 			"HTTP requests by path and status code.", "path", "code"),
 		HTTPLatency: reg.HistogramVec("mdx_http_request_seconds",
 			"HTTP request latency in seconds by path.", nil, "path"),
+		HTTPInflight: reg.Gauge("mdx_http_inflight",
+			"HTTP requests currently being served."),
+		TurnLive: obs.NewRollingQuantile(TurnLiveWindow, TurnLiveSlots),
+		Slow:     obs.NewSlowTraces(obs.DefaultSlowK),
 		BundleInfo: reg.GaugeVec("mdx_bundle_info",
 			"Live workspace-bundle version (1 = serving, 0 = retired).", "version"),
 		Reloads: reg.CounterVec("mdx_reloads_total",
@@ -89,6 +111,9 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 		ReloadLatency: reg.Histogram("mdx_reload_seconds",
 			"Latency of successful bundle swaps in seconds.", nil),
 	}
+	reg.QuantileGauges("mdx_turn_seconds_live",
+		"Turn latency quantiles over the last 60 seconds.",
+		TurnLiveQuantiles, m.TurnLive.Quantile)
 	m.registerRuntimeGauges(reg)
 	return m
 }
@@ -135,6 +160,7 @@ func (m *Metrics) observeTurn(elapsed time.Duration, turn *Turn) {
 	}
 	m.Turns.Inc()
 	m.TurnLatency.Observe(elapsed.Seconds())
+	m.TurnLive.Observe(elapsed.Seconds())
 	for _, sp := range turn.Trace.Spans() {
 		m.StageLatency.With(sp.Name).Observe(sp.Duration.Seconds())
 	}

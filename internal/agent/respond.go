@@ -31,7 +31,12 @@ func (a *runtime) respondTurn(s *Session, utterance string) string {
 	s.Ctx.LastResponse = reply
 	turn.Trace.Finish()
 	s.Turns = append(s.Turns, turn)
-	a.metrics.observeTurn(time.Since(start), &turn)
+	elapsed := time.Since(start)
+	a.metrics.observeTurn(elapsed, &turn)
+	// Offer the finished trace to the slowest-K reservoir, tagged with
+	// this turn's pinned generation: a turn that outlived a hot swap is
+	// rejected rather than retained against artifacts it never ran on.
+	a.metrics.Slow.Offer(a.version, elapsed, turn.Trace)
 	return reply
 }
 

@@ -22,13 +22,15 @@ const DefaultIdleTTL = 30 * time.Minute
 // and mirrors the UI's thumbs-up/down feedback buttons.
 //
 //	POST /chat      {"session":"s1","message":"precautions for aspirin"}
-//	             -> {"session":"s1","reply":"…","intent":"…","closed":false}
+//	             -> {"session":"s1","reply":"…","intent":"…","answered":true,"closed":false}
 //	POST /feedback  {"session":"s1","thumbs":"down"}
 //	POST /admin/reload   hot-swap to a fresh bundle (when a reloader is set)
 //	GET  /context?session=s1
 //	GET  /trace?session=s1[&all=1]
+//	GET  /trace/slow     the K slowest turns with per-stage breakdowns
 //	GET  /metrics
-//	GET  /healthz
+//	GET  /healthz        liveness (the process answers HTTP)
+//	GET  /readyz         readiness (artifacts installed, agent serving)
 type Server struct {
 	agent *Agent
 
@@ -74,6 +76,7 @@ func (s *Server) Handler() http.Handler {
 	handle("/feedback", s.handleFeedback)
 	handle("/context", s.handleContext)
 	handle("/trace", s.handleTrace)
+	handle("/trace/slow", s.handleTraceSlow)
 	handle("/admin/reload", s.handleReload)
 	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.sweep() // scrapes double as the idle-session janitor
@@ -83,7 +86,43 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	handle("/readyz", s.handleReady)
 	return mux
+}
+
+// ReadyResponse is the /readyz response body.
+type ReadyResponse struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+}
+
+// handleReady reports readiness: the agent has a live runtime generation
+// (space, classifier, and KB installed) and can take traffic. Load
+// drivers poll this instead of sleeping after process start.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	version := s.agent.Version()
+	if version == "" {
+		http.Error(w, "agent has no installed runtime", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, ReadyResponse{Status: "ready", Version: version})
+}
+
+// SlowTracesResponse is the /trace/slow response body: the slowest turns
+// the live generation has served, worst first, each with its per-stage
+// span breakdown and any request-ID/session annotations.
+type SlowTracesResponse struct {
+	K       int                 `json:"k"`
+	Version string              `json:"version"`
+	Traces  []obs.SlowTraceData `json:"traces"`
+}
+
+func (s *Server) handleTraceSlow(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, SlowTracesResponse{
+		K:       s.agent.metrics.Slow.K(),
+		Version: s.agent.Version(),
+		Traces:  s.agent.metrics.Slow.Snapshot(),
+	})
 }
 
 // instrument wraps a handler with request count and latency metrics.
@@ -91,6 +130,8 @@ func (s *Server) instrument(path string, next http.Handler) http.Handler {
 	m := s.agent.metrics
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		m.HTTPInflight.Add(1)
+		defer m.HTTPInflight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
@@ -178,12 +219,15 @@ type ChatRequest struct {
 	Message string `json:"message"`
 }
 
-// ChatResponse is the /chat response body.
+// ChatResponse is the /chat response body. Answered marks turns that
+// executed a KB query — external drivers (cmd/loadgen) use it to know a
+// request completed without parsing the reply text.
 type ChatResponse struct {
-	Session string `json:"session"`
-	Reply   string `json:"reply"`
-	Intent  string `json:"intent,omitempty"`
-	Closed  bool   `json:"closed"`
+	Session  string `json:"session"`
+	Reply    string `json:"reply"`
+	Intent   string `json:"intent,omitempty"`
+	Answered bool   `json:"answered"`
+	Closed   bool   `json:"closed"`
 }
 
 // FeedbackRequest is the /feedback request body.
@@ -287,6 +331,13 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	resp := ChatResponse{Session: req.Session, Reply: reply, Closed: closed}
 	if last != nil {
 		resp.Intent = last.Intent
+		resp.Answered = last.Answered
+		// Join key between this turn's trace (visible in /trace and, for
+		// the slowest turns, /trace/slow) and the access-log line.
+		if id := obs.RequestID(r); id != "" {
+			last.Trace.Annotate("request_id", id)
+		}
+		last.Trace.Annotate("session", req.Session)
 	}
 	sess.mu.Unlock()
 

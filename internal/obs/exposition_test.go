@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramExpositionGolden pins the Prometheus text rendering of a
+// fixed-bucket histogram byte-for-byte: cumulative bucket counts, the
+// +Inf terminal bucket, and _sum/_count lines.
+func TestHistogramExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("turn_seconds", "Turn latency.", []float64{0.005, 0.05, 0.5})
+	for _, v := range []float64{0.001, 0.004, 0.005, 0.02, 0.4, 0.7, 3} {
+		h.Observe(v)
+	}
+	want := strings.Join([]string{
+		"# HELP turn_seconds Turn latency.",
+		"# TYPE turn_seconds histogram",
+		`turn_seconds_bucket{le="0.005"} 3`,
+		`turn_seconds_bucket{le="0.05"} 4`,
+		`turn_seconds_bucket{le="0.5"} 5`,
+		`turn_seconds_bucket{le="+Inf"} 7`,
+		"turn_seconds_sum 4.13",
+		"turn_seconds_count 7",
+		"",
+	}, "\n")
+	if got := expose(reg); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramExpositionLabeledGolden does the same through a labeled
+// vec, where the le label joins the family labels.
+func TestHistogramExpositionLabeledGolden(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.HistogramVec("stage_seconds", "Stage latency.", []float64{0.01, 0.1}, "stage")
+	v.With("kb_execute").Observe(0.003)
+	v.With("kb_execute").Observe(0.05)
+	v.With("kb_execute").Observe(2)
+	want := strings.Join([]string{
+		"# HELP stage_seconds Stage latency.",
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="kb_execute",le="0.01"} 1`,
+		`stage_seconds_bucket{stage="kb_execute",le="0.1"} 2`,
+		`stage_seconds_bucket{stage="kb_execute",le="+Inf"} 3`,
+		`stage_seconds_sum{stage="kb_execute"} 2.053`,
+		`stage_seconds_count{stage="kb_execute"} 3`,
+		"",
+	}, "\n")
+	if got := expose(reg); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// parseHistExposition extracts bucket counts (in emission order), the
+// count, and the sum for one histogram family from exposition text.
+func parseHistExposition(t *testing.T, text, name string) (buckets []uint64, count uint64, sum float64) {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasPrefix(line, name+"_bucket"):
+			f := strings.Fields(line)
+			n, err := strconv.ParseUint(f[len(f)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			buckets = append(buckets, n)
+		case strings.HasPrefix(line, name+"_count"):
+			f := strings.Fields(line)
+			n, err := strconv.ParseUint(f[len(f)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			count = n
+		case strings.HasPrefix(line, name+"_sum"):
+			f := strings.Fields(line)
+			v, err := strconv.ParseFloat(f[len(f)-1], 64)
+			if err != nil {
+				t.Fatalf("bad sum line %q: %v", line, err)
+			}
+			sum = v
+		}
+	}
+	return buckets, count, sum
+}
+
+// TestHistogramExpositionConcurrent scrapes the exposition while
+// observers hammer the histogram (run under -race in CI) and checks every
+// scrape is internally consistent — cumulative buckets are non-decreasing
+// and the +Inf bucket never exceeds a later-read _count — then verifies
+// the final totals exactly.
+func TestHistogramExpositionConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("hammer_seconds", "hammered", []float64{0.01, 0.1, 1})
+	const workers, per = 8, 2000
+	values := []float64{0.005, 0.05, 0.5, 5} // one per bucket incl. +Inf
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(values[(w+i)%len(values)])
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		buckets, count, _ := parseHistExposition(t, expose(reg), "hammer_seconds")
+		if len(buckets) != 4 {
+			t.Fatalf("bucket lines = %d, want 4", len(buckets))
+		}
+		// Monotonicity holds among the finite buckets (one cumulative
+		// walk); the +Inf line is a separate Count() read that can
+		// transiently lag an in-flight Observe, so it is checked against
+		// _count (also Count(), read later) instead.
+		for i := 1; i < len(buckets)-1; i++ {
+			if buckets[i] < buckets[i-1] {
+				t.Fatalf("cumulative buckets decreased: %v", buckets)
+			}
+		}
+		// +Inf is rendered from Count() read after the per-bucket loads,
+		// so it can only be ≥ the cumulative total seen at that point.
+		if buckets[len(buckets)-1] > count {
+			t.Fatalf("+Inf bucket %d exceeds _count %d", buckets[len(buckets)-1], count)
+		}
+	}
+
+	buckets, count, sum := parseHistExposition(t, expose(reg), "hammer_seconds")
+	total := uint64(workers * per)
+	if count != total {
+		t.Fatalf("_count = %d, want %d", count, total)
+	}
+	if buckets[len(buckets)-1] != total {
+		t.Fatalf(`le="+Inf" = %d, want %d`, buckets[len(buckets)-1], total)
+	}
+	wantPer := total / uint64(len(values))
+	wantCum := []uint64{wantPer, 2 * wantPer, 3 * wantPer, total}
+	for i := range buckets {
+		if buckets[i] != wantCum[i] {
+			t.Fatalf("cumulative buckets %v, want %v", buckets, wantCum)
+		}
+	}
+	wantSum := float64(wantPer) * (0.005 + 0.05 + 0.5 + 5)
+	if diff := sum - wantSum; diff < -1e-6 || diff > 1e-6 {
+		t.Fatalf("_sum = %g, want %g", sum, wantSum)
+	}
+}

@@ -2,21 +2,55 @@ package obs
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // logInfo carries handler-attached fields (session id, intent) back to the
 // access-log middleware through the request context.
 type logInfo struct {
-	mu     sync.Mutex
-	fields []Attr
+	requestID string
+	mu        sync.Mutex
+	fields    []Attr
 }
 
 type logCtxKey struct{}
+
+// reqIDPrefix is a per-process random prefix so IDs from different server
+// instances never collide; reqIDSeq makes them unique within the process.
+var (
+	reqIDPrefix = func() string {
+		var b [4]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			return "mdx0"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDSeq atomic.Uint64
+)
+
+// newRequestID mints a process-unique request identifier.
+func newRequestID() string {
+	return fmt.Sprintf("%s-%08x", reqIDPrefix, reqIDSeq.Add(1))
+}
+
+// RequestID returns the request's correlation ID: the X-Request-ID the
+// client sent, or the one AccessLog minted. Empty when the request did
+// not pass through AccessLog.
+func RequestID(r *http.Request) string {
+	info, ok := r.Context().Value(logCtxKey{}).(*logInfo)
+	if !ok {
+		return ""
+	}
+	return info.requestID
+}
 
 // LogField attaches a key/value pair to the current request's access-log
 // line. No-op when the request did not pass through AccessLog.
@@ -55,13 +89,22 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // AccessLog wraps a handler with structured JSON request logging: one line
 // per request with time, method, path, status, duration, response bytes,
-// and any handler-attached fields (see LogField).
+// the request's correlation ID, and any handler-attached fields (see
+// LogField). An X-Request-ID header sent by the client is propagated;
+// otherwise one is minted. Either way it is echoed on the response and
+// exposed to handlers via RequestID, so a slow trace, its access-log
+// line, and the client's own records all join on one key.
 func AccessLog(out io.Writer, next http.Handler) http.Handler {
 	var mu sync.Mutex
 	enc := json.NewEncoder(out)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		info := &logInfo{}
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		info := &logInfo{requestID: id}
 		r = r.WithContext(context.WithValue(r.Context(), logCtxKey{}, info))
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
@@ -75,6 +118,7 @@ func AccessLog(out io.Writer, next http.Handler) http.Handler {
 			"status":      sw.status,
 			"duration_ms": float64(time.Since(start).Microseconds()) / 1000,
 			"bytes":       sw.bytes,
+			"request_id":  id,
 		}
 		info.mu.Lock()
 		for _, f := range info.fields {

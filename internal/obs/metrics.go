@@ -198,6 +198,27 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64) *GaugeFunc {
 	return f.child(nil, func() metric { return &GaugeFunc{fn: fn} }).(*GaugeFunc)
 }
 
+// floatGaugeFunc is a float-valued callback gauge (quantiles are
+// fractional seconds; the integer GaugeFunc cannot carry them).
+type floatGaugeFunc struct {
+	fn func() float64
+}
+
+// QuantileGauges registers a gauge family labeled by quantile whose
+// values are read from fn at exposition time — the live-quantile shape
+// (`name{quantile="0.99"} 0.0042`) backed by a RollingQuantile or any
+// other quantile source. A name registered earlier keeps its original
+// callbacks.
+func (r *Registry) QuantileGauges(name, help string, quantiles []float64, fn func(q float64) float64) {
+	f := r.family(name, help, "gauge", []string{"quantile"}, nil)
+	for _, q := range quantiles {
+		q := q
+		f.child([]string{formatFloat(q)}, func() metric {
+			return &floatGaugeFunc{fn: func() float64 { return fn(q) }}
+		})
+	}
+}
+
 // CounterVec is a counter family partitioned by label values.
 type CounterVec struct{ f *family }
 
@@ -312,6 +333,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			case *GaugeFunc:
 				if x.fn != nil {
 					fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), x.Value())
+				}
+			case *floatGaugeFunc:
+				if x.fn != nil {
+					fmt.Fprintf(w, "%s%s %g\n", f.name, labelString(f.labels, values, "", ""), x.fn())
 				}
 			case *Histogram:
 				cum := uint64(0)

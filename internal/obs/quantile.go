@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The fixed-bucket Histogram answers "how many turns were under 25ms?"
+// but cannot answer "what is p99 right now?" with useful resolution: its
+// coarse buckets put everything between 100ms and 250ms in one bin. The
+// QuantileHistogram below is the high-resolution complement: a log-linear
+// (HDR-style) layout whose relative error is bounded by construction, so
+// tail quantiles read off it are trustworthy at any magnitude the turn
+// pipeline can produce.
+//
+// Layout: values are split by binary exponent (math.Frexp), and each
+// power-of-two range [2^(e-1), 2^e) is subdivided into qSubBuckets
+// equal-width linear buckets. Bucket width within a range is
+// 2^(e-1)/qSubBuckets, so the half-width midpoint estimate any quantile
+// returns is within width/2 of some observation in that bucket — a
+// relative error of at most 1/(2·qSubBuckets) ≈ 1.6% — at every scale
+// from tens of nanoseconds to minutes, using a single flat array of
+// qTotal counters.
+const (
+	// qSubBuckets is the linear subdivision per power-of-two range; the
+	// worst-case relative error of a quantile estimate is
+	// 1/(2·qSubBuckets).
+	qSubBuckets = 32
+	// qMinExp/qMaxExp bound the binary exponent (Frexp convention:
+	// v ∈ [2^(e-1), 2^e)). 2^-25 ≈ 30ns up to 2^9 = 512s covers
+	// everything a turn or an HTTP request can take; values outside
+	// clamp to the first/last bucket.
+	qMinExp = -24
+	qMaxExp = 9
+	qRanges = qMaxExp - qMinExp + 1
+	qTotal  = qRanges * qSubBuckets
+)
+
+// qIndex maps a value to its bucket index.
+func qIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac × 2^exp, frac ∈ [0.5, 1)
+	if exp < qMinExp {
+		return 0
+	}
+	if exp > qMaxExp {
+		return qTotal - 1
+	}
+	sub := int((frac - 0.5) * 2 * qSubBuckets)
+	if sub >= qSubBuckets { // frac == nextafter(1, 0) rounding guard
+		sub = qSubBuckets - 1
+	}
+	return (exp-qMinExp)*qSubBuckets + sub
+}
+
+// qBounds returns the [lo, hi) value range of bucket i.
+func qBounds(i int) (lo, hi float64) {
+	exp := qMinExp + i/qSubBuckets
+	sub := i % qSubBuckets
+	base := math.Ldexp(1, exp-1) // 2^(exp-1)
+	width := base / qSubBuckets
+	lo = base + float64(sub)*width
+	return lo, lo + width
+}
+
+// QuantileHistogram is a concurrency-safe log-linear histogram with
+// bounded-error quantile extraction. The zero value is ready to use.
+// Observe is lock-free (atomic adds); Quantile/Merge/Snapshot read the
+// counters atomically and may observe a value concurrently being added —
+// the usual monotonic-scrape semantics.
+type QuantileHistogram struct {
+	counts [qTotal]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	max    atomic.Uint64 // float64 bits (values are non-negative)
+}
+
+// Observe records one value.
+func (h *QuantileHistogram) Observe(v float64) {
+	h.counts[qIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *QuantileHistogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *QuantileHistogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Max returns the largest observed value (0 when empty).
+func (h *QuantileHistogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *QuantileHistogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile returns the q-quantile estimate (q in [0,1]): the midpoint of
+// the bucket holding the rank-⌈q·n⌉ observation, within half a bucket
+// width of an actual observation. Returns 0 when empty.
+func (h *QuantileHistogram) Quantile(q float64) float64 {
+	total := uint64(0)
+	var counts [qTotal]uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return quantileOf(&counts, total, q)
+}
+
+// quantileOf extracts a quantile from a plain counts array.
+func quantileOf(counts *[qTotal]uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i := 0; i < qTotal; i++ {
+		cum += counts[i]
+		if cum >= rank {
+			lo, hi := qBounds(i)
+			return (lo + hi) / 2
+		}
+	}
+	lo, hi := qBounds(qTotal - 1)
+	return (lo + hi) / 2
+}
+
+// Merge adds o's observations into h. Both histograms share the package's
+// fixed geometry, so merging is bucket-wise addition.
+func (h *QuantileHistogram) Merge(o *QuantileHistogram) {
+	if o == nil {
+		return
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	add := o.Sum()
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + add)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		om := o.Max()
+		if om <= math.Float64frombits(old) {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(om)) {
+			break
+		}
+	}
+}
+
+// Reset zeroes the histogram in place (for window rotation).
+func (h *QuantileHistogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// QuantileSnapshot is an immutable point-in-time copy of a
+// QuantileHistogram, for serialization or repeated quantile reads at a
+// consistent state.
+type QuantileSnapshot struct {
+	counts [qTotal]uint64
+	total  uint64
+	sum    float64
+	max    float64
+}
+
+// Snapshot copies the current counters.
+func (h *QuantileHistogram) Snapshot() *QuantileSnapshot {
+	s := &QuantileSnapshot{sum: h.Sum(), max: h.Max()}
+	for i := range h.counts {
+		s.counts[i] = h.counts[i].Load()
+		s.total += s.counts[i]
+	}
+	return s
+}
+
+// Quantile reads a quantile from the snapshot.
+func (s *QuantileSnapshot) Quantile(q float64) float64 { return quantileOf(&s.counts, s.total, q) }
+
+// Count returns the snapshot's observation count.
+func (s *QuantileSnapshot) Count() uint64 { return s.total }
+
+// Sum returns the snapshot's value sum.
+func (s *QuantileSnapshot) Sum() float64 { return s.sum }
+
+// Max returns the snapshot's largest value.
+func (s *QuantileSnapshot) Max() float64 { return s.max }
+
+// RollingQuantile is a time-windowed QuantileHistogram: observations land
+// in one of a ring of slot histograms keyed by wall-clock epoch, and
+// quantile reads merge only the slots still inside the window. This is
+// what live gauges want — "p99 over the last 60 seconds", decaying as
+// traffic moves on — where the cumulative histogram would average the
+// spike away against hours of quiet.
+type RollingQuantile struct {
+	mu      sync.Mutex
+	slots   []QuantileHistogram
+	epochs  []int64
+	slotDur time.Duration
+	now     func() time.Time
+	scratch QuantileHistogram
+}
+
+// NewRollingQuantile builds a window of the given span split into n
+// slots (the window advances with slot granularity; more slots = smoother
+// decay, slightly more merge work per read). n < 2 selects 2.
+func NewRollingQuantile(window time.Duration, n int) *RollingQuantile {
+	if n < 2 {
+		n = 2
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &RollingQuantile{
+		slots:   make([]QuantileHistogram, n),
+		epochs:  make([]int64, n),
+		slotDur: window / time.Duration(n),
+		now:     time.Now,
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (r *RollingQuantile) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
+}
+
+// epoch returns the current slot epoch.
+func (r *RollingQuantile) epoch() int64 {
+	return r.now().UnixNano() / int64(r.slotDur)
+}
+
+// Observe records one value into the current slot.
+func (r *RollingQuantile) Observe(v float64) {
+	r.mu.Lock()
+	e := r.epoch()
+	idx := int(e % int64(len(r.slots)))
+	if r.epochs[idx] != e {
+		r.slots[idx].Reset()
+		r.epochs[idx] = e
+	}
+	r.slots[idx].Observe(v)
+	r.mu.Unlock()
+}
+
+// merged combines the live slots into the scratch histogram. Caller holds
+// r.mu.
+func (r *RollingQuantile) merged() *QuantileHistogram {
+	e := r.epoch()
+	r.scratch.Reset()
+	for i := range r.slots {
+		if e-r.epochs[i] < int64(len(r.slots)) && r.epochs[i] != 0 {
+			r.scratch.Merge(&r.slots[i])
+		}
+	}
+	return &r.scratch
+}
+
+// Quantile returns the q-quantile over the live window (0 when empty).
+func (r *RollingQuantile) Quantile(q float64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.merged().Quantile(q)
+}
+
+// Count returns the number of observations in the live window.
+func (r *RollingQuantile) Count() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.merged().Count()
+}

@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func expose(reg *Registry) string {
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	return b.String()
+}
+
+func contains(haystack, needle string) bool { return strings.Contains(haystack, needle) }
+
+// qRelErrBound is the documented worst-case relative error of a quantile
+// estimate: half a linear bucket within a power-of-two range.
+const qRelErrBound = 1.0 / (2 * qSubBuckets)
+
+// TestQuantileIndexBounds pins the bucket math: every bucket's [lo, hi)
+// range maps back to that bucket, ranges tile without gaps, and
+// out-of-range values clamp.
+func TestQuantileIndexBounds(t *testing.T) {
+	prevHi := 0.0
+	for i := 0; i < qTotal; i++ {
+		lo, hi := qBounds(i)
+		if hi <= lo {
+			t.Fatalf("bucket %d: empty range [%g, %g)", i, lo, hi)
+		}
+		if i > 0 && math.Abs(lo-prevHi) > lo*1e-12 {
+			t.Fatalf("bucket %d: gap between %g and %g", i, prevHi, lo)
+		}
+		prevHi = hi
+		if got := qIndex(lo); got != i {
+			t.Fatalf("qIndex(lo=%g) = %d, want %d", lo, got, i)
+		}
+		mid := lo + (hi-lo)/2
+		if got := qIndex(mid); got != i {
+			t.Fatalf("qIndex(mid=%g) = %d, want %d", mid, got, i)
+		}
+	}
+	if qIndex(0) != 0 || qIndex(-1) != 0 || qIndex(math.NaN()) != 0 {
+		t.Fatal("non-positive values must clamp to bucket 0")
+	}
+	if qIndex(1e300) != qTotal-1 {
+		t.Fatal("huge values must clamp to the last bucket")
+	}
+	lo, _ := qBounds(0)
+	if qIndex(lo/2) != 0 {
+		t.Fatal("sub-range values must clamp to bucket 0")
+	}
+}
+
+// TestQuantileErrorBound is the acceptance check for the log-linear
+// layout: over random draws spanning the turn pipeline's magnitudes, the
+// estimated quantile stays within one bucket of the exact one — a
+// relative error bounded by the construction, not by luck.
+func TestQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial, gen := range []func() float64{
+		// log-uniform micro- to multi-second latencies
+		func() float64 { return math.Exp(rng.Float64()*math.Log(1e6) + math.Log(1e-6)) },
+		// heavy-tailed: mostly fast with a slow tail, the turn-latency shape
+		func() float64 {
+			v := 0.002 + rng.ExpFloat64()*0.003
+			if rng.Float64() < 0.02 {
+				v += rng.Float64() * 0.5
+			}
+			return v
+		},
+	} {
+		h := &QuantileHistogram{}
+		values := make([]float64, 20000)
+		for i := range values {
+			values[i] = gen()
+			h.Observe(values[i])
+		}
+		sort.Float64s(values)
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			rank := int(math.Ceil(q * float64(len(values))))
+			if rank == 0 {
+				rank = 1
+			}
+			exact := values[rank-1]
+			est := h.Quantile(q)
+			// The estimate is the midpoint of the bucket holding the exact
+			// rank value, so it is within one bucket width of exact.
+			lo, hi := qBounds(qIndex(exact))
+			width := hi - lo
+			if diff := math.Abs(est - exact); diff > width {
+				t.Errorf("trial %d q=%g: est %g vs exact %g, |diff| %g > bucket width %g",
+					trial, q, est, exact, diff, width)
+			}
+			if rel := math.Abs(est-exact) / exact; rel > 2*qRelErrBound+1e-12 {
+				t.Errorf("trial %d q=%g: relative error %g exceeds bound %g",
+					trial, q, rel, 2*qRelErrBound)
+			}
+		}
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	h := &QuantileHistogram{}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %g", got)
+	}
+	h.Observe(0.125) // exact power-of-two boundary
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h.Quantile(q)
+		if rel := math.Abs(got-0.125) / 0.125; rel > qRelErrBound+1e-12 {
+			t.Fatalf("single-value quantile(%g) = %g", q, got)
+		}
+	}
+	if h.Count() != 1 || math.Abs(h.Sum()-0.125) > 1e-12 || h.Max() != 0.125 {
+		t.Fatalf("count/sum/max = %d/%g/%g", h.Count(), h.Sum(), h.Max())
+	}
+}
+
+// TestQuantileMerge checks Merge equals observing the union.
+func TestQuantileMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b, both := &QuantileHistogram{}, &QuantileHistogram{}, &QuantileHistogram{}
+	for i := 0; i < 5000; i++ {
+		v := rng.ExpFloat64() * 0.01
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		both.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), both.Count())
+	}
+	if math.Abs(a.Sum()-both.Sum()) > 1e-9 {
+		t.Fatalf("merged sum %g, want %g", a.Sum(), both.Sum())
+	}
+	if a.Max() != both.Max() {
+		t.Fatalf("merged max %g, want %g", a.Max(), both.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("merged quantile(%g) %g, want %g", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	a.Merge(nil) // no-op
+}
+
+// TestQuantileSnapshot checks the snapshot is a consistent frozen copy.
+func TestQuantileSnapshot(t *testing.T) {
+	h := &QuantileHistogram{}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+	s := h.Snapshot()
+	h.Observe(100) // must not affect the snapshot
+	if s.Count() != 100 {
+		t.Fatalf("snapshot count %d", s.Count())
+	}
+	if s.Max() >= 1 {
+		t.Fatalf("snapshot max %g leaked later observation", s.Max())
+	}
+	if got, live := s.Quantile(0.5), h.Quantile(0.5); got == 0 || got > live {
+		t.Fatalf("snapshot p50 %g vs live %g", got, live)
+	}
+}
+
+// TestQuantileConcurrentObserve aims -race at the lock-free Observe path
+// and checks nothing is lost: the final count, sum, and bucket total all
+// agree with the number of observations.
+func TestQuantileConcurrentObserve(t *testing.T) {
+	h := &QuantileHistogram{}
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Observe(0.001 + rng.Float64()*0.1)
+				if i%100 == 0 {
+					_ = h.Quantile(0.99) // concurrent reads
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count %d, want %d", h.Count(), workers*per)
+	}
+	s := h.Snapshot()
+	if s.Count() != workers*per {
+		t.Fatalf("bucket total %d, want %d", s.Count(), workers*per)
+	}
+}
+
+// TestRollingQuantileWindow drives the windowed variant with an injected
+// clock: observations age out as the window advances, and the live
+// quantile tracks only what is inside it.
+func TestRollingQuantileWindow(t *testing.T) {
+	r := NewRollingQuantile(8*time.Second, 4) // 2s slots
+	base := time.Unix(1_000_000, 0)
+	now := base
+	r.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 100; i++ {
+		r.Observe(0.010) // 10ms era
+	}
+	if got := r.Quantile(0.5); math.Abs(got-0.010)/0.010 > qRelErrBound+1e-12 {
+		t.Fatalf("p50 = %g, want ≈ 0.010", got)
+	}
+
+	// Advance into the next slot; the old observations are still inside
+	// the window, so the tail remembers them.
+	now = base.Add(3 * time.Second)
+	for i := 0; i < 100; i++ {
+		r.Observe(0.100) // 100ms era
+	}
+	if n := r.Count(); n != 200 {
+		t.Fatalf("window count = %d, want 200", n)
+	}
+	if got := r.Quantile(0.25); got > 0.011 {
+		t.Fatalf("p25 = %g, old era should still dominate the low quantiles", got)
+	}
+
+	// Advance until the first era's slot ages out (slot-granular: it
+	// lives for at most window from its slot start): only the 100ms era
+	// remains… and then nothing at all.
+	now = base.Add(9 * time.Second)
+	if got := r.Quantile(0.5); math.Abs(got-0.100)/0.100 > qRelErrBound+1e-12 {
+		t.Fatalf("p50 after aging = %g, want ≈ 0.100", got)
+	}
+	now = base.Add(30 * time.Second)
+	if n := r.Count(); n != 0 {
+		t.Fatalf("window count after full decay = %d, want 0", n)
+	}
+	if got := r.Quantile(0.99); got != 0 {
+		t.Fatalf("empty window quantile = %g", got)
+	}
+}
+
+// TestRollingQuantileConcurrent aims -race at the windowed path.
+func TestRollingQuantileConcurrent(t *testing.T) {
+	r := NewRollingQuantile(time.Minute, 6)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Observe(float64(i%50+1) * 0.001)
+				if i%200 == 0 {
+					_ = r.Quantile(0.99)
+					_ = r.Count()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := r.Count(); n != 16000 {
+		t.Fatalf("count %d, want 16000", n)
+	}
+}
+
+// TestQuantileGaugesExposition checks the name{quantile="…"} rendering.
+func TestQuantileGaugesExposition(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRollingQuantile(time.Minute, 4)
+	for i := 0; i < 1000; i++ {
+		r.Observe(0.004)
+	}
+	reg.QuantileGauges("mdx_turn_seconds_live",
+		"Turn latency quantiles over the live window.",
+		[]float64{0.5, 0.99}, r.Quantile)
+	out := expose(reg)
+	// Every draw is 4ms, so both quantiles render the same bucket
+	// midpoint, within the documented error of 0.004.
+	want := r.Quantile(0.5)
+	if math.Abs(want-0.004)/0.004 > qRelErrBound+1e-12 {
+		t.Fatalf("p50 = %g, outside the error bound around 0.004", want)
+	}
+	for _, line := range []string{
+		"# TYPE mdx_turn_seconds_live gauge",
+		`mdx_turn_seconds_live{quantile="0.5"} `,
+		`mdx_turn_seconds_live{quantile="0.99"} `,
+	} {
+		if !contains(out, line) {
+			t.Fatalf("exposition missing %q in:\n%s", line, out)
+		}
+	}
+	suffix := fmt.Sprintf(" %g", want)
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "mdx_turn_seconds_live{") && !strings.HasSuffix(l, suffix) {
+			t.Fatalf("quantile gauge line %q does not carry the bucket midpoint %g", l, want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowTraces is a bounded reservoir of the K slowest traces offered to
+// it. Offers are tagged with an artifact generation (the serving bundle
+// version): switching generations purges retained traces from earlier
+// ones and rejects stragglers still in flight on a retired runtime, so
+// the reservoir never serves a per-stage breakdown that no longer
+// describes the live artifacts.
+//
+// The fast path is a single atomic load: once the reservoir is full, an
+// offer slower than none of the retained turns returns without taking
+// the lock, so the per-turn cost under healthy traffic is negligible.
+type SlowTraces struct {
+	k int
+	// floor is the smallest retained duration once full (math.MaxInt64
+	// while the reservoir has room), the lock-free admission gate.
+	floor atomic.Int64
+
+	mu      sync.Mutex
+	gen     string
+	entries []slowEntry // unordered; at most k
+}
+
+type slowEntry struct {
+	d     time.Duration
+	gen   string
+	trace *Trace
+}
+
+// DefaultSlowK is the reservoir bound servers use unless configured
+// otherwise.
+const DefaultSlowK = 16
+
+// NewSlowTraces builds a reservoir retaining the k slowest traces; k < 1
+// selects DefaultSlowK.
+func NewSlowTraces(k int) *SlowTraces {
+	if k < 1 {
+		k = DefaultSlowK
+	}
+	s := &SlowTraces{k: k, entries: make([]slowEntry, 0, k)}
+	s.floor.Store(0) // empty: everything admitted
+	return s
+}
+
+// K returns the reservoir bound.
+func (s *SlowTraces) K() int { return s.k }
+
+// SetGeneration switches the live artifact generation: retained traces
+// from other generations are purged and later offers tagged with a
+// different generation are rejected. Setting the already-live generation
+// is a no-op (a reload to the same bundle drops nothing).
+func (s *SlowTraces) SetGeneration(gen string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen == s.gen {
+		return
+	}
+	s.gen = gen
+	kept := s.entries[:0]
+	for _, e := range s.entries {
+		if e.gen == gen {
+			kept = append(kept, e)
+		}
+	}
+	// Clear evicted slots so dropped traces are not pinned by the
+	// backing array.
+	for i := len(kept); i < len(s.entries); i++ {
+		s.entries[i] = slowEntry{}
+	}
+	s.entries = kept
+	s.updateFloorLocked()
+}
+
+// Offer proposes one finished trace. It is retained when the reservoir
+// has room or d exceeds the smallest retained duration, and the offer's
+// generation matches the live one. Returns whether the trace was kept.
+func (s *SlowTraces) Offer(gen string, d time.Duration, t *Trace) bool {
+	if t == nil {
+		return false
+	}
+	if int64(d) <= s.floor.Load() {
+		return false // full, and no slower than anything retained
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen != s.gen {
+		return false // stale generation still finishing a turn
+	}
+	if len(s.entries) < s.k {
+		s.entries = append(s.entries, slowEntry{d: d, gen: gen, trace: t})
+		s.updateFloorLocked()
+		return true
+	}
+	minIdx := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].d < s.entries[minIdx].d {
+			minIdx = i
+		}
+	}
+	if d <= s.entries[minIdx].d {
+		return false
+	}
+	s.entries[minIdx] = slowEntry{d: d, gen: gen, trace: t}
+	s.updateFloorLocked()
+	return true
+}
+
+// updateFloorLocked recomputes the lock-free admission gate. Caller holds
+// s.mu.
+func (s *SlowTraces) updateFloorLocked() {
+	if len(s.entries) < s.k {
+		s.floor.Store(0)
+		return
+	}
+	min := int64(math.MaxInt64)
+	for _, e := range s.entries {
+		if int64(e.d) < min {
+			min = int64(e.d)
+		}
+	}
+	s.floor.Store(min)
+}
+
+// SlowTraceData is one retained slow turn, shaped for JSON: the recorded
+// duration, the artifact generation it ran on, and the full per-stage
+// trace snapshot (carrying request-id/session annotations when the turn
+// came through the HTTP path).
+type SlowTraceData struct {
+	Duration   time.Duration `json:"duration_ns"`
+	Generation string        `json:"generation"`
+	Trace      TraceData     `json:"trace"`
+}
+
+// Snapshot returns the retained traces, slowest first. Trace contents are
+// snapshotted at call time, so annotations attached after the offer (the
+// request ID, bound post-turn by the HTTP handler) are included.
+func (s *SlowTraces) Snapshot() []SlowTraceData {
+	s.mu.Lock()
+	entries := append([]slowEntry(nil), s.entries...)
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].d > entries[j].d })
+	out := make([]SlowTraceData, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, SlowTraceData{Duration: e.d, Generation: e.gen, Trace: e.trace.Snapshot()})
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkTrace(turn int) *Trace {
+	tr := NewTrace(turn)
+	sp := tr.StartSpan("kb_execute")
+	sp.AttrInt("rows", turn)
+	sp.End()
+	tr.Finish()
+	return tr
+}
+
+func TestSlowTracesTopK(t *testing.T) {
+	s := NewSlowTraces(3)
+	s.SetGeneration("g1")
+	durations := []time.Duration{5, 1, 9, 3, 7, 2, 8} // ms
+	for i, d := range durations {
+		s.Offer("g1", d*time.Millisecond, mkTrace(i))
+	}
+	snap := s.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("retained %d, want 3", len(snap))
+	}
+	want := []time.Duration{9, 8, 7}
+	for i, e := range snap {
+		if e.Duration != want[i]*time.Millisecond {
+			t.Fatalf("slot %d duration %v, want %v ms", i, e.Duration, want[i])
+		}
+		if e.Generation != "g1" {
+			t.Fatalf("slot %d generation %q", i, e.Generation)
+		}
+		if len(e.Trace.Spans) != 1 || e.Trace.Spans[0].Name != "kb_execute" {
+			t.Fatalf("slot %d lost its per-stage spans: %+v", i, e.Trace.Spans)
+		}
+	}
+	// A fast turn must be rejected on the lock-free path once full.
+	if s.Offer("g1", time.Millisecond, mkTrace(99)) {
+		t.Fatal("fast turn admitted into a full reservoir of slower ones")
+	}
+}
+
+func TestSlowTracesGenerationPurge(t *testing.T) {
+	s := NewSlowTraces(4)
+	s.SetGeneration("old")
+	for i := 1; i <= 4; i++ {
+		s.Offer("old", time.Duration(i)*time.Second, mkTrace(i))
+	}
+	// Swap generations: old traces purged, stale offers rejected, new
+	// ones admitted even though they are faster than the purged ones.
+	s.SetGeneration("new")
+	if got := s.Snapshot(); len(got) != 0 {
+		t.Fatalf("purge left %d traces from the dropped generation", len(got))
+	}
+	if s.Offer("old", time.Hour, mkTrace(9)) {
+		t.Fatal("offer from a dropped generation was retained")
+	}
+	if !s.Offer("new", time.Millisecond, mkTrace(10)) {
+		t.Fatal("offer from the live generation rejected after purge")
+	}
+	snap := s.Snapshot()
+	if len(snap) != 1 || snap[0].Generation != "new" {
+		t.Fatalf("snapshot after swap: %+v", snap)
+	}
+	// Re-setting the same generation keeps everything.
+	s.SetGeneration("new")
+	if len(s.Snapshot()) != 1 {
+		t.Fatal("re-setting the live generation dropped traces")
+	}
+}
+
+// TestSlowTracesConcurrentExact aims -race at the reservoir and checks
+// the strong property the /trace/slow endpoint depends on: under
+// concurrent offers with distinct durations, the reservoir ends up with
+// exactly the K largest.
+func TestSlowTracesConcurrentExact(t *testing.T) {
+	const k, workers, per = 8, 8, 500
+	s := NewSlowTraces(k)
+	s.SetGeneration("live")
+	var wg sync.WaitGroup
+	all := make([]time.Duration, 0, workers*per)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i++ {
+			// distinct durations, interleaved so every worker holds some
+			// of the global top-K
+			all = append(all, time.Duration(w+i*workers+1)*time.Microsecond)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Offer("live", all[w*per+i], mkTrace(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if len(snap) != k {
+		t.Fatalf("retained %d, want %d", len(snap), k)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] > all[j] })
+	for i, e := range snap {
+		if e.Duration != all[i] {
+			t.Fatalf("rank %d: got %v, want %v", i, e.Duration, all[i])
+		}
+	}
+}
+
+// TestSlowTracesLateAnnotation checks the handler pattern: the request ID
+// is bound to the trace after the turn (and the offer) completed, and the
+// snapshot still carries it.
+func TestSlowTracesLateAnnotation(t *testing.T) {
+	s := NewSlowTraces(2)
+	s.SetGeneration("g")
+	tr := mkTrace(1)
+	s.Offer("g", time.Second, tr)
+	tr.Annotate("request_id", "abc-123")
+	snap := s.Snapshot()
+	if len(snap) != 1 {
+		t.Fatal("trace lost")
+	}
+	found := false
+	for _, a := range snap[0].Trace.Attrs {
+		if a.Key == "request_id" && a.Value == "abc-123" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-offer annotation missing: %+v", snap[0].Trace.Attrs)
+	}
+}

@@ -30,6 +30,7 @@ type Trace struct {
 	start time.Time
 	end   time.Time
 	spans []Span
+	attrs []Attr
 }
 
 // NewTrace opens a trace for the given turn number.
@@ -83,6 +84,19 @@ func (s *SpanRef) End() {
 	s.t.mu.Unlock()
 }
 
+// Annotate attaches a trace-level attribute (request ID, session) —
+// metadata about the whole turn rather than one stage. Safe on a nil
+// trace, and usable after Finish: the HTTP handler binds the request ID
+// once the turn returns.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.attrs = append(t.attrs, Attr{Key: key, Value: value})
+	t.mu.Unlock()
+}
+
 // Finish marks the turn complete. Safe on a nil trace.
 func (t *Trace) Finish() {
 	if t == nil {
@@ -98,6 +112,7 @@ type TraceData struct {
 	Turn     int           `json:"turn"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
 	Spans    []Span        `json:"spans"`
 }
 
@@ -116,6 +131,7 @@ func (t *Trace) Snapshot() TraceData {
 		Turn:     t.turn,
 		Start:    t.start,
 		Duration: end.Sub(t.start),
+		Attrs:    append([]Attr(nil), t.attrs...),
 		Spans:    append([]Span(nil), t.spans...),
 	}
 }

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/core"
+)
+
+// Scripter is the user model factored out of Run so the utterance stream
+// can be drawn without an in-process agent: cmd/loadgen drives a running
+// mdxserver over HTTP with exactly the traffic shape of the usage study —
+// the Table-5 intent mix, elicitation follow-ups, misspellings, keyword
+// queries, gibberish, and abandoned requests.
+//
+// The protocol per interaction:
+//
+//	sp := sc.Next()                 // opening utterance (skip if sp.Skip)
+//	reply := send(sp.Utterance)     // agent turn 1
+//	for {
+//	    next, done := sc.React(sp, reply, answered, closed)
+//	    if done { break }
+//	    reply = send(next)
+//	}
+//	rec := sc.Score(sp, detectedIntent, answered, finalReply)
+//
+// A Scripter is NOT goroutine-safe: all draws come from one seeded
+// stream, so a (space, Config) pair replays the same conversation plan
+// bit-for-bit. Concurrent drivers use one Scripter per worker with
+// distinct seeds.
+type Scripter struct {
+	u *userModel
+}
+
+// NewScripter builds a scripter over the ontology space. Only the noise,
+// feedback and usage-mix fields of cfg apply; Interactions is ignored
+// (the caller decides how many scripts to draw).
+func NewScripter(space *core.Space, cfg Config) *Scripter {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Scripter{u: newUserModel(space, rng, cfg)}
+}
+
+// Script is one planned interaction: the opening utterance plus the
+// private state React needs to play the rest of the conversation.
+type Script struct {
+	// Expected is the intent the simulated user has in mind ("" for
+	// gibberish).
+	Expected string
+	// Utterance is the opening user input.
+	Utterance string
+	// Gibberish marks meaningless input (§7.2's "apfjhd").
+	Gibberish bool
+	// Skip marks a degenerate draw (the usage mix named an intent the
+	// space does not define): nothing to send, score as-is.
+	Skip bool
+
+	in        *core.Intent
+	provided  map[string]string
+	turns     int
+	followups int
+}
+
+// Turns reports how many user turns the script has issued so far.
+func (sp *Script) Turns() int { return sp.turns }
+
+// Next draws the next interaction's opening move.
+func (sc *Scripter) Next() *Script {
+	u := sc.u
+	sp := &Script{}
+	if u.rng.Float64() < u.cfg.GibberishProb {
+		sp.Gibberish = true
+		sp.Utterance = gibberish(u.rng)
+		sp.turns = 1
+		return sp
+	}
+	intent := u.pickIntent()
+	in := u.space.Intent(intent)
+	if in == nil {
+		sp.Skip = true
+		return sp
+	}
+	sp.Expected = intent
+	sp.in = in
+	sp.Utterance, sp.provided = u.composeUtterance(in)
+	sp.turns = 1
+	return sp
+}
+
+// React consumes the agent's reply to the script's previous utterance
+// and returns the user's next one, or done=true when the user walks away
+// — satisfied, abandoned (§7.2's unanswered follow-ups), or out of
+// patience (at most 4 follow-up turns).
+func (sc *Scripter) React(sp *Script, reply string, answered, closed bool) (string, bool) {
+	u := sc.u
+	if sp.Gibberish || sp.Skip || sp.followups >= 4 {
+		return "", true
+	}
+	if answered || closed {
+		return "", true
+	}
+	if strings.HasPrefix(reply, "Would you like to see") {
+		// Proposal flow (DRUG_GENERAL): accept half the time.
+		sp.followups++
+		sp.turns++
+		if u.rng.Float64() < 0.5 {
+			return "yes", false
+		}
+		return "no", false
+	}
+	missing := u.missingEntity(sp.in, sp.provided)
+	if missing == "" || !strings.Contains(reply, "?") {
+		return "", true
+	}
+	if u.rng.Float64() > u.cfg.SlotAnswerProb {
+		return "", true // user abandons the follow-up (§7.2 SME observation)
+	}
+	v, ok := u.pickValue(missing)
+	if !ok {
+		return "", true
+	}
+	sp.provided[missing] = v.canonical
+	sp.followups++
+	sp.turns++
+	return u.noisy(v.surface), false
+}
+
+// Score closes the interaction: correctness against the user's actual
+// goal, then the thumbs and SME feedback models.
+func (sc *Scripter) Score(sp *Script, detected string, answered bool, finalReply string) Interaction {
+	u := sc.u
+	rec := Interaction{}
+	if sp.Skip {
+		return rec
+	}
+	rec.Expected = sp.Expected
+	rec.Utterance = sp.Utterance
+	rec.Turns = sp.turns
+	rec.Detected = detected
+	rec.Answered = answered
+	if sp.Gibberish {
+		rec.Correct = false
+		u.applyFeedback(&rec)
+		return rec
+	}
+	switch sp.in.Kind {
+	case core.GeneralEntityPattern:
+		// Correct when the agent either answered a proposed lookup or
+		// made a proposal the user declined.
+		rec.Correct = answered || detected == sp.Expected ||
+			strings.HasPrefix(finalReply, "Would you like") || finalReply == "OK. Please modify your search."
+	default:
+		rec.Correct = answered && detected == sp.Expected
+	}
+	u.applyFeedback(&rec)
+	return rec
+}
+
+// Interact plays one full script against an in-process agent in a fresh
+// session — the Run loop's body, also usable on its own.
+func (sc *Scripter) Interact(ag *agent.Agent) Interaction {
+	sp := sc.Next()
+	if sp.Skip {
+		return sc.Score(sp, "", false, "")
+	}
+	s := agent.NewSession()
+	reply := ag.Respond(s, sp.Utterance)
+	for {
+		last := s.LastTurn()
+		next, done := sc.React(sp, reply, last.Answered, s.Closed())
+		if done {
+			break
+		}
+		reply = ag.Respond(s, next)
+	}
+	last := s.LastTurn()
+	return sc.Score(sp, last.Intent, last.Answered, last.Agent)
+}

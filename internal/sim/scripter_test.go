@@ -1,0 +1,131 @@
+package sim_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ontoconv/internal/sim"
+)
+
+// TestScripterDeterministic pins the factored-out user model: two
+// scripters with the same (space, seed) plan identical interactions,
+// and playing them against the same agent yields identical records —
+// the property cmd/loadgen relies on for reproducible load shapes.
+func TestScripterDeterministic(t *testing.T) {
+	a := fixture(t)
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 123
+	s1 := sim.NewScripter(a.Space(), cfg)
+	s2 := sim.NewScripter(a.Space(), cfg)
+	for i := 0; i < 500; i++ {
+		r1, r2 := s1.Interact(a), s2.Interact(a)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("interaction %d diverged:\n%+v\n%+v", i, r1, r2)
+		}
+	}
+}
+
+// TestScripterMatchesRun pins that Run is exactly the Scripter protocol:
+// the refactor must not have changed a single draw.
+func TestScripterMatchesRun(t *testing.T) {
+	a := fixture(t)
+	cfg := sim.DefaultConfig()
+	cfg.Interactions = 800
+	cfg.Seed = 7
+	log := sim.Run(a, cfg)
+
+	sc := sim.NewScripter(a.Space(), cfg)
+	for i, want := range log.Interactions {
+		got := sc.Interact(a)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("interaction %d: scripter %+v, Run %+v", i, got, want)
+		}
+	}
+}
+
+// TestScripterStandaloneMix draws scripts without any agent — loadgen's
+// mode of use — and checks the stream carries the configured traffic
+// shape: the gibberish rate and the Table-5 head intents.
+func TestScripterStandaloneMix(t *testing.T) {
+	a := fixture(t)
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 99
+	sc := sim.NewScripter(a.Space(), cfg)
+
+	const n = 20000
+	gib := 0
+	intents := map[string]int{}
+	for i := 0; i < n; i++ {
+		sp := sc.Next()
+		if sp.Skip {
+			t.Fatalf("script %d: skip draw from the default usage mix", i)
+		}
+		if sp.Gibberish {
+			gib++
+			if sp.Utterance == "" || sp.Expected != "" {
+				t.Fatalf("gibberish script %d malformed: %+v", i, sp)
+			}
+			// A gibberish interaction is one turn: React is immediately done.
+			if next, done := sc.React(sp, "whatever", false, false); !done || next != "" {
+				t.Fatalf("gibberish script reacted: %q", next)
+			}
+			continue
+		}
+		if sp.Utterance == "" || sp.Expected == "" {
+			t.Fatalf("script %d missing utterance or intent: %+v", i, sp)
+		}
+		intents[sp.Expected]++
+		// Abandon every request up front so no follow-up draws interleave:
+		// an answered conversation ends the script.
+		if next, done := sc.React(sp, "done", true, false); !done || next != "" {
+			t.Fatalf("answered script %d continued with %q", i, next)
+		}
+	}
+	if rate := float64(gib) / n; math.Abs(rate-cfg.GibberishProb) > 0.005 {
+		t.Fatalf("gibberish rate %.4f, want ≈ %.4f", rate, cfg.GibberishProb)
+	}
+	for _, share := range sim.MDXUsage() {
+		got := float64(intents[share.Intent]) / n
+		if math.Abs(got-share.Weight) > 0.03 {
+			t.Fatalf("intent %q share %.3f, want ≈ %.3f", share.Intent, got, share.Weight)
+		}
+	}
+}
+
+// TestScripterFollowupCap checks React gives up after 4 follow-ups even
+// against an agent that keeps asking questions (a misbehaving server
+// must not wedge a load worker in an endless elicitation).
+func TestScripterFollowupCap(t *testing.T) {
+	a := fixture(t)
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 5
+	cfg.GibberishProb = 0
+	cfg.SlotAnswerProb = 1
+	sc := sim.NewScripter(a.Space(), cfg)
+	for i := 0; i < 200; i++ {
+		sp := sc.Next()
+		turns := 0
+		for {
+			// Always reply with an open question proposing more data.
+			next, done := sc.React(sp, "Would you like to see more?", false, false)
+			if done {
+				break
+			}
+			if next == "" {
+				t.Fatalf("script %d: empty follow-up", i)
+			}
+			turns++
+			if turns > 10 {
+				t.Fatalf("script %d: no follow-up cap", i)
+			}
+		}
+		if turns > 4 {
+			t.Fatalf("script %d issued %d follow-ups, cap is 4", i, turns)
+		}
+		rec := sc.Score(sp, "", false, "")
+		if rec.Turns != sp.Turns() {
+			t.Fatalf("turn bookkeeping: rec %d vs script %d", rec.Turns, sp.Turns())
+		}
+	}
+}

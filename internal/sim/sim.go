@@ -12,7 +12,6 @@ package sim
 import (
 	"math/rand"
 	"sort"
-	"strings"
 
 	"ontoconv/internal/agent"
 	"ontoconv/internal/core"
@@ -127,16 +126,16 @@ type Log struct {
 	Interactions []Interaction
 }
 
-// Run simulates the usage study against the agent.
+// Run simulates the usage study against the agent: a Scripter draws the
+// interaction plans and plays each against a fresh session.
 func Run(ag *agent.Agent, cfg Config) *Log {
 	if cfg.Interactions <= 0 {
 		cfg.Interactions = 20000
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	u := newUserModel(ag.Space(), rng, cfg)
+	sc := NewScripter(ag.Space(), cfg)
 	log := &Log{Interactions: make([]Interaction, 0, cfg.Interactions)}
 	for i := 0; i < cfg.Interactions; i++ {
-		log.Interactions = append(log.Interactions, u.oneInteraction(ag))
+		log.Interactions = append(log.Interactions, sc.Interact(ag))
 	}
 	return log
 }
@@ -229,86 +228,6 @@ func (u *userModel) pickValue(entity string) (valueVariant, bool) {
 		return valueVariant{}, false
 	}
 	return vs[u.rng.Intn(len(vs))], true
-}
-
-// oneInteraction drives one request through a fresh session.
-func (u *userModel) oneInteraction(ag *agent.Agent) Interaction {
-	s := agent.NewSession()
-	rec := Interaction{}
-
-	if u.rng.Float64() < u.cfg.GibberishProb {
-		rec.Utterance = gibberish(u.rng)
-		reply := ag.Respond(s, rec.Utterance)
-		rec.Turns = 1
-		last := s.LastTurn()
-		rec.Detected = last.Intent
-		rec.Answered = last.Answered
-		rec.Correct = false
-		_ = reply
-		u.applyFeedback(&rec)
-		return rec
-	}
-
-	intent := u.pickIntent()
-	in := u.space.Intent(intent)
-	if in == nil {
-		rec.Correct = false
-		return rec
-	}
-	rec.Expected = intent
-	utterance, provided := u.composeUtterance(in)
-	rec.Utterance = utterance
-
-	ag.Respond(s, utterance)
-	rec.Turns = 1
-
-	// Follow the elicitation flow for up to 4 more turns.
-	for turns := 0; turns < 4; turns++ {
-		last := s.LastTurn()
-		if last.Answered || s.Closed() {
-			break
-		}
-		reply := last.Agent
-		if strings.HasPrefix(reply, "Would you like to see") {
-			// Proposal flow (DRUG_GENERAL): accept half the time.
-			if u.rng.Float64() < 0.5 {
-				ag.Respond(s, "yes")
-			} else {
-				ag.Respond(s, "no")
-			}
-			rec.Turns++
-			continue
-		}
-		missing := u.missingEntity(in, provided)
-		if missing == "" || !strings.Contains(reply, "?") {
-			break
-		}
-		if u.rng.Float64() > u.cfg.SlotAnswerProb {
-			break // user abandons the follow-up (§7.2 SME observation)
-		}
-		v, ok := u.pickValue(missing)
-		if !ok {
-			break
-		}
-		provided[missing] = v.canonical
-		ag.Respond(s, u.noisy(v.surface))
-		rec.Turns++
-	}
-
-	last := s.LastTurn()
-	rec.Detected = last.Intent
-	rec.Answered = last.Answered
-	switch in.Kind {
-	case core.GeneralEntityPattern:
-		// Correct when the agent either answered a proposed lookup or
-		// made a proposal the user declined.
-		rec.Correct = last.Answered || last.Intent == intent ||
-			strings.HasPrefix(last.Agent, "Would you like") || last.Agent == "OK. Please modify your search."
-	default:
-		rec.Correct = last.Answered && last.Intent == intent
-	}
-	u.applyFeedback(&rec)
-	return rec
 }
 
 // missingEntity returns the first required entity of the intent the user

@@ -1,0 +1,121 @@
+// Package slo defines service-level objectives for the conversation
+// service and evaluates load-test reports against them. A Spec is a set
+// of ceilings and floors — tail-latency ceilings, an error-rate ceiling,
+// a throughput floor — with zero meaning "not gated", so a baseline file
+// only constrains what it spells out. cmd/loadgen produces the Report,
+// BENCH_load.json carries the checked-in Spec, and CI fails the build on
+// any Violation.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Spec is a set of service-level objectives. The zero value of any field
+// disables that objective.
+type Spec struct {
+	// MaxTurnP50Seconds caps the median /chat turn latency.
+	MaxTurnP50Seconds float64 `json:"max_turn_p50_seconds,omitempty"`
+	// MaxTurnP99Seconds caps the 99th-percentile /chat turn latency.
+	MaxTurnP99Seconds float64 `json:"max_turn_p99_seconds,omitempty"`
+	// MaxErrorRate caps errors/turns: transport failures, non-200
+	// statuses, and malformed responses.
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+	// MinTurnThroughput floors completed turns per second.
+	MinTurnThroughput float64 `json:"min_turn_throughput,omitempty"`
+}
+
+// Latency summarizes one latency distribution, in seconds.
+type Latency struct {
+	P50Seconds  float64 `json:"p50_seconds"`
+	P90Seconds  float64 `json:"p90_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	P999Seconds float64 `json:"p999_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+}
+
+// Report is a load run's result: the configuration echo plus measured
+// traffic, errors, throughput, and the turn-latency distribution
+// (measured client-side, so it includes network and queueing — what a
+// user would feel, not what the server admits to).
+type Report struct {
+	Target          string  `json:"target"`
+	Mode            string  `json:"mode"`
+	Workers         int     `json:"workers,omitempty"`
+	RatePerSecond   float64 `json:"rate_per_second,omitempty"`
+	Seed            int64   `json:"seed"`
+	WarmupSeconds   float64 `json:"warmup_seconds"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	Interactions uint64 `json:"interactions"`
+	Turns        uint64 `json:"turns"`
+	Answered     uint64 `json:"answered"`
+	Errors       uint64 `json:"errors"`
+	// DroppedArrivals counts open-mode arrivals shed at -max-inflight:
+	// offered load the server never saw (reported, never silently
+	// delayed, to avoid coordinated omission).
+	DroppedArrivals uint64  `json:"dropped_arrivals,omitempty"`
+	ErrorRate       float64 `json:"error_rate"`
+	TurnsPerSecond  float64 `json:"turns_per_second"`
+	TurnLatency     Latency `json:"turn_latency"`
+}
+
+// Violation is one breached objective.
+type Violation struct {
+	Name   string  `json:"name"`
+	Limit  float64 `json:"limit"`
+	Actual float64 `json:"actual"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %g breaches limit %g", v.Name, v.Actual, v.Limit)
+}
+
+// Evaluate checks the report against every enabled objective and returns
+// the breaches, in declaration order. An empty slice means the run is
+// within SLO.
+func (s Spec) Evaluate(r *Report) []Violation {
+	var out []Violation
+	if s.MaxTurnP50Seconds > 0 && r.TurnLatency.P50Seconds > s.MaxTurnP50Seconds {
+		out = append(out, Violation{"turn_p50_seconds", s.MaxTurnP50Seconds, r.TurnLatency.P50Seconds})
+	}
+	if s.MaxTurnP99Seconds > 0 && r.TurnLatency.P99Seconds > s.MaxTurnP99Seconds {
+		out = append(out, Violation{"turn_p99_seconds", s.MaxTurnP99Seconds, r.TurnLatency.P99Seconds})
+	}
+	if s.MaxErrorRate > 0 && r.ErrorRate > s.MaxErrorRate {
+		out = append(out, Violation{"error_rate", s.MaxErrorRate, r.ErrorRate})
+	}
+	if s.MinTurnThroughput > 0 && r.TurnsPerSecond < s.MinTurnThroughput {
+		out = append(out, Violation{"turns_per_second", s.MinTurnThroughput, r.TurnsPerSecond})
+	}
+	return out
+}
+
+// File is the on-disk baseline shape (BENCH_load.json): free-form
+// provenance fields plus the gating spec under "slo".
+type File struct {
+	Description string `json:"description,omitempty"`
+	CPU         string `json:"cpu,omitempty"`
+	Go          string `json:"go,omitempty"`
+	Date        string `json:"date,omitempty"`
+	Spec        Spec   `json:"slo"`
+}
+
+// Load reads a baseline file and returns its spec.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return Spec{}, fmt.Errorf("slo: %s: %w", path, err)
+	}
+	if f.Spec == (Spec{}) {
+		return Spec{}, fmt.Errorf("slo: %s: no objectives under \"slo\"", path)
+	}
+	return f.Spec, nil
+}

@@ -1,0 +1,113 @@
+package slo
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func passingReport() *Report {
+	return &Report{
+		TurnLatency: Latency{
+			P50Seconds: 0.004,
+			P99Seconds: 0.040,
+		},
+		Turns:          1000,
+		Errors:         0,
+		ErrorRate:      0,
+		TurnsPerSecond: 250,
+	}
+}
+
+func TestEvaluateWithinSLO(t *testing.T) {
+	spec := Spec{
+		MaxTurnP50Seconds: 0.05,
+		MaxTurnP99Seconds: 0.5,
+		MaxErrorRate:      0.01,
+		MinTurnThroughput: 50,
+	}
+	if v := spec.Evaluate(passingReport()); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestEvaluateEveryObjective(t *testing.T) {
+	spec := Spec{
+		MaxTurnP50Seconds: 0.001,
+		MaxTurnP99Seconds: 0.010,
+		MaxErrorRate:      0.0001,
+		MinTurnThroughput: 10000,
+	}
+	r := passingReport()
+	r.ErrorRate = 0.5
+	v := spec.Evaluate(r)
+	if len(v) != 4 {
+		t.Fatalf("violations = %v, want all 4", v)
+	}
+	wantNames := []string{"turn_p50_seconds", "turn_p99_seconds", "error_rate", "turns_per_second"}
+	for i, name := range wantNames {
+		if v[i].Name != name {
+			t.Fatalf("violation %d = %q, want %q", i, v[i].Name, name)
+		}
+		if v[i].String() == "" || !strings.Contains(v[i].String(), name) {
+			t.Fatalf("violation string %q", v[i].String())
+		}
+	}
+}
+
+// TestEvaluateZeroDisables pins the gating semantics: an objective left
+// at zero never fires, so a minimal baseline gates only what it names.
+func TestEvaluateZeroDisables(t *testing.T) {
+	r := passingReport()
+	r.ErrorRate = 1
+	r.TurnsPerSecond = 0.001
+	r.TurnLatency.P50Seconds = 100
+	r.TurnLatency.P99Seconds = 100
+	if v := (Spec{}).Evaluate(r); len(v) != 0 {
+		t.Fatalf("empty spec produced violations: %v", v)
+	}
+	one := Spec{MaxTurnP99Seconds: 1}
+	v := one.Evaluate(r)
+	if len(v) != 1 || v[0].Name != "turn_p99_seconds" {
+		t.Fatalf("single-objective spec = %v", v)
+	}
+}
+
+func TestLoadBaselineFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_load.json")
+	body := `{
+  "description": "test baseline",
+  "slo": {"max_turn_p99_seconds": 0.25, "max_error_rate": 0.01, "min_turn_throughput": 20}
+}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.MaxTurnP99Seconds != 0.25 || spec.MaxErrorRate != 0.01 || spec.MinTurnThroughput != 20 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if spec.MaxTurnP50Seconds != 0 {
+		t.Fatalf("unnamed objective not zero: %+v", spec)
+	}
+}
+
+func TestLoadRejectsEmptyAndMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "ghost.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(path, []byte(`{"description": "no slo key"}`), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("baseline without objectives accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{`), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
