@@ -11,6 +11,8 @@
 //	ontolint -bootstrap            bootstrap the built-in MDX workspace
 //	                               in-process and lint it
 //	ontolint -run nondeterm,errdrop ./...   run a subset of analyzers
+//	ontolint -json ./...           emit findings as a JSON report on
+//	                               stdout (works with every mode)
 //	ontolint -list                 list analyzers and space rules
 //
 // Suppress a source finding with a comment on (or directly above) the
@@ -39,9 +41,11 @@ func main() {
 		bundleFile = flag.String("bundle", "", "verify a compiled workspace bundle and lint its space")
 		bootstrap  = flag.Bool("bootstrap", false, "bootstrap the built-in MDX workspace and lint it")
 		run        = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		jsonOut    = flag.Bool("json", false, "emit findings as a machine-readable JSON report on stdout")
 		list       = flag.Bool("list", false, "list analyzers and space rules, then exit")
 	)
 	flag.Parse()
+	emitJSON = *jsonOut
 
 	switch {
 	case *list:
@@ -59,6 +63,31 @@ func main() {
 	}
 }
 
+// emitJSON switches every mode's finding output from human-readable
+// lines to the lint.WriteJSON report (stdout stays parseable; banners
+// and counts move to stderr).
+var emitJSON bool
+
+// report prints the findings in the selected format and returns the
+// process exit code for them (0 clean, 1 findings).
+func report(diags []lint.Diagnostic) int {
+	if emitJSON {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "ontolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ontolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
 // lintBundle opens a compiled workspace bundle (verifying its manifest
 // hashes in the process) and lints the conversation space it carries.
 func lintBundle(path string) int {
@@ -67,17 +96,13 @@ func lintBundle(path string) int {
 		fmt.Fprintln(os.Stderr, "ontolint:", err)
 		return 2
 	}
-	fmt.Printf("bundle %s: version %s, classifier %s, %d intents, %d entities, %d examples\n",
+	banner := os.Stdout
+	if emitJSON {
+		banner = os.Stderr
+	}
+	fmt.Fprintf(banner, "bundle %s: version %s, classifier %s, %d intents, %d entities, %d examples\n",
 		path, b.Version(), b.Manifest.Classifier, b.Manifest.Intents, b.Manifest.Entities, b.Manifest.Examples)
-	diags := lint.LintSpace(b.Space)
-	for _, d := range diags {
-		fmt.Println(d)
-	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "ontolint: %d finding(s)\n", len(diags))
-		return 1
-	}
-	return 0
+	return report(lint.LintSpace(b.Space))
 }
 
 func lintSource(patterns []string, run string) int {
@@ -110,15 +135,7 @@ func lintSource(patterns []string, run string) int {
 		fmt.Fprintln(os.Stderr, "ontolint:", err)
 		return 2
 	}
-	diags := lint.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
-	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "ontolint: %d finding(s)\n", len(diags))
-		return 1
-	}
-	return 0
+	return report(lint.RunAnalyzers(pkgs, analyzers))
 }
 
 func lintSpace(file string, bootstrap bool) int {
@@ -154,13 +171,5 @@ func lintSpace(file string, bootstrap bool) int {
 		}
 		space = s
 	}
-	diags := lint.LintSpace(space)
-	for _, d := range diags {
-		fmt.Println(d)
-	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "ontolint: %d finding(s)\n", len(diags))
-		return 1
-	}
-	return 0
+	return report(lint.LintSpace(space))
 }

@@ -185,6 +185,7 @@ func (s *Server) Reload() (string, error) {
 		s.agent.metrics.Reloads.With("error").Inc()
 		return "", fmt.Errorf("agent: reload: %w", err)
 	}
+	//ontolint:ignore lockheld reloadMu exists precisely to serialize installs; reloads are rare admin operations off the turn path, and turns never take this mutex.
 	if err := s.agent.InstallBundle(b); err != nil {
 		return "", err
 	}

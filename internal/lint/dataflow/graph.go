@@ -1,0 +1,282 @@
+// Package dataflow is ontolint's interprocedural layer: a call graph
+// built by class-hierarchy analysis (CHA) over type-checked packages,
+// and a summary-based taint engine propagated to fixpoint over the
+// graph's strongly connected components. The per-function analyzers in
+// internal/lint see one body at a time; this package is how a fact about
+// a helper ("returns a wall-clock value", "stores its parameter into a
+// struct field", "transitively reaches file IO") becomes visible at
+// every call site of that helper.
+//
+// Like the rest of ontolint it is standard-library only: go/ast and
+// go/types supply syntax and semantics, and everything else — graph
+// construction, SCC condensation, the taint lattice — is built here.
+// All outputs are deterministically ordered: nodes follow declaration
+// order of the packages as loaded, edges follow source order within each
+// body, and CHA fan-out edges are sorted by implementing package and
+// type, so two loads of the same module produce byte-identical edge
+// lists (see EdgeList).
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Pkg is one type-checked package handed to the graph builder. It
+// mirrors internal/lint.Package structurally; dataflow keeps its own
+// type so the dependency points from lint to dataflow only.
+type Pkg struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Node is one function in the call graph: a declared function or method
+// of an analyzed package (Decl non-nil), or an external callee — stdlib
+// or bodyless — reached by an edge (Decl nil).
+type Node struct {
+	Func *types.Func
+	Decl *ast.FuncDecl // nil for external callees
+	Pkg  *Pkg          // nil for external callees
+
+	// Calls are the out-edges in deterministic order: source order for
+	// static calls, (package, type) order within each CHA fan-out.
+	Calls []*Edge
+}
+
+// Edge is one call: caller invokes callee at Site.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	// Site is the call expression (its Pos is the diagnostic anchor).
+	Site *ast.CallExpr
+	// Dynamic marks a CHA-resolved interface dispatch: the edge is one
+	// of possibly many conservative targets, not a proven direct call.
+	Dynamic bool
+}
+
+// Graph is the whole-program call graph.
+type Graph struct {
+	Pkgs []*Pkg
+	// List holds every node with a body, in deterministic order
+	// (package load order, then declaration order).
+	List []*Node
+	// nodes indexes every node, internal and external, by canonical
+	// *types.Func (generic origin).
+	nodes map[*types.Func]*Node
+	// sccs caches the condensation (scc.go).
+	sccs [][]*Node
+}
+
+// Build constructs the call graph for the given packages. Interface
+// method calls fan out, CHA-style, to every method of every named type
+// declared in the analyzed packages whose type (or pointer type)
+// implements the interface; calls through function values produce no
+// edges (see EdgeList's doc for the soundness trade-off).
+func Build(pkgs []*Pkg) *Graph {
+	g := &Graph{Pkgs: pkgs, nodes: map[*types.Func]*Node{}}
+
+	// Pass 1: a node per declared function, in deterministic order.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Func: canonical(fn), Decl: fd, Pkg: pkg}
+				g.nodes[n.Func] = n
+				g.List = append(g.List, n)
+			}
+		}
+	}
+
+	impls := collectImplementations(pkgs)
+
+	// Pass 2: edges, in source order per body. Calls inside function
+	// literals are attributed to the enclosing declared function: the
+	// closure runs with the enclosing frame's values, so for summary
+	// purposes its calls belong to that frame.
+	for _, n := range g.List {
+		caller := n
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := Callee(caller.Pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				for _, impl := range impls.resolve(fn) {
+					g.addEdge(caller, impl, call, true)
+				}
+				return true
+			}
+			g.addEdge(caller, canonical(fn), call, false)
+			return true
+		})
+	}
+	return g
+}
+
+func (g *Graph) addEdge(caller *Node, callee *types.Func, site *ast.CallExpr, dynamic bool) {
+	to, ok := g.nodes[callee]
+	if !ok {
+		to = &Node{Func: callee}
+		g.nodes[callee] = to
+	}
+	caller.Calls = append(caller.Calls, &Edge{Caller: caller, Callee: to, Site: site, Dynamic: dynamic})
+}
+
+// NodeOf returns the graph node for fn (or its generic origin), or nil.
+func (g *Graph) NodeOf(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[canonical(fn)]
+}
+
+// canonical maps an instantiated generic function or method to its
+// origin, so one node stands for every instantiation.
+func canonical(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// Callee resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, conversions, and calls through function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// Unparen strips any number of enclosing parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// implTable supports CHA resolution: every named type declared in the
+// analyzed packages, in deterministic (package, name) order.
+type implTable struct {
+	named []*types.Named
+	memo  map[*types.Func][]*types.Func
+}
+
+func collectImplementations(pkgs []*Pkg) *implTable {
+	t := &implTable{memo: map[*types.Func][]*types.Func{}}
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		names := scope.Names() // already sorted
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			t.named = append(t.named, named)
+		}
+	}
+	return t
+}
+
+// resolve returns the concrete methods an interface method call can
+// dispatch to, among the analyzed packages' named types.
+func (t *implTable) resolve(ifaceMethod *types.Func) []*types.Func {
+	key := canonical(ifaceMethod)
+	if out, ok := t.memo[key]; ok {
+		return out
+	}
+	iface, ok := key.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	var out []*types.Func
+	if ok {
+		for _, named := range t.named {
+			ptr := types.NewPointer(named)
+			if !types.Implements(ptr, iface) && !types.Implements(named, iface) {
+				continue
+			}
+			sel := types.NewMethodSet(ptr).Lookup(key.Pkg(), key.Name())
+			if sel == nil {
+				continue
+			}
+			if m, ok := sel.Obj().(*types.Func); ok {
+				out = append(out, canonical(m))
+			}
+		}
+	}
+	t.memo[key] = out
+	return out
+}
+
+// ShortName renders a function compactly for chains and messages:
+// "pkg.Fn" for package functions, "(Type).Method" for methods of
+// analyzed packages, "pkg.Type.Method" for external methods.
+func ShortName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		name := types.TypeString(t, func(p *types.Package) string { return "" })
+		return fmt.Sprintf("(%s).%s", name, fn.Name())
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// EdgeList renders every edge of every analyzed function as
+// "file:line: caller -> callee [dynamic]" lines, sorted. Two loads of
+// the same module must produce identical lists; the determinism test
+// pins this, because every interprocedural diagnostic ultimately orders
+// itself by this graph. Calls through function *values* are absent by
+// construction — that is the engine's one soundness hole, shared with
+// CHA tools generally, and the reason paragoroutine separately flags
+// captured function values in concurrent closures.
+func (g *Graph) EdgeList() []string {
+	var out []string
+	for _, n := range g.List {
+		for _, e := range n.Calls {
+			pos := n.Pkg.Fset.Position(e.Site.Pos())
+			line := fmt.Sprintf("%s:%d: %s -> %s", pos.Filename, pos.Line, ShortName(n.Func), ShortName(e.Callee.Func))
+			if e.Dynamic {
+				line += " [dynamic]"
+			}
+			out = append(out, line)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,73 @@
+package dataflow
+
+import (
+	"go/types"
+	"strings"
+)
+
+// Reach answers "can this function, through any call chain, land in a
+// callee matching match?" for every analyzed function at once. The
+// result maps each reaching function to a shortest witness chain
+// rendered as "f → g → pkg.Sink"; functions that cannot reach a match
+// are absent. Interprocedural lockheld and errdrop are built on this:
+// match selects KB-execution and IO entry points, and the chain string
+// becomes the diagnostic's explanation.
+//
+// Chains are deterministic: ties between equal-length chains resolve to
+// the first qualifying edge in the graph's fixed edge order.
+func (g *Graph) Reach(match func(fn *types.Func) bool) map[*types.Func]string {
+	// depth[n] is the length of the shortest chain from n to a matching
+	// callee; via[n] is the first edge (in edge order) achieving it.
+	depth := map[*Node]int{}
+	via := map[*Node]*Edge{}
+
+	// Seed: direct calls to a matching callee.
+	for _, n := range g.List {
+		for _, e := range n.Calls {
+			if match(e.Callee.Func) {
+				depth[n] = 1
+				via[n] = e
+				break
+			}
+		}
+	}
+
+	// Relax to fixpoint. The module graph is small; simple rounds in
+	// fixed node order keep the result order-independent of map state.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.List {
+			for _, e := range n.Calls {
+				if e.Callee.Decl == nil {
+					continue
+				}
+				d, ok := depth[e.Callee]
+				if !ok {
+					continue
+				}
+				if cur, ok := depth[n]; !ok || d+1 < cur {
+					depth[n] = d + 1
+					via[n] = e
+					changed = true
+				}
+			}
+		}
+	}
+
+	out := map[*types.Func]string{}
+	for n, first := range via {
+		var parts []string
+		e := first
+		for {
+			parts = append(parts, ShortName(e.Caller.Func))
+			next, ok := via[e.Callee]
+			if !ok || match(e.Callee.Func) {
+				parts = append(parts, ShortName(e.Callee.Func))
+				break
+			}
+			e = next
+		}
+		out[n.Func] = strings.Join(parts, " → ")
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package dataflow
+
+// SCCs returns the strongly connected components of the call graph in
+// reverse topological order: every component is emitted after the
+// components it calls into, which is exactly the order the summary
+// engine wants (callee summaries are final before a caller reads them).
+// Tarjan's algorithm yields this order natively, and its traversal
+// follows Node.List and Edge order, so the condensation is as
+// deterministic as the graph itself.
+func (g *Graph) SCCs() [][]*Node {
+	if g.sccs != nil {
+		return g.sccs
+	}
+	type state struct {
+		index, lowlink int
+		onStack        bool
+	}
+	states := map[*Node]*state{}
+	var stack []*Node
+	next := 0
+
+	var strongconnect func(n *Node)
+	strongconnect = func(n *Node) {
+		st := &state{index: next, lowlink: next}
+		next++
+		states[n] = st
+		stack = append(stack, n)
+		st.onStack = true
+
+		for _, e := range n.Calls {
+			m := e.Callee
+			if m.Decl == nil {
+				continue // external: no summary, no cycle through it
+			}
+			ms, seen := states[m]
+			switch {
+			case !seen:
+				strongconnect(m)
+				if l := states[m].lowlink; l < st.lowlink {
+					st.lowlink = l
+				}
+			case ms.onStack:
+				if ms.index < st.lowlink {
+					st.lowlink = ms.index
+				}
+			}
+		}
+
+		if st.lowlink == st.index {
+			var comp []*Node
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[m].onStack = false
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			g.sccs = append(g.sccs, comp)
+		}
+	}
+
+	for _, n := range g.List {
+		if _, seen := states[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return g.sccs
+}

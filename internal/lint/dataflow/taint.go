@@ -1,0 +1,957 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The taint engine answers "can a value produced *here* reach a call
+// *there*, through any chain of helpers?" for a client-defined set of
+// sources and sinks. Each analyzed function gets a summary — which
+// sources flow to its results, which parameters flow to its results,
+// which parameters reach a sink inside it or below it — and summaries
+// propagate bottom-up over the call graph's SCC condensation until
+// fixpoint. Within one body the analysis is flow-insensitive and
+// field-insensitive: a variable that is ever tainted stays tainted, and
+// taint on any part of a composite taints the whole. Both choices trade
+// precision for a lattice that provably terminates (taint only grows)
+// and stays deterministic; clients narrow the noise with a type Filter
+// (genpin) or sink scoping (dettaint).
+
+// Spec configures one taint analysis.
+type Spec struct {
+	// Noun opens every message: "nondeterminism", "a pinned *runtime
+	// generation".
+	Noun string
+	// Sources produce taint.
+	Sources []Source
+	// Sinks are calls tainted values must not reach.
+	Sinks []Sink
+	// Filter, when non-nil, restricts which static types carry taint:
+	// an expression whose type fails the filter drops its taint. genpin
+	// uses this to track only values that can hold a *runtime.
+	Filter func(t types.Type) bool
+	// EscapeSink, when non-empty, treats stores into memory that
+	// outlives the function — fields of parameters, package variables —
+	// as sinks, described by this noun phrase.
+	EscapeSink string
+	// GoCaptureSink, when non-empty, treats a spawned goroutine's use
+	// of a tainted value (captured or passed) as a sink.
+	GoCaptureSink string
+}
+
+// Source is one taint origin.
+type Source struct {
+	// Kind names the source class in messages ("time.Now" chains name
+	// the concrete function; Kind is the fallback).
+	Kind string
+	// Call reports whether calling fn (yielding result type) produces
+	// this taint. nil for MapAppend sources.
+	Call func(fn *types.Func, result types.Type) bool
+	// MapAppend marks the map-iteration-order source: taint injected at
+	// appends executed inside a map-range body, the interprocedural
+	// extension of nondeterm's collect-then-sort rule.
+	MapAppend bool
+}
+
+// Sink is one forbidden destination.
+type Sink struct {
+	// Name describes the sink in messages ("artifact write os.WriteFile").
+	Name string
+	// Call returns the sensitive parameter indexes (receiver is index 0
+	// when present; nil means all) and whether fn is this sink.
+	Call func(fn *types.Func) ([]int, bool)
+}
+
+// Finding is one source-reaches-sink diagnostic.
+type Finding struct {
+	Pos      token.Pos
+	Position token.Position
+	PkgPath  string
+	Message  string
+}
+
+// Analyze runs the taint analysis over the graph and returns findings
+// sorted by position. The same graph can be analyzed under several
+// specs; per-spec state lives in this call, not on the graph.
+func Analyze(g *Graph, spec *Spec) []Finding {
+	e := &engine{g: g, spec: spec, mapSrc: -1, states: map[*Node]*funcState{}}
+	for i, s := range spec.Sources {
+		if s.MapAppend {
+			e.mapSrc = i
+		}
+	}
+	for _, n := range g.List {
+		e.states[n] = newFuncState(e, n)
+	}
+	// Bottom-up over the condensation: callee summaries are final
+	// before any caller reads them; cyclic components iterate.
+	for _, comp := range g.SCCs() {
+		for pass := 0; pass < 32; pass++ {
+			grew := false
+			for _, n := range comp {
+				st := e.states[n]
+				st.grew = false
+				(&walker{e: e, n: n, st: st}).walk()
+				grew = grew || st.grew
+			}
+			if !grew {
+				break
+			}
+		}
+	}
+	// Report pass: environments and summaries are stable; one more walk
+	// per function emits the findings.
+	var out []Finding
+	for _, n := range g.List {
+		w := &walker{e: e, n: n, st: e.states[n], findings: &out}
+		w.walk()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Message < b.Message
+	})
+	var dedup []Finding
+	for _, f := range out {
+		if len(dedup) == 0 || dedup[len(dedup)-1].Position != f.Position || dedup[len(dedup)-1].Message != f.Message {
+			dedup = append(dedup, f)
+		}
+	}
+	return dedup
+}
+
+// taint is one lattice value: a set of source classes and a set of
+// formal parameters, plus (for sources) the witness call chain.
+type taint struct {
+	src uint32
+	par uint32
+	via map[int]string // source index -> "helper → origin" chain
+}
+
+func (t taint) empty() bool { return t.src == 0 && t.par == 0 }
+
+func (t taint) union(o taint) taint {
+	out := taint{src: t.src | o.src, par: t.par | o.par, via: t.via}
+	if len(o.via) > 0 {
+		merged := make(map[int]string, len(t.via)+len(o.via))
+		for k, v := range t.via {
+			merged[k] = v
+		}
+		for k, v := range o.via {
+			if _, ok := merged[k]; !ok {
+				merged[k] = v
+			}
+		}
+		out.via = merged
+	}
+	return out
+}
+
+func (t taint) withVia(i int, chain string) taint {
+	out := taint{src: t.src | 1<<i, par: t.par, via: map[int]string{i: chain}}
+	for k, v := range t.via {
+		if _, ok := out.via[k]; !ok {
+			out.via[k] = v
+		}
+	}
+	return out
+}
+
+// chain returns the witness for source bit i, falling back to the
+// source's Kind.
+func (e *engine) chain(t taint, i int) string {
+	if c, ok := t.via[i]; ok {
+		return c
+	}
+	return e.spec.Sources[i].Kind
+}
+
+type engine struct {
+	g      *Graph
+	spec   *Spec
+	mapSrc int
+	states map[*Node]*funcState
+}
+
+// funcState is the engine's per-function memory: the variable
+// environment and the exported summary. All fields only grow, which is
+// what makes the SCC fixpoint terminate.
+type funcState struct {
+	params   []*types.Var
+	paramIdx map[types.Object]int
+	env      map[types.Object]taint
+	// sorted marks variables that are ever passed to a sort.* or
+	// slices.* call in this function: the collect-then-sort idiom
+	// sanitizes the map-order source.
+	sorted map[types.Object]bool
+	// result is the summary's flow-to-result lattice value: src bits =
+	// sources reaching any result, par bits = parameters reaching any
+	// result.
+	result taint
+	// paramSinks maps a parameter index to the sink chains it reaches
+	// ("(Bundle).WriteFile", "emit → os.WriteFile").
+	paramSinks map[int][]string
+	grew       bool
+}
+
+const maxParamSinkChains = 4
+
+func newFuncState(e *engine, n *Node) *funcState {
+	st := &funcState{
+		paramIdx:   map[types.Object]int{},
+		env:        map[types.Object]taint{},
+		sorted:     map[types.Object]bool{},
+		paramSinks: map[int][]string{},
+	}
+	sig := n.Func.Type().(*types.Signature)
+	if r := sig.Recv(); r != nil {
+		st.params = append(st.params, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		st.params = append(st.params, sig.Params().At(i))
+	}
+	for i, p := range st.params {
+		st.paramIdx[p] = i
+		if i >= 32 {
+			break
+		}
+		if e.spec.Filter != nil && !e.spec.Filter(p.Type()) {
+			continue
+		}
+		st.env[p] = taint{par: 1 << i}
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := Callee(n.Pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil || (fn.Pkg().Path() != "sort" && fn.Pkg().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			// Root identifier, so sort.Strings(an.AllDependents)
+			// sanitizes stores into an's fields too (the analysis is
+			// field-insensitive on the store side as well).
+			if id := rootIdentExpr(Unparen(arg)); id != nil {
+				if obj := n.Pkg.Info.ObjectOf(id); obj != nil {
+					st.sorted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return st
+}
+
+func (st *funcState) merge(obj types.Object, t taint) {
+	if t.empty() {
+		return
+	}
+	old := st.env[obj]
+	next := old.union(t)
+	if next.src != old.src || next.par != old.par {
+		st.grew = true
+	}
+	st.env[obj] = next
+}
+
+func (st *funcState) mergeResult(t taint) {
+	old := st.result
+	next := old.union(t)
+	if next.src != old.src || next.par != old.par {
+		st.grew = true
+	}
+	st.result = next
+}
+
+func (st *funcState) addParamSink(i int, desc string) {
+	for _, d := range st.paramSinks[i] {
+		if d == desc {
+			return
+		}
+	}
+	if len(st.paramSinks[i]) >= maxParamSinkChains {
+		return
+	}
+	st.paramSinks[i] = append(st.paramSinks[i], desc)
+	st.grew = true
+}
+
+// walker runs one pass over one function body. With findings nil it
+// only updates the environment and summary; with findings set it also
+// emits diagnostics (environments are stable by then).
+type walker struct {
+	e          *engine
+	n          *Node
+	st         *funcState
+	inMapRange int
+	findings   *[]Finding
+}
+
+func (w *walker) walk() { w.stmts(w.n.Decl.Body.List) }
+
+func (w *walker) typeOf(e ast.Expr) types.Type { return w.n.Pkg.Info.TypeOf(e) }
+
+func (w *walker) objectOf(id *ast.Ident) types.Object { return w.n.Pkg.Info.ObjectOf(id) }
+
+// emit records one source-reaches-sink finding (report pass only) and,
+// when the tainted value is parameter-derived, extends the summary so
+// callers see the sink through this function.
+func (w *walker) emit(sinkDesc string, t taint, pos token.Pos) {
+	if t.empty() {
+		return
+	}
+	for i := 0; i < len(w.e.spec.Sources); i++ {
+		if t.src&(1<<i) == 0 {
+			continue
+		}
+		if w.findings != nil {
+			msg := fmt.Sprintf("%s from %s flows into %s", w.e.spec.Noun, w.e.chain(t, i), sinkDesc)
+			*w.findings = append(*w.findings, Finding{
+				Pos:      pos,
+				Position: w.n.Pkg.Fset.Position(pos),
+				PkgPath:  w.n.Pkg.Path,
+				Message:  msg,
+			})
+		}
+	}
+	for i := 0; i < len(w.st.params) && i < 32; i++ {
+		if t.par&(1<<i) != 0 {
+			w.st.addParamSink(i, sinkDesc)
+		}
+	}
+}
+
+// ---- statements ----
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.ExprStmt:
+		w.eval(s.X)
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					switch {
+					case len(vs.Values) == len(vs.Names):
+						w.store(name, w.eval(vs.Values[i]))
+					case len(vs.Values) == 1:
+						w.store(name, w.eval(vs.Values[0]))
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		w.returnStmt(s)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.eval(s.Cond)
+		w.stmt(s.Body)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.eval(s.Cond)
+		}
+		w.stmt(s.Post)
+		w.stmt(s.Body)
+	case *ast.RangeStmt:
+		w.rangeStmt(s)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.eval(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					w.eval(e)
+				}
+				w.stmts(cl.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.typeSwitch(s)
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				w.stmt(cl.Comm)
+				w.stmts(cl.Body)
+			}
+		}
+	case *ast.GoStmt:
+		w.goStmt(s)
+	case *ast.DeferStmt:
+		w.eval(s.Call)
+	case *ast.SendStmt:
+		w.eval(s.Chan)
+		w.eval(s.Value)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+func (w *walker) returnStmt(s *ast.ReturnStmt) {
+	if len(s.Results) == 0 {
+		// Naked return: the named results carry the flow.
+		if res := w.n.Decl.Type.Results; res != nil {
+			for _, field := range res.List {
+				for _, name := range field.Names {
+					if obj := w.objectOf(name); obj != nil {
+						w.st.mergeResult(w.st.env[obj])
+					}
+				}
+			}
+		}
+		return
+	}
+	for _, r := range s.Results {
+		w.st.mergeResult(w.eval(r))
+	}
+}
+
+func (w *walker) rangeStmt(s *ast.RangeStmt) {
+	t := w.eval(s.X)
+	overMap := false
+	if xt := w.typeOf(s.X); xt != nil {
+		_, overMap = xt.Underlying().(*types.Map)
+	}
+	if s.Value != nil {
+		w.store(s.Value, t)
+	}
+	if s.Key != nil && overMap {
+		w.store(s.Key, t)
+	}
+	if overMap {
+		w.inMapRange++
+		w.stmt(s.Body)
+		w.inMapRange--
+		return
+	}
+	w.stmt(s.Body)
+}
+
+func (w *walker) typeSwitch(s *ast.TypeSwitchStmt) {
+	w.stmt(s.Init)
+	var subject taint
+	switch a := s.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				subject = w.eval(ta.X)
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			subject = w.eval(ta.X)
+		}
+	}
+	for _, cc := range s.Body.List {
+		cl, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if obj := w.n.Pkg.Info.Implicits[cl]; obj != nil {
+			w.st.merge(obj, w.filterObj(obj, subject))
+		}
+		w.stmts(cl.Body)
+	}
+}
+
+func (w *walker) goStmt(s *ast.GoStmt) {
+	if w.e.spec.GoCaptureSink != "" {
+		if lit, ok := Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(node ast.Node) bool {
+				id, ok := node.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := w.objectOf(id).(*types.Var)
+				if !ok || v.IsField() || (v.Pos() >= lit.Pos() && v.Pos() <= lit.End()) {
+					return true
+				}
+				w.emit(w.e.spec.GoCaptureSink, w.st.env[v], id.Pos())
+				return true
+			})
+		} else {
+			for _, arg := range s.Call.Args {
+				w.emit(w.e.spec.GoCaptureSink, w.eval(arg), arg.Pos())
+			}
+		}
+	}
+	w.eval(s.Call)
+}
+
+func (w *walker) assign(s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		t := w.eval(s.Rhs[0])
+		for _, lhs := range s.Lhs {
+			w.store(lhs, w.filterExpr(lhs, t))
+		}
+		return
+	}
+	for i := range s.Lhs {
+		if i < len(s.Rhs) {
+			w.store(s.Lhs[i], w.eval(s.Rhs[i]))
+		}
+	}
+}
+
+// store routes taint into an assignment target. A plain identifier
+// accumulates it; a store through a selector, index, or dereference
+// whose base is a parameter or package variable is an escape (when the
+// spec tracks escapes) because the written memory outlives the call;
+// otherwise the taint folds into the base variable, so a locally built
+// composite stays tainted as a whole.
+func (w *walker) store(lhs ast.Expr, t taint) {
+	if t.empty() {
+		return
+	}
+	switch l := Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := w.objectOf(l)
+		if obj == nil {
+			return
+		}
+		t = w.sanitizeSorted(obj, t)
+		if w.e.spec.EscapeSink != "" && isPackageVar(obj) {
+			w.emit(fmt.Sprintf("%s (a store into package variable %s)", w.e.spec.EscapeSink, l.Name), t, lhs.Pos())
+			return
+		}
+		w.st.merge(obj, t)
+	case *ast.IndexExpr, *ast.StarExpr, *ast.SelectorExpr:
+		root := rootIdentExpr(l)
+		if root == nil {
+			if w.e.spec.EscapeSink != "" {
+				w.emit(fmt.Sprintf("%s (a store into %s)", w.e.spec.EscapeSink, types.ExprString(lhs)), t, lhs.Pos())
+			}
+			return
+		}
+		obj := w.objectOf(root)
+		if obj == nil {
+			return
+		}
+		if w.e.spec.EscapeSink != "" {
+			if _, isParam := w.st.paramIdx[obj]; isParam || isPackageVar(obj) {
+				w.emit(fmt.Sprintf("%s (a store into %s)", w.e.spec.EscapeSink, types.ExprString(lhs)), t, lhs.Pos())
+				return
+			}
+		}
+		t = w.sanitizeSorted(obj, t)
+		w.st.merge(obj, t)
+	}
+}
+
+// sanitizeSorted clears the map-order source when storing into a
+// variable this function later sorts: the collect-then-sort idiom.
+func (w *walker) sanitizeSorted(obj types.Object, t taint) taint {
+	if w.e.mapSrc >= 0 && w.st.sorted[obj] {
+		t.src &^= 1 << w.e.mapSrc
+	}
+	return t
+}
+
+func isPackageVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField() && v.Parent() == v.Pkg().Scope()
+}
+
+// ---- expressions ----
+
+func (w *walker) eval(e ast.Expr) taint {
+	return w.filterExpr(e, w.evalRaw(e))
+}
+
+// filterExpr drops taint that the spec's type filter rejects for this
+// expression's static type.
+func (w *walker) filterExpr(e ast.Expr, t taint) taint {
+	if t.empty() || w.e.spec.Filter == nil {
+		return t
+	}
+	typ := w.typeOf(e)
+	if typ == nil || w.e.spec.Filter(typ) {
+		return t
+	}
+	return taint{}
+}
+
+func (w *walker) filterObj(obj types.Object, t taint) taint {
+	if t.empty() || w.e.spec.Filter == nil {
+		return t
+	}
+	if w.e.spec.Filter(obj.Type()) {
+		return t
+	}
+	return taint{}
+}
+
+func (w *walker) evalRaw(e ast.Expr) taint {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := w.objectOf(e); obj != nil {
+			return w.st.env[obj]
+		}
+	case *ast.CallExpr:
+		return w.call(e)
+	case *ast.SelectorExpr:
+		// Qualified reference (pkg.X) or field/method selection: either
+		// way the base expression's taint is the value's taint.
+		if obj := w.objectOf(e.Sel); obj != nil {
+			if _, isPkg := w.objectOf(baseIdent(e.X)).(*types.PkgName); isPkg {
+				return w.st.env[obj]
+			}
+		}
+		return w.evalRaw(e.X)
+	case *ast.ParenExpr:
+		return w.evalRaw(e.X)
+	case *ast.StarExpr:
+		return w.eval(e.X)
+	case *ast.UnaryExpr:
+		return w.eval(e.X)
+	case *ast.BinaryExpr:
+		return w.eval(e.X).union(w.eval(e.Y))
+	case *ast.IndexExpr:
+		return w.eval(e.X).union(w.eval(e.Index))
+	case *ast.IndexListExpr:
+		return w.eval(e.X)
+	case *ast.SliceExpr:
+		return w.eval(e.X)
+	case *ast.TypeAssertExpr:
+		return w.eval(e.X)
+	case *ast.CompositeLit:
+		var t taint
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t = t.union(w.eval(kv.Value))
+				continue
+			}
+			t = t.union(w.eval(el))
+		}
+		return t
+	case *ast.KeyValueExpr:
+		return w.eval(e.Value)
+	case *ast.FuncLit:
+		// The closure's effects on captured state happen in the
+		// enclosing frame: walk its body in the same environment.
+		saved := w.inMapRange
+		w.inMapRange = 0
+		w.stmts(e.Body.List)
+		w.inMapRange = saved
+		return taint{}
+	}
+	return taint{}
+}
+
+// call evaluates one call expression: argument taints, source
+// production, sink checks, and callee-summary application.
+func (w *walker) call(call *ast.CallExpr) taint {
+	fn := Callee(w.n.Pkg.Info, call)
+	if fn == nil {
+		return w.opaqueCall(call)
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		// Interface dispatch: CHA edges serve reachability, but for
+		// value flow the conservative argument union stands in for the
+		// unknown concrete method.
+		return w.opaqueCall(call)
+	}
+	argT := w.paramTaints(fn, call)
+
+	var t taint
+	resType := w.typeOf(call)
+	for i, src := range w.e.spec.Sources {
+		if src.Call != nil && src.Call(fn, resType) {
+			t = t.withVia(i, ShortName(fn))
+		}
+	}
+	for _, sink := range w.e.spec.Sinks {
+		idxs, ok := sink.Call(fn)
+		if !ok {
+			continue
+		}
+		if idxs == nil {
+			for i := range argT {
+				w.emit(sink.Name, argT[i], call.Pos())
+			}
+			continue
+		}
+		for _, i := range idxs {
+			if i < len(argT) {
+				w.emit(sink.Name, argT[i], call.Pos())
+			}
+		}
+	}
+	if cn := w.e.g.NodeOf(fn); cn != nil && cn.Decl != nil {
+		sum := w.e.states[cn]
+		for i := 0; i < len(w.e.spec.Sources); i++ {
+			if sum.result.src&(1<<i) != 0 {
+				t = t.withVia(i, ShortName(fn)+" → "+w.e.chain(sum.result, i))
+			}
+		}
+		for j := range argT {
+			if j < 32 && sum.result.par&(1<<j) != 0 {
+				t = t.union(argT[j])
+			}
+		}
+		for j, descs := range sum.paramSinks {
+			if j >= len(argT) {
+				continue
+			}
+			for _, desc := range descs {
+				w.emit(ShortName(fn)+" → "+desc, argT[j], call.Pos())
+			}
+		}
+		return t
+	}
+	// External callee without a body: assume arguments flow to results.
+	for i := range argT {
+		t = t.union(argT[i])
+	}
+	return t
+}
+
+// opaqueCall handles builtins, conversions, and calls through function
+// values: no summary, so arguments conservatively flow to the result.
+func (w *walker) opaqueCall(call *ast.CallExpr) taint {
+	fun := Unparen(call.Fun)
+	if tv, ok := w.n.Pkg.Info.Types[fun]; ok && tv.IsType() {
+		var t taint
+		for _, a := range call.Args {
+			t = t.union(w.eval(a))
+		}
+		return t
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := w.objectOf(id).(*types.Builtin); ok {
+			return w.builtin(b.Name(), call)
+		}
+	}
+	t := w.eval(call.Fun)
+	for _, a := range call.Args {
+		t = t.union(w.eval(a))
+	}
+	return t
+}
+
+func (w *walker) builtin(name string, call *ast.CallExpr) taint {
+	switch name {
+	case "append":
+		var t taint
+		for _, a := range call.Args {
+			t = t.union(w.eval(a))
+		}
+		if w.e.mapSrc >= 0 && w.inMapRange > 0 {
+			t = t.withVia(w.e.mapSrc, "map iteration order")
+		}
+		return t
+	case "copy":
+		if len(call.Args) == 2 {
+			w.store(call.Args[0], w.eval(call.Args[1]))
+		}
+		return taint{}
+	case "min", "max":
+		var t taint
+		for _, a := range call.Args {
+			t = t.union(w.eval(a))
+		}
+		return t
+	default:
+		// len, cap, delete, make, new, clear, close, panic, print…:
+		// evaluate arguments for their call effects, yield no taint.
+		for _, a := range call.Args {
+			w.eval(a)
+		}
+		return taint{}
+	}
+}
+
+// paramTaints evaluates a call's arguments and maps them onto the
+// callee's formal parameters: receiver first, variadic arguments folded
+// into the last parameter.
+func (w *walker) paramTaints(fn *types.Func, call *ast.CallExpr) []taint {
+	sig := fn.Type().(*types.Signature)
+	n := sig.Params().Len()
+	if sig.Recv() != nil {
+		n++
+	}
+	if n == 0 {
+		for _, a := range call.Args {
+			w.eval(a)
+		}
+		return nil
+	}
+	out := make([]taint, n)
+	var exprs []ast.Expr
+	if sig.Recv() != nil {
+		if sel, ok := Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if w.n.Pkg.Info.Selections[sel] != nil {
+				exprs = append(exprs, sel.X)
+			}
+		}
+		// Method expressions (T.M)(x, …) already pass the receiver
+		// first in call.Args.
+	}
+	exprs = append(exprs, call.Args...)
+	for i, e := range exprs {
+		j := i
+		if j >= n {
+			j = n - 1
+		}
+		out[j] = out[j].union(w.eval(e))
+	}
+	return out
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	id, _ := Unparen(e).(*ast.Ident)
+	return id
+}
+
+// rootIdentExpr unwraps selectors, indexes, stars and parens down to
+// the base identifier, or nil when the base is not an identifier.
+func rootIdentExpr(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// CanReach reports whether a value of type t can transitively hold a
+// value of the named type target (directly, behind a pointer, inside a
+// struct field, slice, array, map, or channel). genpin's type filter is
+// built on this.
+//
+// Interface types deliberately do NOT count as reaching: dynamically an
+// `any` can hold anything, but treating it so makes every container
+// with an interface field (container/list, caches, error wrappers) a
+// carrier and drowns the analysis in false positives. The direct escape
+// `field = rt` is still caught regardless of the field's interface
+// type, because the filter applies to the stored *value's* static type;
+// what is lost is re-extraction through a round-trip into `any`.
+func CanReach(t types.Type, target *types.Named) bool {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			if named.Obj() == target.Obj() {
+				return true
+			}
+			return walk(named.Underlying())
+		}
+		switch u := t.(type) {
+		case *types.Pointer:
+			return walk(u.Elem())
+		case *types.Slice:
+			return walk(u.Elem())
+		case *types.Array:
+			return walk(u.Elem())
+		case *types.Chan:
+			return walk(u.Elem())
+		case *types.Map:
+			return walk(u.Key()) || walk(u.Elem())
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+			return false
+		case *types.TypeParam:
+			return true
+		default:
+			return false
+		}
+	}
+	return walk(t)
+}
+
+// Qualified renders "pkgpath.Name" for matching tables.
+func Qualified(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// MatchFuncs builds a Source/Sink matcher from "pkgpath.Name" and
+// "pkgpath.Recv.Name" entries.
+func MatchFuncs(entries ...string) func(fn *types.Func) bool {
+	set := map[string]bool{}
+	for _, e := range entries {
+		set[e] = true
+	}
+	return func(fn *types.Func) bool {
+		if fn.Pkg() == nil {
+			return false
+		}
+		if set[Qualified(fn)] {
+			return true
+		}
+		if recv := receiverName(fn); recv != "" {
+			return set[fn.Pkg().Path()+"."+recv+"."+fn.Name()]
+		}
+		return false
+	}
+}
+
+func receiverName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

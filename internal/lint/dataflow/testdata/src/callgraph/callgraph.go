@@ -1,0 +1,38 @@
+// Package callgraph exercises CHA resolution and edge-order
+// determinism: one interface with two implementations (every dispatch
+// fans out to both), plus calls routed through a closure.
+package callgraph
+
+type Store interface {
+	Get(k string) string
+	Put(k, v string)
+}
+
+type memStore struct{ m map[string]string }
+
+func (s *memStore) Get(k string) string { return s.m[k] }
+func (s *memStore) Put(k, v string)     { s.m[k] = v }
+
+type nullStore struct{}
+
+func (nullStore) Get(string) string  { return "" }
+func (nullStore) Put(string, string) {}
+
+// Copy dispatches through the interface: CHA resolves each call to both
+// implementations.
+func Copy(dst, src Store, keys []string) {
+	for _, k := range keys {
+		dst.Put(k, src.Get(k))
+	}
+}
+
+// Fill routes the Put through a closure; the call is attributed to Fill.
+func Fill(s *memStore, keys []string) {
+	each(keys, func(k string) { s.Put(k, k) })
+}
+
+func each(keys []string, f func(string)) {
+	for _, k := range keys {
+		f(k)
+	}
+}

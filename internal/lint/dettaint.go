@@ -1,0 +1,32 @@
+package lint
+
+// DetTaintAnalyzer is the interprocedural extension of nondeterm: a
+// nondeterministic value — wall clock, unseeded math/rand, process
+// environment, scheduler state, map-iteration order — must not flow,
+// through any chain of helper calls, into an artifact-emission sink
+// (bundle compile/write, space serialization, file creation). nondeterm
+// sees one body at a time and misses exactly the helper-routed case;
+// dettaint's findings come from the module-wide summary engine in
+// internal/lint/dataflow and each message carries the witness chain.
+var DetTaintAnalyzer = &Analyzer{
+	Name: "dettaint",
+	Doc:  "nondeterministic value flows through call chains into an artifact-emission sink",
+	Match: pathMatcher(
+		"ontoconv",
+		"ontoconv/internal/core",
+		"ontoconv/internal/ontogen",
+		"ontoconv/internal/medkb",
+		"ontoconv/internal/ontology",
+		"ontoconv/internal/dialogue",
+		"ontoconv/internal/kb",
+		"ontoconv/internal/nlq",
+		"ontoconv/internal/sqlx",
+		"ontoconv/internal/bundle",
+		"ontoconv/cmd/...",
+	),
+	Run: func(p *Pass) {
+		for _, f := range p.Mod.DetTaint(p.Path) {
+			p.Reportf(f.Pos, "%s", f.Message)
+		}
+	},
+}

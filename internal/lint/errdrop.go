@@ -78,6 +78,14 @@ func runErrDrop(p *Pass) {
 			if errDropAllowed(pkgPath, recv, fn.Name()) {
 				return true
 			}
+			// A dropped error from a callee that transitively performs
+			// IO is worse than a cosmetic one: name the chain so the
+			// reader sees what failure is being swallowed.
+			if chain := p.Mod.IOChain(fn); chain != "" {
+				p.Reportf(call.Pos(), "error result of %s is discarded and it transitively performs KB/IO work (%s); handle it or assign to _ explicitly",
+					fn.Name(), chain)
+				return true
+			}
 			p.Reportf(call.Pos(), "error result of %s is discarded; handle it or assign to _ explicitly", fn.Name())
 			return true
 		})

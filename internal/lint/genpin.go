@@ -1,0 +1,22 @@
+package lint
+
+// GenPinAnalyzer enforces generation pinning across the agent's atomic
+// hot swap: a turn loads one *runtime via Agent.rt.Load() and must use
+// only that generation until it returns. A pinned pointer that escapes
+// the turn — stored into a struct field, a package variable, session
+// state, or captured by a spawned goroutine — would let one turn
+// straddle an InstallBundle swap and mix two ontologies' answers. The
+// analysis is interprocedural (a helper that squirrels the pointer away
+// is caught at its call site) and type-filtered: only values whose type
+// can transitively hold a *runtime count, so strings and counters
+// derived from a generation are not escapes.
+var GenPinAnalyzer = &Analyzer{
+	Name:  "genpin",
+	Doc:   "a *runtime generation pinned from Agent.rt escapes the turn",
+	Match: pathMatcher("ontoconv/internal/agent", "ontoconv/cmd/..."),
+	Run: func(p *Pass) {
+		for _, f := range p.Mod.GenPin(p.Path) {
+			p.Reportf(f.Pos, "%s", f.Message)
+		}
+	},
+}

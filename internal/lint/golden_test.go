@@ -35,12 +35,20 @@ func analyzerByName(t *testing.T, name string) *lint.Analyzer {
 // analyzer is scoped to and diffs findings against the //want markers.
 func runGolden(t *testing.T, name, importPath string) {
 	t.Helper()
+	runGoldenDir(t, name, name, importPath)
+}
+
+// runGoldenDir is runGolden with an explicit fixture directory, for
+// analyzers with more than one fixture package (the interprocedural
+// lockheld/errdrop cases live apart from the intra-function ones).
+func runGoldenDir(t *testing.T, name, dirName, importPath string) {
+	t.Helper()
 	a := analyzerByName(t, name)
 	if a.Match != nil && !a.Match(importPath) {
 		t.Fatalf("analyzer %s is out of scope for %s; golden test would be vacuous", name, importPath)
 	}
 
-	dir := filepath.Join("testdata", "src", name)
+	dir := filepath.Join("testdata", "src", dirName)
 	pkg, err := lint.CheckDir(dir, importPath)
 	if err != nil {
 		t.Fatalf("CheckDir(%s): %v", dir, err)

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/types"
+
+	"ontoconv/internal/lint/dataflow"
+)
+
+// Module holds the whole-module interprocedural facts — call graph,
+// taint findings, transitive-IO reachability — computed once per
+// RunAnalyzers invocation and shared by every analyzer through
+// Pass.Mod. Analyzers stay per-package: dettaint and genpin just emit
+// the precomputed findings that land in their package, which keeps
+// Match scoping and ontolint:ignore suppression working unchanged.
+type Module struct {
+	graph    *dataflow.Graph
+	detTaint map[string][]dataflow.Finding // package path -> findings
+	genPin   map[string][]dataflow.Finding
+	ioReach  map[*types.Func]string // func -> witness chain to KB/IO work
+}
+
+// NewModule builds the call graph over the loaded packages and runs the
+// interprocedural analyses to fixpoint.
+func NewModule(pkgs []*Package) *Module {
+	dpkgs := make([]*dataflow.Pkg, len(pkgs))
+	for i, p := range pkgs {
+		dpkgs[i] = &dataflow.Pkg{Path: p.Path, Fset: p.Fset, Files: p.Files, Types: p.Types, Info: p.Info}
+	}
+	g := dataflow.Build(dpkgs)
+	m := &Module{
+		graph:    g,
+		detTaint: map[string][]dataflow.Finding{},
+		genPin:   map[string][]dataflow.Finding{},
+	}
+	for _, f := range dataflow.Analyze(g, detTaintSpec()) {
+		m.detTaint[f.PkgPath] = append(m.detTaint[f.PkgPath], f)
+	}
+	if spec := genPinSpec(pkgs); spec != nil {
+		for _, f := range dataflow.Analyze(g, spec) {
+			m.genPin[f.PkgPath] = append(m.genPin[f.PkgPath], f)
+		}
+	}
+	m.ioReach = g.Reach(transitivelyBlocking)
+	return m
+}
+
+// DetTaint returns the dettaint findings for one package path.
+func (m *Module) DetTaint(path string) []dataflow.Finding {
+	if m == nil {
+		return nil
+	}
+	return m.detTaint[path]
+}
+
+// GenPin returns the genpin findings for one package path.
+func (m *Module) GenPin(path string) []dataflow.Finding {
+	if m == nil {
+		return nil
+	}
+	return m.genPin[path]
+}
+
+// IOChain returns the witness chain by which fn transitively reaches KB
+// execution or IO ("fn → helper → kb.Scan"), or "" when it provably
+// does not (within CHA's soundness limits).
+func (m *Module) IOChain(fn *types.Func) string {
+	if m == nil || fn == nil {
+		return ""
+	}
+	n := m.graph.NodeOf(fn)
+	if n == nil {
+		return ""
+	}
+	return m.ioReach[n.Func]
+}
+
+// ---- dettaint configuration ----
+
+// detTaintSpec defines nondeterminism sources and artifact-emission
+// sinks. The source set mirrors nondeterm's intra-function rules; the
+// sinks are the writers every offline artifact funnels through.
+func detTaintSpec() *dataflow.Spec {
+	wallClock := dataflow.MatchFuncs("time.Now", "time.Since", "time.Until")
+	env := dataflow.MatchFuncs("os.Getenv", "os.LookupEnv", "os.Environ")
+	sched := dataflow.MatchFuncs("runtime.GOMAXPROCS", "runtime.NumCPU", "runtime.NumGoroutine")
+	return &dataflow.Spec{
+		Noun: "nondeterminism",
+		Sources: []dataflow.Source{
+			{Kind: "the wall clock", Call: func(fn *types.Func, _ types.Type) bool { return wallClock(fn) }},
+			{Kind: "math/rand global state", Call: func(fn *types.Func, _ types.Type) bool { return globalRand(fn) }},
+			{Kind: "the process environment", Call: func(fn *types.Func, _ types.Type) bool { return env(fn) }},
+			{Kind: "scheduler state", Call: func(fn *types.Func, _ types.Type) bool { return sched(fn) }},
+			{Kind: "map iteration order", MapAppend: true},
+		},
+		Sinks: []dataflow.Sink{
+			artifactSink("artifact sink (Bundle).Write", "ontoconv/internal/bundle.Bundle.Write"),
+			artifactSink("artifact sink (Bundle).WriteFile", "ontoconv/internal/bundle.Bundle.WriteFile"),
+			artifactSink("artifact sink bundle.Compile", "ontoconv/internal/bundle.Compile"),
+			artifactSink("artifact sink (Space).WriteJSON", "ontoconv/internal/core.Space.WriteJSON"),
+			artifactSink("artifact sink os.WriteFile", "os.WriteFile"),
+			artifactSink("artifact sink os.Create", "os.Create"),
+		},
+	}
+}
+
+// globalRand matches math/rand's package-level functions, whose shared
+// unseeded source is nondeterministic. Methods on an explicitly seeded
+// *rand.Rand (the medkb synthesizer's idiom) are excluded: their
+// receiver carries the seed.
+func globalRand(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "Seed":
+		return false
+	}
+	return true
+}
+
+func artifactSink(name string, entries ...string) dataflow.Sink {
+	match := dataflow.MatchFuncs(entries...)
+	return dataflow.Sink{
+		Name: name,
+		Call: func(fn *types.Func) ([]int, bool) { return nil, match(fn) },
+	}
+}
+
+// ---- genpin configuration ----
+
+// genPinSpec defines the generation-pinning analysis: a *runtime
+// obtained from the agent's atomic.Pointer must stay within the turn
+// that loaded it. Taint is restricted to types that can transitively
+// hold a *runtime, so plain strings and ints derived from a generation
+// do not count as escapes. Returns nil when no analyzed package
+// declares the agent runtime type (nothing to track).
+func genPinSpec(pkgs []*Package) *dataflow.Spec {
+	var runtimeNamed *types.Named
+	for _, p := range pkgs {
+		if p.Path != "ontoconv/internal/agent" {
+			continue
+		}
+		if tn, ok := p.Types.Scope().Lookup("runtime").(*types.TypeName); ok {
+			runtimeNamed, _ = tn.Type().(*types.Named)
+		}
+	}
+	if runtimeNamed == nil {
+		return nil
+	}
+	return &dataflow.Spec{
+		Noun: "a pinned *runtime generation",
+		Sources: []dataflow.Source{
+			{
+				Kind: "Agent.rt.Load",
+				Call: func(fn *types.Func, result types.Type) bool {
+					return fn.Name() == "Load" && isAgentRuntimePtr(result)
+				},
+			},
+		},
+		Filter: func(t types.Type) bool {
+			return dataflow.CanReach(t, runtimeNamed)
+		},
+		EscapeSink:    "memory that outlives the turn",
+		GoCaptureSink: "a spawned goroutine that may outlive the turn",
+	}
+}
+
+func isAgentRuntimePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "runtime" && obj.Pkg() != nil && obj.Pkg().Path() == "ontoconv/internal/agent"
+}
+
+// ---- transitive lock/IO configuration ----
+
+// transitivelyBlocking matches the call-graph leaves that count as KB
+// execution or IO for the interprocedural lockheld/errdrop retrofits.
+// The os list is file IO only — unlike lockBlockingPkgs' blanket "os",
+// reachability would otherwise paint half the module via os.Getenv.
+func transitivelyBlocking(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "ontoconv/internal/kb", "ontoconv/internal/sqlx", "net", "database/sql":
+		return true
+	case "net/http":
+		// Accessors like (*Request).Context are not IO; only the calls
+		// that actually hit the network or block on a listener count.
+		switch fn.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head", "RoundTrip",
+			"ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS", "Shutdown":
+			return true
+		}
+	case "os":
+		switch fn.Name() {
+		case "Open", "OpenFile", "Create", "ReadFile", "WriteFile", "ReadDir",
+			"Stat", "Remove", "RemoveAll", "Mkdir", "MkdirAll", "Rename":
+			return true
+		}
+	}
+	return false
+}

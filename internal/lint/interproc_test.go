@@ -1,0 +1,125 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ontoconv/internal/lint"
+)
+
+func snippetFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return strings.Split(string(data), "\n"), nil
+}
+
+func TestGoldenDetTaint(t *testing.T) { runGolden(t, "dettaint", "ontoconv/internal/core") }
+
+func TestGoldenGenPin(t *testing.T) { runGolden(t, "genpin", "ontoconv/internal/agent") }
+
+func TestGoldenLockHeldInterproc(t *testing.T) {
+	runGoldenDir(t, "lockheld", "lockheldx", "ontoconv/internal/agent")
+}
+
+func TestGoldenErrDropInterproc(t *testing.T) {
+	runGoldenDir(t, "errdrop", "errdropx", "ontoconv/internal/core")
+}
+
+// TestDettaintCatchesCrossFunctionTaint is the acceptance case for the
+// interprocedural engine: a wall-clock read in a helper, an artifact
+// write in its caller. nondeterm's per-function view provably misses
+// it; dettaint must connect the two and name the chain.
+func TestDettaintCatchesCrossFunctionTaint(t *testing.T) {
+	pkg, err := lint.CheckDir(filepath.Join("testdata", "src", "crossfunc"), "ontoconv/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := []*lint.Package{pkg}
+
+	if diags := lint.RunAnalyzers(pkgs, []*lint.Analyzer{analyzerByName(t, "nondeterm")}); len(diags) != 0 {
+		t.Errorf("nondeterm unexpectedly sees the helper-routed taint: %v", diags)
+	}
+
+	diags := lint.RunAnalyzers(pkgs, []*lint.Analyzer{analyzerByName(t, "dettaint")})
+	if len(diags) != 1 {
+		t.Fatalf("dettaint: want exactly 1 finding, got %d: %v", len(diags), diags)
+	}
+	wantLine := 0
+	data, err := snippetFile(filepath.Join("testdata", "src", "crossfunc", "crossfunc.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range data {
+		if strings.Contains(line, "os.WriteFile") {
+			wantLine = i + 1
+		}
+	}
+	d := diags[0]
+	if base := filepath.Base(d.Pos.Filename); base != "crossfunc.go" || d.Pos.Line != wantLine {
+		t.Errorf("finding at %s:%d, want crossfunc.go:%d (the os.WriteFile call)", base, d.Pos.Line, wantLine)
+	}
+	for _, needle := range []string{"stamp", "time.Now", "os.WriteFile"} {
+		if !strings.Contains(d.Message, needle) {
+			t.Errorf("message %q does not name %q; the witness chain must be explicit", d.Message, needle)
+		}
+	}
+}
+
+// TestLockHeldTransitiveChain pins the retrofit's message: the witness
+// chain from the held region to the IO leaf must be spelled out.
+func TestLockHeldTransitiveChain(t *testing.T) {
+	pkg, err := lint.CheckDir(filepath.Join("testdata", "src", "lockheldx"), "ontoconv/internal/agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{analyzerByName(t, "lockheld")})
+	if len(diags) != 1 {
+		t.Fatalf("want 1 finding, got %d: %v", len(diags), diags)
+	}
+	msg := diags[0].Message
+	for _, needle := range []string{"transitively", "loadSnapshot", "os.ReadFile", "s.mu"} {
+		if !strings.Contains(msg, needle) {
+			t.Errorf("message %q does not mention %q", msg, needle)
+		}
+	}
+}
+
+// TestErrDropTransitiveChain pins the errdrop annotation: a dropped
+// error from an IO-reaching helper names what failure is swallowed.
+func TestErrDropTransitiveChain(t *testing.T) {
+	pkg, err := lint.CheckDir(filepath.Join("testdata", "src", "errdropx"), "ontoconv/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{analyzerByName(t, "errdrop")})
+	if len(diags) != 1 {
+		t.Fatalf("want 1 finding, got %d: %v", len(diags), diags)
+	}
+	msg := diags[0].Message
+	for _, needle := range []string{"transitively performs KB/IO work", "persist", "os.WriteFile"} {
+		if !strings.Contains(msg, needle) {
+			t.Errorf("message %q does not mention %q", msg, needle)
+		}
+	}
+}
+
+// TestSuppressionMultiLineCall is the regression test for directive
+// placement inside a wrapped call: the diagnostic anchors at the call's
+// opening line, the comment sits lines below, and the suppression must
+// still apply.
+func TestSuppressionMultiLineCall(t *testing.T) {
+	pkg, err := lint.CheckDir(filepath.Join("testdata", "src", "errdrop"), "ontoconv/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{analyzerByName(t, "errdrop")})
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) == "multiline.go" {
+			t.Errorf("directive inside the wrapped call did not suppress: %s", d)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is the stable machine-readable form of one diagnostic.
+// Field names and order are pinned by TestWriteJSONGolden: CI tooling
+// parses this, so changes here are breaking.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Count    int           `json:"count"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// WriteJSON renders diagnostics as an indented JSON report followed by a
+// newline. A clean run produces an empty findings array, never null, so
+// consumers can index unconditionally.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	report := jsonReport{Count: len(diags), Findings: make([]jsonFinding, 0, len(diags))}
+	for _, d := range diags {
+		report.Findings = append(report.Findings, jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSONGolden pins the -json encoding byte for byte: CI consumes
+// this format as a build artifact, so any change must be deliberate.
+func TestWriteJSONGolden(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/agent/respond.go", Line: 21, Column: 9},
+			Analyzer: "genpin",
+			Message:  "a pinned *runtime generation escapes the turn",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/core/keyconcepts.go", Line: 99, Column: 3},
+			Analyzer: "dettaint",
+			Message:  "nondeterminism from map iteration order flows into artifact sink (Space).WriteJSON",
+		},
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, diags); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "count": 2,
+  "findings": [
+    {
+      "file": "internal/agent/respond.go",
+      "line": 21,
+      "column": 9,
+      "analyzer": "genpin",
+      "message": "a pinned *runtime generation escapes the turn"
+    },
+    {
+      "file": "internal/core/keyconcepts.go",
+      "line": 99,
+      "column": 3,
+      "analyzer": "dettaint",
+      "message": "nondeterminism from map iteration order flows into artifact sink (Space).WriteJSON"
+    }
+  ]
+}
+`
+	if sb.String() != want {
+		t.Errorf("WriteJSON encoding drifted:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestWriteJSONEmpty: a clean run must yield an empty array, not null.
+func TestWriteJSONEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"count\": 0,\n  \"findings\": []\n}\n"
+	if sb.String() != want {
+		t.Errorf("empty report drifted:\ngot:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}

@@ -64,6 +64,9 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Mod exposes whole-module interprocedural facts (call graph, taint
+	// findings, transitive-IO chains) shared across packages.
+	Mod *Module
 
 	analyzer *Analyzer
 	suppress map[string]map[int]bool // filename -> suppressed lines
@@ -96,6 +99,8 @@ func Analyzers() []*Analyzer {
 		LockHeldAnalyzer,
 		ErrDropAnalyzer,
 		ParaGoroutineAnalyzer,
+		DetTaintAnalyzer,
+		GenPinAnalyzer,
 	}
 }
 
@@ -115,6 +120,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	if analyzers == nil {
 		analyzers = Analyzers()
 	}
+	mod := NewModule(pkgs)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		supp := suppressions(pkg)
@@ -128,6 +134,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Mod:      mod,
 				analyzer: a,
 				suppress: supp[a.Name],
 				out:      &out,
@@ -181,8 +188,40 @@ func suppressions(pkg *Package) map[string]map[string]map[int]bool {
 					byFile[pos.Filename] = lines
 				}
 				lines[pos.Line] = true
+				// A directive inside a multi-line call expression covers
+				// the whole expression: diagnostics anchor at the call's
+				// opening line, which for a wrapped argument list is not
+				// the comment's line.
+				markEnclosingCall(pkg, f, c.Pos(), lines)
 			}
 		}
 	}
 	return out
+}
+
+// markEnclosingCall marks every line spanned by the innermost call
+// expression containing pos, so a suppression written next to one
+// argument of a wrapped call suppresses the call itself.
+func markEnclosingCall(pkg *Package, f *ast.File, pos token.Pos, lines map[int]bool) {
+	var innermost *ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > pos || n.End() < pos {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			innermost = call // descent order: the last hit is innermost
+		}
+		return true
+	})
+	if innermost == nil {
+		return
+	}
+	start := pkg.Fset.Position(innermost.Pos()).Line
+	end := pkg.Fset.Position(innermost.End()).Line
+	for l := start; l <= end; l++ {
+		lines[l] = true
+	}
 }

@@ -13,6 +13,10 @@ import (
 // the KB) serializes every user onto one mutex. A deliberate hold — such
 // as the per-session lock that serializes turns within one conversation —
 // is documented with an ontolint:ignore comment.
+//
+// The check is interprocedural: a helper that merely *transitively*
+// reaches KB execution or file IO is also flagged, with the witness
+// chain from the module call graph in the message.
 var LockHeldAnalyzer = &Analyzer{
 	Name:  "lockheld",
 	Doc:   "mutex held across KB-execute or IO calls on the serving path",
@@ -59,13 +63,23 @@ func runLockHeld(p *Pass) {
 			if fn == nil {
 				return true
 			}
-			if !blockingCallee(fn) {
-				return true
+			direct := blockingCallee(fn)
+			chain := ""
+			if !direct {
+				chain = p.Mod.IOChain(fn)
+				if chain == "" {
+					return true
+				}
 			}
 			for _, reg := range regions {
 				if call.Pos() > reg.start && call.Pos() < reg.end {
-					p.Reportf(call.Pos(), "%s called while %s is held; KB/IO work under a mutex blocks every other holder",
-						fn.Name(), reg.expr)
+					if direct {
+						p.Reportf(call.Pos(), "%s called while %s is held; KB/IO work under a mutex blocks every other holder",
+							fn.Name(), reg.expr)
+					} else {
+						p.Reportf(call.Pos(), "%s transitively reaches KB/IO work (%s) while %s is held; move the call outside the critical section",
+							fn.Name(), chain, reg.expr)
+					}
 					return true
 				}
 			}

@@ -1,0 +1,20 @@
+// Package crossfunc pins the acceptance case for the interprocedural
+// engine: the helper hides the wall clock from nondeterm's per-function
+// view, and only dettaint connects it to the artifact write in the
+// caller. TestDettaintCatchesCrossFunctionTaint asserts both analyzers'
+// outputs over this package.
+package crossfunc
+
+import (
+	"os"
+	"strconv"
+	"time"
+)
+
+// stamp returns a wall-clock value; its caller, not it, touches IO.
+func stamp() int64 { return time.Now().UnixNano() }
+
+// WriteManifest embeds the helper's nondeterminism in an artifact.
+func WriteManifest(path string) error {
+	return os.WriteFile(path, []byte(strconv.FormatInt(stamp(), 10)), 0o644) //want:dettaint
+}

@@ -1,0 +1,98 @@
+// Package dettaint is a golden-test fixture for the interprocedural
+// determinism analysis: nondeterministic values routed through helper
+// calls into artifact writes (flagged), next to seeded and sorted twins
+// that must stay silent.
+package dettaint
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// stamp hides the wall clock behind a helper: the per-function nondeterm
+// analyzer cannot see it from the caller's body.
+func stamp() int64 { return time.Now().UnixNano() }
+
+// writeStamped routes the helper's nondeterminism into an artifact.
+func writeStamped(path string) error {
+	header := fmt.Sprintf("generated at %d", stamp())
+	return os.WriteFile(path, []byte(header), 0o644) //want:dettaint
+}
+
+// writeDirect has source and sink in one body.
+func writeDirect(path string) error {
+	payload := []byte(time.Now().String())
+	return os.WriteFile(path, payload, 0o644) //want:dettaint
+}
+
+// emit wraps the sink: taint reports land at emit's call sites.
+func emit(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// pick draws from math/rand's shared unseeded source.
+func pick(rows []string) string {
+	return rows[rand.Intn(len(rows))]
+}
+
+// writePicked combines a source helper with a sink helper.
+func writePicked(path string, rows []string) error {
+	return emit(path, []byte(pick(rows))) //want:dettaint
+}
+
+// seededPick uses an explicitly seeded generator: deterministic, benign.
+func seededPick(rows []string) string {
+	r := rand.New(rand.NewSource(42))
+	return rows[r.Intn(len(rows))]
+}
+
+func writeSeeded(path string, rows []string) error {
+	return emit(path, []byte(seededPick(rows)))
+}
+
+// collectKeys appends under map iteration without sorting: the slice
+// order is nondeterministic.
+func collectKeys(set map[string]bool) []string {
+	var keys []string
+	for k := range set {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func writeKeys(path string, set map[string]bool) error {
+	return emit(path, []byte(strings.Join(collectKeys(set), ","))) //want:dettaint
+}
+
+// collectSorted is the benign twin: collect, then sort.
+func collectSorted(set map[string]bool) []string {
+	var keys []string
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeSortedKeys(path string, set map[string]bool) error {
+	return emit(path, []byte(strings.Join(collectSorted(set), ",")))
+}
+
+// workers leaks scheduler state.
+func workers() int { return runtime.GOMAXPROCS(0) }
+
+func writeWorkers(path string) error {
+	return emit(path, []byte(fmt.Sprintf("workers=%d", workers()))) //want:dettaint
+}
+
+// configDir reads the process environment.
+func configDir() string { return os.Getenv("ONTOCONV_DIR") }
+
+func writeConfig(path string) error {
+	return emit(path, []byte(configDir())) //want:dettaint
+}

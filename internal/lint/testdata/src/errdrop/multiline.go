@@ -1,0 +1,16 @@
+package errdrop
+
+import "os"
+
+// multilineSuppressed drops the write error deliberately. The directive
+// sits on an inner line of the wrapped call: it must suppress the whole
+// expression, whose diagnostic anchors at the opening line (regression
+// fixture for the multi-line suppression fix).
+func multilineSuppressed(path string) {
+	os.WriteFile(
+		path,
+		//ontolint:ignore errdrop fixture: reviewed drop; a directive inside a wrapped call covers the whole expression
+		[]byte("x"),
+		0o644,
+	)
+}

@@ -1,0 +1,21 @@
+// Package errdropx is a golden-test fixture for the interprocedural
+// errdrop annotation: the dropped error comes from a helper that
+// transitively writes a file, and the diagnostic names the chain.
+package errdropx
+
+import "os"
+
+// persist hides the file write one level down.
+func persist(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// flush drops persist's error: flagged, with the IO chain in the message.
+func flush(path string, data []byte) {
+	persist(path, data) //want:errdrop
+}
+
+// flushChecked propagates it: benign.
+func flushChecked(path string, data []byte) error {
+	return persist(path, data)
+}

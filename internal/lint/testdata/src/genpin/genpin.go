@@ -1,0 +1,64 @@
+// Package genpin is a golden-test fixture for generation pinning: a
+// *runtime loaded from the agent's atomic pointer must not outlive the
+// turn. Escapes through fields, globals, helpers, and goroutines are
+// flagged; values merely derived from a generation are not.
+package genpin
+
+import "sync/atomic"
+
+type runtime struct {
+	version string
+}
+
+type Agent struct {
+	rt atomic.Pointer[runtime]
+}
+
+type session struct {
+	last *runtime // a field that would pin a generation past the turn
+	note string
+}
+
+var current *runtime
+
+// pin loads the live generation: the taint source, one helper deep.
+func (a *Agent) pin() *runtime { return a.rt.Load() }
+
+// keepGlobal parks a generation in a package variable.
+func (a *Agent) keepGlobal() {
+	current = a.pin() //want:genpin
+}
+
+// keepField stores the generation into session state.
+func (a *Agent) keepField(s *session) {
+	rt := a.pin()
+	s.last = rt //want:genpin
+}
+
+// stash hides the escape one call away.
+func stash(s *session, rt *runtime) {
+	s.last = rt
+}
+
+// keepViaHelper escapes through the helper: flagged at the call site.
+func (a *Agent) keepViaHelper(s *session) {
+	stash(s, a.pin()) //want:genpin
+}
+
+// spawn captures the pinned generation in a goroutine that can outlive
+// the turn that loaded it.
+func (a *Agent) spawn(done chan struct{}) {
+	rt := a.pin()
+	go func() {
+		_ = rt.version //want:genpin
+		close(done)
+	}()
+}
+
+// respond uses the generation only within the turn. The string stored
+// into the session is derived data, not a generation reference: benign.
+func (a *Agent) respond(s *session) string {
+	rt := a.pin()
+	s.note = rt.version
+	return rt.version
+}

@@ -1,0 +1,45 @@
+// Package lockheldx is a golden-test fixture for the interprocedural
+// lockheld retrofit: the blocking work hides behind a helper, so only
+// the call-graph reachability check can connect the held mutex to the
+// file IO.
+package lockheldx
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu    sync.Mutex
+	cache map[string][]byte
+}
+
+// loadSnapshot does the file IO; it takes no lock itself.
+func loadSnapshot(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// refreshLocked holds the mutex across a helper that transitively reads
+// a file.
+func (s *store) refreshLocked(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := loadSnapshot(path) //want:lockheld
+	if err != nil {
+		return err
+	}
+	s.cache[path] = data
+	return nil
+}
+
+// refreshUnlocked reads first and locks only around the store: benign.
+func (s *store) refreshUnlocked(path string) error {
+	data, err := loadSnapshot(path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.cache[path] = data
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,3 @@
+module ontoconv
+
+go 1.22

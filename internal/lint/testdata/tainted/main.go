@@ -1,0 +1,21 @@
+// This module is deliberately tainted: a wall-clock read in a helper
+// flows into an artifact write in main. CI builds ontolint against it
+// and asserts a nonzero exit, proving the lint gate can actually fail.
+// The module path impersonates ontoconv so the root package lands in
+// dettaint's emission scope; go tooling ignores testdata directories,
+// so the outer module never sees this package.
+package main
+
+import (
+	"os"
+	"time"
+)
+
+// stamp hides the nondeterminism one call away from the sink.
+func stamp() string { return time.Now().String() }
+
+func main() {
+	if err := os.WriteFile("artifact.txt", []byte(stamp()), 0o644); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzQuantileHistogram fuzzes the log-linear histogram's algebraic
+// invariants: Merge is commutative (observe A then merge a B-histogram
+// must equal observe B then merge an A-histogram), Quantile is
+// monotone in q, and a Snapshot answers exactly like the live
+// histogram. These are the properties the live tail-latency gauges and
+// the rolling-window merge depend on.
+func FuzzQuantileHistogram(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0x80, 0x41, 7, 7})
+	f.Add([]byte{0, 0, 0, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Four input bytes per observation, spread across magnitudes so
+		// both the linear and exponential bucket ranges are exercised.
+		var vals []float64
+		for i := 0; i+4 <= len(data); i += 4 {
+			u := binary.LittleEndian.Uint32(data[i:])
+			v := float64(u) / 997.0
+			switch u % 3 {
+			case 1:
+				v /= 1e9
+			case 2:
+				v *= 1e3
+			}
+			vals = append(vals, v)
+		}
+		split := len(vals) / 2
+		a, b := vals[:split], vals[split:]
+
+		observe := func(vs []float64) *QuantileHistogram {
+			h := &QuantileHistogram{}
+			for _, v := range vs {
+				h.Observe(v)
+			}
+			return h
+		}
+
+		// Merge commutativity.
+		ab := observe(a)
+		ab.Merge(observe(b))
+		ba := observe(b)
+		ba.Merge(observe(a))
+		if ab.Count() != ba.Count() {
+			t.Fatalf("merge count not commutative: %d vs %d", ab.Count(), ba.Count())
+		}
+		if ab.Sum() != ba.Sum() {
+			t.Fatalf("merge sum not commutative: %v vs %v", ab.Sum(), ba.Sum())
+		}
+		if ab.Max() != ba.Max() {
+			t.Fatalf("merge max not commutative: %v vs %v", ab.Max(), ba.Max())
+		}
+		qs := []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+		for _, q := range qs {
+			if x, y := ab.Quantile(q), ba.Quantile(q); x != y {
+				t.Fatalf("merge quantile(%v) not commutative: %v vs %v", q, x, y)
+			}
+		}
+
+		// Quantile monotonicity over the merged histogram.
+		prev := ab.Quantile(qs[0])
+		for _, q := range qs[1:] {
+			cur := ab.Quantile(q)
+			if cur < prev {
+				t.Fatalf("quantile not monotone: Q(%v)=%v < previous %v", q, cur, prev)
+			}
+			prev = cur
+		}
+
+		// Snapshot consistency.
+		snap := ab.Snapshot()
+		if snap.Count() != ab.Count() {
+			t.Fatalf("snapshot count %d != live %d", snap.Count(), ab.Count())
+		}
+		for _, q := range qs {
+			if x, y := snap.Quantile(q), ab.Quantile(q); x != y {
+				t.Fatalf("snapshot quantile(%v)=%v != live %v", q, x, y)
+			}
+		}
+	})
+}
