@@ -3,8 +3,9 @@
 // the conversation space (intents, training examples, entities,
 // templates), and the Dialogue Logic Table.
 //
-// Flags select the artifact:
+// Flags select the domain and the artifact:
 //
+//	-domain       which deployment to bootstrap: medkb (default) or retail
 //	-ontology     ontology JSON
 //	-owl          ontology in OWL-functional-like text
 //	-space        conversation space JSON (default)
@@ -33,10 +34,12 @@ import (
 	"ontoconv/internal/dialogue"
 	"ontoconv/internal/medkb"
 	"ontoconv/internal/obs"
+	"ontoconv/internal/retailkb"
 )
 
 func main() {
 	var (
+		domain     = flag.String("domain", "medkb", "deployment to bootstrap: medkb or retail")
 		ontoJSON   = flag.Bool("ontology", false, "print the domain ontology as JSON")
 		owl        = flag.Bool("owl", false, "print the ontology in OWL-functional-like text")
 		spaceJSON  = flag.Bool("space", false, "print the conversation space as JSON")
@@ -52,7 +55,16 @@ func main() {
 	}
 
 	phases := obs.NewPhaseLog()
-	_, onto, space, err := medkb.BootstrapWithPhases(phases)
+	bootstrap := medkb.BootstrapWithPhases
+	switch *domain {
+	case "medkb":
+	case "retail":
+		bootstrap = retailkb.BootstrapWithPhases
+	default:
+		fmt.Fprintf(os.Stderr, "bootstrap: unknown -domain %q (medkb or retail)\n", *domain)
+		os.Exit(2)
+	}
+	_, onto, space, err := bootstrap(phases)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bootstrap:", err)
 		os.Exit(1)

@@ -22,6 +22,16 @@
 //     never silently delayed). Open mode measures what users would feel
 //     at a given offered load.
 //
+// Multi-tenant servers can be driven two ways. -workspace NAME sends all
+// traffic through that workspace's routes (/w/NAME/chat). Repeating
+// -tenant NAME=BUNDLE instead mixes tenants in one run: interactions
+// round-robin across the named workspaces (closed mode assigns workers,
+// open mode assigns arrivals), each drawing utterances from its own
+// bundle's space, and the report carries a per-workspace breakdown next
+// to the aggregate. The Table-5 intent mix only names intents the
+// driven space defines; a space from another domain falls back to a
+// uniform draw over its own task intents.
+//
 // Latency is measured client-side per turn into a lock-free log-linear
 // histogram (internal/obs.QuantileHistogram, ≤1.6% relative quantile
 // error). Turns completing during -warmup or after the measurement
@@ -30,6 +40,8 @@
 //
 // With -slo FILE the report is evaluated against the baseline's
 // objectives and the exit status is 1 on any violation — the CI gate.
+// A mixed-tenant report is gated by the baseline's "slo_multi_tenant"
+// objectives when present (latency ceilings bind per workspace too).
 // -replay REPORT re-evaluates a previous run's report without
 // generating load.
 package main
@@ -42,6 +54,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,11 +68,37 @@ import (
 	"ontoconv/internal/slo"
 )
 
+// tenantSpec is one -tenant flag: a workspace name and its bundle path.
+type tenantSpec struct {
+	name, path string
+}
+
+type tenantFlags []tenantSpec
+
+func (t *tenantFlags) String() string {
+	parts := make([]string, len(*t))
+	for i, s := range *t {
+		parts[i] = s.name + "=" + s.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tenantFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want NAME=BUNDLE, got %q", v)
+	}
+	*t = append(*t, tenantSpec{name: name, path: path})
+	return nil
+}
+
 func main() {
+	var tenants tenantFlags
 	var (
 		target      = flag.String("target", "http://127.0.0.1:8080", "base URL of the mdxserver under test")
 		bundlePath  = flag.String("bundle", "", "draw utterances from this compiled workspace bundle's space")
 		spacePath   = flag.String("space", "", "draw utterances from this conversation-space JSON (see bootstrap -space)")
+		workspaceWS = flag.String("workspace", "", "drive this workspace's routes (/w/NAME/chat) instead of the bare ones")
 		mode        = flag.String("mode", "closed", "load shape: closed (N looping users) or open (fixed arrival rate)")
 		workers     = flag.Int("workers", 8, "closed mode: concurrent simulated users")
 		rate        = flag.Float64("rate", 50, "open mode: interaction arrivals per second")
@@ -67,29 +107,39 @@ func main() {
 		warmup      = flag.Duration("warmup", 5*time.Second, "traffic before the window; excluded from the report")
 		seed        = flag.Int64("seed", 2019, "base seed for the utterance stream")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
-		waitReady   = flag.Duration("wait-ready", 30*time.Second, "poll /readyz this long before driving load")
+		waitReady   = flag.Duration("wait-ready", 30*time.Second, "poll readiness this long before driving load")
 		outPath     = flag.String("out", "", "write the JSON report here (default stdout)")
 		sloPath     = flag.String("slo", "", "evaluate the report against this baseline's objectives; exit 1 on violation")
 		replayPath  = flag.String("replay", "", "re-evaluate this existing report instead of generating load")
 	)
+	flag.Var(&tenants, "tenant", "mixed-tenant mode: NAME=BUNDLE, repeatable; round-robins interactions across workspaces")
 	flag.Parse()
 
 	if *replayPath != "" {
 		os.Exit(replay(*replayPath, *sloPath))
 	}
 
-	space, err := loadSpace(*bundlePath, *spacePath)
+	report := &slo.Report{
+		Target:          *target,
+		Mode:            *mode,
+		Seed:            *seed,
+		WarmupSeconds:   warmup.Seconds(),
+		DurationSeconds: duration.Seconds(),
+	}
+	targets, err := resolveTargets(tenants, *bundlePath, *spacePath, *workspaceWS, report)
 	if err != nil {
 		fatal(err)
 	}
-	if err := waitForReady(*target, *waitReady); err != nil {
-		fatal(err)
+	for _, tt := range targets {
+		if err := waitForReady(*target+tt.prefix, *waitReady); err != nil {
+			fatal(err)
+		}
 	}
 
 	d := &driver{
-		target: *target,
-		space:  space,
-		seed:   *seed,
+		target:  *target,
+		tenants: targets,
+		seed:    *seed,
 		client: &http.Client{
 			Timeout: *timeout,
 			Transport: &http.Transport{
@@ -97,13 +147,6 @@ func main() {
 				MaxIdleConnsPerHost: *workers + *maxInflight,
 			},
 		},
-	}
-	report := &slo.Report{
-		Target:          *target,
-		Mode:            *mode,
-		Seed:            *seed,
-		WarmupSeconds:   warmup.Seconds(),
-		DurationSeconds: duration.Seconds(),
 	}
 	switch *mode {
 	case "closed":
@@ -157,13 +200,18 @@ func gate(report *slo.Report, sloPath string) int {
 	if sloPath == "" {
 		return 0
 	}
-	spec, err := slo.Load(sloPath)
+	f, err := slo.LoadFile(sloPath)
 	if err != nil {
 		fatal(err)
 	}
+	spec := f.SpecFor(report)
+	kind := ""
+	if f.MultiTenant != nil && len(report.Workspaces) > 1 {
+		kind = ", multi-tenant objectives"
+	}
 	violations := spec.Evaluate(report)
 	if len(violations) == 0 {
-		fmt.Fprintf(os.Stderr, "loadgen: within SLO (%s)\n", sloPath)
+		fmt.Fprintf(os.Stderr, "loadgen: within SLO (%s%s)\n", sloPath, kind)
 		return 0
 	}
 	for _, v := range violations {
@@ -175,6 +223,54 @@ func gate(report *slo.Report, sloPath string) int {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "loadgen:", err)
 	os.Exit(2)
+}
+
+// tenantTarget is one traffic destination: a route prefix and the
+// conversation space its utterances are scripted from.
+type tenantTarget struct {
+	name   string // "" outside mixed/workspace mode
+	prefix string // "" for bare routes, else "/w/<name>"
+	space  *core.Space
+}
+
+// resolveTargets builds the destination set: the round-robin workspace
+// list in mixed-tenant mode, otherwise one target from
+// -bundle/-space/-workspace.
+func resolveTargets(tenants tenantFlags, bundlePath, spacePath, workspace string, report *slo.Report) ([]*tenantTarget, error) {
+	if len(tenants) > 0 {
+		if bundlePath != "" || spacePath != "" || workspace != "" {
+			return nil, fmt.Errorf("-tenant is mutually exclusive with -bundle, -space, and -workspace")
+		}
+		seen := map[string]bool{}
+		targets := make([]*tenantTarget, 0, len(tenants))
+		for _, ts := range tenants {
+			if seen[ts.name] {
+				return nil, fmt.Errorf("-tenant %q given twice", ts.name)
+			}
+			seen[ts.name] = true
+			b, err := bundle.OpenFile(ts.path)
+			if err != nil {
+				return nil, err
+			}
+			targets = append(targets, &tenantTarget{
+				name:   ts.name,
+				prefix: "/w/" + ts.name,
+				space:  b.Space,
+			})
+		}
+		return targets, nil
+	}
+	space, err := loadSpace(bundlePath, spacePath)
+	if err != nil {
+		return nil, err
+	}
+	tt := &tenantTarget{space: space}
+	if workspace != "" {
+		tt.name = workspace
+		tt.prefix = "/w/" + workspace
+		report.Workspace = workspace
+	}
+	return []*tenantTarget{tt}, nil
 }
 
 // loadSpace resolves the conversation space the scripter draws from: a
@@ -205,12 +301,35 @@ func loadSpace(bundlePath, spacePath string) (*core.Space, error) {
 	}
 }
 
-// waitForReady polls /readyz until the server reports a live runtime.
-func waitForReady(target string, patience time.Duration) error {
+// usageFor narrows the Table-5 intent mix to the intents the driven space
+// actually defines. A space sharing none of them (another domain's) gets
+// nil: the scripter then draws uniformly over that space's task intents.
+func usageFor(space *core.Space) []sim.IntentShare {
+	var out []sim.IntentShare
+	for _, s := range sim.MDXUsage() {
+		if space.Intent(s.Intent) != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// scripterFor builds a deterministic per-seed scripter over one space.
+func scripterFor(space *core.Space, seed int64) *sim.Scripter {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Usage = usageFor(space)
+	return sim.NewScripter(space, cfg)
+}
+
+// waitForReady polls <base>/readyz until the server reports a live
+// runtime (base includes the workspace prefix, so in multi-tenant mode
+// this cold-starts the tenant before the measurement window).
+func waitForReady(base string, patience time.Duration) error {
 	deadline := time.Now().Add(patience)
 	client := &http.Client{Timeout: 2 * time.Second}
 	for {
-		resp, err := client.Get(target + "/readyz")
+		resp, err := client.Get(base + "/readyz")
 		if err == nil {
 			_, _ = io.Copy(io.Discard, resp.Body)
 			_ = resp.Body.Close()
@@ -230,10 +349,10 @@ func waitForReady(target string, patience time.Duration) error {
 
 // driver fires scripted interactions at the target.
 type driver struct {
-	target string
-	space  *core.Space
-	seed   int64
-	client *http.Client
+	target  string
+	tenants []*tenantTarget
+	seed    int64
+	client  *http.Client
 }
 
 // counters are one traffic source's tallies; windowed ones only count
@@ -258,15 +377,15 @@ type chatResponse struct {
 	Closed   bool   `json:"closed"`
 }
 
-// turn posts one /chat turn and returns the reply and client-observed
-// latency.
-func (d *driver) turn(session, message string) (chatResponse, time.Duration, error) {
+// turn posts one /chat turn to the tenant's routes and returns the reply
+// and client-observed latency.
+func (d *driver) turn(tt *tenantTarget, session, message string) (chatResponse, time.Duration, error) {
 	body, err := json.Marshal(chatRequest{Session: session, Message: message})
 	if err != nil {
 		return chatResponse{}, 0, err
 	}
 	start := time.Now()
-	resp, err := d.client.Post(d.target+"/chat", "application/json", bytes.NewReader(body))
+	resp, err := d.client.Post(d.target+tt.prefix+"/chat", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return chatResponse{}, time.Since(start), err
 	}
@@ -275,20 +394,20 @@ func (d *driver) turn(session, message string) (chatResponse, time.Duration, err
 	var out chatResponse
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return out, time.Since(start), fmt.Errorf("/chat status %d", resp.StatusCode)
+		return out, time.Since(start), fmt.Errorf("%s/chat status %d", tt.prefix, resp.StatusCode)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return out, time.Since(start), fmt.Errorf("/chat decode: %w", err)
+		return out, time.Since(start), fmt.Errorf("%s/chat decode: %w", tt.prefix, err)
 	}
 	return out, time.Since(start), nil
 }
 
-// interaction plays one script to completion. Turn latencies completing
-// inside [winStart, winEnd) are recorded into hist and cnt; the
-// interaction itself is counted if its first turn lands in the window.
-// sc is synchronized by mu when shared (open mode); nil mu means the
-// caller owns the scripter (closed mode).
-func (d *driver) interaction(sc *sim.Scripter, mu *sync.Mutex, session string,
+// interaction plays one script to completion against one tenant. Turn
+// latencies completing inside [winStart, winEnd) are recorded into hist
+// and cnt; the interaction itself is counted if its first turn lands in
+// the window. sc is synchronized by mu when shared (open mode); nil mu
+// means the caller owns the scripter (closed mode).
+func (d *driver) interaction(sc *sim.Scripter, mu *sync.Mutex, tt *tenantTarget, session string,
 	hist *obs.QuantileHistogram, cnt *counters, winStart, winEnd time.Time) {
 	lock := func() {
 		if mu != nil {
@@ -310,7 +429,7 @@ func (d *driver) interaction(sc *sim.Scripter, mu *sync.Mutex, session string,
 	utterance := sp.Utterance
 	var last chatResponse
 	for {
-		resp, elapsed, err := d.turn(session, utterance)
+		resp, elapsed, err := d.turn(tt, session, utterance)
 		now := time.Now()
 		inWindow := now.After(winStart) && now.Before(winEnd)
 		if err != nil {
@@ -348,50 +467,52 @@ func (d *driver) interaction(sc *sim.Scripter, mu *sync.Mutex, session string,
 }
 
 // runClosed: N simulated users in a loop, one scripter per worker so the
-// draw stream is deterministic per (seed, worker).
+// draw stream is deterministic per (seed, worker). In mixed-tenant mode
+// worker w belongs to tenant w mod len(tenants).
 func (d *driver) runClosed(report *slo.Report, workers int, warmup, duration time.Duration) {
 	winStart := time.Now().Add(warmup)
 	winEnd := winStart.Add(duration)
-	hists := make([]*obs.QuantileHistogram, workers)
-	var cnt counters
+	tenantHists := make([]*obs.QuantileHistogram, len(d.tenants))
+	for i := range tenantHists {
+		tenantHists[i] = &obs.QuantileHistogram{}
+	}
+	cnts := make([]counters, len(d.tenants))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		hists[w] = &obs.QuantileHistogram{}
+		ti := w % len(d.tenants)
 		wg.Add(1)
-		go func(w int) {
+		go func(w, ti int) {
 			defer wg.Done()
-			cfg := sim.DefaultConfig()
-			cfg.Seed = d.seed + int64(w)
-			sc := sim.NewScripter(d.space, cfg)
+			tt := d.tenants[ti]
+			sc := scripterFor(tt.space, d.seed+int64(w))
 			for i := 0; time.Now().Before(winEnd); i++ {
 				session := fmt.Sprintf("lg-w%d-i%d", w, i)
-				d.interaction(sc, nil, session, hists[w], &cnt, winStart, winEnd)
+				d.interaction(sc, nil, tt, session, tenantHists[ti], &cnts[ti], winStart, winEnd)
 			}
-		}(w)
+		}(w, ti)
 	}
 	wg.Wait()
-	merged := &obs.QuantileHistogram{}
-	for _, h := range hists {
-		merged.Merge(h)
-	}
-	fill(report, merged, &cnt, duration)
+	fill(report, d.tenants, tenantHists, cnts, duration)
 }
 
-// runOpen: interactions arrive on a fixed schedule from one shared
-// scripter (mutex-guarded — the arrival process is the point here, not
-// draw-order determinism), each played out in its own goroutine.
+// runOpen: interactions arrive on a fixed schedule, each played out in
+// its own goroutine; arrival i goes to tenant i mod len(tenants). Each
+// tenant shares one mutex-guarded scripter — the arrival process is the
+// point here, not draw-order determinism.
 func (d *driver) runOpen(report *slo.Report, rate float64, maxInflight int, warmup, duration time.Duration) {
 	if rate <= 0 {
 		fatal(fmt.Errorf("-rate must be positive in open mode"))
 	}
 	winStart := time.Now().Add(warmup)
 	winEnd := winStart.Add(duration)
-	cfg := sim.DefaultConfig()
-	cfg.Seed = d.seed
-	sc := sim.NewScripter(d.space, cfg)
-	var mu sync.Mutex
-	hist := &obs.QuantileHistogram{}
-	var cnt counters
+	scripters := make([]*sim.Scripter, len(d.tenants))
+	mus := make([]sync.Mutex, len(d.tenants))
+	tenantHists := make([]*obs.QuantileHistogram, len(d.tenants))
+	for i, tt := range d.tenants {
+		scripters[i] = scripterFor(tt.space, d.seed+int64(i))
+		tenantHists[i] = &obs.QuantileHistogram{}
+	}
+	cnts := make([]counters, len(d.tenants))
 	var inflight atomic.Int64
 	var dropped uint64
 	var wg sync.WaitGroup
@@ -415,33 +536,67 @@ func (d *driver) runOpen(report *slo.Report, rate float64, maxInflight int, warm
 		go func(i int) {
 			defer wg.Done()
 			defer inflight.Add(-1)
-			d.interaction(sc, &mu, fmt.Sprintf("lg-o%d", i), hist, &cnt, winStart, winEnd)
+			ti := i % len(d.tenants)
+			d.interaction(scripters[ti], &mus[ti], d.tenants[ti],
+				fmt.Sprintf("lg-o%d", i), tenantHists[ti], &cnts[ti], winStart, winEnd)
 		}(i)
 	}
 	wg.Wait()
 	report.DroppedArrivals = dropped
-	fill(report, hist, &cnt, duration)
+	fill(report, d.tenants, tenantHists, cnts, duration)
 }
 
-// fill computes the report's derived fields from the raw tallies.
-func fill(report *slo.Report, hist *obs.QuantileHistogram, cnt *counters, duration time.Duration) {
-	report.Interactions = atomic.LoadUint64(&cnt.interactions)
-	report.Turns = atomic.LoadUint64(&cnt.turns)
-	report.Answered = atomic.LoadUint64(&cnt.answered)
-	report.Errors = atomic.LoadUint64(&cnt.errors)
+// fill computes the report's derived fields from the raw tallies: the
+// aggregate always, plus the per-workspace breakdown in mixed-tenant
+// runs.
+func fill(report *slo.Report, tenants []*tenantTarget, hists []*obs.QuantileHistogram, cnts []counters, duration time.Duration) {
+	merged := &obs.QuantileHistogram{}
+	var total counters
+	for i := range tenants {
+		merged.Merge(hists[i])
+		total.interactions += atomic.LoadUint64(&cnts[i].interactions)
+		total.turns += atomic.LoadUint64(&cnts[i].turns)
+		total.answered += atomic.LoadUint64(&cnts[i].answered)
+		total.errors += atomic.LoadUint64(&cnts[i].errors)
+	}
+	report.Interactions = total.interactions
+	report.Turns = total.turns
+	report.Answered = total.answered
+	report.Errors = total.errors
 	if total := report.Turns + report.Errors; total > 0 {
 		report.ErrorRate = float64(report.Errors) / float64(total)
 	}
 	if duration > 0 {
 		report.TurnsPerSecond = float64(report.Turns) / duration.Seconds()
 	}
-	report.TurnLatency = slo.Latency{
-		P50Seconds:  hist.Quantile(0.5),
-		P90Seconds:  hist.Quantile(0.9),
-		P99Seconds:  hist.Quantile(0.99),
-		P999Seconds: hist.Quantile(0.999),
-		MaxSeconds:  hist.Max(),
-		MeanSeconds: hist.Mean(),
+	report.TurnLatency = latency(merged)
+
+	if len(tenants) > 1 {
+		report.Workspaces = make(map[string]*slo.WorkspaceLoad, len(tenants))
+		for i, tt := range tenants {
+			wl := &slo.WorkspaceLoad{
+				Interactions: atomic.LoadUint64(&cnts[i].interactions),
+				Turns:        atomic.LoadUint64(&cnts[i].turns),
+				Answered:     atomic.LoadUint64(&cnts[i].answered),
+				Errors:       atomic.LoadUint64(&cnts[i].errors),
+				TurnLatency:  latency(hists[i]),
+			}
+			if duration > 0 {
+				wl.TurnsPerSecond = float64(wl.Turns) / duration.Seconds()
+			}
+			report.Workspaces[tt.name] = wl
+		}
+	}
+}
+
+func latency(h *obs.QuantileHistogram) slo.Latency {
+	return slo.Latency{
+		P50Seconds:  h.Quantile(0.5),
+		P90Seconds:  h.Quantile(0.9),
+		P99Seconds:  h.Quantile(0.99),
+		P999Seconds: h.Quantile(0.999),
+		MaxSeconds:  h.Max(),
+		MeanSeconds: h.Mean(),
 	}
 }
 
@@ -456,4 +611,22 @@ func summarize(w io.Writer, r *slo.Report) {
 		r.TurnLatency.P50Seconds*1e3, r.TurnLatency.P90Seconds*1e3,
 		r.TurnLatency.P99Seconds*1e3, r.TurnLatency.P999Seconds*1e3,
 		r.TurnLatency.MaxSeconds*1e3)
+	for _, name := range sortedNames(r.Workspaces) {
+		wl := r.Workspaces[name]
+		fmt.Fprintf(w, "loadgen:   /w/%s: %d turns (%d answered), %d errors, %.1f turns/s, p50 %.2fms p99 %.2fms\n",
+			name, wl.Turns, wl.Answered, wl.Errors, wl.TurnsPerSecond,
+			wl.TurnLatency.P50Seconds*1e3, wl.TurnLatency.P99Seconds*1e3)
+	}
+}
+
+func sortedNames(ws map[string]*slo.WorkspaceLoad) []string {
+	if len(ws) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(ws))
+	for name := range ws {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -1,7 +1,8 @@
 // Command mdxserver hosts Conversational MDX over HTTP (the deployment
 // shape of §7: conversation interface as a hosted service).
 //
-//	mdxserver -addr :8080 [-bundle FILE] [-debug] [-idle-ttl 30m] [-quiet]
+//	mdxserver -addr :8080 [-bundle [NAME=]FILE]... [-workspace-cap N]
+//	          [-debug] [-idle-ttl 30m] [-quiet]
 //
 //	curl -s localhost:8080/chat -d '{"session":"s1","message":"show me drugs that treat psoriasis"}'
 //	curl -s localhost:8080/chat -d '{"session":"s1","message":"pediatric"}'
@@ -10,12 +11,24 @@
 //	curl -s localhost:8080/metrics              # Prometheus text exposition
 //	curl -s -X POST localhost:8080/admin/reload # hot-swap to the bundle on disk
 //
-// Without -bundle the server bootstraps the conversation space and trains
-// the classifier in-process (slow cold start). With -bundle FILE it
-// deserializes a compiled workspace bundle produced by `bootstrap -out`
-// instead — no retraining — and can hot-swap to a newer bundle at the same
-// path via POST /admin/reload or SIGHUP, without dropping sessions or
-// in-flight turns.
+// Without -bundle the server bootstraps the medical conversation space and
+// trains the classifier in-process (slow cold start). With one bare
+// -bundle FILE it deserializes a compiled workspace bundle produced by
+// `bootstrap -out` instead — no retraining — and can hot-swap to a newer
+// bundle at the same path via POST /admin/reload or SIGHUP.
+//
+// Repeating -bundle, or naming one (-bundle retail=retail.bundle), turns
+// on multi-tenant serving: every bundle becomes a workspace reachable
+// under /w/<name>/chat (or bare routes with an X-Workspace header), with
+// per-tenant sessions, answer caches, and tenant-labeled metrics on one
+// /metrics endpoint. A bare FILE is the workspace "default", which also
+// answers the bare routes; the first -bundle is the default workspace.
+// Agents are built lazily and -workspace-cap bounds how many stay
+// resident at once (LRU eviction; 0 = all). Domains are recognized by
+// the bundle's key concepts — Drug ⇒ the medical KB, Product ⇒ the
+// retail KB — since bundles carry the conversation space but KBs are
+// regenerated deterministically at load. SIGHUP reloads every workspace;
+// POST /w/<name>/admin/reload reloads one.
 //
 // Every request is logged as one JSON line on stderr (method, path,
 // session, status, duration, request_id). X-Request-ID headers are
@@ -33,75 +46,75 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ontoconv"
 	"ontoconv/internal/agent"
 	"ontoconv/internal/bundle"
+	"ontoconv/internal/core"
+	"ontoconv/internal/kb"
 	"ontoconv/internal/obs"
+	"ontoconv/internal/workspace"
 )
 
+// bundleSpec is one -bundle flag: an optional workspace name and a path.
+type bundleSpec struct {
+	name  string
+	path  string
+	named bool // true when the flag spelled NAME=PATH
+}
+
+// bundleFlags accumulates repeated -bundle flags.
+type bundleFlags []bundleSpec
+
+func (b *bundleFlags) String() string {
+	parts := make([]string, len(*b))
+	for i, s := range *b {
+		parts[i] = s.name + "=" + s.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b *bundleFlags) Set(v string) error {
+	spec := bundleSpec{name: agent.DefaultWorkspace, path: v}
+	if name, path, ok := strings.Cut(v, "="); ok {
+		if name == "" || path == "" {
+			return fmt.Errorf("want NAME=PATH or PATH, got %q", v)
+		}
+		spec = bundleSpec{name: name, path: path, named: true}
+	}
+	if spec.path == "" {
+		return fmt.Errorf("empty bundle path")
+	}
+	*b = append(*b, spec)
+	return nil
+}
+
 func main() {
+	var bundles bundleFlags
 	addr := flag.String("addr", ":8080", "listen address")
-	bundlePath := flag.String("bundle", "", "serve from a compiled workspace bundle (see bootstrap -out); enables /admin/reload and SIGHUP hot swaps")
+	flag.Var(&bundles, "bundle", "serve a compiled workspace bundle (see bootstrap -out); repeat or use NAME=PATH for multi-tenant serving")
+	wsCap := flag.Int("workspace-cap", 0, "multi-tenant: max workspaces resident at once, LRU-evicting the rest (0 = all)")
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	idleTTL := flag.Duration("idle-ttl", agent.DefaultIdleTTL, "evict sessions idle longer than this (0 disables)")
 	quiet := flag.Bool("quiet", false, "disable JSON request logging")
 	flag.Parse()
 
-	var ag *agent.Agent
-	if *bundlePath != "" {
-		start := time.Now()
-		b, err := bundle.OpenFile(*bundlePath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		base, err := ontoconv.MedicalKB()
-		if err != nil {
-			log.Fatal(err)
-		}
-		// The generated KB has no secondary indexes; derive them from the
-		// bundle's space before serving so template plans get index scans.
-		if _, err := ontoconv.BuildKBIndexes(base, b.Space); err != nil {
-			log.Fatal(err)
-		}
-		ag, err = agent.NewFromBundle(b, base, agent.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("loaded bundle %s (version %s, classifier %s) in %s — no retraining\n",
-			*bundlePath, b.Version(), b.Manifest.Classifier, time.Since(start).Round(time.Millisecond))
-	} else {
-		fmt.Println("bootstrapping conversation space …")
-		base, _, space, err := ontoconv.MedicalBootstrap()
-		if err != nil {
-			log.Fatal(err)
-		}
-		ag, err = agent.New(space, base, agent.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
+	var srv *agent.Server
+	switch {
+	case len(bundles) == 0:
+		srv = bootServer()
+	case len(bundles) == 1 && !bundles[0].named:
+		srv = singleBundleServer(bundles[0].path)
+	default:
+		srv = workspaceServer(bundles, *wsCap)
 	}
-	srv := agent.NewServer(ag)
 	srv.SetIdleTTL(*idleTTL)
-
-	if *bundlePath != "" {
-		srv.SetReloader(func() (*bundle.Bundle, error) {
-			return bundle.OpenFile(*bundlePath)
-		})
-		hup := make(chan os.Signal, 1)
-		signal.Notify(hup, syscall.SIGHUP)
-		go func() {
-			for range hup {
-				if v, err := srv.Reload(); err != nil {
-					fmt.Fprintln(os.Stderr, "reload (SIGHUP):", err)
-				} else {
-					fmt.Printf("reloaded bundle, serving version %s\n", v)
-				}
-			}
-		}()
-	}
+	// Idle sessions are reclaimed on a background tick, not only when
+	// traffic happens to arrive.
+	srv.StartSweeper(0)
 
 	// AccessLog always wraps the handler — it owns request-ID minting and
 	// propagation, which /trace/slow correlation relies on even when the
@@ -129,4 +142,145 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Fatal(server.ListenAndServe())
+}
+
+// bootServer bootstraps the medical space in-process (no bundle; slow
+// cold start) and serves it single-tenant.
+func bootServer() *agent.Server {
+	fmt.Println("bootstrapping conversation space …")
+	base, _, space, err := ontoconv.MedicalBootstrap()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ag, err := agent.New(space, base, agent.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return agent.NewServer(ag)
+}
+
+// singleBundleServer is the classic one-bundle deployment: a single agent
+// cold-started from the bundle, with /admin/reload and SIGHUP hot swaps.
+func singleBundleServer(path string) *agent.Server {
+	start := time.Now()
+	b, err := bundle.OpenFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildKB, domain, err := domainKB(b.Space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := buildKB(b.Space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ag, err := agent.NewFromBundle(b, base, agent.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded bundle %s (version %s, domain %s, classifier %s) in %s — no retraining\n",
+		path, b.Version(), domain, b.Manifest.Classifier, time.Since(start).Round(time.Millisecond))
+
+	srv := agent.NewServer(ag)
+	srv.SetReloader(func() (*bundle.Bundle, error) {
+		return bundle.OpenFile(path)
+	})
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if v, err := srv.Reload(); err != nil {
+				fmt.Fprintln(os.Stderr, "reload (SIGHUP):", err)
+			} else {
+				fmt.Printf("reloaded bundle, serving version %s\n", v)
+			}
+		}
+	}()
+	return srv
+}
+
+// workspaceServer serves every -bundle as a tenant of one process. Agents
+// are built lazily on first traffic; wsCap bounds residency.
+func workspaceServer(bundles bundleFlags, wsCap int) *agent.Server {
+	oreg := obs.NewRegistry()
+	sources := make([]workspace.Source, 0, len(bundles))
+	for _, spec := range bundles {
+		path := spec.path
+		// Probe the bundle once up front: fail fast on a bad path and pin
+		// the KB domain before any traffic arrives.
+		b, err := bundle.OpenFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buildKB, domain, err := domainKB(b.Space)
+		if err != nil {
+			log.Fatalf("workspace %s: %v", spec.name, err)
+		}
+		fmt.Printf("workspace %s: bundle %s (version %s, domain %s, classifier %s)\n",
+			spec.name, path, b.Version(), domain, b.Manifest.Classifier)
+		sources = append(sources, workspace.Source{
+			Name: spec.name,
+			Open: func() (*bundle.Bundle, error) { return bundle.OpenFile(path) },
+			KB:   buildKB,
+		})
+	}
+	wreg, err := workspace.New(oreg, wsCap, sources...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := agent.NewWorkspaceServer(wreg, oreg)
+	srv.SetDefaultWorkspace(bundles[0].name)
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			for _, name := range wreg.Workspaces() {
+				if v, err := wreg.Reload(name); err != nil {
+					fmt.Fprintf(os.Stderr, "reload (SIGHUP) %s: %v\n", name, err)
+				} else {
+					fmt.Printf("reloaded workspace %s, serving version %s\n", name, v)
+				}
+			}
+		}
+	}()
+
+	residency := "all resident"
+	if wsCap > 0 {
+		residency = fmt.Sprintf("cap %d", wsCap)
+	}
+	fmt.Printf("multi-tenant: %d workspaces (%s), default %q — POST /w/<name>/chat\n",
+		len(bundles), residency, bundles[0].name)
+	return srv
+}
+
+// domainKB recognizes which deterministic KB generator a bundle's space
+// belongs to by its key concepts. Bundles carry the trained conversation
+// space but not the data; the KB is regenerated and indexed at load time.
+func domainKB(space *core.Space) (func(*core.Space) (*kb.KB, error), string, error) {
+	for _, key := range space.KeyConcepts {
+		switch key {
+		case "Drug":
+			return indexedKB(ontoconv.MedicalKB), "medical", nil
+		case "Product":
+			return indexedKB(ontoconv.RetailKB), "retail", nil
+		}
+	}
+	return nil, "", fmt.Errorf("no KB generator for key concepts %v (want Drug or Product)", space.KeyConcepts)
+}
+
+// indexedKB wraps a KB generator with the secondary-index build the
+// serving fast path needs (see ontoconv.BuildKBIndexes).
+func indexedKB(generate func() (*kb.KB, error)) func(*core.Space) (*kb.KB, error) {
+	return func(space *core.Space) (*kb.KB, error) {
+		base, err := generate()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ontoconv.BuildKBIndexes(base, space); err != nil {
+			return nil, err
+		}
+		return base, nil
+	}
 }

@@ -12,6 +12,13 @@ import (
 // success-rate bookkeeping of the production deployment (§7, Figures
 // 11-12): turn and per-stage latency, per-intent classification /
 // fulfillment / feedback counters, and session lifecycle.
+//
+// A bundle comes in two shapes. NewMetricsOn keeps the historic unlabeled
+// families (one agent per process). NewTenantMetricsOn partitions every
+// agent-scoped family by a leading "tenant" label so many workspaces can
+// share one registry; the handles here are pre-curried onto that tenant,
+// so recording code is identical in both modes. HTTP serving families are
+// process-level and stay unlabeled in both shapes.
 type Metrics struct {
 	reg *obs.Registry
 
@@ -69,53 +76,120 @@ var TurnLiveQuantiles = []float64{0.5, 0.9, 0.99}
 func NewMetrics() *Metrics { return NewMetricsOn(obs.NewRegistry()) }
 
 // NewMetricsOn builds the bundle on an existing registry, so callers can
-// expose agent metrics next to their own.
-func NewMetricsOn(reg *obs.Registry) *Metrics {
+// expose agent metrics next to their own. Families are unlabeled (the
+// historic single-tenant shape); a registry must not mix this shape with
+// NewTenantMetricsOn's labeled one.
+func NewMetricsOn(reg *obs.Registry) *Metrics { return newMetricsOn(reg, "") }
+
+// NewTenantMetricsOn builds the bundle on a shared registry with every
+// agent-scoped family partitioned by a leading tenant label — the
+// multi-workspace shape, one call per tenant. The returned handles are
+// pre-curried onto the tenant, so agent and server code records through
+// them exactly as in single-tenant mode. A tenant's bundle should be
+// created once and kept for the process lifetime: counters must survive
+// workspace eviction and rebuild.
+func NewTenantMetricsOn(reg *obs.Registry, tenant string) *Metrics {
+	return newMetricsOn(reg, tenant)
+}
+
+func newMetricsOn(reg *obs.Registry, tenant string) *Metrics {
+	plain := tenant == ""
+	counter := func(name, help string) *obs.Counter {
+		if plain {
+			return reg.Counter(name, help)
+		}
+		return reg.CounterVec(name, help, "tenant").With(tenant)
+	}
+	gauge := func(name, help string) *obs.Gauge {
+		if plain {
+			return reg.Gauge(name, help)
+		}
+		return reg.GaugeVec(name, help, "tenant").With(tenant)
+	}
+	histogram := func(name, help string, buckets []float64) *obs.Histogram {
+		if plain {
+			return reg.Histogram(name, help, buckets)
+		}
+		return reg.HistogramVec(name, help, buckets, "tenant").With(tenant)
+	}
+	counterVec := func(name, help string, labels ...string) *obs.CounterVec {
+		if plain {
+			return reg.CounterVec(name, help, labels...)
+		}
+		return reg.CounterVec(name, help, append([]string{"tenant"}, labels...)...).Curry(tenant)
+	}
+	gaugeVec := func(name, help string, labels ...string) *obs.GaugeVec {
+		if plain {
+			return reg.GaugeVec(name, help, labels...)
+		}
+		return reg.GaugeVec(name, help, append([]string{"tenant"}, labels...)...).Curry(tenant)
+	}
+
 	m := &Metrics{
 		reg:   reg,
-		Turns: reg.Counter("mdx_turns_total", "Conversation turns processed."),
-		TurnLatency: reg.Histogram("mdx_turn_seconds",
+		Turns: counter("mdx_turns_total", "Conversation turns processed."),
+		TurnLatency: histogram("mdx_turn_seconds",
 			"End-to-end turn latency in seconds.", nil),
-		StageLatency: reg.HistogramVec("mdx_turn_stage_seconds",
-			"Per-stage turn latency in seconds.", nil, "stage"),
-		Fallbacks: reg.Counter("mdx_fallback_total",
+		Fallbacks: counter("mdx_fallback_total",
 			"Turns answered by the fallback response (no intent routed)."),
-		LowConfidence: reg.Counter("mdx_intent_low_confidence_total",
+		LowConfidence: counter("mdx_intent_low_confidence_total",
 			"Classifications below the confidence threshold."),
-		Classified: reg.CounterVec("mdx_intent_classified_total",
+		Classified: counterVec("mdx_intent_classified_total",
 			"Above-threshold intent classifications by intent.", "intent"),
-		Fulfilled: reg.CounterVec("mdx_intent_fulfilled_total",
+		Fulfilled: counterVec("mdx_intent_fulfilled_total",
 			"Turns that executed a KB query, by intent.", "intent"),
-		Feedback: reg.CounterVec("mdx_feedback_total",
+		Feedback: counterVec("mdx_feedback_total",
 			"Thumbs feedback by intent.", "intent", "thumbs"),
-		AnswerCache: reg.CounterVec("mdx_answer_cache_total",
+		AnswerCache: counterVec("mdx_answer_cache_total",
 			"Answer-cache lookups by result (hit, miss).", "result"),
-		SessionsLive: reg.Gauge("mdx_sessions_live",
+		SessionsLive: gauge("mdx_sessions_live",
 			"Sessions currently held by the server."),
-		SessionsOpened: reg.Counter("mdx_sessions_opened_total",
+		SessionsOpened: counter("mdx_sessions_opened_total",
 			"Sessions created."),
-		SessionsEvicted: reg.CounterVec("mdx_sessions_evicted_total",
+		SessionsEvicted: counterVec("mdx_sessions_evicted_total",
 			"Sessions removed, by reason (closed, idle).", "reason"),
-		HTTPRequests: reg.CounterVec("mdx_http_requests_total",
-			"HTTP requests by path and status code.", "path", "code"),
-		HTTPLatency: reg.HistogramVec("mdx_http_request_seconds",
-			"HTTP request latency in seconds by path.", nil, "path"),
-		HTTPInflight: reg.Gauge("mdx_http_inflight",
-			"HTTP requests currently being served."),
 		TurnLive: obs.NewRollingQuantile(TurnLiveWindow, TurnLiveSlots),
 		Slow:     obs.NewSlowTraces(obs.DefaultSlowK),
-		BundleInfo: reg.GaugeVec("mdx_bundle_info",
+		BundleInfo: gaugeVec("mdx_bundle_info",
 			"Live workspace-bundle version (1 = serving, 0 = retired).", "version"),
-		Reloads: reg.CounterVec("mdx_reloads_total",
+		Reloads: counterVec("mdx_reloads_total",
 			"Bundle hot-reload attempts by result.", "result"),
-		ReloadLatency: reg.Histogram("mdx_reload_seconds",
+		ReloadLatency: histogram("mdx_reload_seconds",
 			"Latency of successful bundle swaps in seconds.", nil),
 	}
-	reg.QuantileGauges("mdx_turn_seconds_live",
-		"Turn latency quantiles over the last 60 seconds.",
-		TurnLiveQuantiles, m.TurnLive.Quantile)
+	// Stage labels follow any tenant label.
+	if plain {
+		m.StageLatency = reg.HistogramVec("mdx_turn_stage_seconds",
+			"Per-stage turn latency in seconds.", nil, "stage")
+	} else {
+		m.StageLatency = reg.HistogramVec("mdx_turn_stage_seconds",
+			"Per-stage turn latency in seconds.", nil, "tenant", "stage").Curry(tenant)
+	}
+	// HTTP families are process-level: one server fronts every workspace,
+	// so both shapes register the same unlabeled families.
+	m.HTTPRequests, m.HTTPLatency, m.HTTPInflight = registerHTTPMetrics(reg)
+	liveHelp := "Turn latency quantiles over the last 60 seconds."
+	if plain {
+		reg.QuantileGauges("mdx_turn_seconds_live", liveHelp,
+			TurnLiveQuantiles, m.TurnLive.Quantile)
+	} else {
+		reg.QuantileGaugesWith("mdx_turn_seconds_live", liveHelp,
+			[]string{"tenant"}, []string{tenant},
+			TurnLiveQuantiles, m.TurnLive.Quantile)
+	}
 	m.registerRuntimeGauges(reg)
 	return m
+}
+
+// registerHTTPMetrics registers the process-level HTTP serving families
+// (idempotent: re-registration returns the existing families).
+func registerHTTPMetrics(reg *obs.Registry) (*obs.CounterVec, *obs.HistogramVec, *obs.Gauge) {
+	return reg.CounterVec("mdx_http_requests_total",
+			"HTTP requests by path and status code.", "path", "code"),
+		reg.HistogramVec("mdx_http_request_seconds",
+			"HTTP request latency in seconds by path.", nil, "path"),
+		reg.Gauge("mdx_http_inflight",
+			"HTTP requests currently being served.")
 }
 
 // registerRuntimeGauges exposes the NLU scratch pool and offline worker

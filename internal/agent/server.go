@@ -2,6 +2,7 @@ package agent
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -16,10 +17,43 @@ import (
 // sweeper evicts it.
 const DefaultIdleTTL = 30 * time.Minute
 
+// DefaultWorkspace is the tenant bare (un-prefixed) routes resolve to, so
+// pre-workspace clients keep working unchanged.
+const DefaultWorkspace = "default"
+
+// ErrUnknownWorkspace marks requests naming a tenant the server does not
+// host; the HTTP layer maps it to 404.
+var ErrUnknownWorkspace = errors.New("agent: unknown workspace")
+
+// WorkspaceResolver maps tenant names to live agents. Implementations
+// (internal/workspace) may construct agents lazily and bound how many stay
+// resident; Resolve must return an agent that remains safe to use for the
+// duration of the request even if the resolver concurrently evicts the
+// tenant (the agent's runtime is immutable behind its own pointer).
+type WorkspaceResolver interface {
+	// Resolve returns the tenant's agent, constructing it if needed.
+	// Unknown tenants return an error wrapping ErrUnknownWorkspace.
+	Resolve(name string) (*Agent, error)
+	// Reload hot-swaps the tenant onto a freshly read bundle and returns
+	// the new live version.
+	Reload(name string) (string, error)
+	// Workspaces lists the hosted tenant names, sorted.
+	Workspaces() []string
+}
+
+// sessionKey namespaces session IDs by tenant so the same ID used against
+// two workspaces never collides.
+type sessionKey struct {
+	ws, id string
+}
+
 // Server exposes the agent over HTTP the way the deployed system is
 // hosted (§7: "All the components of Conversational MDX are hosted on IBM
-// Cloud"). It manages one persistent conversation context per session ID
-// and mirrors the UI's thumbs-up/down feedback buttons.
+// Cloud"). It manages one persistent conversation context per (workspace,
+// session ID) pair and mirrors the UI's thumbs-up/down feedback buttons.
+//
+// Bare routes serve the default workspace (or the tenant named by an
+// X-Workspace header); /w/<tenant>/… routes address a tenant explicitly.
 //
 //	POST /chat      {"session":"s1","message":"precautions for aspirin"}
 //	             -> {"session":"s1","reply":"…","intent":"…","answered":true,"closed":false}
@@ -28,32 +62,73 @@ const DefaultIdleTTL = 30 * time.Minute
 //	GET  /context?session=s1
 //	GET  /trace?session=s1[&all=1]
 //	GET  /trace/slow     the K slowest turns with per-stage breakdowns
+//	POST /w/<tenant>/chat   (and feedback, context, trace, trace/slow,
+//	                         admin/reload, readyz under the same prefix)
 //	GET  /metrics
 //	GET  /healthz        liveness (the process answers HTTP)
 //	GET  /readyz         readiness (artifacts installed, agent serving)
 type Server struct {
-	agent *Agent
+	agent     *Agent            // single-agent mode; nil in workspace mode
+	resolver  WorkspaceResolver // workspace mode; nil in single-agent mode
+	defaultWS string
 
-	// mu guards the session map only; each Session carries its own lock,
-	// so turns in distinct sessions proceed concurrently.
+	reg          *obs.Registry
+	httpRequests *obs.CounterVec
+	httpLatency  *obs.HistogramVec
+	httpInflight *obs.Gauge
+
+	// mu guards the session map and the per-workspace bookkeeping; each
+	// Session carries its own lock, so turns in distinct sessions proceed
+	// concurrently.
 	mu        sync.Mutex
-	sessions  map[string]*Session
+	sessions  map[sessionKey]*Session
+	liveWS    map[string]int      // resident session count per workspace
+	wsMetrics map[string]*Metrics // cached per-tenant bundles; survive eviction
 	idleTTL   time.Duration
 	lastSweep time.Time
+	now       func() time.Time
 
-	// reloadMu serializes reloads; reloader produces the next bundle
-	// (typically by re-reading a bundle file). Nil disables the reload
-	// endpoint.
+	// reloadMu serializes single-agent reloads; reloader produces the next
+	// bundle (typically by re-reading a bundle file). Nil disables the
+	// reload endpoint in single-agent mode.
 	reloadMu sync.Mutex
 	reloader func() (*bundle.Bundle, error)
 }
 
-// NewServer wraps an agent for HTTP serving.
+// NewServer wraps one agent for HTTP serving (single-tenant mode: bare
+// routes and /w/default/… both address it, metric families keep their
+// historic unlabeled shapes).
 func NewServer(a *Agent) *Server {
+	s := newServer()
+	s.agent = a
+	s.reg = a.metrics.Registry()
+	s.httpRequests = a.metrics.HTTPRequests
+	s.httpLatency = a.metrics.HTTPLatency
+	s.httpInflight = a.metrics.HTTPInflight
+	s.wsMetrics[s.defaultWS] = a.metrics
+	return s
+}
+
+// NewWorkspaceServer fronts a workspace resolver (multi-tenant mode).
+// Tenant agents must be built with NewTenantMetricsOn against reg so every
+// tenant's families coexist on this one registry; the server registers the
+// process-level HTTP families on it directly.
+func NewWorkspaceServer(r WorkspaceResolver, reg *obs.Registry) *Server {
+	s := newServer()
+	s.resolver = r
+	s.reg = reg
+	s.httpRequests, s.httpLatency, s.httpInflight = registerHTTPMetrics(reg)
+	return s
+}
+
+func newServer() *Server {
 	return &Server{
-		agent:    a,
-		sessions: make(map[string]*Session),
-		idleTTL:  DefaultIdleTTL,
+		defaultWS: DefaultWorkspace,
+		sessions:  make(map[sessionKey]*Session),
+		liveWS:    make(map[string]int),
+		wsMetrics: make(map[string]*Metrics),
+		idleTTL:   DefaultIdleTTL,
+		now:       time.Now,
 	}
 }
 
@@ -65,47 +140,192 @@ func (s *Server) SetIdleTTL(d time.Duration) {
 	s.mu.Unlock()
 }
 
+// SetDefaultWorkspace changes the tenant bare routes resolve to.
+func (s *Server) SetDefaultWorkspace(name string) {
+	s.mu.Lock()
+	if s.agent != nil {
+		// Single-agent mode: the one agent follows the default name.
+		s.wsMetrics = map[string]*Metrics{name: s.agent.metrics}
+	}
+	s.defaultWS = name
+	s.mu.Unlock()
+}
+
+// SetClock injects the sweeper's time source (tests).
+func (s *Server) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// StartSweeper runs the idle-session sweep from a background ticker so
+// eviction no longer depends on /metrics scrapes, and returns a stop
+// function (idempotent). every <= 0 picks a quarter of the idle TTL.
+func (s *Server) StartSweeper(every time.Duration) (stop func()) {
+	if every <= 0 {
+		s.mu.Lock()
+		every = s.idleTTL / 4
+		s.mu.Unlock()
+		if every <= 0 {
+			every = time.Minute
+		}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Sweep()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// defaultWorkspace returns the bare-route tenant under the lock.
+func (s *Server) defaultWorkspace() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.defaultWS
+}
+
+// bareWorkspace picks the tenant for an un-prefixed route: the
+// X-Workspace header when present, else the default workspace.
+func (s *Server) bareWorkspace(r *http.Request) string {
+	if ws := r.Header.Get("X-Workspace"); ws != "" {
+		return ws
+	}
+	return s.defaultWorkspace()
+}
+
+// agentFor resolves the tenant's agent: the wrapped agent in single-agent
+// mode, the resolver (which may cold-start or re-admit the tenant) in
+// workspace mode. The tenant's metric bundle is cached on first contact so
+// session bookkeeping keeps recording after the resolver evicts the agent.
+func (s *Server) agentFor(ws string) (*Agent, error) {
+	if s.resolver == nil {
+		if ws != s.defaultWorkspace() {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownWorkspace, ws)
+		}
+		return s.agent, nil
+	}
+	ag, err := s.resolver.Resolve(ws)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if _, ok := s.wsMetrics[ws]; !ok {
+		s.wsMetrics[ws] = ag.Metrics()
+	}
+	s.mu.Unlock()
+	return ag, nil
+}
+
+// metricsFor returns the tenant's cached metric bundle (nil before the
+// tenant has served a request).
+func (s *Server) metricsFor(ws string) *Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wsMetrics[ws]
+}
+
+// workspaceError writes the HTTP mapping of a resolution failure.
+func workspaceError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, ErrUnknownWorkspace) {
+		status = http.StatusNotFound
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// wsHandler is a tenant-scoped request handler.
+type wsHandler func(w http.ResponseWriter, r *http.Request, ws string)
+
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
-	m := s.agent.metrics
 	mux := http.NewServeMux()
-	handle := func(path string, h http.HandlerFunc) {
-		mux.Handle(path, s.instrument(path, h))
+	routes := map[string]wsHandler{
+		"chat":         s.handleChat,
+		"feedback":     s.handleFeedback,
+		"context":      s.handleContext,
+		"trace":        s.handleTrace,
+		"trace/slow":   s.handleTraceSlow,
+		"admin/reload": s.handleReload,
+		"readyz":       s.handleReady,
 	}
-	handle("/chat", s.handleChat)
-	handle("/feedback", s.handleFeedback)
-	handle("/context", s.handleContext)
-	handle("/trace", s.handleTrace)
-	handle("/trace/slow", s.handleTraceSlow)
-	handle("/admin/reload", s.handleReload)
-	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.sweep() // scrapes double as the idle-session janitor
-		m.Registry().Handler().ServeHTTP(w, r)
+	for sub, h := range routes {
+		h := h
+		mux.Handle("/"+sub, s.instrument("/"+sub, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h(w, r, s.bareWorkspace(r))
+		})))
+	}
+	// /w/<tenant>/<sub>: the path names the tenant and wins over the
+	// header. The instrumented path label keeps a {ws} placeholder so
+	// metric cardinality stays bounded by route, not tenant count.
+	prefixed := make(map[string]http.Handler, len(routes))
+	for sub, h := range routes {
+		h := h
+		prefixed[sub] = s.instrument("/w/{ws}/"+sub, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ws, _, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/w/"), "/")
+			h(w, r, ws)
+		}))
+	}
+	mux.Handle("/w/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ws, sub, ok := strings.Cut(strings.TrimPrefix(r.URL.Path, "/w/"), "/")
+		if !ok || ws == "" {
+			http.NotFound(w, r)
+			return
+		}
+		h, ok := prefixed[sub]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		h.ServeHTTP(w, r)
 	}))
-	handle("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.Sweep() // scrapes still double as an idle-session janitor
+		s.reg.Handler().ServeHTTP(w, r)
+	}))
+	mux.Handle("/healthz", s.instrument("/healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
-	})
-	handle("/readyz", s.handleReady)
+	})))
 	return mux
 }
 
 // ReadyResponse is the /readyz response body.
 type ReadyResponse struct {
-	Status  string `json:"status"`
-	Version string `json:"version"`
+	Status    string `json:"status"`
+	Version   string `json:"version"`
+	Workspace string `json:"workspace,omitempty"`
 }
 
-// handleReady reports readiness: the agent has a live runtime generation
-// (space, classifier, and KB installed) and can take traffic. Load
-// drivers poll this instead of sleeping after process start.
-func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	version := s.agent.Version()
+// handleReady reports readiness: the tenant's agent has a live runtime
+// generation (space, classifier, and KB installed) and can take traffic.
+// Load drivers poll this instead of sleeping after process start; in
+// workspace mode the poll doubles as a warm-up, forcing construction.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request, ws string) {
+	ag, err := s.agentFor(ws)
+	if err != nil {
+		workspaceError(w, err)
+		return
+	}
+	version := ag.Version()
 	if version == "" {
 		http.Error(w, "agent has no installed runtime", http.StatusServiceUnavailable)
 		return
 	}
-	writeJSON(w, ReadyResponse{Status: "ready", Version: version})
+	resp := ReadyResponse{Status: "ready", Version: version}
+	if ws != s.defaultWorkspace() {
+		resp.Workspace = ws
+	}
+	writeJSON(w, resp)
 }
 
 // SlowTracesResponse is the /trace/slow response body: the slowest turns
@@ -117,28 +337,32 @@ type SlowTracesResponse struct {
 	Traces  []obs.SlowTraceData `json:"traces"`
 }
 
-func (s *Server) handleTraceSlow(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleTraceSlow(w http.ResponseWriter, _ *http.Request, ws string) {
+	ag, err := s.agentFor(ws)
+	if err != nil {
+		workspaceError(w, err)
+		return
+	}
 	writeJSON(w, SlowTracesResponse{
-		K:       s.agent.metrics.Slow.K(),
-		Version: s.agent.Version(),
-		Traces:  s.agent.metrics.Slow.Snapshot(),
+		K:       ag.metrics.Slow.K(),
+		Version: ag.Version(),
+		Traces:  ag.metrics.Slow.Snapshot(),
 	})
 }
 
 // instrument wraps a handler with request count and latency metrics.
 func (s *Server) instrument(path string, next http.Handler) http.Handler {
-	m := s.agent.metrics
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		m.HTTPInflight.Add(1)
-		defer m.HTTPInflight.Add(-1)
+		s.httpInflight.Add(1)
+		defer s.httpInflight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		m.HTTPRequests.With(path, fmt.Sprintf("%d", sw.status)).Inc()
-		m.HTTPLatency.With(path).Observe(time.Since(start).Seconds())
+		s.httpRequests.With(path, fmt.Sprintf("%d", sw.status)).Inc()
+		s.httpLatency.With(path).Observe(time.Since(start).Seconds())
 	})
 }
 
@@ -162,9 +386,10 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// SetReloader installs the bundle producer the reload path uses (the
-// /admin/reload endpoint and any signal-driven Reload calls). Pass nil to
-// disable reloading.
+// SetReloader installs the bundle producer the single-agent reload path
+// uses (the /admin/reload endpoint and any signal-driven Reload calls).
+// Pass nil to disable reloading. Workspace mode ignores it: reloads go
+// through the resolver.
 func (s *Server) SetReloader(f func() (*bundle.Bundle, error)) {
 	s.reloadMu.Lock()
 	s.reloader = f
@@ -194,16 +419,29 @@ func (s *Server) Reload() (string, error) {
 
 // ReloadResponse is the /admin/reload response body.
 type ReloadResponse struct {
-	Version string `json:"version"`
+	Version   string `json:"version"`
+	Workspace string `json:"workspace,omitempty"`
 }
 
-func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, ws string) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	version, err := s.Reload()
+	var version string
+	var err error
+	if s.resolver != nil {
+		version, err = s.resolver.Reload(ws)
+	} else if ws != s.defaultWorkspace() {
+		err = fmt.Errorf("%w: %q", ErrUnknownWorkspace, ws)
+	} else {
+		version, err = s.Reload()
+	}
 	if err != nil {
+		if errors.Is(err, ErrUnknownWorkspace) {
+			workspaceError(w, err)
+			return
+		}
 		status := http.StatusInternalServerError
 		if strings.Contains(err.Error(), "no reloader configured") {
 			status = http.StatusNotImplemented
@@ -211,7 +449,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	writeJSON(w, ReloadResponse{Version: version})
+	resp := ReloadResponse{Version: version}
+	if ws != s.defaultWorkspace() {
+		resp.Workspace = ws
+	}
+	writeJSON(w, resp)
 }
 
 // ChatRequest is the /chat request body.
@@ -222,13 +464,16 @@ type ChatRequest struct {
 
 // ChatResponse is the /chat response body. Answered marks turns that
 // executed a KB query — external drivers (cmd/loadgen) use it to know a
-// request completed without parsing the reply text.
+// request completed without parsing the reply text. Workspace is set only
+// when the turn was served by a non-default tenant, keeping the
+// default-workspace wire shape byte-identical to the single-tenant era.
 type ChatResponse struct {
-	Session  string `json:"session"`
-	Reply    string `json:"reply"`
-	Intent   string `json:"intent,omitempty"`
-	Answered bool   `json:"answered"`
-	Closed   bool   `json:"closed"`
+	Session   string `json:"session"`
+	Reply     string `json:"reply"`
+	Intent    string `json:"intent,omitempty"`
+	Answered  bool   `json:"answered"`
+	Closed    bool   `json:"closed"`
+	Workspace string `json:"workspace,omitempty"`
 }
 
 // FeedbackRequest is the /feedback request body.
@@ -237,49 +482,60 @@ type FeedbackRequest struct {
 	Thumbs  string `json:"thumbs"` // "up" or "down"
 }
 
-// session returns (creating if needed) the named session, and
+// session returns (creating if needed) the tenant's named session, and
 // opportunistically sweeps idle ones.
-func (s *Server) session(id string) *Session {
+func (s *Server) session(ws, id string) *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.sweepLocked(time.Now())
-	sess, ok := s.sessions[id]
+	s.sweepLocked(s.now())
+	key := sessionKey{ws: ws, id: id}
+	sess, ok := s.sessions[key]
 	if !ok {
 		sess = NewSession()
-		s.sessions[id] = sess
-		s.agent.metrics.SessionsOpened.Inc()
-		s.agent.metrics.SessionsLive.Set(int64(len(s.sessions)))
+		s.sessions[key] = sess
+		s.liveWS[ws]++
+		if m := s.wsMetrics[ws]; m != nil {
+			m.SessionsOpened.Inc()
+			m.SessionsLive.Set(int64(s.liveWS[ws]))
+		}
 	}
 	return sess
 }
 
-// lookup returns the named session without creating it.
-func (s *Server) lookup(id string) (*Session, bool) {
+// lookup returns the tenant's named session without creating it.
+func (s *Server) lookup(ws, id string) (*Session, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
+	sess, ok := s.sessions[sessionKey{ws: ws, id: id}]
 	return sess, ok
 }
 
 // drop removes a session and records the eviction reason.
-func (s *Server) drop(id, reason string) {
+func (s *Server) drop(ws, id, reason string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.sessions[id]; !ok {
+	key := sessionKey{ws: ws, id: id}
+	if _, ok := s.sessions[key]; !ok {
 		return
 	}
-	delete(s.sessions, id)
-	s.agent.metrics.SessionsEvicted.With(reason).Inc()
-	s.agent.metrics.SessionsLive.Set(int64(len(s.sessions)))
+	delete(s.sessions, key)
+	s.liveWS[ws]--
+	if m := s.wsMetrics[ws]; m != nil {
+		m.SessionsEvicted.With(reason).Inc()
+		m.SessionsLive.Set(int64(s.liveWS[ws]))
+	}
+	if s.liveWS[ws] == 0 {
+		delete(s.liveWS, ws)
+	}
 }
 
-// sweep evicts idle sessions (also called from the /metrics handler so
-// periodic scrapes act as a janitor).
-func (s *Server) sweep() {
+// Sweep evicts idle sessions now, bypassing the throttle (called by the
+// background sweeper, the /metrics janitor path, and tests).
+func (s *Server) Sweep() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.lastSweep = time.Time{} // force
-	s.sweepLocked(time.Now())
+	s.sweepLocked(s.now())
 }
 
 // sweepLocked evicts sessions idle past the TTL. Throttled to at most one
@@ -292,20 +548,26 @@ func (s *Server) sweepLocked(now time.Time) {
 		return
 	}
 	s.lastSweep = now
-	evicted := 0
-	for id, sess := range s.sessions {
+	evicted := make(map[string]int)
+	for key, sess := range s.sessions {
 		if now.Sub(sess.LastActive()) > s.idleTTL {
-			delete(s.sessions, id)
-			evicted++
+			delete(s.sessions, key)
+			s.liveWS[key.ws]--
+			evicted[key.ws]++
 		}
 	}
-	if evicted > 0 {
-		s.agent.metrics.SessionsEvicted.With("idle").Add(uint64(evicted))
-		s.agent.metrics.SessionsLive.Set(int64(len(s.sessions)))
+	for ws, n := range evicted {
+		if m := s.wsMetrics[ws]; m != nil {
+			m.SessionsEvicted.With("idle").Add(uint64(n))
+			m.SessionsLive.Set(int64(s.liveWS[ws]))
+		}
+		if s.liveWS[ws] == 0 {
+			delete(s.liveWS, ws)
+		}
 	}
 }
 
-func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleChat(w http.ResponseWriter, r *http.Request, ws string) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
@@ -319,17 +581,27 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "session and message are required", http.StatusBadRequest)
 		return
 	}
+	ag, err := s.agentFor(ws)
+	if err != nil {
+		workspaceError(w, err)
+		return
+	}
 	obs.LogField(r, "session", req.Session)
-	sess := s.session(req.Session)
+	sess := s.session(ws, req.Session)
 
 	// Serialize turns within this session only; other sessions hold their
-	// own locks and proceed concurrently.
+	// own locks and proceed concurrently. The agent reference is held for
+	// the whole turn, so a concurrent workspace eviction cannot pull the
+	// runtime out from under it.
 	sess.mu.Lock()
 	//ontolint:ignore lockheld per-session lock: serializing turns within one conversation is the point
-	reply := s.agent.Respond(sess, req.Message)
+	reply := ag.Respond(sess, req.Message)
 	last := sess.LastTurn()
 	closed := sess.Closed()
 	resp := ChatResponse{Session: req.Session, Reply: reply, Closed: closed}
+	if ws != s.defaultWorkspace() {
+		resp.Workspace = ws
+	}
 	if last != nil {
 		resp.Intent = last.Intent
 		resp.Answered = last.Answered
@@ -343,12 +615,12 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Unlock()
 
 	if closed {
-		s.drop(req.Session, "closed")
+		s.drop(ws, req.Session, "closed")
 	}
 	writeJSON(w, resp)
 }
 
-func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, ws string) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
@@ -363,7 +635,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obs.LogField(r, "session", req.Session)
-	sess, ok := s.lookup(req.Session)
+	sess, ok := s.lookup(ws, req.Session)
 	if !ok {
 		http.Error(w, "unknown session", http.StatusNotFound)
 		return
@@ -375,14 +647,16 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		intent = last.Intent
 	}
 	sess.mu.Unlock()
-	s.agent.metrics.Feedback.With(intent, req.Thumbs).Inc()
+	if m := s.metricsFor(ws); m != nil {
+		m.Feedback.With(intent, req.Thumbs).Inc()
+	}
 	writeJSON(w, map[string]string{"status": "recorded"})
 }
 
-func (s *Server) handleContext(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleContext(w http.ResponseWriter, r *http.Request, ws string) {
 	id := r.URL.Query().Get("session")
 	obs.LogField(r, "session", id)
-	sess, ok := s.lookup(id)
+	sess, ok := s.lookup(ws, id)
 	if !ok {
 		http.Error(w, "unknown session", http.StatusNotFound)
 		return
@@ -408,10 +682,10 @@ type TraceResponse struct {
 
 // handleTrace returns the last turn's trace (or every turn's with
 // ?all=1) for a session.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request, ws string) {
 	id := r.URL.Query().Get("session")
 	obs.LogField(r, "session", id)
-	sess, ok := s.lookup(id)
+	sess, ok := s.lookup(ws, id)
 	if !ok {
 		http.Error(w, "unknown session", http.StatusNotFound)
 		return

@@ -1,0 +1,74 @@
+package agent_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ontoconv/internal/agent"
+)
+
+// TestBackgroundSweeperEvictsIdleSessions proves sweeper liveness without
+// /metrics scrapes: an idle session is evicted by the background ticker
+// alone, observed through an injected clock.
+func TestBackgroundSweeperEvictsIdleSessions(t *testing.T) {
+	srv := agent.NewServer(fixture(t))
+	srv.SetIdleTTL(time.Minute)
+
+	var mu sync.Mutex
+	now := time.Now()
+	srv.SetClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/chat", "application/json",
+		strings.NewReader(`{"session":"sweep1","message":"precautions for Aspirin"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chat status = %d", resp.StatusCode)
+	}
+	if st := getStatus(t, ts.URL+"/context?session=sweep1"); st != http.StatusOK {
+		t.Fatalf("context before idle = %d, want 200", st)
+	}
+
+	// Jump the server clock past the TTL; the session's real last-active
+	// timestamp is now far in the injected past.
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+
+	stop := srv.StartSweeper(5 * time.Millisecond)
+	defer stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if getStatus(t, ts.URL+"/context?session=sweep1") == http.StatusNotFound {
+			stop()
+			stop() // idempotent
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background sweeper never evicted the idle session (no /metrics scrape issued)")
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}

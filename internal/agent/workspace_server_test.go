@@ -1,0 +1,406 @@
+package agent_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/bundle"
+	"ontoconv/internal/core"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/obs"
+	"ontoconv/internal/retailkb"
+	"ontoconv/internal/workspace"
+)
+
+// Two-tenant serving fixture: the medkb space from the package fixture as
+// tenant "default", the retail domain as tenant "retail", both served from
+// compiled bundles through a workspace registry.
+var (
+	wsOnce       sync.Once
+	medBlob      []byte
+	retailBlob   []byte
+	retailBase   *kb.KB
+	retailSpace  *core.Space
+	wsSetupE     error
+	retailBundle *bundle.Bundle
+)
+
+func wsFixture(t *testing.T) {
+	t.Helper()
+	fixture(t) // ensures base/space (medkb) are built
+	wsOnce.Do(func() {
+		b, err := bundle.Compile(space, bundle.Options{})
+		if err != nil {
+			wsSetupE = err
+			return
+		}
+		buf := &bytes.Buffer{}
+		if err := b.Write(buf); err != nil {
+			wsSetupE = err
+			return
+		}
+		medBlob = buf.Bytes()
+
+		retailBase, _, retailSpace, wsSetupE = retailkb.Bootstrap()
+		if wsSetupE != nil {
+			return
+		}
+		rb, err := bundle.Compile(retailSpace, bundle.Options{})
+		if err != nil {
+			wsSetupE = err
+			return
+		}
+		rbuf := &bytes.Buffer{}
+		if err := rb.Write(rbuf); err != nil {
+			wsSetupE = err
+			return
+		}
+		retailBlob = rbuf.Bytes()
+		retailBundle = rb
+	})
+	if wsSetupE != nil {
+		t.Fatal(wsSetupE)
+	}
+}
+
+// twoTenantServer builds a workspace-mode server hosting default(medkb)
+// and retail, plus the registry for residency assertions.
+func twoTenantServer(t *testing.T, cap int) (*agent.Server, *workspace.Registry, *obs.Registry) {
+	t.Helper()
+	wsFixture(t)
+	oreg := obs.NewRegistry()
+	reg, err := workspace.New(oreg, cap,
+		workspace.Source{
+			Name: "default",
+			Open: func() (*bundle.Bundle, error) { return bundle.Open(bytes.NewReader(medBlob)) },
+			KB:   func(*core.Space) (*kb.KB, error) { return base, nil },
+		},
+		workspace.Source{
+			Name: "retail",
+			Open: func() (*bundle.Bundle, error) { return bundle.Open(bytes.NewReader(retailBlob)) },
+			KB:   func(*core.Space) (*kb.KB, error) { return retailBase, nil },
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agent.NewWorkspaceServer(reg, oreg), reg, oreg
+}
+
+func postChat(t *testing.T, url, session, message string, hdr map[string]string) (int, string) {
+	t.Helper()
+	body, _ := json.Marshal(agent.ChatRequest{Session: session, Message: message})
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func TestWorkspaceRouting(t *testing.T) {
+	srv, _, _ := twoTenantServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Path prefix addresses the retail tenant.
+	code, body := postChat(t, ts.URL+"/w/retail/chat", "r1", "show me the reviews for Aurora Headphones", nil)
+	if code != http.StatusOK {
+		t.Fatalf("retail chat = %d: %s", code, body)
+	}
+	var cr agent.ChatResponse
+	if err := json.Unmarshal([]byte(body), &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Workspace != "retail" || !cr.Answered || !strings.Contains(cr.Reply, "stars") {
+		t.Fatalf("retail chat response = %+v", cr)
+	}
+
+	// Header addresses the retail tenant on a bare route.
+	code, body = postChat(t, ts.URL+"/chat", "r2", "warranty on the Nimbus Desk Lamp",
+		map[string]string{"X-Workspace": "retail"})
+	if code != http.StatusOK || !strings.Contains(body, `"workspace":"retail"`) {
+		t.Fatalf("header-routed chat = %d: %s", code, body)
+	}
+
+	// Bare route serves the default (medical) tenant.
+	code, body = postChat(t, ts.URL+"/chat", "m1", "precautions for Aspirin", nil)
+	if code != http.StatusOK || !strings.Contains(body, "Aspirin") {
+		t.Fatalf("default chat = %d: %s", code, body)
+	}
+	if strings.Contains(body, `"workspace"`) {
+		t.Fatalf("default-tenant response must not carry a workspace field: %s", body)
+	}
+
+	// Unknown tenants 404, both by path and by header.
+	if code, _ := postChat(t, ts.URL+"/w/nope/chat", "x", "hello", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant by path = %d", code)
+	}
+	if code, _ := postChat(t, ts.URL+"/chat", "x", "hello", map[string]string{"X-Workspace": "nope"}); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant by header = %d", code)
+	}
+	if st := getStatus(t, ts.URL+"/w/nope/readyz"); st != http.StatusNotFound {
+		t.Fatalf("unknown tenant readyz = %d", st)
+	}
+
+	// Per-tenant readiness reports the tenant's bundle version.
+	resp, err := http.Get(ts.URL + "/w/retail/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready agent.ReadyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ready.Version != retailBundle.Version() || ready.Workspace != "retail" {
+		t.Fatalf("retail readyz = %+v, want version %s", ready, retailBundle.Version())
+	}
+}
+
+func TestWorkspaceSessionIsolation(t *testing.T) {
+	srv, _, _ := twoTenantServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The same session ID against two tenants must be two conversations.
+	const sid = "shared-id"
+	if code, body := postChat(t, ts.URL+"/chat", sid, "precautions for Aspirin", nil); code != 200 {
+		t.Fatalf("default chat: %d %s", code, body)
+	}
+	if code, body := postChat(t, ts.URL+"/w/retail/chat", sid, "show me the reviews for Aurora Headphones", nil); code != 200 {
+		t.Fatalf("retail chat: %d %s", code, body)
+	}
+
+	ctx := func(url string) map[string]interface{} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("context %s = %d", url, resp.StatusCode)
+		}
+		var m map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	med := ctx(ts.URL + "/context?session=" + sid)
+	ret := ctx(ts.URL + "/w/retail/context?session=" + sid)
+	if med["turns"].(float64) != 1 || ret["turns"].(float64) != 1 {
+		t.Fatalf("each tenant should hold exactly one turn for %q: med=%v retail=%v", sid, med, ret)
+	}
+	if med["intent"] == ret["intent"] {
+		t.Fatalf("tenants share intent state: %v", med["intent"])
+	}
+
+	// A session only exists in the tenant that created it.
+	if code, body := postChat(t, ts.URL+"/w/retail/feedback", "", "", nil); code == 0 {
+		t.Fatal(body)
+	}
+	fb, _ := json.Marshal(agent.FeedbackRequest{Session: "only-default", Thumbs: "up"})
+	if code, _ := postChat(t, ts.URL+"/chat", "only-default", "precautions for Aspirin", nil); code != 200 {
+		t.Fatal("setup chat failed")
+	}
+	resp, err := http.Post(ts.URL+"/w/retail/feedback", "application/json", bytes.NewReader(fb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("feedback for another tenant's session = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestWorkspaceMetricsLabels(t *testing.T) {
+	srv, _, _ := twoTenantServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	postChat(t, ts.URL+"/chat", "m1", "precautions for Aspirin", nil)
+	postChat(t, ts.URL+"/w/retail/chat", "r1", "show me the reviews for Aurora Headphones", nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(b)
+	for _, want := range []string{
+		`mdx_turns_total{tenant="default"} 1`,
+		`mdx_turns_total{tenant="retail"} 1`,
+		`mdx_sessions_opened_total{tenant="retail"} 1`,
+		`mdx_turn_seconds_live{tenant="retail",quantile="0.99"}`,
+		`mdx_workspace_resident 2`,
+		`mdx_workspace_builds_total{workspace="retail"} 1`,
+		`mdx_bundle_info{tenant="retail",version="` + retailBundle.Version() + `"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", out)
+	}
+}
+
+func TestWorkspacePerTenantReload(t *testing.T) {
+	srv, reg, _ := twoTenantServer(t, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/w/retail/admin/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr agent.ReloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rr.Version != retailBundle.Version() || rr.Workspace != "retail" {
+		t.Fatalf("retail reload = %+v", rr)
+	}
+	if !reg.Resident("retail") {
+		t.Fatal("reload should leave the tenant resident")
+	}
+
+	// Bare reload targets the default tenant through the resolver.
+	resp, err = http.Post(ts.URL+"/admin/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.Contains(string(body), `"workspace"`) {
+		t.Fatalf("default reload = %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestWorkspaceEvictionUnderChat: with cap=1, alternating tenants keeps
+// evicting and re-admitting, and every turn still answers.
+func TestWorkspaceEvictionUnderChat(t *testing.T) {
+	srv, reg, oreg := twoTenantServer(t, 1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		if code, body := postChat(t, ts.URL+"/chat", "m", "precautions for Aspirin", nil); code != 200 {
+			t.Fatalf("round %d default: %d %s", i, code, body)
+		}
+		if reg.Resident("retail") {
+			t.Fatalf("round %d: cap=1 but retail still resident after default turn", i)
+		}
+		if code, body := postChat(t, ts.URL+"/w/retail/chat", "r", "show me the reviews for Aurora Headphones", nil); code != 200 {
+			t.Fatalf("round %d retail: %d %s", i, code, body)
+		}
+		if reg.Resident("default") {
+			t.Fatalf("round %d: cap=1 but default still resident after retail turn", i)
+		}
+	}
+	var sb strings.Builder
+	oreg.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "mdx_workspace_resident 1") {
+		t.Errorf("resident gauge should read 1 under cap=1")
+	}
+	// 6 builds happened (3 per tenant); at least 5 evictions.
+	var ev int
+	if _, err := fmt.Sscanf(lineWith(out, "mdx_workspace_evictions_total"), "mdx_workspace_evictions_total %d", &ev); err != nil {
+		t.Fatalf("no evictions counter: %v\n%s", err, out)
+	}
+	if ev < 5 {
+		t.Errorf("evictions = %d, want >= 5", ev)
+	}
+	// Counters survive eviction: turns accumulated across rebuilds.
+	if !strings.Contains(out, `mdx_turns_total{tenant="retail"} 3`) {
+		t.Errorf("retail turn counter should survive eviction/rebuild\n%s", lineWith(out, "mdx_turns_total"))
+	}
+}
+
+func lineWith(s, prefix string) string {
+	for _, ln := range strings.Split(s, "\n") {
+		if strings.HasPrefix(ln, prefix) && !strings.HasPrefix(ln, "# ") {
+			return ln
+		}
+	}
+	return ""
+}
+
+// TestBackCompatGolden pins the bare-route wire shapes: a workspace-mode
+// server must answer /chat, /feedback, and /context byte-identically to
+// the single-agent server for the default tenant, and /trace must keep its
+// shape. This is what keeps pre-workspace clients and recorded loadgen
+// replays valid.
+func TestBackCompatGolden(t *testing.T) {
+	wsFixture(t)
+	single := httptest.NewServer(agent.NewServer(fixture(t)).Handler())
+	defer single.Close()
+	wsSrv, _, _ := twoTenantServer(t, 0)
+	multi := httptest.NewServer(wsSrv.Handler())
+	defer multi.Close()
+
+	chatBody := `{"session":"golden","message":"precautions for Aspirin"}`
+	fbBody := `{"session":"golden","thumbs":"up"}`
+
+	fetch := func(base, method, path, body string) string {
+		var resp *http.Response
+		var err error
+		if method == http.MethodPost {
+			resp, err = http.Post(base+path, "application/json", strings.NewReader(body))
+		} else {
+			resp, err = http.Get(base + path)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s %s = %d", method, path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	for _, c := range []struct{ method, path, body string }{
+		{http.MethodPost, "/chat", chatBody},
+		{http.MethodPost, "/feedback", fbBody},
+		{http.MethodGet, "/context?session=golden", ""},
+	} {
+		got := fetch(multi.URL, c.method, c.path, c.body)
+		want := fetch(single.URL, c.method, c.path, c.body)
+		if got != want {
+			t.Errorf("%s %s diverged from single-agent serving:\n single: %s\n  multi: %s",
+				c.method, c.path, want, got)
+		}
+	}
+
+	// /trace carries timings, so pin structure rather than bytes.
+	var tr agent.TraceResponse
+	if err := json.Unmarshal([]byte(fetch(multi.URL, http.MethodGet, "/trace?session=golden", "")), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Session != "golden" || tr.Turns != 1 || len(tr.Traces) != 1 {
+		t.Fatalf("trace shape = %+v", tr)
+	}
+}

@@ -1,8 +1,6 @@
 package medkb
 
 import (
-	"fmt"
-
 	"ontoconv/internal/kb"
 	"ontoconv/internal/ontogen"
 	"ontoconv/internal/ontology"
@@ -18,7 +16,7 @@ func Ontology(base *kb.KB) (*ontology.Ontology, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := collapseJunction(o, "Treats", "treats", ontology.ObjectProperty{
+	if err := ontogen.CollapseJunction(o, "Treats", "treats", ontology.ObjectProperty{
 		Name:    "treats",
 		From:    "Drug",
 		To:      "Indication",
@@ -72,51 +70,4 @@ func Ontology(base *kb.KB) (*ontology.Ontology, error) {
 		return nil, err
 	}
 	return o, nil
-}
-
-// collapseJunction removes the concept generated for a pure many-to-many
-// junction table and replaces it (and its two outgoing object properties)
-// with one direct relationship between the endpoints. This is the kind of
-// semantic correction the paper's SMEs apply to the generated ontology.
-func collapseJunction(o *ontology.Ontology, conceptName, table string, direct ontology.ObjectProperty) error {
-	found := false
-	kept := o.Concepts[:0]
-	for _, c := range o.Concepts {
-		if c.Name == conceptName && c.Table == table {
-			found = true
-			continue
-		}
-		kept = append(kept, c)
-	}
-	if !found {
-		return fmt.Errorf("medkb: junction concept %q not found", conceptName)
-	}
-	o.Concepts = kept
-	rels := o.ObjectProperties[:0]
-	for _, p := range o.ObjectProperties {
-		if p.From == conceptName || p.To == conceptName {
-			continue
-		}
-		rels = append(rels, p)
-	}
-	o.ObjectProperties = rels
-	// Rebuild the concept index (we mutated the slice directly).
-	rebuilt := ontology.New(o.Name)
-	for _, c := range o.Concepts {
-		if err := rebuilt.AddConcept(c); err != nil {
-			return err
-		}
-	}
-	for _, p := range o.ObjectProperties {
-		if err := rebuilt.AddObjectProperty(p); err != nil {
-			return err
-		}
-	}
-	rebuilt.IsARelations = o.IsARelations
-	rebuilt.Unions = o.Unions
-	if err := rebuilt.AddObjectProperty(direct); err != nil {
-		return err
-	}
-	*o = *rebuilt
-	return nil
 }

@@ -1,0 +1,90 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"ontoconv/internal/obs"
+)
+
+// TestCurriedVecsShareFamilies: two tenants currying the same family
+// record into distinct children of one exposition family, and a curried
+// With is identical to spelling out the full label values.
+func TestCurriedVecsShareFamilies(t *testing.T) {
+	reg := obs.NewRegistry()
+	cv := reg.CounterVec("t_turns_total", "turns", "tenant", "intent")
+	a, b := cv.Curry("alpha"), cv.Curry("beta")
+	a.With("greet").Inc()
+	a.With("greet").Inc()
+	b.With("greet").Inc()
+	if got := cv.With("alpha", "greet").Value(); got != 2 {
+		t.Fatalf("full-path With sees %d, want 2 (curried and full values must alias)", got)
+	}
+
+	gv := reg.GaugeVec("t_resident", "resident", "tenant", "shard")
+	gv.Curry("alpha").With("0").Set(7)
+	if got := gv.With("alpha", "0").Value(); got != 7 {
+		t.Fatalf("gauge full-path = %d, want 7", got)
+	}
+
+	hv := reg.HistogramVec("t_lat_seconds", "latency", nil, "tenant", "stage")
+	hv.Curry("beta").With("exec").Observe(0.5)
+	if got := hv.With("beta", "exec").Count(); got != 1 {
+		t.Fatalf("histogram full-path count = %d, want 1", got)
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`t_turns_total{tenant="alpha",intent="greet"} 2`,
+		`t_turns_total{tenant="beta",intent="greet"} 1`,
+		`t_resident{tenant="alpha",shard="0"} 7`,
+		`t_lat_seconds_count{tenant="beta",stage="exec"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestCurryStacks: currying a curried vec appends, not replaces.
+func TestCurryStacks(t *testing.T) {
+	reg := obs.NewRegistry()
+	cv := reg.CounterVec("t_stack_total", "stacked", "a", "b", "c")
+	cv.Curry("1").Curry("2").With("3").Add(5)
+	if got := cv.With("1", "2", "3").Value(); got != 5 {
+		t.Fatalf("stacked curry = %d, want 5", got)
+	}
+}
+
+// TestQuantileGaugesWith: the tenant-labeled live-quantile shape renders
+// one line per (tenant, quantile) with the per-tenant callback.
+func TestQuantileGaugesWith(t *testing.T) {
+	reg := obs.NewRegistry()
+	mk := func(base float64) func(float64) float64 {
+		return func(q float64) float64 { return base + q }
+	}
+	reg.QuantileGaugesWith("t_live_seconds", "live quantiles",
+		[]string{"tenant"}, []string{"alpha"}, []float64{0.5, 0.99}, mk(1))
+	reg.QuantileGaugesWith("t_live_seconds", "live quantiles",
+		[]string{"tenant"}, []string{"beta"}, []float64{0.5, 0.99}, mk(10))
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`t_live_seconds{tenant="alpha",quantile="0.5"} 1.5`,
+		`t_live_seconds{tenant="alpha",quantile="0.99"} 1.99`,
+		`t_live_seconds{tenant="beta",quantile="0.5"} 10.5`,
+		`t_live_seconds{tenant="beta",quantile="0.99"} 10.99`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Help/type headers appear once even with two registrations.
+	if n := strings.Count(out, "# TYPE t_live_seconds gauge"); n != 1 {
+		t.Fatalf("TYPE header count = %d, want 1", n)
+	}
+}

@@ -210,53 +210,109 @@ type floatGaugeFunc struct {
 // other quantile source. A name registered earlier keeps its original
 // callbacks.
 func (r *Registry) QuantileGauges(name, help string, quantiles []float64, fn func(q float64) float64) {
-	f := r.family(name, help, "gauge", []string{"quantile"}, nil)
+	r.QuantileGaugesWith(name, help, nil, nil, quantiles, fn)
+}
+
+// QuantileGaugesWith is QuantileGauges with extra leading labels bound to
+// fixed values — the multi-tenant shape
+// (`name{tenant="retail",quantile="0.99"} 0.0042`), one callback set per
+// (values, quantile) pair. Every registration against one family must use
+// the same label names; a (values, quantile) child registered earlier
+// keeps its original callback.
+func (r *Registry) QuantileGaugesWith(name, help string, labels, values []string, quantiles []float64, fn func(q float64) float64) {
+	all := append(append([]string{}, labels...), "quantile")
+	f := r.family(name, help, "gauge", all, nil)
 	for _, q := range quantiles {
 		q := q
-		f.child([]string{formatFloat(q)}, func() metric {
+		child := append(append([]string{}, values...), formatFloat(q))
+		f.child(child, func() metric {
 			return &floatGaugeFunc{fn: func() float64 { return fn(q) }}
 		})
 	}
 }
 
-// CounterVec is a counter family partitioned by label values.
-type CounterVec struct{ f *family }
+// joinBound prepends a vec's curried label values to a With call's values.
+func joinBound(bound, values []string) []string {
+	if len(bound) == 0 {
+		return values
+	}
+	all := make([]string, 0, len(bound)+len(values))
+	all = append(all, bound...)
+	return append(all, values...)
+}
+
+// CounterVec is a counter family partitioned by label values, optionally
+// with a prefix of the label values pre-bound (see Curry).
+type CounterVec struct {
+	f     *family
+	bound []string
+}
 
 // CounterVec returns (registering if needed) a labeled counter family.
 func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
-	return &CounterVec{r.family(name, help, "counter", labels, nil)}
+	return &CounterVec{f: r.family(name, help, "counter", labels, nil)}
 }
 
-// With returns the counter for the given label values.
+// With returns the counter for the given label values (appended to any
+// curried prefix).
 func (v *CounterVec) With(values ...string) *Counter {
-	return v.f.child(values, func() metric { return &Counter{} }).(*Counter)
+	return v.f.child(joinBound(v.bound, values), func() metric { return &Counter{} }).(*Counter)
 }
 
-// GaugeVec is a gauge family partitioned by label values.
-type GaugeVec struct{ f *family }
+// Curry returns a view of the family with the given leading label values
+// pre-bound, so callers that only know the trailing labels (e.g. intent)
+// record into a fixed partition (e.g. tenant) transparently.
+func (v *CounterVec) Curry(values ...string) *CounterVec {
+	return &CounterVec{f: v.f, bound: joinBound(v.bound, values)}
+}
+
+// GaugeVec is a gauge family partitioned by label values, optionally with
+// a prefix of the label values pre-bound (see Curry).
+type GaugeVec struct {
+	f     *family
+	bound []string
+}
 
 // GaugeVec returns (registering if needed) a labeled gauge family.
 func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
-	return &GaugeVec{r.family(name, help, "gauge", labels, nil)}
+	return &GaugeVec{f: r.family(name, help, "gauge", labels, nil)}
 }
 
-// With returns the gauge for the given label values.
+// With returns the gauge for the given label values (appended to any
+// curried prefix).
 func (v *GaugeVec) With(values ...string) *Gauge {
-	return v.f.child(values, func() metric { return &Gauge{} }).(*Gauge)
+	return v.f.child(joinBound(v.bound, values), func() metric { return &Gauge{} }).(*Gauge)
 }
 
-// HistogramVec is a histogram family partitioned by label values.
-type HistogramVec struct{ f *family }
+// Curry returns a view of the family with the given leading label values
+// pre-bound.
+func (v *GaugeVec) Curry(values ...string) *GaugeVec {
+	return &GaugeVec{f: v.f, bound: joinBound(v.bound, values)}
+}
+
+// HistogramVec is a histogram family partitioned by label values,
+// optionally with a prefix of the label values pre-bound (see Curry).
+type HistogramVec struct {
+	f     *family
+	bound []string
+}
 
 // HistogramVec returns (registering if needed) a labeled histogram family;
 // nil buckets select DefBuckets.
 func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
-	return &HistogramVec{r.family(name, help, "histogram", labels, buckets)}
+	return &HistogramVec{f: r.family(name, help, "histogram", labels, buckets)}
 }
 
-// With returns the histogram for the given label values.
+// With returns the histogram for the given label values (appended to any
+// curried prefix).
 func (v *HistogramVec) With(values ...string) *Histogram {
-	return v.f.child(values, func() metric { return newHistogram(v.f.buckets) }).(*Histogram)
+	return v.f.child(joinBound(v.bound, values), func() metric { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// Curry returns a view of the family with the given leading label values
+// pre-bound.
+func (v *HistogramVec) Curry(values ...string) *HistogramVec {
+	return &HistogramVec{f: v.f, bound: joinBound(v.bound, values)}
 }
 
 // escapeLabel escapes a label value per the exposition format.

@@ -259,6 +259,55 @@ func Refine(o *ontology.Ontology, r Refinement) error {
 	return nil
 }
 
+// CollapseJunction removes the concept generated for a pure many-to-many
+// junction table and replaces it (and its two outgoing object properties)
+// with one direct relationship between the endpoints. This is the kind of
+// semantic correction the paper's SMEs apply to the generated ontology
+// (§3, approach 3), and it is domain agnostic: medkb collapses its treats
+// junction, retailkb its inventory junction.
+func CollapseJunction(o *ontology.Ontology, conceptName, table string, direct ontology.ObjectProperty) error {
+	found := false
+	kept := o.Concepts[:0]
+	for _, c := range o.Concepts {
+		if c.Name == conceptName && c.Table == table {
+			found = true
+			continue
+		}
+		kept = append(kept, c)
+	}
+	if !found {
+		return fmt.Errorf("ontogen: junction concept %q not found", conceptName)
+	}
+	o.Concepts = kept
+	rels := o.ObjectProperties[:0]
+	for _, p := range o.ObjectProperties {
+		if p.From == conceptName || p.To == conceptName {
+			continue
+		}
+		rels = append(rels, p)
+	}
+	o.ObjectProperties = rels
+	// Rebuild the concept index (we mutated the slice directly).
+	rebuilt := ontology.New(o.Name)
+	for _, c := range o.Concepts {
+		if err := rebuilt.AddConcept(c); err != nil {
+			return err
+		}
+	}
+	for _, p := range o.ObjectProperties {
+		if err := rebuilt.AddObjectProperty(p); err != nil {
+			return err
+		}
+	}
+	rebuilt.IsARelations = o.IsARelations
+	rebuilt.Unions = o.Unions
+	if err := rebuilt.AddObjectProperty(direct); err != nil {
+		return err
+	}
+	*o = *rebuilt
+	return nil
+}
+
 // sortedKeys returns a map's keys in sorted order.
 func sortedKeys(m map[string]string) []string {
 	out := make([]string, 0, len(m))

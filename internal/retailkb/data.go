@@ -1,0 +1,279 @@
+// Package retailkb is a second synthetic conversation domain — products,
+// brands, stores, inventory — built through the same domain-agnostic
+// pipeline as the medical KB (paper §9: "Our techniques are domain
+// agnostic, and can be applied to any KB"). It exists so multi-tenant
+// serving always has a standing second tenant whose vocabulary, intents,
+// and answers share nothing with medkb: cross-tenant leakage of sessions,
+// caches, or classifier state shows up as wrong-domain answers in tests.
+package retailkb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ontoconv/internal/kb"
+)
+
+// Config controls the size of the generated knowledge base. All generation
+// is deterministic given Seed.
+type Config struct {
+	Products int
+	Brands   int
+	Stores   int
+	Seed     int64
+}
+
+// DefaultConfig sizes the domain for CI: big enough that key-concept
+// statistics and classifier training are meaningful, small enough that a
+// tenant cold-start stays cheap next to medkb.
+func DefaultConfig() Config {
+	return Config{Products: 60, Brands: 12, Stores: 8, Seed: 7}
+}
+
+// seedProducts always exist so tests can script conversations against
+// stable names.
+var seedProducts = []struct{ name, brand, category string }{
+	{"Aurora Headphones", "Northwind", "Audio"},
+	{"Solstice Speaker", "Northwind", "Audio"},
+	{"Peak Trail Backpack", "Summitline", "Outdoor"},
+	{"Glacier Water Bottle", "Summitline", "Outdoor"},
+	{"Ember Espresso Maker", "Casaluce", "Kitchen"},
+	{"Drift Stand Mixer", "Casaluce", "Kitchen"},
+	{"Pulse Fitness Watch", "Veloz", "Wearables"},
+	{"Stride Running Shoes", "Veloz", "Footwear"},
+	{"Quill Mechanical Keyboard", "Keystone Labs", "Computing"},
+	{"Prism 4K Monitor", "Keystone Labs", "Computing"},
+	{"Nimbus Desk Lamp", "Lumenara", "Home"},
+	{"Halo Air Purifier", "Lumenara", "Home"},
+}
+
+var seedBrands = []struct{ name, country string }{
+	{"Northwind", "SE"},
+	{"Summitline", "CH"},
+	{"Casaluce", "IT"},
+	{"Veloz", "US"},
+	{"Keystone Labs", "US"},
+	{"Lumenara", "JP"},
+}
+
+var seedStores = []struct{ name, city, region string }{
+	{"Harbor Square", "Seattle", "US-West"},
+	{"Canal Street", "Amsterdam", "EU-North"},
+	{"Midtown Arcade", "New York", "US-East"},
+	{"Riverside Mall", "Lyon", "EU-South"},
+}
+
+var (
+	productAdjs  = []string{"Atlas", "Breeze", "Cinder", "Dawn", "Echo", "Flint", "Grove", "Haven", "Ion", "Juniper", "Kite", "Lunar", "Meridian", "Nova", "Onyx", "Pioneer", "Quartz", "Ridge", "Sable", "Terra", "Umbra", "Vista", "Willow", "Zephyr"}
+	productNouns = []string{"Blender", "Camera", "Charger", "Drone", "Grill", "Jacket", "Kettle", "Lantern", "Mouse", "Projector", "Router", "Scooter", "Tablet", "Telescope", "Tent", "Toaster", "Tripod", "Turntable", "Vacuum"}
+	categories   = []string{"Audio", "Outdoor", "Kitchen", "Wearables", "Footwear", "Computing", "Home", "Photography", "Mobility"}
+	cityNames    = []string{"Austin", "Berlin", "Chicago", "Dublin", "Geneva", "Kyoto", "Lisbon", "Madrid", "Oslo", "Porto", "Toronto", "Vienna"}
+	regionNames  = []string{"US-West", "US-East", "EU-North", "EU-South", "APAC"}
+	countryCodes = []string{"US", "DE", "FR", "JP", "KR", "SE", "IT", "CA"}
+
+	stockStatuses  = []string{"In stock", "In stock", "Low stock", "Out of stock"}
+	productStates  = []string{"Active", "Active", "Active", "Clearance", "Discontinued"}
+	ratings        = []string{"5 stars", "4 stars", "4 stars", "3 stars", "2 stars"}
+	reviewNotes    = []string{"Exceeded expectations.", "Solid build quality.", "Good value for the price.", "Battery life could be better.", "Would buy again."}
+	warrantyTerms  = []string{"1 year limited", "2 years limited", "3 years limited", "90 days"}
+	warrantyCovers = []string{"Parts and labor", "Parts only", "Manufacturing defects", "Full replacement"}
+	shipMethods    = []string{"Standard ground", "Expedited", "Next-day air", "Store pickup"}
+	promoKinds     = []string{"10% off", "15% off", "20% off", "Bundle deal", "Free shipping"}
+	promoStates    = []string{"Active", "Active", "Scheduled", "Expired"}
+)
+
+func text(n string) kb.Column { return kb.Column{Name: n, Type: kb.TextCol} }
+func req(n string) kb.Column  { return kb.Column{Name: n, Type: kb.TextCol, NotNull: true} }
+
+// Generate builds and fills the retail knowledge base.
+func Generate(cfg Config) (*kb.KB, error) {
+	base := kb.New()
+	tables := []kb.Schema{
+		{
+			Name:       "brand",
+			Columns:    []kb.Column{req("brand_id"), req("name"), text("country")},
+			PrimaryKey: "brand_id",
+		},
+		{
+			Name: "store",
+			Columns: []kb.Column{
+				req("store_id"), req("name"), text("city"), text("region"),
+			},
+			PrimaryKey: "store_id",
+		},
+		{
+			Name: "product",
+			Columns: []kb.Column{
+				req("product_id"), req("name"), req("brand_id"), text("category"),
+				{Name: "price_usd", Type: kb.IntCol}, text("status"),
+			},
+			PrimaryKey: "product_id",
+			ForeignKeys: []kb.ForeignKey{
+				{Column: "brand_id", RefTable: "brand", RefColumn: "brand_id"},
+			},
+		},
+		{
+			Name: "inventory",
+			Columns: []kb.Column{
+				req("inv_id"), req("product_id"), req("store_id"),
+				{Name: "stock_level", Type: kb.IntCol}, text("status"),
+			},
+			PrimaryKey: "inv_id",
+			ForeignKeys: []kb.ForeignKey{
+				{Column: "product_id", RefTable: "product", RefColumn: "product_id"},
+				{Column: "store_id", RefTable: "store", RefColumn: "store_id"},
+			},
+		},
+		{
+			Name: "review",
+			Columns: []kb.Column{
+				req("review_id"), req("product_id"), text("rating"), text("summary"),
+			},
+			PrimaryKey: "review_id",
+			ForeignKeys: []kb.ForeignKey{
+				{Column: "product_id", RefTable: "product", RefColumn: "product_id"},
+			},
+		},
+		{
+			Name: "warranty",
+			Columns: []kb.Column{
+				req("warranty_id"), req("product_id"), text("duration"), text("coverage"),
+			},
+			PrimaryKey: "warranty_id",
+			ForeignKeys: []kb.ForeignKey{
+				{Column: "product_id", RefTable: "product", RefColumn: "product_id"},
+			},
+		},
+		{
+			Name: "shipping",
+			Columns: []kb.Column{
+				req("ship_id"), req("product_id"), text("method"),
+				{Name: "days", Type: kb.IntCol},
+			},
+			PrimaryKey: "ship_id",
+			ForeignKeys: []kb.ForeignKey{
+				{Column: "product_id", RefTable: "product", RefColumn: "product_id"},
+			},
+		},
+		{
+			Name: "promotion",
+			Columns: []kb.Column{
+				req("promo_id"), req("product_id"), text("discount"), text("status"),
+			},
+			PrimaryKey: "promo_id",
+			ForeignKeys: []kb.ForeignKey{
+				{Column: "product_id", RefTable: "product", RefColumn: "product_id"},
+			},
+		},
+	}
+	for _, s := range tables {
+		if _, err := base.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Brands: the seeded ones plus generated fillers.
+	brandIDs := make([]string, 0, cfg.Brands)
+	for i, b := range seedBrands {
+		id := fmt.Sprintf("BR%03d", i+1)
+		brandIDs = append(brandIDs, id)
+		base.Table("brand").MustInsert(kb.Row{id, b.name, b.country})
+	}
+	for i := len(seedBrands); i < cfg.Brands; i++ {
+		id := fmt.Sprintf("BR%03d", i+1)
+		name := productAdjs[rng.Intn(len(productAdjs))] + " " + []string{"Works", "Supply", "Goods", "Industries"}[rng.Intn(4)]
+		brandIDs = append(brandIDs, id)
+		base.Table("brand").MustInsert(kb.Row{id, name, countryCodes[rng.Intn(len(countryCodes))]})
+	}
+
+	// Stores.
+	storeIDs := make([]string, 0, cfg.Stores)
+	for i, s := range seedStores {
+		id := fmt.Sprintf("ST%03d", i+1)
+		storeIDs = append(storeIDs, id)
+		base.Table("store").MustInsert(kb.Row{id, s.name, s.city, s.region})
+	}
+	for i := len(seedStores); i < cfg.Stores; i++ {
+		id := fmt.Sprintf("ST%03d", i+1)
+		name := cityNames[rng.Intn(len(cityNames))] + " " + []string{"Plaza", "Center", "Galleria", "Market"}[rng.Intn(4)]
+		storeIDs = append(storeIDs, id)
+		base.Table("store").MustInsert(kb.Row{id, name, cityNames[rng.Intn(len(cityNames))], regionNames[rng.Intn(len(regionNames))]})
+	}
+
+	// Products: seeds map to their seeded brands by name; fillers draw
+	// names from the adjective/noun pools, deduplicated.
+	brandByName := map[string]string{}
+	for i, b := range seedBrands {
+		brandByName[b.name] = fmt.Sprintf("BR%03d", i+1)
+	}
+	productIDs := make([]string, 0, cfg.Products)
+	seen := map[string]bool{}
+	insertProduct := func(i int, name, brandID, category string) {
+		id := fmt.Sprintf("PR%03d", i+1)
+		productIDs = append(productIDs, id)
+		price := int64(15 + rng.Intn(485))
+		base.Table("product").MustInsert(kb.Row{
+			id, name, brandID, category, price,
+			productStates[rng.Intn(len(productStates))],
+		})
+	}
+	for i, p := range seedProducts {
+		seen[p.name] = true
+		insertProduct(i, p.name, brandByName[p.brand], p.category)
+	}
+	for i := len(seedProducts); i < cfg.Products; i++ {
+		name := ""
+		for {
+			name = productAdjs[rng.Intn(len(productAdjs))] + " " + productNouns[rng.Intn(len(productNouns))]
+			if !seen[name] {
+				break
+			}
+		}
+		seen[name] = true
+		insertProduct(i, name, brandIDs[rng.Intn(len(brandIDs))], categories[rng.Intn(len(categories))])
+	}
+
+	// Per-product dependents.
+	inv, rev, war, shp, prm := 0, 0, 0, 0, 0
+	for _, pid := range productIDs {
+		for _, sid := range storeIDs {
+			if rng.Intn(3) == 0 {
+				continue // not every product is stocked everywhere
+			}
+			inv++
+			base.Table("inventory").MustInsert(kb.Row{
+				fmt.Sprintf("IN%04d", inv), pid, sid,
+				int64(rng.Intn(120)), stockStatuses[rng.Intn(len(stockStatuses))],
+			})
+		}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			rev++
+			base.Table("review").MustInsert(kb.Row{
+				fmt.Sprintf("RV%04d", rev), pid,
+				ratings[rng.Intn(len(ratings))], reviewNotes[rng.Intn(len(reviewNotes))],
+			})
+		}
+		war++
+		base.Table("warranty").MustInsert(kb.Row{
+			fmt.Sprintf("WA%04d", war), pid,
+			warrantyTerms[rng.Intn(len(warrantyTerms))], warrantyCovers[rng.Intn(len(warrantyCovers))],
+		})
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			shp++
+			base.Table("shipping").MustInsert(kb.Row{
+				fmt.Sprintf("SH%04d", shp), pid,
+				shipMethods[rng.Intn(len(shipMethods))], int64(1 + rng.Intn(7)),
+			})
+		}
+		if rng.Intn(2) == 0 {
+			prm++
+			base.Table("promotion").MustInsert(kb.Row{
+				fmt.Sprintf("PM%04d", prm), pid,
+				promoKinds[rng.Intn(len(promoKinds))], promoStates[rng.Intn(len(promoStates))],
+			})
+		}
+	}
+	return base, nil
+}

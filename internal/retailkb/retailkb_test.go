@@ -1,0 +1,122 @@
+package retailkb_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/bundle"
+	"ontoconv/internal/core"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/retailkb"
+)
+
+var (
+	once   sync.Once
+	base   *kb.KB
+	space  *core.Space
+	ag     *agent.Agent
+	setupE error
+)
+
+func fixture(t *testing.T) *agent.Agent {
+	t.Helper()
+	once.Do(func() {
+		var err error
+		base, _, space, err = retailkb.Bootstrap()
+		if err != nil {
+			setupE = err
+			return
+		}
+		ag, setupE = agent.New(space, base, agent.Options{})
+	})
+	if setupE != nil {
+		t.Fatal(setupE)
+	}
+	return ag
+}
+
+func TestBootstrapShape(t *testing.T) {
+	fixture(t)
+	keys := map[string]bool{}
+	for _, k := range space.KeyConcepts {
+		keys[k] = true
+	}
+	if !keys["Product"] {
+		t.Fatalf("Product must be a key concept, got %v", space.KeyConcepts)
+	}
+	for _, want := range []string{
+		"Reviews of Product",
+		"Stores That Stock Product",
+		"Shipping Options for Product",
+		"Warranty of Product",
+		"Promotions for Product",
+		"Products by Brand",
+		"PRODUCT_GENERAL",
+	} {
+		if space.Intent(want) == nil {
+			t.Errorf("missing intent %q", want)
+		}
+	}
+}
+
+// TestRetailConversation drives the same agent runtime over the retail
+// space: reviews, store availability, and a contextual follow-up.
+func TestRetailConversation(t *testing.T) {
+	a := fixture(t)
+	s := agent.NewSession()
+
+	r := a.Respond(s, "show me the reviews for Aurora Headphones")
+	if last := s.LastTurn(); last == nil || !last.Answered {
+		t.Fatalf("review request not answered; reply = %q", r)
+	}
+	if !strings.Contains(r, "stars") {
+		t.Fatalf("review answer should list ratings, got %q", r)
+	}
+
+	r = a.Respond(s, "where can I buy the Solstice Speaker")
+	if last := s.LastTurn(); last == nil || !last.Answered {
+		t.Fatalf("store request not answered; reply = %q", r)
+	}
+	if last := s.LastTurn(); last.Intent != "Stores That Stock Product" {
+		t.Fatalf("store request routed to %q; reply = %q", last.Intent, r)
+	}
+
+	// Context carry-over: same intent, new product.
+	r = a.Respond(s, "what about the Pulse Fitness Watch?")
+	if last := s.LastTurn(); last == nil || !last.Answered {
+		t.Fatalf("follow-up not answered; reply = %q", r)
+	}
+}
+
+// TestRetailBundleDeterminism pins the second tenant to the same
+// content-addressing invariant as medkb: two independent
+// bootstrap-and-compile runs produce byte-identical bundles.
+func TestRetailBundleDeterminism(t *testing.T) {
+	var runs [2]*bytes.Buffer
+	var versions [2]string
+	for i := range runs {
+		_, _, sp, err := retailkb.Bootstrap()
+		if err != nil {
+			t.Fatalf("bootstrap run %d: %v", i+1, err)
+		}
+		b, err := bundle.Compile(sp, bundle.Options{})
+		if err != nil {
+			t.Fatalf("compile run %d: %v", i+1, err)
+		}
+		buf := &bytes.Buffer{}
+		if err := b.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = buf
+		versions[i] = b.Version()
+	}
+	if versions[0] != versions[1] {
+		t.Fatalf("bundle versions differ: %q vs %q", versions[0], versions[1])
+	}
+	if !bytes.Equal(runs[0].Bytes(), runs[1].Bytes()) {
+		t.Fatal("retail bundle bytes differ across runs")
+	}
+}

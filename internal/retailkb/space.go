@@ -1,0 +1,170 @@
+package retailkb
+
+import (
+	"ontoconv/internal/core"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/medkb"
+	"ontoconv/internal/obs"
+	"ontoconv/internal/ontogen"
+	"ontoconv/internal/ontology"
+)
+
+// Ontology builds the retail domain ontology: data-driven generation from
+// the KB schema followed by light SME refinement (display labels and
+// properties), mirroring the hybrid approach the paper deploys (§3).
+func Ontology(base *kb.KB) (*ontology.Ontology, error) {
+	o, err := ontogen.Generate(base, ontogen.DefaultConfig("retail"))
+	if err != nil {
+		return nil, err
+	}
+	// The inventory table is a pure product-store junction; SMEs collapse
+	// it into a direct "stocked in" relationship, exactly as medkb
+	// collapses its treats junction.
+	if err := ontogen.CollapseJunction(o, "Inventory", "inventory", ontology.ObjectProperty{
+		Name:    "stockedIn",
+		From:    "Product",
+		To:      "Store",
+		Inverse: "stocks",
+		Via: &ontology.JunctionTable{
+			Table:      "inventory",
+			FromColumn: "product_id",
+			ToColumn:   "store_id",
+			Properties: []string{"stock_level", "status"},
+		},
+		FromColumn: "product_id",
+		ToColumn:   "store_id",
+	}); err != nil {
+		return nil, err
+	}
+	if err := ontogen.Refine(o, ontogen.Refinement{
+		Inverses: map[string]string{
+			"hasBrand": "makes",
+		},
+		DisplayProperties: map[string]string{
+			"Review":    "rating",
+			"Warranty":  "duration",
+			"Shipping":  "method",
+			"Promotion": "discount",
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// BootstrapConfig is the retail bootstrap configuration: the generic
+// pipeline plus the SME vocabulary a retail deployment would contribute
+// (Tables 1-2 are medical; this is their retail analogue).
+func BootstrapConfig(base *kb.KB) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.KeyConcepts.MinKeep = 2
+	cfg.KeyConcepts.MaxKeep = 3
+	cfg.Entities = core.EntityConfig{
+		ConceptSynonyms: map[string][]string{
+			"Product":   {"item", "goods", "model"},
+			"Brand":     {"manufacturer", "maker"},
+			"Store":     {"shop", "outlet", "location"},
+			"Review":    {"ratings", "stars", "feedback"},
+			"Inventory": {"stock", "in stock", "on hand"},
+			"Warranty":  {"guarantee", "coverage"},
+			"Shipping":  {"delivery", "ship"},
+			"Promotion": {"deal", "sale", "discount"},
+		},
+		ValueEntityMaxValues: 10,
+	}
+	cfg.Feedback = core.Feedback{
+		Rename: map[string]string{
+			"Shippings of Product":         "Shipping Options for Product",
+			"Warranties of Product":        "Warranty of Product",
+			"Stores of Product":            "Stores That Stock Product",
+			"Products That HasBrand Brand": "Products by Brand",
+			"Brands Makes Product":         "Brand of Product",
+			"Promotions of Product":        "Promotions for Product",
+		},
+		GeneralEntityConcepts: []string{"Product"},
+		PriorQueries: map[string][]string{
+			// A retail deployment's user-log phrasings, the analogue of
+			// the paper's Figure 8 SME-labelled prior queries.
+			"Reviews of Product": {
+				"show me the reviews for Aurora Headphones",
+				"ratings for Pulse Fitness Watch",
+				"what do people say about the Solstice Speaker",
+				"customer feedback on Drift Stand Mixer",
+			},
+			"Stores That Stock Product": {
+				"where can I buy the Solstice Speaker",
+				"which stores stock Glacier Water Bottle",
+				"where is the Ember Espresso Maker available",
+				"find a store with Stride Running Shoes",
+			},
+			"Shipping Options for Product": {
+				"how fast can you ship the Prism 4K Monitor",
+				"delivery options for Quill Mechanical Keyboard",
+				"shipping for Halo Air Purifier",
+			},
+			"Warranty of Product": {
+				"warranty on the Nimbus Desk Lamp",
+				"how long is the guarantee for Peak Trail Backpack",
+			},
+			"Promotions for Product": {
+				"any deals on Aurora Headphones",
+				"is the Pulse Fitness Watch on sale",
+			},
+		},
+	}
+	return cfg
+}
+
+// Bootstrap generates the KB (default size), builds the ontology, and runs
+// the full retail bootstrap — the one-call entry point for the second
+// tenant.
+func Bootstrap() (*kb.KB, *ontology.Ontology, *core.Space, error) {
+	return BootstrapWithPhases(nil)
+}
+
+// BootstrapWithPhases is Bootstrap with per-phase timing recorded into pl
+// (nil for none).
+func BootstrapWithPhases(pl *obs.PhaseLog) (*kb.KB, *ontology.Ontology, *core.Space, error) {
+	done := pl.Phase("retailkb.generate")
+	base, err := Generate(DefaultConfig())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rows := 0
+	for _, name := range base.TableNames() {
+		rows += base.Table(name).Len()
+	}
+	done(obs.C("tables", len(base.TableNames())), obs.C("rows", rows))
+
+	done = pl.Phase("retailkb.ontology")
+	o, err := Ontology(base)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	done(obs.C("concepts", len(o.Concepts)), obs.C("object_properties", len(o.ObjectProperties)))
+
+	cfg := BootstrapConfig(base)
+	cfg.Phases = pl
+	space, err := core.Bootstrap(o, base, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	done = pl.Phase("retailkb.index")
+	built, err := BuildIndexes(base, space)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	done(obs.C("indexes", built))
+	return base, o, space, nil
+}
+
+// BuildIndexes builds the serving indexes for a retail KB; the index
+// planner is domain agnostic, so this delegates to the shared
+// implementation.
+func BuildIndexes(base *kb.KB, space *core.Space) (int, error) {
+	return medkb.BuildIndexes(base, space)
+}

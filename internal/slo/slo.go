@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // Spec is a set of service-level objectives. The zero value of any field
@@ -49,6 +50,9 @@ type Report struct {
 	Seed            int64   `json:"seed"`
 	WarmupSeconds   float64 `json:"warmup_seconds"`
 	DurationSeconds float64 `json:"duration_seconds"`
+	// Workspace echoes a single-workspace run (-workspace): all traffic
+	// went to /w/<name>/ routes.
+	Workspace string `json:"workspace,omitempty"`
 
 	Interactions uint64 `json:"interactions"`
 	Turns        uint64 `json:"turns"`
@@ -61,6 +65,19 @@ type Report struct {
 	ErrorRate       float64 `json:"error_rate"`
 	TurnsPerSecond  float64 `json:"turns_per_second"`
 	TurnLatency     Latency `json:"turn_latency"`
+	// Workspaces breaks a mixed-tenant run down per workspace; the
+	// top-level figures aggregate across all of them.
+	Workspaces map[string]*WorkspaceLoad `json:"workspaces,omitempty"`
+}
+
+// WorkspaceLoad is one workspace's share of a mixed-tenant run.
+type WorkspaceLoad struct {
+	Interactions   uint64  `json:"interactions"`
+	Turns          uint64  `json:"turns"`
+	Answered       uint64  `json:"answered"`
+	Errors         uint64  `json:"errors"`
+	TurnsPerSecond float64 `json:"turns_per_second"`
+	TurnLatency    Latency `json:"turn_latency"`
 }
 
 // Violation is one breached objective.
@@ -91,31 +108,78 @@ func (s Spec) Evaluate(r *Report) []Violation {
 	if s.MinTurnThroughput > 0 && r.TurnsPerSecond < s.MinTurnThroughput {
 		out = append(out, Violation{"turns_per_second", s.MinTurnThroughput, r.TurnsPerSecond})
 	}
+	// Latency ceilings also bind per workspace in mixed-tenant runs: the
+	// aggregate must not hide one tenant's tail behind another's volume.
+	// Throughput and error-rate objectives stay aggregate-only (the mix
+	// decides how turns split, not the server).
+	for _, name := range sortedWorkspaces(r.Workspaces) {
+		w := r.Workspaces[name]
+		if s.MaxTurnP50Seconds > 0 && w.TurnLatency.P50Seconds > s.MaxTurnP50Seconds {
+			out = append(out, Violation{"workspace[" + name + "].turn_p50_seconds",
+				s.MaxTurnP50Seconds, w.TurnLatency.P50Seconds})
+		}
+		if s.MaxTurnP99Seconds > 0 && w.TurnLatency.P99Seconds > s.MaxTurnP99Seconds {
+			out = append(out, Violation{"workspace[" + name + "].turn_p99_seconds",
+				s.MaxTurnP99Seconds, w.TurnLatency.P99Seconds})
+		}
+	}
 	return out
 }
 
+func sortedWorkspaces(ws map[string]*WorkspaceLoad) []string {
+	if len(ws) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(ws))
+	for name := range ws {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // File is the on-disk baseline shape (BENCH_load.json): free-form
-// provenance fields plus the gating spec under "slo".
+// provenance fields plus the gating spec under "slo". A baseline may
+// carry a second, usually looser, spec under "slo_multi_tenant" for runs
+// that split one server across several workspaces (cold-start rebuilds
+// and cache splits cost tail latency and throughput there).
 type File struct {
 	Description string `json:"description,omitempty"`
 	CPU         string `json:"cpu,omitempty"`
 	Go          string `json:"go,omitempty"`
 	Date        string `json:"date,omitempty"`
 	Spec        Spec   `json:"slo"`
+	MultiTenant *Spec  `json:"slo_multi_tenant,omitempty"`
 }
 
-// Load reads a baseline file and returns its spec.
-func Load(path string) (Spec, error) {
+// LoadFile reads a baseline file whole.
+func LoadFile(path string) (File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return Spec{}, err
+		return File{}, err
 	}
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
-		return Spec{}, fmt.Errorf("slo: %s: %w", path, err)
+		return File{}, fmt.Errorf("slo: %s: %w", path, err)
 	}
 	if f.Spec == (Spec{}) {
-		return Spec{}, fmt.Errorf("slo: %s: no objectives under \"slo\"", path)
+		return File{}, fmt.Errorf("slo: %s: no objectives under \"slo\"", path)
 	}
-	return f.Spec, nil
+	return f, nil
+}
+
+// Load reads a baseline file and returns its primary spec.
+func Load(path string) (Spec, error) {
+	f, err := LoadFile(path)
+	return f.Spec, err
+}
+
+// SpecFor picks the spec that applies to a report: the multi-tenant
+// objectives when the run drove more than one workspace and the baseline
+// defines them, the primary objectives otherwise.
+func (f File) SpecFor(r *Report) Spec {
+	if f.MultiTenant != nil && len(r.Workspaces) > 1 {
+		return *f.MultiTenant
+	}
+	return f.Spec
 }

@@ -96,6 +96,68 @@ func TestLoadBaselineFile(t *testing.T) {
 	}
 }
 
+// TestEvaluatePerWorkspaceLatency pins the mixed-tenant semantics:
+// latency ceilings bind each workspace individually (aggregate volume
+// must not mask one tenant's tail), while throughput and error-rate
+// objectives stay aggregate-only.
+func TestEvaluatePerWorkspaceLatency(t *testing.T) {
+	spec := Spec{
+		MaxTurnP99Seconds: 0.5,
+		MinTurnThroughput: 50,
+	}
+	r := passingReport()
+	r.Workspaces = map[string]*WorkspaceLoad{
+		"default": {Turns: 990, TurnsPerSecond: 247, TurnLatency: Latency{P99Seconds: 0.040}},
+		"retail":  {Turns: 10, TurnsPerSecond: 3, TurnLatency: Latency{P99Seconds: 2.0}},
+	}
+	v := spec.Evaluate(r)
+	if len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly the retail p99 breach", v)
+	}
+	if v[0].Name != "workspace[retail].turn_p99_seconds" {
+		t.Fatalf("violation = %q", v[0].Name)
+	}
+}
+
+func TestSpecForSelectsMultiTenantObjectives(t *testing.T) {
+	f := File{
+		Spec:        Spec{MaxTurnP99Seconds: 0.5},
+		MultiTenant: &Spec{MaxTurnP99Seconds: 1.5},
+	}
+	single := passingReport()
+	if got := f.SpecFor(single); got.MaxTurnP99Seconds != 0.5 {
+		t.Fatalf("single-tenant report got spec %+v", got)
+	}
+	mixed := passingReport()
+	mixed.Workspaces = map[string]*WorkspaceLoad{"a": {}, "b": {}}
+	if got := f.SpecFor(mixed); got.MaxTurnP99Seconds != 1.5 {
+		t.Fatalf("mixed-tenant report got spec %+v", got)
+	}
+	// Without a multi-tenant section the primary spec gates everything.
+	f.MultiTenant = nil
+	if got := f.SpecFor(mixed); got.MaxTurnP99Seconds != 0.5 {
+		t.Fatalf("fallback spec %+v", got)
+	}
+}
+
+func TestLoadFileCarriesMultiTenantSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	body := `{
+  "slo": {"max_turn_p99_seconds": 0.25},
+  "slo_multi_tenant": {"max_turn_p99_seconds": 0.75, "min_turn_throughput": 10}
+}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MultiTenant == nil || f.MultiTenant.MaxTurnP99Seconds != 0.75 || f.MultiTenant.MinTurnThroughput != 10 {
+		t.Fatalf("multi-tenant spec = %+v", f.MultiTenant)
+	}
+}
+
 func TestLoadRejectsEmptyAndMissing(t *testing.T) {
 	if _, err := Load(filepath.Join(t.TempDir(), "ghost.json")); err == nil {
 		t.Fatal("missing file accepted")

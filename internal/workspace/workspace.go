@@ -1,0 +1,281 @@
+// Package workspace hosts many conversation domains in one process: a
+// registry maps tenant names to content-addressed bundles and to lazily
+// constructed, LRU-resident agents. The paper's system is deployed as one
+// hosted service per knowledge base (§7); the sealed bundle format makes a
+// domain a portable artifact, so one server can load N of them and keep
+// only the hot ones resident.
+//
+// Residency discipline: an evicted tenant keeps its sessions (they live in
+// the HTTP server) and its metric bundle (created once per tenant,
+// partitioned by a tenant label on a shared registry); only the agent —
+// classifier, KB indexes, compiled plans — is released. A later request
+// re-admits the tenant by rebuilding from its bundle source. In-flight
+// turns hold their own *agent.Agent reference, so eviction never yanks a
+// runtime out from under an active turn.
+package workspace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/bundle"
+	"ontoconv/internal/core"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/obs"
+)
+
+// Source describes one tenant: how to read its bundle and how to
+// materialize the knowledge base the bundle's query plans execute against
+// (the KB is regenerated deterministically, not shipped in the bundle).
+type Source struct {
+	// Name is the tenant name (the <tenant> in /w/<tenant>/chat).
+	Name string
+	// Open reads the tenant's bundle — typically bundle.OpenFile on a
+	// path, re-read on every (re)build and reload so edits are picked up.
+	Open func() (*bundle.Bundle, error)
+	// KB builds the indexed knowledge base for the bundle's space.
+	KB func(space *core.Space) (*kb.KB, error)
+	// Options configures the tenant's agent. Options.Metrics is
+	// overwritten by the registry with the tenant's labeled bundle.
+	Options agent.Options
+}
+
+// tenant is one registered workspace.
+type tenant struct {
+	src     Source
+	metrics *agent.Metrics // created on first build, kept forever
+
+	// buildMu serializes construction and reload per tenant so N
+	// concurrent cold-starts produce exactly one build (singleflight).
+	buildMu sync.Mutex
+
+	// ag and lastUse are guarded by Registry.mu. ag == nil means not
+	// resident.
+	ag      *agent.Agent
+	lastUse uint64
+}
+
+// Registry resolves tenant names to agents with bounded residency.
+// It implements agent.WorkspaceResolver.
+type Registry struct {
+	reg *obs.Registry
+	cap int
+
+	resident  *obs.Gauge
+	evictions *obs.Counter
+	builds    *obs.CounterVec // workspace
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	clock   uint64 // logical LRU clock; bumped on every touch
+}
+
+// New builds a registry over the given sources. cap bounds how many
+// tenants stay resident at once (<= 0 means unbounded); metrics land on
+// reg, which the serving layer also exposes.
+func New(reg *obs.Registry, cap int, sources ...Source) (*Registry, error) {
+	r := &Registry{
+		reg: reg,
+		cap: cap,
+		resident: reg.Gauge("mdx_workspace_resident",
+			"Workspaces currently holding a constructed agent."),
+		evictions: reg.Counter("mdx_workspace_evictions_total",
+			"Workspace agents released by the LRU residency cap."),
+		builds: reg.CounterVec("mdx_workspace_builds_total",
+			"Agent constructions by workspace (cold starts and re-admissions).",
+			"workspace"),
+		tenants: make(map[string]*tenant),
+	}
+	for _, src := range sources {
+		if src.Name == "" {
+			return nil, fmt.Errorf("workspace: source with empty name")
+		}
+		if src.Open == nil || src.KB == nil {
+			return nil, fmt.Errorf("workspace %q: Open and KB are required", src.Name)
+		}
+		if _, ok := r.tenants[src.Name]; ok {
+			return nil, fmt.Errorf("workspace %q registered twice", src.Name)
+		}
+		r.tenants[src.Name] = &tenant{src: src}
+	}
+	return r, nil
+}
+
+// Workspaces lists the registered tenant names, sorted.
+func (r *Registry) Workspaces() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.tenants))
+	for name := range r.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resident reports whether the tenant currently holds a constructed agent
+// (tests and admin introspection).
+func (r *Registry) Resident(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tenants[name]
+	return ok && t.ag != nil
+}
+
+// Resolve returns the tenant's agent, constructing it on first use or
+// after eviction. Concurrent cold-starts of one tenant build exactly once;
+// distinct tenants build in parallel.
+func (r *Registry) Resolve(name string) (*agent.Agent, error) {
+	r.mu.Lock()
+	t, ok := r.tenants[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", agent.ErrUnknownWorkspace, name)
+	}
+	if t.ag != nil {
+		r.clock++
+		t.lastUse = r.clock
+		ag := t.ag
+		r.mu.Unlock()
+		return ag, nil
+	}
+	r.mu.Unlock()
+
+	t.buildMu.Lock()
+	defer t.buildMu.Unlock()
+	// Another goroutine may have finished the build while we waited.
+	r.mu.Lock()
+	if t.ag != nil {
+		r.clock++
+		t.lastUse = r.clock
+		ag := t.ag
+		r.mu.Unlock()
+		return ag, nil
+	}
+	r.mu.Unlock()
+
+	ag, err := r.build(t)
+	if err != nil {
+		return nil, err
+	}
+	r.admit(t, ag)
+	return ag, nil
+}
+
+// build constructs the tenant's agent from its source. Called with
+// t.buildMu held and r.mu released: construction is slow (KB generation,
+// index builds) and must not block other tenants.
+func (r *Registry) build(t *tenant) (*agent.Agent, error) {
+	name := t.src.Name
+	b, err := t.src.Open()
+	if err != nil {
+		return nil, fmt.Errorf("workspace %q: open bundle: %w", name, err)
+	}
+	base, err := t.src.KB(b.Space)
+	if err != nil {
+		return nil, fmt.Errorf("workspace %q: build KB: %w", name, err)
+	}
+	opts := t.src.Options
+	if t.metrics == nil {
+		// One labeled bundle per tenant for the process lifetime, so
+		// counters survive eviction and rebuild.
+		t.metrics = agent.NewTenantMetricsOn(r.reg, name)
+	}
+	opts.Metrics = t.metrics
+	ag, err := agent.NewFromBundle(b, base, opts)
+	if err != nil {
+		return nil, fmt.Errorf("workspace %q: %w", name, err)
+	}
+	r.builds.With(name).Inc()
+	return ag, nil
+}
+
+// admit installs a freshly built agent and enforces the residency cap.
+func (r *Registry) admit(t *tenant, ag *agent.Agent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t.ag = ag
+	r.clock++
+	t.lastUse = r.clock
+	r.evictOverCapLocked(t)
+	r.resident.Set(int64(r.residentCountLocked()))
+}
+
+// evictOverCapLocked releases least-recently-used agents until the
+// resident count fits the cap, never evicting the just-admitted tenant.
+// Eviction only drops the registry's reference: turns already holding the
+// agent finish on it, and the tenant's sessions and metrics live on.
+func (r *Registry) evictOverCapLocked(keep *tenant) {
+	if r.cap <= 0 {
+		return
+	}
+	for r.residentCountLocked() > r.cap {
+		var victim *tenant
+		victimName := ""
+		for name, t := range r.tenants {
+			if t.ag == nil || t == keep {
+				continue
+			}
+			// Ties on lastUse cannot happen (clock is strictly
+			// increasing), but compare names anyway so victim choice is
+			// deterministic under any future clock change.
+			if victim == nil || t.lastUse < victim.lastUse ||
+				(t.lastUse == victim.lastUse && name < victimName) {
+				victim, victimName = t, name
+			}
+		}
+		if victim == nil {
+			return // only the protected tenant is resident
+		}
+		victim.ag = nil
+		r.evictions.Inc()
+	}
+}
+
+func (r *Registry) residentCountLocked() int {
+	n := 0
+	for _, t := range r.tenants {
+		if t.ag != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Reload hot-swaps the tenant onto a freshly opened bundle and returns the
+// new live version. A resident tenant swaps atomically via InstallBundle
+// (in-flight turns finish on the old generation); a non-resident one is
+// built and admitted.
+func (r *Registry) Reload(name string) (string, error) {
+	r.mu.Lock()
+	t, ok := r.tenants[name]
+	r.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %q", agent.ErrUnknownWorkspace, name)
+	}
+
+	t.buildMu.Lock()
+	defer t.buildMu.Unlock()
+	r.mu.Lock()
+	ag := t.ag
+	r.mu.Unlock()
+	if ag == nil {
+		ag, err := r.build(t)
+		if err != nil {
+			return "", err
+		}
+		r.admit(t, ag)
+		return ag.Version(), nil
+	}
+	b, err := t.src.Open()
+	if err != nil {
+		t.metrics.Reloads.With("error").Inc()
+		return "", fmt.Errorf("workspace %q: reload: %w", name, err)
+	}
+	if err := ag.InstallBundle(b); err != nil {
+		return "", fmt.Errorf("workspace %q: %w", name, err)
+	}
+	return ag.Version(), nil
+}

@@ -1,0 +1,269 @@
+package workspace_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/bundle"
+	"ontoconv/internal/core"
+	"ontoconv/internal/kb"
+	"ontoconv/internal/obs"
+	"ontoconv/internal/retailkb"
+	"ontoconv/internal/workspace"
+)
+
+// The retail domain bootstraps in milliseconds, so every registry test
+// cold-starts real agents; the bundle is compiled once and re-opened from
+// bytes per build, like re-reading a file.
+var (
+	once        sync.Once
+	bundleBytes []byte
+	setupE      error
+)
+
+func bundleBlob(t *testing.T) []byte {
+	t.Helper()
+	once.Do(func() {
+		_, _, space, err := retailkb.Bootstrap()
+		if err != nil {
+			setupE = err
+			return
+		}
+		b, err := bundle.Compile(space, bundle.Options{})
+		if err != nil {
+			setupE = err
+			return
+		}
+		buf := &bytes.Buffer{}
+		if err := b.Write(buf); err != nil {
+			setupE = err
+			return
+		}
+		bundleBytes = buf.Bytes()
+	})
+	if setupE != nil {
+		t.Fatal(setupE)
+	}
+	return bundleBytes
+}
+
+// source builds a tenant source over the shared retail bundle, counting
+// bundle opens so tests can assert construction counts.
+func source(t *testing.T, name string, opens *atomic.Int64) workspace.Source {
+	blob := bundleBlob(t)
+	return workspace.Source{
+		Name: name,
+		Open: func() (*bundle.Bundle, error) {
+			if opens != nil {
+				opens.Add(1)
+			}
+			return bundle.Open(bytes.NewReader(blob))
+		},
+		KB: func(space *core.Space) (*kb.KB, error) {
+			base, err := retailkb.Generate(retailkb.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			if _, err := retailkb.BuildIndexes(base, space); err != nil {
+				return nil, err
+			}
+			return base, nil
+		},
+	}
+}
+
+func TestSingleflightColdStart(t *testing.T) {
+	var opens atomic.Int64
+	reg, err := workspace.New(obs.NewRegistry(), 0, source(t, "r1", &opens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	agents := make([]*agent.Agent, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ag, err := reg.Resolve("r1")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			agents[i] = ag
+		}(i)
+	}
+	wg.Wait()
+	if got := opens.Load(); got != 1 {
+		t.Fatalf("%d concurrent cold-starts opened the bundle %d times, want exactly 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if agents[i] != agents[0] {
+			t.Fatalf("goroutine %d got a different agent instance", i)
+		}
+	}
+}
+
+func TestLRUEvictionAndReadmission(t *testing.T) {
+	var opensA, opensB atomic.Int64
+	oreg := obs.NewRegistry()
+	reg, err := workspace.New(oreg, 1, source(t, "a", &opensA), source(t, "b", &opensB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Resolve("a"); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Resident("a") {
+		t.Fatal("a not resident after Resolve")
+	}
+	if _, err := reg.Resolve("b"); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Resident("a") || !reg.Resident("b") {
+		t.Fatalf("cap=1: want b resident and a evicted; a=%v b=%v",
+			reg.Resident("a"), reg.Resident("b"))
+	}
+	// Re-admission rebuilds a and evicts b.
+	if _, err := reg.Resolve("a"); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Resident("a") || reg.Resident("b") {
+		t.Fatal("re-admission did not evict b")
+	}
+	if got := opensA.Load(); got != 2 {
+		t.Fatalf("a built %d times, want 2 (cold start + re-admission)", got)
+	}
+
+	var sb strings.Builder
+	oreg.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "mdx_workspace_resident 1") {
+		t.Errorf("exposition missing mdx_workspace_resident 1\n%s", out)
+	}
+	if !strings.Contains(out, "mdx_workspace_evictions_total 2") {
+		t.Errorf("exposition missing mdx_workspace_evictions_total 2\n%s", out)
+	}
+}
+
+// TestEvictionNeverDropsAgentMidTurn: a turn holds its agent reference
+// across an eviction and finishes on it.
+func TestEvictionNeverDropsAgentMidTurn(t *testing.T) {
+	reg, err := workspace.New(obs.NewRegistry(), 1, source(t, "a", nil), source(t, "b", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agA, err := reg.Resolve("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a's eviction mid-"turn".
+	if _, err := reg.Resolve("b"); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Resident("a") {
+		t.Fatal("a should be evicted")
+	}
+	s := agent.NewSession()
+	r := agA.Respond(s, "show me the reviews for Aurora Headphones")
+	if last := s.LastTurn(); last == nil || !last.Answered {
+		t.Fatalf("held agent failed after eviction; reply = %q", r)
+	}
+}
+
+func TestReloadResidentAndNot(t *testing.T) {
+	var opens atomic.Int64
+	reg, err := workspace.New(obs.NewRegistry(), 1, source(t, "a", &opens), source(t, "b", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-resident reload builds and admits.
+	v, err := reg.Reload("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == "" || !reg.Resident("a") {
+		t.Fatalf("non-resident reload: version=%q resident=%v", v, reg.Resident("a"))
+	}
+	// Resident reload swaps in place (one extra open, no re-admission).
+	v2, err := reg.Reload("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v {
+		t.Fatalf("same bundle reload changed version %q -> %q", v, v2)
+	}
+	if got := opens.Load(); got != 2 {
+		t.Fatalf("opens = %d, want 2 (build + in-place reload)", got)
+	}
+	if _, err := reg.Reload("zzz"); !errors.Is(err, agent.ErrUnknownWorkspace) {
+		t.Fatalf("unknown reload error = %v", err)
+	}
+}
+
+func TestUnknownWorkspace(t *testing.T) {
+	reg, err := workspace.New(obs.NewRegistry(), 0, source(t, "a", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Resolve("nope"); !errors.Is(err, agent.ErrUnknownWorkspace) {
+		t.Fatalf("error = %v, want ErrUnknownWorkspace", err)
+	}
+	if ws := reg.Workspaces(); len(ws) != 1 || ws[0] != "a" {
+		t.Fatalf("Workspaces() = %v", ws)
+	}
+}
+
+// TestChatRacesEvictionAndReload hammers one registry from three sides —
+// turns on tenant a, cold-starts of tenant b forcing a's eviction, and
+// reloads of a — under cap=1. Run with -race; correctness here is "no
+// race, no error, every turn answered".
+func TestChatRacesEvictionAndReload(t *testing.T) {
+	reg, err := workspace.New(obs.NewRegistry(), 1, source(t, "a", nil), source(t, "b", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 25
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			ag, err := reg.Resolve("a")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s := agent.NewSession()
+			ag.Respond(s, "show me the reviews for Aurora Headphones")
+			if last := s.LastTurn(); last == nil || !last.Answered {
+				t.Error("turn on a went unanswered during eviction/reload churn")
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := reg.Resolve("b"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := reg.Reload("a"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -48,6 +48,7 @@ import (
 	"ontoconv/internal/obs"
 	"ontoconv/internal/ontogen"
 	"ontoconv/internal/ontology"
+	"ontoconv/internal/retailkb"
 	"ontoconv/internal/sim"
 	"ontoconv/internal/sqlx"
 )
@@ -243,6 +244,23 @@ func MedicalBootstrap() (*KB, *Ontology, *Space, error) { return medkb.Bootstrap
 // into pl (see NewPhaseLog).
 func MedicalBootstrapTimed(pl *PhaseLog) (*KB, *Ontology, *Space, error) {
 	return medkb.BootstrapWithPhases(pl)
+}
+
+// Retail use case (the standing second tenant for multi-workspace
+// serving; same pipeline, different domain — paper §9).
+
+// RetailKB generates the deterministic synthetic retail knowledge base
+// (products, brands, stores, inventory).
+func RetailKB() (*KB, error) { return retailkb.Generate(retailkb.DefaultConfig()) }
+
+// RetailBootstrap builds the complete retail environment: KB, curated
+// ontology, and bootstrapped conversation space.
+func RetailBootstrap() (*KB, *Ontology, *Space, error) { return retailkb.Bootstrap() }
+
+// RetailBootstrapTimed is RetailBootstrap with per-phase timing recorded
+// into pl (see NewPhaseLog).
+func RetailBootstrapTimed(pl *PhaseLog) (*KB, *Ontology, *Space, error) {
+	return retailkb.BootstrapWithPhases(pl)
 }
 
 // BuildKBIndexes builds the secondary indexes the serving fast path uses:
