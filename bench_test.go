@@ -25,6 +25,7 @@ import (
 	"ontoconv/internal/core"
 	"ontoconv/internal/eval"
 	"ontoconv/internal/graph"
+	"ontoconv/internal/kb"
 	"ontoconv/internal/medkb"
 	"ontoconv/internal/nlu"
 	"ontoconv/internal/sim"
@@ -640,6 +641,82 @@ func BenchmarkExecuteInterpretedScan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sqlx.Execute(env.Base, stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The large-KB fixture for the columnar benchmarks: medkb at 100x scale
+// (hundreds of thousands of rows), hot columns indexed, every table
+// frozen. Built once per process.
+var (
+	largeKBOnce sync.Once
+	largeKB     *kb.KB
+	largeKBErr  error
+)
+
+// benchLargeKBSQL scans adverse_effect on two unindexed text columns —
+// exactly the cold-scan shape the vectorized path targets.
+const benchLargeKBSQL = `SELECT a.name FROM adverse_effect a WHERE a.severity = 'Severe' AND a.frequency = 'Common'`
+
+func largeKBEnvironment(b *testing.B) *kb.KB {
+	largeKBOnce.Do(func() {
+		largeKB, largeKBErr = medkb.Generate(medkb.ScaledConfig(100))
+		if largeKBErr != nil {
+			return
+		}
+		largeKB.FreezeColumns()
+	})
+	if largeKBErr != nil {
+		b.Fatal(largeKBErr)
+	}
+	return largeKB
+}
+
+// BenchmarkExecuteColumnarLargeKB measures the default plan on the 100x
+// KB: vectorized predicate kernels over partition-parallel scans.
+func BenchmarkExecuteColumnarLargeKB(b *testing.B) {
+	base := largeKBEnvironment(b)
+	plan, err := sqlx.PrepareSQL(base, benchLargeKBSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Exec(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecutePlannedLargeKB is the same statement with columnar
+// execution disabled: compiled row predicates over a sequential scan —
+// the pre-columnar planner baseline.
+func BenchmarkExecutePlannedLargeKB(b *testing.B) {
+	base := largeKBEnvironment(b)
+	plan, err := sqlx.PrepareConfig(base, sqlx.MustParse(benchLargeKBSQL), sqlx.PlanConfig{NoColumnar: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Exec(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteInterpretedLargeKB is the tree-walking interpreter on
+// the same statement — the differential oracle's cost, for scale.
+func BenchmarkExecuteInterpretedLargeKB(b *testing.B) {
+	base := largeKBEnvironment(b)
+	stmt := sqlx.MustParse(benchLargeKBSQL)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlx.Execute(base, stmt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,8 @@
 // Flags select the domain and the artifact:
 //
 //	-domain       which deployment to bootstrap: medkb (default) or retail
+//	-scale N      multiply the generated medkb's size by N (deterministic;
+//	              scale 100 reaches hundreds of thousands of rows)
 //	-ontology     ontology JSON
 //	-owl          ontology in OWL-functional-like text
 //	-space        conversation space JSON (default)
@@ -32,14 +34,17 @@ import (
 	"ontoconv/internal/bundle"
 	"ontoconv/internal/core"
 	"ontoconv/internal/dialogue"
+	"ontoconv/internal/kb"
 	"ontoconv/internal/medkb"
 	"ontoconv/internal/obs"
+	"ontoconv/internal/ontology"
 	"ontoconv/internal/retailkb"
 )
 
 func main() {
 	var (
 		domain     = flag.String("domain", "medkb", "deployment to bootstrap: medkb or retail")
+		scale      = flag.Int("scale", 1, "multiply the generated medkb's size (medkb domain only)")
 		ontoJSON   = flag.Bool("ontology", false, "print the domain ontology as JSON")
 		owl        = flag.Bool("owl", false, "print the ontology in OWL-functional-like text")
 		spaceJSON  = flag.Bool("space", false, "print the conversation space as JSON")
@@ -55,10 +60,16 @@ func main() {
 	}
 
 	phases := obs.NewPhaseLog()
-	bootstrap := medkb.BootstrapWithPhases
+	bootstrap := func(pl *obs.PhaseLog) (*kb.KB, *ontology.Ontology, *core.Space, error) {
+		return medkb.BootstrapAt(pl, *scale)
+	}
 	switch *domain {
 	case "medkb":
 	case "retail":
+		if *scale > 1 {
+			fmt.Fprintln(os.Stderr, "bootstrap: -scale only applies to the medkb domain")
+			os.Exit(2)
+		}
 		bootstrap = retailkb.BootstrapWithPhases
 	default:
 		fmt.Fprintf(os.Stderr, "bootstrap: unknown -domain %q (medkb or retail)\n", *domain)

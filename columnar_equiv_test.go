@@ -1,0 +1,93 @@
+package ontoconv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ontoconv/internal/kb"
+	"ontoconv/internal/medkb"
+	"ontoconv/internal/sqlx"
+)
+
+// TestColumnarEquivalenceOnScaledMedKB is the end-to-end leg of the
+// columnar differential oracle: on a 10x medkb (tens of thousands of
+// rows, well past the partition threshold) every query in the battery
+// must produce byte-identical results from the row interpreter, the
+// default (vectorized, parallel) plan and the forced row-path plan.
+// Run under -race in CI, this also exercises the partition-parallel
+// scan and hash-build merges for data races.
+func TestColumnarEquivalenceOnScaledMedKB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled KB generation")
+	}
+	base, err := medkb.Generate(medkb.ScaledConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range [][2]string{
+		{"adverse_effect", "drug_id"}, {"treats", "drug_id"},
+		{"treats", "indication_id"}, {"drug", "name"}, {"indication", "name"},
+	} {
+		if err := base.Table(tc[0]).BuildIndex(tc[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base.FreezeColumns()
+
+	queries := []string{
+		// Cold vectorized scans over unindexed columns.
+		"SELECT a.name FROM adverse_effect a WHERE a.severity = 'Severe' AND a.frequency = 'Common'",
+		"SELECT d.name FROM drug d WHERE d.route = 'ORAL' AND d.name LIKE 'a%'",
+		"SELECT COUNT(*) FROM dosage do WHERE do.age_group = 'pediatric' OR do.age_group IS NULL",
+		// Joins crossing the hash-build parallel/serial boundary, with
+		// build-side selection in play.
+		"SELECT DISTINCT d.name FROM drug d INNER JOIN treats t ON t.drug_id = d.drug_id INNER JOIN indication i ON i.indication_id = t.indication_id WHERE i.name = 'psoriasis'",
+		"SELECT d.name, a.name FROM drug d INNER JOIN adverse_effect a ON a.drug_id = d.drug_id WHERE a.severity = 'Severe' ORDER BY d.name LIMIT 25",
+	}
+	for _, sql := range queries {
+		want, err := sqlx.Execute(base, sqlx.MustParse(sql))
+		if err != nil {
+			t.Fatalf("%q: interpreter: %v", sql, err)
+		}
+		for _, cfg := range []sqlx.PlanConfig{
+			{},
+			{NoColumnar: true},
+			{NoParallel: true},
+			{BuildSide: sqlx.BuildProbeKeys},
+		} {
+			plan, err := sqlx.PrepareConfig(base, sqlx.MustParse(sql), cfg)
+			if err != nil {
+				t.Fatalf("%q (%+v): Prepare: %v", sql, cfg, err)
+			}
+			got, err := plan.Exec(nil)
+			if err != nil {
+				t.Fatalf("%q (%+v): Exec: %v", sql, cfg, err)
+			}
+			if err := sameResult(want, got); err != nil {
+				t.Fatalf("%q (%+v): %v", sql, cfg, err)
+			}
+		}
+	}
+}
+
+func sameResult(a, b *sqlx.Result) error {
+	if len(a.Columns) != len(b.Columns) || len(a.Rows) != len(b.Rows) {
+		return fmt.Errorf("shape differs: %dx%d vs %dx%d",
+			len(a.Rows), len(a.Columns), len(b.Rows), len(b.Columns))
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return fmt.Errorf("column %d: %q vs %q", i, a.Columns[i], b.Columns[i])
+		}
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if !valueEqual(a.Rows[i][j], b.Rows[i][j]) {
+				return fmt.Errorf("row %d col %d: %#v vs %#v", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+func valueEqual(a, b kb.Value) bool { return a == b }

@@ -1,0 +1,121 @@
+package kb
+
+import "strings"
+
+// Columnar projection of a table's row store. The planner's vectorized
+// scan path (internal/sqlx) evaluates pushed-down predicates over these
+// typed vectors in batches instead of boxing every cell through a
+// Value interface; projection always goes back to the original Rows, so
+// results carry exactly the same boxed values as the row interpreter.
+//
+// A ColumnSet is built once, after loading, by Freeze (the medkb
+// bootstrapper freezes every table at BuildIndexes time) and is immutable
+// afterwards: Insert invalidates it, mirroring the KB contract that loads
+// never race with reads.
+
+// ColVec is one frozen column. Exactly one of Strs, Nums and Bools is
+// non-nil, chosen by the column's declared type:
+//
+//   - TextCol  -> Strs
+//   - IntCol and FloatCol -> Nums, every value coerced to float64 — the
+//     same coercion sqlx's compareValues applies, so vectorized numeric
+//     comparisons are bit-equivalent to the row interpreter
+//   - BoolCol  -> Bools
+//
+// NULL cells store the zero value and set their bit in the null bitmap.
+type ColVec struct {
+	Strs  []string
+	Nums  []float64
+	Bools []bool
+
+	nulls []uint64 // 1 bit per row; nil when the column has no NULLs
+}
+
+// Null reports whether row i is NULL in this column.
+func (v *ColVec) Null(i int) bool {
+	return v.nulls != nil && v.nulls[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// HasNulls reports whether any row is NULL in this column.
+func (v *ColVec) HasNulls() bool { return v.nulls != nil }
+
+// ColumnSet is the frozen columnar projection of one table, aligned with
+// the schema's column order.
+type ColumnSet struct {
+	n    int
+	cols []ColVec
+}
+
+// Len returns the frozen row count.
+func (cs *ColumnSet) Len() int { return cs.n }
+
+// Col returns the vector of column ordinal i.
+func (cs *ColumnSet) Col(i int) *ColVec { return &cs.cols[i] }
+
+// Freeze builds (or rebuilds) the table's columnar projection from the
+// current rows. Values are assumed to satisfy the schema's types — Insert
+// enforces that — so the projection is lossless for predicate purposes.
+func (t *Table) Freeze() {
+	n := len(t.Rows)
+	cs := &ColumnSet{n: n, cols: make([]ColVec, len(t.Schema.Columns))}
+	for ci, c := range t.Schema.Columns {
+		v := &cs.cols[ci]
+		setNull := func(i int) {
+			if v.nulls == nil {
+				v.nulls = make([]uint64, (n+63)/64)
+			}
+			v.nulls[i>>6] |= 1 << uint(i&63)
+		}
+		switch c.Type {
+		case TextCol:
+			v.Strs = make([]string, n)
+			for i, row := range t.Rows {
+				if s, ok := row[ci].(string); ok {
+					v.Strs[i] = s
+				} else {
+					setNull(i)
+				}
+			}
+		case IntCol, FloatCol:
+			v.Nums = make([]float64, n)
+			for i, row := range t.Rows {
+				switch x := row[ci].(type) {
+				case int64:
+					v.Nums[i] = float64(x)
+				case int:
+					v.Nums[i] = float64(x)
+				case float64:
+					v.Nums[i] = x
+				default:
+					setNull(i)
+				}
+			}
+		case BoolCol:
+			v.Bools = make([]bool, n)
+			for i, row := range t.Rows {
+				if b, ok := row[ci].(bool); ok {
+					v.Bools[i] = b
+				} else {
+					setNull(i)
+				}
+			}
+		}
+	}
+	t.cols = cs
+}
+
+// ColumnSet returns the frozen columnar projection, or nil when the table
+// has not been frozen (or has been mutated since). The set is shared and
+// read-only.
+func (t *Table) ColumnSet() *ColumnSet { return t.cols }
+
+// FreezeColumns freezes the columnar projection of every table. The
+// bootstrapper calls it once, after loading and index builds, before the
+// first read.
+func (k *KB) FreezeColumns() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for _, name := range k.order {
+		k.tables[strings.ToLower(name)].Freeze()
+	}
+}

@@ -1,0 +1,160 @@
+package kb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func freezeFixture(t testing.TB) *Table {
+	t.Helper()
+	k := New()
+	tab, err := k.CreateTable(Schema{
+		Name: "f",
+		Columns: []Column{
+			{Name: "id", Type: TextCol, NotNull: true},
+			{Name: "txt", Type: TextCol},
+			{Name: "i", Type: IntCol},
+			{Name: "f", Type: FloatCol},
+			{Name: "b", Type: BoolCol},
+		},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestFreezeTypedVectors(t *testing.T) {
+	tab := freezeFixture(t)
+	tab.MustInsert(Row{"a", "hello", int64(7), 2.5, true})
+	tab.MustInsert(Row{"b", nil, nil, nil, nil})
+	tab.MustInsert(Row{"c", "world", int64(-3), float64(9), false})
+	tab.Freeze()
+
+	cs := tab.ColumnSet()
+	if cs == nil || cs.Len() != 3 {
+		t.Fatalf("ColumnSet = %v", cs)
+	}
+	txt := cs.Col(1)
+	if txt.Strs == nil || txt.Nums != nil || txt.Bools != nil {
+		t.Fatal("text column must freeze into Strs")
+	}
+	if txt.Strs[0] != "hello" || !txt.Null(1) || txt.Strs[2] != "world" {
+		t.Fatalf("Strs = %v (null1=%v)", txt.Strs, txt.Null(1))
+	}
+	iv := cs.Col(2)
+	if iv.Nums[0] != 7 || !iv.Null(1) || iv.Nums[2] != -3 {
+		t.Fatalf("int Nums = %v", iv.Nums)
+	}
+	fv := cs.Col(3)
+	if fv.Nums[0] != 2.5 || !fv.Null(1) || fv.Nums[2] != 9 {
+		t.Fatalf("float Nums = %v", fv.Nums)
+	}
+	bv := cs.Col(4)
+	if !bv.Bools[0] || !bv.Null(1) || bv.Bools[2] {
+		t.Fatalf("Bools = %v", bv.Bools)
+	}
+	if id := cs.Col(0); id.HasNulls() {
+		t.Fatal("NOT NULL column grew a null bitmap")
+	}
+}
+
+func TestFreezeCoercesIntWidths(t *testing.T) {
+	// Insert accepts int, int64 and (for FloatCol) int64 alike; the
+	// frozen vector must apply the same float64 coercion sqlx's
+	// compareValues uses, regardless of the boxed width.
+	tab := freezeFixture(t)
+	tab.MustInsert(Row{"a", nil, int(5), int64(11), nil})
+	tab.Freeze()
+	cs := tab.ColumnSet()
+	if got := cs.Col(2).Nums[0]; got != 5 {
+		t.Fatalf("int -> %v", got)
+	}
+	if got := cs.Col(3).Nums[0]; got != 11 {
+		t.Fatalf("int64 in FloatCol -> %v", got)
+	}
+}
+
+func TestInsertInvalidatesColumnSet(t *testing.T) {
+	tab := freezeFixture(t)
+	tab.MustInsert(Row{"a", "x", nil, nil, nil})
+	tab.Freeze()
+	if tab.ColumnSet() == nil {
+		t.Fatal("Freeze left no ColumnSet")
+	}
+	tab.MustInsert(Row{"b", "y", nil, nil, nil})
+	if tab.ColumnSet() != nil {
+		t.Fatal("Insert must drop the stale ColumnSet")
+	}
+	tab.Freeze()
+	if cs := tab.ColumnSet(); cs == nil || cs.Len() != 2 {
+		t.Fatal("re-Freeze after Insert must cover the new row")
+	}
+}
+
+func TestFreezeColumnsFreezesEveryTable(t *testing.T) {
+	k := New()
+	for _, name := range []string{"t1", "t2"} {
+		tab, err := k.CreateTable(Schema{
+			Name:       name,
+			Columns:    []Column{{Name: "id", Type: TextCol, NotNull: true}},
+			PrimaryKey: "id",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab.MustInsert(Row{name + "-row"})
+	}
+	k.FreezeColumns()
+	for _, name := range k.TableNames() {
+		if k.Table(name).ColumnSet() == nil {
+			t.Fatalf("table %s not frozen", name)
+		}
+	}
+}
+
+// TestLookupIndexedZeroAlloc pins the posting-list aliasing contract:
+// an indexed Lookup returns the stored slice itself — zero allocations,
+// read-only for the caller.
+func TestLookupIndexedZeroAlloc(t *testing.T) {
+	tab := freezeFixture(t)
+	for i := 0; i < 64; i++ {
+		tab.MustInsert(Row{fmt.Sprintf("r%02d", i), fmt.Sprintf("g%d", i%4), nil, nil, nil})
+	}
+	if err := tab.BuildIndex("txt"); err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	allocs := testing.AllocsPerRun(100, func() {
+		got = tab.Lookup("txt", "g1")
+	})
+	if allocs != 0 {
+		t.Fatalf("indexed Lookup allocated %.1f times per call, want 0", allocs)
+	}
+	if len(got) != 16 {
+		t.Fatalf("posting list has %d entries, want 16", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("posting list positions must be strictly ascending")
+		}
+	}
+}
+
+func BenchmarkLookupIndexed(b *testing.B) {
+	tab := freezeFixture(b)
+	for i := 0; i < 4096; i++ {
+		tab.MustInsert(Row{fmt.Sprintf("r%04d", i), fmt.Sprintf("g%d", i%16), nil, nil, nil})
+	}
+	if err := tab.BuildIndex("txt"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if plist := tab.Lookup("txt", "g7"); len(plist) == 0 {
+			b.Fatal("empty posting list")
+		}
+	}
+}

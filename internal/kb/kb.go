@@ -77,6 +77,7 @@ type Table struct {
 
 	pkIndex map[Value]int              // PK value -> row position
 	indexes map[string]map[Value][]int // column name (lower) -> value -> positions
+	cols    *ColumnSet                 // frozen columnar projection (nil until Freeze)
 }
 
 // KB is a set of tables. It is safe for concurrent readers once loading is
@@ -168,6 +169,7 @@ func (t *Table) Insert(row Row) error {
 		ci := t.Schema.ColumnIndex(col)
 		idx[row[ci]] = append(idx[row[ci]], pos)
 	}
+	t.cols = nil // the frozen columnar projection no longer covers all rows
 	return nil
 }
 
@@ -228,6 +230,14 @@ func (t *Table) IndexedColumns() []string {
 
 // Lookup returns the positions of rows whose column equals v, using a
 // secondary index when available and a scan otherwise.
+//
+// Aliasing contract: when the column is indexed, the returned slice IS
+// the stored posting list — no defensive copy is made, so an indexed
+// probe on the serving hot path costs zero allocations (pinned by
+// TestLookupIndexedZeroAlloc / BenchmarkLookupIndexed). Callers must
+// treat the result as read-only, exactly as with IndexOn; the planner
+// (internal/sqlx) iterates it and never mutates or retains it past the
+// query. Only the unindexed fallback allocates a fresh slice.
 func (t *Table) Lookup(column string, v Value) []int {
 	if idx, ok := t.indexes[strings.ToLower(column)]; ok {
 		return idx[v]

@@ -2,6 +2,7 @@ package kb
 
 import (
 	"sort"
+	"strings"
 )
 
 // ColumnStats summarizes one column's data distribution. The ontology
@@ -79,6 +80,19 @@ func (t *Table) Stats(column string) ColumnStats {
 		st.TopValues = append(st.TopValues, ValueCount{Value: e.v, Count: e.c})
 	}
 	return st
+}
+
+// DistinctEstimate returns the number of distinct values in the column
+// as observed by its secondary index, or 0 when the column is not
+// indexed (callers must treat 0 as "unknown"). Unlike Stats this is
+// O(1): the query planner consults it on every Prepare to estimate scan
+// selectivity and pick hash-join build sides, and cannot afford a full
+// column pass per template at large KB scales.
+func (t *Table) DistinctEstimate(column string) int {
+	if idx, ok := t.indexes[strings.ToLower(column)]; ok {
+		return len(idx)
+	}
+	return 0
 }
 
 // AllStats computes statistics for every column of every table, in

@@ -24,6 +24,23 @@ func DefaultConfig() Config {
 	return Config{Drugs: 200, Indications: 100, Findings: 60, Procedures: 30, Seed: 42}
 }
 
+// ScaledConfig is DefaultConfig with every entity family multiplied by
+// scale (values below 2 return the default size). Generation stays fully
+// deterministic — same seed, same row stream, just more of it — so two
+// runs at the same scale are byte-identical; the per-drug satellite
+// tables grow proportionally, putting scale 100 in the
+// hundreds-of-thousands-of-rows range the columnar benchmarks measure.
+func ScaledConfig(scale int) Config {
+	cfg := DefaultConfig()
+	if scale > 1 {
+		cfg.Drugs *= scale
+		cfg.Indications *= scale
+		cfg.Findings *= scale
+		cfg.Procedures *= scale
+	}
+	return cfg
+}
+
 // seedDrug is one of the drugs named in the paper; these always exist so
 // the published transcripts replay verbatim.
 type seedDrug struct {

@@ -111,5 +111,16 @@ func BuildIndexes(base *kb.KB, space *core.Space) (int, error) {
 			return built, errs[gi]
 		}
 	}
+
+	// Freeze every table's columnar projection now that loading and index
+	// builds are done: the planner's vectorized scan path activates only
+	// on frozen tables, and this is the single point every serving
+	// bootstrap (space bootstrap and bundle cold start alike) funnels
+	// through. Each task freezes only its own table — the par
+	// ordered-merge shape.
+	names := base.TableNames()
+	par.Do(len(names), func(i int) {
+		base.Table(names[i]).Freeze()
+	})
 	return built, nil
 }

@@ -96,3 +96,27 @@ func TestBuildIndexesDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildIndexesFreezesColumns: every serving bootstrap funnels through
+// BuildIndexes, which must leave every table with a frozen columnar
+// projection covering all rows — the planner's vectorized scans activate
+// only on frozen tables.
+func TestBuildIndexesFreezesColumns(t *testing.T) {
+	base, _, space, err := Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildIndexes(base, space); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range base.TableNames() {
+		tab := base.Table(name)
+		cs := tab.ColumnSet()
+		if cs == nil {
+			t.Fatalf("table %s not frozen", name)
+		}
+		if cs.Len() != tab.Len() {
+			t.Fatalf("table %s frozen at %d rows, has %d", name, cs.Len(), tab.Len())
+		}
+	}
+}

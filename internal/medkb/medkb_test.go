@@ -316,3 +316,38 @@ func TestBootstrapEndToEnd(t *testing.T) {
 		t.Error("pruned intent resurfaced")
 	}
 }
+
+// TestScaledGenerationDeterministic: -scale generation is as reproducible
+// as the default size — two runs at the same scale are row-for-row equal,
+// and scaling actually multiplies the entity counts.
+func TestScaledGenerationDeterministic(t *testing.T) {
+	a, err := Generate(ScaledConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(ScaledConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range a.TableNames() {
+		ta, tb := a.Table(name), b.Table(name)
+		if ta.Len() != tb.Len() {
+			t.Fatalf("table %s sizes differ: %d vs %d", name, ta.Len(), tb.Len())
+		}
+		for i := 0; i < ta.Len(); i += 1 + ta.Len()/16 {
+			if !reflect.DeepEqual(ta.Rows[i], tb.Rows[i]) {
+				t.Fatalf("table %s row %d differs:\n%v\n%v", name, i, ta.Rows[i], tb.Rows[i])
+			}
+		}
+	}
+	base, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Table("drug").Len(), 2*base.Table("drug").Len(); got != want {
+		t.Fatalf("scale 2 drug count = %d, want %d", got, want)
+	}
+	if err := a.ValidateForeignKeys(); err != nil {
+		t.Fatal(err)
+	}
+}

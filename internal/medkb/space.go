@@ -187,8 +187,16 @@ func Bootstrap() (*kb.KB, *ontology.Ontology, *core.Space, error) {
 // (nil for none): KB generation, ontology curation, and every step of the
 // conversation-space bootstrap.
 func BootstrapWithPhases(pl *obs.PhaseLog) (*kb.KB, *ontology.Ontology, *core.Space, error) {
+	return BootstrapAt(pl, 1)
+}
+
+// BootstrapAt is BootstrapWithPhases over a KB scaled by the given factor
+// (see ScaledConfig; scale <= 1 is the default size). cmd/bootstrap's
+// -scale flag uses it to produce deterministic hundreds-of-thousands-of-
+// rows deployments for the columnar benchmarks.
+func BootstrapAt(pl *obs.PhaseLog, scale int) (*kb.KB, *ontology.Ontology, *core.Space, error) {
 	done := pl.Phase("medkb.generate")
-	base, err := Generate(DefaultConfig())
+	base, err := Generate(ScaledConfig(scale))
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -47,6 +47,32 @@ func Workers(n int) int {
 	return w
 }
 
+// DoChunks partitions [0, n) into contiguous ranges of at most chunk
+// indexes and runs fn(task, start, end) exactly once per range, fanning
+// the ranges out through Do. Partition boundaries depend only on n and
+// chunk — never on GOMAXPROCS or scheduling — so per-task results merged
+// in task order are identical at any worker width. This is the shape the
+// columnar scan and hash-join builds use: each task fills its own slot,
+// the caller concatenates slots in ascending task order.
+func DoChunks(n, chunk int, fn func(task, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	tasks := (n + chunk - 1) / chunk
+	Do(tasks, func(t int) {
+		start := t * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		//ontolint:ignore paragoroutine fn is the pool's work callback, exactly like Do's; caller closures are analyzed at their DoChunks call sites, and each fn(task, ...) owns range [start, end) exclusively (ordered merge)
+		fn(t, start, end)
+	})
+}
+
 // Do runs fn(i) exactly once for every i in [0, n), fanning out over up
 // to GOMAXPROCS worker goroutines, and returns when all calls have
 // finished. Workers claim contiguous index chunks from an atomic cursor,

@@ -2,6 +2,7 @@ package par
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -69,5 +70,55 @@ func TestStatsCountTasks(t *testing.T) {
 	t1, _, _ := Stats()
 	if t1-t0 != 10 {
 		t.Fatalf("task counter advanced %d, want 10", t1-t0)
+	}
+}
+
+func TestDoChunksCoversEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ n, chunk, tasks int }{
+		{10, 3, 4}, {16384, 16384, 1}, {16385, 16384, 2},
+		{100, 1, 100}, {7, 100, 1},
+	} {
+		var mu sync.Mutex
+		seen := make([]int, tc.n)
+		maxTask := -1
+		DoChunks(tc.n, tc.chunk, func(task, start, end int) {
+			if end-start > tc.chunk || start >= end {
+				t.Errorf("n=%d chunk=%d: bad range [%d,%d)", tc.n, tc.chunk, start, end)
+			}
+			if start != task*tc.chunk {
+				t.Errorf("n=%d chunk=%d task=%d: start %d not deterministic", tc.n, tc.chunk, task, start)
+			}
+			mu.Lock()
+			if task > maxTask {
+				maxTask = task
+			}
+			for i := start; i < end; i++ {
+				seen[i]++
+			}
+			mu.Unlock()
+		})
+		if maxTask+1 != tc.tasks {
+			t.Errorf("n=%d chunk=%d: %d tasks, want %d", tc.n, tc.chunk, maxTask+1, tc.tasks)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d chunk=%d: index %d covered %d times", tc.n, tc.chunk, i, c)
+			}
+		}
+	}
+}
+
+func TestDoChunksEdgeCases(t *testing.T) {
+	ran := false
+	DoChunks(0, 16, func(task, start, end int) { ran = true })
+	DoChunks(-5, 16, func(task, start, end int) { ran = true })
+	if ran {
+		t.Fatal("DoChunks must be a no-op for n <= 0")
+	}
+	// chunk < 1 is clamped to 1, not a panic or an infinite loop.
+	var n atomic.Int64
+	DoChunks(5, 0, func(task, start, end int) { n.Add(int64(end - start)) })
+	if n.Load() != 5 {
+		t.Fatalf("chunk=0 covered %d indexes, want 5", n.Load())
 	}
 }

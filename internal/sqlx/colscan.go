@@ -1,0 +1,743 @@
+package sqlx
+
+// Vectorized scan path: pushed-down single-table filters compiled into
+// selection-vector programs over a table's frozen kb.ColumnSet, run in
+// batches of colBatch rows instead of per-tuple closure calls, and fanned
+// out over fixed-size partitions through par.DoChunks on large tables.
+//
+// Equivalence to the row interpreter is by construction, on three legs:
+//
+//   - Kernels are statically total. compileColPred rejects anything that
+//     could error at runtime (cross-type comparisons, parameters on
+//     numeric columns), so a compiled program can only drop rows the
+//     interpreter would drop — never surface an error, and therefore
+//     never surface one in a different row order than the interpreter's
+//     first-failing-row semantics.
+//   - Values compare identically. Numeric vectors hold the float64
+//     coercion compareValues applies (see kb.ColVec); string and bool
+//     kernels reproduce compareValues' orderings; LIKE calls the same
+//     likeIter after the same lowercasing.
+//   - Merge order is fixed. Partition boundaries depend only on the row
+//     count (par.DoChunks), every partition emits ascending positions,
+//     and partitions concatenate in partition order — so the final
+//     position list is the ascending order a serial scan produces, at
+//     any GOMAXPROCS.
+//
+// Projection never reads the vectors: surviving positions index back
+// into Table.Rows, so result cells carry exactly the boxed values the
+// row paths produce.
+
+import (
+	"strings"
+	"sync"
+
+	"ontoconv/internal/kb"
+	"ontoconv/internal/par"
+)
+
+const (
+	// colBatch is the selection-vector batch size. 1024 positions keep
+	// the batch's int32 selection and the touched column region inside
+	// L1/L2 while amortizing per-batch setup to noise; larger batches
+	// stop helping once the working set spills, smaller ones pay the
+	// refinement-loop overhead more often.
+	colBatch = 1024
+	// colPartitionRows is the fixed partition size of parallel scans.
+	// A table splits into ceil(n/colPartitionRows) tasks regardless of
+	// GOMAXPROCS, so the partition layout — and with it the merged
+	// output — is identical at any worker width.
+	colPartitionRows = 16384
+	// hashBuildParallelMin is the scanned-row count above which a
+	// per-execution hash-join build fans out over partitions.
+	hashBuildParallelMin = 65536
+)
+
+// colOp is a compiled comparison operator.
+type colOp uint8
+
+const (
+	colEQ colOp = iota
+	colNE
+	colLT
+	colLE
+	colGT
+	colGE
+)
+
+func colOpOf(op string) (colOp, bool) {
+	switch op {
+	case "=":
+		return colEQ, true
+	case "!=":
+		return colNE, true
+	case "<":
+		return colLT, true
+	case "<=":
+		return colLE, true
+	case ">":
+		return colGT, true
+	case ">=":
+		return colGE, true
+	}
+	return 0, false
+}
+
+// flip mirrors the operator for a swapped operand order: lit OP col is
+// col flip(OP) lit.
+func (o colOp) flip() colOp {
+	switch o {
+	case colLT:
+		return colGT
+	case colLE:
+		return colGE
+	case colGT:
+		return colLT
+	case colGE:
+		return colLE
+	}
+	return o
+}
+
+// match applies the operator to a three-way comparison result, exactly
+// as the row path applies it to compareValues.
+func (o colOp) match(c int) bool {
+	switch o {
+	case colEQ:
+		return c == 0
+	case colNE:
+		return c != 0
+	case colLT:
+		return c < 0
+	case colLE:
+		return c <= 0
+	case colGT:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// colScratch holds the per-execution selection buffers of one batch
+// walk. Every program node owns a distinct buffer slot (assigned at
+// compile time), so nested AND/OR refinements never clobber each other.
+// Scratch is pooled; a batch result never outgrows colBatch, so buffers
+// are allocated once and reused across batches and executions.
+type colScratch struct {
+	sel  []int32
+	bufs [][]int32
+}
+
+var colScratchPool = sync.Pool{New: func() interface{} { return new(colScratch) }}
+
+func (sc *colScratch) buf(slot int) []int32 {
+	for len(sc.bufs) <= slot {
+		sc.bufs = append(sc.bufs, nil)
+	}
+	if cap(sc.bufs[slot]) < colBatch {
+		sc.bufs[slot] = make([]int32, 0, colBatch)
+	}
+	return sc.bufs[slot][:0]
+}
+
+// colPred refines an ascending selection vector over a frozen column
+// set: it returns the subset of sel whose rows satisfy the predicate,
+// still ascending. Kernels never error — see the file comment.
+type colPred interface {
+	filter(cs *kb.ColumnSet, sel []int32, params []kb.Value, sc *colScratch) []int32
+}
+
+// colProg is the compiled vectorized form of one scan's pushed-down
+// filter conjuncts.
+type colProg struct {
+	preds []colPred
+	slots int // scratch buffers needed (one per node)
+	refs  []int
+}
+
+func (pr *colProg) newSlot() int {
+	pr.slots++
+	return pr.slots - 1
+}
+
+// runnable reports whether the kernels may run for this parameter
+// vector: every parameter the program reads must be a string. bindArgs
+// always produces strings, so this never fails today; the guard keeps
+// the row path as the semantics holder if that ever changes.
+func (pr *colProg) runnable(params []kb.Value) bool {
+	for _, s := range pr.refs {
+		if _, ok := params[s].(string); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// scanRange runs the program over rows [lo, hi) in colBatch batches and
+// appends surviving positions to dst, ascending.
+func (pr *colProg) scanRange(cs *kb.ColumnSet, lo, hi int, params []kb.Value, dst []int32) []int32 {
+	sc := colScratchPool.Get().(*colScratch)
+	if cap(sc.sel) < colBatch {
+		sc.sel = make([]int32, colBatch)
+	}
+	for base := lo; base < hi; base += colBatch {
+		end := base + colBatch
+		if end > hi {
+			end = hi
+		}
+		sel := sc.sel[:end-base]
+		for k := range sel {
+			sel[k] = int32(base + k)
+		}
+		cur := sel
+		for _, p := range pr.preds {
+			if len(cur) == 0 {
+				break
+			}
+			cur = p.filter(cs, cur, params, sc)
+		}
+		dst = append(dst, cur...)
+	}
+	colScratchPool.Put(sc)
+	return dst
+}
+
+// runColumnar executes the scan's vectorized program over the frozen
+// column set and returns the surviving row positions in ascending order —
+// exactly the rows, and the order, the row-at-a-time path produces. The
+// caller iterates positions like a posting list, so no intermediate row
+// slice is materialized. Large tables fan out over fixed partitions;
+// per-partition results land in their own slot and concatenate in
+// partition order (the par ordered-merge shape), so output is identical
+// at any width.
+func runColumnar(cs *kb.ColumnSet, prog *colProg, params []kb.Value, parallel bool) []int {
+	n := cs.Len()
+	if !parallel || n <= colPartitionRows {
+		sel := prog.scanRange(cs, 0, n, params, nil)
+		pos := make([]int, len(sel))
+		for k, i := range sel {
+			pos[k] = int(i)
+		}
+		return pos
+	}
+	tasks := (n + colPartitionRows - 1) / colPartitionRows
+	parts := make([][]int32, tasks)
+	par.DoChunks(n, colPartitionRows, func(task, start, end int) {
+		parts[task] = prog.scanRange(cs, start, end, params, nil)
+	})
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	pos := make([]int, 0, total)
+	for _, part := range parts {
+		for _, i := range part {
+			pos = append(pos, int(i))
+		}
+	}
+	return pos
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+// colStrCmp compares a text column against a string literal/parameter.
+type colStrCmp struct {
+	col  int
+	op   colOp
+	val  valueRef
+	slot int
+}
+
+func (c *colStrCmp) filter(cs *kb.ColumnSet, sel []int32, params []kb.Value, sc *colScratch) []int32 {
+	v := cs.Col(c.col)
+	s := c.val.value(params).(string)
+	out := sc.buf(c.slot)
+	strs := v.Strs
+	if c.op == colEQ && (!v.HasNulls() || s != "") {
+		// NULL cells store ""; when s is non-empty they can never
+		// match, so the equality loop needs no bitmap probes.
+		for _, i := range sel {
+			if strs[i] == s {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if v.Null(int(i)) {
+			continue
+		}
+		if c.op.match(strings.Compare(strs[i], s)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// colNumCmp compares a numeric column against a numeric literal. The
+// per-op loops spell out compareValues' three-way rule (<, then >, else
+// equal) so exotic values order identically to the row path.
+type colNumCmp struct {
+	col  int
+	op   colOp
+	lit  float64
+	slot int
+}
+
+func (c *colNumCmp) filter(cs *kb.ColumnSet, sel []int32, params []kb.Value, sc *colScratch) []int32 {
+	v := cs.Col(c.col)
+	out := sc.buf(c.slot)
+	nums := v.Nums
+	lit := c.lit
+	if !v.HasNulls() {
+		switch c.op {
+		case colEQ:
+			for _, i := range sel {
+				if !(nums[i] < lit) && !(nums[i] > lit) {
+					out = append(out, i)
+				}
+			}
+		case colNE:
+			for _, i := range sel {
+				if nums[i] < lit || nums[i] > lit {
+					out = append(out, i)
+				}
+			}
+		case colLT:
+			for _, i := range sel {
+				if nums[i] < lit {
+					out = append(out, i)
+				}
+			}
+		case colLE:
+			for _, i := range sel {
+				if !(nums[i] > lit) {
+					out = append(out, i)
+				}
+			}
+		case colGT:
+			for _, i := range sel {
+				if nums[i] > lit {
+					out = append(out, i)
+				}
+			}
+		default: // colGE
+			for _, i := range sel {
+				if !(nums[i] < lit) {
+					out = append(out, i)
+				}
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if v.Null(int(i)) {
+			continue
+		}
+		cmp := 0
+		switch {
+		case nums[i] < lit:
+			cmp = -1
+		case nums[i] > lit:
+			cmp = 1
+		}
+		if c.op.match(cmp) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// colBoolCmp compares a bool column against a bool literal under
+// compareValues' false < true ordering.
+type colBoolCmp struct {
+	col  int
+	op   colOp
+	lit  bool
+	slot int
+}
+
+func (c *colBoolCmp) filter(cs *kb.ColumnSet, sel []int32, params []kb.Value, sc *colScratch) []int32 {
+	v := cs.Col(c.col)
+	out := sc.buf(c.slot)
+	lit := 0
+	if c.lit {
+		lit = 1
+	}
+	for _, i := range sel {
+		if v.Null(int(i)) {
+			continue
+		}
+		av := 0
+		if v.Bools[i] {
+			av = 1
+		}
+		if c.op.match(av - lit) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// colLike matches a text column against a LIKE pattern. The pattern is
+// lowered once per batch walk; values lower per row, exactly as
+// likeMatch does, so matches are identical.
+type colLike struct {
+	col  int
+	val  valueRef
+	slot int
+}
+
+func (c *colLike) filter(cs *kb.ColumnSet, sel []int32, params []kb.Value, sc *colScratch) []int32 {
+	v := cs.Col(c.col)
+	pat := strings.ToLower(c.val.value(params).(string))
+	out := sc.buf(c.slot)
+	for _, i := range sel {
+		if v.Null(int(i)) {
+			continue
+		}
+		if likeIter(strings.ToLower(v.Strs[i]), pat) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// colInStr keeps rows whose text value equals any of the (string)
+// items. Item order cannot matter — string equality never errors — so
+// the short-circuiting row loop and this one agree.
+type colInStr struct {
+	col   int
+	items []valueRef
+	slot  int
+}
+
+func (c *colInStr) filter(cs *kb.ColumnSet, sel []int32, params []kb.Value, sc *colScratch) []int32 {
+	v := cs.Col(c.col)
+	out := sc.buf(c.slot)
+	var local [8]string
+	items := local[:0]
+	for _, it := range c.items {
+		items = append(items, it.value(params).(string))
+	}
+	for _, i := range sel {
+		if v.Null(int(i)) {
+			continue
+		}
+		s := v.Strs[i]
+		for _, item := range items {
+			if s == item {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// colInNum keeps rows whose numeric value equals any of the items under
+// the three-way rule.
+type colInNum struct {
+	col   int
+	items []float64
+	slot  int
+}
+
+func (c *colInNum) filter(cs *kb.ColumnSet, sel []int32, params []kb.Value, sc *colScratch) []int32 {
+	v := cs.Col(c.col)
+	out := sc.buf(c.slot)
+	for _, i := range sel {
+		if v.Null(int(i)) {
+			continue
+		}
+		a := v.Nums[i]
+		for _, item := range c.items {
+			if !(a < item) && !(a > item) {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// colIsNull keeps NULL (or, negated, non-NULL) rows via the bitmap.
+type colIsNull struct {
+	col  int
+	not  bool
+	slot int
+}
+
+func (c *colIsNull) filter(cs *kb.ColumnSet, sel []int32, params []kb.Value, sc *colScratch) []int32 {
+	v := cs.Col(c.col)
+	out := sc.buf(c.slot)
+	for _, i := range sel {
+		if v.Null(int(i)) != c.not {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// colNone matches nothing (a comparison whose operand is the NULL
+// literal, or an IN list with only NULL items: always false).
+type colNone struct{}
+
+func (colNone) filter(*kb.ColumnSet, []int32, []kb.Value, *colScratch) []int32 { return nil }
+
+// colAnd refines left then right: plain selection intersection, same
+// result as the short-circuiting row AND because neither side errors.
+type colAnd struct {
+	l, r colPred
+}
+
+func (c *colAnd) filter(cs *kb.ColumnSet, sel []int32, params []kb.Value, sc *colScratch) []int32 {
+	return c.r.filter(cs, c.l.filter(cs, sel, params, sc), params, sc)
+}
+
+// colOr evaluates both sides over the incoming selection and merges the
+// two ascending subsets, ascending and deduplicated — the vectorized
+// equivalent of the row OR (which short-circuits, but with total kernels
+// the result set is the union either way).
+type colOr struct {
+	l, r colPred
+	slot int
+}
+
+func (c *colOr) filter(cs *kb.ColumnSet, sel []int32, params []kb.Value, sc *colScratch) []int32 {
+	a := c.l.filter(cs, sel, params, sc)
+	b := c.r.filter(cs, sel, params, sc)
+	out := sc.buf(c.slot)
+	ai, bi := 0, 0
+	for ai < len(a) && bi < len(b) {
+		switch {
+		case a[ai] < b[bi]:
+			out = append(out, a[ai])
+			ai++
+		case a[ai] > b[bi]:
+			out = append(out, b[bi])
+			bi++
+		default:
+			out = append(out, a[ai])
+			ai++
+			bi++
+		}
+	}
+	out = append(out, a[ai:]...)
+	out = append(out, b[bi:]...)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+// compileColProg compiles the scan's pushdown conjuncts into a
+// vectorized program. It returns nil when any conjunct is not statically
+// vectorizable — wrong operand shapes, a comparison that could error at
+// runtime — in which case the whole scan stays on the row path, keeping
+// error behavior and predicate evaluation order untouched.
+func (p *Plan) compileColProg(b int, exprs []Expr, slots map[string]int) *colProg {
+	pr := &colProg{}
+	for _, e := range exprs {
+		cp := p.compileColPred(e, b, slots, pr)
+		if cp == nil {
+			return nil
+		}
+		pr.preds = append(pr.preds, cp)
+	}
+	return pr
+}
+
+func (p *Plan) compileColPred(e Expr, b int, slots map[string]int, pr *colProg) colPred {
+	switch x := e.(type) {
+	case *Logical:
+		l := p.compileColPred(x.Left, b, slots, pr)
+		if l == nil {
+			return nil
+		}
+		r := p.compileColPred(x.Right, b, slots, pr)
+		if r == nil {
+			return nil
+		}
+		if x.Op == "AND" {
+			return &colAnd{l: l, r: r}
+		}
+		if x.Op == "OR" {
+			return &colOr{l: l, r: r, slot: pr.newSlot()}
+		}
+		return nil
+	case *Cmp:
+		return p.compileColCmp(x, b, slots, pr)
+	case *In:
+		return p.compileColIn(x, b, slots, pr)
+	case *IsNull:
+		cr, ok := x.Left.(*ColRef)
+		if !ok {
+			return nil
+		}
+		cb, ci, err := p.resolveCol(cr, len(p.bindings))
+		if err != nil || cb != b {
+			return nil
+		}
+		return &colIsNull{col: ci, not: x.Not, slot: pr.newSlot()}
+	}
+	return nil
+}
+
+// colOperand resolves a comparison operand that must be a literal or a
+// parameter. Parameters register in the program's string guard.
+func (pr *colProg) colOperand(e Expr, slots map[string]int) (valueRef, bool) {
+	switch v := e.(type) {
+	case *Lit:
+		return valueRef{lit: v.Value, param: -1}, true
+	case *Param:
+		slot, ok := slots[v.Name]
+		if !ok {
+			return valueRef{}, false
+		}
+		pr.refs = append(pr.refs, slot)
+		return valueRef{param: slot}, true
+	}
+	return valueRef{}, false
+}
+
+func (p *Plan) compileColCmp(x *Cmp, b int, slots map[string]int, pr *colProg) colPred {
+	col, val := x.Left, x.Right
+	flipped := false
+	if _, ok := col.(*ColRef); !ok {
+		col, val, flipped = x.Right, x.Left, true
+	}
+	cr, ok := col.(*ColRef)
+	if !ok {
+		return nil
+	}
+	cb, ci, err := p.resolveCol(cr, len(p.bindings))
+	if err != nil || cb != b {
+		return nil
+	}
+	ctype := p.bindings[b].table.Schema.Columns[ci].Type
+
+	if x.Op == "LIKE" {
+		// Only `col LIKE pattern` vectorizes: a column used as the
+		// pattern, or a non-string operand, stays on the row path.
+		if flipped || ctype != kb.TextCol {
+			return nil
+		}
+		ref, ok := pr.colOperand(val, slots)
+		if !ok {
+			return nil
+		}
+		if ref.param < 0 {
+			if _, isStr := ref.lit.(string); !isStr {
+				return nil
+			}
+		}
+		return &colLike{col: ci, val: ref, slot: pr.newSlot()}
+	}
+
+	op, ok := colOpOf(x.Op)
+	if !ok {
+		return nil
+	}
+	if flipped {
+		op = op.flip()
+	}
+	ref, ok := pr.colOperand(val, slots)
+	if !ok {
+		return nil
+	}
+	switch ctype {
+	case kb.TextCol:
+		if ref.param < 0 {
+			if ref.lit == nil {
+				return colNone{} // `col OP NULL` is always false
+			}
+			if _, isStr := ref.lit.(string); !isStr {
+				return nil // would error in compareValues
+			}
+		}
+		return &colStrCmp{col: ci, op: op, val: ref, slot: pr.newSlot()}
+	case kb.IntCol, kb.FloatCol:
+		if ref.param >= 0 {
+			return nil // string param vs numeric column errors at runtime
+		}
+		if ref.lit == nil {
+			return colNone{}
+		}
+		f, isNum := asFloat(ref.lit)
+		if !isNum {
+			return nil
+		}
+		return &colNumCmp{col: ci, op: op, lit: f, slot: pr.newSlot()}
+	case kb.BoolCol:
+		if ref.param >= 0 {
+			return nil
+		}
+		if ref.lit == nil {
+			return colNone{}
+		}
+		bv, isBool := ref.lit.(bool)
+		if !isBool {
+			return nil
+		}
+		return &colBoolCmp{col: ci, op: op, lit: bv, slot: pr.newSlot()}
+	}
+	return nil
+}
+
+func (p *Plan) compileColIn(x *In, b int, slots map[string]int, pr *colProg) colPred {
+	cr, ok := x.Left.(*ColRef)
+	if !ok {
+		return nil
+	}
+	cb, ci, err := p.resolveCol(cr, len(p.bindings))
+	if err != nil || cb != b {
+		return nil
+	}
+	switch p.bindings[b].table.Schema.Columns[ci].Type {
+	case kb.TextCol:
+		var items []valueRef
+		for _, it := range x.Items {
+			if lit, isLit := it.(*Lit); isLit && lit.Value == nil {
+				continue // NULL items never match; the row path skips them too
+			}
+			ref, ok := pr.colOperand(it, slots)
+			if !ok {
+				return nil
+			}
+			if ref.param < 0 {
+				if _, isStr := ref.lit.(string); !isStr {
+					return nil
+				}
+			}
+			items = append(items, ref)
+		}
+		if len(items) == 0 {
+			return colNone{}
+		}
+		return &colInStr{col: ci, items: items, slot: pr.newSlot()}
+	case kb.IntCol, kb.FloatCol:
+		var items []float64
+		for _, it := range x.Items {
+			lit, isLit := it.(*Lit)
+			if !isLit {
+				return nil
+			}
+			if lit.Value == nil {
+				continue
+			}
+			f, isNum := asFloat(lit.Value)
+			if !isNum {
+				return nil
+			}
+			items = append(items, f)
+		}
+		if len(items) == 0 {
+			return colNone{}
+		}
+		return &colInNum{col: ci, items: items, slot: pr.newSlot()}
+	}
+	return nil // bool IN stays on the row path
+}

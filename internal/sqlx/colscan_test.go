@@ -1,0 +1,430 @@
+package sqlx
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"ontoconv/internal/kb"
+)
+
+// columnarFixture builds a synthetic table "t" of the given size with
+// every column kind the vectorized kernels cover — nullable text, LIKE
+// fodder, ints, floats, bools — and freezes its ColumnSet.
+func columnarFixture(t testing.TB, rows int, seed int64) *kb.KB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	k := kb.New()
+	tab, err := k.CreateTable(kb.Schema{
+		Name: "t",
+		Columns: []kb.Column{
+			{Name: "id", Type: kb.TextCol, NotNull: true},
+			{Name: "cat", Type: kb.TextCol},
+			{Name: "name", Type: kb.TextCol, NotNull: true},
+			{Name: "num", Type: kb.IntCol},
+			{Name: "val", Type: kb.FloatCol},
+			{Name: "flag", Type: kb.BoolCol},
+		},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := []string{"alpha", "beta", "gamma", ""}
+	names := []string{"Aspirin", "Ibuprofen", "tazarotene", "WARFARIN", "x_y%z"}
+	for i := 0; i < rows; i++ {
+		var cat, num, val, flag kb.Value
+		if c := cats[rng.Intn(len(cats))]; c != "" {
+			cat = c
+		}
+		if rng.Intn(10) > 0 {
+			num = int64(rng.Intn(100))
+		}
+		if rng.Intn(10) > 0 {
+			val = float64(rng.Intn(400)) / 4 // exact quarters round-trip via ParseFloat
+		}
+		if rng.Intn(10) > 0 {
+			flag = rng.Intn(2) == 0
+		}
+		tab.MustInsert(kb.Row{fmt.Sprintf("R%06d", i), cat, names[rng.Intn(len(names))], num, val, flag})
+	}
+	tab.Freeze()
+	return k
+}
+
+// columnarAtoms yields random predicate atoms over the fixture,
+// including ones the vectorizer must reject (cross-type comparisons that
+// error at runtime) so the fallback path is exercised too.
+func columnarAtoms(rng *rand.Rand) []string {
+	cat := []string{"alpha", "beta", "gamma"}[rng.Intn(3)]
+	n := rng.Intn(100)
+	f := float64(rng.Intn(400)) / 4
+	return []string{
+		fmt.Sprintf("cat = '%s'", cat),
+		fmt.Sprintf("cat != '%s'", cat),
+		fmt.Sprintf("cat < '%s'", cat),
+		fmt.Sprintf("cat >= '%s'", cat),
+		"cat IS NULL",
+		"cat IS NOT NULL",
+		fmt.Sprintf("cat IN ('alpha', '%s')", cat),
+		"cat IN (NULL)",
+		fmt.Sprintf("'%s' = cat", cat),
+		fmt.Sprintf("'%s' < cat", cat),
+		"name LIKE 'a%'",
+		"name LIKE '%arf%'",
+		"name LIKE '_b%'",
+		"name LIKE '%\\%%'",
+		fmt.Sprintf("num > %d", n),
+		fmt.Sprintf("num <= %d", n),
+		fmt.Sprintf("num = %d", n),
+		fmt.Sprintf("num != %d", n),
+		fmt.Sprintf("%d >= num", n),
+		fmt.Sprintf("num IN (%d, %d)", n, (n+17)%100),
+		"num IS NULL",
+		fmt.Sprintf("val >= %g", f),
+		fmt.Sprintf("val < %g", f),
+		"flag = TRUE",
+		"flag != FALSE",
+		"flag IS NOT NULL",
+		// Not vectorizable; the whole scan must fall back to the row
+		// path and agree with the interpreter (including errors).
+		fmt.Sprintf("cat > %d", n),
+		"num = 'oops'",
+		"num = NULL",
+	}
+}
+
+// assertColumnarMatches runs one statement through the interpreter, the
+// default (columnar) plan and the forced row-path plan, requiring all
+// three to agree — including on errors.
+func assertColumnarMatches(t *testing.T, k *kb.KB, sql string) {
+	t.Helper()
+	stmt := MustParse(sql)
+	want, werr := Execute(k, stmt)
+	for _, cfg := range []PlanConfig{{}, {NoColumnar: true}, {NoParallel: true}} {
+		plan, perr := PrepareConfig(k, MustParse(sql), cfg)
+		if perr != nil {
+			t.Fatalf("%q (%+v): Prepare: %v", sql, cfg, perr)
+		}
+		got, err := plan.Exec(nil)
+		if werr != nil {
+			if err == nil {
+				t.Fatalf("%q (%+v): interpreter errored (%v), plan succeeded", sql, cfg, werr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%q (%+v): plan.Exec: %v", sql, cfg, err)
+		}
+		if !resultEqual(want, got) {
+			t.Fatalf("%q (%+v):\ninterpreter: %v\nplan:        %v", sql, cfg, want.Rows, got.Rows)
+		}
+	}
+}
+
+// TestColumnarRandomPredicates is the columnar differential battery the
+// roadmap asks for: 200+ random WHERE trees per scale, each executed by
+// the interpreter oracle, the vectorized plan and the forced row plan.
+// Scale 1 matches the classic property test; scale 100 (20k rows) pushes
+// the vectorized path across batch and partition boundaries, so the
+// parallel merge is differentially covered too.
+func TestColumnarRandomPredicates(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		rows   int
+		trials int
+	}{
+		{"scale1", 200, 220},
+		{"scale100", 20000, 220},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			k := columnarFixture(t, tc.rows, 17)
+			for trial := 0; trial < tc.trials; trial++ {
+				as := columnarAtoms(rng)
+				p1, p2, p3 := as[rng.Intn(len(as))], as[rng.Intn(len(as))], as[rng.Intn(len(as))]
+				var where string
+				switch rng.Intn(5) {
+				case 0:
+					where = p1
+				case 1:
+					where = fmt.Sprintf("(%s AND %s)", p1, p2)
+				case 2:
+					where = fmt.Sprintf("(%s OR %s)", p1, p2)
+				case 3:
+					where = fmt.Sprintf("((%s OR %s) AND %s)", p1, p2, p3)
+				default:
+					where = fmt.Sprintf("(%s OR (%s AND %s))", p1, p2, p3)
+				}
+				assertColumnarMatches(t, k, "SELECT id FROM t WHERE "+where)
+			}
+		})
+	}
+}
+
+// TestColumnarParamsMatch covers parameterized vectorized scans: the
+// same prepared plan executed with different bindings must match the
+// interpreter per binding.
+func TestColumnarParamsMatch(t *testing.T) {
+	k := columnarFixture(t, 5000, 23)
+	tpl := MustTemplate("SELECT id FROM t WHERE (cat = <@Cat> OR cat IS NULL) AND name LIKE <@Pat>")
+	plan, err := tpl.Prepare(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.scans[0].col == nil {
+		t.Fatal("parameterized pushdown did not vectorize")
+	}
+	for _, args := range []map[string]string{
+		{"Cat": "alpha", "Pat": "%arf%"},
+		{"Cat": "beta", "Pat": "a%"},
+		{"Cat": "nosuch", "Pat": "%"},
+	} {
+		stmt, err := tpl.Instantiate(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Execute(k, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := plan.Exec(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultEqual(want, got) {
+			t.Fatalf("%v: interpreter %v, plan %v", args, want.Rows, got.Rows)
+		}
+	}
+}
+
+// TestColumnarScanBitIdenticalAcrossWidths is the determinism property
+// test for partition-parallel scans, in the PR 5 suite's shape: the same
+// plans executed at GOMAXPROCS 1, 2 and 8 must produce results
+// bit-identical to the forced-serial reference. 40k rows split into
+// three fixed partitions regardless of width.
+func TestColumnarScanBitIdenticalAcrossWidths(t *testing.T) {
+	k := columnarFixture(t, 40000, 41)
+	queries := []string{
+		"SELECT id FROM t WHERE (cat = 'alpha' OR cat = 'gamma') AND num > 40",
+		"SELECT id, num FROM t WHERE (cat = 'beta' OR cat IS NULL) AND val <= 60.25",
+		"SELECT id FROM t WHERE name LIKE '%arf%' OR flag = TRUE",
+		"SELECT COUNT(*) FROM t WHERE num IN (1, 2, 3, 5, 8, 13, 21)",
+	}
+	type ran struct {
+		sql string
+		res *Result
+	}
+	var want []ran
+	for _, sql := range queries {
+		plan, err := PrepareConfig(k, MustParse(sql), PlanConfig{NoParallel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := plan.Exec(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ran{sql, res})
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, width := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(width)
+		for _, w := range want {
+			plan, err := PrepareConfig(k, MustParse(w.sql), PlanConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.scans[0].col == nil {
+				t.Fatalf("%q did not vectorize", w.sql)
+			}
+			got, err := plan.Exec(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resultEqual(w.res, got) {
+				t.Fatalf("width %d: %q diverged from serial reference", width, w.sql)
+			}
+		}
+	}
+}
+
+// TestColumnarChoicePerScan pins Prepare's access-path choice: cold
+// filtered scans vectorize, indexed equality probes stay row-oriented,
+// and the row fallback engages when the table was never frozen.
+func TestColumnarChoicePerScan(t *testing.T) {
+	k := columnarFixture(t, 500, 53)
+	tab := k.Table("t")
+
+	plan, err := PrepareConfig(k, MustParse("SELECT id FROM t WHERE num > 10"), PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.scans[0].col == nil {
+		t.Fatal("cold filtered scan must vectorize")
+	}
+
+	// A text equality on an UNindexed column must not claim the scan as
+	// an index probe (Lookup would degrade to a linear scan): it stays a
+	// filter and the scan vectorizes.
+	plan, err = PrepareConfig(k, MustParse("SELECT id FROM t WHERE cat = 'alpha'"), PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.scans[0].eq != nil {
+		t.Fatal("unindexed text equality must not become an index probe")
+	}
+	if plan.scans[0].col == nil {
+		t.Fatal("unindexed text equality must vectorize")
+	}
+
+	if err := tab.BuildIndex("cat"); err != nil {
+		t.Fatal(err)
+	}
+	plan, err = PrepareConfig(k, MustParse("SELECT id FROM t WHERE cat = 'alpha'"), PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.scans[0].eq == nil || plan.scans[0].col != nil {
+		t.Fatal("indexed equality probe must keep the row path")
+	}
+
+	plan, err = PrepareConfig(k, MustParse("SELECT id FROM t WHERE num > 10"), PlanConfig{NoColumnar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.scans[0].col != nil {
+		t.Fatal("NoColumnar must disable vectorization")
+	}
+
+	// Mutating the table invalidates the frozen set: the vectorized plan
+	// must fall back to the row path (and still be correct) until the
+	// next Freeze.
+	plan, err = PrepareConfig(k, MustParse("SELECT id FROM t WHERE num > 90"), PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := plan.Exec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.MustInsert(kb.Row{"R999999", "alpha", "Aspirin", int64(99), nil, nil})
+	if tab.ColumnSet() != nil {
+		t.Fatal("Insert must invalidate the frozen ColumnSet")
+	}
+	after, err := plan.Exec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != len(before.Rows)+1 {
+		t.Fatalf("stale columnar data served after mutation: %d -> %d rows", len(before.Rows), len(after.Rows))
+	}
+}
+
+// TestHashJoinBuildSidesIdentical is the build-side differential: every
+// hash join executed with the full build, the probe-key-restricted build
+// and the estimate-driven default must return byte-identical results,
+// all equal to the interpreter oracle.
+func TestHashJoinBuildSidesIdentical(t *testing.T) {
+	k := fixtureKB(t)
+	for _, spec := range [][2]string{
+		{"drug", "class"}, {"drug", "name"}, {"brand", "drug_id"},
+		{"treats", "drug_id"}, {"treats", "indication_id"}, {"indication", "name"},
+	} {
+		if err := k.Table(spec[0]).BuildIndex(spec[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []string{
+		"SELECT d.name, b.name FROM drug d INNER JOIN brand b ON b.drug_id = d.drug_id",
+		"SELECT d.name FROM drug d INNER JOIN brand b ON b.drug_id = d.drug_id WHERE d.class = 'NSAID'",
+		"SELECT DISTINCT d.name FROM drug d INNER JOIN treats t ON t.drug_id = d.drug_id INNER JOIN indication i ON i.indication_id = t.indication_id WHERE i.name = 'Fever'",
+		"SELECT COUNT(*) FROM drug d INNER JOIN treats t ON t.drug_id = d.drug_id WHERE t.efficacy = 'Effective'",
+	}
+	for _, sql := range queries {
+		want, err := Execute(k, MustParse(sql))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, side := range []BuildSide{BuildAuto, BuildFull, BuildProbeKeys} {
+			plan, err := PrepareConfig(k, MustParse(sql), PlanConfig{BuildSide: side})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := plan.Exec(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resultEqual(want, got) {
+				t.Fatalf("%q side=%d:\ninterpreter: %v\nplan:        %v", sql, side, want.Rows, got.Rows)
+			}
+		}
+	}
+}
+
+// TestBuildSideEstimates pins the estimate-driven choice itself: a
+// selective probe side joining into a much larger table picks the
+// probe-key build, an unselective one keeps the full build.
+func TestBuildSideEstimates(t *testing.T) {
+	k := kb.New()
+	small, err := k.CreateTable(kb.Schema{
+		Name: "s",
+		Columns: []kb.Column{
+			{Name: "sid", Type: kb.TextCol, NotNull: true},
+			{Name: "kind", Type: kb.TextCol},
+		},
+		PrimaryKey: "sid",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := k.CreateTable(kb.Schema{
+		Name: "b",
+		Columns: []kb.Column{
+			{Name: "bid", Type: kb.TextCol, NotNull: true},
+			{Name: "sid", Type: kb.TextCol},
+		},
+		PrimaryKey: "bid",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		small.MustInsert(kb.Row{fmt.Sprintf("S%03d", i), fmt.Sprintf("k%02d", i%50)})
+	}
+	for i := 0; i < 3000; i++ {
+		big.MustInsert(kb.Row{fmt.Sprintf("B%04d", i), fmt.Sprintf("S%03d", i%100)})
+	}
+	if err := small.BuildIndex("kind"); err != nil {
+		t.Fatal(err)
+	}
+
+	// kind = 'k00' probes ~2 of 100 rows into 3000: probe-key build.
+	plan, err := PrepareConfig(k, MustParse(
+		"SELECT b.bid FROM s INNER JOIN b ON b.sid = s.sid WHERE s.kind = 'k00'"), PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.joins[0].probeKeys {
+		t.Fatal("selective probe side must restrict the hash build to probe keys")
+	}
+
+	// Unfiltered s (100 rows) vs b (3000): 100*4 <= 3000 still favors
+	// the probe-key build; flip the direction to get the full build.
+	plan, err = PrepareConfig(k, MustParse(
+		"SELECT s.sid FROM b INNER JOIN s ON s.sid = b.sid"), PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.joins[0].probeKeys {
+		t.Fatal("probe side larger than the build side must keep the full build")
+	}
+	res, err := plan.Exec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3000 {
+		t.Fatalf("join returned %d rows, want 3000", len(res.Rows))
+	}
+}

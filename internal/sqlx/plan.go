@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ontoconv/internal/kb"
+	"ontoconv/internal/par"
 )
 
 // This file is the compiled fast path of the per-turn serving loop: where
@@ -63,15 +64,22 @@ type indexEq struct {
 }
 
 // planScan is the access path of one binding: an optional equality probe
-// plus residual single-table filters applied before the join.
+// plus residual single-table filters applied before the join. When the
+// filters compiled into a vectorized program (col) and the table has a
+// frozen ColumnSet at execution time, a cold scan runs columnar; the
+// row-path filters always remain as the fallback and semantics holder.
 type planScan struct {
 	eq      *indexEq
 	filters []predFn
+	col     *colProg
 }
 
 // planJoin is one INNER JOIN step onto binding ordinal newB. When hash is
 // true the ON clause is a single equality between an already-joined
 // binding and the new one; otherwise on is evaluated per candidate pair.
+// probeKeys restricts the per-execution hash build to keys present on
+// the probe side (a semi-join filter), chosen from cardinality estimates
+// when the probe side is much smaller than the new table's scan.
 type planJoin struct {
 	newB int
 	hash bool
@@ -79,6 +87,7 @@ type planJoin struct {
 	oldB, oldCol int
 	newCol       int
 	newColName   string // lowercased, for stored-index reuse
+	probeKeys    bool
 
 	on predFn
 }
@@ -102,10 +111,43 @@ type TableColumn struct {
 	Column string
 }
 
+// PlanConfig tunes the physical choices Prepare makes. The zero value is
+// the production default: vectorized columnar scans wherever a frozen
+// kb.ColumnSet and a statically vectorizable pushdown exist, partition-
+// parallel execution on large tables, and estimate-driven hash-join
+// build sides. Every combination returns byte-identical results — the
+// differential suites pin that — so these knobs exist for benchmarks and
+// bit-identity property tests, never for correctness.
+type PlanConfig struct {
+	// NoColumnar forces every scan onto the row-at-a-time path.
+	NoColumnar bool
+	// NoParallel keeps columnar scans and hash builds single-threaded
+	// regardless of table size (the serial reference execution).
+	NoParallel bool
+	// BuildSide overrides the hash-join build-side policy.
+	BuildSide BuildSide
+}
+
+// BuildSide selects which side feeds a hash equi-join's per-execution
+// hash table.
+type BuildSide int
+
+const (
+	// BuildAuto decides per join from kb/stats cardinality estimates:
+	// when the probe (already-joined) side is estimated well below the
+	// new binding's scan, the build is restricted to probe-side keys.
+	BuildAuto BuildSide = iota
+	// BuildFull always hashes the new binding's full scan.
+	BuildFull
+	// BuildProbeKeys always restricts the build to probe-side keys.
+	BuildProbeKeys
+)
+
 // Plan is a compiled, parameterizable query over one knowledge base.
 // Plans are immutable after Prepare and safe for concurrent Exec.
 type Plan struct {
 	stmt     *SelectStmt
+	cfg      PlanConfig
 	params   []string
 	bindings []planBinding
 	scans    []planScan
@@ -141,12 +183,18 @@ func PrepareSQL(base *kb.KB, src string) (*Plan, error) {
 	return Prepare(base, stmt)
 }
 
-// Prepare compiles a parsed statement into an executable plan. The
-// statement may contain <@Name> parameter markers; bind them at Exec time.
-// The statement is not retained mutated — the plan shares its (immutable)
-// expression nodes.
+// Prepare compiles a parsed statement into an executable plan with the
+// default physical configuration. The statement may contain <@Name>
+// parameter markers; bind them at Exec time. The statement is not
+// retained mutated — the plan shares its (immutable) expression nodes.
 func Prepare(base *kb.KB, stmt *SelectStmt) (*Plan, error) {
-	p := &Plan{stmt: stmt, params: stmt.Params(), distinct: stmt.Distinct, limit: stmt.Limit}
+	return PrepareConfig(base, stmt, PlanConfig{})
+}
+
+// PrepareConfig is Prepare with explicit physical choices (see
+// PlanConfig).
+func PrepareConfig(base *kb.KB, stmt *SelectStmt, cfg PlanConfig) (*Plan, error) {
+	p := &Plan{stmt: stmt, cfg: cfg, params: stmt.Params(), distinct: stmt.Distinct, limit: stmt.Limit}
 	slots := make(map[string]int, len(p.params))
 	for i, name := range p.params {
 		slots[name] = i
@@ -179,6 +227,7 @@ func Prepare(base *kb.KB, stmt *SelectStmt) (*Plan, error) {
 	// Classify WHERE conjuncts: single-binding predicates are pushed to
 	// that binding's scan (equality on a text column becomes an index
 	// probe), everything else lands in the residual post-join filter.
+	scanExprs := make([][]Expr, len(p.bindings))
 	if stmt.Where != nil {
 		for _, c := range conjuncts(stmt.Where) {
 			refs, err := p.bindingsOf(c)
@@ -188,10 +237,17 @@ func Prepare(base *kb.KB, stmt *SelectStmt) (*Plan, error) {
 			if len(refs) == 1 {
 				b := refs[0]
 				if eq := p.indexableEq(c, b, slots); eq != nil {
+					// The hint is unconditional — BuildIndexes prepares
+					// templates before any index exists precisely to learn
+					// which columns to index. The probe itself only claims
+					// the scan when the index is already there: without
+					// one, Lookup degrades to a per-exec linear scan, while
+					// leaving the conjunct on the filter path keeps the
+					// scan eligible for vectorized execution.
 					p.hints = append(p.hints, TableColumn{
 						Table: p.bindings[b].table.Schema.Name, Column: eq.colName,
 					})
-					if p.scans[b].eq == nil {
+					if p.scans[b].eq == nil && p.bindings[b].table.HasIndex(eq.colName) {
 						p.scans[b].eq = eq
 						continue
 					}
@@ -201,6 +257,7 @@ func Prepare(base *kb.KB, stmt *SelectStmt) (*Plan, error) {
 					return nil, err
 				}
 				p.scans[b].filters = append(p.scans[b].filters, f)
+				scanExprs[b] = append(scanExprs[b], c)
 				continue
 			}
 			f, err := p.compilePred(c, slots, len(p.bindings))
@@ -208,6 +265,20 @@ func Prepare(base *kb.KB, stmt *SelectStmt) (*Plan, error) {
 				return nil, err
 			}
 			p.residual = append(p.residual, f)
+		}
+	}
+
+	// Vectorize cold scans: a binding with pushed-down filters but no
+	// equality probe compiles its conjuncts into a selection-vector
+	// program, all-or-nothing — if any conjunct could error at runtime
+	// the scan keeps the row path, so error order never changes. Indexed
+	// probes stay row-oriented: their candidate sets are posting lists,
+	// already far below batch granularity.
+	if !cfg.NoColumnar {
+		for b := range p.scans {
+			if p.scans[b].eq == nil && len(scanExprs[b]) > 0 {
+				p.scans[b].col = p.compileColProg(b, scanExprs[b], slots)
+			}
 		}
 	}
 
@@ -247,11 +318,70 @@ func Prepare(base *kb.KB, stmt *SelectStmt) (*Plan, error) {
 		}
 		p.joins = append(p.joins, pj)
 	}
+	p.chooseBuildSides()
 
 	if err := p.compileProjection(slots); err != nil {
 		return nil, err
 	}
 	return p, nil
+}
+
+// chooseBuildSides walks the join chain with O(1) cardinality estimates
+// (kb/stats distinct counts from the secondary indexes) and restricts
+// each hash build to probe-side keys when the probe side is estimated
+// well below the new binding's scan — instead of always hashing the new
+// side in full. Estimates steer only this physical choice; either choice
+// emits identical tuples in identical order (the probe loop is shared),
+// which TestHashJoinBuildSidesIdentical pins differentially.
+func (p *Plan) chooseBuildSides() {
+	est := p.scanEstimate(0)
+	for ji := range p.joins {
+		j := &p.joins[ji]
+		newEst := p.scanEstimate(j.newB)
+		if j.hash {
+			switch p.cfg.BuildSide {
+			case BuildProbeKeys:
+				j.probeKeys = true
+			case BuildAuto:
+				// 4x hysteresis: the key-set pass over the probe side
+				// must buy a meaningfully smaller hash build.
+				j.probeKeys = est*4 <= newEst
+			}
+			// Output estimate: probe tuples times expected matches per
+			// join key (rows/distinct on the join column).
+			if d := p.bindings[j.newB].table.DistinctEstimate(j.newColName); d > 0 {
+				per := (newEst + d - 1) / d
+				est *= per
+			} else if newEst > est {
+				est = newEst
+			}
+		} else {
+			est *= newEst
+		}
+		if est < 1 {
+			est = 1
+		}
+		if est > 1<<40 {
+			est = 1 << 40
+		}
+	}
+}
+
+// scanEstimate guesses the candidate-row count of one binding's scan
+// from O(1) stats: an equality probe divides the table's rows by the
+// index's distinct count, anything else counts as a full scan.
+func (p *Plan) scanEstimate(b int) int {
+	t := p.bindings[b].table
+	n := t.Len()
+	if sc := &p.scans[b]; sc.eq != nil {
+		if d := t.DistinctEstimate(sc.eq.colName); d > 0 {
+			n = (n + d - 1) / d
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // conjuncts flattens top-level AND chains.
@@ -699,69 +829,115 @@ func (p *Plan) bindArgs(args map[string]string) ([]kb.Value, error) {
 	return params, nil
 }
 
-// scanRows produces the candidate rows of one binding with its pushdown
-// predicates applied: an index/Lookup probe for the equality, then the
-// residual single-table filters.
-func (p *Plan) scanRows(b int, params []kb.Value) ([]kb.Row, error) {
+// scan produces the candidate rows of one binding with its pushdown
+// predicates applied. Exactly one of rows and pos is non-nil: a bare
+// equality probe returns pos, which aliases the stored posting list
+// (read-only, zero allocations — see kb.Table.Lookup's aliasing
+// contract) so indexed probes never materialize a defensive copy; every
+// filtering path returns rows. Cold scans with a compiled vectorized
+// program and a frozen ColumnSet run columnar; everything else runs the
+// row-at-a-time filters.
+func (p *Plan) scan(b int, params []kb.Value) (rows []kb.Row, pos []int, err error) {
 	sc := &p.scans[b]
 	t := p.bindings[b].table
 	if sc.eq == nil && len(sc.filters) == 0 {
-		return t.Rows, nil
+		return t.Rows, nil, nil
 	}
-	var rows []kb.Row
 	if sc.eq != nil {
 		v := sc.eq.val.value(params)
 		if v == nil {
-			return nil, nil
+			return nil, nil, nil
 		}
-		pos := t.Lookup(sc.eq.colName, v)
-		if len(pos) == 0 {
-			return nil, nil
+		plist := t.Lookup(sc.eq.colName, v)
+		if len(plist) == 0 {
+			return nil, nil, nil
 		}
-		rows = make([]kb.Row, 0, len(pos))
-		for _, i := range pos {
-			rows = append(rows, t.Rows[i])
+		if len(sc.filters) == 0 {
+			return nil, plist, nil
 		}
-	} else {
-		rows = t.Rows
+		scratch := make(tuple, len(p.bindings))
+		kept := make([]kb.Row, 0, len(plist))
+		for _, i := range plist {
+			row := t.Rows[i]
+			scratch[b] = row
+			ok, err := p.applyFilters(sc, scratch, params)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		return kept, nil, nil
 	}
-	if len(sc.filters) == 0 {
-		return rows, nil
+	if sc.col != nil && sc.col.runnable(params) {
+		if cs := t.ColumnSet(); cs != nil {
+			return nil, runColumnar(cs, sc.col, params, !p.cfg.NoParallel), nil
+		}
 	}
 	scratch := make(tuple, len(p.bindings))
-	kept := make([]kb.Row, 0, len(rows))
-	for _, row := range rows {
+	kept := make([]kb.Row, 0, len(t.Rows))
+	for _, row := range t.Rows {
 		scratch[b] = row
-		ok := true
-		for _, f := range sc.filters {
-			match, err := f(scratch, params)
-			if err != nil {
-				return nil, err
-			}
-			if !match {
-				ok = false
-				break
-			}
+		ok, err := p.applyFilters(sc, scratch, params)
+		if err != nil {
+			return nil, nil, err
 		}
 		if ok {
 			kept = append(kept, row)
 		}
 	}
-	return kept, nil
+	return kept, nil, nil
+}
+
+func (p *Plan) applyFilters(sc *planScan, tu tuple, params []kb.Value) (bool, error) {
+	for _, f := range sc.filters {
+		ok, err := f(tu, params)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// scanMaterialized is scan with a bare probe's positions resolved to
+// rows; for the nested-loop join, which wants a row slice either way.
+func (p *Plan) scanMaterialized(b int, params []kb.Value) ([]kb.Row, error) {
+	rows, pos, err := p.scan(b, params)
+	if err != nil || pos == nil {
+		return rows, err
+	}
+	t := p.bindings[b].table
+	rows = make([]kb.Row, len(pos))
+	for k, i := range pos {
+		rows[k] = t.Rows[i]
+	}
+	return rows, nil
 }
 
 func (p *Plan) run(params []kb.Value) (*Result, error) {
 	arena := newTupleArena(len(p.bindings))
 
-	fromRows, err := p.scanRows(0, params)
+	fromRows, fromPos, err := p.scan(0, params)
 	if err != nil {
 		return nil, err
 	}
-	tuples := make([]tuple, 0, len(fromRows))
-	for _, row := range fromRows {
-		t := arena.alloc()
-		t[0] = row
-		tuples = append(tuples, t)
+	tuples := make([]tuple, 0, len(fromRows)+len(fromPos))
+	if fromPos != nil {
+		// Bare index probe: iterate the posting list in place instead of
+		// materializing a row slice first.
+		t0 := p.bindings[0].table
+		for _, i := range fromPos {
+			t := arena.alloc()
+			t[0] = t0.Rows[i]
+			tuples = append(tuples, t)
+		}
+	} else {
+		for _, row := range fromRows {
+			t := arena.alloc()
+			t[0] = row
+			tuples = append(tuples, t)
+		}
 	}
 
 	for ji := range p.joins {
@@ -778,7 +954,7 @@ func (p *Plan) run(params []kb.Value) (*Result, error) {
 			tuples = joined
 			continue
 		}
-		rows, err := p.scanRows(j.newB, params)
+		rows, err := p.scanMaterialized(j.newB, params)
 		if err != nil {
 			return nil, err
 		}
@@ -846,18 +1022,25 @@ func (p *Plan) hashJoin(arena *tupleArena, tuples []tuple, j *planJoin, params [
 			return out, nil
 		}
 	}
-	rows, err := p.scanRows(j.newB, params)
+	rows, err := p.scanMaterialized(j.newB, params)
 	if err != nil {
 		return nil, err
 	}
-	idx := make(map[kb.Value][]kb.Row, len(rows))
-	for _, row := range rows {
-		v := row[j.newCol]
-		if v == nil {
-			continue // NULL never joins
+	// Semi-join restriction: when Prepare judged the probe side much
+	// smaller than this scan, collect the probe side's keys first so the
+	// build only hashes rows some tuple can actually reach. The probe
+	// loop below is shared by both build modes, so the emitted tuples —
+	// and their order — are identical either way.
+	var keys map[kb.Value]struct{}
+	if j.probeKeys {
+		keys = make(map[kb.Value]struct{}, len(tuples))
+		for _, tu := range tuples {
+			if v := tu[j.oldB][j.oldCol]; v != nil {
+				keys[v] = struct{}{}
+			}
 		}
-		idx[v] = append(idx[v], row)
 	}
+	idx := p.buildJoinHash(j, rows, keys)
 	var out []tuple
 	for _, tu := range tuples {
 		v := tu[j.oldB][j.oldCol]
@@ -871,6 +1054,65 @@ func (p *Plan) hashJoin(arena *tupleArena, tuples []tuple, j *planJoin, params [
 		}
 	}
 	return out, nil
+}
+
+// buildJoinHash builds the per-execution join index over the scanned
+// rows, optionally restricted to probe-side keys. Above
+// hashBuildParallelMin rows the build fans out over fixed partitions via
+// par.DoChunks; per-partition maps land in their own slot and merge in
+// partition order, so every posting list holds rows in the same
+// ascending scan order the serial build produces, at any GOMAXPROCS.
+func (p *Plan) buildJoinHash(j *planJoin, rows []kb.Row, keys map[kb.Value]struct{}) map[kb.Value][]kb.Row {
+	n := len(rows)
+	if n < hashBuildParallelMin || p.cfg.NoParallel {
+		idx := make(map[kb.Value][]kb.Row, n)
+		for _, row := range rows {
+			v := row[j.newCol]
+			if v == nil {
+				continue // NULL never joins
+			}
+			if keys != nil {
+				if _, ok := keys[v]; !ok {
+					continue
+				}
+			}
+			idx[v] = append(idx[v], row)
+		}
+		return idx
+	}
+	tasks := (n + colPartitionRows - 1) / colPartitionRows
+	parts := make([]map[kb.Value][]kb.Row, tasks)
+	par.DoChunks(n, colPartitionRows, func(task, start, end int) {
+		m := make(map[kb.Value][]kb.Row, end-start)
+		for _, row := range rows[start:end] {
+			v := row[j.newCol]
+			if v == nil {
+				continue
+			}
+			if keys != nil {
+				if _, ok := keys[v]; !ok {
+					continue
+				}
+			}
+			m[v] = append(m[v], row)
+		}
+		parts[task] = m
+	})
+	idx := parts[0]
+	for _, m := range parts[1:] {
+		for v, rs := range m {
+			// Per-key posting lists are independent: each append's target
+			// is keyed by the very map key being ranged, so key visit
+			// order cannot reorder any list. Lists concatenate in fixed
+			// chunk order (parts[0], parts[1], ...), and rows within a
+			// chunk were appended in scan order — identical to the serial
+			// build at any width (TestColumnarScanBitIdenticalAcrossWidths,
+			// TestHashJoinBuildSidesIdentical).
+			//ontolint:ignore nondeterm append target idx[v] is keyed by the ranged map key itself; per-key order is chunk-major scan order, independent of map iteration order
+			idx[v] = append(idx[v], rs...)
+		}
+	}
+	return idx
 }
 
 func (p *Plan) project(tuples []tuple, params []kb.Value) (*Result, error) {
