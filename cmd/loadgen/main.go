@@ -38,12 +38,19 @@
 // window are excluded. The run is deterministic per (space, seed) in
 // closed mode: worker w draws from seed+w.
 //
+// -target repeats: one URL drives a single server (or cmd/mdxrouter
+// fronting many); several URLs drive replicas directly, each session
+// sticky to the target it started on.
+//
 // With -slo FILE the report is evaluated against the baseline's
 // objectives and the exit status is 1 on any violation — the CI gate.
 // A mixed-tenant report is gated by the baseline's "slo_multi_tenant"
 // objectives when present (latency ceilings bind per workspace too).
-// -replay REPORT re-evaluates a previous run's report without
-// generating load.
+// -router-slo FILE gates against a router baseline (BENCH_router.json):
+// -router-phase picks the single- or multi-replica objectives, and in the
+// multi phase -baseline-report REPORT additionally enforces the
+// single-vs-multi throughput scaling ratio. -replay REPORT re-evaluates
+// a previous run's report without generating load.
 package main
 
 import (
@@ -67,6 +74,24 @@ import (
 	"ontoconv/internal/sim"
 	"ontoconv/internal/slo"
 )
+
+// targetFlags collects the repeatable -target flag: the base URLs load is
+// driven at. One target is the common case (a single mdxserver, or
+// cmd/mdxrouter fronting many); several targets drive replicas directly,
+// with sessions sticky to their target so each replica keeps its own
+// conversations.
+type targetFlags []string
+
+func (t *targetFlags) String() string { return strings.Join(*t, ",") }
+
+func (t *targetFlags) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			*t = append(*t, strings.TrimRight(part, "/"))
+		}
+	}
+	return nil
+}
 
 // tenantSpec is one -tenant flag: a workspace name and its bundle path.
 type tenantSpec struct {
@@ -94,8 +119,8 @@ func (t *tenantFlags) Set(v string) error {
 
 func main() {
 	var tenants tenantFlags
+	var targets targetFlags
 	var (
-		target      = flag.String("target", "http://127.0.0.1:8080", "base URL of the mdxserver under test")
 		bundlePath  = flag.String("bundle", "", "draw utterances from this compiled workspace bundle's space")
 		spacePath   = flag.String("space", "", "draw utterances from this conversation-space JSON (see bootstrap -space)")
 		workspaceWS = flag.String("workspace", "", "drive this workspace's routes (/w/NAME/chat) instead of the bare ones")
@@ -111,42 +136,49 @@ func main() {
 		outPath     = flag.String("out", "", "write the JSON report here (default stdout)")
 		sloPath     = flag.String("slo", "", "evaluate the report against this baseline's objectives; exit 1 on violation")
 		replayPath  = flag.String("replay", "", "re-evaluate this existing report instead of generating load")
+		routerSLO   = flag.String("router-slo", "", "evaluate against this router baseline (BENCH_router.json); exit 1 on violation")
+		routerPhase = flag.String("router-phase", "single", "router baseline phase: single or multi (replica count behind the target)")
+		baselineRep = flag.String("baseline-report", "", "multi phase: the single-replica report to ratio throughput against")
 	)
 	flag.Var(&tenants, "tenant", "mixed-tenant mode: NAME=BUNDLE, repeatable; round-robins interactions across workspaces")
+	flag.Var(&targets, "target", "base URL under test (repeatable, or comma-separated; default http://127.0.0.1:8080); several URLs drive replicas directly with session stickiness")
 	flag.Parse()
+	if len(targets) == 0 {
+		targets = targetFlags{"http://127.0.0.1:8080"}
+	}
 
 	if *replayPath != "" {
-		os.Exit(replay(*replayPath, *sloPath))
+		os.Exit(replay(*replayPath, *sloPath, *routerSLO, *routerPhase, *baselineRep))
 	}
 
 	report := &slo.Report{
-		Target:          *target,
+		Target:          strings.Join(targets, ","),
 		Mode:            *mode,
 		Seed:            *seed,
 		WarmupSeconds:   warmup.Seconds(),
 		DurationSeconds: duration.Seconds(),
 	}
-	targets, err := resolveTargets(tenants, *bundlePath, *spacePath, *workspaceWS, report)
+	tenantTargets, err := resolveTargets(tenants, *bundlePath, *spacePath, *workspaceWS, report)
 	if err != nil {
 		fatal(err)
 	}
-	for _, tt := range targets {
-		if err := waitForReady(*target+tt.prefix, *waitReady); err != nil {
-			fatal(err)
+	// One tuned client for everything, readiness polling included: the
+	// http.DefaultTransport defaults (MaxIdleConnsPerHost=2) would tear
+	// down and re-dial connections constantly at high -workers.
+	client := newLoadClient(*timeout, *workers+*maxInflight)
+	for _, base := range targets {
+		for _, tt := range tenantTargets {
+			if err := waitForReady(client, base+tt.prefix, *waitReady); err != nil {
+				fatal(err)
+			}
 		}
 	}
 
 	d := &driver{
-		target:  *target,
-		tenants: targets,
+		targets: targets,
+		tenants: tenantTargets,
 		seed:    *seed,
-		client: &http.Client{
-			Timeout: *timeout,
-			Transport: &http.Transport{
-				MaxIdleConns:        *workers + *maxInflight,
-				MaxIdleConnsPerHost: *workers + *maxInflight,
-			},
-		},
+		client:  client,
 	}
 	switch *mode {
 	case "closed":
@@ -178,46 +210,80 @@ func main() {
 		}
 	}
 	summarize(os.Stderr, report)
-	os.Exit(gate(report, *sloPath))
+	os.Exit(gate(report, *sloPath, *routerSLO, *routerPhase, *baselineRep))
 }
 
 // replay re-evaluates an existing report against a baseline.
-func replay(reportPath, sloPath string) int {
-	data, err := os.ReadFile(reportPath)
+func replay(reportPath, sloPath, routerSLO, routerPhase, baselineRep string) int {
+	report, err := readReport(reportPath)
 	if err != nil {
 		fatal(err)
+	}
+	summarize(os.Stderr, report)
+	return gate(report, sloPath, routerSLO, routerPhase, baselineRep)
+}
+
+func readReport(path string) (*slo.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
 	var report slo.Report
 	if err := json.Unmarshal(data, &report); err != nil {
-		fatal(fmt.Errorf("%s: %w", reportPath, err))
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	summarize(os.Stderr, &report)
-	return gate(&report, sloPath)
+	return &report, nil
 }
 
-// gate prints violations and returns the process exit code.
-func gate(report *slo.Report, sloPath string) int {
-	if sloPath == "" {
-		return 0
+// gate prints violations and returns the process exit code: the -slo
+// baseline's objectives, then the -router-slo baseline's phase objectives
+// (plus the single-vs-multi throughput ratio when -baseline-report names
+// the single-replica run).
+func gate(report *slo.Report, sloPath, routerSLO, routerPhase, baselineRep string) int {
+	code := 0
+	if sloPath != "" {
+		f, err := slo.LoadFile(sloPath)
+		if err != nil {
+			fatal(err)
+		}
+		spec := f.SpecFor(report)
+		kind := ""
+		if f.MultiTenant != nil && len(report.Workspaces) > 1 {
+			kind = ", multi-tenant objectives"
+		}
+		violations := spec.Evaluate(report)
+		if len(violations) == 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: within SLO (%s%s)\n", sloPath, kind)
+		}
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "loadgen: SLO VIOLATION: %s\n", v)
+			code = 1
+		}
 	}
-	f, err := slo.LoadFile(sloPath)
-	if err != nil {
-		fatal(err)
+	if routerSLO != "" {
+		f, err := slo.LoadRouterFile(routerSLO)
+		if err != nil {
+			fatal(err)
+		}
+		var baseline *slo.Report
+		if baselineRep != "" {
+			if baseline, err = readReport(baselineRep); err != nil {
+				fatal(err)
+			}
+		}
+		violations, err := f.Evaluate(routerPhase, report, baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if len(violations) == 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: within router SLO (%s, %s phase)\n", routerSLO, routerPhase)
+		}
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "loadgen: ROUTER SLO VIOLATION: %s\n", v)
+			code = 1
+		}
 	}
-	spec := f.SpecFor(report)
-	kind := ""
-	if f.MultiTenant != nil && len(report.Workspaces) > 1 {
-		kind = ", multi-tenant objectives"
-	}
-	violations := spec.Evaluate(report)
-	if len(violations) == 0 {
-		fmt.Fprintf(os.Stderr, "loadgen: within SLO (%s%s)\n", sloPath, kind)
-		return 0
-	}
-	for _, v := range violations {
-		fmt.Fprintf(os.Stderr, "loadgen: SLO VIOLATION: %s\n", v)
-	}
-	return 1
+	return code
 }
 
 func fatal(err error) {
@@ -322,12 +388,33 @@ func scripterFor(space *core.Space, seed int64) *sim.Scripter {
 	return sim.NewScripter(space, cfg)
 }
 
+// newLoadClient builds the one tuned HTTP client the whole run shares.
+// conns sizes the idle pool to the worst-case concurrency so a turn never
+// re-dials: with the http.DefaultTransport defaults (MaxIdleConnsPerHost
+// = 2), every worker beyond two would close and reopen its connection on
+// each turn, throttling closed-loop mode and polluting latency with
+// handshakes.
+func newLoadClient(timeout time.Duration, conns int) *http.Client {
+	if conns < 2 {
+		conns = 2
+	}
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        conns,
+			MaxIdleConnsPerHost: conns,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
 // waitForReady polls <base>/readyz until the server reports a live
 // runtime (base includes the workspace prefix, so in multi-tenant mode
-// this cold-starts the tenant before the measurement window).
-func waitForReady(base string, patience time.Duration) error {
+// this cold-starts the tenant before the measurement window). It uses
+// the run's shared client, so the connections it opens are the ones the
+// measurement reuses.
+func waitForReady(client *http.Client, base string, patience time.Duration) error {
 	deadline := time.Now().Add(patience)
-	client := &http.Client{Timeout: 2 * time.Second}
 	for {
 		resp, err := client.Get(base + "/readyz")
 		if err == nil {
@@ -347,9 +434,12 @@ func waitForReady(base string, patience time.Duration) error {
 	}
 }
 
-// driver fires scripted interactions at the target.
+// driver fires scripted interactions at the targets. With several
+// targets, a session stays on the target it started on (worker stickiness
+// in closed mode, arrival stickiness in open mode) — replicas do not
+// share session state unless a router migrates it.
 type driver struct {
-	target  string
+	targets []string
 	tenants []*tenantTarget
 	seed    int64
 	client  *http.Client
@@ -377,15 +467,15 @@ type chatResponse struct {
 	Closed   bool   `json:"closed"`
 }
 
-// turn posts one /chat turn to the tenant's routes and returns the reply
-// and client-observed latency.
-func (d *driver) turn(tt *tenantTarget, session, message string) (chatResponse, time.Duration, error) {
+// turn posts one /chat turn to the tenant's routes on one target and
+// returns the reply and client-observed latency.
+func (d *driver) turn(base string, tt *tenantTarget, session, message string) (chatResponse, time.Duration, error) {
 	body, err := json.Marshal(chatRequest{Session: session, Message: message})
 	if err != nil {
 		return chatResponse{}, 0, err
 	}
 	start := time.Now()
-	resp, err := d.client.Post(d.target+tt.prefix+"/chat", "application/json", bytes.NewReader(body))
+	resp, err := d.client.Post(base+tt.prefix+"/chat", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return chatResponse{}, time.Since(start), err
 	}
@@ -407,7 +497,7 @@ func (d *driver) turn(tt *tenantTarget, session, message string) (chatResponse, 
 // and cnt; the interaction itself is counted if its first turn lands in
 // the window. sc is synchronized by mu when shared (open mode); nil mu
 // means the caller owns the scripter (closed mode).
-func (d *driver) interaction(sc *sim.Scripter, mu *sync.Mutex, tt *tenantTarget, session string,
+func (d *driver) interaction(sc *sim.Scripter, mu *sync.Mutex, base string, tt *tenantTarget, session string,
 	hist *obs.QuantileHistogram, cnt *counters, winStart, winEnd time.Time) {
 	lock := func() {
 		if mu != nil {
@@ -429,7 +519,7 @@ func (d *driver) interaction(sc *sim.Scripter, mu *sync.Mutex, tt *tenantTarget,
 	utterance := sp.Utterance
 	var last chatResponse
 	for {
-		resp, elapsed, err := d.turn(tt, session, utterance)
+		resp, elapsed, err := d.turn(base, tt, session, utterance)
 		now := time.Now()
 		inWindow := now.After(winStart) && now.Before(winEnd)
 		if err != nil {
@@ -468,7 +558,8 @@ func (d *driver) interaction(sc *sim.Scripter, mu *sync.Mutex, tt *tenantTarget,
 
 // runClosed: N simulated users in a loop, one scripter per worker so the
 // draw stream is deterministic per (seed, worker). In mixed-tenant mode
-// worker w belongs to tenant w mod len(tenants).
+// worker w belongs to tenant w mod len(tenants); with several targets,
+// worker w drives target w mod len(targets) for its whole run.
 func (d *driver) runClosed(report *slo.Report, workers int, warmup, duration time.Duration) {
 	winStart := time.Now().Add(warmup)
 	winEnd := winStart.Add(duration)
@@ -484,10 +575,11 @@ func (d *driver) runClosed(report *slo.Report, workers int, warmup, duration tim
 		go func(w, ti int) {
 			defer wg.Done()
 			tt := d.tenants[ti]
+			base := d.targets[w%len(d.targets)]
 			sc := scripterFor(tt.space, d.seed+int64(w))
 			for i := 0; time.Now().Before(winEnd); i++ {
 				session := fmt.Sprintf("lg-w%d-i%d", w, i)
-				d.interaction(sc, nil, tt, session, tenantHists[ti], &cnts[ti], winStart, winEnd)
+				d.interaction(sc, nil, base, tt, session, tenantHists[ti], &cnts[ti], winStart, winEnd)
 			}
 		}(w, ti)
 	}
@@ -537,7 +629,7 @@ func (d *driver) runOpen(report *slo.Report, rate float64, maxInflight int, warm
 			defer wg.Done()
 			defer inflight.Add(-1)
 			ti := i % len(d.tenants)
-			d.interaction(scripters[ti], &mus[ti], d.tenants[ti],
+			d.interaction(scripters[ti], &mus[ti], d.targets[i%len(d.targets)], d.tenants[ti],
 				fmt.Sprintf("lg-o%d", i), tenantHists[ti], &cnts[ti], winStart, winEnd)
 		}(i)
 	}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLoadClientDoesNotChurnConnections proves the tuned transport
+// actually pools: 16 concurrent workers firing bursts of requests (far
+// more requests than workers) must not dial more than one connection per
+// worker. The http.DefaultTransport defaults this replaces
+// (MaxIdleConnsPerHost=2) close and re-dial on nearly every request
+// beyond two workers — the satellite bug this test pins down.
+func TestLoadClientDoesNotChurnConnections(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"status":"ready"}`)
+	}))
+	defer srv.Close()
+
+	const workers, perWorker = 16, 30
+	client := newLoadClient(5*time.Second, workers)
+
+	var dials, reuses atomic.Int64
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				reuses.Add(1)
+			} else {
+				dials.Add(1)
+			}
+		},
+	}
+
+	// Readiness polling shares the client, so its connection is part of
+	// the pool the workers then reuse.
+	if err := waitForReady(client, srv.URL, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				req, err := http.NewRequest(http.MethodGet, srv.URL+"/readyz", nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req = req.WithContext(httptrace.WithClientTrace(req.Context(), trace))
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := workers * perWorker
+	if got := dials.Load(); got > workers {
+		t.Fatalf("transport churned: %d new connections for %d requests from %d workers (want <= %d)",
+			got, total, workers, workers)
+	}
+	if got := reuses.Load(); got < int64(total-workers) {
+		t.Fatalf("only %d/%d requests reused a pooled connection", got, total)
+	}
+}
+
+// TestDefaultTransportWouldChurn documents why newLoadClient exists: the
+// same burst through a DefaultTransport-shaped client dials far more than
+// one connection per worker. If this ever stops failing for the default
+// shape, the pool tuning can be retired.
+func TestDefaultTransportWouldChurn(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	const workers, perWorker = 16, 30
+	churny := &http.Client{
+		Timeout: 5 * time.Second,
+		// The stdlib defaults loadgen used to inherit for readiness polls.
+		Transport: &http.Transport{MaxIdleConnsPerHost: 2},
+	}
+
+	var dials atomic.Int64
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if !info.Reused {
+				dials.Add(1)
+			}
+		},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+				req = req.WithContext(httptrace.WithClientTrace(req.Context(), trace))
+				resp, err := churny.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := dials.Load(); got <= workers {
+		t.Skipf("default-shaped transport only dialed %d times here; churn not reproducible on this scheduler", got)
+	}
+}

@@ -1,0 +1,81 @@
+// Command mdxrouter horizontally scales the conversation tier: it
+// consistent-hashes sessions onto N mdxserver replicas, health-checks
+// membership via each replica's /readyz, and migrates a session's
+// dialogue state (GET/PUT /session/state) when a ring change moves its
+// ownership — so adding, draining, or losing a replica rebalances load
+// without dropping conversations whose owner is still alive.
+//
+//	mdxrouter -listen :8090 \
+//	  -backend http://127.0.0.1:8080 \
+//	  -backend http://127.0.0.1:8081 \
+//	  -backend http://127.0.0.1:8082
+//
+// The router is stateless apart from its in-memory session→backend
+// pinning: restarting it re-derives placement from the ring, and any
+// sessions that land on a new owner are migrated on their next turn.
+//
+// Router-local endpoints: /healthz, /readyz (≥1 healthy backend),
+// /metrics (mdx_router_requests_total{backend},
+// mdx_router_rebalances_total, mdx_router_backends_healthy,
+// mdx_router_handoffs_total{result}). Everything else proxies to the
+// session's backend; /admin/reload fans out to every healthy replica.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ontoconv/internal/obs"
+)
+
+// stringsFlag collects a repeatable -backend flag.
+type stringsFlag []string
+
+func (f *stringsFlag) String() string { return strings.Join(*f, ",") }
+
+func (f *stringsFlag) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			*f = append(*f, part)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var backends stringsFlag
+	listen := flag.String("listen", ":8090", "address to serve on")
+	flag.Var(&backends, "backend", "mdxserver replica base URL (repeatable, or comma-separated)")
+	healthEvery := flag.Duration("health-interval", 2*time.Second, "backend /readyz probe interval")
+	boundFactor := flag.Float64("bound", 1.25, "bounded-load factor c: new sessions skip backends above c x the mean in-flight load")
+	accessLog := flag.Bool("access-log", true, "emit JSON access logs to stderr")
+	flag.Parse()
+
+	rt, err := newRouter(backends, log.Printf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rt.boundFactor = *boundFactor
+
+	// Probe synchronously once so /readyz answers accurately from the
+	// first request, then keep membership fresh in the background.
+	healthy := rt.checkHealth()
+	log.Printf("mdxrouter: %d/%d backend(s) healthy at startup", healthy, len(rt.backends))
+	stop := rt.startHealthLoop(*healthEvery)
+	defer stop()
+
+	var handler http.Handler = rt.Handler()
+	if *accessLog {
+		handler = obs.AccessLog(os.Stderr, handler)
+	}
+	log.Printf("mdxrouter: listening on %s, routing %d backend(s)", *listen, len(rt.backends))
+	if err := http.ListenAndServe(*listen, handler); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,522 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ontoconv/internal/obs"
+	"ontoconv/internal/ring"
+)
+
+// maxBodyBytes caps how much of a request body the router buffers to
+// extract the session ID; dialogue requests are a few hundred bytes.
+const maxBodyBytes = 1 << 20
+
+// backend is one mdxserver replica behind the router.
+type backend struct {
+	name     string // normalized base URL: ring member ID and metrics label
+	base     *url.URL
+	healthy  atomic.Bool
+	inflight atomic.Int64
+}
+
+// router consistent-hashes sessions onto healthy mdxserver replicas and
+// migrates a session's dialogue state when a ring change moves its
+// ownership, so rebalancing loses no conversation context.
+//
+// Placement is sticky: a session keeps its backend until the ring
+// generation changes (a replica joined, left, or failed health checks).
+// New assignments use the bounded-load walk, so a replica already
+// carrying well over its fair share of in-flight turns is skipped.
+type router struct {
+	backends []*backend
+	byName   map[string]*backend
+
+	// ring holds the healthy membership; gen counts rebuilds so owner
+	// records can tell a stale assignment from a current one.
+	ring atomic.Pointer[ring.Ring]
+	gen  atomic.Uint64
+
+	// owners maps session key -> *ownerRec; the per-record mutex
+	// serializes routing (and any handoff) for one session without
+	// stalling others.
+	owners sync.Map
+
+	// client carries every proxied and handoff request. One tuned
+	// transport for all backends: the default MaxIdleConnsPerHost=2 would
+	// reopen connections constantly under concurrent chatters.
+	client      *http.Client
+	boundFactor float64
+
+	reg        *obs.Registry
+	requests   *obs.CounterVec // mdx_router_requests_total{backend}
+	rebalances *obs.Counter    // mdx_router_rebalances_total
+	healthyG   *obs.Gauge      // mdx_router_backends_healthy
+	handoffs   *obs.CounterVec // mdx_router_handoffs_total{result}
+
+	logf func(format string, args ...interface{})
+}
+
+// ownerRec pins one session to its current backend.
+type ownerRec struct {
+	mu    sync.Mutex
+	owner string // backend name; "" until first routed
+	gen   uint64 // ring generation the assignment was made under
+}
+
+// newRouter builds a router over the given backend base URLs.
+func newRouter(backendURLs []string, logf func(string, ...interface{})) (*router, error) {
+	if len(backendURLs) == 0 {
+		return nil, fmt.Errorf("mdxrouter: at least one -backend is required")
+	}
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	rt := &router{
+		byName:      make(map[string]*backend),
+		boundFactor: 1.25,
+		reg:         obs.NewRegistry(),
+		logf:        logf,
+	}
+	for _, raw := range backendURLs {
+		u, err := url.Parse(strings.TrimRight(raw, "/"))
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("mdxrouter: bad backend URL %q", raw)
+		}
+		b := &backend{name: u.String(), base: u}
+		if _, dup := rt.byName[b.name]; dup {
+			continue
+		}
+		rt.backends = append(rt.backends, b)
+		rt.byName[b.name] = b
+	}
+	rt.ring.Store(ring.New(nil, 0))
+	rt.client = &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	rt.requests = rt.reg.CounterVec("mdx_router_requests_total",
+		"Requests proxied, by backend.", "backend")
+	rt.rebalances = rt.reg.Counter("mdx_router_rebalances_total",
+		"Ring rebuilds caused by backend membership or health changes.")
+	rt.healthyG = rt.reg.Gauge("mdx_router_backends_healthy",
+		"Backends currently passing /readyz health checks.")
+	rt.handoffs = rt.reg.CounterVec("mdx_router_handoffs_total",
+		"Session state migrations on ring change, by result.", "result")
+	return rt, nil
+}
+
+// checkHealth probes every backend's /readyz once and rebuilds the ring
+// if the healthy set changed. Returns the healthy count.
+func (rt *router) checkHealth() int {
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodGet, b.base.String()+"/readyz", nil)
+			if err != nil {
+				b.healthy.Store(false)
+				return
+			}
+			req.Header.Set("X-Request-ID", obs.NewRequestID())
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				b.healthy.Store(false)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			b.healthy.Store(resp.StatusCode == http.StatusOK)
+		}(b)
+	}
+	wg.Wait()
+	return rt.rebuildRing()
+}
+
+// rebuildRing recomputes the ring from the currently healthy backends.
+// A no-op when membership is unchanged; otherwise the generation bumps
+// and sessions re-route (with handoff) on their next turn.
+func (rt *router) rebuildRing() int {
+	names := make([]string, 0, len(rt.backends))
+	for _, b := range rt.backends {
+		if b.healthy.Load() {
+			names = append(names, b.name)
+		}
+	}
+	rt.healthyG.Set(int64(len(names)))
+	cur := rt.ring.Load()
+	if sameMembers(cur.Members(), names) {
+		return len(names)
+	}
+	rt.ring.Store(ring.New(names, 0))
+	rt.gen.Add(1)
+	rt.rebalances.Inc()
+	rt.logf("ring rebuilt: %d healthy backend(s): %s", len(names), strings.Join(names, ", "))
+	return len(names)
+}
+
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := make(map[string]bool, len(a))
+	for _, m := range a {
+		in[m] = true
+	}
+	for _, m := range b {
+		if !in[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// startHealthLoop probes on a ticker until stop is called.
+func (rt *router) startHealthLoop(every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				rt.checkHealth()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// overloaded is the bounded-load predicate: a backend is skipped for new
+// assignments when its in-flight count exceeds boundFactor × the average
+// across healthy backends (plus one, so idle rings never reject).
+// Unhealthy backends are always skipped.
+func (rt *router) overloaded(member string) bool {
+	b := rt.byName[member]
+	if b == nil || !b.healthy.Load() {
+		return true
+	}
+	var total int64
+	n := 0
+	for _, bb := range rt.backends {
+		if bb.healthy.Load() {
+			total += bb.inflight.Load()
+			n++
+		}
+	}
+	if n <= 1 {
+		return false
+	}
+	limit := int64(rt.boundFactor*float64(total)/float64(n)) + 1
+	return b.inflight.Load() > limit
+}
+
+// route returns the backend that owns (ws, session), migrating the
+// session's state first if a ring change moved its ownership.
+func (rt *router) route(r *http.Request, ws, session string) (*backend, error) {
+	key := ws + "\x00" + session
+	ringNow := rt.ring.Load()
+	if ringNow.Empty() {
+		return nil, fmt.Errorf("no healthy backends")
+	}
+	genNow := rt.gen.Load()
+	v, _ := rt.owners.LoadOrStore(key, &ownerRec{})
+	rec := v.(*ownerRec)
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.owner != "" && rec.gen == genNow {
+		if b := rt.byName[rec.owner]; b != nil && b.healthy.Load() {
+			return b, nil
+		}
+	}
+	desired := ringNow.Pick(key, rt.overloaded)
+	nb := rt.byName[desired]
+	if nb == nil || desired == "" {
+		return nil, fmt.Errorf("no healthy backends")
+	}
+	if rec.owner != "" && rec.owner != desired {
+		//ontolint:ignore lockheld per-session owner lock: a session's turns must not race its own handoff, and no other session waits on this mutex
+		rt.migrate(r, ws, session, rec.owner, desired)
+	}
+	rec.owner, rec.gen = desired, genNow
+	return nb, nil
+}
+
+// migrate exports the session's dialogue state from its old backend
+// (evicting it there) and imports it on the new one. A dead old owner
+// means the state is gone — the session restarts fresh on the new
+// backend; that is the cost of affinity without replication, and the
+// handoffs{result="lost"} counter makes it visible.
+func (rt *router) migrate(r *http.Request, ws, session, from, to string) {
+	fb, tb := rt.byName[from], rt.byName[to]
+	if fb == nil || tb == nil || !fb.healthy.Load() {
+		rt.handoffs.With("lost").Inc()
+		rt.logf("session %q: old owner %s gone; context lost", session, from)
+		return
+	}
+	rid := obs.RequestID(r)
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	exportURL := fb.base.String() + "/session/state?evict=1&session=" + url.QueryEscape(session)
+	req, err := http.NewRequest(http.MethodGet, exportURL, nil)
+	if err != nil {
+		rt.handoffs.With("error").Inc()
+		return
+	}
+	req.Header.Set("X-Request-ID", rid)
+	if ws != "" {
+		req.Header.Set("X-Workspace", ws)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.handoffs.With("error").Inc()
+		rt.logf("session %q: export from %s failed: %v", session, from, err)
+		return
+	}
+	exported, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	_ = resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// The old owner never saw this session (e.g. it expired); nothing
+		// to carry over.
+		rt.handoffs.With("absent").Inc()
+		return
+	}
+	if resp.StatusCode != http.StatusOK || err != nil {
+		rt.handoffs.With("error").Inc()
+		rt.logf("session %q: export from %s returned %d", session, from, resp.StatusCode)
+		return
+	}
+	// The export response body ({"session","turns","state"}) is a valid
+	// import request body — the importer ignores the extra fields.
+	imp, err := http.NewRequest(http.MethodPut, tb.base.String()+"/session/state", bytes.NewReader(exported))
+	if err != nil {
+		rt.handoffs.With("error").Inc()
+		return
+	}
+	imp.Header.Set("Content-Type", "application/json")
+	imp.Header.Set("X-Request-ID", rid)
+	if ws != "" {
+		imp.Header.Set("X-Workspace", ws)
+	}
+	iresp, err := rt.client.Do(imp)
+	if err != nil {
+		rt.handoffs.With("error").Inc()
+		rt.logf("session %q: import into %s failed: %v", session, to, err)
+		return
+	}
+	_, _ = io.Copy(io.Discard, iresp.Body)
+	_ = iresp.Body.Close()
+	if iresp.StatusCode != http.StatusOK {
+		rt.handoffs.With("error").Inc()
+		rt.logf("session %q: import into %s returned %d", session, to, iresp.StatusCode)
+		return
+	}
+	rt.handoffs.With("migrated").Inc()
+	rt.logf("session %q: migrated %s -> %s", session, from, to)
+}
+
+// Handler returns the router's HTTP surface: its own health/metrics
+// endpoints plus the catch-all session-affine proxy.
+func (rt *router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		healthy := 0
+		for _, b := range rt.backends {
+			if b.healthy.Load() {
+				healthy++
+			}
+		}
+		if healthy == 0 {
+			http.Error(w, "no healthy backends", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]interface{}{
+			"status": "ready", "backends": healthy,
+		})
+	})
+	mux.Handle("/metrics", rt.reg.Handler())
+	mux.HandleFunc("/", rt.proxy)
+	return mux
+}
+
+// proxy routes one request to its session's backend.
+func (rt *router) proxy(w http.ResponseWriter, r *http.Request) {
+	var body []byte
+	if r.Body != nil && r.Method != http.MethodGet {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			http.Error(w, "bad request body", http.StatusBadRequest)
+			return
+		}
+	}
+	if strings.HasSuffix(r.URL.Path, "/admin/reload") {
+		rt.fanoutReload(w, r, body)
+		return
+	}
+	ws, session := identity(r, body)
+	var b *backend
+	var err error
+	if session == "" {
+		// Session-less routes (/trace/slow, /readyz warm-ups…): any
+		// healthy backend; the path spreads them.
+		name := rt.ring.Load().Pick(r.URL.Path, rt.overloaded)
+		if b = rt.byName[name]; b == nil {
+			err = fmt.Errorf("no healthy backends")
+		}
+	} else {
+		b, err = rt.route(r, ws, session)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	rt.forward(w, r, b, body)
+}
+
+// identity extracts (workspace, session) from the request: the /w/<ws>/
+// path prefix or X-Workspace header names the tenant; the session comes
+// from the query string or the JSON body.
+func identity(r *http.Request, body []byte) (ws, session string) {
+	if rest, ok := strings.CutPrefix(r.URL.Path, "/w/"); ok {
+		ws, _, _ = strings.Cut(rest, "/")
+	} else {
+		ws = r.Header.Get("X-Workspace")
+	}
+	session = r.URL.Query().Get("session")
+	if session == "" && len(body) > 0 {
+		var peek struct {
+			Session string `json:"session"`
+		}
+		if json.Unmarshal(body, &peek) == nil {
+			session = peek.Session
+		}
+	}
+	return ws, session
+}
+
+// forward proxies the buffered request to the backend and streams the
+// response back, propagating the correlation ID.
+func (rt *router) forward(w http.ResponseWriter, r *http.Request, b *backend, body []byte) {
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	rt.requests.With(b.name).Inc()
+
+	out := *b.base
+	out.Path = strings.TrimRight(b.base.Path, "/") + r.URL.Path
+	out.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, out.String(), bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	for k, vs := range r.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	if id := obs.RequestID(r); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		http.Error(w, "backend unavailable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer func() { _ = resp.Body.Close() }()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// fanoutReload broadcasts an /admin/reload to every healthy backend so a
+// bundle rollout lands everywhere, and reports per-backend outcomes.
+func (rt *router) fanoutReload(w http.ResponseWriter, r *http.Request, body []byte) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	type result struct {
+		Backend string `json:"backend"`
+		Status  int    `json:"status"`
+		Body    string `json:"body"`
+	}
+	var (
+		mu      sync.Mutex
+		results []result
+		wg      sync.WaitGroup
+	)
+	rid := obs.RequestID(r)
+	for _, b := range rt.backends {
+		if !b.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			out := *b.base
+			out.Path = strings.TrimRight(b.base.Path, "/") + r.URL.Path
+			req, err := http.NewRequest(http.MethodPost, out.String(), bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			if rid != "" {
+				req.Header.Set("X-Request-ID", rid)
+			}
+			if ws := r.Header.Get("X-Workspace"); ws != "" {
+				req.Header.Set("X-Workspace", ws)
+			}
+			res := result{Backend: b.name, Status: http.StatusBadGateway}
+			if resp, err := rt.client.Do(req); err == nil {
+				rb, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+				_ = resp.Body.Close()
+				res.Status = resp.StatusCode
+				res.Body = strings.TrimSpace(string(rb))
+			}
+			mu.Lock()
+			results = append(results, res)
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+	status := http.StatusOK
+	if len(results) == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	for _, res := range results {
+		if res.Status != http.StatusOK {
+			status = http.StatusBadGateway
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Backend < results[j].Backend })
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{"reloads": results})
+}

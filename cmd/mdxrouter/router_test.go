@@ -1,0 +1,356 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeReplica mimics the mdxserver surface the router touches: /readyz,
+// /chat, and the /session/state handoff pair. State is an opaque byte
+// blob, exactly how the router must treat it.
+type fakeReplica struct {
+	name  string
+	ready atomic.Bool
+	srv   *httptest.Server
+
+	mu       sync.Mutex
+	state    map[string][]byte // ws\x00session -> dialogue state
+	chats    map[string]int    // ws\x00session -> turns served here
+	lastRID  string
+	imported map[string][]byte // states received via PUT
+}
+
+func newFakeReplica(t *testing.T, name string) *fakeReplica {
+	f := &fakeReplica{
+		name:     name,
+		state:    make(map[string][]byte),
+		chats:    make(map[string]int),
+		imported: make(map[string][]byte),
+	}
+	f.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !f.ready.Load() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ready"}`)
+	})
+	mux.HandleFunc("/chat", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ Session, Message string }
+		body, _ := io.ReadAll(r.Body)
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		key := r.Header.Get("X-Workspace") + "\x00" + req.Session
+		f.mu.Lock()
+		f.chats[key]++
+		if _, ok := f.state[key]; !ok {
+			// First contact: this replica invents the session's state.
+			f.state[key] = []byte("state:" + req.Session + "@" + f.name)
+		}
+		f.lastRID = r.Header.Get("X-Request-ID")
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"session": req.Session, "reply": "from " + f.name, "answered": true,
+		})
+	})
+	mux.HandleFunc("/session/state", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			id := r.URL.Query().Get("session")
+			key := r.Header.Get("X-Workspace") + "\x00" + id
+			f.mu.Lock()
+			st, ok := f.state[key]
+			if ok && r.URL.Query().Get("evict") != "" {
+				delete(f.state, key)
+			}
+			f.mu.Unlock()
+			if !ok {
+				http.Error(w, "unknown session", http.StatusNotFound)
+				return
+			}
+			json.NewEncoder(w).Encode(map[string]interface{}{
+				"session": id, "turns": 1, "state": st,
+			})
+		case http.MethodPut, http.MethodPost:
+			var req struct {
+				Session string `json:"session"`
+				State   []byte `json:"state"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			key := r.Header.Get("X-Workspace") + "\x00" + req.Session
+			f.mu.Lock()
+			f.state[key] = req.State
+			f.imported[key] = req.State
+			f.mu.Unlock()
+			fmt.Fprint(w, `{"status":"imported"}`)
+		default:
+			http.Error(w, "bad method", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/admin/reload", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"version":"v-test"}`)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeReplica) chatCount(ws, session string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.chats[ws+"\x00"+session]
+}
+
+func (f *fakeReplica) stateOf(ws, session string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.state[ws+"\x00"+session]
+	return st, ok
+}
+
+func (f *fakeReplica) importedState(ws, session string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.imported[ws+"\x00"+session]
+	return st, ok
+}
+
+// testRouter builds a router over the fakes with health already probed.
+func testRouter(t *testing.T, fakes ...*fakeReplica) (*router, map[string]*fakeReplica) {
+	urls := make([]string, len(fakes))
+	byURL := make(map[string]*fakeReplica, len(fakes))
+	for i, f := range fakes {
+		urls[i] = f.srv.URL
+		byURL[f.srv.URL] = f
+	}
+	rt, err := newRouter(urls, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.checkHealth()
+	return rt, byURL
+}
+
+func chatVia(t *testing.T, h http.Handler, ws, session string) *httptest.ResponseRecorder {
+	t.Helper()
+	body := fmt.Sprintf(`{"session":%q,"message":"precautions for Aspirin"}`, session)
+	req := httptest.NewRequest(http.MethodPost, "/chat", bytes.NewReader([]byte(body)))
+	if ws != "" {
+		req.Header.Set("X-Workspace", ws)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestRouterPinsSessionsAndSpreadsLoad(t *testing.T) {
+	fakes := []*fakeReplica{newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")}
+	rt, byURL := testRouter(t, fakes...)
+	h := rt.Handler()
+
+	const sessions, turns = 48, 3
+	for i := 0; i < sessions; i++ {
+		for turn := 0; turn < turns; turn++ {
+			if rec := chatVia(t, h, "medical", fmt.Sprintf("pin%d", i)); rec.Code != http.StatusOK {
+				t.Fatalf("chat status = %d: %s", rec.Code, rec.Body)
+			}
+		}
+	}
+	used := 0
+	for _, f := range byURL {
+		touched := false
+		for i := 0; i < sessions; i++ {
+			n := f.chatCount("medical", fmt.Sprintf("pin%d", i))
+			if n != 0 && n != turns {
+				t.Fatalf("session pin%d split across backends: %s saw %d/%d turns", i, f.name, n, turns)
+			}
+			touched = touched || n > 0
+		}
+		if touched {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("all sessions landed on %d backend(s); consistent hashing should spread them", used)
+	}
+}
+
+func TestRouterMigratesSessionsOnMembershipChange(t *testing.T) {
+	a, b, c := newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")
+	c.ready.Store(false) // c joins later
+	rt, byURL := testRouter(t, a, b, c)
+	h := rt.Handler()
+
+	const sessions = 60
+	for i := 0; i < sessions; i++ {
+		chatVia(t, h, "", fmt.Sprintf("mig%d", i))
+	}
+
+	c.ready.Store(true)
+	rt.checkHealth()
+	if got := rt.rebalances.Value(); got == 0 {
+		t.Fatal("membership change did not count a rebalance")
+	}
+
+	for i := 0; i < sessions; i++ {
+		if rec := chatVia(t, h, "", fmt.Sprintf("mig%d", i)); rec.Code != http.StatusOK {
+			t.Fatalf("post-rebalance chat status = %d", rec.Code)
+		}
+	}
+
+	migrated := 0
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("mig%d", i)
+		imported, ok := c.importedState("", id)
+		if !ok {
+			continue
+		}
+		migrated++
+		want := []byte("state:" + id)
+		// The exported blob was minted by a or b on first chat.
+		if !bytes.HasPrefix(imported, want) {
+			t.Fatalf("session %s: imported state %q does not carry the original context", id, imported)
+		}
+		// Exactly one owner: the exporter evicted its copy.
+		for _, f := range byURL {
+			if f == c {
+				continue
+			}
+			if _, still := f.stateOf("", id); still {
+				t.Fatalf("session %s: old owner %s still holds state after handoff", id, f.name)
+			}
+		}
+	}
+	if migrated == 0 {
+		t.Fatal("no session migrated to the joining backend; expected roughly a third")
+	}
+	if got := rt.handoffs.With("migrated").Value(); got != uint64(migrated) {
+		t.Fatalf("handoffs{migrated} = %d, want %d", got, migrated)
+	}
+}
+
+func TestRouterSurvivesBackendLoss(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	rt, byURL := testRouter(t, a, b)
+	h := rt.Handler()
+
+	const sessions = 40
+	for i := 0; i < sessions; i++ {
+		chatVia(t, h, "", fmt.Sprintf("loss%d", i))
+	}
+	// Find which fake owns which sessions, then kill a.
+	a.ready.Store(false)
+	rt.checkHealth()
+
+	for i := 0; i < sessions; i++ {
+		if rec := chatVia(t, h, "", fmt.Sprintf("loss%d", i)); rec.Code != http.StatusOK {
+			t.Fatalf("chat after backend loss: status = %d", rec.Code)
+		}
+	}
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("loss%d", i)
+		for _, f := range byURL {
+			if f == a {
+				continue
+			}
+			if n := f.chatCount("", id); n == 0 && a.chatCount("", id) > 0 {
+				t.Fatalf("session %s: owned by dead backend and never re-routed", id)
+			}
+		}
+	}
+	if rt.handoffs.With("lost").Value() == 0 {
+		t.Fatal("losing a backend with live sessions must count lost handoffs")
+	}
+
+	// Metrics reflect the loss.
+	var buf bytes.Buffer
+	rt.reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "mdx_router_backends_healthy 1") {
+		t.Fatalf("metrics missing healthy-backend drop:\n%s", buf.String())
+	}
+}
+
+func TestRouterReadyzTracksBackends(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	a.ready.Store(false)
+	rt, _ := testRouter(t, a)
+	h := rt.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no healthy backends = %d, want 503", rec.Code)
+	}
+	if rec := chatVia(t, h, "", "s1"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("chat with no healthy backends = %d, want 503", rec.Code)
+	}
+
+	a.ready.Store(true)
+	rt.checkHealth()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz with a healthy backend = %d, want 200", rec.Code)
+	}
+}
+
+func TestRouterPropagatesRequestID(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	rt, _ := testRouter(t, a)
+	h := rt.Handler()
+
+	body := []byte(`{"session":"rid1","message":"hi"}`)
+	req := httptest.NewRequest(http.MethodPost, "/chat", bytes.NewReader(body))
+	req.Header.Set("X-Request-ID", "rid-from-client")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	a.mu.Lock()
+	got := a.lastRID
+	a.mu.Unlock()
+	if got != "rid-from-client" {
+		t.Fatalf("backend saw X-Request-ID %q, want the client's", got)
+	}
+}
+
+func TestRouterFansOutReload(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	rt, _ := testRouter(t, a, b)
+	h := rt.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload fan-out status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Reloads []struct {
+			Backend string `json:"backend"`
+			Status  int    `json:"status"`
+		} `json:"reloads"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Reloads) != 2 {
+		t.Fatalf("reload reached %d backends, want 2", len(resp.Reloads))
+	}
+	for _, r := range resp.Reloads {
+		if r.Status != http.StatusOK {
+			t.Fatalf("backend %s reload status = %d", r.Backend, r.Status)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package agent_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ontoconv/internal/agent"
+)
+
+// exportState pulls a session's dialogue snapshot off a replica via
+// GET /session/state, optionally evicting the local copy.
+func exportState(t *testing.T, ts *httptest.Server, session string, evict bool) agent.SessionStateResponse {
+	t.Helper()
+	url := ts.URL + "/session/state?session=" + session
+	if evict {
+		url += "&evict=1"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status %d", resp.StatusCode)
+	}
+	var out agent.SessionStateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// importState pushes an exported snapshot into a replica via
+// PUT /session/state.
+func importState(t *testing.T, ts *httptest.Server, session string, state []byte) {
+	t.Helper()
+	body, err := json.Marshal(agent.SessionStateRequest{Session: session, State: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/session/state", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("import status %d", resp.StatusCode)
+	}
+}
+
+// TestSessionMigratesAcrossReplicas is the cross-replica handoff
+// end-to-end: a multi-turn elicitation starts on replica A, is exported
+// mid-flow (with eviction, so A forgets it), imported into replica B,
+// and finishes there. Every remaining reply must be byte-identical to
+// the same conversation played against a single process — the restored
+// context carries the pending elicitation, the entity bindings, and the
+// follow-up ellipsis state.
+func TestSessionMigratesAcrossReplicas(t *testing.T) {
+	script := []string{
+		"show me drugs that treat psoriasis", // elicits the age group
+		"pediatric",                          // completes the request
+		"what about contraindications?",      // follow-up reuses the bindings
+	}
+	const migrateAfter = 1 // export mid-elicitation, before "pediatric"
+
+	// Control transcript: the whole conversation on one replica.
+	control := serverFixture(t)
+	var want []string
+	for _, msg := range script {
+		want = append(want, chat(t, control, "m1", msg).Reply)
+	}
+
+	replicaA := serverFixture(t)
+	replicaB := serverFixture(t)
+
+	var got []string
+	for i, msg := range script {
+		if i == migrateAfter {
+			exported := exportState(t, replicaA, "m1", true)
+			if exported.Turns != migrateAfter {
+				t.Fatalf("exported %d turns, want %d", exported.Turns, migrateAfter)
+			}
+			// Eviction means A no longer knows the session: a stray turn
+			// routed there would start a fresh conversation, not resume.
+			resp, err := http.Get(replicaA.URL + "/context?session=m1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("replica A still serves the evicted session (status %d)", resp.StatusCode)
+			}
+			importState(t, replicaB, "m1", exported.State)
+		}
+		replica := replicaA
+		if i >= migrateAfter {
+			replica = replicaB
+		}
+		got = append(got, chat(t, replica, "m1", msg).Reply)
+	}
+
+	for i := range script {
+		if got[i] != want[i] {
+			t.Fatalf("turn %d diverged after migration:\n  migrated: %q\n  control:  %q", i+1, got[i], want[i])
+		}
+	}
+
+	// The migrated session keeps flowing on B: one more turn that leans
+	// on the conversation context must still answer.
+	r := chat(t, replicaB, "m1", "precautions for Aspirin")
+	if r.Reply == "" || r.Reply == want[0] {
+		t.Fatalf("post-migration turn = %q", r.Reply)
+	}
+}
+
+// TestSessionImportRejectsGarbage pins the failure mode: an import with
+// a corrupt snapshot must 400 without creating a session.
+func TestSessionImportRejectsGarbage(t *testing.T) {
+	ts := serverFixture(t)
+	body, _ := json.Marshal(agent.SessionStateRequest{Session: "junk", State: []byte("not a snapshot")})
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/session/state", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage import status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/context?session=junk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("rejected import still created a session (status %d)", resp.StatusCode)
+	}
+}

@@ -7,9 +7,11 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ontoconv/internal/bundle"
+	"ontoconv/internal/dialogue"
 	"ontoconv/internal/obs"
 )
 
@@ -59,6 +61,8 @@ type sessionKey struct {
 //	             -> {"session":"s1","reply":"…","intent":"…","answered":true,"closed":false}
 //	POST /feedback  {"session":"s1","thumbs":"down"}
 //	POST /admin/reload   hot-swap to a fresh bundle (when a reloader is set)
+//	GET  /session/state?session=s1[&evict=1]   export dialogue state (handoff)
+//	PUT  /session/state  {"session":"s1","state":"…"}   import dialogue state
 //	GET  /context?session=s1
 //	GET  /trace?session=s1[&all=1]
 //	GET  /trace/slow     the K slowest turns with per-stage breakdowns
@@ -68,24 +72,34 @@ type sessionKey struct {
 //	GET  /healthz        liveness (the process answers HTTP)
 //	GET  /readyz         readiness (artifacts installed, agent serving)
 type Server struct {
-	agent     *Agent            // single-agent mode; nil in workspace mode
-	resolver  WorkspaceResolver // workspace mode; nil in single-agent mode
-	defaultWS string
+	agent    *Agent            // single-agent mode; nil in workspace mode
+	resolver WorkspaceResolver // workspace mode; nil in single-agent mode
+
+	// defaultWS is the tenant bare routes resolve to; atomic because every
+	// request reads it on the hot path.
+	defaultWS atomic.Pointer[string]
 
 	reg          *obs.Registry
 	httpRequests *obs.CounterVec
 	httpLatency  *obs.HistogramVec
 	httpInflight *obs.Gauge
 
-	// mu guards the session map and the per-workspace bookkeeping; each
-	// Session carries its own lock, so turns in distinct sessions proceed
-	// concurrently.
+	// sessions is striped: a turn's session fetch locks only the shard its
+	// (workspace, session) key hashes to, so concurrent chatters never
+	// contend on one global map mutex. Each Session additionally carries
+	// its own lock serializing turns within that conversation.
+	sessions *sessionStore
+	// sweepCursor round-robins the background sweeper over shards so each
+	// tick pays for one shard, not the whole store.
+	sweepCursor atomic.Uint64
+
+	// mu guards the per-workspace bookkeeping and sweep configuration —
+	// cold paths only (session create/evict, admin); never a per-turn
+	// lookup.
 	mu        sync.Mutex
-	sessions  map[sessionKey]*Session
 	liveWS    map[string]int      // resident session count per workspace
 	wsMetrics map[string]*Metrics // cached per-tenant bundles; survive eviction
 	idleTTL   time.Duration
-	lastSweep time.Time
 	now       func() time.Time
 
 	// reloadMu serializes single-agent reloads; reloader produces the next
@@ -105,7 +119,7 @@ func NewServer(a *Agent) *Server {
 	s.httpRequests = a.metrics.HTTPRequests
 	s.httpLatency = a.metrics.HTTPLatency
 	s.httpInflight = a.metrics.HTTPInflight
-	s.wsMetrics[s.defaultWS] = a.metrics
+	s.wsMetrics[s.defaultWorkspace()] = a.metrics
 	return s
 }
 
@@ -122,14 +136,16 @@ func NewWorkspaceServer(r WorkspaceResolver, reg *obs.Registry) *Server {
 }
 
 func newServer() *Server {
-	return &Server{
-		defaultWS: DefaultWorkspace,
-		sessions:  make(map[sessionKey]*Session),
+	s := &Server{
+		sessions:  newSessionStore(DefaultSessionShards),
 		liveWS:    make(map[string]int),
 		wsMetrics: make(map[string]*Metrics),
 		idleTTL:   DefaultIdleTTL,
 		now:       time.Now,
 	}
+	ws := DefaultWorkspace
+	s.defaultWS.Store(&ws)
+	return s
 }
 
 // SetIdleTTL changes the max-idle session lifetime; d <= 0 disables
@@ -147,8 +163,8 @@ func (s *Server) SetDefaultWorkspace(name string) {
 		// Single-agent mode: the one agent follows the default name.
 		s.wsMetrics = map[string]*Metrics{name: s.agent.metrics}
 	}
-	s.defaultWS = name
 	s.mu.Unlock()
+	s.defaultWS.Store(&name)
 }
 
 // SetClock injects the sweeper's time source (tests).
@@ -160,14 +176,18 @@ func (s *Server) SetClock(now func() time.Time) {
 
 // StartSweeper runs the idle-session sweep from a background ticker so
 // eviction no longer depends on /metrics scrapes, and returns a stop
-// function (idempotent). every <= 0 picks a quarter of the idle TTL.
+// function (idempotent). Each tick sweeps a single shard (round-robin),
+// amortizing the pass: no tick ever holds more than one shard lock, and a
+// session idle past the TTL is gone within TTL + shards×every of its last
+// turn. every <= 0 picks a quarter of the idle TTL spread across the
+// shards, preserving the old full-store cadence.
 func (s *Server) StartSweeper(every time.Duration) (stop func()) {
 	if every <= 0 {
 		s.mu.Lock()
-		every = s.idleTTL / 4
+		every = s.idleTTL / 4 / time.Duration(s.sessions.shardCount())
 		s.mu.Unlock()
-		if every <= 0 {
-			every = time.Minute
+		if every < time.Second {
+			every = time.Second
 		}
 	}
 	done := make(chan struct{})
@@ -178,7 +198,7 @@ func (s *Server) StartSweeper(every time.Duration) (stop func()) {
 		for {
 			select {
 			case <-t.C:
-				s.Sweep()
+				s.sweepNextShard()
 			case <-done:
 				return
 			}
@@ -187,11 +207,19 @@ func (s *Server) StartSweeper(every time.Duration) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
-// defaultWorkspace returns the bare-route tenant under the lock.
-func (s *Server) defaultWorkspace() string {
+// sweepNextShard evicts idle sessions from the next shard in round-robin
+// order (one background-sweeper tick).
+func (s *Server) sweepNextShard() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.defaultWS
+	now, ttl := s.now(), s.idleTTL
+	s.mu.Unlock()
+	i := int(s.sweepCursor.Add(1) - 1)
+	s.noteEvicted(s.sessions.sweepShard(i, now, ttl), "idle")
+}
+
+// defaultWorkspace returns the bare-route tenant.
+func (s *Server) defaultWorkspace() string {
+	return *s.defaultWS.Load()
 }
 
 // bareWorkspace picks the tenant for an un-prefixed route: the
@@ -250,13 +278,14 @@ type wsHandler func(w http.ResponseWriter, r *http.Request, ws string)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	routes := map[string]wsHandler{
-		"chat":         s.handleChat,
-		"feedback":     s.handleFeedback,
-		"context":      s.handleContext,
-		"trace":        s.handleTrace,
-		"trace/slow":   s.handleTraceSlow,
-		"admin/reload": s.handleReload,
-		"readyz":       s.handleReady,
+		"chat":          s.handleChat,
+		"feedback":      s.handleFeedback,
+		"context":       s.handleContext,
+		"session/state": s.handleSessionState,
+		"trace":         s.handleTrace,
+		"trace/slow":    s.handleTraceSlow,
+		"admin/reload":  s.handleReload,
+		"readyz":        s.handleReady,
 	}
 	for sub, h := range routes {
 		h := h
@@ -482,89 +511,71 @@ type FeedbackRequest struct {
 	Thumbs  string `json:"thumbs"` // "up" or "down"
 }
 
-// session returns (creating if needed) the tenant's named session, and
-// opportunistically sweeps idle ones.
+// session returns (creating if needed) the tenant's named session. Only
+// the key's shard is locked; the server mutex is taken solely on create,
+// for workspace bookkeeping.
 func (s *Server) session(ws, id string) *Session {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweepLocked(s.now())
-	key := sessionKey{ws: ws, id: id}
-	sess, ok := s.sessions[key]
-	if !ok {
-		sess = NewSession()
-		s.sessions[key] = sess
-		s.liveWS[ws]++
-		if m := s.wsMetrics[ws]; m != nil {
-			m.SessionsOpened.Inc()
-			m.SessionsLive.Set(int64(s.liveWS[ws]))
-		}
+	sess, created := s.sessions.getOrCreate(sessionKey{ws: ws, id: id})
+	if created {
+		s.noteOpened(ws)
 	}
 	return sess
 }
 
-// lookup returns the tenant's named session without creating it.
-func (s *Server) lookup(ws, id string) (*Session, bool) {
+// noteOpened records a session birth against its workspace.
+func (s *Server) noteOpened(ws string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, ok := s.sessions[sessionKey{ws: ws, id: id}]
-	return sess, ok
+	s.liveWS[ws]++
+	if m := s.wsMetrics[ws]; m != nil {
+		m.SessionsOpened.Inc()
+		m.SessionsLive.Set(int64(s.liveWS[ws]))
+	}
+}
+
+// lookup returns the tenant's named session without creating it.
+func (s *Server) lookup(ws, id string) (*Session, bool) {
+	return s.sessions.get(sessionKey{ws: ws, id: id})
 }
 
 // drop removes a session and records the eviction reason.
 func (s *Server) drop(ws, id, reason string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	key := sessionKey{ws: ws, id: id}
-	if _, ok := s.sessions[key]; !ok {
-		return
-	}
-	delete(s.sessions, key)
-	s.liveWS[ws]--
-	if m := s.wsMetrics[ws]; m != nil {
-		m.SessionsEvicted.With(reason).Inc()
-		m.SessionsLive.Set(int64(s.liveWS[ws]))
-	}
-	if s.liveWS[ws] == 0 {
-		delete(s.liveWS, ws)
+	if s.sessions.remove(sessionKey{ws: ws, id: id}) {
+		s.noteEvicted([]sessionKey{{ws: ws, id: id}}, reason)
 	}
 }
 
-// Sweep evicts idle sessions now, bypassing the throttle (called by the
-// background sweeper, the /metrics janitor path, and tests).
-func (s *Server) Sweep() {
+// noteEvicted records session deaths against their workspaces.
+func (s *Server) noteEvicted(keys []sessionKey, reason string) {
+	if len(keys) == 0 {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.lastSweep = time.Time{} // force
-	s.sweepLocked(s.now())
-}
-
-// sweepLocked evicts sessions idle past the TTL. Throttled to at most one
-// pass per quarter-TTL so per-request overhead stays negligible.
-func (s *Server) sweepLocked(now time.Time) {
-	if s.idleTTL <= 0 {
-		return
+	byWS := make(map[string]int)
+	for _, key := range keys {
+		byWS[key.ws]++
 	}
-	if now.Sub(s.lastSweep) < s.idleTTL/4 {
-		return
-	}
-	s.lastSweep = now
-	evicted := make(map[string]int)
-	for key, sess := range s.sessions {
-		if now.Sub(sess.LastActive()) > s.idleTTL {
-			delete(s.sessions, key)
-			s.liveWS[key.ws]--
-			evicted[key.ws]++
-		}
-	}
-	for ws, n := range evicted {
+	for ws, n := range byWS {
+		s.liveWS[ws] -= n
 		if m := s.wsMetrics[ws]; m != nil {
-			m.SessionsEvicted.With("idle").Add(uint64(n))
+			m.SessionsEvicted.With(reason).Add(uint64(n))
 			m.SessionsLive.Set(int64(s.liveWS[ws]))
 		}
-		if s.liveWS[ws] == 0 {
+		if s.liveWS[ws] <= 0 {
 			delete(s.liveWS, ws)
 		}
 	}
+}
+
+// Sweep evicts every idle session now, walking all shards one lock at a
+// time (the /metrics janitor path and tests; the background sweeper
+// amortizes the same work via sweepNextShard).
+func (s *Server) Sweep() {
+	s.mu.Lock()
+	now, ttl := s.now(), s.idleTTL
+	s.mu.Unlock()
+	s.noteEvicted(s.sessions.sweepAll(now, ttl), "idle")
 }
 
 func (s *Server) handleChat(w http.ResponseWriter, r *http.Request, ws string) {
@@ -670,6 +681,87 @@ func (s *Server) handleContext(w http.ResponseWriter, r *http.Request, ws string
 	}
 	sess.mu.Unlock()
 	writeJSON(w, payload)
+}
+
+// SessionStateResponse is the GET /session/state response body: the
+// session's full dialogue context as an opaque versioned record (the
+// internal/dialogue snapshot format, base64 on the wire), plus the turn
+// count for operator visibility.
+type SessionStateResponse struct {
+	Session   string `json:"session"`
+	Turns     int    `json:"turns"`
+	State     []byte `json:"state"`
+	Workspace string `json:"workspace,omitempty"`
+}
+
+// SessionStateRequest is the PUT /session/state request body.
+type SessionStateRequest struct {
+	Session string `json:"session"`
+	State   []byte `json:"state"`
+}
+
+// handleSessionState exports (GET) or imports (PUT/POST) a session's
+// dialogue state — the handoff primitive cmd/mdxrouter uses when a ring
+// change moves a session to another replica. GET with ?evict=1 atomically
+// exports and drops the local copy so exactly one replica owns a session
+// at a time; the importer restores the conversation context and serves
+// the next turn as if the whole dialogue had happened locally. Turn
+// transcripts and traces stay on the exporting replica: later turns need
+// state, not history.
+func (s *Server) handleSessionState(w http.ResponseWriter, r *http.Request, ws string) {
+	switch r.Method {
+	case http.MethodGet:
+		id := r.URL.Query().Get("session")
+		obs.LogField(r, "session", id)
+		sess, ok := s.lookup(ws, id)
+		if !ok {
+			http.Error(w, "unknown session", http.StatusNotFound)
+			return
+		}
+		sess.mu.Lock()
+		state := sess.Ctx.Snapshot()
+		turns := len(sess.Turns)
+		sess.mu.Unlock()
+		if r.URL.Query().Get("evict") != "" {
+			s.drop(ws, id, "exported")
+		}
+		resp := SessionStateResponse{Session: id, Turns: turns, State: state}
+		if ws != s.defaultWorkspace() {
+			resp.Workspace = ws
+		}
+		writeJSON(w, resp)
+	case http.MethodPut, http.MethodPost:
+		var req SessionStateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Session == "" {
+			http.Error(w, "session is required", http.StatusBadRequest)
+			return
+		}
+		obs.LogField(r, "session", req.Session)
+		// Resolving the agent validates the tenant (404 for unknown
+		// workspaces) and, in workspace mode, warms it so the imported
+		// session's next turn doesn't pay the cold start.
+		if _, err := s.agentFor(ws); err != nil {
+			workspaceError(w, err)
+			return
+		}
+		ctx, err := dialogue.Restore(req.State)
+		if err != nil {
+			http.Error(w, "bad state: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		sess := NewSession()
+		sess.Ctx = ctx
+		if !s.sessions.put(sessionKey{ws: ws, id: req.Session}, sess) {
+			s.noteOpened(ws)
+		}
+		writeJSON(w, map[string]string{"session": req.Session, "status": "imported"})
+	default:
+		http.Error(w, "GET, PUT, or POST required", http.StatusMethodNotAllowed)
+	}
 }
 
 // TraceResponse is the /trace response body: the per-stage execution

@@ -1,0 +1,159 @@
+package agent
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSessionShards is the session store's shard count. Power of two so
+// the shard index is a mask of the key hash; 64 keeps per-shard maps small
+// at 10k+ live sessions while staying far above any realistic core count,
+// so two concurrent turns almost never contend on the same shard lock.
+const DefaultSessionShards = 64
+
+// sessionShard is one stripe of the session store: a mutex and the slice
+// of the key space that hashes to it. Padded to a cache line so adjacent
+// shards' locks never false-share.
+type sessionShard struct {
+	mu sync.Mutex
+	m  map[sessionKey]*Session
+	_  [40]byte
+}
+
+// sessionStore is a striped session map: lookups lock only the shard the
+// key hashes to (FNV-1a over workspace and session ID), so sessions in
+// different shards proceed with zero lock contention — the global session
+// mutex this replaces serialized every turn's session fetch.
+type sessionStore struct {
+	mask   uint64
+	shards []sessionShard
+}
+
+// newSessionStore builds a store with the given shard count rounded up to
+// a power of two (minimum 1).
+func newSessionStore(shards int) *sessionStore {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	st := &sessionStore{mask: uint64(n - 1), shards: make([]sessionShard, n)}
+	for i := range st.shards {
+		st.shards[i].m = make(map[sessionKey]*Session)
+	}
+	return st
+}
+
+// fnv1a hashes (workspace, session) with a 0x00 separator so the pair
+// ("ab","c") never collides with ("a","bc").
+func fnv1a(ws, id string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(ws); i++ {
+		h ^= uint64(ws[i])
+		h *= prime64
+	}
+	h *= prime64 // the separator's h ^= 0 is a no-op; the multiply is not
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return h
+}
+
+// shard returns the stripe the key lives in.
+func (st *sessionStore) shard(key sessionKey) *sessionShard {
+	return &st.shards[fnv1a(key.ws, key.id)&st.mask]
+}
+
+// shardCount returns the number of stripes.
+func (st *sessionStore) shardCount() int { return len(st.shards) }
+
+// get returns the session without creating it.
+func (st *sessionStore) get(key sessionKey) (*Session, bool) {
+	sh := st.shard(key)
+	sh.mu.Lock()
+	sess, ok := sh.m[key]
+	sh.mu.Unlock()
+	return sess, ok
+}
+
+// getOrCreate returns the session, creating it if absent; created reports
+// whether this call inserted it.
+func (st *sessionStore) getOrCreate(key sessionKey) (sess *Session, created bool) {
+	sh := st.shard(key)
+	sh.mu.Lock()
+	sess, ok := sh.m[key]
+	if !ok {
+		sess = NewSession()
+		sh.m[key] = sess
+		created = true
+	}
+	sh.mu.Unlock()
+	return sess, created
+}
+
+// put installs a session under the key (the import path), returning
+// whether an existing one was replaced.
+func (st *sessionStore) put(key sessionKey, sess *Session) (replaced bool) {
+	sh := st.shard(key)
+	sh.mu.Lock()
+	_, replaced = sh.m[key]
+	sh.m[key] = sess
+	sh.mu.Unlock()
+	return replaced
+}
+
+// remove deletes the key, reporting whether it was present.
+func (st *sessionStore) remove(key sessionKey) bool {
+	sh := st.shard(key)
+	sh.mu.Lock()
+	_, ok := sh.m[key]
+	if ok {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// len counts live sessions across all shards.
+func (st *sessionStore) len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// sweepShard evicts sessions in shard i idle past the TTL and returns
+// their keys (for per-workspace bookkeeping). Only shard i's lock is
+// taken: the background sweeper walks one shard per tick, so a sweep pass
+// never stalls lookups in the other shards.
+func (st *sessionStore) sweepShard(i int, now time.Time, ttl time.Duration) []sessionKey {
+	if ttl <= 0 {
+		return nil
+	}
+	sh := &st.shards[i&int(st.mask)]
+	var evicted []sessionKey
+	sh.mu.Lock()
+	for key, sess := range sh.m {
+		if now.Sub(sess.LastActive()) > ttl {
+			delete(sh.m, key)
+			evicted = append(evicted, key)
+		}
+	}
+	sh.mu.Unlock()
+	return evicted
+}
+
+// sweepAll evicts idle sessions in every shard (one shard lock at a time).
+func (st *sessionStore) sweepAll(now time.Time, ttl time.Duration) []sessionKey {
+	var evicted []sessionKey
+	for i := range st.shards {
+		evicted = append(evicted, st.sweepShard(i, now, ttl)...)
+	}
+	return evicted
+}

@@ -1,0 +1,77 @@
+package agent
+
+import (
+	goruntime "runtime" // runtime is this package's generation type
+	"sync"
+	"testing"
+)
+
+// globalSessionStore is the pre-sharding design kept as the benchmark
+// baseline: one mutex in front of one map, so every concurrent chatter's
+// session fetch serializes on the same lock.
+type globalSessionStore struct {
+	mu sync.Mutex
+	m  map[sessionKey]*Session
+}
+
+func (g *globalSessionStore) get(key sessionKey) (*Session, bool) {
+	g.mu.Lock()
+	sess, ok := g.m[key]
+	g.mu.Unlock()
+	return sess, ok
+}
+
+// benchSessions pre-populates 10k+ live sessions across three tenants —
+// the regime the striped store is built for.
+const benchSessions = 10_000
+
+func benchKeys() []sessionKey {
+	tenants := []string{"default", "medical", "retail"}
+	keys := make([]sessionKey, benchSessions)
+	for i := range keys {
+		keys[i] = sessionKey{ws: tenants[i%len(tenants)], id: "sess-" + itoa(i)}
+	}
+	return keys
+}
+
+// benchmarkLookup hammers the lookup path from 16 concurrent chatters:
+// fetch a pseudo-random live session and stamp its activity, which is
+// exactly what Server.session does per turn for an existing session.
+func benchmarkLookup(b *testing.B, lookup func(key sessionKey) (*Session, bool)) {
+	keys := benchKeys()
+	const chatters = 16
+	prev := goruntime.GOMAXPROCS(chatters)
+	defer goruntime.GOMAXPROCS(prev)
+	b.SetParallelism(1) // RunParallel spawns GOMAXPROCS×parallelism goroutines
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Cheap per-goroutine xorshift so the RNG itself never contends.
+		x := uint64(0x9E3779B97F4A7C15)
+		for pb.Next() {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			sess, ok := lookup(keys[x%benchSessions])
+			if !ok {
+				b.Fatal("benchmark key missing")
+			}
+			sess.Touch()
+		}
+	})
+}
+
+func BenchmarkSessionLookupStriped(b *testing.B) {
+	st := newSessionStore(DefaultSessionShards)
+	for _, key := range benchKeys() {
+		st.getOrCreate(key)
+	}
+	benchmarkLookup(b, st.get)
+}
+
+func BenchmarkSessionLookupGlobal(b *testing.B) {
+	g := &globalSessionStore{m: make(map[sessionKey]*Session)}
+	for _, key := range benchKeys() {
+		g.m[key] = NewSession()
+	}
+	benchmarkLookup(b, g.get)
+}

@@ -1,0 +1,117 @@
+package agent
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSessionStoreRoundsShardsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {65, 128},
+	} {
+		if got := newSessionStore(tc.in).shardCount(); got != tc.want {
+			t.Errorf("newSessionStore(%d).shardCount() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSessionStoreBasics(t *testing.T) {
+	st := newSessionStore(8)
+	key := sessionKey{ws: "default", id: "s1"}
+
+	if _, ok := st.get(key); ok {
+		t.Fatal("get on empty store returned a session")
+	}
+	sess, created := st.getOrCreate(key)
+	if !created || sess == nil {
+		t.Fatalf("getOrCreate = (%v, %v), want fresh session", sess, created)
+	}
+	again, created := st.getOrCreate(key)
+	if created || again != sess {
+		t.Fatal("second getOrCreate did not return the existing session")
+	}
+	if got, ok := st.get(key); !ok || got != sess {
+		t.Fatal("get did not find the created session")
+	}
+	if st.len() != 1 {
+		t.Fatalf("len = %d, want 1", st.len())
+	}
+
+	other := NewSession()
+	if replaced := st.put(key, other); !replaced {
+		t.Fatal("put over an existing key reported no replacement")
+	}
+	if got, _ := st.get(key); got != other {
+		t.Fatal("put did not install the new session")
+	}
+	if !st.remove(key) {
+		t.Fatal("remove reported the key absent")
+	}
+	if st.remove(key) {
+		t.Fatal("second remove reported the key present")
+	}
+	if st.len() != 0 {
+		t.Fatalf("len after remove = %d, want 0", st.len())
+	}
+}
+
+func TestSessionStoreKeySeparation(t *testing.T) {
+	// ("ab","c") and ("a","bc") are distinct keys and distinct hashes.
+	if fnv1a("ab", "c") == fnv1a("a", "bc") {
+		t.Fatal("fnv1a collides across the workspace/id boundary")
+	}
+	st := newSessionStore(4)
+	a, _ := st.getOrCreate(sessionKey{ws: "ab", id: "c"})
+	b, _ := st.getOrCreate(sessionKey{ws: "a", id: "bc"})
+	if a == b {
+		t.Fatal("distinct (workspace, id) pairs shared a session")
+	}
+}
+
+func TestSweepShardIsShardLocal(t *testing.T) {
+	st := newSessionStore(4)
+	now := time.Now()
+	// Pin an expired session into every shard by brute-forcing IDs.
+	perShard := make(map[int]sessionKey)
+	for i := 0; len(perShard) < st.shardCount(); i++ {
+		key := sessionKey{ws: "default", id: "s" + itoa(i)}
+		shard := int(fnv1a(key.ws, key.id) & st.mask)
+		if _, ok := perShard[shard]; ok {
+			continue
+		}
+		sess, _ := st.getOrCreate(key)
+		sess.lastActive.Store(now.Add(-time.Hour).UnixNano())
+		perShard[shard] = key
+	}
+
+	evicted := st.sweepShard(2, now, time.Minute)
+	if len(evicted) != 1 || evicted[0] != perShard[2] {
+		t.Fatalf("sweepShard(2) evicted %v, want exactly %v", evicted, perShard[2])
+	}
+	if st.len() != st.shardCount()-1 {
+		t.Fatalf("len after one-shard sweep = %d, want %d", st.len(), st.shardCount()-1)
+	}
+	// Index wraps by mask, so a cursor larger than the shard count is fine.
+	if got := st.sweepShard(2+st.shardCount(), now, time.Minute); len(got) != 0 {
+		t.Fatalf("wrapped sweep of the same shard evicted %v again", got)
+	}
+
+	if rest := st.sweepAll(now, time.Minute); len(rest) != st.shardCount()-1 {
+		t.Fatalf("sweepAll evicted %d, want %d", len(rest), st.shardCount()-1)
+	}
+	if st.sweepAll(now, 0) != nil {
+		t.Fatal("ttl <= 0 must disable eviction")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,6 +1,7 @@
 package agent_test
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -61,6 +62,70 @@ func TestBackgroundSweeperEvictsIdleSessions(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("background sweeper never evicted the idle session (no /metrics scrape issued)")
+}
+
+// TestAmortizedSweepEvictsWithinBound proves the one-shard-per-tick
+// sweeper's liveness bound: with sessions spread across many shards, every
+// idle session is evicted within TTL + shards×interval of going idle (the
+// cursor needs at most one full lap). The old design swept the whole map
+// under one lock per tick; the amortized design must not trade that for
+// sessions that lingeringly survive.
+func TestAmortizedSweepEvictsWithinBound(t *testing.T) {
+	srv := agent.NewServer(fixture(t))
+	srv.SetIdleTTL(time.Minute)
+
+	var mu sync.Mutex
+	now := time.Now()
+	srv.SetClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Enough sessions to land in many distinct shards.
+	const n = 32
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("amort%d", i)
+		resp, err := http.Post(ts.URL+"/chat", "application/json",
+			strings.NewReader(`{"session":"`+id+`","message":"precautions for Aspirin"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	mu.Lock()
+	now = now.Add(2 * time.Minute) // all n sessions are now idle past TTL
+	mu.Unlock()
+
+	const interval = 2 * time.Millisecond
+	start := time.Now()
+	stop := srv.StartSweeper(interval)
+	defer stop()
+
+	// Liveness bound: the TTL is already exceeded, so a full cursor lap —
+	// shards×interval — must clear everything. Generous slack for
+	// scheduling noise on loaded CI machines.
+	bound := time.Duration(agent.DefaultSessionShards)*interval*4 + 2*time.Second
+	for {
+		alive := 0
+		for i := 0; i < n; i++ {
+			if getStatus(t, fmt.Sprintf("%s/context?session=amort%d", ts.URL, i)) == http.StatusOK {
+				alive++
+			}
+		}
+		if alive == 0 {
+			return
+		}
+		if time.Since(start) > bound {
+			t.Fatalf("%d/%d idle sessions still alive after %v (bound %v = shards×interval with slack)",
+				alive, n, time.Since(start), bound)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 func getStatus(t *testing.T, url string) int {

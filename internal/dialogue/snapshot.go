@@ -1,0 +1,242 @@
+package dialogue
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Snapshot format: dialogue state is small and fully explicit — a handful
+// of entity bindings, the active intent, a pending proposal or choice, the
+// repair state — so it serializes into a compact, versioned byte record
+// that shards and replicas can hand to each other. The encoding is
+// deterministic (map entries sorted by key) and self-delimiting, with a
+// byte-identical round-trip guarantee: Restore(Snapshot(c)).Snapshot() ==
+// Snapshot(c), and a restored context drives subsequent turns exactly as
+// the original would.
+//
+// Layout (all integers unsigned varints, all strings length-prefixed):
+//
+//	magic "OCDS"            | format tag
+//	version byte            | SnapshotVersion
+//	turn                    | Context.Turn
+//	intent, lastResponse    | strings
+//	flags byte              | bit0 closed, bit1 proposal present, bit2 choice present
+//	bindings: n, then n × (entity, value, turn) sorted by entity
+//	proposal (if present): intent, alternatives (n + strings, order kept),
+//	                       assume (n + key/value pairs sorted by key)
+//	choice (if present):   entity, candidates (n + strings, order kept)
+//
+// Trailing bytes, truncation, or an unknown version are errors: a record
+// either restores exactly or not at all.
+
+// SnapshotVersion is the current snapshot format version. Restore rejects
+// records written by a future format.
+const SnapshotVersion = 1
+
+// snapshotMagic tags a byte record as a dialogue-context snapshot.
+const snapshotMagic = "OCDS"
+
+const (
+	flagClosed   = 1 << 0
+	flagProposal = 1 << 1
+	flagChoice   = 1 << 2
+)
+
+// Snapshot serializes the full conversation context. The result is
+// deterministic: two contexts with equal state produce identical bytes.
+func (c *Context) Snapshot() []byte {
+	// Typical contexts are a few bindings and short strings; 256 bytes
+	// avoids regrowth without padding the record.
+	buf := make([]byte, 0, 256)
+	buf = append(buf, snapshotMagic...)
+	buf = append(buf, SnapshotVersion)
+	buf = binary.AppendUvarint(buf, uint64(c.Turn))
+	buf = appendString(buf, c.Intent)
+	buf = appendString(buf, c.LastResponse)
+	var flags byte
+	if c.Closed {
+		flags |= flagClosed
+	}
+	if c.Proposal != nil {
+		flags |= flagProposal
+	}
+	if c.Choice != nil {
+		flags |= flagChoice
+	}
+	buf = append(buf, flags)
+
+	ents := make([]string, 0, len(c.ents))
+	for e := range c.ents {
+		ents = append(ents, e)
+	}
+	sort.Strings(ents)
+	buf = binary.AppendUvarint(buf, uint64(len(ents)))
+	for _, e := range ents {
+		b := c.ents[e]
+		buf = appendString(buf, b.Entity)
+		buf = appendString(buf, b.Value)
+		buf = binary.AppendUvarint(buf, uint64(b.Turn))
+	}
+
+	if p := c.Proposal; p != nil {
+		buf = appendString(buf, p.Intent)
+		buf = binary.AppendUvarint(buf, uint64(len(p.Alternatives)))
+		for _, alt := range p.Alternatives {
+			buf = appendString(buf, alt)
+		}
+		keys := make([]string, 0, len(p.Assume))
+		for k := range p.Assume {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf = binary.AppendUvarint(buf, uint64(len(keys)))
+		for _, k := range keys {
+			buf = appendString(buf, k)
+			buf = appendString(buf, p.Assume[k])
+		}
+	}
+
+	if ch := c.Choice; ch != nil {
+		buf = appendString(buf, ch.Entity)
+		buf = binary.AppendUvarint(buf, uint64(len(ch.Candidates)))
+		for _, cand := range ch.Candidates {
+			buf = appendString(buf, cand)
+		}
+	}
+	return buf
+}
+
+// Restore deserializes a snapshot into a fresh Context. The record must
+// parse completely: truncated, trailing, or version-mismatched input is
+// rejected, never partially applied.
+func Restore(data []byte) (*Context, error) {
+	d := &decoder{data: data}
+	if string(d.bytes(len(snapshotMagic))) != snapshotMagic {
+		return nil, fmt.Errorf("dialogue: not a context snapshot")
+	}
+	if v := d.byte(); d.err == nil && v != SnapshotVersion {
+		return nil, fmt.Errorf("dialogue: unsupported snapshot version %d (want %d)", v, SnapshotVersion)
+	}
+	c := NewContext()
+	c.Turn = int(d.uvarint())
+	c.Intent = d.string()
+	c.LastResponse = d.string()
+	flags := d.byte()
+	c.Closed = flags&flagClosed != 0
+
+	n := d.count()
+	for i := 0; i < n && d.err == nil; i++ {
+		entity := d.string()
+		value := d.string()
+		turn := int(d.uvarint())
+		c.ents[entity] = Binding{Entity: entity, Value: value, Turn: turn}
+	}
+
+	if flags&flagProposal != 0 {
+		p := &Proposal{Intent: d.string(), Assume: map[string]string{}}
+		nAlt := d.count()
+		for i := 0; i < nAlt && d.err == nil; i++ {
+			p.Alternatives = append(p.Alternatives, d.string())
+		}
+		nAssume := d.count()
+		for i := 0; i < nAssume && d.err == nil; i++ {
+			k := d.string()
+			p.Assume[k] = d.string()
+		}
+		c.Proposal = p
+	}
+
+	if flags&flagChoice != 0 {
+		ch := &Choice{Entity: d.string()}
+		nCand := d.count()
+		for i := 0; i < nCand && d.err == nil; i++ {
+			ch.Candidates = append(ch.Candidates, d.string())
+		}
+		c.Choice = ch
+	}
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("dialogue: snapshot has %d trailing bytes", len(d.data)-d.pos)
+	}
+	return c, nil
+}
+
+// appendString appends a varint length prefix and the string bytes.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decoder is a cursor over a snapshot record; the first error sticks and
+// every later read returns zero values.
+type decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *decoder) fail(format string, args ...interface{}) {
+	if d.err == nil {
+		d.err = fmt.Errorf("dialogue: "+format, args...)
+	}
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.pos+n > len(d.data) {
+		d.fail("snapshot truncated at byte %d", d.pos)
+		return nil
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+func (d *decoder) byte() byte {
+	b := d.bytes(1)
+	if len(b) != 1 {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("snapshot has a malformed varint at byte %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// count reads a collection length and bounds it by the bytes remaining, so
+// a corrupt length cannot allocate unboundedly.
+func (d *decoder) count() int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.data)-d.pos) {
+		d.fail("snapshot count %d exceeds remaining %d bytes", v, len(d.data)-d.pos)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) string() string {
+	n := d.count()
+	if d.err != nil {
+		return ""
+	}
+	return string(d.bytes(n))
+}

@@ -1,0 +1,217 @@
+package dialogue
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// fullContext builds a context exercising every serialized field.
+func fullContext() *Context {
+	c := NewContext()
+	c.Turn = 7
+	c.Intent = "Drug Dosage for Condition"
+	c.LastResponse = "Adult or pediatric?"
+	c.Closed = false
+	c.ents["Drug"] = Binding{Entity: "Drug", Value: "Aspirin", Turn: 3}
+	c.ents["Condition"] = Binding{Entity: "Condition", Value: "Psoriasis", Turn: 5}
+	c.ents["AgeGroup"] = Binding{Entity: "AgeGroup", Value: "Adult", Turn: 7}
+	c.Proposal = &Proposal{
+		Intent:       "Precautions of Drug",
+		Alternatives: []string{"Uses of Drug", "Adverse Effects of Drug"},
+		Assume:       map[string]string{"Drug": "Benztropine Mesylate"},
+	}
+	c.Choice = &Choice{Entity: "Drug", Candidates: []string{"Calcium Carbonate", "Calcium Citrate"}}
+	return c
+}
+
+func TestSnapshotRoundTripByteIdentical(t *testing.T) {
+	cases := map[string]*Context{
+		"empty": NewContext(),
+		"full":  fullContext(),
+		"closed": func() *Context {
+			c := NewContext()
+			c.Turn = 2
+			c.Closed = true
+			c.LastResponse = "Thank you for using Micromedex. Goodbye."
+			return c
+		}(),
+	}
+	for name, c := range cases {
+		snap := c.Snapshot()
+		restored, err := Restore(snap)
+		if err != nil {
+			t.Fatalf("%s: Restore: %v", name, err)
+		}
+		again := restored.Snapshot()
+		if !bytes.Equal(snap, again) {
+			t.Fatalf("%s: round trip not byte-identical:\n %x\n %x", name, snap, again)
+		}
+		if !reflect.DeepEqual(normalize(c), normalize(restored)) {
+			t.Fatalf("%s: restored context differs:\n%+v\n%+v", name, c, restored)
+		}
+	}
+}
+
+// normalize maps a context to a comparable shape (nil and empty maps
+// unified).
+func normalize(c *Context) map[string]interface{} {
+	m := map[string]interface{}{
+		"turn":   c.Turn,
+		"intent": c.Intent,
+		"last":   c.LastResponse,
+		"closed": c.Closed,
+		"ents":   c.Bindings(),
+		"turns":  map[string]int{},
+	}
+	for e, b := range c.ents {
+		m["turns"].(map[string]int)[e] = b.Turn
+	}
+	if c.Proposal != nil {
+		assume := map[string]string{}
+		for k, v := range c.Proposal.Assume {
+			assume[k] = v
+		}
+		m["proposal"] = []interface{}{c.Proposal.Intent, append([]string{}, c.Proposal.Alternatives...), assume}
+	}
+	if c.Choice != nil {
+		m["choice"] = []interface{}{c.Choice.Entity, append([]string{}, c.Choice.Candidates...)}
+	}
+	return m
+}
+
+// TestSnapshotDeterministicAcrossInsertionOrder proves the encoding does
+// not depend on map insertion order.
+func TestSnapshotDeterministicAcrossInsertionOrder(t *testing.T) {
+	mk := func(order []string) *Context {
+		c := NewContext()
+		c.Turn = 4
+		for i, e := range order {
+			c.ents[e] = Binding{Entity: e, Value: "v-" + e, Turn: i}
+		}
+		c.Proposal = &Proposal{Intent: "X", Assume: map[string]string{}}
+		for _, e := range order {
+			c.Proposal.Assume[e] = "a-" + e
+		}
+		return c
+	}
+	base := []string{"Drug", "Condition", "AgeGroup", "Route", "Population"}
+	want := mk(base).Snapshot()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		order := append([]string{}, base...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		// Re-stamp turns by canonical name so only insertion order varies.
+		c := NewContext()
+		c.Turn = 4
+		for _, e := range order {
+			for i, canon := range base {
+				if canon == e {
+					c.ents[e] = Binding{Entity: e, Value: "v-" + e, Turn: i}
+				}
+			}
+		}
+		c.Proposal = &Proposal{Intent: "X", Assume: map[string]string{}}
+		for _, e := range order {
+			c.Proposal.Assume[e] = "a-" + e
+		}
+		if got := c.Snapshot(); !bytes.Equal(got, want) {
+			t.Fatalf("snapshot depends on insertion order %v", order)
+		}
+	}
+}
+
+func TestRestoreRejectsCorruptInput(t *testing.T) {
+	snap := fullContext().Snapshot()
+	if _, err := Restore(nil); err == nil {
+		t.Fatal("Restore(nil) succeeded")
+	}
+	if _, err := Restore([]byte("XXXX")); err == nil {
+		t.Fatal("Restore accepted a wrong magic")
+	}
+	bad := append([]byte{}, snap...)
+	bad[4] = SnapshotVersion + 1
+	if _, err := Restore(bad); err == nil {
+		t.Fatal("Restore accepted a future version")
+	}
+	for cut := 1; cut < len(snap); cut++ {
+		if _, err := Restore(snap[:cut]); err == nil {
+			t.Fatalf("Restore accepted a record truncated at %d/%d bytes", cut, len(snap))
+		}
+	}
+	if _, err := Restore(append(append([]byte{}, snap...), 0x00)); err == nil {
+		t.Fatal("Restore accepted trailing bytes")
+	}
+}
+
+// TestRestoreBoundsCorruptCounts: a length prefix larger than the record
+// must error, not allocate.
+func TestRestoreBoundsCorruptCounts(t *testing.T) {
+	c := NewContext()
+	c.ents["Drug"] = Binding{Entity: "Drug", Value: "Aspirin", Turn: 1}
+	snap := c.Snapshot()
+	// The binding-count varint sits right after magic+version+turn+two
+	// empty strings+flags; flip it to a huge value.
+	idx := len(snapshotMagic) + 1 /*version*/ + 1 /*turn*/ + 1 + 1 /*empty strings*/ + 1 /*flags*/
+	bad := append([]byte{}, snap...)
+	bad[idx] = 0xFF // multi-byte varint start; guaranteed to disagree with the payload
+	if _, err := Restore(bad); err == nil {
+		t.Fatal("Restore accepted a corrupt count")
+	}
+}
+
+// TestSnapshotFuzzRoundTrip round-trips randomized contexts.
+func TestSnapshotFuzzRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2019))
+	words := []string{"", "a", "Drug", "Adult or pediatric?", "ünïcode £", "x\x00y", "long-" + string(bytes.Repeat([]byte{'z'}, 300))}
+	pick := func() string { return words[rng.Intn(len(words))] }
+	for trial := 0; trial < 500; trial++ {
+		c := NewContext()
+		c.Turn = rng.Intn(1 << 16)
+		c.Intent = pick()
+		c.LastResponse = pick()
+		c.Closed = rng.Intn(2) == 0
+		for i := rng.Intn(6); i > 0; i-- {
+			e := pick() + itoa(i)
+			c.ents[e] = Binding{Entity: e, Value: pick(), Turn: rng.Intn(100)}
+		}
+		if rng.Intn(2) == 0 {
+			p := &Proposal{Intent: pick(), Assume: map[string]string{}}
+			for i := rng.Intn(4); i > 0; i-- {
+				p.Alternatives = append(p.Alternatives, pick())
+			}
+			for i := rng.Intn(4); i > 0; i-- {
+				p.Assume[pick()+itoa(i)] = pick()
+			}
+			c.Proposal = p
+		}
+		if rng.Intn(2) == 0 {
+			ch := &Choice{Entity: pick()}
+			for i := rng.Intn(5); i > 0; i-- {
+				ch.Candidates = append(ch.Candidates, pick())
+			}
+			c.Choice = ch
+		}
+		snap := c.Snapshot()
+		restored, err := Restore(snap)
+		if err != nil {
+			t.Fatalf("trial %d: Restore: %v", trial, err)
+		}
+		if again := restored.Snapshot(); !bytes.Equal(snap, again) {
+			t.Fatalf("trial %d: round trip not byte-identical", trial)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -41,6 +41,12 @@ func newRequestID() string {
 	return fmt.Sprintf("%s-%08x", reqIDPrefix, reqIDSeq.Add(1))
 }
 
+// NewRequestID mints a process-unique correlation ID in the format
+// AccessLog uses — for requests that originate inside a process (router
+// session handoffs, health probes) rather than from a client, so their
+// backend access-log lines still carry a joinable ID.
+func NewRequestID() string { return newRequestID() }
+
 // RequestID returns the request's correlation ID: the X-Request-ID the
 // client sent, or the one AccessLog minted. Empty when the request did
 // not pass through AccessLog.

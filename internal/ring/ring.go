@@ -1,0 +1,140 @@
+// Package ring implements the consistent-hash ring cmd/mdxrouter uses to
+// pin conversation sessions onto mdxserver replicas.
+//
+// Placement must satisfy two properties the dialogue tier depends on.
+// First, stability: a session's turns must keep landing on the replica
+// that holds its context, so the ring's answer for a key changes only
+// when membership changes. Second, minimal disruption: when a replica
+// joins or leaves, only the sessions it owned (or now captures) move —
+// everyone else stays put, and the router migrates the moved sessions'
+// state explicitly. Virtual nodes smooth the per-replica share; the
+// bounded-load walk (Pick) keeps a hot replica from absorbing every new
+// session that hashes near it.
+package ring
+
+import (
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-member vnode count: enough that a
+// three-member ring balances within a few percent, small enough that
+// rebuilding the ring on a membership change is microseconds.
+const DefaultVirtualNodes = 128
+
+// point is one vnode position on the ring.
+type point struct {
+	hash   uint64
+	member int // index into members
+}
+
+// Ring is an immutable consistent-hash ring. Membership changes build a
+// new Ring; readers hold a pointer and are never locked out.
+type Ring struct {
+	members []string
+	points  []point
+}
+
+// New builds a ring over the given members (deduplicated, order
+// independent) with vnodes virtual nodes each; vnodes <= 0 picks
+// DefaultVirtualNodes. An empty member list yields an empty ring whose
+// lookups return "".
+func New(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, points: make([]point, 0, len(uniq)*vnodes)}
+	for i, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash(m + "#" + strconv.Itoa(v)), member: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// Members returns the ring's member names, sorted.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Empty reports whether the ring has no members.
+func (r *Ring) Empty() bool { return len(r.members) == 0 }
+
+// Owner returns the member owning the key: the first vnode clockwise from
+// the key's hash. "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.members[r.points[r.at(key)].member]
+}
+
+// at returns the index of the key's successor vnode.
+func (r *Ring) at(key string) int {
+	h := hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest vnode
+	}
+	return i
+}
+
+// Pick returns the key's owner, skipping members the overloaded predicate
+// rejects: it walks clockwise and returns the first distinct member that
+// is not overloaded (the bounded-load variant of consistent hashing, cf.
+// Mirrokni et al.). If every member is overloaded the plain owner wins —
+// shedding is the caller's job, placement must still be deterministic. A
+// nil predicate is plain Owner.
+func (r *Ring) Pick(key string, overloaded func(member string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	if overloaded == nil {
+		return r.Owner(key)
+	}
+	start := r.at(key)
+	tried := make(map[int]bool, len(r.members))
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if tried[p.member] {
+			continue
+		}
+		tried[p.member] = true
+		if !overloaded(r.members[p.member]) {
+			return r.members[p.member]
+		}
+	}
+	return r.members[r.points[start].member]
+}
+
+// hash is FNV-1a 64 with a splitmix64 finalizer — stable across processes
+// and Go versions, so every router instance agrees on placement. Raw
+// FNV-1a avalanches poorly on short, similar inputs ("b1#0", "b1#1", …),
+// which clusters vnodes and skews member shares; the finalizer spreads
+// them uniformly.
+func hash(s string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}

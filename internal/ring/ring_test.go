@@ -1,0 +1,107 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("tenant\x00session-%d", i)
+	}
+	return ks
+}
+
+func TestOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	a := New([]string{"b1", "b2", "b3"}, 0)
+	b := New([]string{"b3", "b1", "b2", "b1"}, 0) // shuffled + duplicate
+	for _, k := range keys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q depends on construction order: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestDistributionBalanced(t *testing.T) {
+	members := []string{"b1", "b2", "b3"}
+	r := New(members, 0)
+	counts := make(map[string]int)
+	n := 30000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(n)
+		if share < 0.20 || share > 0.47 {
+			t.Fatalf("member %s owns %.1f%% of keys; want roughly a third (counts: %v)", m, 100*share, counts)
+		}
+	}
+}
+
+// TestMinimalDisruption: removing one member must move only that member's
+// keys; every key owned by a surviving member keeps its owner.
+func TestMinimalDisruption(t *testing.T) {
+	before := New([]string{"b1", "b2", "b3", "b4"}, 0)
+	after := New([]string{"b1", "b2", "b4"}, 0)
+	moved, total := 0, 0
+	for _, k := range keys(10000) {
+		total++
+		was, is := before.Owner(k), after.Owner(k)
+		if was == "b3" {
+			if is == "b3" {
+				t.Fatalf("key %q still owned by removed member", k)
+			}
+			moved++
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", k, was, is)
+		}
+	}
+	// b3 owned roughly a quarter; all of it (and nothing else) moved.
+	if moved < total/8 || moved > total/2 {
+		t.Fatalf("%d/%d keys moved; want roughly a quarter", moved, total)
+	}
+}
+
+func TestPickSkipsOverloaded(t *testing.T) {
+	r := New([]string{"b1", "b2", "b3"}, 0)
+	for _, k := range keys(200) {
+		owner := r.Owner(k)
+		got := r.Pick(k, func(m string) bool { return m == owner })
+		if got == owner {
+			t.Fatalf("Pick(%q) returned the overloaded owner %s", k, owner)
+		}
+		if got == "" {
+			t.Fatalf("Pick(%q) returned no member", k)
+		}
+		// Everyone overloaded: deterministic fallback to the plain owner.
+		if all := r.Pick(k, func(string) bool { return true }); all != owner {
+			t.Fatalf("Pick(%q) with all overloaded = %s, want plain owner %s", k, all, owner)
+		}
+		// Nil predicate is plain Owner.
+		if got := r.Pick(k, nil); got != owner {
+			t.Fatalf("Pick(%q, nil) = %s, want %s", k, got, owner)
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(nil, 0)
+	if !r.Empty() || r.Owner("k") != "" || r.Pick("k", nil) != "" {
+		t.Fatal("empty ring must report Empty and own nothing")
+	}
+	if len(New([]string{""}, 0).Members()) != 0 {
+		t.Fatal("empty member names must be dropped")
+	}
+}
+
+func TestStableAcrossVnodeCount(t *testing.T) {
+	// Not a correctness property of consistent hashing, but a regression
+	// tripwire: changing DefaultVirtualNodes re-maps sessions, which is a
+	// handoff storm on deploy. Fail loudly if it drifts.
+	if DefaultVirtualNodes != 128 {
+		t.Fatalf("DefaultVirtualNodes changed to %d; this re-maps every live deployment's sessions", DefaultVirtualNodes)
+	}
+}

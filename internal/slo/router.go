@@ -1,0 +1,80 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ShardStoreGate records the session-store microbenchmark objective: the
+// striped store's minimum speedup over the global-map baseline in
+// BenchmarkSessionLookup{Striped,Global} (ns/op ratio at 16 concurrent
+// chatters over 10k live sessions). CI enforces it on multi-core runners;
+// the ratio is meaningless on a single core, where no two chatters ever
+// truly contend.
+type ShardStoreGate struct {
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
+}
+
+// RouterFile is the on-disk router baseline (BENCH_router.json): floors
+// for a single-replica run and a multi-replica run driven through
+// cmd/mdxrouter, the horizontal-scaling ratio the two must exhibit, and
+// the shard-store microbenchmark gate. Same provenance header as File.
+type RouterFile struct {
+	Description string `json:"description,omitempty"`
+	CPU         string `json:"cpu,omitempty"`
+	Go          string `json:"go,omitempty"`
+	Date        string `json:"date,omitempty"`
+	// SingleReplica gates the router-fronting-one-replica run — the
+	// baseline the scaling ratio divides by.
+	SingleReplica Spec `json:"slo_single_replica"`
+	// MultiReplica gates the router-fronting-three-replicas run.
+	MultiReplica Spec `json:"slo_three_replica"`
+	// MinThroughputRatio floors multi-replica turns/s over single-replica
+	// turns/s. Zero disables. This is the gate that proves adding
+	// replicas adds capacity instead of just adding hops.
+	MinThroughputRatio float64        `json:"min_throughput_ratio,omitempty"`
+	ShardStore         ShardStoreGate `json:"shard_store,omitempty"`
+}
+
+// LoadRouterFile reads a router baseline file whole.
+func LoadRouterFile(path string) (RouterFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return RouterFile{}, err
+	}
+	var f RouterFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return RouterFile{}, fmt.Errorf("slo: %s: %w", path, err)
+	}
+	if f.SingleReplica == (Spec{}) && f.MultiReplica == (Spec{}) {
+		return RouterFile{}, fmt.Errorf("slo: %s: no objectives under \"slo_single_replica\" or \"slo_three_replica\"", path)
+	}
+	return f, nil
+}
+
+// Evaluate gates a router-phase report. phase is "single" or "multi",
+// picking the spec; with a non-nil single-replica baseline report, the
+// multi phase additionally checks the throughput ratio.
+func (f RouterFile) Evaluate(phase string, r *Report, baseline *Report) ([]Violation, error) {
+	var spec Spec
+	switch phase {
+	case "single":
+		spec = f.SingleReplica
+	case "multi":
+		spec = f.MultiReplica
+	default:
+		return nil, fmt.Errorf("slo: unknown router phase %q (single or multi)", phase)
+	}
+	out := spec.Evaluate(r)
+	if phase == "multi" && baseline != nil && f.MinThroughputRatio > 0 {
+		if baseline.TurnsPerSecond <= 0 {
+			return nil, fmt.Errorf("slo: baseline report has no throughput to ratio against")
+		}
+		ratio := r.TurnsPerSecond / baseline.TurnsPerSecond
+		if ratio < f.MinThroughputRatio {
+			out = append(out, Violation{"router_throughput_ratio", f.MinThroughputRatio, ratio})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package slo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeRouterBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_router.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadRouterFile(t *testing.T) {
+	path := writeRouterBaseline(t, `{
+		"description": "test",
+		"slo_single_replica": {"min_turn_throughput": 10},
+		"slo_three_replica": {"min_turn_throughput": 20, "max_error_rate": 0.01},
+		"min_throughput_ratio": 2.0,
+		"shard_store": {"min_speedup": 3.0}
+	}`)
+	f, err := LoadRouterFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SingleReplica.MinTurnThroughput != 10 || f.MultiReplica.MinTurnThroughput != 20 {
+		t.Fatalf("specs misparsed: %+v", f)
+	}
+	if f.MinThroughputRatio != 2.0 || f.ShardStore.MinSpeedup != 3.0 {
+		t.Fatalf("gates misparsed: %+v", f)
+	}
+
+	if _, err := LoadRouterFile(writeRouterBaseline(t, `{"description":"empty"}`)); err == nil {
+		t.Fatal("baseline with no objectives must be rejected")
+	}
+}
+
+func TestRouterEvaluatePhases(t *testing.T) {
+	f := RouterFile{
+		SingleReplica:      Spec{MinTurnThroughput: 10},
+		MultiReplica:       Spec{MinTurnThroughput: 20},
+		MinThroughputRatio: 2.0,
+	}
+	single := &Report{TurnsPerSecond: 15}
+	multi := &Report{TurnsPerSecond: 45}
+
+	if v, err := f.Evaluate("single", single, nil); err != nil || len(v) != 0 {
+		t.Fatalf("single phase: violations %v, err %v", v, err)
+	}
+	if v, err := f.Evaluate("multi", multi, single); err != nil || len(v) != 0 {
+		t.Fatalf("multi phase at 3x: violations %v, err %v", v, err)
+	}
+
+	// Ratio below the floor: multi runs at only 1.2x single.
+	slow := &Report{TurnsPerSecond: 18}
+	v, err := f.Evaluate("multi", slow, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, viol := range v {
+		if viol.Name == "router_throughput_ratio" {
+			found = true
+			if viol.Actual >= f.MinThroughputRatio {
+				t.Fatalf("ratio violation actual %g >= limit", viol.Actual)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("1.2x scaling passed a 2x ratio floor: %v", v)
+	}
+
+	// Spec floors still bind without a baseline.
+	if v, _ := f.Evaluate("multi", &Report{TurnsPerSecond: 5}, nil); len(v) == 0 {
+		t.Fatal("multi spec floor ignored without baseline")
+	}
+	if _, err := f.Evaluate("weird", single, nil); err == nil {
+		t.Fatal("unknown phase accepted")
+	}
+	if _, err := f.Evaluate("multi", multi, &Report{}); err == nil {
+		t.Fatal("zero-throughput baseline accepted for ratio")
+	}
+}

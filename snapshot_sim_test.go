@@ -1,0 +1,90 @@
+package ontoconv_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ontoconv/internal/agent"
+	"ontoconv/internal/dialogue"
+	"ontoconv/internal/sim"
+)
+
+// TestSnapshotRoundTripOverSimulatedUsage property-tests the dialogue
+// snapshot against the E3 usage study: the seeded Scripter plays the
+// Table-5 intent mix — elicitation follow-ups, proposals, misspellings,
+// gibberish, abandoned requests — and at every turn boundary the live
+// context must (a) round-trip byte-identically through Snapshot/Restore
+// and (b) drive the rest of the conversation exactly as the original
+// would. Property (b) is checked by forking a migrated session from the
+// restored context before each follow-up turn and replaying the same
+// utterance into both: replies and post-turn snapshots must match.
+// This is the invariant the cross-replica handoff rests on.
+func TestSnapshotRoundTripOverSimulatedUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a few hundred simulated conversations")
+	}
+	_, space, ag := mdxFixture(t)
+
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 20260808
+	sc := sim.NewScripter(space, cfg)
+
+	const interactions = 150
+	var turns, followups, stateful int
+	for i := 0; i < interactions; i++ {
+		sp := sc.Next()
+		if sp.Skip {
+			continue
+		}
+		s := agent.NewSession()
+		reply := ag.Respond(s, sp.Utterance)
+		for {
+			turns++
+			snap := s.Ctx.Snapshot()
+			restored, err := dialogue.Restore(snap)
+			if err != nil {
+				t.Fatalf("interaction %d (%q): restore: %v", i, sp.Utterance, err)
+			}
+			if again := restored.Snapshot(); !bytes.Equal(again, snap) {
+				t.Fatalf("interaction %d (%q): round-trip not byte-identical:\n  first:  %x\n  second: %x",
+					i, sp.Utterance, snap, again)
+			}
+			if restored.Intent != "" || restored.Proposal != nil || restored.Choice != nil || len(restored.Bindings()) > 0 {
+				stateful++
+			}
+
+			last := s.LastTurn()
+			next, done := sc.React(sp, reply, last.Answered, s.Closed())
+			if done {
+				break
+			}
+			followups++
+
+			// Fork: a migrated session resumes from the restored context
+			// and must shadow the original turn for turn.
+			fork := agent.NewSession()
+			fork.Ctx = restored
+			forkReply := ag.Respond(fork, next)
+			reply = ag.Respond(s, next)
+			if forkReply != reply {
+				t.Fatalf("interaction %d: fork diverged on %q:\n  original: %q\n  restored: %q",
+					i, next, reply, forkReply)
+			}
+			if a, b := s.Ctx.Snapshot(), fork.Ctx.Snapshot(); !bytes.Equal(a, b) {
+				t.Fatalf("interaction %d: post-turn state diverged on %q:\n  original: %x\n  restored: %x",
+					i, next, a, b)
+			}
+		}
+	}
+
+	// The property is only as strong as the states it visits: the mix
+	// must have produced real multi-turn, stateful dialogue.
+	if followups < 10 {
+		t.Fatalf("only %d follow-up turns in %d interactions — the sim mix went flat", followups, interactions)
+	}
+	if stateful < interactions/4 {
+		t.Fatalf("only %d/%d turn boundaries carried dialogue state", stateful, turns)
+	}
+	t.Logf("checked %d turn boundaries (%d follow-ups, %d stateful) across %d interactions",
+		turns, followups, stateful, interactions)
+}
